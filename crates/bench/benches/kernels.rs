@@ -1,0 +1,56 @@
+//! Microbenchmarks of the operator library (the functional "GPU kernels").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gpuflow_graph::{ReduceKind, RemapKind, SubsampleKind};
+use gpuflow_ops::{kernels, Tensor};
+
+fn image(n: usize) -> Tensor {
+    Tensor::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 17) as f32 - 8.0)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let img = image(512);
+    let k5 = Tensor::from_fn(5, 5, |r, c| (r + c) as f32 - 4.0);
+    let k16 = Tensor::from_fn(16, 16, |r, c| ((r * c) % 7) as f32 - 3.0);
+
+    c.bench_function("conv2d 512x512 * 5x5", |b| {
+        b.iter(|| kernels::conv2d_valid(black_box(&img), black_box(&k5)))
+    });
+    c.bench_function("conv2d 512x512 * 16x16", |b| {
+        b.iter(|| kernels::conv2d_valid(black_box(&img), black_box(&k16)))
+    });
+
+    let maps: Vec<Tensor> = (0..4).map(|i| {
+        Tensor::from_fn(512, 512, |r, c| ((r + c * i) % 13) as f32)
+    }).collect();
+    let refs: Vec<&Tensor> = maps.iter().collect();
+    c.bench_function("ew_max arity-4 512x512", |b| {
+        b.iter(|| kernels::ew_max(black_box(&refs)))
+    });
+
+    c.bench_function("tanh 512x512", |b| b.iter(|| kernels::tanh(black_box(&img))));
+    c.bench_function("remap flip-h 512x512", |b| {
+        b.iter(|| kernels::remap(black_box(&img), RemapKind::FlipH))
+    });
+    c.bench_function("subsample 2x2 avg 512x512", |b| {
+        b.iter(|| kernels::subsample(black_box(&img), 2, SubsampleKind::Avg))
+    });
+    c.bench_function("reduce max 512x512", |b| {
+        b.iter(|| kernels::reduce(black_box(&img), ReduceKind::Max))
+    });
+
+    let a = Tensor::from_fn(256, 256, |r, c| ((r + c) % 9) as f32);
+    let bm = Tensor::from_fn(256, 256, |r, c| ((r * c) % 5) as f32);
+    c.bench_function("matmul 256^3", |b| {
+        b.iter(|| kernels::matmul(black_box(&a), black_box(&bm)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels
+}
+criterion_main!(benches);

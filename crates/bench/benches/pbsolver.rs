@@ -1,0 +1,86 @@
+//! Pseudo-Boolean solver benchmarks: the Fig. 6 formulation in both the
+//! free-order (O(N²M) constraints) and fixed-order (O(NM)) regimes, plus a
+//! raw CDCL workout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gpuflow_core::examples::{fig3_graph, fig3_memory_bytes, fig3_schedule_a, fig3_units};
+use gpuflow_core::pbexact::{pb_exact_plan, PbExactOptions};
+use gpuflow_pbsat::{PbFormula, Solver, Var};
+
+fn bench_pb(c: &mut Criterion) {
+    let g = fig3_graph();
+    let units = fig3_units(&g);
+    let mem = fig3_memory_bytes();
+
+    c.bench_function("pbexact fig6 free order", |b| {
+        b.iter(|| {
+            pb_exact_plan(
+                black_box(&g),
+                &units,
+                mem,
+                PbExactOptions::default(),
+                None,
+            )
+            .unwrap()
+        })
+    });
+    let order = fig3_schedule_a(&g, &units);
+    c.bench_function("pbexact fig3(a) fixed order", |b| {
+        b.iter(|| {
+            pb_exact_plan(
+                black_box(&g),
+                &units,
+                mem,
+                PbExactOptions::default(),
+                Some(&order),
+            )
+            .unwrap()
+        })
+    });
+
+    // Raw CDCL: pigeonhole 7 into 6 (UNSAT, resolution-hard-ish).
+    c.bench_function("cdcl pigeonhole 7/6", |b| {
+        b.iter(|| {
+            let (p, h) = (7u32, 6u32);
+            let mut s = Solver::new((p * h) as usize);
+            let var = |i: u32, j: u32| Var(i * h + j).pos();
+            for i in 0..p {
+                let c: Vec<_> = (0..h).map(|j| var(i, j)).collect();
+                s.add_clause(&c);
+            }
+            for j in 0..h {
+                for a in 0..p {
+                    for b2 in (a + 1)..p {
+                        s.add_clause(&[!var(a, j), !var(b2, j)]);
+                    }
+                }
+            }
+            black_box(s.solve(None))
+        })
+    });
+
+    // Cardinality-heavy optimization instance.
+    c.bench_function("pb cardinality chain", |b| {
+        b.iter(|| {
+            let mut f = PbFormula::new();
+            let xs = f.new_vars(30);
+            for w in xs.windows(3) {
+                f.add_linear(
+                    &[(1, w[0].pos()), (1, w[1].pos()), (1, w[2].pos())],
+                    gpuflow_pbsat::Cmp::Ge,
+                    2,
+                );
+            }
+            black_box(f.instantiate().solve(None))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pb
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Compile-time benchmarks: the cost of the framework's planning pipeline
+//! (splitting + partitioning + scheduling + transfer scheduling) on the
+//! paper's workloads, including the thousand-operator CNN graphs where the
+//! heuristics must scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gpuflow_core::Framework;
+use gpuflow_sim::device::{geforce_8800_gtx, tesla_c870};
+use gpuflow_templates::cnn::{large_cnn, small_cnn};
+use gpuflow_templates::edge::{find_edges, CombineOp};
+
+fn bench_planning(c: &mut Criterion) {
+    let edge_small = find_edges(1000, 1000, 16, 4, CombineOp::Max).graph;
+    let edge_large = find_edges(10000, 10000, 16, 4, CombineOp::Max).graph;
+    let cnn_small = small_cnn(480, 640).graph;
+    let cnn_large = large_cnn(480, 640).graph;
+    let tesla = tesla_c870();
+    let geforce = geforce_8800_gtx();
+
+    c.bench_function("compile edge 1000^2 (fits)", |b| {
+        b.iter(|| Framework::new(tesla.clone()).compile(black_box(&edge_small)).unwrap())
+    });
+    c.bench_function("compile edge 10000^2 (splits on 768MB)", |b| {
+        b.iter(|| Framework::new(geforce.clone()).compile(black_box(&edge_large)).unwrap())
+    });
+    c.bench_function("compile small CNN 640x480 (1568 ops)", |b| {
+        b.iter(|| Framework::new(tesla.clone()).compile(black_box(&cnn_small)).unwrap())
+    });
+    c.bench_function("compile large CNN 640x480 (7496 ops)", |b| {
+        b.iter(|| Framework::new(tesla.clone()).compile(black_box(&cnn_large)).unwrap())
+    });
+
+    c.bench_function("build large CNN graph 640x480", |b| {
+        b.iter(|| large_cnn(black_box(480), black_box(640)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_planning
+}
+criterion_main!(benches);

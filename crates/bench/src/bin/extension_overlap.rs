@@ -1,0 +1,107 @@
+//! Extension — asynchronous transfer/compute overlap (§3.3.2's noted but
+//! unevaluated capability).
+//!
+//! Two experiments:
+//!
+//! 1. **Makespan**: every Table 1/2 workload's plan re-timed on a device
+//!    with dual DMA engines overlapping the compute engine, for both the
+//!    baseline and the framework-optimized plan.
+//! 2. **Objective**: the paper's proposed formulation change — minimize
+//!    only *synchronous* transfers — solved exactly on the Fig. 3 example.
+
+use gpuflow_bench::run::secs;
+use gpuflow_bench::{TableWriter, TemplateSpec};
+use gpuflow_core::examples::{fig3_graph, fig3_memory_bytes, fig3_units, floats_to_units};
+use gpuflow_core::pbexact::{pb_exact_plan, ObjectiveKind, PbExactOptions};
+use gpuflow_core::{baseline_plan, hoist_prefetches, overlapped_makespan, Framework};
+use gpuflow_sim::device::tesla_c870;
+
+fn main() {
+    let dev = tesla_c870();
+    println!("Extension — async transfer/compute overlap on {}\n", dev.name);
+
+    println!("1. Overlapped makespans (dual DMA engines + compute engine):\n");
+    let mut t = TableWriter::new(&[
+        "template",
+        "base serial",
+        "base overlap",
+        "gain",
+        "opt serial",
+        "opt overlap",
+        "gain",
+        "opt overlap+prefetch",
+    ]);
+    for spec in [
+        TemplateSpec::Edge { n: 1000, k: 16, orientations: 4 },
+        TemplateSpec::Edge { n: 4000, k: 16, orientations: 4 },
+        TemplateSpec::Edge { n: 16000, k: 16, orientations: 4 },
+        TemplateSpec::SmallCnn { rows: 480, cols: 640 },
+        TemplateSpec::LargeCnn { rows: 480, cols: 640 },
+        TemplateSpec::SmallCnn { rows: 4800, cols: 6400 },
+    ] {
+        let g = spec.build();
+        let (bs, bo, bg) = match baseline_plan(&g, dev.memory_bytes) {
+            Ok(plan) => {
+                let o = overlapped_makespan(&g, &plan, &dev);
+                (secs(o.serial_time), secs(o.overlapped_time), format!("{:.2}x", o.speedup()))
+            }
+            Err(_) => ("N/A".into(), "N/A".into(), "-".into()),
+        };
+        let compiled = Framework::new(dev.clone()).compile(&g).unwrap();
+        let o = overlapped_makespan(&compiled.split.graph, &compiled.plan, &dev);
+        let budget = dev.plannable_memory(0.05);
+        let (hoisted, _) =
+            hoist_prefetches(&compiled.split.graph, &compiled.plan, budget, 64);
+        let h = overlapped_makespan(&compiled.split.graph, &hoisted, &dev);
+        t.row(&[
+            spec.label(),
+            bs,
+            bo,
+            bg,
+            secs(o.serial_time),
+            secs(o.overlapped_time),
+            format!("{:.2}x", o.speedup()),
+            format!("{} ({:.2}x)", secs(h.overlapped_time), h.speedup()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Memory gating makes unhoisted overlap worthless (1.00x): every\n\
+         allocation waits for earlier frees to commit. Prefetch hoisting\n\
+         (crate::prefetch) moves uploads above unrelated frees — with a\n\
+         static occupancy proof — and unlocks the copy engines.\n"
+    );
+
+    println!("Gantt of the hoisted small-CNN plan's first moments (offload");
+    println!("pipeline visible as the copy lane running ahead of compute):\n");
+    {
+        let g = TemplateSpec::SmallCnn { rows: 480, cols: 640 }.build();
+        let compiled = Framework::new(dev.clone()).compile(&g).unwrap();
+        let budget = dev.plannable_memory(0.05);
+        let (hoisted, _) =
+            hoist_prefetches(&compiled.split.graph, &compiled.plan, budget, 64);
+        let (out, events) =
+            gpuflow_core::overlapped_trace(&compiled.split.graph, &hoisted, &dev);
+        println!("{}", gpuflow_core::render_gantt(&events, out.overlapped_time, 90));
+    }
+
+    println!("2. PB objective variants on the Fig. 3 example (5-unit memory):\n");
+    let g = fig3_graph();
+    let units = fig3_units(&g);
+    for (name, objective) in [
+        ("total transfers (paper's evaluation)", ObjectiveKind::TotalTransfers),
+        ("synchronous transfers only (§3.3.2 note)", ObjectiveKind::SynchronousTransfers),
+    ] {
+        let opts = PbExactOptions { objective, ..PbExactOptions::default() };
+        let out = pb_exact_plan(&g, &units, fig3_memory_bytes(), opts, None).unwrap();
+        println!(
+            "  {name}: optimum = {} units (plan physically moves {} units)",
+            floats_to_units(out.transfer_floats),
+            floats_to_units(out.plan.stats(&g).total_floats())
+        );
+    }
+    println!(
+        "\nWith async copies, only the first image upload and one
+memory-blocked re-upload remain on the critical path: 8 -> 3 units."
+    );
+}

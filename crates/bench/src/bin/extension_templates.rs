@@ -1,0 +1,117 @@
+//! Extension — the framework on domains beyond the paper's recognition
+//! templates: iterative stencils (the CFD shape from the paper's intro)
+//! and matrix-multiply chains (§3.2's worked splitting example).
+//!
+//! Reports, per workload and device-memory budget: split factor, number of
+//! halo-gather operators inserted, transfer volume vs the I/O lower bound,
+//! and the baseline comparison.
+
+use gpuflow_bench::run::{commas, secs};
+use gpuflow_bench::{baseline_outcome, optimized_outcome, TableWriter};
+use gpuflow_graph::{Graph, OpKind};
+use gpuflow_core::Framework;
+use gpuflow_sim::device::tesla_c870;
+use gpuflow_templates::{gemm, stencil};
+
+fn gather_count(g: &Graph) -> usize {
+    g.op_ids()
+        .filter(|&o| matches!(g.op(o).kind, OpKind::GatherRows { .. }))
+        .count()
+}
+
+fn main() {
+    println!("Extension — non-recognition templates through the framework\n");
+
+    println!("1. Heat diffusion (Jacobi sweeps; halo exchanges when split):\n");
+    let mut t = TableWriter::new(&[
+        "field / sweeps",
+        "memory",
+        "split P",
+        "halo gathers",
+        "floats moved",
+        "xfer / lower bound",
+        "time (s)",
+        "baseline",
+    ]);
+    for (n, sweeps, mib) in [
+        (1024usize, 8usize, 1536u64),
+        (1024, 8, 16),
+        (1024, 8, 6),
+        (2048, 16, 24),
+    ] {
+        let tmpl = stencil::heat_diffusion(n, sweeps);
+        let dev = tesla_c870().with_memory(mib << 20);
+        let opt = optimized_outcome(&dev, &tmpl.graph, |_| {}).expect("stencil compiles");
+        // Re-derive gather count from the compiled graph.
+        let compiled = Framework::new(dev.clone())
+            .with_options(gpuflow_core::CompileOptions {
+                memory_margin: opt.margin,
+                ..Default::default()
+            })
+            .compile(&tmpl.graph)
+            .unwrap();
+        let base = baseline_outcome(&dev, &tmpl.graph)
+            .map(|b| format!("{} ({:.1}x)", secs(b.time_s), b.time_s / opt.time_s))
+            .unwrap_or_else(|_| "N/A".into());
+        t.row(&[
+            format!("{n}^2 x{sweeps}"),
+            format!("{mib} MiB"),
+            opt.split_parts.to_string(),
+            gather_count(&compiled.split.graph).to_string(),
+            commas(opt.transfer_floats),
+            format!(
+                "{:.2}x",
+                opt.transfer_floats as f64 / tmpl.graph.io_lower_bound_floats() as f64
+            ),
+            secs(opt.time_s),
+            base,
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Split sweeps must re-gather halos from the previous sweep's bands —\n\
+         the transfer cost of out-of-core stencils that the recognition\n\
+         templates never exhibit.\n"
+    );
+
+    println!("2. Matrix-multiply chains (B factors broadcast whole, §3.2):\n");
+    let mut t = TableWriter::new(&[
+        "chain",
+        "memory",
+        "split P",
+        "floats moved",
+        "xfer / lower bound",
+        "time (s)",
+        "baseline",
+    ]);
+    for (m, dims, mib) in [
+        (4096usize, vec![2048usize, 1024, 512], 1536u64),
+        (4096, vec![2048, 1024, 512], 48),
+        (8192, vec![4096, 2048], 64),
+    ] {
+        let tmpl = gemm::matmul_chain(m, &dims);
+        let dev = tesla_c870().with_memory(mib << 20);
+        let opt = optimized_outcome(&dev, &tmpl.graph, |_| {}).expect("gemm compiles");
+        let base = baseline_outcome(&dev, &tmpl.graph)
+            .map(|b| format!("{} ({:.1}x)", secs(b.time_s), b.time_s / opt.time_s))
+            .unwrap_or_else(|_| "N/A".into());
+        t.row(&[
+            format!("{m}x{:?}", dims),
+            format!("{mib} MiB"),
+            opt.split_parts.to_string(),
+            commas(opt.transfer_floats),
+            format!(
+                "{:.2}x",
+                opt.transfer_floats as f64 / tmpl.graph.io_lower_bound_floats() as f64
+            ),
+            secs(opt.time_s),
+            base,
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Splitting per §3.2 keeps each B factor resident while its bands\n\
+         stream through, so GEMM chains stay at the I/O lower bound even\n\
+         out of core — band-major scheduling makes the broadcast free."
+    );
+}

@@ -1,0 +1,90 @@
+//! Reproduces **Fig. 1(c)**: memory requirements of the edge-detection
+//! algorithm vs input image size, and the feasibility regions on the Tesla
+//! C870 (1.5 GB).
+//!
+//! The paper's template here is the Fig. 1(b) graph — 8 orientations, so
+//! the `max` operator has a ~9× input footprint and the convolutions ~2× —
+//! giving the region boundaries 150 / 166.67 / 750 / 1500 MB.
+
+use gpuflow_bench::TableWriter;
+use gpuflow_core::split::op_parts_needed;
+use gpuflow_graph::FLOAT_BYTES;
+use gpuflow_sim::device::tesla_c870;
+use gpuflow_templates::edge::{find_edges, CombineOp};
+
+const MB: f64 = (1 << 20) as f64;
+
+fn strategy(total: u64, max_fp: u64, conv_fp: u64, img: u64, mem: u64) -> &'static str {
+    if total <= mem {
+        "all data structures fit in GPU memory"
+    } else if max_fp <= mem {
+        "max executed separately"
+    } else if conv_fp <= mem {
+        "max operation needs to be split"
+    } else if img <= mem {
+        "convs and remaps need to be split too"
+    } else {
+        "input image does not fit; process in chunks"
+    }
+}
+
+fn main() {
+    let dev = tesla_c870();
+    let mem = dev.memory_bytes;
+    println!("Fig. 1(c) — edge detection memory requirements vs input image size");
+    println!("Device: {} ({} MB)\n", dev.name, mem as f64 / MB);
+
+    // Analytic region boundaries from the footprint ratios.
+    // Fig. 1(b): 8 orientations -> total 10x, max 9x, conv 2x, image 1x.
+    println!("Region boundaries (input image size where the strategy changes):");
+    for (ratio, what) in [
+        (10.0, "all-fits limit        (total = 10x image)"),
+        (9.0, "split-max limit       (max   =  9x image)"),
+        (2.0, "split-conv limit      (conv  =  2x image)"),
+        (1.0, "chunk-input limit     (image =  1x image)"),
+    ] {
+        println!("  {:8.2} MB  {}", mem as f64 / MB / ratio, what);
+    }
+    println!();
+
+    let mut table = TableWriter::new(&[
+        "image (MB)",
+        "n",
+        "total (MB)",
+        "max op (MB)",
+        "conv op (MB)",
+        "split P",
+        "strategy",
+    ]);
+    // Sweep sizes around every boundary, up to typical micrograph sizes.
+    for &n in &[
+        2000usize, 4000, 6000, 6200, 6400, 6600, 8000, 12000, 13000, 14000, 16000, 19000,
+        20000, 24000, 32000, 48000,
+    ] {
+        let t = find_edges(n, n, 16, 8, CombineOp::Max);
+        let img_bytes = (n * n) as u64 * FLOAT_BYTES;
+        let total = t.graph.total_data_floats() * FLOAT_BYTES;
+        let max_fp = t.combine_footprint_floats() * FLOAT_BYTES;
+        let conv_fp = t.conv_footprint_floats() * FLOAT_BYTES;
+        let parts = t
+            .graph
+            .op_ids()
+            .map(|o| op_parts_needed(&t.graph, o, mem).map(|p| p as u64).unwrap_or(0))
+            .max()
+            .unwrap();
+        table.row(&[
+            format!("{:.1}", img_bytes as f64 / MB),
+            n.to_string(),
+            format!("{:.1}", total as f64 / MB),
+            format!("{:.1}", max_fp as f64 / MB),
+            format!("{:.1}", conv_fp as f64 / MB),
+            parts.to_string(),
+            strategy(total, max_fp, conv_fp, img_bytes, mem).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper: boundaries at 150 / 166.67 / 750 / 1500 MB; typical histological\n\
+         micrographs are far larger than even high-end GPU memories."
+    );
+}

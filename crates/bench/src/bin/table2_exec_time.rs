@@ -1,0 +1,78 @@
+//! Reproduces **Table 2**: simulated execution times of the baseline and
+//! framework-optimized plans on both devices, with speedups, side by side
+//! with the paper's measurements.
+//!
+//! Absolute seconds come from the simulator's calibrated timing model and
+//! are not expected to match the authors' 2008 testbed; the *shape* —
+//! which configurations win, the 1.7–7.8× band, and the N/A cells — is the
+//! reproduction target.
+
+use gpuflow_bench::paper::{opt_secs, TABLE2};
+use gpuflow_bench::{baseline_outcome, optimized_outcome, TableWriter, TemplateSpec};
+use gpuflow_sim::device::{geforce_8800_gtx, tesla_c870};
+
+fn main() {
+    let tesla = tesla_c870();
+    let geforce = geforce_8800_gtx();
+    println!("Table 2 — simulated execution time (seconds)\n");
+
+    let mut ours = TableWriter::new(&[
+        "template",
+        "C870 base",
+        "C870 opt",
+        "C870 speedup",
+        "8800 base",
+        "8800 opt",
+        "8800 speedup",
+    ]);
+    let mut compare = TableWriter::new(&[
+        "template",
+        "speedup (paper C870)",
+        "speedup (ours C870)",
+        "speedup (paper 8800)",
+        "speedup (ours 8800)",
+    ]);
+
+    for (spec, paper) in TemplateSpec::paper_rows().iter().zip(TABLE2.iter()) {
+        let g = spec.build();
+        let bt = baseline_outcome(&tesla, &g).ok().map(|o| o.time_s);
+        let ot = optimized_outcome(&tesla, &g, |_| {}).ok().map(|o| o.time_s);
+        let bg = baseline_outcome(&geforce, &g).ok().map(|o| o.time_s);
+        let og = optimized_outcome(&geforce, &g, |_| {}).ok().map(|o| o.time_s);
+        let speedup = |b: Option<f64>, o: Option<f64>| match (b, o) {
+            (Some(b), Some(o)) if o > 0.0 => format!("{:.1}x", b / o),
+            _ => "-".to_string(),
+        };
+        ours.row(&[
+            spec.label(),
+            opt_secs(bt),
+            opt_secs(ot),
+            speedup(bt, ot),
+            opt_secs(bg),
+            opt_secs(og),
+            speedup(bg, og),
+        ]);
+        let paper_speedup = |b: Option<f64>, o: Option<f64>| match (b, o) {
+            (Some(b), Some(o)) => format!("{:.1}x", b / o),
+            _ => "-".to_string(),
+        };
+        compare.row(&[
+            spec.label(),
+            paper_speedup(paper.tesla_baseline, paper.tesla_optimized),
+            speedup(bt, ot),
+            paper_speedup(paper.geforce_baseline, paper.geforce_optimized),
+            speedup(bg, og),
+        ]);
+    }
+
+    println!("{}", ours.render());
+    println!("\nSpeedup comparison (paper measured on real 2008 hardware):\n");
+    println!("{}", compare.render());
+    println!(
+        "Paper speedup band: 1.7x – 7.8x. Paper absolute times, for\n\
+         reference: e.g. Small CNN 6400x4800 on C870: 54.00s -> 16.66s;\n\
+         edge 10000x10000 baseline is N/A (operator exceeds memory);\n\
+         Large CNN 6400x4800 on the 8800 GTX is N/A (host thrashing —\n\
+         our simulator does not model host paging, so we print a value)."
+    );
+}

@@ -1,0 +1,28 @@
+//! # gpuflow-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§2 and §4):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig1c_memory_regions`   | Fig. 1(c): feasibility regions vs input size |
+//! | `fig2_transfer_breakdown`| Fig. 2: transfer share vs kernel size |
+//! | `fig3_schedule_comparison`| Fig. 3: 15 vs 8 units for two schedules |
+//! | `fig6_pb_optimal`        | Fig. 6: the PB-optimal timeline |
+//! | `table1_data_transfer`   | Table 1: floats moved per configuration |
+//! | `table2_exec_time`       | Table 2: simulated times and speedups |
+//! | `fig8_scalability`       | Fig. 8: time vs input size, 3 curves |
+//! | `ablation_*`             | design-choice ablations (DESIGN.md §5) |
+//!
+//! The library half hosts the shared machinery: workload specifications,
+//! compile-and-run helpers with automatic fragmentation-margin escalation,
+//! and plain-text table rendering.
+
+pub mod paper;
+pub mod rows;
+pub mod run;
+pub mod table;
+
+pub use rows::TemplateSpec;
+pub use run::{baseline_outcome, optimized_outcome, OutcomeSummary};
+pub use table::TableWriter;

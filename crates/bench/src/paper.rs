@@ -1,0 +1,222 @@
+//! The paper's published numbers, used for side-by-side comparison in the
+//! harness output and for shape checks in EXPERIMENTS.md.
+//!
+//! `None` marks the paper's "N/A" cells (infeasible or inconsistent runs).
+
+/// One row of the paper's Table 1 (floats transferred).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTable1Row {
+    /// Row label as printed in the paper.
+    pub label: &'static str,
+    /// "Total temporary data needed (floats)".
+    pub total_data: u64,
+    /// "I/O transfers only (lower bound)".
+    pub lower_bound: u64,
+    /// "Baseline implementation".
+    pub baseline: Option<u64>,
+    /// "Optimized for Tesla C870".
+    pub tesla: Option<u64>,
+    /// "Optimized for GeForce 8800 GTX".
+    pub geforce: Option<u64>,
+}
+
+/// The paper's Table 1.
+pub const TABLE1: [PaperTable1Row; 8] = [
+    PaperTable1Row {
+        label: "Edge detection 1000x1000",
+        total_data: 6_000_512,
+        lower_bound: 2_000_512,
+        baseline: Some(13_000_512),
+        tesla: Some(2_000_512),
+        geforce: Some(2_000_512),
+    },
+    PaperTable1Row {
+        label: "Edge detection 10000x10000",
+        total_data: 600_000_512,
+        lower_bound: 200_000_512,
+        baseline: None,
+        tesla: Some(400_000_512),
+        geforce: Some(400_000_512),
+    },
+    PaperTable1Row {
+        label: "Small CNN 640x480",
+        total_data: 59_308_709,
+        lower_bound: 4_870_082,
+        baseline: Some(157_022_568),
+        tesla: Some(4_870_082),
+        geforce: Some(4_870_082),
+    },
+    PaperTable1Row {
+        label: "Small CNN 6400x480",
+        total_data: 606_855_749,
+        lower_bound: 49_230_722,
+        baseline: Some(1_596_371_688),
+        tesla: Some(49_230_722),
+        geforce: Some(49_230_722),
+    },
+    PaperTable1Row {
+        label: "Small CNN 6400x4800",
+        total_data: 6_261_866_429,
+        lower_bound: 501_282_002,
+        baseline: Some(16_326_219_528),
+        tesla: Some(501_282_002),
+        geforce: Some(2_536_173_770),
+    },
+    PaperTable1Row {
+        label: "Large CNN 640x480",
+        total_data: 163_093_609,
+        lower_bound: 6_649_882,
+        baseline: Some(313_105_568),
+        tesla: Some(6_649_882),
+        geforce: Some(6_649_882),
+    },
+    PaperTable1Row {
+        label: "Large CNN 6400x480",
+        total_data: 1_686_960_649,
+        lower_bound: 67_282_522,
+        baseline: Some(3_212_182_688),
+        tesla: Some(67_282_522),
+        geforce: Some(67_282_522),
+    },
+    PaperTable1Row {
+        label: "Large CNN 6400x4800",
+        total_data: 17_664_611_329,
+        lower_bound: 691_377_802,
+        baseline: Some(33_262_586_528),
+        tesla: Some(760_262_830),
+        geforce: Some(7_877_915_800),
+    },
+];
+
+/// One row of the paper's Table 2 (execution times, seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTable2Row {
+    /// Row label as printed in the paper.
+    pub label: &'static str,
+    /// Baseline on the Tesla C870.
+    pub tesla_baseline: Option<f64>,
+    /// Optimized on the Tesla C870.
+    pub tesla_optimized: Option<f64>,
+    /// Baseline on the GeForce 8800 GTX.
+    pub geforce_baseline: Option<f64>,
+    /// Optimized on the GeForce 8800 GTX.
+    pub geforce_optimized: Option<f64>,
+}
+
+/// The paper's Table 2.
+pub const TABLE2: [PaperTable2Row; 8] = [
+    PaperTable2Row {
+        label: "Edge detection 1000x1000",
+        tesla_baseline: Some(0.28),
+        tesla_optimized: Some(0.036),
+        geforce_baseline: Some(0.19),
+        geforce_optimized: Some(0.034),
+    },
+    PaperTable2Row {
+        label: "Edge detection 10000x10000",
+        tesla_baseline: None,
+        tesla_optimized: Some(4.12),
+        geforce_baseline: None,
+        geforce_optimized: Some(3.92),
+    },
+    PaperTable2Row {
+        label: "Small CNN 640x480",
+        tesla_baseline: Some(1.70),
+        tesla_optimized: Some(0.62),
+        geforce_baseline: Some(1.21),
+        geforce_optimized: Some(0.41),
+    },
+    PaperTable2Row {
+        label: "Small CNN 6400x480",
+        tesla_baseline: Some(6.96),
+        tesla_optimized: Some(2.06),
+        geforce_baseline: Some(5.95),
+        geforce_optimized: Some(1.76),
+    },
+    PaperTable2Row {
+        label: "Small CNN 6400x4800",
+        tesla_baseline: Some(54.00),
+        tesla_optimized: Some(16.66),
+        geforce_baseline: Some(47.76),
+        geforce_optimized: Some(20.95),
+    },
+    PaperTable2Row {
+        label: "Large CNN 640x480",
+        tesla_baseline: Some(4.29),
+        tesla_optimized: Some(2.57),
+        geforce_baseline: Some(2.94),
+        geforce_optimized: Some(1.60),
+    },
+    PaperTable2Row {
+        label: "Large CNN 6400x480",
+        tesla_baseline: Some(15.71),
+        tesla_optimized: Some(6.62),
+        geforce_baseline: Some(13.96),
+        geforce_optimized: Some(5.48),
+    },
+    PaperTable2Row {
+        label: "Large CNN 6400x4800",
+        tesla_baseline: Some(262.45),
+        tesla_optimized: Some(112.99),
+        geforce_baseline: None,
+        geforce_optimized: None,
+    },
+];
+
+/// Format an optional count cell ("N/A" when absent).
+pub fn opt_commas(v: Option<u64>) -> String {
+    v.map(crate::run::commas).unwrap_or_else(|| "N/A".to_string())
+}
+
+/// Format an optional seconds cell.
+pub fn opt_secs(v: Option<f64>) -> String {
+    v.map(crate::run::secs).unwrap_or_else(|| "N/A".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_internal_consistency() {
+        for row in TABLE1 {
+            assert!(row.lower_bound <= row.total_data, "{}", row.label);
+            if let Some(b) = row.baseline {
+                assert!(b > row.lower_bound, "{}", row.label);
+            }
+            if let (Some(t), Some(gf)) = (row.tesla, row.geforce) {
+                // Smaller memory never reduces transfers.
+                assert!(gf >= t, "{}", row.label);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_speedups_are_in_the_claimed_band() {
+        // The paper claims 1.7–7.8x over the baseline.
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for row in TABLE2 {
+            for (b, o) in [
+                (row.tesla_baseline, row.tesla_optimized),
+                (row.geforce_baseline, row.geforce_optimized),
+            ] {
+                if let (Some(b), Some(o)) = (b, o) {
+                    let s = b / o;
+                    lo = lo.min(s);
+                    hi = hi.max(s);
+                }
+            }
+        }
+        assert!((1.6..=1.8).contains(&lo), "min speedup {lo}");
+        assert!((7.5..=8.0).contains(&hi), "max speedup {hi}");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(opt_commas(None), "N/A");
+        assert_eq!(opt_commas(Some(1234)), "1,234");
+        assert_eq!(opt_secs(None), "N/A");
+        assert_eq!(opt_secs(Some(4.12)), "4.12");
+    }
+}

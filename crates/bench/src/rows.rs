@@ -1,0 +1,100 @@
+//! Workload specifications: the template/size combinations of Tables 1–2.
+
+use gpuflow_graph::Graph;
+use gpuflow_templates::{cnn, edge};
+
+/// One benchmark workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateSpec {
+    /// Edge detection with a `k×k` filter at `orientations` orientations.
+    Edge {
+        /// Square image edge length.
+        n: usize,
+        /// Kernel edge length.
+        k: usize,
+        /// Number of orientations (even).
+        orientations: usize,
+    },
+    /// The paper's small CNN (≈1600 operators).
+    SmallCnn {
+        /// Input rows.
+        rows: usize,
+        /// Input columns.
+        cols: usize,
+    },
+    /// The paper's large CNN (≈7500 operators).
+    LargeCnn {
+        /// Input rows.
+        rows: usize,
+        /// Input columns.
+        cols: usize,
+    },
+}
+
+impl TemplateSpec {
+    /// Human-readable row label matching the paper's tables.
+    pub fn label(&self) -> String {
+        match *self {
+            TemplateSpec::Edge { n, .. } => format!("Edge detection {n}x{n}"),
+            TemplateSpec::SmallCnn { rows, cols } => format!("Small CNN {cols}x{rows}"),
+            TemplateSpec::LargeCnn { rows, cols } => format!("Large CNN {cols}x{rows}"),
+        }
+    }
+
+    /// Build the operator graph.
+    pub fn build(&self) -> Graph {
+        match *self {
+            TemplateSpec::Edge { n, k, orientations } => {
+                edge::find_edges(n, n, k, orientations, edge::CombineOp::Max).graph
+            }
+            TemplateSpec::SmallCnn { rows, cols } => cnn::small_cnn(rows, cols).graph,
+            TemplateSpec::LargeCnn { rows, cols } => cnn::large_cnn(rows, cols).graph,
+        }
+    }
+
+    /// The eight rows of the paper's Tables 1 and 2, in order.
+    ///
+    /// The paper reports CNN inputs as `width x height` (640x480 etc.);
+    /// rows/cols follow that convention.
+    pub fn paper_rows() -> Vec<TemplateSpec> {
+        vec![
+            TemplateSpec::Edge { n: 1000, k: 16, orientations: 4 },
+            TemplateSpec::Edge { n: 10000, k: 16, orientations: 4 },
+            TemplateSpec::SmallCnn { rows: 480, cols: 640 },
+            TemplateSpec::SmallCnn { rows: 480, cols: 6400 },
+            TemplateSpec::SmallCnn { rows: 4800, cols: 6400 },
+            TemplateSpec::LargeCnn { rows: 480, cols: 640 },
+            TemplateSpec::LargeCnn { rows: 480, cols: 6400 },
+            TemplateSpec::LargeCnn { rows: 4800, cols: 6400 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_build_and_validate() {
+        // Only the cheap rows here; the big ones are exercised by the
+        // harness binaries.
+        for spec in [
+            TemplateSpec::Edge { n: 1000, k: 16, orientations: 4 },
+            TemplateSpec::SmallCnn { rows: 480, cols: 640 },
+            TemplateSpec::LargeCnn { rows: 480, cols: 640 },
+        ] {
+            let g = spec.build();
+            g.validate().unwrap();
+            assert!(!spec.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn row_list_matches_paper() {
+        let rows = TemplateSpec::paper_rows();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0].label(), "Edge detection 1000x1000");
+        assert_eq!(rows[4].label(), "Small CNN 6400x4800");
+        assert_eq!(rows[7].label(), "Large CNN 6400x4800");
+    }
+}

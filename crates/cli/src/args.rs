@@ -1,0 +1,360 @@
+//! Argument parsing (hand-rolled; the CLI surface is small and stable).
+
+use gpuflow_core::{EvictionPolicy, OpScheduler};
+
+/// Where the template comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Source {
+    /// A `.gfg` file on disk.
+    File(String),
+    /// Built-in edge-detection template.
+    Edge {
+        /// Image rows.
+        rows: usize,
+        /// Image cols.
+        cols: usize,
+        /// Kernel edge.
+        k: usize,
+        /// Orientations.
+        orientations: usize,
+    },
+    /// Built-in small CNN.
+    SmallCnn {
+        /// Input rows.
+        rows: usize,
+        /// Input cols.
+        cols: usize,
+    },
+    /// Built-in large CNN.
+    LargeCnn {
+        /// Input rows.
+        rows: usize,
+        /// Input cols.
+        cols: usize,
+    },
+    /// The paper's Fig. 3 / Fig. 6 example.
+    Fig3,
+}
+
+impl Source {
+    /// Parse a source token.
+    pub fn parse(tok: &str) -> Result<Source, String> {
+        if tok == "fig3" {
+            return Ok(Source::Fig3);
+        }
+        if let Some(spec) = tok.strip_prefix("edge:") {
+            let mut parts = spec.split(',');
+            let dims = parts.next().ok_or("edge: missing dimensions")?;
+            let (rows, cols) = parse_dims(dims)?;
+            let (mut k, mut orientations) = (16usize, 4usize);
+            for p in parts {
+                if let Some(v) = p.strip_prefix("k=") {
+                    k = v.parse().map_err(|_| format!("bad kernel '{v}'"))?;
+                } else if let Some(v) = p.strip_prefix("o=") {
+                    orientations = v.parse().map_err(|_| format!("bad orientations '{v}'"))?;
+                } else {
+                    return Err(format!("unknown edge parameter '{p}'"));
+                }
+            }
+            return Ok(Source::Edge { rows, cols, k, orientations });
+        }
+        if let Some(spec) = tok.strip_prefix("cnn-small:") {
+            let (rows, cols) = parse_dims(spec)?;
+            return Ok(Source::SmallCnn { rows, cols });
+        }
+        if let Some(spec) = tok.strip_prefix("cnn-large:") {
+            let (rows, cols) = parse_dims(spec)?;
+            return Ok(Source::LargeCnn { rows, cols });
+        }
+        if tok.ends_with(".gfg") || tok.contains('/') {
+            return Ok(Source::File(tok.to_string()));
+        }
+        Err(format!("unrecognized source '{tok}' (not a .gfg path or builtin)"))
+    }
+}
+
+fn parse_dims(s: &str) -> Result<(usize, usize), String> {
+    let mut it = s.splitn(2, 'x');
+    let rows = it
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad dimensions '{s}'"))?;
+    let cols = it
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad dimensions '{s}' (expected <rows>x<cols>)"))?;
+    Ok((rows, cols))
+}
+
+/// Which device to target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceArg {
+    /// NVIDIA Tesla C870 (1.5 GB).
+    TeslaC870,
+    /// NVIDIA GeForce 8800 GTX (768 MB).
+    Geforce8800,
+    /// A C870-like device with a custom memory size in MiB.
+    Custom(u64),
+}
+
+impl DeviceArg {
+    /// Parse a `--device` value.
+    pub fn parse(tok: &str) -> Result<DeviceArg, String> {
+        match tok {
+            "c870" | "tesla" => Ok(DeviceArg::TeslaC870),
+            "8800gtx" | "8800" | "geforce" => Ok(DeviceArg::Geforce8800),
+            other => {
+                if let Some(mib) = other.strip_prefix("custom:") {
+                    let m: u64 = mib.parse().map_err(|_| format!("bad memory '{mib}'"))?;
+                    if m == 0 {
+                        return Err("custom memory must be > 0 MiB".into());
+                    }
+                    Ok(DeviceArg::Custom(m))
+                } else {
+                    Err(format!("unknown device '{other}'"))
+                }
+            }
+        }
+    }
+
+    /// Resolve to a simulator device spec.
+    pub fn spec(self) -> gpuflow_sim::DeviceSpec {
+        match self {
+            DeviceArg::TeslaC870 => gpuflow_sim::device::tesla_c870(),
+            DeviceArg::Geforce8800 => gpuflow_sim::device::geforce_8800_gtx(),
+            DeviceArg::Custom(mib) => {
+                gpuflow_sim::device::tesla_c870().with_memory(mib << 20)
+            }
+        }
+    }
+}
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `gpuflow info <source>`
+    Info {
+        /// Template source.
+        source: Source,
+    },
+    /// `gpuflow plan <source> ...`
+    Plan {
+        /// Template source.
+        source: Source,
+        /// Target device.
+        device: DeviceArg,
+        /// Fragmentation margin.
+        margin: f64,
+        /// Operator scheduler.
+        scheduler: OpScheduler,
+        /// Eviction policy.
+        eviction: EvictionPolicy,
+        /// Use the exact PB scheduler.
+        exact: bool,
+        /// Print the full step listing.
+        render: bool,
+    },
+    /// `gpuflow run <source> ...`
+    Run {
+        /// Template source.
+        source: Source,
+        /// Target device.
+        device: DeviceArg,
+        /// Execute kernels on synthetic data and verify vs the reference.
+        functional: bool,
+        /// Also report the overlapped (async-copy) makespan.
+        overlap: bool,
+        /// Print an ASCII Gantt chart of the overlapped execution.
+        gantt: bool,
+    },
+    /// `gpuflow emit <source> ...`
+    Emit {
+        /// Template source.
+        source: Source,
+        /// Target device.
+        device: DeviceArg,
+        /// Write CUDA-style C here.
+        cuda: Option<String>,
+        /// Write the JSON plan here.
+        json: Option<String>,
+        /// Write Graphviz DOT of the (split) graph here.
+        dot: Option<String>,
+    },
+}
+
+fn parse_scheduler(tok: &str) -> Result<OpScheduler, String> {
+    match tok {
+        "dfs" | "demand-dfs" => Ok(OpScheduler::DepthFirst),
+        "source-dfs" => Ok(OpScheduler::SourceDepthFirst),
+        "bfs" => Ok(OpScheduler::BreadthFirst),
+        "insertion" => Ok(OpScheduler::InsertionOrder),
+        other => Err(format!("unknown scheduler '{other}'")),
+    }
+}
+
+fn parse_eviction(tok: &str) -> Result<EvictionPolicy, String> {
+    match tok {
+        "belady" => Ok(EvictionPolicy::Belady),
+        "latest" => Ok(EvictionPolicy::LatestUse),
+        "lru" => Ok(EvictionPolicy::Lru),
+        "fifo" => Ok(EvictionPolicy::Fifo),
+        other => Err(format!("unknown eviction policy '{other}'")),
+    }
+}
+
+impl Command {
+    /// Parse argv (program name excluded).
+    pub fn parse(argv: &[String]) -> Result<Command, String> {
+        let mut it = argv.iter();
+        let verb = it.next().ok_or("missing subcommand")?;
+        let source_tok = it.next().ok_or("missing <source>")?;
+        let source = Source::parse(source_tok)?;
+
+        let mut device = DeviceArg::TeslaC870;
+        let mut margin = 0.05f64;
+        let mut scheduler = OpScheduler::DepthFirst;
+        let mut eviction = EvictionPolicy::Belady;
+        let mut exact = false;
+        let mut render = false;
+        let mut functional = false;
+        let mut overlap = false;
+        let mut gantt = false;
+        let mut cuda = None;
+        let mut json = None;
+        let mut dot = None;
+
+        let next_value = |it: &mut std::slice::Iter<String>, flag: &str| {
+            it.next()
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--device" => device = DeviceArg::parse(&next_value(&mut it, flag)?)?,
+                "--margin" => {
+                    let v = next_value(&mut it, flag)?;
+                    margin = v.parse().map_err(|_| format!("bad margin '{v}'"))?;
+                    if !(0.0..1.0).contains(&margin) {
+                        return Err("margin must be in [0, 1)".into());
+                    }
+                }
+                "--scheduler" => scheduler = parse_scheduler(&next_value(&mut it, flag)?)?,
+                "--eviction" => eviction = parse_eviction(&next_value(&mut it, flag)?)?,
+                "--exact" => exact = true,
+                "--render" => render = true,
+                "--functional" => functional = true,
+                "--overlap" => overlap = true,
+                "--gantt" => {
+                    overlap = true;
+                    gantt = true;
+                }
+                "--cuda" => cuda = Some(next_value(&mut it, flag)?),
+                "--json" => json = Some(next_value(&mut it, flag)?),
+                "--dot" => dot = Some(next_value(&mut it, flag)?),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+
+        match verb.as_str() {
+            "info" => Ok(Command::Info { source }),
+            "plan" => Ok(Command::Plan { source, device, margin, scheduler, eviction, exact, render }),
+            "run" => Ok(Command::Run { source, device, functional, overlap, gantt }),
+            "emit" => {
+                if cuda.is_none() && json.is_none() && dot.is_none() {
+                    return Err("emit requires --cuda, --json, or --dot".into());
+                }
+                Ok(Command::Emit { source, device, cuda, json, dot })
+            }
+            other => Err(format!("unknown subcommand '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_sources() {
+        assert_eq!(
+            Source::parse("edge:1000x800,k=9,o=8").unwrap(),
+            Source::Edge { rows: 1000, cols: 800, k: 9, orientations: 8 }
+        );
+        assert_eq!(
+            Source::parse("edge:64x64").unwrap(),
+            Source::Edge { rows: 64, cols: 64, k: 16, orientations: 4 }
+        );
+        assert_eq!(
+            Source::parse("cnn-small:480x640").unwrap(),
+            Source::SmallCnn { rows: 480, cols: 640 }
+        );
+        assert_eq!(Source::parse("fig3").unwrap(), Source::Fig3);
+        assert_eq!(
+            Source::parse("templates/edge.gfg").unwrap(),
+            Source::File("templates/edge.gfg".into())
+        );
+        assert!(Source::parse("bogus").is_err());
+        assert!(Source::parse("edge:10").is_err());
+    }
+
+    #[test]
+    fn parse_devices() {
+        assert_eq!(DeviceArg::parse("c870").unwrap(), DeviceArg::TeslaC870);
+        assert_eq!(DeviceArg::parse("8800gtx").unwrap(), DeviceArg::Geforce8800);
+        assert_eq!(DeviceArg::parse("custom:256").unwrap(), DeviceArg::Custom(256));
+        assert!(DeviceArg::parse("custom:0").is_err());
+        assert!(DeviceArg::parse("rtx5090").is_err());
+        assert_eq!(DeviceArg::Custom(64).spec().memory_bytes, 64 << 20);
+    }
+
+    #[test]
+    fn parse_full_plan_command() {
+        let cmd = Command::parse(&argv(
+            "plan edge:100x100,k=5,o=4 --device 8800gtx --margin 0.1 --scheduler bfs --eviction lru --render",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Plan { device, margin, scheduler, eviction, exact, render, .. } => {
+                assert_eq!(device, DeviceArg::Geforce8800);
+                assert!((margin - 0.1).abs() < 1e-12);
+                assert_eq!(scheduler, OpScheduler::BreadthFirst);
+                assert_eq!(eviction, EvictionPolicy::Lru);
+                assert!(!exact);
+                assert!(render);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_run_and_emit() {
+        assert!(matches!(
+            Command::parse(&argv("run fig3 --functional --overlap")).unwrap(),
+            Command::Run { functional: true, overlap: true, gantt: false, .. }
+        ));
+        // --gantt implies --overlap.
+        assert!(matches!(
+            Command::parse(&argv("run fig3 --gantt")).unwrap(),
+            Command::Run { overlap: true, gantt: true, .. }
+        ));
+        assert!(Command::parse(&argv("emit fig3")).is_err());
+        assert!(matches!(
+            Command::parse(&argv("emit fig3 --cuda out.cu")).unwrap(),
+            Command::Emit { cuda: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Command::parse(&[]).is_err());
+        assert!(Command::parse(&argv("info")).is_err());
+        assert!(Command::parse(&argv("frobnicate fig3")).is_err());
+        assert!(Command::parse(&argv("plan fig3 --margin 2.0")).is_err());
+        assert!(Command::parse(&argv("plan fig3 --bogus")).is_err());
+        assert!(Command::parse(&argv("plan fig3 --device")).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! Command execution: each subcommand returns its textual output.
+
+use std::fmt::Write as _;
+
+use gpuflow_codegen::{generate_cuda, plan_to_json};
+use gpuflow_core::{baseline_plan, CompileOptions, Framework, PbExactOptions};
+use gpuflow_graph::{Graph, FLOAT_BYTES};
+use gpuflow_ops::reference_eval;
+use gpuflow_templates::data::default_bindings;
+use gpuflow_templates::{cnn, edge};
+
+use crate::args::{Command, Source};
+
+/// Build the template graph for a source.
+pub fn load_source(source: &Source) -> Result<Graph, String> {
+    match source {
+        Source::File(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            gpuflow_graph::parse_graph(&text).map_err(|e| e.to_string())
+        }
+        Source::Edge { rows, cols, k, orientations } => Ok(edge::find_edges(
+            *rows,
+            *cols,
+            *k,
+            *orientations,
+            edge::CombineOp::Max,
+        )
+        .graph),
+        Source::SmallCnn { rows, cols } => Ok(cnn::small_cnn(*rows, *cols).graph),
+        Source::LargeCnn { rows, cols } => Ok(cnn::large_cnn(*rows, *cols).graph),
+        Source::Fig3 => Ok(gpuflow_core::examples::fig3_graph()),
+    }
+}
+
+/// Execute a parsed command, returning its printable output.
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    let mut out = String::new();
+    match cmd {
+        Command::Info { source } => {
+            let g = load_source(source)?;
+            let _ = writeln!(out, "operators:        {}", g.num_ops());
+            let _ = writeln!(out, "data structures:  {}", g.num_data());
+            let _ = writeln!(
+                out,
+                "inputs/consts/outputs: {} / {} / {}",
+                g.inputs().len(),
+                g.constants().len(),
+                g.outputs().len()
+            );
+            let total = g.total_data_floats();
+            let _ = writeln!(
+                out,
+                "total data:       {} floats ({} MiB)",
+                total,
+                (total * FLOAT_BYTES) >> 20
+            );
+            let _ = writeln!(
+                out,
+                "I/O lower bound:  {} floats",
+                g.io_lower_bound_floats()
+            );
+            let biggest = g
+                .op_ids()
+                .max_by_key(|&o| g.op_footprint_bytes(o))
+                .ok_or("graph has no operators")?;
+            let _ = writeln!(
+                out,
+                "largest operator: {} ({} MiB working set)",
+                g.op(biggest).name,
+                g.op_footprint_bytes(biggest) >> 20
+            );
+        }
+        Command::Plan { source, device, margin, scheduler, eviction, exact, render } => {
+            let g = load_source(source)?;
+            let dev = device.spec();
+            let options = CompileOptions {
+                memory_margin: *margin,
+                scheduler: *scheduler,
+                eviction: *eviction,
+                exact: exact.then(PbExactOptions::default),
+                ..CompileOptions::default()
+            };
+            let compiled = Framework::new(dev.clone())
+                .with_options(options)
+                .compile(&g)
+                .map_err(|e| e.to_string())?;
+            let stats = compiled.stats();
+            let _ = writeln!(out, "device:           {}", dev.name);
+            let _ = writeln!(out, "split factor:     {}", compiled.split.parts);
+            let _ = writeln!(out, "offload units:    {}", compiled.plan.units.len());
+            let _ = writeln!(out, "plan steps:       {}", compiled.plan.steps.len());
+            let _ = writeln!(
+                out,
+                "transfers:        {} floats in, {} floats out",
+                stats.floats_in, stats.floats_out
+            );
+            let _ = writeln!(out, "peak residency:   {} MiB", stats.peak_bytes >> 20);
+            if *exact {
+                let _ = writeln!(out, "exact optimum:    {}", compiled.exact_optimal);
+            }
+            let _ = writeln!(out, "\n{}", gpuflow_core::compilation_report(&compiled, &g));
+            if *render {
+                let _ = writeln!(out, "{}", compiled.plan.render(&compiled.split.graph));
+            }
+        }
+        Command::Run { source, device, functional, overlap, gantt } => {
+            let g = load_source(source)?;
+            let dev = device.spec();
+            let compiled = Framework::new(dev.clone())
+                .compile_adaptive(&g)
+                .map_err(|e| e.to_string())?;
+            let result = if *functional {
+                let bindings = default_bindings(&g);
+                let run = compiled.run_functional(&bindings).map_err(|e| e.to_string())?;
+                let reference = reference_eval(&g, &bindings).map_err(|e| e.to_string())?;
+                for (d, t) in &run.outputs {
+                    if t != &reference[d] {
+                        return Err(format!(
+                            "VERIFICATION FAILED for output {}",
+                            g.data(*d).name
+                        ));
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "functional run:   {} outputs verified against the reference ✓",
+                    run.outputs.len()
+                );
+                run
+            } else {
+                compiled.run_analytic().map_err(|e| e.to_string())?
+            };
+            let c = result.timeline.counters();
+            let _ = writeln!(out, "device:           {}", dev.name);
+            let _ = writeln!(out, "simulated time:   {:.4} s", c.total_time());
+            let _ = writeln!(
+                out,
+                "  transfers:      {:.4} s ({:.0}%), {} floats",
+                c.transfer_time,
+                c.transfer_share() * 100.0,
+                c.total_transfer_floats()
+            );
+            let _ = writeln!(
+                out,
+                "  kernels:        {:.4} s over {} launches",
+                c.kernel_time, c.kernel_launches
+            );
+            let _ = writeln!(
+                out,
+                "peak device mem:  {} MiB (fragmentation {:.3})",
+                result.peak_device_bytes >> 20,
+                result.peak_fragmentation
+            );
+            if let Ok(base) = baseline_plan(&g, dev.memory_bytes) {
+                let b = gpuflow_core::Executor::new(&g, &base, &dev)
+                    .run_analytic()
+                    .map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    out,
+                    "baseline:         {:.4} s -> speedup {:.1}x",
+                    b.total_time(),
+                    b.total_time() / c.total_time()
+                );
+            } else {
+                let _ = writeln!(out, "baseline:         N/A (operator exceeds device memory)");
+            }
+            if *overlap {
+                let (o, events) =
+                    gpuflow_core::overlapped_trace(&compiled.split.graph, &compiled.plan, &dev);
+                let _ = writeln!(
+                    out,
+                    "overlapped:       {:.4} s (async copy engines, {:.2}x vs serial)",
+                    o.overlapped_time,
+                    o.speedup()
+                );
+                if *gantt {
+                    let _ = writeln!(
+                        out,
+                        "\n{}",
+                        gpuflow_core::render_gantt(&events, o.overlapped_time, 80)
+                    );
+                }
+            }
+        }
+        Command::Emit { source, device, cuda, json, dot } => {
+            let g = load_source(source)?;
+            let dev = device.spec();
+            let compiled = Framework::new(dev)
+                .compile_adaptive(&g)
+                .map_err(|e| e.to_string())?;
+            let name = match source {
+                Source::File(p) => p.clone(),
+                other => format!("{other:?}"),
+            };
+            if let Some(path) = cuda {
+                let src = generate_cuda(&compiled.split.graph, &compiled.plan, &name);
+                std::fs::write(path, &src).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(out, "wrote {path} ({} lines of CUDA-style C)", src.lines().count());
+            }
+            if let Some(path) = json {
+                let doc = plan_to_json(&compiled.split.graph, &compiled.plan, &name);
+                std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(out, "wrote {path} ({} bytes of JSON)", doc.len());
+            }
+            if let Some(path) = dot {
+                let doc = gpuflow_graph::dot::to_dot(&compiled.split.graph, &name);
+                std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
+                let _ = writeln!(out, "wrote {path} (Graphviz DOT)");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::DeviceArg;
+
+    fn parse(s: &str) -> Command {
+        let argv: Vec<String> = s.split_whitespace().map(|t| t.to_string()).collect();
+        Command::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn info_on_builtin_edge() {
+        let out = execute(&parse("info edge:256x256,k=9,o=4")).unwrap();
+        assert!(out.contains("operators:        5"), "{out}");
+        assert!(out.contains("largest operator: combine"), "{out}");
+    }
+
+    #[test]
+    fn info_on_fig3() {
+        let out = execute(&parse("info fig3")).unwrap();
+        assert!(out.contains("operators:        10"), "{out}");
+    }
+
+    #[test]
+    fn plan_renders_steps() {
+        let out = execute(&parse("plan fig3 --device custom:1 --render")).unwrap();
+        assert!(out.contains("split factor:"), "{out}");
+        assert!(out.contains("H->D  Im"), "{out}");
+    }
+
+    #[test]
+    fn plan_exact_on_fig3() {
+        let out = execute(&parse("plan fig3 --exact --device custom:1")).unwrap();
+        assert!(out.contains("exact optimum:    true"), "{out}");
+    }
+
+    #[test]
+    fn run_analytic_reports_speedup() {
+        let out = execute(&parse("run edge:256x256,k=9,o=4 --device custom:2 --overlap")).unwrap();
+        assert!(out.contains("simulated time:"), "{out}");
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("overlapped:"), "{out}");
+    }
+
+    #[test]
+    fn run_gantt_draws_lanes() {
+        let out = execute(&parse("run edge:256x256,k=9,o=4 --device custom:2 --gantt")).unwrap();
+        assert!(out.contains("COMPUTE"), "{out}");
+        assert!(out.contains("H->D"), "{out}");
+    }
+
+    #[test]
+    fn run_functional_verifies() {
+        let out = execute(&parse("run edge:96x96,k=5,o=4 --device custom:1 --functional"))
+            .unwrap();
+        assert!(out.contains("verified against the reference"), "{out}");
+    }
+
+    #[test]
+    fn emit_writes_files() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cu = dir.join("t.cu");
+        let js = dir.join("t.json");
+        let dot = dir.join("t.dot");
+        let cmd = format!(
+            "emit fig3 --device custom:1 --cuda {} --json {} --dot {}",
+            cu.display(),
+            js.display(),
+            dot.display()
+        );
+        let out = execute(&parse(&cmd)).unwrap();
+        assert!(out.lines().count() >= 3, "{out}");
+        assert!(std::fs::read_to_string(&cu).unwrap().contains("cudaMemcpy"));
+        assert!(std::fs::read_to_string(&js).unwrap().contains("total_transfer_floats"));
+        assert!(std::fs::read_to_string(&dot).unwrap().starts_with("digraph"));
+    }
+
+    #[test]
+    fn gfg_file_source_roundtrip() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.gfg");
+        std::fs::write(
+            &path,
+            "data A input 32 32\ndata B output 32 32\nop t tanh A -> B\n",
+        )
+        .unwrap();
+        let src = Source::File(path.display().to_string());
+        let g = load_source(&src).unwrap();
+        assert_eq!(g.num_ops(), 1);
+        let out = execute(&Command::Run {
+            source: src,
+            device: DeviceArg::Custom(1),
+            functional: true,
+            overlap: false,
+            gantt: false,
+        })
+        .unwrap();
+        assert!(out.contains("verified"), "{out}");
+    }
+
+    #[test]
+    fn shipped_assets_parse_and_verify() {
+        // The sample .gfg files at the repo root must stay valid.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../assets");
+        for name in ["edge_4or.gfg", "pipeline.gfg"] {
+            let path = root.join(name);
+            let src = Source::File(path.display().to_string());
+            let g = load_source(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(g.num_ops() >= 5, "{name}");
+            if name == "pipeline.gfg" {
+                let out = execute(&Command::Run {
+                    source: src,
+                    device: DeviceArg::Custom(1),
+                    functional: true,
+                    overlap: true,
+                    gantt: false,
+                })
+                .unwrap();
+                assert!(out.contains("verified"), "{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = execute(&parse("info /nonexistent/x.gfg")).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

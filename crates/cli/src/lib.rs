@@ -1,0 +1,54 @@
+//! # gpuflow-cli
+//!
+//! The `gpuflow` command: inspect, plan, run and export templates from the
+//! command line.
+//!
+//! ```text
+//! gpuflow info  <source>
+//! gpuflow plan  <source> [--device DEV] [--margin F] [--scheduler S]
+//!                        [--eviction E] [--exact] [--render]
+//! gpuflow run   <source> [--device DEV] [--functional] [--overlap] [--gantt] [--gantt]
+//! gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV]
+//! ```
+//!
+//! `<source>` is either a `.gfg` file (see `gpuflow_graph::text`) or a
+//! built-in template:
+//!
+//! * `edge:<rows>x<cols>,k=<kernel>,o=<orientations>`
+//! * `cnn-small:<rows>x<cols>` / `cnn-large:<rows>x<cols>`
+//! * `fig3` — the paper's Fig. 3/6 example
+//!
+//! `DEV` is `c870` (default), `8800gtx`, or `custom:<MiB>`.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Command, DeviceArg, Source};
+pub use commands::execute;
+
+/// Top-level entry: parse argv (without the program name) and execute.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let cmd = Command::parse(argv)?;
+    execute(&cmd)
+}
+
+/// The usage string printed on parse errors.
+pub const USAGE: &str = "\
+usage:
+  gpuflow info  <source>
+  gpuflow plan  <source> [--device DEV] [--margin F] [--scheduler S] [--eviction E] [--exact] [--render]
+  gpuflow run   <source> [--device DEV] [--functional] [--overlap] [--gantt]
+  gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV]
+
+sources:
+  path/to/template.gfg
+  edge:<rows>x<cols>,k=<kernel>,o=<orientations>
+  cnn-small:<rows>x<cols> | cnn-large:<rows>x<cols>
+  fig3
+
+devices:    c870 (default) | 8800gtx | custom:<MiB>
+schedulers: dfs (default) | source-dfs | bfs | insertion
+evictions:  belady (default) | latest | lru | fifo
+";

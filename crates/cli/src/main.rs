@@ -1,0 +1,12 @@
+//! The `gpuflow` command-line tool.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match gpuflow_cli::run(&argv) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", gpuflow_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! JSON plan documents.
+//!
+//! A machine-readable rendering of an execution plan — the input format
+//! for the "simple run-time library to orchestrate execution" alternative
+//! the paper describes at the end of §3.3.
+
+use serde::{Deserialize, Serialize};
+
+use gpuflow_core::{ExecutionPlan, Step};
+use gpuflow_graph::{DataKind, Graph};
+
+/// One data structure in the document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataDoc {
+    /// Name from the graph.
+    pub name: String,
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// `"input" | "output" | "constant" | "temporary"`.
+    pub kind: String,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// One plan step in the document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum StepDoc {
+    /// Host→device copy of data index `data`.
+    CopyIn {
+        /// Data index.
+        data: usize,
+    },
+    /// Device→host copy.
+    CopyOut {
+        /// Data index.
+        data: usize,
+    },
+    /// Free a device buffer.
+    Free {
+        /// Data index.
+        data: usize,
+    },
+    /// Launch offload unit `unit`.
+    Launch {
+        /// Unit index.
+        unit: usize,
+    },
+}
+
+/// A complete serializable plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanDoc {
+    /// Template name.
+    pub template: String,
+    /// All data structures, indexed by position.
+    pub data: Vec<DataDoc>,
+    /// Offload units as lists of operator names.
+    pub units: Vec<Vec<String>>,
+    /// The step sequence.
+    pub steps: Vec<StepDoc>,
+    /// Total floats moved host↔device.
+    pub total_transfer_floats: u64,
+    /// Peak device bytes.
+    pub peak_bytes: u64,
+}
+
+/// Build the document for `plan` over `graph`.
+pub fn plan_doc(graph: &Graph, plan: &ExecutionPlan, template: &str) -> PlanDoc {
+    let data = graph
+        .data_ids()
+        .map(|d| {
+            let desc = graph.data(d);
+            DataDoc {
+                name: desc.name.clone(),
+                rows: desc.rows,
+                cols: desc.cols,
+                kind: match desc.kind {
+                    DataKind::Input => "input",
+                    DataKind::Output => "output",
+                    DataKind::Constant => "constant",
+                    DataKind::Temporary => "temporary",
+                }
+                .to_string(),
+                bytes: desc.bytes(),
+            }
+        })
+        .collect();
+    let units = plan
+        .units
+        .iter()
+        .map(|u| u.ops.iter().map(|&o| graph.op(o).name.clone()).collect())
+        .collect();
+    let steps = plan
+        .steps
+        .iter()
+        .map(|s| match *s {
+            Step::CopyIn(d) => StepDoc::CopyIn { data: d.index() },
+            Step::CopyOut(d) => StepDoc::CopyOut { data: d.index() },
+            Step::Free(d) => StepDoc::Free { data: d.index() },
+            Step::Launch(u) => StepDoc::Launch { unit: u },
+        })
+        .collect();
+    let stats = plan.stats(graph);
+    PlanDoc {
+        template: template.to_string(),
+        data,
+        units,
+        steps,
+        total_transfer_floats: stats.total_floats(),
+        peak_bytes: stats.peak_bytes,
+    }
+}
+
+/// Serialize `plan` to pretty JSON.
+pub fn plan_to_json(graph: &Graph, plan: &ExecutionPlan, template: &str) -> String {
+    serde_json::to_string_pretty(&plan_doc(graph, plan, template))
+        .expect("plan documents are always serializable")
+}
+
+/// Error from [`load_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError(pub String);
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan document does not match the graph: {}", self.0)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Reconstruct an executable [`ExecutionPlan`] from a document, checking
+/// it against `graph` — the loading half of the paper's "simple run-time
+/// library to orchestrate execution" (§3.3 closing remark). The document's
+/// data table must match the graph exactly (same order, names and shapes),
+/// and unit operator names must resolve uniquely.
+pub fn load_plan(doc: &PlanDoc, graph: &Graph) -> Result<ExecutionPlan, LoadError> {
+    if doc.data.len() != graph.num_data() {
+        return Err(LoadError(format!(
+            "document has {} data structures, graph has {}",
+            doc.data.len(),
+            graph.num_data()
+        )));
+    }
+    for (i, d) in doc.data.iter().enumerate() {
+        let id = gpuflow_graph::DataId(i as u32);
+        let desc = graph.data(id);
+        if desc.name != d.name || desc.rows != d.rows || desc.cols != d.cols {
+            return Err(LoadError(format!(
+                "data {i}: document says {} {}x{}, graph says {} {}x{}",
+                d.name, d.rows, d.cols, desc.name, desc.rows, desc.cols
+            )));
+        }
+    }
+    // Resolve unit op names.
+    let mut by_name = std::collections::HashMap::new();
+    for o in graph.op_ids() {
+        if by_name.insert(graph.op(o).name.clone(), o).is_some() {
+            return Err(LoadError(format!(
+                "operator name '{}' is not unique in the graph",
+                graph.op(o).name
+            )));
+        }
+    }
+    let units = doc
+        .units
+        .iter()
+        .map(|names| {
+            let ops = names
+                .iter()
+                .map(|n| {
+                    by_name
+                        .get(n)
+                        .copied()
+                        .ok_or_else(|| LoadError(format!("unknown operator '{n}'")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(gpuflow_core::OffloadUnit { ops })
+        })
+        .collect::<Result<Vec<_>, LoadError>>()?;
+    let check_data = |i: usize| {
+        if i < graph.num_data() {
+            Ok(gpuflow_graph::DataId(i as u32))
+        } else {
+            Err(LoadError(format!("data index {i} out of range")))
+        }
+    };
+    let steps = doc
+        .steps
+        .iter()
+        .map(|s| {
+            Ok(match *s {
+                StepDoc::CopyIn { data } => Step::CopyIn(check_data(data)?),
+                StepDoc::CopyOut { data } => Step::CopyOut(check_data(data)?),
+                StepDoc::Free { data } => Step::Free(check_data(data)?),
+                StepDoc::Launch { unit } => {
+                    if unit >= units.len() {
+                        return Err(LoadError(format!("unit index {unit} out of range")));
+                    }
+                    Step::Launch(unit)
+                }
+            })
+        })
+        .collect::<Result<Vec<_>, LoadError>>()?;
+    Ok(ExecutionPlan { units, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_core::baseline_plan;
+    use gpuflow_core::examples::fig3_graph;
+
+    #[test]
+    fn document_roundtrips_through_json() {
+        let g = fig3_graph();
+        let plan = baseline_plan(&g, u64::MAX).unwrap();
+        let json = plan_to_json(&g, &plan, "fig3");
+        let doc: PlanDoc = serde_json::from_str(&json).unwrap();
+        assert_eq!(doc, plan_doc(&g, &plan, "fig3"));
+        assert_eq!(doc.template, "fig3");
+        assert_eq!(doc.data.len(), g.num_data());
+        assert_eq!(doc.steps.len(), plan.steps.len());
+        assert_eq!(doc.total_transfer_floats, plan.stats(&g).total_floats());
+    }
+
+    #[test]
+    fn step_kinds_render_as_tagged_json() {
+        let g = fig3_graph();
+        let plan = baseline_plan(&g, u64::MAX).unwrap();
+        let json = plan_to_json(&g, &plan, "fig3");
+        assert!(json.contains("\"op\": \"copy_in\""));
+        assert!(json.contains("\"op\": \"copy_out\""));
+        assert!(json.contains("\"op\": \"launch\""));
+        assert!(json.contains("\"op\": \"free\""));
+        assert!(json.contains("\"kind\": \"input\""));
+        assert!(json.contains("\"kind\": \"output\""));
+    }
+
+    #[test]
+    fn load_plan_roundtrips_and_executes() {
+        use gpuflow_core::validate_plan;
+        let g = fig3_graph();
+        let plan = baseline_plan(&g, u64::MAX).unwrap();
+        let doc = plan_doc(&g, &plan, "fig3");
+        let loaded = load_plan(&doc, &g).unwrap();
+        assert_eq!(loaded.steps, plan.steps);
+        assert_eq!(loaded.units.len(), plan.units.len());
+        validate_plan(&g, &loaded, u64::MAX).unwrap();
+        // Round trip through actual JSON text too.
+        let text = serde_json::to_string(&doc).unwrap();
+        let doc2: PlanDoc = serde_json::from_str(&text).unwrap();
+        assert_eq!(load_plan(&doc2, &g).unwrap().steps, plan.steps);
+    }
+
+    #[test]
+    fn load_plan_rejects_mismatched_graph() {
+        let g = fig3_graph();
+        let plan = baseline_plan(&g, u64::MAX).unwrap();
+        let mut doc = plan_doc(&g, &plan, "fig3");
+        doc.data[0].rows += 1;
+        assert!(load_plan(&doc, &g).is_err());
+        let mut doc2 = plan_doc(&g, &plan, "fig3");
+        doc2.units[0][0] = "nonexistent".into();
+        assert!(load_plan(&doc2, &g).is_err());
+        let mut doc3 = plan_doc(&g, &plan, "fig3");
+        doc3.steps.push(StepDoc::Launch { unit: 999 });
+        assert!(load_plan(&doc3, &g).is_err());
+    }
+
+    #[test]
+    fn unit_names_preserved() {
+        let g = fig3_graph();
+        let plan = baseline_plan(&g, u64::MAX).unwrap();
+        let doc = plan_doc(&g, &plan, "x");
+        let all: Vec<String> = doc.units.into_iter().flatten().collect();
+        assert!(all.contains(&"max1".to_string()));
+        assert!(all.contains(&"C1".to_string()));
+    }
+}

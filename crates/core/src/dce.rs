@@ -1,0 +1,198 @@
+//! Dead-code elimination over operator graphs.
+//!
+//! Hand-written or generated templates can contain operators whose results
+//! never reach a template output. The planner would dutifully schedule,
+//! transfer, and execute them; this pass removes them first, which both
+//! shrinks plans and tightens the paper's Table 1 accounting (dead data
+//! inflates "total temporary data" without affecting outputs).
+
+use gpuflow_graph::{DataDesc, DataId, Graph, OpId};
+
+use crate::error::FrameworkError;
+
+/// Result of [`eliminate_dead_ops`].
+#[derive(Debug, Clone)]
+pub struct DceResult {
+    /// The pruned graph.
+    pub graph: Graph,
+    /// Names of removed operators, in original order.
+    pub removed_ops: Vec<String>,
+    /// Names of removed data structures.
+    pub removed_data: Vec<String>,
+}
+
+/// Remove every operator (and every data structure) that cannot influence
+/// a template output. Inputs and constants that become unused are removed
+/// too. Ids are renumbered; names are preserved.
+pub fn eliminate_dead_ops(g: &Graph) -> Result<DceResult, FrameworkError> {
+    g.validate()
+        .map_err(|e| FrameworkError::InvalidGraph(e.to_string()))?;
+
+    // Backward reachability from output data.
+    let mut live_data = vec![false; g.num_data()];
+    let mut live_ops = vec![false; g.num_ops()];
+    let mut stack: Vec<DataId> = g.outputs();
+    for &d in &stack {
+        live_data[d.index()] = true;
+    }
+    while let Some(d) = stack.pop() {
+        if let Some(o) = g.producer(d) {
+            if !live_ops[o.index()] {
+                live_ops[o.index()] = true;
+                for &inp in &g.op(o).inputs {
+                    if !live_data[inp.index()] {
+                        live_data[inp.index()] = true;
+                        stack.push(inp);
+                    }
+                }
+            }
+        }
+    }
+
+    // Rebuild with renumbered ids.
+    let mut ng = Graph::new();
+    let mut map: Vec<Option<DataId>> = vec![None; g.num_data()];
+    let mut removed_data = Vec::new();
+    for d in g.data_ids() {
+        if live_data[d.index()] {
+            let desc: DataDesc = g.data(d).clone();
+            map[d.index()] = Some(ng.add_data(desc));
+        } else {
+            removed_data.push(g.data(d).name.clone());
+        }
+    }
+    let mut removed_ops = Vec::new();
+    for o in g.op_ids() {
+        let node = g.op(o);
+        if live_ops[o.index()] {
+            let inputs: Vec<DataId> = node
+                .inputs
+                .iter()
+                .map(|&d| map[d.index()].expect("live op input is live"))
+                .collect();
+            let output = map[node.outputs[0].index()].expect("live op output is live");
+            ng.add_op(node.name.clone(), node.kind, inputs, output)
+                .map_err(|e| FrameworkError::InvalidGraph(e.to_string()))?;
+        } else {
+            removed_ops.push(node.name.clone());
+        }
+    }
+    Ok(DceResult { graph: ng, removed_ops, removed_data })
+}
+
+/// Which operators of `g` are dead (do not reach any output)?
+pub fn dead_ops(g: &Graph) -> Vec<OpId> {
+    let mut live_data = vec![false; g.num_data()];
+    let mut live_ops = vec![false; g.num_ops()];
+    let mut stack: Vec<DataId> = g.outputs();
+    for &d in &stack {
+        live_data[d.index()] = true;
+    }
+    while let Some(d) = stack.pop() {
+        if let Some(o) = g.producer(d) {
+            if !live_ops[o.index()] {
+                live_ops[o.index()] = true;
+                for &inp in &g.op(o).inputs {
+                    if !live_data[inp.index()] {
+                        live_data[inp.index()] = true;
+                        stack.push(inp);
+                    }
+                }
+            }
+        }
+    }
+    g.op_ids().filter(|o| !live_ops[o.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_graph::{DataKind, OpKind, RemapKind};
+
+    fn graph_with_dead_branch() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add("a", 8, 8, DataKind::Input);
+        let used = g.add("used", 8, 8, DataKind::Temporary);
+        let dead1 = g.add("dead1", 8, 8, DataKind::Temporary);
+        let dead2 = g.add("dead2", 8, 8, DataKind::Temporary);
+        let out = g.add("out", 8, 8, DataKind::Output);
+        let unused_input = g.add("spare", 4, 4, DataKind::Input);
+        g.add_op("keep1", OpKind::Tanh, vec![a], used).unwrap();
+        g.add_op("drop1", OpKind::Remap(RemapKind::FlipH), vec![a], dead1).unwrap();
+        g.add_op("drop2", OpKind::Tanh, vec![dead1], dead2).unwrap();
+        g.add_op("keep2", OpKind::Tanh, vec![used], out).unwrap();
+        let _ = unused_input;
+        g
+    }
+
+    #[test]
+    fn removes_only_the_dead_branch() {
+        let g = graph_with_dead_branch();
+        let res = eliminate_dead_ops(&g).unwrap();
+        assert_eq!(res.removed_ops, vec!["drop1", "drop2"]);
+        assert!(res.removed_data.contains(&"dead1".to_string()));
+        assert!(res.removed_data.contains(&"dead2".to_string()));
+        assert!(res.removed_data.contains(&"spare".to_string()));
+        assert_eq!(res.graph.num_ops(), 2);
+        assert_eq!(res.graph.num_data(), 3);
+        res.graph.validate().unwrap();
+        assert_eq!(res.graph.outputs().len(), 1);
+    }
+
+    #[test]
+    fn pruned_graph_computes_the_same_outputs() {
+        use gpuflow_ops::{reference_eval, Tensor};
+        use std::collections::HashMap;
+        let g = graph_with_dead_branch();
+        let res = eliminate_dead_ops(&g).unwrap();
+
+        let a_t = Tensor::from_fn(8, 8, |r, c| (r * 8 + c) as f32 / 10.0 - 3.0);
+        let mut full_bind = HashMap::new();
+        full_bind.insert(gpuflow_graph::DataId(0), a_t.clone());
+        full_bind.insert(gpuflow_graph::DataId(5), Tensor::zeros(4, 4));
+        let full = reference_eval(&g, &full_bind).unwrap();
+
+        let mut pruned_bind = HashMap::new();
+        pruned_bind.insert(res.graph.inputs()[0], a_t);
+        let pruned = reference_eval(&res.graph, &pruned_bind).unwrap();
+
+        let full_out = full.values().next().unwrap();
+        let pruned_out = pruned.values().next().unwrap();
+        assert_eq!(full_out, pruned_out);
+    }
+
+    #[test]
+    fn fully_live_graph_is_untouched() {
+        let g = crate::examples::fig3_graph();
+        let res = eliminate_dead_ops(&g).unwrap();
+        assert!(res.removed_ops.is_empty());
+        assert!(res.removed_data.is_empty());
+        assert_eq!(res.graph.num_ops(), g.num_ops());
+    }
+
+    #[test]
+    fn dead_ops_listing() {
+        let g = graph_with_dead_branch();
+        let dead = dead_ops(&g);
+        let names: Vec<&str> = dead.iter().map(|&o| g.op(o).name.as_str()).collect();
+        assert_eq!(names, vec!["drop1", "drop2"]);
+    }
+
+    #[test]
+    fn dce_then_compile_transfers_less() {
+        use crate::framework::Framework;
+        use gpuflow_sim::device::tesla_c870;
+        let g = graph_with_dead_branch();
+        let res = eliminate_dead_ops(&g).unwrap();
+        let dev = tesla_c870();
+        let full = Framework::new(dev.clone()).compile(&g).unwrap();
+        let pruned = Framework::new(dev).compile(&res.graph).unwrap();
+        // The dead branch costs no *transfers* here (its intermediates die
+        // on the device), but it does cost launches and simulated time.
+        assert!(pruned.stats().total_floats() <= full.stats().total_floats());
+        assert!(pruned.plan.units.len() < full.plan.units.len());
+        let full_t = full.run_analytic().unwrap().total_time();
+        let pruned_t = pruned.run_analytic().unwrap().total_time();
+        assert!(pruned_t < full_t, "{pruned_t} !< {full_t}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Framework-level errors.
+
+use gpuflow_graph::{DataId, OpId};
+
+/// Anything that can go wrong while compiling or executing a template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameworkError {
+    /// An operator cannot be split (its kind is unsplittable) yet its
+    /// footprint exceeds the device memory. The paper supports unsplittable
+    /// operators "as long as this operator fits in the GPU memory" (§3.2).
+    UnsplittableTooLarge {
+        /// The offending operator.
+        op: OpId,
+        /// Its footprint in bytes.
+        footprint: u64,
+        /// The memory budget in bytes.
+        budget: u64,
+    },
+    /// Splitting cannot reduce the footprint below the budget even at the
+    /// maximum number of parts (e.g. a single row is already too large, or
+    /// broadcast inputs alone exceed memory).
+    CannotSplitEnough {
+        /// The offending operator.
+        op: OpId,
+        /// Smallest achievable piece footprint in bytes.
+        min_footprint: u64,
+        /// The memory budget in bytes.
+        budget: u64,
+    },
+    /// The graph is cyclic or otherwise invalid.
+    InvalidGraph(String),
+    /// The baseline execution pattern is infeasible: some single operator's
+    /// working set exceeds device memory (the paper's "N/A" table entries).
+    BaselineInfeasible {
+        /// The operator that does not fit.
+        op: OpId,
+        /// Its footprint in bytes.
+        footprint: u64,
+        /// Device memory in bytes.
+        memory: u64,
+    },
+    /// A produced plan failed validation.
+    InvalidPlan(String),
+    /// Functional execution was asked for a tensor that is not resident
+    /// where expected — always a planner/executor bug surfaced gracefully.
+    DataUnavailable {
+        /// The data structure in question.
+        data: DataId,
+        /// Where it was expected.
+        context: String,
+    },
+    /// The PB-exact scheduler ran out of budget (the paper's "practically
+    /// infeasible" case for large graphs).
+    PbBudgetExhausted,
+    /// The PB formulation is infeasible for the given memory (no schedule
+    /// of any kind fits).
+    PbInfeasible,
+}
+
+impl std::fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameworkError::UnsplittableTooLarge { op, footprint, budget } => write!(
+                f,
+                "operator {op} is unsplittable but needs {footprint} B (> budget {budget} B)"
+            ),
+            FrameworkError::CannotSplitEnough { op, min_footprint, budget } => write!(
+                f,
+                "operator {op} cannot be split below {min_footprint} B (budget {budget} B)"
+            ),
+            FrameworkError::InvalidGraph(m) => write!(f, "invalid graph: {m}"),
+            FrameworkError::BaselineInfeasible { op, footprint, memory } => write!(
+                f,
+                "baseline infeasible: operator {op} needs {footprint} B of {memory} B memory"
+            ),
+            FrameworkError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            FrameworkError::DataUnavailable { data, context } => {
+                write!(f, "data {data} unavailable: {context}")
+            }
+            FrameworkError::PbBudgetExhausted => {
+                write!(f, "pseudo-Boolean solver budget exhausted")
+            }
+            FrameworkError::PbInfeasible => write!(f, "pseudo-Boolean formulation infeasible"),
+        }
+    }
+}
+
+impl std::error::Error for FrameworkError {}

@@ -1,0 +1,151 @@
+//! Canonical example graphs from the paper, used by tests and by the
+//! benchmark harness that reproduces Figs. 3 and 6.
+
+use gpuflow_graph::{DataKind, Graph, OpKind, RemapKind};
+
+use crate::partition::OffloadUnit;
+
+/// The split edge-detection example of Figs. 3 and 6.
+///
+/// The input image `Im` is 2 units; every other data structure is 1 unit
+/// (one unit = [`FIG3_UNIT_FLOATS`] floats). The convolutions `C1`/`C2` are
+/// *not* split — each reads the whole image and produces one band — while
+/// the remaps and the max are split in two. Operator semantics are modeled
+/// with row slices and flips; only the graph structure and data sizes
+/// matter for scheduling.
+///
+/// Each split max combines its band of all four edge maps (the convolution
+/// results and their remaps), mirroring the experimental template of
+/// §4.1.1.
+///
+/// The paper shows that with a 5-unit GPU memory, the depth-per-branch
+/// schedule (a) `C1 C2 R1' R1'' R2' R2'' max1 max2` needs 15 units of
+/// transfer while schedule (b) `C1 C2 R1' R2' max1 R1'' R2'' max2` needs
+/// only 8, which is also the PB optimum.
+pub fn fig3_graph() -> Graph {
+    let mut g = Graph::new();
+    let cols = FIG3_UNIT_FLOATS;
+    let im = g.add("Im", 2, cols, DataKind::Input);
+    let mk = |g: &mut Graph, n: &str| g.add(n, 1, cols, DataKind::Temporary);
+    let e1a = mk(&mut g, "E1'");
+    let e1b = mk(&mut g, "E1''");
+    let e2a = mk(&mut g, "E2'");
+    let e2b = mk(&mut g, "E2''");
+    let e5a = mk(&mut g, "E5'");
+    let e5b = mk(&mut g, "E5''");
+    let e6a = mk(&mut g, "E6'");
+    let e6b = mk(&mut g, "E6''");
+    let ea = g.add("E'", 1, cols, DataKind::Output);
+    let eb = g.add("E''", 1, cols, DataKind::Output);
+    // "Convolution" piece: the whole image in, one band out.
+    let top = OpKind::GatherRows { arity: 1, row_off: 0, rows: 1 };
+    let bot = OpKind::GatherRows { arity: 1, row_off: 1, rows: 1 };
+    g.add_op("C1", top, vec![im], e1a).unwrap();
+    g.add_op("C1b", bot, vec![im], e1b).unwrap();
+    g.add_op("C2", top, vec![im], e2a).unwrap();
+    g.add_op("C2b", bot, vec![im], e2b).unwrap();
+    let r = OpKind::Remap(RemapKind::FlipH);
+    g.add_op("R1'", r, vec![e1a], e5a).unwrap();
+    g.add_op("R2'", r, vec![e2a], e6a).unwrap();
+    g.add_op("R1''", r, vec![e1b], e5b).unwrap();
+    g.add_op("R2''", r, vec![e2b], e6b).unwrap();
+    g.add_op("max1", OpKind::EwMax { arity: 4 }, vec![e1a, e2a, e5a, e6a], ea)
+        .unwrap();
+    g.add_op("max2", OpKind::EwMax { arity: 4 }, vec![e1b, e2b, e5b, e6b], eb)
+        .unwrap();
+    g
+}
+
+/// The eight offload units of the paper's example: `C1`/`C1b` and
+/// `C2`/`C2b` are fused (the paper's C1 and C2 each produce *both* bands
+/// atomically); remaps and maxes are their own units.
+pub fn fig3_units(g: &Graph) -> Vec<OffloadUnit> {
+    let by_name = |name: &str| {
+        g.op_ids()
+            .find(|&o| g.op(o).name == name)
+            .unwrap_or_else(|| panic!("no op named {name}"))
+    };
+    vec![
+        OffloadUnit { ops: vec![by_name("C1"), by_name("C1b")] },
+        OffloadUnit { ops: vec![by_name("C2"), by_name("C2b")] },
+        OffloadUnit { ops: vec![by_name("R1'")] },
+        OffloadUnit { ops: vec![by_name("R2'")] },
+        OffloadUnit { ops: vec![by_name("R1''")] },
+        OffloadUnit { ops: vec![by_name("R2''")] },
+        OffloadUnit { ops: vec![by_name("max1")] },
+        OffloadUnit { ops: vec![by_name("max2")] },
+    ]
+}
+
+fn order_by_first_op(g: &Graph, units: &[OffloadUnit], names: &[&str]) -> Vec<usize> {
+    names
+        .iter()
+        .map(|n| {
+            units
+                .iter()
+                .position(|u| g.op(u.ops[0]).name == *n)
+                .unwrap_or_else(|| panic!("no unit led by {n}"))
+        })
+        .collect()
+}
+
+/// The paper's Fig. 3(a) unit order: `C1 C2 R1' R1'' R2' R2'' max1 max2`
+/// (15 units of transfer under optimal transfer scheduling).
+pub fn fig3_schedule_a(g: &Graph, units: &[OffloadUnit]) -> Vec<usize> {
+    order_by_first_op(g, units, &["C1", "C2", "R1'", "R1''", "R2'", "R2''", "max1", "max2"])
+}
+
+/// The paper's Fig. 3(b)/Fig. 6 unit order: `C1 C2 R1' R2' max1 R1'' R2''
+/// max2` (8 units of transfer — the optimum).
+pub fn fig3_schedule_b(g: &Graph, units: &[OffloadUnit]) -> Vec<usize> {
+    order_by_first_op(g, units, &["C1", "C2", "R1'", "R2'", "max1", "R1''", "R2''", "max2"])
+}
+
+/// Floats per "unit" in [`fig3_graph`]; the paper's 5-unit GPU memory is
+/// therefore `5 * FIG3_UNIT_FLOATS * 4` bytes.
+pub const FIG3_UNIT_FLOATS: usize = 256;
+
+/// The paper's 5-unit memory capacity for the Fig. 3 / Fig. 6 example, in
+/// bytes.
+pub fn fig3_memory_bytes() -> u64 {
+    5 * FIG3_UNIT_FLOATS as u64 * 4
+}
+
+/// Convert a float count to Fig. 3 "units".
+pub fn floats_to_units(floats: u64) -> f64 {
+    floats as f64 / FIG3_UNIT_FLOATS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_graph_shape() {
+        let g = fig3_graph();
+        g.validate().unwrap();
+        assert_eq!(g.num_ops(), 10);
+        assert_eq!(g.num_data(), 11);
+        assert_eq!(g.inputs().len(), 1);
+        assert_eq!(g.outputs().len(), 2);
+        // Im is 2 units; everything else 1 unit.
+        assert_eq!(g.data(gpuflow_graph::DataId(0)).len(), 2 * FIG3_UNIT_FLOATS as u64);
+        assert_eq!(g.total_data_floats(), 12 * FIG3_UNIT_FLOATS as u64);
+    }
+
+    #[test]
+    fn fig3_units_are_eight() {
+        let g = fig3_graph();
+        let units = fig3_units(&g);
+        assert_eq!(units.len(), 8);
+        assert_eq!(units[0].ops.len(), 2);
+        assert_eq!(fig3_schedule_a(&g, &units).len(), 8);
+        assert_eq!(fig3_schedule_b(&g, &units)[4], 6); // max1 unit fifth
+    }
+
+    #[test]
+    fn memory_is_five_units() {
+        assert_eq!(fig3_memory_bytes(), 5 * 256 * 4);
+        assert_eq!(floats_to_units(512), 2.0);
+    }
+}

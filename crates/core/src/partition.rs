@@ -1,0 +1,253 @@
+//! Offload-unit identification (§3.1).
+//!
+//! An **offload unit** is a sub-graph that is atomically offloaded onto the
+//! GPU: all its external inputs must be resident before it starts, and its
+//! outputs become available when it finishes. Coarser units reduce host↔GPU
+//! synchronization, but their memory footprint grows and must still fit.
+//!
+//! The paper's implementation takes each operator as its own unit
+//! ([`PartitionPolicy::PerOperator`]); [`PartitionPolicy::GreedyFuse`]
+//! implements the coarsening the paper describes as the design trade-off,
+//! for the ablation study: it greedily merges single-consumer producer →
+//! consumer chains while the merged working set fits the budget.
+
+use std::collections::HashMap;
+
+use gpuflow_graph::{DataId, Graph, OpId};
+
+/// How to group operators into offload units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionPolicy {
+    /// One operator per unit (the paper's choice).
+    PerOperator,
+    /// Greedily fuse linear producer→consumer chains subject to the memory
+    /// budget.
+    GreedyFuse,
+}
+
+/// A group of operators offloaded atomically, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffloadUnit {
+    /// The operators of the unit, in a valid intra-unit order.
+    pub ops: Vec<OpId>,
+}
+
+impl OffloadUnit {
+    /// External inputs: data read by the unit but not produced inside it.
+    pub fn external_inputs(&self, g: &Graph) -> Vec<DataId> {
+        let produced: std::collections::HashSet<DataId> = self
+            .ops
+            .iter()
+            .flat_map(|&o| g.op(o).outputs.iter().copied())
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for &o in &self.ops {
+            for &d in &g.op(o).inputs {
+                if !produced.contains(&d) && seen.insert(d) {
+                    out.push(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// All data produced by the unit.
+    pub fn outputs(&self, g: &Graph) -> Vec<DataId> {
+        self.ops
+            .iter()
+            .flat_map(|&o| g.op(o).outputs.iter().copied())
+            .collect()
+    }
+
+    /// Working set in bytes: every data structure touched by the unit.
+    pub fn footprint_bytes(&self, g: &Graph) -> u64 {
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0u64;
+        for &o in &self.ops {
+            let op = g.op(o);
+            for &d in op.inputs.iter().chain(op.outputs.iter()) {
+                if seen.insert(d) {
+                    total += g.data(d).bytes();
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Partition the graph's operators into offload units.
+///
+/// Units are returned in a valid topological order (unit *i* never depends
+/// on unit *j > i*).
+pub fn partition_offload_units(
+    g: &Graph,
+    policy: PartitionPolicy,
+    budget_bytes: u64,
+) -> Vec<OffloadUnit> {
+    let order = gpuflow_graph::topo_sort(g).expect("graph must be acyclic");
+    match policy {
+        PartitionPolicy::PerOperator => order
+            .into_iter()
+            .map(|o| OffloadUnit { ops: vec![o] })
+            .collect(),
+        PartitionPolicy::GreedyFuse => greedy_fuse(g, &order, budget_bytes),
+    }
+}
+
+/// Fuse `p → c` chains where `c` is the sole consumer of `p`'s output, the
+/// output is a temporary, and the merged working set fits.
+fn greedy_fuse(g: &Graph, order: &[OpId], budget_bytes: u64) -> Vec<OffloadUnit> {
+    // Union-find over ops.
+    let n = g.num_ops();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+
+    // Tentatively fuse op with its unique consumer when legal.
+    for &o in order {
+        let out = g.op(o).outputs[0];
+        let consumers = g.consumers(out);
+        if consumers.len() != 1 {
+            continue;
+        }
+        if g.data(out).kind != gpuflow_graph::DataKind::Temporary {
+            continue; // outputs the host needs must cross unit boundaries
+        }
+        let c = consumers[0];
+        let (ra, rb) = (find(&mut parent, o.index()), find(&mut parent, c.index()));
+        if ra == rb {
+            continue;
+        }
+        // Footprint check on the union.
+        let merged: Vec<OpId> = order
+            .iter()
+            .copied()
+            .filter(|&x| {
+                let r = find(&mut parent, x.index());
+                r == ra || r == rb
+            })
+            .collect();
+        let fp = OffloadUnit { ops: merged }.footprint_bytes(g);
+        if fp <= budget_bytes {
+            let target = ra.min(rb);
+            parent[ra] = target;
+            parent[rb] = target;
+        }
+    }
+
+    // Collect groups, preserving topological position of first member.
+    let mut groups: HashMap<usize, Vec<OpId>> = HashMap::new();
+    let mut first_pos: HashMap<usize, usize> = HashMap::new();
+    for (pos, &o) in order.iter().enumerate() {
+        let r = find(&mut parent, o.index());
+        groups.entry(r).or_default().push(o);
+        first_pos.entry(r).or_insert(pos);
+    }
+    let mut keyed: Vec<(usize, Vec<OpId>)> = groups
+        .into_iter()
+        .map(|(r, ops)| (first_pos[&r], ops))
+        .collect();
+    keyed.sort_by_key(|&(pos, _)| pos);
+    keyed
+        .into_iter()
+        .map(|(_, ops)| OffloadUnit { ops })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_graph::{DataKind, OpKind};
+
+    fn chain(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let mut prev = g.add("in", 8, 8, DataKind::Input);
+        for i in 0..n {
+            let kind = if i + 1 == n { DataKind::Output } else { DataKind::Temporary };
+            let next = g.add(format!("d{i}"), 8, 8, kind);
+            g.add_op(format!("t{i}"), OpKind::Tanh, vec![prev], next).unwrap();
+            prev = next;
+        }
+        g
+    }
+
+    #[test]
+    fn per_operator_is_singletons() {
+        let g = chain(4);
+        let units = partition_offload_units(&g, PartitionPolicy::PerOperator, u64::MAX);
+        assert_eq!(units.len(), 4);
+        assert!(units.iter().all(|u| u.ops.len() == 1));
+    }
+
+    #[test]
+    fn greedy_fuse_merges_chains_under_budget() {
+        let g = chain(4);
+        let units = partition_offload_units(&g, PartitionPolicy::GreedyFuse, u64::MAX);
+        assert_eq!(units.len(), 1, "a pure chain fuses fully: {units:?}");
+        assert_eq!(units[0].ops.len(), 4);
+    }
+
+    #[test]
+    fn greedy_fuse_respects_budget() {
+        let g = chain(4);
+        // Budget fits exactly one op's working set (2 × 64 floats), so no
+        // fusion is possible (fused units need ≥ 3 structures).
+        let units = partition_offload_units(&g, PartitionPolicy::GreedyFuse, 2 * 64 * 4);
+        assert_eq!(units.len(), 4);
+    }
+
+    #[test]
+    fn unit_boundary_analysis() {
+        let g = chain(3);
+        let unit = OffloadUnit { ops: vec![gpuflow_graph::OpId(0), gpuflow_graph::OpId(1)] };
+        let ext = unit.external_inputs(&g);
+        assert_eq!(ext.len(), 1);
+        assert_eq!(g.data(ext[0]).name, "in");
+        let outs = unit.outputs(&g);
+        assert_eq!(outs.len(), 2);
+        // Working set: in, d0, d1.
+        assert_eq!(unit.footprint_bytes(&g), 3 * 64 * 4);
+    }
+
+    #[test]
+    fn fuse_stops_at_fan_out() {
+        // a -> t0 -> x; x feeds two consumers; the diamond join cannot be
+        // fused through the multi-consumer edge.
+        let mut g = Graph::new();
+        let a = g.add("a", 8, 8, DataKind::Input);
+        let x = g.add("x", 8, 8, DataKind::Temporary);
+        let l = g.add("l", 8, 8, DataKind::Temporary);
+        let r = g.add("r", 8, 8, DataKind::Temporary);
+        let out = g.add("o", 8, 8, DataKind::Output);
+        g.add_op("t0", OpKind::Tanh, vec![a], x).unwrap();
+        g.add_op("tl", OpKind::Tanh, vec![x], l).unwrap();
+        g.add_op("tr", OpKind::Tanh, vec![x], r).unwrap();
+        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![l, r], out).unwrap();
+        let units = partition_offload_units(&g, PartitionPolicy::GreedyFuse, u64::MAX);
+        // t0 cannot fuse forward (x has 2 consumers); tl and tr each have a
+        // single consumer j, so both fuse into j's unit.
+        assert_eq!(units.len(), 2);
+        let sizes: Vec<usize> = units.iter().map(|u| u.ops.len()).collect();
+        assert!(sizes.contains(&1) && sizes.contains(&3), "{sizes:?}");
+    }
+
+    #[test]
+    fn output_producing_ops_not_fused_forward() {
+        // Producer writes an Output-kind structure consumed downstream; the
+        // host needs it, so the edge must not fuse.
+        let mut g = Graph::new();
+        let a = g.add("a", 8, 8, DataKind::Input);
+        let x = g.add("x", 8, 8, DataKind::Output);
+        let y = g.add("y", 8, 8, DataKind::Output);
+        g.add_op("t0", OpKind::Tanh, vec![a], x).unwrap();
+        g.add_op("t1", OpKind::Tanh, vec![x], y).unwrap();
+        let units = partition_offload_units(&g, PartitionPolicy::GreedyFuse, u64::MAX);
+        assert_eq!(units.len(), 2);
+    }
+}

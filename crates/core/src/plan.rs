@@ -1,0 +1,390 @@
+//! Execution plans: the framework's output artifact.
+//!
+//! A plan is the "optimal execution plan for template" of the paper's
+//! Fig. 4 — the exact sequence of host→device copies, kernel launches
+//! (offload units), device→host copies, and device frees. Plans are
+//! statically validated against precedence, residency and memory-capacity
+//! invariants before anything executes.
+
+use serde::{Deserialize, Serialize};
+
+use gpuflow_graph::{DataId, DataKind, Graph, FLOAT_BYTES};
+
+use crate::error::FrameworkError;
+use crate::partition::OffloadUnit;
+
+/// One step of an execution plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Step {
+    /// Copy a data structure from host to device memory.
+    CopyIn(DataId),
+    /// Launch offload unit `usize` (index into the plan's unit list).
+    /// Device buffers for the unit's outputs are allocated as part of the
+    /// launch.
+    Launch(usize),
+    /// Copy a data structure from device to host memory.
+    CopyOut(DataId),
+    /// Release a data structure's device buffer.
+    Free(DataId),
+}
+
+/// A complete execution plan over a (possibly split) operator graph.
+#[derive(Debug, Clone)]
+pub struct ExecutionPlan {
+    /// The offload units, indexed by [`Step::Launch`].
+    pub units: Vec<OffloadUnit>,
+    /// The step sequence.
+    pub steps: Vec<Step>,
+}
+
+/// Static transfer/occupancy statistics of a plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Floats copied host→device.
+    pub floats_in: u64,
+    /// Floats copied device→host.
+    pub floats_out: u64,
+    /// Number of host→device copies.
+    pub copies_in: u64,
+    /// Number of device→host copies.
+    pub copies_out: u64,
+    /// Number of kernel/unit launches.
+    pub launches: u64,
+    /// Peak bytes resident on the device.
+    pub peak_bytes: u64,
+}
+
+impl PlanStats {
+    /// Total floats moved in either direction — the paper's Table 1 metric.
+    pub fn total_floats(&self) -> u64 {
+        self.floats_in + self.floats_out
+    }
+}
+
+impl ExecutionPlan {
+    /// Compute transfer statistics without executing.
+    pub fn stats(&self, g: &Graph) -> PlanStats {
+        let mut s = PlanStats::default();
+        let mut resident: std::collections::HashMap<DataId, u64> =
+            std::collections::HashMap::new();
+        let mut cur = 0u64;
+        for step in &self.steps {
+            match *step {
+                Step::CopyIn(d) => {
+                    s.floats_in += g.data(d).len();
+                    s.copies_in += 1;
+                    let b = g.data(d).bytes();
+                    resident.insert(d, b);
+                    cur += b;
+                    s.peak_bytes = s.peak_bytes.max(cur);
+                }
+                Step::CopyOut(d) => {
+                    s.floats_out += g.data(d).len();
+                    s.copies_out += 1;
+                }
+                Step::Launch(u) => {
+                    s.launches += 1;
+                    for d in self.units[u].outputs(g) {
+                        let b = g.data(d).bytes();
+                        if resident.insert(d, b).is_none() {
+                            cur += b;
+                        }
+                    }
+                    s.peak_bytes = s.peak_bytes.max(cur);
+                }
+                Step::Free(d) => {
+                    if let Some(b) = resident.remove(&d) {
+                        cur -= b;
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Render the plan as one step per line (the textual Fig. 6(b)).
+    pub fn render(&self, g: &Graph) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for step in &self.steps {
+            match *step {
+                Step::CopyIn(d) => {
+                    let _ = writeln!(s, "H->D  {}", g.data(d).name);
+                }
+                Step::CopyOut(d) => {
+                    let _ = writeln!(s, "D->H  {}", g.data(d).name);
+                }
+                Step::Free(d) => {
+                    let _ = writeln!(s, "FREE  {}", g.data(d).name);
+                }
+                Step::Launch(u) => {
+                    let names: Vec<&str> = self.units[u]
+                        .ops
+                        .iter()
+                        .map(|&o| g.op(o).name.as_str())
+                        .collect();
+                    let _ = writeln!(s, "EXEC  {}", names.join(" ; "));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Validate a plan against `g` and a device memory of `memory_bytes`:
+///
+/// * copies reference existing data; launches reference existing units;
+/// * `CopyIn` only moves data that is currently valid on the host;
+/// * every unit's external inputs are device-resident at launch;
+/// * device occupancy never exceeds `memory_bytes`;
+/// * every unit launches exactly once, in dependency order;
+/// * every graph output is valid on the host when the plan ends.
+pub fn validate_plan(
+    g: &Graph,
+    plan: &ExecutionPlan,
+    memory_bytes: u64,
+) -> Result<(), FrameworkError> {
+    let err = |m: String| Err(FrameworkError::InvalidPlan(m));
+    let nd = g.num_data();
+    let mut on_gpu = vec![false; nd];
+    let mut on_cpu: Vec<bool> = g
+        .data_ids()
+        .map(|d| g.data(d).kind.starts_on_cpu())
+        .collect();
+    let mut produced = vec![false; nd];
+    let mut launched = vec![false; plan.units.len()];
+    let mut used = 0u64;
+
+    for (i, step) in plan.steps.iter().enumerate() {
+        match *step {
+            Step::CopyIn(d) => {
+                if d.index() >= nd {
+                    return err(format!("step {i}: unknown data {d}"));
+                }
+                if !on_cpu[d.index()] {
+                    return err(format!(
+                        "step {i}: CopyIn of {} which is not valid on the host",
+                        g.data(d).name
+                    ));
+                }
+                if on_gpu[d.index()] {
+                    return err(format!("step {i}: {} already on device", g.data(d).name));
+                }
+                on_gpu[d.index()] = true;
+                used += g.data(d).bytes();
+            }
+            Step::CopyOut(d) => {
+                if !on_gpu[d.index()] {
+                    return err(format!(
+                        "step {i}: CopyOut of non-resident {}",
+                        g.data(d).name
+                    ));
+                }
+                on_cpu[d.index()] = true;
+            }
+            Step::Free(d) => {
+                if !on_gpu[d.index()] {
+                    return err(format!("step {i}: Free of non-resident {}", g.data(d).name));
+                }
+                on_gpu[d.index()] = false;
+                used -= g.data(d).bytes();
+            }
+            Step::Launch(u) => {
+                if u >= plan.units.len() {
+                    return err(format!("step {i}: unknown unit {u}"));
+                }
+                if launched[u] {
+                    return err(format!("step {i}: unit {u} launched twice"));
+                }
+                launched[u] = true;
+                let unit = &plan.units[u];
+                for d in unit.external_inputs(g) {
+                    if !on_gpu[d.index()] {
+                        return err(format!(
+                            "step {i}: unit {u} input {} not resident",
+                            g.data(d).name
+                        ));
+                    }
+                    if g.producer(d).is_some() && !produced[d.index()] {
+                        return err(format!(
+                            "step {i}: unit {u} input {} not yet produced",
+                            g.data(d).name
+                        ));
+                    }
+                }
+                for d in unit.outputs(g) {
+                    if on_gpu[d.index()] {
+                        return err(format!(
+                            "step {i}: output {} already resident",
+                            g.data(d).name
+                        ));
+                    }
+                    on_gpu[d.index()] = true;
+                    produced[d.index()] = true;
+                    used += g.data(d).bytes();
+                }
+            }
+        }
+        if used > memory_bytes {
+            return err(format!(
+                "step {i}: device occupancy {used} B exceeds {memory_bytes} B"
+            ));
+        }
+    }
+
+    for (u, &l) in launched.iter().enumerate() {
+        if !l {
+            return err(format!("unit {u} never launched"));
+        }
+    }
+    for d in g.data_ids() {
+        if g.data(d).kind == DataKind::Output && !on_cpu[d.index()] {
+            return err(format!(
+                "output {} not on the host at plan end",
+                g.data(d).name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Bytes of a data structure — tiny helper shared by planners.
+pub fn data_bytes(g: &Graph, d: DataId) -> u64 {
+    g.data(d).len() * FLOAT_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_graph::OpKind;
+
+    /// in -> t0 -> mid -> t1 -> out
+    fn chain2() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add("in", 8, 8, DataKind::Input);
+        let m = g.add("mid", 8, 8, DataKind::Temporary);
+        let o = g.add("out", 8, 8, DataKind::Output);
+        g.add_op("t0", OpKind::Tanh, vec![a], m).unwrap();
+        g.add_op("t1", OpKind::Tanh, vec![m], o).unwrap();
+        g
+    }
+
+    fn units2(g: &Graph) -> Vec<OffloadUnit> {
+        g.op_ids().map(|o| OffloadUnit { ops: vec![o] }).collect()
+    }
+
+    fn good_plan(g: &Graph) -> ExecutionPlan {
+        let d = |i: u32| DataId(i);
+        ExecutionPlan {
+            units: units2(g),
+            steps: vec![
+                Step::CopyIn(d(0)),
+                Step::Launch(0),
+                Step::Free(d(0)),
+                Step::Launch(1),
+                Step::Free(d(1)),
+                Step::CopyOut(d(2)),
+                Step::Free(d(2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_plan_passes_and_stats_add_up() {
+        let g = chain2();
+        let p = good_plan(&g);
+        validate_plan(&g, &p, 3 * 64 * 4).unwrap();
+        let s = p.stats(&g);
+        assert_eq!(s.floats_in, 64);
+        assert_eq!(s.floats_out, 64);
+        assert_eq!(s.total_floats(), 128);
+        assert_eq!(s.launches, 2);
+        assert_eq!(s.copies_in, 1);
+        assert_eq!(s.copies_out, 1);
+        assert_eq!(s.peak_bytes, 2 * 64 * 4);
+    }
+
+    #[test]
+    fn memory_overflow_detected() {
+        let g = chain2();
+        let p = good_plan(&g);
+        let err = validate_plan(&g, &p, 64 * 4).unwrap_err();
+        assert!(err.to_string().contains("occupancy"));
+    }
+
+    #[test]
+    fn missing_input_detected() {
+        let g = chain2();
+        let mut p = good_plan(&g);
+        p.steps.remove(0); // never copy `in`
+        let err = validate_plan(&g, &p, u64::MAX).unwrap_err();
+        assert!(err.to_string().contains("not resident"), "{err}");
+    }
+
+    #[test]
+    fn copyin_requires_host_validity() {
+        let g = chain2();
+        let p = ExecutionPlan {
+            units: units2(&g),
+            steps: vec![Step::CopyIn(DataId(1))], // `mid` never produced
+        };
+        let err = validate_plan(&g, &p, u64::MAX).unwrap_err();
+        assert!(err.to_string().contains("not valid on the host"), "{err}");
+    }
+
+    #[test]
+    fn output_must_reach_host() {
+        let g = chain2();
+        let mut p = good_plan(&g);
+        p.steps.retain(|s| !matches!(s, Step::CopyOut(_)));
+        let err = validate_plan(&g, &p, u64::MAX).unwrap_err();
+        assert!(err.to_string().contains("not on the host"), "{err}");
+    }
+
+    #[test]
+    fn double_launch_and_missing_launch_detected() {
+        let g = chain2();
+        let mut p = good_plan(&g);
+        p.steps.push(Step::Launch(0));
+        assert!(validate_plan(&g, &p, u64::MAX).is_err());
+        let p2 = ExecutionPlan {
+            units: units2(&g),
+            steps: vec![Step::CopyIn(DataId(0)), Step::Launch(0), Step::CopyOut(DataId(1))],
+        };
+        let err = validate_plan(&g, &p2, u64::MAX).unwrap_err();
+        assert!(err.to_string().contains("never launched"), "{err}");
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let g = chain2();
+        let p = ExecutionPlan {
+            units: units2(&g),
+            steps: vec![Step::CopyIn(DataId(0)), Step::Launch(1)],
+        };
+        let err = validate_plan(&g, &p, u64::MAX).unwrap_err();
+        assert!(err.to_string().contains("not resident"), "{err}");
+    }
+
+    #[test]
+    fn render_lists_steps() {
+        let g = chain2();
+        let p = good_plan(&g);
+        let r = p.render(&g);
+        assert!(r.contains("H->D  in"));
+        assert!(r.contains("EXEC  t0"));
+        assert!(r.contains("D->H  out"));
+        assert!(r.contains("FREE  mid"));
+        assert_eq!(r.lines().count(), p.steps.len());
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let g = chain2();
+        let p = ExecutionPlan {
+            units: units2(&g),
+            steps: vec![Step::CopyIn(DataId(0)), Step::Free(DataId(0)), Step::Free(DataId(0))],
+        };
+        assert!(validate_plan(&g, &p, u64::MAX).is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! Data-transfer scheduling (§3.3.1).
+//!
+//! Given an operator (offload-unit) schedule, decide when each data
+//! structure is copied to the device, copied back to the host, and freed —
+//! minimizing transfer volume under the device memory constraint. The
+//! paper's heuristic:
+//!
+//! 1. compute each data structure's uses statically from the schedule;
+//! 2. when space is needed, evict the resident structure whose next use is
+//!    furthest in the future (Belady's insight from optimal cache
+//!    replacement; the paper words it as "furthest latest time of use");
+//! 3. delete data eagerly the moment it becomes dead.
+//!
+//! Evicting a structure that is still needed later (or is a template
+//! output not yet on the host) costs a device→host copy; evicting one that
+//! is still valid on the host (inputs, constants, or previously copied-out
+//! data — data is single-assignment, so host copies never go stale) is
+//! free. LRU and FIFO eviction are provided for the ablation study.
+
+use std::collections::HashMap;
+
+use gpuflow_graph::{DataId, DataKind, Graph};
+
+use crate::error::FrameworkError;
+use crate::partition::OffloadUnit;
+use crate::plan::{ExecutionPlan, Step};
+
+/// Eviction policy used when device memory runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the structure whose next read is furthest in the future
+    /// (the paper's heuristic; optimal for uniform sizes).
+    #[default]
+    Belady,
+    /// Evict the structure whose *last* read in the whole schedule is
+    /// furthest — the paper's literal "latest time of use" phrasing.
+    LatestUse,
+    /// Least-recently-used.
+    Lru,
+    /// First-in-first-out by time of arrival on the device.
+    Fifo,
+}
+
+/// Options for [`schedule_transfers`].
+#[derive(Debug, Clone, Copy)]
+pub struct XferOptions {
+    /// Device memory budget in bytes.
+    pub memory_bytes: u64,
+    /// Eviction policy.
+    pub policy: EvictionPolicy,
+    /// Delete dead data immediately (§3.3.1 step 3). Disabling this is an
+    /// ablation; dead data then lingers until evicted for space.
+    pub eager_free: bool,
+}
+
+struct Resident {
+    bytes: u64,
+    arrived: u64,
+    last_touch: u64,
+}
+
+/// Produce an execution plan for `units` executed in `order`.
+pub fn schedule_transfers(
+    g: &Graph,
+    units: &[OffloadUnit],
+    order: &[usize],
+    opts: XferOptions,
+) -> Result<ExecutionPlan, FrameworkError> {
+    assert_eq!(order.len(), units.len(), "order must cover every unit");
+    // Static use analysis: positions (in `order`) at which each data
+    // structure is an external input of the unit.
+    let mut reads: Vec<Vec<usize>> = vec![Vec::new(); g.num_data()];
+    for (t, &u) in order.iter().enumerate() {
+        for d in units[u].external_inputs(g) {
+            reads[d.index()].push(t);
+        }
+    }
+
+    let next_read = |d: DataId, t: usize| -> Option<usize> {
+        let r = &reads[d.index()];
+        match r.binary_search(&t) {
+            Ok(i) => Some(r[i]),
+            Err(i) => r.get(i).copied(),
+        }
+    };
+    let last_read = |d: DataId| -> Option<usize> { reads[d.index()].last().copied() };
+
+    let mut steps: Vec<Step> = Vec::new();
+    let mut resident: HashMap<DataId, Resident> = HashMap::new();
+    let mut on_cpu: Vec<bool> = g
+        .data_ids()
+        .map(|d| g.data(d).kind.starts_on_cpu())
+        .collect();
+    let mut used = 0u64;
+    let mut tick = 0u64;
+
+    // Evict or free `victim`, copying it out first if its only valid copy
+    // would otherwise be lost.
+    fn drop_data(
+        g: &Graph,
+        steps: &mut Vec<Step>,
+        on_cpu: &mut [bool],
+        resident: &mut HashMap<DataId, Resident>,
+        used: &mut u64,
+        victim: DataId,
+        still_needed: bool,
+    ) {
+        let needed_on_host = still_needed || g.data(victim).kind == DataKind::Output;
+        if needed_on_host && !on_cpu[victim.index()] {
+            steps.push(Step::CopyOut(victim));
+            on_cpu[victim.index()] = true;
+        }
+        steps.push(Step::Free(victim));
+        let r = resident.remove(&victim).expect("victim resident");
+        *used -= r.bytes;
+    }
+
+    for (t, &u) in order.iter().enumerate() {
+        let unit = &units[u];
+        let ext_inputs = unit.external_inputs(g);
+        let outputs = unit.outputs(g);
+        // Data that must not be evicted while staging this unit.
+        let protected: std::collections::HashSet<DataId> =
+            ext_inputs.iter().chain(outputs.iter()).copied().collect();
+
+        // Stage inputs, then reserve output space.
+        let mut wanted: Vec<(DataId, bool)> = ext_inputs.iter().map(|&d| (d, true)).collect();
+        wanted.extend(outputs.iter().map(|&d| (d, false)));
+
+        for (d, is_input) in wanted {
+            if resident.contains_key(&d) {
+                resident.get_mut(&d).expect("resident").last_touch = tick;
+                continue;
+            }
+            let need = g.data(d).bytes();
+            // Make space.
+            while opts.memory_bytes - used < need {
+                let victim = resident
+                    .keys()
+                    .copied()
+                    .filter(|v| !protected.contains(v))
+                    .min_by_key(|&v| {
+                        let key = match opts.policy {
+                            EvictionPolicy::Belady => {
+                                // Furthest next read first; never-read = ∞.
+                                let nr = next_read(v, t + 1).unwrap_or(usize::MAX);
+                                u64::MAX - nr as u64
+                            }
+                            EvictionPolicy::LatestUse => {
+                                let lr = last_read(v).unwrap_or(usize::MAX);
+                                u64::MAX - lr as u64
+                            }
+                            EvictionPolicy::Lru => resident[&v].last_touch,
+                            EvictionPolicy::Fifo => resident[&v].arrived,
+                        };
+                        (key, v.0)
+                    });
+                match victim {
+                    Some(v) => {
+                        let needed = next_read(v, t + 1).is_some();
+                        drop_data(g, &mut steps, &mut on_cpu, &mut resident, &mut used, v, needed);
+                    }
+                    None => {
+                        return Err(FrameworkError::InvalidPlan(format!(
+                            "cannot stage {} for unit {u}: {} B needed, {} B free, nothing evictable",
+                            g.data(d).name,
+                            need,
+                            opts.memory_bytes - used
+                        )));
+                    }
+                }
+            }
+            if is_input {
+                if !on_cpu[d.index()] {
+                    return Err(FrameworkError::DataUnavailable {
+                        data: d,
+                        context: format!("needed on device for unit {u} but lost"),
+                    });
+                }
+                steps.push(Step::CopyIn(d));
+            }
+            resident.insert(d, Resident { bytes: need, arrived: tick, last_touch: tick });
+            used += need;
+            tick += 1;
+        }
+
+        steps.push(Step::Launch(u));
+        tick += 1;
+
+        if opts.eager_free {
+            // Delete everything whose last external read is behind us.
+            let dead: Vec<DataId> = resident
+                .keys()
+                .copied()
+                .filter(|&d| next_read(d, t + 1).is_none())
+                .collect();
+            for d in dead {
+                drop_data(g, &mut steps, &mut on_cpu, &mut resident, &mut used, d, false);
+            }
+        }
+    }
+
+    // Drain: anything still resident that the host needs.
+    let leftovers: Vec<DataId> = resident.keys().copied().collect();
+    for d in leftovers {
+        drop_data(g, &mut steps, &mut on_cpu, &mut resident, &mut used, d, false);
+    }
+
+    Ok(ExecutionPlan { units: units.to_vec(), steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{
+        fig3_graph, fig3_memory_bytes, fig3_schedule_a, fig3_schedule_b, fig3_units,
+        floats_to_units, FIG3_UNIT_FLOATS,
+    };
+    use crate::opschedule::{schedule_units, OpScheduler};
+    use crate::partition::{partition_offload_units, PartitionPolicy};
+    use crate::plan::validate_plan;
+    use gpuflow_graph::OpId;
+
+    fn singleton_units(g: &Graph) -> Vec<OffloadUnit> {
+        g.op_ids().map(|o| OffloadUnit { ops: vec![o] }).collect()
+    }
+
+    fn opts() -> XferOptions {
+        XferOptions {
+            memory_bytes: fig3_memory_bytes(),
+            policy: EvictionPolicy::Belady,
+            eager_free: true,
+        }
+    }
+
+    /// Paper Fig. 3(a): the depth-per-branch order costs 15 units.
+    #[test]
+    fn fig3_schedule_a_costs_15_units() {
+        let g = fig3_graph();
+        let units = fig3_units(&g);
+        let order = fig3_schedule_a(&g, &units);
+        let plan = schedule_transfers(&g, &units, &order, opts()).unwrap();
+        validate_plan(&g, &plan, fig3_memory_bytes()).unwrap();
+        let stats = plan.stats(&g);
+        assert_eq!(floats_to_units(stats.total_floats()), 15.0, "\n{}", plan.render(&g));
+    }
+
+    /// Paper Fig. 3(b)/Fig. 6: the interleaved order costs 8 units.
+    #[test]
+    fn fig3_schedule_b_costs_8_units() {
+        let g = fig3_graph();
+        let units = fig3_units(&g);
+        let order = fig3_schedule_b(&g, &units);
+        let plan = schedule_transfers(&g, &units, &order, opts()).unwrap();
+        validate_plan(&g, &plan, fig3_memory_bytes()).unwrap();
+        let stats = plan.stats(&g);
+        assert_eq!(floats_to_units(stats.total_floats()), 8.0, "\n{}", plan.render(&g));
+    }
+
+    /// The DFS heuristic should find a schedule no worse than (a).
+    #[test]
+    fn dfs_schedule_beats_naive() {
+        let g = fig3_graph();
+        let units = partition_offload_units(&g, PartitionPolicy::PerOperator, u64::MAX);
+        let order = schedule_units(&g, &units, OpScheduler::DepthFirst);
+        let plan = schedule_transfers(&g, &units, &order, opts()).unwrap();
+        validate_plan(&g, &plan, fig3_memory_bytes()).unwrap();
+        let cost = floats_to_units(plan.stats(&g).total_floats());
+        assert!(cost <= 15.0, "DFS cost {cost}");
+        // At single-operator granularity (C1 split in two) the true
+        // optimum is 6 units, so the heuristic cannot go below that.
+        assert!(cost >= 6.0, "cannot beat the optimum: {cost}");
+    }
+
+    #[test]
+    fn ample_memory_transfers_io_only() {
+        let g = fig3_graph();
+        let units = singleton_units(&g);
+        let order: Vec<usize> = (0..units.len()).collect();
+        let plan = schedule_transfers(
+            &g,
+            &units,
+            &order,
+            XferOptions { memory_bytes: u64::MAX, ..opts() },
+        )
+        .unwrap();
+        validate_plan(&g, &plan, u64::MAX).unwrap();
+        let stats = plan.stats(&g);
+        // Only Im in (2 units) and E', E'' out (1 unit each).
+        assert_eq!(stats.floats_in, 2 * FIG3_UNIT_FLOATS as u64);
+        assert_eq!(stats.floats_out, 2 * FIG3_UNIT_FLOATS as u64);
+    }
+
+    #[test]
+    fn eviction_policies_all_produce_valid_plans() {
+        let g = fig3_graph();
+        let units = singleton_units(&g);
+        let order: Vec<usize> = (0..units.len()).collect();
+        let mut costs = Vec::new();
+        for policy in [
+            EvictionPolicy::Belady,
+            EvictionPolicy::LatestUse,
+            EvictionPolicy::Lru,
+            EvictionPolicy::Fifo,
+        ] {
+            let plan = schedule_transfers(
+                &g,
+                &units,
+                &order,
+                XferOptions { policy, ..opts() },
+            )
+            .unwrap();
+            validate_plan(&g, &plan, fig3_memory_bytes()).unwrap();
+            costs.push((policy, floats_to_units(plan.stats(&g).total_floats())));
+        }
+        // Belady is never worse than FIFO here.
+        let get = |p: EvictionPolicy| costs.iter().find(|(q, _)| *q == p).unwrap().1;
+        assert!(get(EvictionPolicy::Belady) <= get(EvictionPolicy::Fifo), "{costs:?}");
+    }
+
+    #[test]
+    fn eager_free_reduces_peak_memory() {
+        let g = fig3_graph();
+        let units = singleton_units(&g);
+        let order: Vec<usize> = (0..units.len()).collect();
+        let eager = schedule_transfers(&g, &units, &order, opts()).unwrap();
+        let lazy = schedule_transfers(
+            &g,
+            &units,
+            &order,
+            XferOptions { eager_free: false, ..opts() },
+        )
+        .unwrap();
+        validate_plan(&g, &lazy, fig3_memory_bytes()).unwrap();
+        assert!(eager.stats(&g).peak_bytes <= lazy.stats(&g).peak_bytes);
+    }
+
+    #[test]
+    fn infeasible_memory_is_an_error() {
+        let g = fig3_graph();
+        let units = singleton_units(&g);
+        let order: Vec<usize> = (0..units.len()).collect();
+        // Less than one unit's working set (C1 needs Im=2 + out=1 units).
+        let err = schedule_transfers(
+            &g,
+            &units,
+            &order,
+            XferOptions { memory_bytes: 2 * FIG3_UNIT_FLOATS as u64 * 4, ..opts() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, FrameworkError::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn plans_respect_tight_but_sufficient_memory() {
+        // The minimum feasible memory is the max working set (5 units for
+        // the 4-ary maxes); traffic there far exceeds the I/O lower bound.
+        let g = fig3_graph();
+        let units = singleton_units(&g);
+        let order: Vec<usize> = (0..units.len()).collect();
+        let mem = fig3_memory_bytes();
+        let plan = schedule_transfers(
+            &g,
+            &units,
+            &order,
+            XferOptions { memory_bytes: mem, ..opts() },
+        )
+        .unwrap();
+        validate_plan(&g, &plan, mem).unwrap();
+        // More traffic than the 4-unit I/O lower bound.
+        assert!(floats_to_units(plan.stats(&g).total_floats()) > 4.0);
+    }
+
+    /// Evicting host-backed data must not emit a CopyOut.
+    #[test]
+    fn host_backed_eviction_is_free() {
+        let g = fig3_graph();
+        let units = singleton_units(&g);
+        let order: Vec<usize> = (0..units.len()).collect();
+        let plan = schedule_transfers(&g, &units, &order, opts()).unwrap();
+        // Im (DataId 0) may be freed but never copied out.
+        assert!(!plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, Step::CopyOut(d) if d.index() == 0)));
+    }
+
+    /// Outputs must be copied out exactly once even when evicted early.
+    #[test]
+    fn outputs_reach_host_once() {
+        let g = fig3_graph();
+        let units = singleton_units(&g);
+        let order: Vec<usize> = (0..units.len()).collect();
+        let plan = schedule_transfers(&g, &units, &order, opts()).unwrap();
+        for out in g.outputs() {
+            let n = plan
+                .steps
+                .iter()
+                .filter(|s| matches!(s, Step::CopyOut(d) if *d == out))
+                .count();
+            assert_eq!(n, 1, "output {} copied {n} times", g.data(out).name);
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_unit_with_huge_broadcast_reports_nicely() {
+        // One op whose working set alone exceeds memory.
+        let mut g = Graph::new();
+        let a = g.add("a", 100, 100, gpuflow_graph::DataKind::Input);
+        let b = g.add("b", 100, 100, gpuflow_graph::DataKind::Output);
+        g.add_op("t", gpuflow_graph::OpKind::Tanh, vec![a], b).unwrap();
+        let units = vec![OffloadUnit { ops: vec![OpId(0)] }];
+        let err = schedule_transfers(
+            &g,
+            &units,
+            &[0],
+            XferOptions {
+                memory_bytes: 100 * 100 * 4, // half the working set
+                policy: EvictionPolicy::Belady,
+                eager_free: true,
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nothing evictable"), "{err}");
+    }
+}

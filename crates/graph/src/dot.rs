@@ -1,0 +1,88 @@
+//! Graphviz DOT export of operator graphs, for debugging and documentation.
+//!
+//! Operators render as ellipses and data structures as rectangles, matching
+//! the visual convention of the paper's Figure 1(b).
+
+use std::fmt::Write as _;
+
+use crate::{DataKind, Graph};
+
+/// Render `g` as a Graphviz `digraph` string.
+pub fn to_dot(g: &Graph, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(s, "  rankdir=TB;");
+    for d in g.data_ids() {
+        let desc = g.data(d);
+        let color = match desc.kind {
+            DataKind::Input => "lightblue",
+            DataKind::Output => "lightgreen",
+            DataKind::Constant => "lightyellow",
+            DataKind::Temporary => "white",
+        };
+        let _ = writeln!(
+            s,
+            "  {d} [shape=box, style=filled, fillcolor={color}, label=\"{}\\n{}x{}\"];",
+            escape(&desc.name),
+            desc.rows,
+            desc.cols
+        );
+    }
+    for o in g.op_ids() {
+        let op = g.op(o);
+        let _ = writeln!(
+            s,
+            "  {o} [shape=ellipse, label=\"{}\\n[{}]\"];",
+            escape(&op.name),
+            op.kind.mnemonic()
+        );
+        for &inp in &op.inputs {
+            let _ = writeln!(s, "  {inp} -> {o};");
+        }
+        for &out in &op.outputs {
+            let _ = writeln!(s, "  {o} -> {out};");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataKind, OpKind};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut g = Graph::new();
+        let a = g.add("a", 4, 4, DataKind::Input);
+        let b = g.add("b\"quoted\"", 4, 4, DataKind::Output);
+        g.add_op("t", OpKind::Tanh, vec![a], b).unwrap();
+        let dot = to_dot(&g, "test");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("d0 [shape=box"));
+        assert!(dot.contains("d1 [shape=box"));
+        assert!(dot.contains("op0 [shape=ellipse"));
+        assert!(dot.contains("d0 -> op0;"));
+        assert!(dot.contains("op0 -> d1;"));
+        assert!(dot.contains("b\\\"quoted\\\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn kinds_get_distinct_colors() {
+        let mut g = Graph::new();
+        g.add("i", 1, 1, DataKind::Input);
+        g.add("c", 1, 1, DataKind::Constant);
+        g.add("t", 1, 1, DataKind::Temporary);
+        g.add("o", 1, 1, DataKind::Output);
+        let dot = to_dot(&g, "colors");
+        for color in ["lightblue", "lightyellow", "white", "lightgreen"] {
+            assert!(dot.contains(color), "missing {color}");
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! The operator graph container.
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::{DataDesc, DataId, DataKind};
+use crate::op::{OpId, OpNode, OpKind};
+use crate::shape::{infer_output_shape, Shape, ShapeError};
+
+/// Errors raised while constructing or validating a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A referenced data id does not exist.
+    UnknownData(DataId),
+    /// A data structure would get a second producer.
+    MultipleProducers {
+        /// The doubly-produced data structure.
+        data: DataId,
+        /// Its existing producer.
+        existing: OpId,
+    },
+    /// A constant was listed as an operator output.
+    ProducedConstant(DataId),
+    /// An operator input is produced later (or the graph has a cycle).
+    Cyclic,
+    /// Shape inference rejected the operator.
+    Shape(ShapeError),
+    /// The declared output shape disagrees with the inferred one.
+    OutputShape {
+        /// The offending output data structure.
+        data: DataId,
+        /// What shape inference expects.
+        expected: Shape,
+        /// What the descriptor declares.
+        declared: Shape,
+    },
+    /// Library operators produce exactly one output.
+    OutputCount {
+        /// How many outputs the op listed.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownData(d) => write!(f, "unknown data id {d}"),
+            GraphError::MultipleProducers { data, existing } => {
+                write!(f, "{data} already produced by {existing}")
+            }
+            GraphError::ProducedConstant(d) => write!(f, "constant {d} cannot be produced"),
+            GraphError::Cyclic => write!(f, "graph has a cycle"),
+            GraphError::Shape(e) => write!(f, "shape error: {e}"),
+            GraphError::OutputShape { data, expected, declared } => write!(
+                f,
+                "output {data}: inferred shape {expected} but descriptor declares {declared}"
+            ),
+            GraphError::OutputCount { got } => {
+                write!(f, "library operators have exactly 1 output, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<ShapeError> for GraphError {
+    fn from(e: ShapeError) -> Self {
+        GraphError::Shape(e)
+    }
+}
+
+/// A directed acyclic graph of parallel operators over data structures.
+///
+/// Operators are stored in insertion order, which for graphs built by the
+/// template front-ends is already a valid topological order; analyses that
+/// need one should still call [`crate::topo_sort`].
+///
+/// ```
+/// use gpuflow_graph::{DataKind, Graph, OpKind};
+///
+/// let mut g = Graph::new();
+/// let img = g.add("Img", 100, 100, DataKind::Input);
+/// let k = g.add("K", 5, 5, DataKind::Constant);
+/// let out = g.add("E", 96, 96, DataKind::Output);
+/// g.add_op("conv", OpKind::Conv2d, vec![img, k], out).unwrap();
+/// g.validate().unwrap();
+///
+/// // Footprints are statically known — the property the paper's
+/// // framework plans around.
+/// assert_eq!(g.op_footprint_floats(gpuflow_graph::OpId(0)),
+///            100 * 100 + 25 + 96 * 96);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    data: Vec<DataDesc>,
+    ops: Vec<OpNode>,
+    /// `producer[d] == Some(op)` when `op` writes data structure `d`.
+    producer: Vec<Option<OpId>>,
+    /// `consumers[d]` lists every op that reads `d`, in insertion order.
+    consumers: Vec<Vec<OpId>>,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Add a data structure and return its id.
+    pub fn add_data(&mut self, desc: DataDesc) -> DataId {
+        let id = DataId(self.data.len() as u32);
+        self.data.push(desc);
+        self.producer.push(None);
+        self.consumers.push(Vec::new());
+        id
+    }
+
+    /// Convenience: add a data structure from its parts.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        kind: DataKind,
+    ) -> DataId {
+        self.add_data(DataDesc::new(name, rows, cols, kind))
+    }
+
+    /// Add an operator. Inputs/outputs must already exist; shapes are
+    /// checked against the operator's inference rule; each data structure
+    /// may have at most one producer; constants cannot be produced.
+    pub fn add_op(
+        &mut self,
+        name: impl Into<String>,
+        kind: OpKind,
+        inputs: Vec<DataId>,
+        output: DataId,
+    ) -> Result<OpId, GraphError> {
+        for &d in inputs.iter().chain(std::iter::once(&output)) {
+            if d.index() >= self.data.len() {
+                return Err(GraphError::UnknownData(d));
+            }
+        }
+        if let Some(existing) = self.producer[output.index()] {
+            return Err(GraphError::MultipleProducers { data: output, existing });
+        }
+        if self.data[output.index()].kind == DataKind::Constant {
+            return Err(GraphError::ProducedConstant(output));
+        }
+        let in_shapes: Vec<Shape> = inputs.iter().map(|d| self.shape(*d)).collect();
+        let expected = infer_output_shape(kind, &in_shapes)?;
+        let declared = self.shape(output);
+        if expected != declared {
+            return Err(GraphError::OutputShape { data: output, expected, declared });
+        }
+
+        let id = OpId(self.ops.len() as u32);
+        for &d in &inputs {
+            self.consumers[d.index()].push(id);
+        }
+        self.producer[output.index()] = Some(id);
+        self.ops.push(OpNode {
+            name: name.into(),
+            kind,
+            inputs,
+            outputs: vec![output],
+        });
+        Ok(id)
+    }
+
+    /// Number of data structures.
+    pub fn num_data(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of operators.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Descriptor of `d`.
+    pub fn data(&self, d: DataId) -> &DataDesc {
+        &self.data[d.index()]
+    }
+
+    /// Mutable descriptor of `d` (used by the splitting pass to retag kinds).
+    pub fn data_mut(&mut self, d: DataId) -> &mut DataDesc {
+        &mut self.data[d.index()]
+    }
+
+    /// Operator node of `o`.
+    pub fn op(&self, o: OpId) -> &OpNode {
+        &self.ops[o.index()]
+    }
+
+    /// Shape of `d`.
+    pub fn shape(&self, d: DataId) -> Shape {
+        let desc = &self.data[d.index()];
+        Shape::new(desc.rows, desc.cols)
+    }
+
+    /// The op producing `d`, if any.
+    pub fn producer(&self, d: DataId) -> Option<OpId> {
+        self.producer[d.index()]
+    }
+
+    /// Ops consuming `d`.
+    pub fn consumers(&self, d: DataId) -> &[OpId] {
+        &self.consumers[d.index()]
+    }
+
+    /// Iterate over all data ids.
+    pub fn data_ids(&self) -> impl Iterator<Item = DataId> + '_ {
+        (0..self.data.len() as u32).map(DataId)
+    }
+
+    /// Iterate over all op ids.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    /// Graph-boundary inputs: data with [`DataKind::Input`].
+    pub fn inputs(&self) -> Vec<DataId> {
+        self.of_kind(DataKind::Input)
+    }
+
+    /// Graph-boundary outputs: data with [`DataKind::Output`].
+    pub fn outputs(&self) -> Vec<DataId> {
+        self.of_kind(DataKind::Output)
+    }
+
+    /// Constants (kernels, biases).
+    pub fn constants(&self) -> Vec<DataId> {
+        self.of_kind(DataKind::Constant)
+    }
+
+    fn of_kind(&self, kind: DataKind) -> Vec<DataId> {
+        self.data_ids()
+            .filter(|d| self.data(*d).kind == kind)
+            .collect()
+    }
+
+    /// Memory footprint of one operator in floats: the sum of the sizes of
+    /// its input and output data structures (§3.2 step 1: "sum of sizes of
+    /// data structures associated with each operator").
+    pub fn op_footprint_floats(&self, o: OpId) -> u64 {
+        let op = self.op(o);
+        op.inputs
+            .iter()
+            .chain(op.outputs.iter())
+            .map(|d| self.data(*d).len())
+            .sum()
+    }
+
+    /// Same footprint in bytes.
+    pub fn op_footprint_bytes(&self, o: OpId) -> u64 {
+        self.op_footprint_floats(o) * crate::FLOAT_BYTES
+    }
+
+    /// Total size of every data structure in the graph, in floats — the
+    /// paper's "total temporary data needed" column of Table 1.
+    pub fn total_data_floats(&self) -> u64 {
+        self.data.iter().map(|d| d.len()).sum()
+    }
+
+    /// Size of the template's boundary traffic (inputs + constants +
+    /// outputs), in floats — the paper's "I/O transfers only (lower bound)"
+    /// column of Table 1.
+    pub fn io_lower_bound_floats(&self) -> u64 {
+        self.data
+            .iter()
+            .filter(|d| d.kind != DataKind::Temporary)
+            .map(|d| d.len())
+            .sum()
+    }
+
+    /// Validate global invariants: acyclicity (via topological sort) and
+    /// that every non-input data structure with consumers has a producer.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        crate::topo_sort(self).map_err(|_| GraphError::Cyclic)?;
+        for d in self.data_ids() {
+            let desc = self.data(d);
+            let needs_producer = !desc.kind.starts_on_cpu();
+            if needs_producer && self.producer(d).is_none() && !self.consumers(d).is_empty() {
+                // A consumed temporary/output that nobody produces can never
+                // become available.
+                return Err(GraphError::UnknownData(d));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{RemapKind, OpKind};
+
+    /// Build the paper's experimental edge-detection graph (§4.1.1):
+    /// 2 convolutions, 2 remaps, one 4-ary max.
+    fn edge_graph(n: usize, k: usize) -> (Graph, Vec<DataId>) {
+        let mut g = Graph::new();
+        let img = g.add("Img", n, n, DataKind::Input);
+        let k1 = g.add("K1", k, k, DataKind::Constant);
+        let k2 = g.add("K2", k, k, DataKind::Constant);
+        let e = n - k + 1;
+        let e1 = g.add("E1", e, e, DataKind::Temporary);
+        let e2 = g.add("E2", e, e, DataKind::Temporary);
+        let e5 = g.add("E5", e, e, DataKind::Temporary);
+        let e6 = g.add("E6", e, e, DataKind::Temporary);
+        let edg = g.add("Edg", e, e, DataKind::Output);
+        g.add_op("C1", OpKind::Conv2d, vec![img, k1], e1).unwrap();
+        g.add_op("C2", OpKind::Conv2d, vec![img, k2], e2).unwrap();
+        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5).unwrap();
+        g.add_op("R2", OpKind::Remap(RemapKind::FlipH), vec![e2], e6).unwrap();
+        g.add_op("max", OpKind::EwMax { arity: 4 }, vec![e1, e2, e5, e6], edg)
+            .unwrap();
+        (g, vec![img, e1, e2, e5, e6, edg])
+    }
+
+    #[test]
+    fn edge_graph_builds_and_validates() {
+        let (g, _) = edge_graph(1000, 16);
+        assert_eq!(g.num_ops(), 5);
+        assert_eq!(g.num_data(), 8);
+        g.validate().unwrap();
+        assert_eq!(g.inputs().len(), 1);
+        assert_eq!(g.outputs().len(), 1);
+        assert_eq!(g.constants().len(), 2);
+    }
+
+    #[test]
+    fn io_lower_bound_matches_paper_table1() {
+        // Paper Table 1, edge detection 1000x1000: lower bound 2,000,512
+        // floats = input 1M + output ~1M + two 16x16 kernels. The paper
+        // idealizes the output to exactly 1M; with valid convolution it is
+        // 985^2. Using the idealized shapes here to pin the arithmetic:
+        let mut g = Graph::new();
+        let img = g.add("Img", 1000, 1000, DataKind::Input);
+        let k1 = g.add("K1", 16, 16, DataKind::Constant);
+        let _k2 = g.add("K2", 16, 16, DataKind::Constant);
+        let e1 = g.add("E1", 1000, 1000, DataKind::Temporary);
+        let edg = g.add("Edg", 1000, 1000, DataKind::Output);
+        // Idealized: remap stands in for conv so shapes stay 1000^2.
+        g.add_op("C1", OpKind::Remap(RemapKind::FlipH), vec![img], e1).unwrap();
+        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], edg).unwrap();
+        let _ = k1;
+        assert_eq!(g.io_lower_bound_floats(), 2_000_512);
+    }
+
+    #[test]
+    fn op_footprints() {
+        let (g, _) = edge_graph(1000, 16);
+        // max has 4 inputs + 1 output of 985^2 each.
+        let max_id = g.op_ids().last().unwrap();
+        assert_eq!(g.op_footprint_floats(max_id), 5 * 985 * 985);
+        // conv: image + kernel + output.
+        let c1 = OpId(0);
+        assert_eq!(
+            g.op_footprint_floats(c1),
+            1000 * 1000 + 256 + 985 * 985
+        );
+        assert_eq!(g.op_footprint_bytes(c1), g.op_footprint_floats(c1) * 4);
+    }
+
+    #[test]
+    fn rejects_double_producer() {
+        let mut g = Graph::new();
+        let a = g.add("a", 4, 4, DataKind::Input);
+        let b = g.add("b", 4, 4, DataKind::Temporary);
+        g.add_op("t1", OpKind::Tanh, vec![a], b).unwrap();
+        let err = g.add_op("t2", OpKind::Tanh, vec![a], b).unwrap_err();
+        assert!(matches!(err, GraphError::MultipleProducers { .. }));
+    }
+
+    #[test]
+    fn rejects_producing_constant() {
+        let mut g = Graph::new();
+        let a = g.add("a", 4, 4, DataKind::Input);
+        let c = g.add("c", 4, 4, DataKind::Constant);
+        let err = g.add_op("t", OpKind::Tanh, vec![a], c).unwrap_err();
+        assert_eq!(err, GraphError::ProducedConstant(c));
+    }
+
+    #[test]
+    fn rejects_bad_output_shape() {
+        let mut g = Graph::new();
+        let a = g.add("a", 4, 4, DataKind::Input);
+        let b = g.add("b", 5, 4, DataKind::Temporary);
+        let err = g.add_op("t", OpKind::Tanh, vec![a], b).unwrap_err();
+        assert!(matches!(err, GraphError::OutputShape { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_data() {
+        let mut g = Graph::new();
+        let a = g.add("a", 4, 4, DataKind::Input);
+        let err = g
+            .add_op("t", OpKind::Tanh, vec![DataId(9)], a)
+            .unwrap_err();
+        assert_eq!(err, GraphError::UnknownData(DataId(9)));
+    }
+
+    #[test]
+    fn consumed_orphan_temporary_fails_validation() {
+        let mut g = Graph::new();
+        let orphan = g.add("orphan", 4, 4, DataKind::Temporary);
+        let out = g.add("out", 4, 4, DataKind::Output);
+        g.add_op("t", OpKind::Tanh, vec![orphan], out).unwrap();
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn total_data_counts_everything() {
+        let (g, _) = edge_graph(1000, 16);
+        let expect = 1000 * 1000 + 2 * 256 + 5 * 985 * 985;
+        assert_eq!(g.total_data_floats(), expect as u64);
+    }
+
+    #[test]
+    fn producers_and_consumers_are_tracked() {
+        let (g, d) = edge_graph(100, 5);
+        let img = d[0];
+        assert_eq!(g.producer(img), None);
+        assert_eq!(g.consumers(img).len(), 2); // C1 and C2
+        let e1 = d[1];
+        assert_eq!(g.producer(e1), Some(OpId(0)));
+        assert_eq!(g.consumers(e1).len(), 2); // R1 and max
+    }
+}

@@ -1,0 +1,161 @@
+//! Liveness analysis of data structures with respect to an operator
+//! schedule.
+//!
+//! The paper's data-transfer heuristic (§3.3.1) hinges on two facts that are
+//! computable statically once the operator schedule is known:
+//!
+//! * the **latest time of use** of every data structure — the Belady-style
+//!   eviction key, and
+//! * the **death point** of every data structure — the step after which it
+//!   can be eagerly deleted from GPU memory (step 3 of the heuristic),
+//!   unless it is a template output, which must survive to the end
+//!   (constraint 13 of the PB formulation).
+
+use crate::{DataId, Graph, OpId};
+
+/// Per-schedule liveness facts. Time step `t` is the index of the operator
+/// in the schedule; a schedule of `n` ops has steps `0..n`.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `first_use[d]`: earliest step whose operator reads or writes `d`.
+    /// `None` when `d` never appears in the schedule.
+    first_use: Vec<Option<usize>>,
+    /// `last_use[d]`: latest step whose operator reads or writes `d`.
+    last_use: Vec<Option<usize>>,
+    /// Steps at which each data structure is read, ascending.
+    use_times: Vec<Vec<usize>>,
+}
+
+impl Liveness {
+    /// Analyze `schedule` (a permutation of the graph's operators).
+    pub fn analyze(g: &Graph, schedule: &[OpId]) -> Liveness {
+        let nd = g.num_data();
+        let mut first_use = vec![None; nd];
+        let mut last_use = vec![None; nd];
+        let mut use_times = vec![Vec::new(); nd];
+        for (t, &o) in schedule.iter().enumerate() {
+            let op = g.op(o);
+            for &d in op.inputs.iter().chain(op.outputs.iter()) {
+                let i = d.index();
+                if first_use[i].is_none() {
+                    first_use[i] = Some(t);
+                }
+                last_use[i] = Some(t);
+            }
+            for &d in &op.inputs {
+                use_times[d.index()].push(t);
+            }
+        }
+        Liveness { first_use, last_use, use_times }
+    }
+
+    /// Earliest step touching `d`.
+    pub fn first_use(&self, d: DataId) -> Option<usize> {
+        self.first_use[d.index()]
+    }
+
+    /// Latest step touching `d` — the paper's "latest time of use".
+    pub fn last_use(&self, d: DataId) -> Option<usize> {
+        self.last_use[d.index()]
+    }
+
+    /// The next step `>= t` at which `d` is *read*, or `None` if it is never
+    /// read again. This is the forward-looking distance used when comparing
+    /// eviction candidates.
+    pub fn next_read_at_or_after(&self, d: DataId, t: usize) -> Option<usize> {
+        let uses = &self.use_times[d.index()];
+        match uses.binary_search(&t) {
+            Ok(i) => Some(uses[i]),
+            Err(i) => uses.get(i).copied(),
+        }
+    }
+
+    /// True when `d` is dead after step `t`: it is never touched at any step
+    /// `> t`. Template outputs are treated as live to the end by callers;
+    /// this predicate is purely about the schedule.
+    pub fn dead_after(&self, d: DataId, t: usize) -> bool {
+        match self.last_use[d.index()] {
+            None => true,
+            Some(last) => last <= t,
+        }
+    }
+
+    /// All read steps of `d`.
+    pub fn use_times(&self, d: DataId) -> &[usize] {
+        &self.use_times[d.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataKind, OpKind};
+
+    fn diamond() -> (Graph, [DataId; 4], Vec<OpId>) {
+        let mut g = Graph::new();
+        let a = g.add("a", 4, 4, DataKind::Input);
+        let b = g.add("b", 4, 4, DataKind::Temporary);
+        let c = g.add("c", 4, 4, DataKind::Temporary);
+        let d = g.add("d", 4, 4, DataKind::Output);
+        let l = g.add_op("l", OpKind::Tanh, vec![a], b).unwrap();
+        let r = g.add_op("r", OpKind::Tanh, vec![a], c).unwrap();
+        let j = g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![b, c], d).unwrap();
+        (g, [a, b, c, d], vec![l, r, j])
+    }
+
+    #[test]
+    fn first_and_last_uses() {
+        let (g, [a, b, c, d], sched) = diamond();
+        let lv = Liveness::analyze(&g, &sched);
+        assert_eq!(lv.first_use(a), Some(0));
+        assert_eq!(lv.last_use(a), Some(1));
+        assert_eq!(lv.first_use(b), Some(0)); // written at step 0
+        assert_eq!(lv.last_use(b), Some(2)); // read by join
+        assert_eq!(lv.first_use(c), Some(1));
+        assert_eq!(lv.last_use(d), Some(2));
+    }
+
+    #[test]
+    fn next_read_lookup() {
+        let (g, [a, b, _c, d], sched) = diamond();
+        let lv = Liveness::analyze(&g, &sched);
+        assert_eq!(lv.next_read_at_or_after(a, 0), Some(0));
+        assert_eq!(lv.next_read_at_or_after(a, 1), Some(1));
+        assert_eq!(lv.next_read_at_or_after(a, 2), None);
+        assert_eq!(lv.next_read_at_or_after(b, 0), Some(2));
+        assert_eq!(lv.next_read_at_or_after(d, 0), None); // never read
+    }
+
+    #[test]
+    fn death_points() {
+        let (g, [a, b, _c, d], sched) = diamond();
+        let lv = Liveness::analyze(&g, &sched);
+        assert!(!lv.dead_after(a, 0));
+        assert!(lv.dead_after(a, 1));
+        assert!(lv.dead_after(b, 2));
+        assert!(!lv.dead_after(b, 1));
+        assert!(lv.dead_after(d, 2));
+    }
+
+    #[test]
+    fn unused_data_is_dead_immediately() {
+        let (mut g, _, _) = {
+            let d = diamond();
+            (d.0, d.1, d.2)
+        };
+        let orphan = g.add("orphan", 2, 2, DataKind::Input);
+        let sched: Vec<OpId> = g.op_ids().collect();
+        let lv = Liveness::analyze(&g, &sched);
+        assert_eq!(lv.first_use(orphan), None);
+        assert!(lv.dead_after(orphan, 0));
+        assert!(lv.use_times(orphan).is_empty());
+    }
+
+    #[test]
+    fn reordered_schedule_changes_liveness() {
+        let (g, [a, ..], _) = diamond();
+        let sched = vec![OpId(1), OpId(0), OpId(2)];
+        let lv = Liveness::analyze(&g, &sched);
+        assert_eq!(lv.last_use(a), Some(1)); // now op 'l' at step 1
+    }
+}

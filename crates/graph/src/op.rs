@@ -1,0 +1,330 @@
+//! Operator nodes and their structural metadata.
+//!
+//! [`OpKind`] enumerates the parallel operator library used by the paper's
+//! templates (convolution, remap, element-wise combine, tanh, subsampling)
+//! plus the operators its §3.2 discussion calls out (matrix multiply, full
+//! reductions). Each kind knows its arity, how its output shape derives from
+//! its input shapes (see [`crate::shape`]), and its [`SplitClass`] — the
+//! structural rule the operator-splitting pass uses to break it up when its
+//! memory footprint exceeds the GPU capacity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::DataId;
+
+/// Identifier of an operator within one [`crate::Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+impl OpId {
+    /// Index into the graph's operator table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// The fixed index-remapping applied by a [`OpKind::Remap`] operator.
+///
+/// The edge-detection template uses remaps to derive edge responses at
+/// rotated orientations from already-computed convolutions. `FlipH` is
+/// row-local (each output row depends only on the same input row), which is
+/// what the paper's split diagrams (Fig. 3/6) assume; the other kinds
+/// exercise the non-row-local split rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RemapKind {
+    /// Reverse each row (mirror about the vertical axis). Row-local.
+    FlipH,
+    /// Reverse the row order (mirror about the horizontal axis).
+    FlipV,
+    /// Rotate by 180 degrees (FlipH ∘ FlipV).
+    Rot180,
+    /// Transpose (square inputs only). Not splittable by rows.
+    Transpose,
+}
+
+/// Combine operation of a full [`OpKind::Reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceKind {
+    /// Sum of all elements.
+    Sum,
+    /// Maximum element.
+    Max,
+    /// Maximum absolute value (one of the paper's `Combine_op` choices).
+    MaxAbs,
+}
+
+/// Pooling flavour of [`OpKind::Subsample`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubsampleKind {
+    /// Average pooling (torch5 `SpatialSubSampling` semantics).
+    Avg,
+    /// Max pooling.
+    Max,
+}
+
+/// The parallel operator library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Non-separable 2-D *valid* convolution. Inputs: `[image, kernel]`;
+    /// output shape `(r - kr + 1, c - kc + 1)`. The kernel is a broadcast
+    /// input: it is never split (§3.2).
+    Conv2d,
+    /// Fixed index remapping of a single input; output has the same shape
+    /// (transposed for [`RemapKind::Transpose`]).
+    Remap(RemapKind),
+    /// Element-wise maximum across `arity` same-shaped inputs. This is the
+    /// `max` combine of the edge-detection template (Fig. 1(b)).
+    EwMax {
+        /// Number of inputs.
+        arity: u8,
+    },
+    /// Element-wise maximum of absolute values across `arity` inputs.
+    EwMaxAbs {
+        /// Number of inputs.
+        arity: u8,
+    },
+    /// Element-wise sum across `arity` same-shaped inputs (CNN accumulation
+    /// adds of Fig. 7).
+    EwAdd {
+        /// Number of inputs.
+        arity: u8,
+    },
+    /// Element-wise product of exactly two inputs.
+    EwMul,
+    /// Element-wise difference of exactly two inputs.
+    EwSub,
+    /// Add a scalar bias (a 1×1 constant, broadcast input 1) to every
+    /// element of input 0. The bias is never split.
+    BiasAdd,
+    /// Element-wise hyperbolic tangent (CNN non-linearity layers).
+    Tanh,
+    /// `factor`×`factor` pooling with stride `factor`.
+    Subsample {
+        /// Pooling window edge and stride.
+        factor: u8,
+        /// Average or max pooling.
+        kind: SubsampleKind,
+    },
+    /// Dense matrix product of inputs `[(m,k), (k,n)] -> (m,n)`. Split by
+    /// rows of input 0 and the output; input 1 is broadcast — exactly the
+    /// splitting hint the paper gives for large matrix multiplies (§3.2).
+    MatMul,
+    /// Full reduction of one input to a 1×1 result. Splitting is structural:
+    /// partial reductions plus a combine operator.
+    Reduce(ReduceKind),
+    /// Multiply every element of the single input by a compile-time constant
+    /// (bits of an `f32`, stored as `u32` so the kind stays `Eq + Hash`).
+    ScaleBits(u32),
+    /// Copy input 0 to the output unchanged. Used as a placeholder by the
+    /// graph-chunking pass and in tests.
+    Identity,
+    /// Extract `rows` output rows starting at virtual row `row_off` from the
+    /// row-wise concatenation of all inputs (which must share a column
+    /// count). Inserted by the operator-splitting pass when a split stencil
+    /// operator needs a halo region spanning several bands of a temporary.
+    GatherRows {
+        /// Number of input bands.
+        arity: u8,
+        /// First row of the virtual concatenation to extract.
+        row_off: u32,
+        /// Number of rows to extract.
+        rows: u32,
+    },
+}
+
+impl OpKind {
+    /// Construct a scale operator from an `f32` factor.
+    pub fn scale(factor: f32) -> OpKind {
+        OpKind::ScaleBits(factor.to_bits())
+    }
+
+    /// Number of input data structures this kind consumes.
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Conv2d => 2,
+            OpKind::Remap(_) => 1,
+            OpKind::EwMax { arity } | OpKind::EwMaxAbs { arity } | OpKind::EwAdd { arity } => {
+                arity as usize
+            }
+            OpKind::EwMul | OpKind::EwSub => 2,
+            OpKind::BiasAdd => 2,
+            OpKind::Tanh => 1,
+            OpKind::Subsample { .. } => 1,
+            OpKind::MatMul => 2,
+            OpKind::Reduce(_) => 1,
+            OpKind::ScaleBits(_) => 1,
+            OpKind::Identity => 1,
+            OpKind::GatherRows { arity, .. } => arity as usize,
+        }
+    }
+
+    /// Short mnemonic used in names of split operators and generated code.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Conv2d => "conv",
+            OpKind::Remap(_) => "remap",
+            OpKind::EwMax { .. } => "max",
+            OpKind::EwMaxAbs { .. } => "maxabs",
+            OpKind::EwAdd { .. } => "add",
+            OpKind::EwMul => "mul",
+            OpKind::EwSub => "sub",
+            OpKind::BiasAdd => "bias",
+            OpKind::Tanh => "tanh",
+            OpKind::Subsample { .. } => "pool",
+            OpKind::MatMul => "matmul",
+            OpKind::Reduce(_) => "reduce",
+            OpKind::ScaleBits(_) => "scale",
+            OpKind::Identity => "copy",
+            OpKind::GatherRows { .. } => "gather",
+        }
+    }
+}
+
+/// How an operator can be split into smaller operators (§3.2).
+///
+/// All rules split along output rows; the class describes how the required
+/// input regions derive from an output row range `[a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitClass {
+    /// Output rows `[a, b)` need exactly input rows `[a, b)` of every
+    /// non-broadcast input. `broadcast_inputs` are input positions that are
+    /// replicated to every piece instead of split (convolution kernels,
+    /// biases — §3.2: "The convolution kernel matrix … should not be split").
+    Elementwise {
+        /// Input positions replicated whole to every split piece.
+        broadcast_inputs: &'static [usize],
+    },
+    /// Stencil: output rows `[a, b)` need input rows `[a, b + halo)` of
+    /// input 0 (valid convolution: `halo = kernel_rows - 1`); input 1 is
+    /// broadcast.
+    Stencil,
+    /// Output rows `[a, b)` need input rows `[a·f, b·f)` (subsampling).
+    RowScaled {
+        /// Row scale factor between input and output.
+        factor: u8,
+    },
+    /// Output rows `[a, b)` need the mirrored input rows
+    /// `[R - b, R - a)` where `R` is the input row count (FlipV / Rot180).
+    MirrorRows,
+    /// Matrix multiply: split output rows and input 0 rows; input 1 whole.
+    MatMulRows,
+    /// Structural split: the operator becomes several partial operators plus
+    /// a combine operator of the given kind (full reductions).
+    Reduction {
+        /// Element-wise combine applied to the partial results.
+        combine: ReduceKind,
+    },
+    /// Cannot be split; the framework requires that it fits in GPU memory
+    /// as-is (supported per §3.2's closing remark).
+    Unsplittable,
+}
+
+impl OpKind {
+    /// The split rule for this operator kind.
+    pub fn split_class(self) -> SplitClass {
+        match self {
+            OpKind::Conv2d => SplitClass::Stencil,
+            OpKind::Remap(RemapKind::FlipH) => SplitClass::Elementwise {
+                broadcast_inputs: &[],
+            },
+            OpKind::Remap(RemapKind::FlipV) | OpKind::Remap(RemapKind::Rot180) => {
+                SplitClass::MirrorRows
+            }
+            OpKind::Remap(RemapKind::Transpose) => SplitClass::Unsplittable,
+            OpKind::EwMax { .. }
+            | OpKind::EwMaxAbs { .. }
+            | OpKind::EwAdd { .. }
+            | OpKind::EwMul
+            | OpKind::EwSub
+            | OpKind::Tanh
+            | OpKind::ScaleBits(_)
+            | OpKind::Identity => SplitClass::Elementwise {
+                broadcast_inputs: &[],
+            },
+            OpKind::BiasAdd => SplitClass::Elementwise {
+                broadcast_inputs: &[1],
+            },
+            OpKind::Subsample { factor, .. } => SplitClass::RowScaled { factor },
+            OpKind::MatMul => SplitClass::MatMulRows,
+            OpKind::Reduce(kind) => SplitClass::Reduction { combine: kind },
+            OpKind::GatherRows { .. } => SplitClass::Unsplittable,
+        }
+    }
+}
+
+/// One vertex of the operator graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpNode {
+    /// Human-readable name (`C1`, `R1'`, `max2`, …).
+    pub name: String,
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Input data structures, in kind-defined positional order.
+    pub inputs: Vec<DataId>,
+    /// Output data structures (exactly one for every library operator).
+    pub outputs: Vec<DataId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(OpKind::Conv2d.arity(), 2);
+        assert_eq!(OpKind::EwMax { arity: 4 }.arity(), 4);
+        assert_eq!(OpKind::Tanh.arity(), 1);
+        assert_eq!(OpKind::MatMul.arity(), 2);
+        assert_eq!(OpKind::BiasAdd.arity(), 2);
+    }
+
+    #[test]
+    fn split_classes_follow_the_paper() {
+        // Convolutions split with halos, kernels broadcast.
+        assert_eq!(OpKind::Conv2d.split_class(), SplitClass::Stencil);
+        // Biases are broadcast inputs.
+        assert_eq!(
+            OpKind::BiasAdd.split_class(),
+            SplitClass::Elementwise {
+                broadcast_inputs: &[1]
+            }
+        );
+        // Matrix multiply splits one input and the output (§3.2 example).
+        assert_eq!(OpKind::MatMul.split_class(), SplitClass::MatMulRows);
+        // Transpose cannot be row-split.
+        assert_eq!(
+            OpKind::Remap(RemapKind::Transpose).split_class(),
+            SplitClass::Unsplittable
+        );
+        // Reductions split structurally.
+        assert_eq!(
+            OpKind::Reduce(ReduceKind::Sum).split_class(),
+            SplitClass::Reduction {
+                combine: ReduceKind::Sum
+            }
+        );
+    }
+
+    #[test]
+    fn scale_roundtrip() {
+        let k = OpKind::scale(2.5);
+        match k {
+            OpKind::ScaleBits(bits) => assert_eq!(f32::from_bits(bits), 2.5),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_stable() {
+        assert_eq!(OpKind::Conv2d.mnemonic(), "conv");
+        assert_eq!(OpKind::EwMax { arity: 2 }.mnemonic(), "max");
+        assert_eq!(OpKind::Subsample { factor: 2, kind: SubsampleKind::Avg }.mnemonic(), "pool");
+    }
+}

@@ -1,0 +1,291 @@
+//! Static shape inference for operators.
+//!
+//! The framework plans everything ahead of execution, so every operator's
+//! output shape must be derivable from its input shapes alone. This module
+//! implements that derivation and the shape-compatibility checks used by
+//! [`crate::Graph::add_op`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::{OpKind, RemapKind};
+
+/// A two-dimensional shape, `(rows, cols)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Shape {
+    /// Construct a shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Shape { rows, cols }
+    }
+
+    /// Number of elements.
+    pub fn len(self) -> u64 {
+        self.rows as u64 * self.cols as u64
+    }
+
+    /// True when the shape holds no elements.
+    pub fn is_empty(self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// A shape-inference failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The number of supplied inputs does not match the operator arity.
+    Arity {
+        /// Operator kind.
+        kind: OpKind,
+        /// Expected input count.
+        expected: usize,
+        /// Supplied input count.
+        got: usize,
+    },
+    /// Inputs that must agree in shape do not.
+    Mismatch {
+        /// Operator kind.
+        kind: OpKind,
+        /// Explanation of which inputs disagree.
+        detail: String,
+    },
+    /// An input is too small for the operator (e.g. image smaller than the
+    /// convolution kernel).
+    TooSmall {
+        /// Operator kind.
+        kind: OpKind,
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::Arity { kind, expected, got } => {
+                write!(f, "{kind:?}: expected {expected} inputs, got {got}")
+            }
+            ShapeError::Mismatch { kind, detail } => write!(f, "{kind:?}: {detail}"),
+            ShapeError::TooSmall { kind, detail } => write!(f, "{kind:?}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Infer the single output shape of `kind` applied to `inputs`.
+pub fn infer_output_shape(kind: OpKind, inputs: &[Shape]) -> Result<Shape, ShapeError> {
+    if inputs.len() != kind.arity() {
+        return Err(ShapeError::Arity {
+            kind,
+            expected: kind.arity(),
+            got: inputs.len(),
+        });
+    }
+    match kind {
+        OpKind::Conv2d => {
+            let (img, ker) = (inputs[0], inputs[1]);
+            if img.rows < ker.rows || img.cols < ker.cols {
+                return Err(ShapeError::TooSmall {
+                    kind,
+                    detail: format!("image {img} smaller than kernel {ker}"),
+                });
+            }
+            Ok(Shape::new(img.rows - ker.rows + 1, img.cols - ker.cols + 1))
+        }
+        OpKind::Remap(RemapKind::Transpose) => {
+            Ok(Shape::new(inputs[0].cols, inputs[0].rows))
+        }
+        OpKind::Remap(_) | OpKind::Tanh | OpKind::ScaleBits(_) | OpKind::Identity => Ok(inputs[0]),
+        OpKind::EwMax { .. } | OpKind::EwMaxAbs { .. } | OpKind::EwAdd { .. } => {
+            all_same(kind, inputs)?;
+            Ok(inputs[0])
+        }
+        OpKind::EwMul | OpKind::EwSub => {
+            all_same(kind, inputs)?;
+            Ok(inputs[0])
+        }
+        OpKind::BiasAdd => {
+            let bias = inputs[1];
+            if bias != Shape::new(1, 1) {
+                return Err(ShapeError::Mismatch {
+                    kind,
+                    detail: format!("bias must be 1x1, got {bias}"),
+                });
+            }
+            Ok(inputs[0])
+        }
+        OpKind::Subsample { factor, .. } => {
+            let f = factor as usize;
+            let inp = inputs[0];
+            if inp.rows < f || inp.cols < f {
+                return Err(ShapeError::TooSmall {
+                    kind,
+                    detail: format!("input {inp} smaller than pooling window {f}x{f}"),
+                });
+            }
+            Ok(Shape::new(inp.rows / f, inp.cols / f))
+        }
+        OpKind::MatMul => {
+            let (a, b) = (inputs[0], inputs[1]);
+            if a.cols != b.rows {
+                return Err(ShapeError::Mismatch {
+                    kind,
+                    detail: format!("inner dimensions disagree: {a} x {b}"),
+                });
+            }
+            Ok(Shape::new(a.rows, b.cols))
+        }
+        OpKind::Reduce(_) => Ok(Shape::new(1, 1)),
+        OpKind::GatherRows { row_off, rows, .. } => {
+            let cols = inputs[0].cols;
+            if inputs.iter().any(|s| s.cols != cols) {
+                return Err(ShapeError::Mismatch {
+                    kind,
+                    detail: "gather inputs must share a column count".to_string(),
+                });
+            }
+            let total: usize = inputs.iter().map(|s| s.rows).sum();
+            let (off, n) = (row_off as usize, rows as usize);
+            if off + n > total {
+                return Err(ShapeError::TooSmall {
+                    kind,
+                    detail: format!(
+                        "gather of rows {off}..{} exceeds {total} concatenated rows",
+                        off + n
+                    ),
+                });
+            }
+            Ok(Shape::new(n, cols))
+        }
+    }
+}
+
+fn all_same(kind: OpKind, inputs: &[Shape]) -> Result<(), ShapeError> {
+    let first = inputs[0];
+    for (i, s) in inputs.iter().enumerate().skip(1) {
+        if *s != first {
+            return Err(ShapeError::Mismatch {
+                kind,
+                detail: format!("input 0 is {first} but input {i} is {s}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ReduceKind, SubsampleKind};
+
+    fn s(r: usize, c: usize) -> Shape {
+        Shape::new(r, c)
+    }
+
+    #[test]
+    fn conv_valid_shape() {
+        // Paper §3.2: 100x100 image, 5x5 kernel -> 96x96 output.
+        let out = infer_output_shape(OpKind::Conv2d, &[s(100, 100), s(5, 5)]).unwrap();
+        assert_eq!(out, s(96, 96));
+    }
+
+    #[test]
+    fn conv_image_too_small() {
+        let err = infer_output_shape(OpKind::Conv2d, &[s(4, 4), s(5, 5)]).unwrap_err();
+        assert!(matches!(err, ShapeError::TooSmall { .. }));
+    }
+
+    #[test]
+    fn elementwise_requires_same_shapes() {
+        assert_eq!(
+            infer_output_shape(OpKind::EwMax { arity: 3 }, &[s(8, 8); 3]).unwrap(),
+            s(8, 8)
+        );
+        let err =
+            infer_output_shape(OpKind::EwAdd { arity: 2 }, &[s(8, 8), s(8, 9)]).unwrap_err();
+        assert!(matches!(err, ShapeError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let err = infer_output_shape(OpKind::EwMax { arity: 4 }, &[s(8, 8); 3]).unwrap_err();
+        assert!(matches!(err, ShapeError::Arity { expected: 4, got: 3, .. }));
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        assert_eq!(
+            infer_output_shape(OpKind::Remap(RemapKind::Transpose), &[s(3, 7)]).unwrap(),
+            s(7, 3)
+        );
+        assert_eq!(
+            infer_output_shape(OpKind::Remap(RemapKind::FlipH), &[s(3, 7)]).unwrap(),
+            s(3, 7)
+        );
+    }
+
+    #[test]
+    fn bias_must_be_scalar() {
+        assert!(infer_output_shape(OpKind::BiasAdd, &[s(5, 5), s(1, 1)]).is_ok());
+        assert!(infer_output_shape(OpKind::BiasAdd, &[s(5, 5), s(5, 5)]).is_err());
+    }
+
+    #[test]
+    fn subsample_divides() {
+        let k = OpKind::Subsample {
+            factor: 2,
+            kind: SubsampleKind::Avg,
+        };
+        assert_eq!(infer_output_shape(k, &[s(10, 8)]).unwrap(), s(5, 4));
+        // Truncating division, like torch5.
+        assert_eq!(infer_output_shape(k, &[s(11, 9)]).unwrap(), s(5, 4));
+        assert!(infer_output_shape(k, &[s(1, 9)]).is_err());
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        assert_eq!(
+            infer_output_shape(OpKind::MatMul, &[s(3, 4), s(4, 5)]).unwrap(),
+            s(3, 5)
+        );
+        assert!(infer_output_shape(OpKind::MatMul, &[s(3, 4), s(5, 5)]).is_err());
+    }
+
+    #[test]
+    fn gather_rows_shapes() {
+        let k = OpKind::GatherRows { arity: 2, row_off: 3, rows: 4 };
+        assert_eq!(infer_output_shape(k, &[s(5, 7), s(5, 7)]).unwrap(), s(4, 7));
+        // Column mismatch rejected.
+        assert!(infer_output_shape(k, &[s(5, 7), s(5, 8)]).is_err());
+        // Out of range rejected.
+        let k2 = OpKind::GatherRows { arity: 2, row_off: 8, rows: 4 };
+        assert!(infer_output_shape(k2, &[s(5, 7), s(5, 7)]).is_err());
+    }
+
+    #[test]
+    fn reduce_is_scalar() {
+        assert_eq!(
+            infer_output_shape(OpKind::Reduce(ReduceKind::Max), &[s(100, 100)]).unwrap(),
+            s(1, 1)
+        );
+    }
+
+    #[test]
+    fn shape_display_and_len() {
+        assert_eq!(s(3, 4).to_string(), "3x4");
+        assert_eq!(s(3, 4).len(), 12);
+        assert!(s(0, 4).is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! A plain-text operator-graph format (`.gfg`) so templates can be
+//! written, versioned and exchanged without Rust code.
+//!
+//! ```text
+//! # edge detection, 4 orientations
+//! data Img  input  1000 1000
+//! data K1   const  16 16
+//! data E1   temp   985 985
+//! data Edg  output 985 985
+//! op C1  conv2d          Img K1        -> E1
+//! op R1  remap.fliph     E1            -> E5
+//! op cmb ewmax           E1 E2 E5 E6   -> Edg
+//! ```
+//!
+//! One declaration per line; `#` starts a comment. Data kinds: `input`,
+//! `const`, `output`, `temp`. Operator kinds (element-wise arity is
+//! inferred from the input list):
+//!
+//! `conv2d`, `remap.{fliph,flipv,rot180,transpose}`, `ewmax`, `ewmaxabs`,
+//! `ewadd`, `ewmul`, `ewsub`, `biasadd`, `tanh`, `subsample.{avg,max}.N`,
+//! `matmul`, `reduce.{sum,max,maxabs}`, `scale.<factor>`, `identity`.
+
+use std::collections::HashMap;
+
+use crate::{DataId, DataKind, Graph, OpKind, ReduceKind, RemapKind, SubsampleKind};
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+fn parse_kind(token: &str, arity: usize, line: usize) -> Result<OpKind, TextError> {
+    let err = |m: String| TextError { line, message: m };
+    let arity_u8 = || -> Result<u8, TextError> {
+        u8::try_from(arity).map_err(|_| err(format!("too many inputs ({arity})")))
+    };
+    let kind = match token {
+        "conv2d" => OpKind::Conv2d,
+        "remap.fliph" => OpKind::Remap(RemapKind::FlipH),
+        "remap.flipv" => OpKind::Remap(RemapKind::FlipV),
+        "remap.rot180" => OpKind::Remap(RemapKind::Rot180),
+        "remap.transpose" => OpKind::Remap(RemapKind::Transpose),
+        "ewmax" => OpKind::EwMax { arity: arity_u8()? },
+        "ewmaxabs" => OpKind::EwMaxAbs { arity: arity_u8()? },
+        "ewadd" => OpKind::EwAdd { arity: arity_u8()? },
+        "ewmul" => OpKind::EwMul,
+        "ewsub" => OpKind::EwSub,
+        "biasadd" => OpKind::BiasAdd,
+        "tanh" => OpKind::Tanh,
+        "matmul" => OpKind::MatMul,
+        "reduce.sum" => OpKind::Reduce(ReduceKind::Sum),
+        "reduce.max" => OpKind::Reduce(ReduceKind::Max),
+        "reduce.maxabs" => OpKind::Reduce(ReduceKind::MaxAbs),
+        "identity" => OpKind::Identity,
+        other => {
+            if let Some(rest) = other.strip_prefix("subsample.") {
+                let mut parts = rest.splitn(2, '.');
+                let kind = match parts.next() {
+                    Some("avg") => SubsampleKind::Avg,
+                    Some("max") => SubsampleKind::Max,
+                    _ => return Err(err(format!("unknown subsample kind in '{other}'"))),
+                };
+                let factor: u8 = parts
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .filter(|&f| f >= 1)
+                    .ok_or_else(|| err(format!("bad subsample factor in '{other}'")))?;
+                OpKind::Subsample { factor, kind }
+            } else if let Some(rest) = other.strip_prefix("scale.") {
+                let factor: f32 = rest
+                    .parse()
+                    .map_err(|_| err(format!("bad scale factor in '{other}'")))?;
+                OpKind::scale(factor)
+            } else {
+                return Err(err(format!("unknown operator kind '{other}'")));
+            }
+        }
+    };
+    if kind.arity() != arity {
+        return Err(err(format!(
+            "'{token}' takes {} inputs, got {arity}",
+            kind.arity()
+        )));
+    }
+    Ok(kind)
+}
+
+fn kind_token(kind: OpKind) -> String {
+    match kind {
+        OpKind::Conv2d => "conv2d".into(),
+        OpKind::Remap(RemapKind::FlipH) => "remap.fliph".into(),
+        OpKind::Remap(RemapKind::FlipV) => "remap.flipv".into(),
+        OpKind::Remap(RemapKind::Rot180) => "remap.rot180".into(),
+        OpKind::Remap(RemapKind::Transpose) => "remap.transpose".into(),
+        OpKind::EwMax { .. } => "ewmax".into(),
+        OpKind::EwMaxAbs { .. } => "ewmaxabs".into(),
+        OpKind::EwAdd { .. } => "ewadd".into(),
+        OpKind::EwMul => "ewmul".into(),
+        OpKind::EwSub => "ewsub".into(),
+        OpKind::BiasAdd => "biasadd".into(),
+        OpKind::Tanh => "tanh".into(),
+        OpKind::Subsample { factor, kind } => format!(
+            "subsample.{}.{factor}",
+            match kind {
+                SubsampleKind::Avg => "avg",
+                SubsampleKind::Max => "max",
+            }
+        ),
+        OpKind::MatMul => "matmul".into(),
+        OpKind::Reduce(ReduceKind::Sum) => "reduce.sum".into(),
+        OpKind::Reduce(ReduceKind::Max) => "reduce.max".into(),
+        OpKind::Reduce(ReduceKind::MaxAbs) => "reduce.maxabs".into(),
+        OpKind::ScaleBits(bits) => format!("scale.{}", f32::from_bits(bits)),
+        OpKind::Identity => "identity".into(),
+        OpKind::GatherRows { .. } => "gather".into(), // write-only; not parseable
+    }
+}
+
+/// Parse a `.gfg` document into a validated graph.
+///
+/// ```
+/// let g = gpuflow_graph::parse_graph(
+///     "data A input 8 8\n\
+///      data B output 8 8\n\
+///      op t tanh A -> B\n",
+/// )
+/// .unwrap();
+/// assert_eq!(g.num_ops(), 1);
+/// // Writing and re-parsing round-trips.
+/// let again = gpuflow_graph::parse_graph(&gpuflow_graph::write_graph(&g)).unwrap();
+/// assert_eq!(again.num_data(), g.num_data());
+/// ```
+pub fn parse_graph(src: &str) -> Result<Graph, TextError> {
+    let mut g = Graph::new();
+    let mut names: HashMap<String, DataId> = HashMap::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let err = |m: String| TextError { line, message: m };
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        match toks[0] {
+            "data" => {
+                if toks.len() != 5 {
+                    return Err(err("expected: data <name> <kind> <rows> <cols>".into()));
+                }
+                let kind = match toks[2] {
+                    "input" => DataKind::Input,
+                    "const" | "constant" => DataKind::Constant,
+                    "output" => DataKind::Output,
+                    "temp" | "temporary" => DataKind::Temporary,
+                    other => return Err(err(format!("unknown data kind '{other}'"))),
+                };
+                let rows: usize = toks[3]
+                    .parse()
+                    .map_err(|_| err(format!("bad rows '{}'", toks[3])))?;
+                let cols: usize = toks[4]
+                    .parse()
+                    .map_err(|_| err(format!("bad cols '{}'", toks[4])))?;
+                if names.contains_key(toks[1]) {
+                    return Err(err(format!("duplicate data name '{}'", toks[1])));
+                }
+                let id = g.add(toks[1], rows, cols, kind);
+                names.insert(toks[1].to_string(), id);
+            }
+            "op" => {
+                // op <name> <kind> <in...> -> <out>
+                let arrow = toks
+                    .iter()
+                    .position(|&t| t == "->")
+                    .ok_or_else(|| err("missing '->'".into()))?;
+                if arrow < 3 || arrow + 2 != toks.len() {
+                    return Err(err(
+                        "expected: op <name> <kind> <inputs...> -> <output>".into(),
+                    ));
+                }
+                let lookup = |n: &str| {
+                    names
+                        .get(n)
+                        .copied()
+                        .ok_or_else(|| err(format!("unknown data '{n}'")))
+                };
+                let inputs: Vec<DataId> =
+                    toks[3..arrow].iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
+                let output = lookup(toks[arrow + 1])?;
+                let kind = parse_kind(toks[2], inputs.len(), line)?;
+                g.add_op(toks[1], kind, inputs, output)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            other => return Err(err(format!("unknown declaration '{other}'"))),
+        }
+    }
+    g.validate().map_err(|e| TextError { line: 0, message: e.to_string() })?;
+    Ok(g)
+}
+
+/// Serialize a graph back to `.gfg` text. Graphs containing
+/// pass-inserted `GatherRows` operators are writable for inspection but
+/// not re-parseable.
+pub fn write_graph(g: &Graph) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for d in g.data_ids() {
+        let desc = g.data(d);
+        let kind = match desc.kind {
+            DataKind::Input => "input",
+            DataKind::Constant => "const",
+            DataKind::Output => "output",
+            DataKind::Temporary => "temp",
+        };
+        let _ = writeln!(s, "data {} {kind} {} {}", desc.name, desc.rows, desc.cols);
+    }
+    for o in g.op_ids() {
+        let op = g.op(o);
+        let ins: Vec<&str> = op.inputs.iter().map(|&d| g.data(d).name.as_str()).collect();
+        let _ = writeln!(
+            s,
+            "op {} {} {} -> {}",
+            op.name,
+            kind_token(op.kind),
+            ins.join(" "),
+            g.data(op.outputs[0]).name
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EDGE: &str = "\
+# the experimental edge template
+data Img input 100 100
+data K1  const 5 5
+data K2  const 5 5
+data E1  temp 96 96
+data E2  temp 96 96
+data E3  temp 96 96
+data E4  temp 96 96
+data Edg output 96 96
+op C1 conv2d Img K1 -> E1
+op C2 conv2d Img K2 -> E2
+op R1 remap.fliph E1 -> E3
+op R2 remap.fliph E2 -> E4
+op cmb ewmax E1 E2 E3 E4 -> Edg
+";
+
+    #[test]
+    fn parse_edge_template() {
+        let g = parse_graph(EDGE).unwrap();
+        assert_eq!(g.num_ops(), 5);
+        assert_eq!(g.num_data(), 8);
+        assert_eq!(g.inputs().len(), 1);
+        assert_eq!(g.outputs().len(), 1);
+        assert_eq!(g.op(crate::OpId(4)).kind, OpKind::EwMax { arity: 4 });
+    }
+
+    #[test]
+    fn roundtrip_write_then_parse() {
+        let g = parse_graph(EDGE).unwrap();
+        let text = write_graph(&g);
+        let g2 = parse_graph(&text).unwrap();
+        assert_eq!(g.num_ops(), g2.num_ops());
+        assert_eq!(g.num_data(), g2.num_data());
+        for (a, b) in g.op_ids().zip(g2.op_ids()) {
+            assert_eq!(g.op(a), g2.op(b));
+        }
+        for (a, b) in g.data_ids().zip(g2.data_ids()) {
+            assert_eq!(g.data(a), g2.data(b));
+        }
+    }
+
+    #[test]
+    fn parameterized_kinds() {
+        let src = "\
+data A input 8 8
+data B temp 4 4
+data S temp 4 4
+data R output 1 1
+op p subsample.avg.2 A -> B
+op s scale.2.5 B -> S
+op r reduce.maxabs S -> R
+";
+        let g = parse_graph(src).unwrap();
+        assert_eq!(
+            g.op(crate::OpId(0)).kind,
+            OpKind::Subsample { factor: 2, kind: SubsampleKind::Avg }
+        );
+        assert_eq!(g.op(crate::OpId(1)).kind, OpKind::scale(2.5));
+        assert_eq!(g.op(crate::OpId(2)).kind, OpKind::Reduce(ReduceKind::MaxAbs));
+        // Scale factor survives a write/parse cycle.
+        let g2 = parse_graph(&write_graph(&g)).unwrap();
+        assert_eq!(g2.op(crate::OpId(1)).kind, OpKind::scale(2.5));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(parse_graph("data A 8 8\n").unwrap_err().line, 1);
+        assert_eq!(
+            parse_graph("data A input 8 8\nop t bogus A -> A\n").unwrap_err().line,
+            2
+        );
+        let e = parse_graph("data A input 8 8\ndata B output 8 8\nop t tanh A B -> B\n")
+            .unwrap_err();
+        assert!(e.message.contains("takes 1 inputs"), "{e}");
+        assert!(parse_graph("op t tanh X -> Y\n").unwrap_err().message.contains("unknown data"));
+        assert!(parse_graph("data A input 8 8\nop t tanh A\n")
+            .unwrap_err()
+            .message
+            .contains("->"));
+        assert!(parse_graph("data A input 8 8\ndata A input 8 8\n")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn shape_violations_rejected_at_parse() {
+        let src = "data A input 8 8\ndata B output 9 9\nop t tanh A -> B\n";
+        let e = parse_graph(src).unwrap_err();
+        assert!(e.message.contains("shape") || e.message.contains("inferred"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# full line comment\ndata A input 4 4 # trailing\n\ndata B output 4 4\nop t tanh A -> B\n";
+        let g = parse_graph(src).unwrap();
+        assert_eq!(g.num_ops(), 1);
+    }
+}

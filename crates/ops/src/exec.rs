@@ -1,0 +1,194 @@
+//! Operator dispatch and the reference graph evaluator.
+//!
+//! [`execute`] maps an [`OpKind`] onto its kernel — this is the single point
+//! the plan executor and the reference evaluator go through, so functional
+//! results are identical by construction wherever an operator runs.
+//!
+//! [`reference_eval`] evaluates a whole operator graph with no memory
+//! constraints. It is the correctness oracle: whatever plan the framework
+//! produces (split, scheduled, transferred back and forth), the template
+//! outputs must match this evaluator bit-for-bit.
+
+use std::collections::HashMap;
+
+use gpuflow_graph::{topo_sort, DataId, Graph, OpKind};
+
+use crate::kernels;
+use crate::Tensor;
+
+/// Errors from functional execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The graph input/constant `name` was not supplied.
+    MissingInput(String),
+    /// The supplied tensor for `name` has the wrong shape.
+    ShapeMismatch(String),
+    /// The graph is cyclic.
+    Cyclic,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingInput(n) => write!(f, "missing input tensor for '{n}'"),
+            ExecError::ShapeMismatch(n) => write!(f, "shape mismatch for input '{n}'"),
+            ExecError::Cyclic => write!(f, "graph is cyclic"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Run one operator on already-materialized inputs.
+///
+/// Inputs are positional, matching [`OpKind::arity`]. Panics on arity or
+/// shape violations — graph construction already validated these, so a
+/// violation here is a framework bug, not a user error.
+pub fn execute(kind: OpKind, inputs: &[&Tensor]) -> Tensor {
+    assert_eq!(inputs.len(), kind.arity(), "arity mismatch for {kind:?}");
+    match kind {
+        OpKind::Conv2d => kernels::conv2d_valid(inputs[0], inputs[1]),
+        OpKind::Remap(k) => kernels::remap(inputs[0], k),
+        OpKind::EwMax { .. } => kernels::ew_max(inputs),
+        OpKind::EwMaxAbs { .. } => kernels::ew_max_abs(inputs),
+        OpKind::EwAdd { .. } => kernels::ew_add(inputs),
+        OpKind::EwMul => kernels::ew_mul(inputs[0], inputs[1]),
+        OpKind::EwSub => kernels::ew_sub(inputs[0], inputs[1]),
+        OpKind::BiasAdd => kernels::bias_add(inputs[0], inputs[1]),
+        OpKind::Tanh => kernels::tanh(inputs[0]),
+        OpKind::Subsample { factor, kind } => kernels::subsample(inputs[0], factor as usize, kind),
+        OpKind::MatMul => kernels::matmul(inputs[0], inputs[1]),
+        OpKind::Reduce(k) => kernels::reduce(inputs[0], k),
+        OpKind::ScaleBits(bits) => kernels::scale(inputs[0], f32::from_bits(bits)),
+        OpKind::Identity => inputs[0].clone(),
+        OpKind::GatherRows { row_off, rows, .. } => {
+            kernels::gather_rows(inputs, row_off as usize, rows as usize)
+        }
+    }
+}
+
+/// Evaluate `g` directly: all data structures held in host memory at once,
+/// operators in topological order. Returns the tensors of every graph
+/// output, keyed by [`DataId`].
+///
+/// `bindings` must supply a tensor for every [`gpuflow_graph::DataKind::Input`] and
+/// [`gpuflow_graph::DataKind::Constant`] data structure, keyed by id.
+pub fn reference_eval(
+    g: &Graph,
+    bindings: &HashMap<DataId, Tensor>,
+) -> Result<HashMap<DataId, Tensor>, ExecError> {
+    let order = topo_sort(g).map_err(|_| ExecError::Cyclic)?;
+    let mut env: HashMap<DataId, Tensor> = HashMap::new();
+    for d in g.data_ids() {
+        let desc = g.data(d);
+        if desc.kind.starts_on_cpu() {
+            let t = bindings
+                .get(&d)
+                .ok_or_else(|| ExecError::MissingInput(desc.name.clone()))?;
+            if t.shape() != g.shape(d) {
+                return Err(ExecError::ShapeMismatch(desc.name.clone()));
+            }
+            env.insert(d, t.clone());
+        }
+    }
+    for o in order {
+        let op = g.op(o);
+        let ins: Vec<&Tensor> = op.inputs.iter().map(|d| &env[d]).collect();
+        let out = execute(op.kind, &ins);
+        env.insert(op.outputs[0], out);
+    }
+    Ok(g
+        .outputs()
+        .into_iter()
+        .map(|d| {
+            let t = env.remove(&d).expect("output was produced");
+            (d, t)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_graph::{DataKind, RemapKind};
+
+    #[test]
+    fn execute_dispatches_every_kind() {
+        let a = Tensor::from_fn(4, 4, |r, c| (r * 4 + c) as f32 - 8.0);
+        let b = Tensor::from_fn(4, 4, |r, c| (r + c) as f32);
+        let k = Tensor::from_fn(2, 2, |_, _| 0.25);
+        assert_eq!(execute(OpKind::Conv2d, &[&a, &k]).shape().rows, 3);
+        assert_eq!(execute(OpKind::Remap(RemapKind::FlipH), &[&a]).shape(), a.shape());
+        assert_eq!(execute(OpKind::EwMax { arity: 2 }, &[&a, &b]).get(0, 0), 0.0);
+        assert_eq!(execute(OpKind::EwMaxAbs { arity: 2 }, &[&a, &b]).get(0, 0), 8.0);
+        assert_eq!(execute(OpKind::EwAdd { arity: 2 }, &[&a, &b]).get(0, 0), -8.0);
+        assert_eq!(execute(OpKind::EwMul, &[&a, &b]).get(0, 1), -7.0);
+        assert_eq!(execute(OpKind::EwSub, &[&a, &b]).get(0, 1), -8.0);
+        assert_eq!(execute(OpKind::BiasAdd, &[&a, &Tensor::scalar(8.0)]).get(0, 0), 0.0);
+        assert_eq!(execute(OpKind::Tanh, &[&a]).get(0, 0), (-8.0f32).tanh());
+        assert_eq!(
+            execute(
+                OpKind::Subsample { factor: 2, kind: gpuflow_graph::SubsampleKind::Max },
+                &[&a]
+            )
+            .shape()
+            .rows,
+            2
+        );
+        assert_eq!(execute(OpKind::MatMul, &[&a, &b]).shape(), a.shape());
+        assert_eq!(
+            execute(OpKind::Reduce(gpuflow_graph::ReduceKind::Max), &[&a]).get(0, 0),
+            7.0
+        );
+        assert_eq!(execute(OpKind::scale(2.0), &[&a]).get(3, 3), 14.0);
+        assert_eq!(execute(OpKind::Identity, &[&a]), a);
+    }
+
+    fn small_edge_graph() -> (Graph, DataId, DataId, DataId) {
+        let mut g = Graph::new();
+        let img = g.add("Img", 10, 10, DataKind::Input);
+        let ker = g.add("K", 3, 3, DataKind::Constant);
+        let e1 = g.add("E1", 8, 8, DataKind::Temporary);
+        let e5 = g.add("E5", 8, 8, DataKind::Temporary);
+        let edg = g.add("Edg", 8, 8, DataKind::Output);
+        g.add_op("C1", OpKind::Conv2d, vec![img, ker], e1).unwrap();
+        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5).unwrap();
+        g.add_op("max", OpKind::EwMax { arity: 2 }, vec![e1, e5], edg).unwrap();
+        (g, img, ker, edg)
+    }
+
+    #[test]
+    fn reference_eval_small_graph() {
+        let (g, img, ker, edg) = small_edge_graph();
+        let mut bind = HashMap::new();
+        bind.insert(img, Tensor::from_fn(10, 10, |r, c| ((r * 7 + c * 3) % 5) as f32));
+        bind.insert(ker, Tensor::from_fn(3, 3, |r, c| if r == 1 && c == 1 { 1.0 } else { 0.0 }));
+        let out = reference_eval(&g, &bind).unwrap();
+        assert_eq!(out.len(), 1);
+        let t = &out[&edg];
+        assert_eq!(t.shape(), gpuflow_graph::Shape::new(8, 8));
+        // Identity-center kernel: E1[i,j] = img[i+1, j+1]; max with its
+        // horizontal flip is symmetric under FlipH.
+        let flipped = kernels::remap(t, RemapKind::FlipH);
+        assert_eq!(&flipped, t);
+    }
+
+    #[test]
+    fn reference_eval_missing_input() {
+        let (g, img, _, _) = small_edge_graph();
+        let mut bind = HashMap::new();
+        bind.insert(img, Tensor::zeros(10, 10));
+        let err = reference_eval(&g, &bind).unwrap_err();
+        assert_eq!(err, ExecError::MissingInput("K".into()));
+    }
+
+    #[test]
+    fn reference_eval_shape_mismatch() {
+        let (g, img, ker, _) = small_edge_graph();
+        let mut bind = HashMap::new();
+        bind.insert(img, Tensor::zeros(9, 10));
+        bind.insert(ker, Tensor::zeros(3, 3));
+        let err = reference_eval(&g, &bind).unwrap_err();
+        assert_eq!(err, ExecError::ShapeMismatch("Img".into()));
+    }
+}

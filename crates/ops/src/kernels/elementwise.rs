@@ -1,0 +1,153 @@
+//! Element-wise operators: n-ary max / max-abs / add, binary mul / sub,
+//! bias add, tanh, and scaling.
+
+use rayon::prelude::*;
+
+use crate::Tensor;
+
+fn assert_same_shapes(inputs: &[&Tensor]) {
+    assert!(!inputs.is_empty(), "element-wise op needs at least one input");
+    let s = inputs[0].shape();
+    for t in &inputs[1..] {
+        assert_eq!(t.shape(), s, "element-wise inputs must share a shape");
+    }
+}
+
+fn zip_n(inputs: &[&Tensor], f: impl Fn(&mut f32, f32) + Sync, init: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    assert_same_shapes(inputs);
+    let (rows, cols) = (inputs[0].rows(), inputs[0].cols());
+    let mut out = vec![0.0f32; rows * cols];
+    out.par_iter_mut().enumerate().for_each(|(i, slot)| {
+        let mut acc = init(inputs[0].as_slice()[i]);
+        for t in &inputs[1..] {
+            f(&mut acc, init(t.as_slice()[i]));
+        }
+        *slot = acc;
+    });
+    Tensor::from_vec(rows, cols, out)
+}
+
+/// Element-wise maximum over `inputs` (the edge template's `max` combine).
+pub fn ew_max(inputs: &[&Tensor]) -> Tensor {
+    zip_n(inputs, |a, b| *a = a.max(b), |v| v)
+}
+
+/// Element-wise maximum of absolute values (the paper's alternative
+/// `Combine_op` for edge detection).
+pub fn ew_max_abs(inputs: &[&Tensor]) -> Tensor {
+    zip_n(inputs, |a, b| *a = a.max(b), |v| v.abs())
+}
+
+/// Element-wise sum over `inputs` (CNN accumulation adds).
+pub fn ew_add(inputs: &[&Tensor]) -> Tensor {
+    zip_n(inputs, |a, b| *a += b, |v| v)
+}
+
+/// Element-wise product of two tensors.
+pub fn ew_mul(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_n(&[a, b], |x, y| *x *= y, |v| v)
+}
+
+/// Element-wise difference `a - b`.
+pub fn ew_sub(a: &Tensor, b: &Tensor) -> Tensor {
+    zip_n(&[a, b], |x, y| *x -= y, |v| v)
+}
+
+/// Add the scalar bias (a 1×1 tensor) to every element of `a`.
+pub fn bias_add(a: &Tensor, bias: &Tensor) -> Tensor {
+    assert_eq!(bias.shape(), gpuflow_graph::Shape::new(1, 1), "bias must be 1x1");
+    let b = bias.get(0, 0);
+    map(a, move |v| v + b)
+}
+
+/// Element-wise hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    map(a, f32::tanh)
+}
+
+/// Multiply every element by `factor`.
+pub fn scale(a: &Tensor, factor: f32) -> Tensor {
+    map(a, move |v| v * factor)
+}
+
+fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let mut out = vec![0.0f32; a.len()];
+    out.par_iter_mut()
+        .zip(a.as_slice().par_iter())
+        .for_each(|(slot, &v)| *slot = f(v));
+    Tensor::from_vec(a.rows(), a.cols(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(1, v.len(), v.to_vec())
+    }
+
+    #[test]
+    fn max_of_three() {
+        let (a, b, c) = (t(&[1.0, 5.0]), t(&[4.0, 2.0]), t(&[3.0, 3.0]));
+        assert_eq!(ew_max(&[&a, &b, &c]).as_slice(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn max_abs_uses_magnitudes() {
+        let (a, b) = (t(&[-5.0, 1.0]), t(&[2.0, -3.0]));
+        assert_eq!(ew_max_abs(&[&a, &b]).as_slice(), &[5.0, 3.0]);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let (a, b, c) = (t(&[1.0]), t(&[2.0]), t(&[3.0]));
+        assert_eq!(ew_add(&[&a, &b, &c]).as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn single_input_passthrough() {
+        let a = t(&[1.5, -2.0]);
+        assert_eq!(ew_add(&[&a]).as_slice(), a.as_slice());
+        assert_eq!(ew_max(&[&a]).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn mul_and_sub() {
+        let (a, b) = (t(&[6.0, 4.0]), t(&[2.0, 5.0]));
+        assert_eq!(ew_mul(&a, &b).as_slice(), &[12.0, 20.0]);
+        assert_eq!(ew_sub(&a, &b).as_slice(), &[4.0, -1.0]);
+    }
+
+    #[test]
+    fn bias_add_broadcasts_scalar() {
+        let a = Tensor::from_fn(2, 2, |r, c| (r + c) as f32);
+        let out = bias_add(&a, &Tensor::scalar(10.0));
+        assert_eq!(out.as_slice(), &[10.0, 11.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be 1x1")]
+    fn bias_shape_checked() {
+        bias_add(&Tensor::zeros(2, 2), &Tensor::zeros(2, 2));
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let a = t(&[0.0, 1.0, -2.0]);
+        let out = tanh(&a);
+        assert_eq!(out.as_slice()[0], 0.0);
+        assert_eq!(out.as_slice()[1], 1.0f32.tanh());
+        assert_eq!(out.as_slice()[2], (-2.0f32).tanh());
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        assert_eq!(scale(&t(&[1.0, -2.0]), 2.5).as_slice(), &[2.5, -5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a shape")]
+    fn shape_mismatch_panics() {
+        ew_add(&[&Tensor::zeros(2, 2), &Tensor::zeros(2, 3)]);
+    }
+}

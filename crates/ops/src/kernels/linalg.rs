@@ -1,0 +1,74 @@
+//! Dense matrix multiplication — the §3.2 example of a non-data-parallel
+//! but splittable operator.
+
+use rayon::prelude::*;
+
+use crate::Tensor;
+
+/// `a (m×k) · b (k×n) -> (m×n)`. Parallel over output rows; inner
+/// accumulation order is fixed so results are deterministic.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let a_row = a.row(i);
+        for (kk, &av) in a_row.iter().enumerate().take(k) {
+            let b_row = b.row(kk);
+            for (slot, &bv) in row.iter_mut().zip(b_row) {
+                *slot += av * bv;
+            }
+        }
+    });
+    Tensor::from_vec(m, n, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_2x2() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(matmul(&a, &b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let a = Tensor::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        let eye = Tensor::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(matmul(&a, &eye), a);
+        assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = Tensor::from_fn(2, 3, |_, _| 1.0);
+        let b = Tensor::from_fn(3, 4, |_, _| 2.0);
+        let out = matmul(&a, &b);
+        assert_eq!(out.shape(), gpuflow_graph::Shape::new(2, 4));
+        assert!(out.as_slice().iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    fn row_split_agrees_with_whole() {
+        // The MatMulRows split rule: break input 0 and the output by rows,
+        // keep input 1 whole (§3.2's splitting hint).
+        let a = Tensor::from_fn(6, 5, |r, c| ((r * 13 + c) % 7) as f32);
+        let b = Tensor::from_fn(5, 4, |r, c| ((r + c * 3) % 5) as f32);
+        let whole = matmul(&a, &b);
+        let top = matmul(&a.view(0, 0, 3, 5), &b);
+        let bot = matmul(&a.view(3, 0, 3, 5), &b);
+        let mut stitched = Tensor::zeros(6, 4);
+        stitched.paste(&top, 0, 0);
+        stitched.paste(&bot, 3, 0);
+        assert_eq!(stitched, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dim_mismatch_panics() {
+        matmul(&Tensor::zeros(2, 3), &Tensor::zeros(4, 2));
+    }
+}

@@ -1,0 +1,20 @@
+//! CPU implementations of every operator in the library.
+//!
+//! Each kernel is the functional stand-in for the CUDA kernel the paper's
+//! operator library would provide. Kernels parallelize over output rows with
+//! rayon and are deterministic (each output element is a pure function of
+//! the inputs, accumulated in a fixed order).
+
+pub mod conv;
+pub mod elementwise;
+pub mod linalg;
+pub mod pool;
+pub mod reduce;
+pub mod remap;
+
+pub use conv::conv2d_valid;
+pub use elementwise::{bias_add, ew_add, ew_max, ew_max_abs, ew_mul, ew_sub, scale, tanh};
+pub use linalg::matmul;
+pub use pool::subsample;
+pub use reduce::reduce;
+pub use remap::{gather_rows, remap};

@@ -1,0 +1,94 @@
+//! Subsampling (pooling) — the CNN template's `SpatialSubSampling` layers.
+
+use gpuflow_graph::SubsampleKind;
+use rayon::prelude::*;
+
+use crate::Tensor;
+
+/// `factor`×`factor` pooling with stride `factor`. Trailing rows/columns
+/// that do not fill a window are dropped (truncating division, torch5
+/// semantics).
+pub fn subsample(a: &Tensor, factor: usize, kind: SubsampleKind) -> Tensor {
+    assert!(factor >= 1, "pooling factor must be >= 1");
+    let (or, oc) = (a.rows() / factor, a.cols() / factor);
+    assert!(or > 0 && oc > 0, "input smaller than pooling window");
+    let inv = 1.0 / (factor * factor) as f32;
+    let mut out = vec![0.0f32; or * oc];
+    out.par_chunks_mut(oc).enumerate().for_each(|(i, row)| {
+        for (j, slot) in row.iter_mut().enumerate() {
+            let mut acc = match kind {
+                SubsampleKind::Avg => 0.0f32,
+                SubsampleKind::Max => f32::NEG_INFINITY,
+            };
+            for a_r in 0..factor {
+                let src = a.row(i * factor + a_r);
+                for a_c in 0..factor {
+                    let v = src[j * factor + a_c];
+                    match kind {
+                        SubsampleKind::Avg => acc += v,
+                        SubsampleKind::Max => acc = acc.max(v),
+                    }
+                }
+            }
+            *slot = match kind {
+                SubsampleKind::Avg => acc * inv,
+                SubsampleKind::Max => acc,
+            };
+        }
+    });
+    Tensor::from_vec(or, oc, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_pool_2x2() {
+        let a = Tensor::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let out = subsample(&a, 2, SubsampleKind::Avg);
+        assert_eq!(out.shape(), gpuflow_graph::Shape::new(1, 2));
+        assert_eq!(out.as_slice(), &[3.5, 5.5]);
+    }
+
+    #[test]
+    fn max_pool_2x2() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, -9.0, 4.0, 2.0]);
+        assert_eq!(subsample(&a, 2, SubsampleKind::Max).as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn truncates_odd_edges() {
+        let a = Tensor::from_fn(5, 5, |r, c| (r * 5 + c) as f32);
+        let out = subsample(&a, 2, SubsampleKind::Max);
+        assert_eq!(out.shape(), gpuflow_graph::Shape::new(2, 2));
+        // window rows {0,1} cols {2,3} -> max is a[1,3] = 8
+        assert_eq!(out.get(0, 1), 8.0);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let a = Tensor::from_fn(3, 3, |r, c| (r + c) as f32);
+        assert_eq!(subsample(&a, 1, SubsampleKind::Avg), a);
+        assert_eq!(subsample(&a, 1, SubsampleKind::Max), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than pooling window")]
+    fn too_small_panics() {
+        subsample(&Tensor::zeros(1, 4), 2, SubsampleKind::Avg);
+    }
+
+    #[test]
+    fn split_by_output_rows_agrees_with_whole() {
+        // RowScaled split rule: output rows [a,b) <- input rows [a*f, b*f).
+        let a = Tensor::from_fn(8, 6, |r, c| ((r * 17 + c * 5) % 11) as f32);
+        let whole = subsample(&a, 2, SubsampleKind::Avg);
+        let top = subsample(&a.view(0, 0, 4, 6), 2, SubsampleKind::Avg);
+        let bot = subsample(&a.view(4, 0, 4, 6), 2, SubsampleKind::Avg);
+        let mut stitched = Tensor::zeros(4, 3);
+        stitched.paste(&top, 0, 0);
+        stitched.paste(&bot, 2, 0);
+        assert_eq!(stitched, whole);
+    }
+}

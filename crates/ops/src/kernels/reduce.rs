@@ -1,0 +1,87 @@
+//! Full reductions to a scalar.
+//!
+//! Reductions are the paper's example of operators that split *structurally*
+//! (partial reductions plus a combine), not by simple row slicing.
+
+use gpuflow_graph::ReduceKind;
+use rayon::prelude::*;
+
+use crate::Tensor;
+
+/// Reduce all elements of `a` to a 1×1 tensor.
+///
+/// Parallel per-row partials are combined in row order, so the result is
+/// deterministic for a fixed shape regardless of thread count.
+pub fn reduce(a: &Tensor, kind: ReduceKind) -> Tensor {
+    assert!(!a.is_empty(), "cannot reduce an empty tensor");
+    let per_row: Vec<f32> = (0..a.rows())
+        .into_par_iter()
+        .map(|r| {
+            let row = a.row(r);
+            match kind {
+                ReduceKind::Sum => row.iter().sum(),
+                ReduceKind::Max => row.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+                ReduceKind::MaxAbs => row.iter().map(|v| v.abs()).fold(0.0, f32::max),
+            }
+        })
+        .collect();
+    let total = match kind {
+        ReduceKind::Sum => per_row.iter().sum(),
+        ReduceKind::Max => per_row.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+        ReduceKind::MaxAbs => per_row.iter().copied().fold(0.0, f32::max),
+    };
+    Tensor::scalar(total)
+}
+
+/// Combine two partial reduction results (used by the structural split).
+pub fn combine_partials(a: &Tensor, b: &Tensor, kind: ReduceKind) -> Tensor {
+    let (x, y) = (a.get(0, 0), b.get(0, 0));
+    Tensor::scalar(match kind {
+        ReduceKind::Sum => x + y,
+        // Partials of MaxAbs are already non-negative, so plain max combines
+        // both Max and MaxAbs.
+        ReduceKind::Max | ReduceKind::MaxAbs => x.max(y),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(2, 3, vec![1.0, -7.0, 3.0, 4.0, 5.0, -2.0])
+    }
+
+    #[test]
+    fn sum_max_maxabs() {
+        assert_eq!(reduce(&sample(), ReduceKind::Sum).get(0, 0), 4.0);
+        assert_eq!(reduce(&sample(), ReduceKind::Max).get(0, 0), 5.0);
+        assert_eq!(reduce(&sample(), ReduceKind::MaxAbs).get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn split_then_combine_matches_whole() {
+        let a = sample();
+        for kind in [ReduceKind::Sum, ReduceKind::Max, ReduceKind::MaxAbs] {
+            let whole = reduce(&a, kind);
+            let p1 = reduce(&a.view(0, 0, 1, 3), kind);
+            let p2 = reduce(&a.view(1, 0, 1, 3), kind);
+            let combined = combine_partials(&p1, &p2, kind);
+            assert_eq!(combined, whole, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let a = Tensor::scalar(-3.0);
+        assert_eq!(reduce(&a, ReduceKind::Sum).get(0, 0), -3.0);
+        assert_eq!(reduce(&a, ReduceKind::Max).get(0, 0), -3.0);
+        assert_eq!(reduce(&a, ReduceKind::MaxAbs).get(0, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        reduce(&Tensor::zeros(0, 3), ReduceKind::Sum);
+    }
+}

@@ -1,0 +1,125 @@
+//! Index-remapping operators.
+//!
+//! The edge-detection template derives edge responses at additional
+//! orientations by remapping already-computed convolution results instead of
+//! convolving again (§4.1.1 uses "2 convolutions and 2 remaps" for four
+//! orientations).
+
+use gpuflow_graph::RemapKind;
+use rayon::prelude::*;
+
+use crate::Tensor;
+
+/// Apply the fixed index remapping `kind` to `a`.
+pub fn remap(a: &Tensor, kind: RemapKind) -> Tensor {
+    let (rows, cols) = (a.rows(), a.cols());
+    let (or, oc) = match kind {
+        RemapKind::Transpose => (cols, rows),
+        _ => (rows, cols),
+    };
+    let mut out = vec![0.0f32; or * oc];
+    out.par_chunks_mut(oc).enumerate().for_each(|(i, row)| {
+        for (j, slot) in row.iter_mut().enumerate() {
+            let (sr, sc) = match kind {
+                RemapKind::FlipH => (i, cols - 1 - j),
+                RemapKind::FlipV => (rows - 1 - i, j),
+                RemapKind::Rot180 => (rows - 1 - i, cols - 1 - j),
+                RemapKind::Transpose => (j, i),
+            };
+            *slot = a.get(sr, sc);
+        }
+    });
+    Tensor::from_vec(or, oc, out)
+}
+
+/// Extract `rows` rows starting at `row_off` from the row-wise
+/// concatenation of `bands` (all sharing a column count).
+pub fn gather_rows(bands: &[&Tensor], row_off: usize, rows: usize) -> Tensor {
+    assert!(!bands.is_empty(), "gather needs at least one band");
+    let cols = bands[0].cols();
+    assert!(bands.iter().all(|b| b.cols() == cols), "bands must share a column count");
+    let total: usize = bands.iter().map(|b| b.rows()).sum();
+    assert!(row_off + rows <= total, "gather range exceeds concatenated rows");
+    let mut out = Vec::with_capacity(rows * cols);
+    let mut band_idx = 0;
+    let mut band_start = 0;
+    for r in row_off..row_off + rows {
+        while r >= band_start + bands[band_idx].rows() {
+            band_start += bands[band_idx].rows();
+            band_idx += 1;
+        }
+        out.extend_from_slice(bands[band_idx].row(r - band_start));
+    }
+    Tensor::from_vec(rows, cols, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn flip_h_reverses_rows() {
+        assert_eq!(
+            remap(&sample(), RemapKind::FlipH).as_slice(),
+            &[3.0, 2.0, 1.0, 6.0, 5.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn flip_v_reverses_row_order() {
+        assert_eq!(
+            remap(&sample(), RemapKind::FlipV).as_slice(),
+            &[4.0, 5.0, 6.0, 1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn rot180_is_both_flips() {
+        let r = remap(&sample(), RemapKind::Rot180);
+        let both = remap(&remap(&sample(), RemapKind::FlipH), RemapKind::FlipV);
+        assert_eq!(r, both);
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let t = remap(&sample(), RemapKind::Transpose);
+        assert_eq!(t.shape(), gpuflow_graph::Shape::new(3, 2));
+        assert_eq!(t.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_rows_spans_bands() {
+        let a = Tensor::from_vec(2, 2, vec![0.0, 1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(3, 2, vec![4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        // rows 1..4 of the concatenation: [2 3], [4 5], [6 7]
+        let g = gather_rows(&[&a, &b], 1, 3);
+        assert_eq!(g.as_slice(), &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn gather_rows_single_band_is_view() {
+        let a = Tensor::from_fn(5, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(gather_rows(&[&a], 1, 2), a.view(1, 0, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gather_rows_bounds_checked() {
+        let a = Tensor::zeros(2, 2);
+        gather_rows(&[&a], 1, 3);
+    }
+
+    #[test]
+    fn remaps_are_involutions() {
+        for kind in [RemapKind::FlipH, RemapKind::FlipV, RemapKind::Rot180] {
+            let twice = remap(&remap(&sample(), kind), kind);
+            assert_eq!(twice, sample(), "{kind:?} should be an involution");
+        }
+        let sq = Tensor::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(remap(&remap(&sq, RemapKind::Transpose), RemapKind::Transpose), sq);
+    }
+}

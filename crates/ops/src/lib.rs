@@ -1,0 +1,28 @@
+//! # gpuflow-ops
+//!
+//! The parallel operator library backing the gpuflow framework.
+//!
+//! The paper assumes "an operator library that implements all the parallel
+//! operators is available" (§3.1) — on its testbed those were CUDA kernels.
+//! Here each operator has:
+//!
+//! * a **functional implementation** on the host CPU, parallelized with
+//!   rayon ([`exec`]), used by the plan executor's functional mode and by
+//!   the reference evaluator, and
+//! * an **analytic cost model** ([`cost`]) — floating-point operations and
+//!   bytes touched — which the GPU simulator converts into device time.
+//!
+//! Determinism: every kernel writes each output element exactly once from a
+//! pure function of the inputs, so parallel and sequential execution produce
+//! bit-identical results, which the tests rely on.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod exec;
+pub mod kernels;
+pub mod tensor;
+
+pub use cost::{op_cost, OpCost};
+pub use exec::{execute, reference_eval, ExecError};
+pub use tensor::Tensor;

@@ -1,0 +1,186 @@
+//! Property-based tests of the operator kernels: algebraic identities that
+//! must hold for arbitrary shapes and contents.
+
+use proptest::prelude::*;
+
+use gpuflow_graph::{ReduceKind, RemapKind, SubsampleKind};
+use gpuflow_ops::{kernels, Tensor};
+
+fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed | 1;
+    let mut rnd = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2000) as f32 / 100.0 - 10.0
+    };
+    Tensor::from_fn(rows, cols, |_, _| rnd())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A centered delta kernel shifts the image exactly.
+    #[test]
+    fn conv_with_delta_kernel_is_a_shift(
+        rows in 5usize..40,
+        cols in 5usize..40,
+        seed in 1u64..10_000,
+    ) {
+        let img = tensor(rows, cols, seed);
+        let k = Tensor::from_fn(3, 3, |r, c| if (r, c) == (1, 1) { 1.0 } else { 0.0 });
+        let out = kernels::conv2d_valid(&img, &k);
+        prop_assert_eq!(out.rows(), rows - 2);
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                prop_assert_eq!(out.get(r, c), img.get(r + 1, c + 1));
+            }
+        }
+    }
+
+    /// Convolution is linear in the image (up to fp rounding).
+    #[test]
+    fn conv_is_linear_in_the_image(
+        rows in 4usize..24,
+        cols in 4usize..24,
+        seed in 1u64..10_000,
+    ) {
+        let a = tensor(rows, cols, seed);
+        let b = tensor(rows, cols, seed + 1);
+        let k = tensor(3, 3, seed + 2);
+        let sum = kernels::ew_add(&[&a, &b]);
+        let lhs = kernels::conv2d_valid(&sum, &k);
+        let rhs = kernels::ew_add(&[
+            &kernels::conv2d_valid(&a, &k),
+            &kernels::conv2d_valid(&b, &k),
+        ]);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2, "diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    /// Element-wise max is commutative, idempotent, and bounded below by
+    /// each argument.
+    #[test]
+    fn ew_max_algebra(rows in 1usize..16, cols in 1usize..16, seed in 1u64..10_000) {
+        let a = tensor(rows, cols, seed);
+        let b = tensor(rows, cols, seed + 7);
+        let ab = kernels::ew_max(&[&a, &b]);
+        let ba = kernels::ew_max(&[&b, &a]);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(&kernels::ew_max(&[&a, &a]), &a);
+        for i in 0..ab.len() {
+            prop_assert!(ab.as_slice()[i] >= a.as_slice()[i]);
+            prop_assert!(ab.as_slice()[i] >= b.as_slice()[i]);
+        }
+    }
+
+    /// Addition is commutative bit-for-bit (two operands).
+    #[test]
+    fn ew_add_commutes(rows in 1usize..16, cols in 1usize..16, seed in 1u64..10_000) {
+        let a = tensor(rows, cols, seed);
+        let b = tensor(rows, cols, seed + 3);
+        prop_assert_eq!(kernels::ew_add(&[&a, &b]), kernels::ew_add(&[&b, &a]));
+    }
+
+    /// sub(a, b) == add(a, scale(b, -1)) bit-for-bit.
+    #[test]
+    fn sub_is_add_of_negation(rows in 1usize..12, cols in 1usize..12, seed in 1u64..10_000) {
+        let a = tensor(rows, cols, seed);
+        let b = tensor(rows, cols, seed + 5);
+        let neg_b = kernels::scale(&b, -1.0);
+        prop_assert_eq!(kernels::ew_sub(&a, &b), kernels::ew_add(&[&a, &neg_b]));
+    }
+
+    /// Average pooling never exceeds max pooling.
+    #[test]
+    fn avg_pool_below_max_pool(
+        rows in 2usize..24,
+        cols in 2usize..24,
+        seed in 1u64..10_000,
+    ) {
+        let a = tensor(rows, cols, seed);
+        let avg = kernels::subsample(&a, 2, SubsampleKind::Avg);
+        let max = kernels::subsample(&a, 2, SubsampleKind::Max);
+        for i in 0..avg.len() {
+            prop_assert!(avg.as_slice()[i] <= max.as_slice()[i] + 1e-6);
+        }
+    }
+
+    /// Gathering all rows of a single band is the identity; gathering a
+    /// range equals a view.
+    #[test]
+    fn gather_matches_view(
+        rows in 2usize..20,
+        cols in 1usize..12,
+        seed in 1u64..10_000,
+        lo_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+    ) {
+        let a = tensor(rows, cols, seed);
+        let lo = ((rows - 1) as f64 * lo_frac) as usize;
+        let len = 1 + ((rows - lo - 1) as f64 * len_frac) as usize;
+        prop_assert_eq!(
+            kernels::gather_rows(&[&a], lo, len),
+            a.view(lo, 0, len, cols)
+        );
+        // Split into two bands: gather across the seam matches too.
+        let cut = rows / 2;
+        if cut > 0 && cut < rows {
+            let top = a.view(0, 0, cut, cols);
+            let bot = a.view(cut, 0, rows - cut, cols);
+            prop_assert_eq!(kernels::gather_rows(&[&top, &bot], lo, len), a.view(lo, 0, len, cols));
+        }
+    }
+
+    /// Reduction over the whole equals combining partial reductions.
+    #[test]
+    fn reduce_combines(rows in 2usize..24, cols in 1usize..16, seed in 1u64..10_000) {
+        let a = tensor(rows, cols, seed);
+        for kind in [ReduceKind::Max, ReduceKind::MaxAbs] {
+            let whole = kernels::reduce(&a, kind);
+            let cut = rows / 2;
+            let p1 = kernels::reduce(&a.view(0, 0, cut, cols), kind);
+            let p2 = kernels::reduce(&a.view(cut, 0, rows - cut, cols), kind);
+            prop_assert_eq!(
+                kernels::reduce::combine_partials(&p1, &p2, kind).get(0, 0),
+                whole.get(0, 0)
+            );
+        }
+    }
+
+    /// Remap kinds permute values: the sorted multiset is preserved.
+    #[test]
+    fn remap_preserves_values(rows in 1usize..12, cols in 1usize..12, seed in 1u64..10_000) {
+        let a = tensor(rows, cols, seed);
+        for kind in [RemapKind::FlipH, RemapKind::FlipV, RemapKind::Rot180] {
+            let out = kernels::remap(&a, kind);
+            let mut x: Vec<f32> = a.as_slice().to_vec();
+            let mut y: Vec<f32> = out.as_slice().to_vec();
+            x.sort_by(f32::total_cmp);
+            y.sort_by(f32::total_cmp);
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// tanh is monotone, odd, and bounded.
+    #[test]
+    fn tanh_properties(rows in 1usize..10, cols in 1usize..10, seed in 1u64..10_000) {
+        let a = tensor(rows, cols, seed);
+        let t = kernels::tanh(&a);
+        let neg = kernels::tanh(&kernels::scale(&a, -1.0));
+        for i in 0..a.len() {
+            prop_assert!(t.as_slice()[i].abs() <= 1.0);
+            prop_assert!((t.as_slice()[i] + neg.as_slice()[i]).abs() < 1e-6);
+        }
+    }
+
+    /// Matrix multiplication distributes over addition (tolerance).
+    #[test]
+    fn matmul_distributes(m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in 1u64..10_000) {
+        let a = tensor(m, k, seed);
+        let b = tensor(k, n, seed + 1);
+        let c = tensor(k, n, seed + 2);
+        let lhs = kernels::matmul(&a, &kernels::ew_add(&[&b, &c]));
+        let rhs = kernels::ew_add(&[&kernels::matmul(&a, &b), &kernels::matmul(&a, &c)]);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Linear pseudo-Boolean constraints and their normalization.
+//!
+//! Every constraint is normalized to the canonical form
+//! `Σ aᵢ·lᵢ ≥ b` with all `aᵢ > 0`, distinct variables, and `aᵢ ≤ b`
+//! (saturation). Normalization can discover that a constraint is trivially
+//! true, trivially false, or a plain clause.
+
+use crate::types::Lit;
+
+/// Comparison operator of a user-supplied linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `Σ terms ≥ rhs`
+    Ge,
+    /// `Σ terms ≤ rhs`
+    Le,
+    /// `Σ terms = rhs` (expands to one Ge plus one Le).
+    Eq,
+}
+
+/// A normalized constraint `Σ aᵢ·lᵢ ≥ bound`, `aᵢ > 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearConstraint {
+    /// Terms sorted by descending coefficient (propagation scans greedily).
+    pub terms: Vec<(i64, Lit)>,
+    /// Right-hand side after normalization.
+    pub bound: i64,
+}
+
+impl LinearConstraint {
+    /// Maximum possible left-hand side value.
+    pub fn max_sum(&self) -> i64 {
+        self.terms.iter().map(|(a, _)| a).sum()
+    }
+
+    /// Evaluate under a total assignment (`model[var] = value`).
+    pub fn eval(&self, model: &[bool]) -> bool {
+        let lhs: i64 = self
+            .terms
+            .iter()
+            .filter(|(_, l)| l.eval(model[l.var().index()]))
+            .map(|(a, _)| a)
+            .sum();
+        lhs >= self.bound
+    }
+}
+
+/// Result of normalizing a `Σ aᵢ·lᵢ (cmp) rhs` constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormalizeOutcome {
+    /// Always satisfied; nothing to add.
+    Trivial,
+    /// Unsatisfiable regardless of assignment.
+    Unsat,
+    /// Became a plain clause (all coefficients 1, bound 1).
+    Clause(Vec<Lit>),
+    /// A genuine linear constraint.
+    Linear(LinearConstraint),
+}
+
+/// Normalize one `≥` constraint (callers expand [`Cmp::Le`]/[`Cmp::Eq`]
+/// first — see [`normalize`]).
+fn normalize_ge(terms: &[(i64, Lit)], mut bound: i64) -> NormalizeOutcome {
+    use std::collections::HashMap;
+    // Fold into per-variable net coefficients on the positive literal:
+    // a·l with l = ¬x is a·(1 − x) = a − a·x.
+    let mut per_var: HashMap<u32, i64> = HashMap::new();
+    for &(a, l) in terms {
+        if a == 0 {
+            continue;
+        }
+        let v = l.var().0;
+        if l.is_neg() {
+            bound -= a;
+            *per_var.entry(v).or_insert(0) -= a;
+        } else {
+            *per_var.entry(v).or_insert(0) += a;
+        }
+    }
+    // Re-express every net coefficient as a positive coefficient on some
+    // literal: c·x with c < 0 is |c|·¬x − |c|.
+    let mut out: Vec<(i64, Lit)> = Vec::with_capacity(per_var.len());
+    for (v, c) in per_var {
+        let var = crate::types::Var(v);
+        match c.cmp(&0) {
+            std::cmp::Ordering::Greater => out.push((c, var.pos())),
+            std::cmp::Ordering::Less => {
+                bound += -c;
+                out.push((-c, var.neg()));
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    if bound <= 0 {
+        return NormalizeOutcome::Trivial;
+    }
+    // Saturate: any coefficient ≥ bound acts exactly like bound.
+    for t in &mut out {
+        t.0 = t.0.min(bound);
+    }
+    let max_sum: i64 = out.iter().map(|(a, _)| a).sum();
+    if max_sum < bound {
+        return NormalizeOutcome::Unsat;
+    }
+    if out.iter().all(|&(a, _)| a == bound) && bound > 0 && out.iter().all(|&(a, _)| a == out[0].0)
+    {
+        // Every single term alone satisfies the constraint *only* when
+        // coefficients equal the bound; with bound b and all aᵢ = b, the
+        // constraint is the clause (l₁ ∨ … ∨ lₙ).
+        return NormalizeOutcome::Clause(out.into_iter().map(|(_, l)| l).collect());
+    }
+    out.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.index().cmp(&y.1.index())));
+    NormalizeOutcome::Linear(LinearConstraint { terms: out, bound })
+}
+
+/// Normalize a user-facing constraint into zero, one, or two canonical
+/// pieces.
+pub fn normalize(terms: &[(i64, Lit)], cmp: Cmp, rhs: i64) -> Vec<NormalizeOutcome> {
+    match cmp {
+        Cmp::Ge => vec![normalize_ge(terms, rhs)],
+        Cmp::Le => {
+            // Σ a l ≤ b  ⟺  Σ (−a) l ≥ −b
+            let negated: Vec<(i64, Lit)> = terms.iter().map(|&(a, l)| (-a, l)).collect();
+            vec![normalize_ge(&negated, -rhs)]
+        }
+        Cmp::Eq => {
+            let mut v = normalize(terms, Cmp::Ge, rhs);
+            v.extend(normalize(terms, Cmp::Le, rhs));
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    fn l(i: u32) -> Lit {
+        Var(i).pos()
+    }
+
+    #[test]
+    fn simple_ge_is_kept() {
+        let out = normalize(&[(3, l(0)), (2, l(1)), (1, l(2))], Cmp::Ge, 4);
+        match &out[0] {
+            NormalizeOutcome::Linear(c) => {
+                assert_eq!(c.bound, 4);
+                assert_eq!(c.terms[0].0, 3); // sorted descending
+                assert_eq!(c.max_sum(), 6);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn le_flips_signs() {
+        // 3x + 2y ≤ 2  ⟺  3¬x + 2¬y ≥ 3 (then saturate ¬x's coef to 3).
+        let out = normalize(&[(3, l(0)), (2, l(1))], Cmp::Le, 2);
+        match &out[0] {
+            NormalizeOutcome::Linear(c) => {
+                assert!(c.terms.iter().all(|(_, lit)| lit.is_neg()));
+                assert_eq!(c.bound, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_coefficients_flip_literals() {
+        // 2x − 3y ≥ 0  ⟺  2x + 3¬y ≥ 3.
+        let out = normalize(&[(2, l(0)), (-3, l(1))], Cmp::Ge, 0);
+        match &out[0] {
+            NormalizeOutcome::Linear(c) => {
+                assert_eq!(c.bound, 3);
+                let neg_term = c.terms.iter().find(|(_, l)| l.is_neg()).unwrap();
+                assert_eq!(neg_term.0, 3);
+                assert_eq!(neg_term.1.var(), Var(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_and_opposing_literals_merge() {
+        // x + x ≥ 2 → 2x ≥ 2 → clause (x).
+        let out = normalize(&[(1, l(0)), (1, l(0))], Cmp::Ge, 2);
+        assert_eq!(out[0], NormalizeOutcome::Clause(vec![l(0)]));
+        // x + ¬x ≥ 1 is trivially true.
+        let out = normalize(&[(1, l(0)), (1, !l(0))], Cmp::Ge, 1);
+        assert_eq!(out[0], NormalizeOutcome::Trivial);
+    }
+
+    #[test]
+    fn trivial_and_unsat_detected() {
+        assert_eq!(
+            normalize(&[(1, l(0))], Cmp::Ge, 0)[0],
+            NormalizeOutcome::Trivial
+        );
+        assert_eq!(
+            normalize(&[(1, l(0)), (1, l(1))], Cmp::Ge, 3)[0],
+            NormalizeOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn cardinality_one_becomes_clause() {
+        let out = normalize(&[(1, l(0)), (1, l(1)), (1, l(2))], Cmp::Ge, 1);
+        match &out[0] {
+            NormalizeOutcome::Clause(c) => assert_eq!(c.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturation_caps_coefficients() {
+        // 10x + y + z ≥ 2: x's coefficient saturates to 2.
+        let out = normalize(&[(10, l(0)), (1, l(1)), (1, l(2))], Cmp::Ge, 2);
+        match &out[0] {
+            NormalizeOutcome::Linear(c) => {
+                assert_eq!(c.terms[0], (2, l(0)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eq_expands_to_two() {
+        let out = normalize(&[(1, l(0)), (1, l(1)), (1, l(2))], Cmp::Eq, 1);
+        assert_eq!(out.len(), 2);
+        // ≥1 over three literals is a clause; ≤1 becomes the cardinality
+        // constraint ¬x+¬y+¬z ≥ 2, a genuine linear constraint.
+        assert!(matches!(out[0], NormalizeOutcome::Clause(_)));
+        match &out[1] {
+            NormalizeOutcome::Linear(c) => {
+                assert_eq!(c.bound, 2);
+                assert!(c.terms.iter().all(|(_, l)| l.is_neg()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Over two literals both directions collapse to clauses.
+        let out2 = normalize(&[(1, l(0)), (1, l(1))], Cmp::Eq, 1);
+        assert!(out2.iter().all(|o| matches!(o, NormalizeOutcome::Clause(_))));
+    }
+
+    #[test]
+    fn eval_checks_models() {
+        let out = normalize(&[(2, l(0)), (1, l(1))], Cmp::Ge, 2);
+        if let NormalizeOutcome::Linear(c) = &out[0] {
+            assert!(c.eval(&[true, false]));
+            assert!(!c.eval(&[false, true]));
+            assert!(c.eval(&[true, true]));
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn zero_coefficients_dropped() {
+        let out = normalize(&[(0, l(0)), (1, l(1))], Cmp::Ge, 1);
+        assert_eq!(out[0], NormalizeOutcome::Clause(vec![l(1)]));
+    }
+}

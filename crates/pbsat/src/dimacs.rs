@@ -1,0 +1,160 @@
+//! DIMACS CNF input — the lingua franca of SAT benchmarks, so the solver
+//! can be exercised on standard instances.
+
+use crate::builder::PbFormula;
+use crate::types::{Lit, Var};
+
+/// DIMACS parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parse a DIMACS CNF document into a formula.
+///
+/// Accepts the standard `p cnf <vars> <clauses>` header, `c` comment
+/// lines, and clauses terminated by `0` (possibly spanning lines).
+pub fn parse_dimacs(src: &str) -> Result<PbFormula, DimacsError> {
+    let mut f = PbFormula::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut current: Vec<Lit> = Vec::new();
+    let mut maxvar: u32 = 0;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix('p') {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() != 3 || toks[0] != "cnf" {
+                return Err(DimacsError { line, message: "malformed problem line".into() });
+            }
+            declared_vars = Some(toks[1].parse().map_err(|_| DimacsError {
+                line,
+                message: "bad variable count".into(),
+            })?);
+            continue;
+        }
+        for tok in text.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| DimacsError {
+                line,
+                message: format!("bad literal '{tok}'"),
+            })?;
+            if v == 0 {
+                f.add_clause(&current);
+                current.clear();
+            } else {
+                let var = v.unsigned_abs() as u32 - 1;
+                maxvar = maxvar.max(var + 1);
+                current.push(Lit::new(Var(var), v < 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        f.add_clause(&current);
+    }
+    let nvars = declared_vars.unwrap_or(0).max(maxvar as usize);
+    while f.num_vars() < nvars {
+        f.new_var();
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_and_solve_simple_sat() {
+        let src = "\
+c a satisfiable instance
+p cnf 3 2
+1 -3 0
+2 3 -1 0
+";
+        let f = parse_dimacs(src).unwrap();
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.num_clauses(), 2);
+        assert!(matches!(f.instantiate().solve(None), SolveResult::Sat(_)));
+    }
+
+    #[test]
+    fn parse_and_solve_unsat() {
+        let src = "p cnf 1 2\n1 0\n-1 0\n";
+        let f = parse_dimacs(src).unwrap();
+        assert_eq!(f.instantiate().solve(None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let src = "p cnf 4 1\n1 2\n3 4 0\n";
+        let f = parse_dimacs(src).unwrap();
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert_eq!(parse_dimacs("p cnf x 1\n").unwrap_err().line, 1);
+        assert_eq!(parse_dimacs("c ok\n1 q 0\n").unwrap_err().line, 2);
+        assert!(parse_dimacs("p dnf 1 1\n").is_err());
+    }
+
+    #[test]
+    fn trailing_clause_without_zero_accepted() {
+        let f = parse_dimacs("p cnf 2 1\n1 2\n").unwrap();
+        assert_eq!(f.num_clauses(), 1);
+    }
+
+    /// Generate a moderately hard random 3-SAT instance near the phase
+    /// transition and make sure the full solver machinery (restarts,
+    /// learnt-clause minimization, database reduction) chews through it.
+    #[test]
+    fn random_3sat_near_phase_transition() {
+        use std::fmt::Write as _;
+        let nvars = 60usize;
+        let nclauses = (nvars as f64 * 4.2) as usize;
+        let mut state = 0xC0FFEEu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut src = format!("p cnf {nvars} {nclauses}\n");
+        for _ in 0..nclauses {
+            let mut picked = Vec::new();
+            while picked.len() < 3 {
+                let v = (rnd() % nvars as u64) as i64 + 1;
+                if !picked.iter().any(|&(p, _): &(i64, bool)| p == v) {
+                    picked.push((v, rnd() % 2 == 0));
+                }
+            }
+            for (v, neg) in picked {
+                let _ = write!(src, "{} ", if neg { -v } else { v });
+            }
+            src.push_str("0\n");
+        }
+        let f = parse_dimacs(&src).unwrap();
+        let mut s = f.instantiate();
+        match s.solve(Some(500_000)) {
+            SolveResult::Sat(m) => assert!(s.check_model(&m)),
+            SolveResult::Unsat => {}
+            SolveResult::Unknown => panic!("budget should suffice at n=60"),
+        }
+        assert!(s.conflicts > 0, "instance should not be trivial");
+    }
+}

@@ -1,0 +1,42 @@
+//! # gpuflow-pbsat
+//!
+//! A from-scratch **CDCL SAT solver with native pseudo-Boolean (PB) linear
+//! constraints** and an iterative-strengthening optimizer.
+//!
+//! The paper (§3.3.2) formulates offload and data-transfer scheduling as a
+//! pseudo-Boolean optimization problem and solves it with MiniSAT+. This
+//! crate plays that role for the gpuflow framework:
+//!
+//! * **Clauses** are propagated with two-watched-literal lists.
+//! * **Linear constraints** `Σ aᵢ·lᵢ ≥ b` are propagated with the counter
+//!   (watched-sum) method: track the slack, fail when it goes negative,
+//!   and imply any literal whose coefficient exceeds the slack.
+//! * **Conflict analysis** is first-UIP resolution with clause learning,
+//!   VSIDS variable activity, phase saving, and Luby restarts.
+//! * **Optimization** ([`optimize`]) minimizes a linear objective by solving,
+//!   then adding `objective ≤ best − 1` and re-solving until UNSAT — the
+//!   same linear-strengthening loop MiniSAT+ uses.
+//!
+//! The solver is complete: on the paper's small edge-detection formulation
+//! it proves optimality; on thousand-operator CNN graphs it times out,
+//! matching the paper's observation that the exact method is "practically
+//! infeasible" there (§3.3.2) — which is why the heuristics of
+//! `gpuflow-core` exist.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod dimacs;
+pub mod constraint;
+pub mod opb;
+pub mod optimize;
+pub mod solver;
+pub mod types;
+
+pub use builder::PbFormula;
+pub use opb::{formula_to_opb, parse_opb as parse_opb_instance};
+pub use dimacs::parse_dimacs;
+pub use constraint::{Cmp, LinearConstraint, NormalizeOutcome};
+pub use optimize::{minimize, OptimizeOptions, OptimizeOutcome};
+pub use solver::{Solver, SolveResult};
+pub use types::{Lit, Var};

@@ -1,0 +1,292 @@
+//! OPB (pseudo-Boolean competition) format I/O.
+//!
+//! Lets gpuflow formulations be dumped for inspection or cross-checked
+//! against external PB solvers (the paper used MiniSAT+, whose input is
+//! this format), and lets tests feed textual instances to our solver.
+
+use crate::builder::PbFormula;
+use crate::constraint::Cmp;
+use crate::types::{Lit, Var};
+
+/// A user-facing linear constraint triple: terms, comparator, right side.
+pub type RawConstraint = (Vec<(i64, Lit)>, Cmp, i64);
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpbError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for OpbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OPB parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for OpbError {}
+
+/// A parsed OPB instance: formula plus optional minimization objective.
+#[derive(Debug, Clone, Default)]
+pub struct OpbInstance {
+    /// The constraints.
+    pub formula: PbFormula,
+    /// `min:` objective terms, if present.
+    pub objective: Option<Vec<(i64, Lit)>>,
+}
+
+fn parse_term_list(
+    tokens: &[&str],
+    line: usize,
+    maxvar: &mut u32,
+) -> Result<Vec<(i64, Lit)>, OpbError> {
+    let err = |m: &str| OpbError { line, message: m.to_string() };
+    if !tokens.len().is_multiple_of(2) {
+        return Err(err("expected coefficient/literal pairs"));
+    }
+    let mut terms = Vec::with_capacity(tokens.len() / 2);
+    for pair in tokens.chunks(2) {
+        let coef: i64 = pair[0]
+            .parse()
+            .map_err(|_| err(&format!("bad coefficient '{}'", pair[0])))?;
+        let name = pair[1];
+        let (neg, rest) = match name.strip_prefix('~') {
+            Some(r) => (true, r),
+            None => (false, name),
+        };
+        let idx: u32 = rest
+            .strip_prefix('x')
+            .and_then(|d| d.parse().ok())
+            .filter(|&i| i >= 1)
+            .ok_or_else(|| err(&format!("bad literal '{name}'")))?;
+        *maxvar = (*maxvar).max(idx);
+        terms.push((coef, Lit::new(Var(idx - 1), neg)));
+    }
+    Ok(terms)
+}
+
+/// Parse an OPB document.
+pub fn parse_opb(src: &str) -> Result<OpbInstance, OpbError> {
+    let mut inst = OpbInstance::default();
+    let mut maxvar: u32 = 0;
+    let mut pending: Vec<RawConstraint> = Vec::new();
+    let mut objective: Option<Vec<(i64, Lit)>> = None;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('*') {
+            continue;
+        }
+        let text = text
+            .strip_suffix(';')
+            .ok_or(OpbError { line, message: "missing trailing ';'".into() })?
+            .trim();
+        if let Some(body) = text.strip_prefix("min:") {
+            let tokens: Vec<&str> = body.split_whitespace().collect();
+            objective = Some(parse_term_list(&tokens, line, &mut maxvar)?);
+            continue;
+        }
+        // Find the relational operator.
+        let (op, cmp) = if text.contains(">=") {
+            (">=", Cmp::Ge)
+        } else if text.contains("<=") {
+            ("<=", Cmp::Le)
+        } else if text.contains('=') {
+            ("=", Cmp::Eq)
+        } else {
+            return Err(OpbError { line, message: "no relational operator".into() });
+        };
+        let mut halves = text.splitn(2, op);
+        let lhs = halves.next().unwrap();
+        let rhs_text = halves.next().unwrap().trim();
+        let rhs: i64 = rhs_text
+            .parse()
+            .map_err(|_| OpbError { line, message: format!("bad rhs '{rhs_text}'") })?;
+        let tokens: Vec<&str> = lhs.split_whitespace().collect();
+        let terms = parse_term_list(&tokens, line, &mut maxvar)?;
+        pending.push((terms, cmp, rhs));
+    }
+
+    for _ in 0..maxvar {
+        inst.formula.new_var();
+    }
+    for (terms, cmp, rhs) in pending {
+        inst.formula.add_linear(&terms, cmp, rhs);
+    }
+    inst.objective = objective;
+    Ok(inst)
+}
+
+/// Serialize constraints and an optional objective to OPB text.
+///
+/// Only linear constraints are emitted directly; clauses are emitted as
+/// `≥ 1` cardinality constraints (the standard encoding).
+pub fn write_opb(
+    nvars: usize,
+    clauses: &[Vec<Lit>],
+    linears: &[RawConstraint],
+    objective: Option<&[(i64, Lit)]>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "* #variable= {nvars} #constraint= {}",
+        clauses.len() + linears.len()
+    );
+    let term = |l: &Lit| {
+        if l.is_neg() {
+            format!("~x{}", l.var().0 + 1)
+        } else {
+            format!("x{}", l.var().0 + 1)
+        }
+    };
+    if let Some(obj) = objective {
+        let body: Vec<String> = obj.iter().map(|(c, l)| format!("{c:+} {}", term(l))).collect();
+        let _ = writeln!(s, "min: {} ;", body.join(" "));
+    }
+    for c in clauses {
+        let body: Vec<String> = c.iter().map(|l| format!("+1 {}", term(l))).collect();
+        let _ = writeln!(s, "{} >= 1 ;", body.join(" "));
+    }
+    for (terms, cmp, rhs) in linears {
+        let body: Vec<String> = terms.iter().map(|(c, l)| format!("{c:+} {}", term(l))).collect();
+        let op = match cmp {
+            Cmp::Ge => ">=",
+            Cmp::Le => "<=",
+            Cmp::Eq => "=",
+        };
+        let _ = writeln!(s, "{} {op} {rhs} ;", body.join(" "));
+    }
+    s
+}
+
+/// Serialize a built [`PbFormula`] (and optional objective) to OPB text —
+/// the exact input MiniSAT+ and other PB solvers accept, so gpuflow
+/// formulations can be cross-checked externally.
+pub fn formula_to_opb(formula: &PbFormula, objective: Option<&[(i64, Lit)]>) -> String {
+    let linears: Vec<RawConstraint> = formula
+        .linears()
+        .iter()
+        .map(|c| (c.terms.clone(), Cmp::Ge, c.bound))
+        .collect();
+    write_opb(formula.num_vars(), formula.clauses(), &linears, objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::{minimize, OptimizeOptions, OptimizeOutcome};
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_simple_instance() {
+        let src = "\
+* a comment
++1 x1 +1 x2 >= 1 ;
++2 x1 +3 x2 <= 3 ;
+";
+        let inst = parse_opb(src).unwrap();
+        assert_eq!(inst.formula.num_vars(), 2);
+        let mut s = inst.formula.instantiate();
+        match s.solve(None) {
+            SolveResult::Sat(m) => {
+                // x1 + x2 >= 1 and 2x1 + 3x2 <= 3 permit exactly one of them.
+                assert!(m[0] ^ m[1]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_objective_and_minimize() {
+        let src = "\
+min: +5 x1 +1 x2 ;
++1 x1 +1 x2 >= 1 ;
+";
+        let inst = parse_opb(src).unwrap();
+        let obj = inst.objective.unwrap();
+        match minimize(&inst.formula, &obj, OptimizeOptions::default()) {
+            OptimizeOutcome::Optimal { value, model } => {
+                assert_eq!(value, 1);
+                assert!(model[1] && !model[0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_negated_literals_and_eq() {
+        let src = "+1 x1 +1 ~x2 = 2 ;\n";
+        let inst = parse_opb(src).unwrap();
+        let mut s = inst.formula.instantiate();
+        match s.solve(None) {
+            SolveResult::Sat(m) => assert!(m[0] && !m[1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert_eq!(parse_opb("+1 x1 >= 1").unwrap_err().line, 1);
+        assert_eq!(parse_opb("* ok\n+1 y9 >= 1 ;").unwrap_err().line, 2);
+        assert!(parse_opb("+1 x1 1 ;").unwrap_err().message.contains("operator"));
+        assert!(parse_opb("+q x1 >= 1 ;").unwrap_err().message.contains("coefficient"));
+        assert!(parse_opb("+1 x1 >= z ;").unwrap_err().message.contains("rhs"));
+    }
+
+    #[test]
+    fn formula_export_reimports_equivalently() {
+        use crate::optimize::{minimize, OptimizeOptions, OptimizeOutcome};
+        let mut f = PbFormula::new();
+        let xs = f.new_vars(4);
+        f.add_clause(&[xs[0].pos(), xs[1].pos()]);
+        f.add_linear(
+            &[(3, xs[1].pos()), (2, xs[2].pos()), (2, xs[3].pos())],
+            Cmp::Le,
+            4,
+        );
+        let obj: Vec<(i64, Lit)> = xs.iter().map(|v| (1, v.pos())).collect();
+        let text = formula_to_opb(&f, Some(&obj));
+        let inst = parse_opb(&text).unwrap();
+        // Optimum is preserved across the round trip.
+        let direct = minimize(&f, &obj, OptimizeOptions::default());
+        let reparsed = minimize(
+            &inst.formula,
+            &inst.objective.unwrap(),
+            OptimizeOptions::default(),
+        );
+        match (direct, reparsed) {
+            (
+                OptimizeOutcome::Optimal { value: a, .. },
+                OptimizeOutcome::Optimal { value: b, .. },
+            ) => assert_eq!(a, b),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let clauses = vec![vec![Var(0).pos(), Var(1).neg()]];
+        let linears = vec![(
+            vec![(2i64, Var(0).pos()), (3, Var(2).pos())],
+            Cmp::Le,
+            4i64,
+        )];
+        let obj = vec![(1i64, Var(2).pos())];
+        let text = write_opb(3, &clauses, &linears, Some(&obj));
+        assert!(text.contains("min: +1 x3 ;"));
+        assert!(text.contains("+1 x1 +1 ~x2 >= 1 ;"));
+        assert!(text.contains("+2 x1 +3 x3 <= 4 ;"));
+        let inst = parse_opb(&text).unwrap();
+        assert_eq!(inst.formula.num_vars(), 3);
+        assert!(inst.objective.is_some());
+        assert!(matches!(
+            inst.formula.instantiate().solve(None),
+            SolveResult::Sat(_)
+        ));
+    }
+}

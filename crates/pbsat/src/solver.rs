@@ -1,0 +1,1137 @@
+//! The CDCL search engine with clause and linear-constraint propagation.
+
+use crate::constraint::LinearConstraint;
+use crate::types::{Lit, Var};
+
+/// Outcome of [`Solver::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable; the model assigns every variable.
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted before an answer was found.
+    Unknown,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    None,
+    Clause(u32),
+    Linear(u32),
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    /// Tombstone set by clause-database reduction; the slot is skipped by
+    /// propagation and never reused (indices stay stable).
+    deleted: bool,
+}
+
+#[derive(Debug)]
+struct LinState {
+    cons: LinearConstraint,
+    /// `Σ aᵢ` over currently-non-false literals, minus the bound. Negative
+    /// slack means the constraint is violated.
+    slack: i64,
+}
+
+/// Indexed max-heap over variable activities (MiniSat's variable order).
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<u32>,
+    pos: Vec<usize>, // usize::MAX when absent
+}
+
+impl VarHeap {
+    fn new(n: usize) -> Self {
+        VarHeap {
+            heap: (0..n as u32).collect(),
+            pos: (0..n).collect(),
+        }
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        (v as usize) < self.pos.len() && self.pos[v as usize] != usize::MAX
+    }
+
+    fn push(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn decreased_key(&mut self, v: u32, act: &[f64]) {
+        if let Some(&i) = self.pos.get(v as usize) {
+            if i != usize::MAX {
+                self.sift_up(i, act);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] > act[self.heap[parent] as usize] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[best] as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[best] as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a;
+        self.pos[self.heap[b] as usize] = b;
+    }
+}
+
+/// A CDCL solver over clauses and linear pseudo-Boolean constraints.
+pub struct Solver {
+    nvars: usize,
+    clauses: Vec<Clause>,
+    linears: Vec<LinState>,
+    /// Per-literal: clause indices watching that literal.
+    watches: Vec<Vec<u32>>,
+    /// Per-literal: `(linear index, coefficient)` of constraints containing
+    /// that literal — consulted when the literal becomes false.
+    lin_occur: Vec<Vec<(u32, i64)>>,
+    /// Per-variable assignment: 0 unassigned, 1 true, -1 false.
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<Reason>,
+    trail: Vec<Lit>,
+    trail_pos: Vec<usize>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    saved_phase: Vec<bool>,
+    seen: Vec<bool>,
+    /// False once a top-level conflict is found.
+    ok: bool,
+    /// Statistics: total conflicts seen.
+    pub conflicts: u64,
+    /// Statistics: total decisions made.
+    pub decisions: u64,
+    /// Statistics: total propagations performed.
+    pub propagations: u64,
+    /// Statistics: restarts performed.
+    pub restarts: u64,
+    /// Statistics: learnt clauses deleted by database reduction.
+    pub learnts_deleted: u64,
+    /// Live learnt-clause count.
+    num_learnts: usize,
+    /// Reduction ceiling; grows after each reduction.
+    max_learnts: usize,
+}
+
+impl Solver {
+    /// Solver over `nvars` variables (ids `0..nvars`).
+    pub fn new(nvars: usize) -> Self {
+        Solver {
+            nvars,
+            clauses: Vec::new(),
+            linears: Vec::new(),
+            watches: vec![Vec::new(); nvars * 2],
+            lin_occur: vec![Vec::new(); nvars * 2],
+            assign: vec![0; nvars],
+            level: vec![0; nvars],
+            reason: vec![Reason::None; nvars],
+            trail: Vec::new(),
+            trail_pos: vec![usize::MAX; nvars],
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; nvars],
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarHeap::new(nvars),
+            saved_phase: vec![false; nvars],
+            seen: vec![false; nvars],
+            ok: true,
+            conflicts: 0,
+            decisions: 0,
+            propagations: 0,
+            restarts: 0,
+            learnts_deleted: 0,
+            num_learnts: 0,
+            max_learnts: 4000,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.nvars
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> i8 {
+        let v = self.assign[l.var().index()];
+        if l.is_neg() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause (may be called only before `solve`, at decision level
+    /// 0). Returns false if the formula became trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        // Dedup; drop clauses with complementary or already-true literals;
+        // remove already-false literals.
+        let mut ls: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if self.value(l) == 1 {
+                return true; // satisfied at top level
+            }
+            if self.value(l) == -1 {
+                continue; // permanently false
+            }
+            if ls.contains(&!l) {
+                return true; // tautology
+            }
+            if !ls.contains(&l) {
+                ls.push(l);
+            }
+        }
+        match ls.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if !self.enqueue(ls[0], Reason::None) {
+                    self.ok = false;
+                }
+                // Propagate eagerly so later additions see the consequences.
+                if self.ok && self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[ls[0].index()].push(ci);
+                self.watches[ls[1].index()].push(ci);
+                self.clauses.push(Clause { lits: ls, learnt: false, activity: 0.0, deleted: false });
+                true
+            }
+        }
+    }
+
+    /// Add a normalized linear constraint. Returns false on immediate
+    /// top-level unsatisfiability.
+    pub fn add_linear(&mut self, cons: LinearConstraint) -> bool {
+        debug_assert_eq!(self.decision_level(), 0);
+        if !self.ok {
+            return false;
+        }
+        let idx = self.linears.len() as u32;
+        let mut slack = -cons.bound;
+        for &(a, l) in &cons.terms {
+            if self.value(l) != -1 {
+                slack += a;
+            }
+            self.lin_occur[l.index()].push((idx, a));
+        }
+        self.linears.push(LinState { cons, slack });
+        if slack < 0 {
+            self.ok = false;
+            return false;
+        }
+        // Top-level propagation of the new constraint.
+        if self.propagate_linear_now(idx).is_some() || self.propagate().is_some() {
+            self.ok = false;
+            return false;
+        }
+        true
+    }
+
+    /// Propagate implications of linear constraint `li` under the current
+    /// assignment (used right after adding it).
+    fn propagate_linear_now(&mut self, li: u32) -> Option<Reason> {
+        let slack = self.linears[li as usize].slack;
+        if slack < 0 {
+            return Some(Reason::Linear(li));
+        }
+        let terms = self.linears[li as usize].cons.terms.clone();
+        for (a, l) in terms {
+            if a <= slack {
+                break; // sorted descending
+            }
+            if self.value(l) == 0 && !self.enqueue(l, Reason::Linear(li)) {
+                return Some(Reason::Linear(li));
+            }
+        }
+        None
+    }
+
+    /// Assign `l` true with `reason`. Returns false when `l` is already
+    /// false (conflict).
+    fn enqueue(&mut self, l: Lit, reason: Reason) -> bool {
+        match self.value(l) {
+            1 => true,
+            -1 => false,
+            _ => {
+                let v = l.var().index();
+                self.assign[v] = if l.is_neg() { -1 } else { 1 };
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail_pos[v] = self.trail.len();
+                self.trail.push(l);
+                // Literal ¬l just became false: update slacks now so they
+                // are always consistent with the assignment.
+                let falsified = (!l).index();
+                for k in 0..self.lin_occur[falsified].len() {
+                    let (ci, a) = self.lin_occur[falsified][k];
+                    self.linears[ci as usize].slack -= a;
+                }
+                true
+            }
+        }
+    }
+
+    /// Unit propagation over clauses and linear constraints. Returns the
+    /// conflicting constraint on conflict.
+    fn propagate(&mut self) -> Option<Reason> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.propagations += 1;
+            let false_lit = !p;
+
+            // --- Clause propagation: clauses watching ¬p. ---
+            #[inline]
+            fn val(assign: &[i8], l: Lit) -> i8 {
+                let v = assign[l.var().index()];
+                if l.is_neg() {
+                    -v
+                } else {
+                    v
+                }
+            }
+            let mut i = 0;
+            'watchers: while i < self.watches[false_lit.index()].len() {
+                let ci = self.watches[false_lit.index()][i];
+                let c = &mut self.clauses[ci as usize];
+                if c.deleted {
+                    self.watches[false_lit.index()].swap_remove(i);
+                    continue;
+                }
+                // Ensure the false literal is at position 1.
+                if c.lits[0] == false_lit {
+                    c.lits.swap(0, 1);
+                }
+                debug_assert_eq!(c.lits[1], false_lit);
+                let first = c.lits[0];
+                if val(&self.assign, first) == 1 {
+                    i += 1;
+                    continue;
+                }
+                // Find a new literal to watch.
+                for k in 2..c.lits.len() {
+                    if val(&self.assign, c.lits[k]) != -1 {
+                        c.lits.swap(1, k);
+                        let new_watch = c.lits[1];
+                        self.watches[false_lit.index()].swap_remove(i);
+                        self.watches[new_watch.index()].push(ci);
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if !self.enqueue(first, Reason::Clause(ci)) {
+                    self.qhead = self.trail.len();
+                    return Some(Reason::Clause(ci));
+                }
+                i += 1;
+            }
+
+            // --- Linear propagation: constraints containing ¬p (slack was
+            // already updated in `enqueue`). ---
+            for k in 0..self.lin_occur[false_lit.index()].len() {
+                let (ci, _) = self.lin_occur[false_lit.index()][k];
+                let slack = self.linears[ci as usize].slack;
+                if slack < 0 {
+                    self.qhead = self.trail.len();
+                    return Some(Reason::Linear(ci));
+                }
+                // Imply every unassigned literal whose coefficient exceeds
+                // the slack (terms sorted descending).
+                let nterms = self.linears[ci as usize].cons.terms.len();
+                for ti in 0..nterms {
+                    let (a, l) = self.linears[ci as usize].cons.terms[ti];
+                    if a <= slack {
+                        break;
+                    }
+                    if self.value(l) == 0 && !self.enqueue(l, Reason::Linear(ci)) {
+                        self.qhead = self.trail.len();
+                        return Some(Reason::Linear(ci));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The literals of the conflicting constraint, all currently false.
+    fn conflict_lits(&self, r: Reason) -> Vec<Lit> {
+        match r {
+            Reason::Clause(ci) => self.clauses[ci as usize].lits.clone(),
+            Reason::Linear(ci) => self.linears[ci as usize]
+                .cons
+                .terms
+                .iter()
+                .map(|&(_, l)| l)
+                .filter(|&l| self.value(l) == -1)
+                .collect(),
+            Reason::None => unreachable!("no conflict"),
+        }
+    }
+
+    /// Antecedent literals of `implied` under its recorded reason: literals
+    /// (other than `implied`) whose falseness forced it, all false and
+    /// assigned before `implied`.
+    fn reason_lits(&self, implied: Lit, r: Reason) -> Vec<Lit> {
+        match r {
+            Reason::Clause(ci) => self.clauses[ci as usize]
+                .lits
+                .iter()
+                .copied()
+                .filter(|&l| l != implied)
+                .collect(),
+            Reason::Linear(ci) => {
+                let cutoff = self.trail_pos[implied.var().index()];
+                self.linears[ci as usize]
+                    .cons
+                    .terms
+                    .iter()
+                    .map(|&(_, l)| l)
+                    .filter(|&l| {
+                        l != implied
+                            && self.value(l) == -1
+                            && self.trail_pos[l.var().index()] < cutoff
+                    })
+                    .collect()
+            }
+            Reason::None => Vec::new(),
+        }
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.decreased_key(v.0, &self.activity);
+    }
+
+    fn bump_clause(&mut self, ci: u32) {
+        let c = &mut self.clauses[ci as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e100 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-100;
+            }
+            self.cla_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, confl: Reason) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut reason = confl;
+        let mut idx = self.trail.len();
+        let cur_level = self.decision_level();
+
+        loop {
+            if let Reason::Clause(ci) = reason {
+                if self.clauses[ci as usize].learnt {
+                    self.bump_clause(ci);
+                }
+            }
+            let lits = match p {
+                None => self.conflict_lits(reason),
+                Some(pl) => self.reason_lits(pl, reason),
+            };
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] == cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk back to the most recent seen literal on the trail.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(pl);
+                break;
+            }
+            reason = self.reason[pl.var().index()];
+            p = Some(pl);
+        }
+        let uip = !p.unwrap();
+        let mut out = vec![uip];
+        out.extend(learnt.iter().copied());
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // Backjump level: highest level among the non-UIP literals.
+        let back = out[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backjump level at position 1 (watch order).
+        if out.len() > 1 {
+            let mi = out[1..]
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| self.level[l.var().index()])
+                .map(|(i, _)| i + 1)
+                .unwrap();
+            out.swap(1, mi);
+        }
+        (out, back)
+    }
+
+    /// Undo assignments above `level`.
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let p = self.trail[i];
+            let v = p.var().index();
+            self.saved_phase[v] = self.assign[v] == 1;
+            self.assign[v] = 0;
+            self.reason[v] = Reason::None;
+            self.trail_pos[v] = usize::MAX;
+            self.order.push(p.var().0, &self.activity);
+            // Undo slack updates performed in `enqueue`.
+            let falsified = (!p).index();
+            for k in 0..self.lin_occur[falsified].len() {
+                let (ci, a) = self.lin_occur[falsified][k];
+                self.linears[ci as usize].slack += a;
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    /// Record a learnt clause and enqueue its asserting literal.
+    fn learn(&mut self, lits: Vec<Lit>) {
+        if lits.len() == 1 {
+            let ok = self.enqueue(lits[0], Reason::None);
+            debug_assert!(ok, "asserting literal must be enqueueable");
+            return;
+        }
+        let ci = self.clauses.len() as u32;
+        self.watches[lits[0].index()].push(ci);
+        self.watches[lits[1].index()].push(ci);
+        let first = lits[0];
+        self.num_learnts += 1;
+        self.clauses.push(Clause {
+            lits,
+            learnt: true,
+            activity: self.cla_inc,
+            deleted: false,
+        });
+        let ok = self.enqueue(first, Reason::Clause(ci));
+        debug_assert!(ok);
+    }
+
+    /// Self-subsuming minimization: drop any learnt literal whose entire
+    /// reason is already contained in the learnt clause.
+    fn minimize_learnt(&mut self, learnt: &mut Vec<Lit>) {
+        for l in learnt.iter() {
+            self.seen[l.var().index()] = true;
+        }
+        let mut keep = vec![learnt[0]];
+        for &q in learnt.iter().skip(1) {
+            let r = self.reason[q.var().index()];
+            let redundant = match r {
+                Reason::None => false,
+                Reason::Clause(ci) => self.clauses[ci as usize]
+                    .lits
+                    .iter()
+                    .all(|p| *p == !q || self.seen[p.var().index()] || self.level[p.var().index()] == 0),
+                Reason::Linear(_) => {
+                    let ants = self.reason_lits(!q, r);
+                    !ants.is_empty()
+                        && ants
+                            .iter()
+                            .all(|p| self.seen[p.var().index()] || self.level[p.var().index()] == 0)
+                }
+            };
+            if !redundant {
+                keep.push(q);
+            }
+        }
+        for l in learnt.iter() {
+            self.seen[l.var().index()] = false;
+        }
+        *learnt = keep;
+    }
+
+    /// Clause that is currently the reason for its first watched literal
+    /// must not be deleted.
+    fn locked(&self, ci: u32) -> bool {
+        let c = &self.clauses[ci as usize];
+        let v = c.lits[0].var().index();
+        self.reason[v] == Reason::Clause(ci) && self.assign[v] != 0
+    }
+
+    /// Delete roughly the lower-activity half of the learnt clauses.
+    fn reduce_db(&mut self) {
+        let mut learnts: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&ci| {
+                let c = &self.clauses[ci as usize];
+                c.learnt && !c.deleted && c.lits.len() > 2 && !self.locked(ci)
+            })
+            .collect();
+        learnts.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let target = learnts.len() / 2;
+        for &ci in learnts.iter().take(target) {
+            let (w0, w1) = {
+                let c = &mut self.clauses[ci as usize];
+                c.deleted = true;
+                (c.lits[0], c.lits[1])
+            };
+            self.watches[w0.index()].retain(|&x| x != ci);
+            self.watches[w1.index()].retain(|&x| x != ci);
+            self.num_learnts -= 1;
+            self.learnts_deleted += 1;
+        }
+        self.max_learnts += self.max_learnts / 2;
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assign[v as usize] == 0 {
+                let var = Var(v);
+                let phase = self.saved_phase[v as usize];
+                return Some(Lit::new(var, !phase));
+            }
+        }
+        None
+    }
+
+    /// Solve with a conflict budget (`None` = unbounded).
+    pub fn solve(&mut self, max_conflicts: Option<u64>) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let start_conflicts = self.conflicts;
+        let mut restart_idx = 0u64;
+        let mut restart_budget = 100 * luby(restart_idx);
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    let (mut learnt, back) = self.analyze(confl);
+                    self.minimize_learnt(&mut learnt);
+                    // Minimization may have removed the old backjump
+                    // literal; recompute the level.
+                    let back = learnt[1..]
+                        .iter()
+                        .map(|l| self.level[l.var().index()])
+                        .max()
+                        .unwrap_or(0)
+                        .min(back);
+                    if learnt.len() > 2 {
+                        let mi = learnt[1..]
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(_, l)| self.level[l.var().index()])
+                            .map(|(i, _)| i + 1)
+                            .expect("non-unit learnt");
+                        learnt.swap(1, mi);
+                    }
+                    self.cancel_until(back);
+                    self.learn(learnt);
+                    self.var_inc /= 0.95;
+                    self.cla_inc /= 0.999;
+                    if self.num_learnts > self.max_learnts {
+                        self.reduce_db();
+                    }
+                }
+                None => {
+                    if let Some(budget) = max_conflicts {
+                        if self.conflicts - start_conflicts >= budget {
+                            self.cancel_until(0);
+                            return SolveResult::Unknown;
+                        }
+                    }
+                    if conflicts_since_restart >= restart_budget {
+                        self.restarts += 1;
+                        restart_idx += 1;
+                        restart_budget = 100 * luby(restart_idx);
+                        conflicts_since_restart = 0;
+                        self.cancel_until(0);
+                        continue;
+                    }
+                    match self.pick_branch() {
+                        None => {
+                            // Total assignment found.
+                            let model: Vec<bool> =
+                                self.assign.iter().map(|&a| a == 1).collect();
+                            debug_assert!(self.check_model(&model));
+                            self.cancel_until(0);
+                            return SolveResult::Sat(model);
+                        }
+                        Some(l) => {
+                            self.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let ok = self.enqueue(l, Reason::None);
+                            debug_assert!(ok);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verify a model against every original constraint (debug oracle).
+    pub fn check_model(&self, model: &[bool]) -> bool {
+        for c in &self.clauses {
+            if c.learnt {
+                continue;
+            }
+            if !c.lits.iter().any(|l| l.eval(model[l.var().index()])) {
+                return false;
+            }
+        }
+        for lin in &self.linears {
+            if !lin.cons.eval(model) {
+                return false;
+            }
+        }
+        // Top-level units are stored on the trail, not as clauses.
+        for i in 0..self.trail_lim.first().copied().unwrap_or(self.trail.len()) {
+            let l = self.trail[i];
+            if self.level[l.var().index()] == 0 && !l.eval(model[l.var().index()]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index i.
+    let mut k = 1u32;
+    loop {
+        let sz = (1u64 << k) - 1;
+        if i + 1 == sz {
+            return 1 << (k - 1);
+        }
+        if i + 1 < sz {
+            k -= 1;
+            i -= (1u64 << k) - 1;
+            k = 1;
+            continue;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{normalize, Cmp, NormalizeOutcome};
+
+    fn lit(i: u32) -> Lit {
+        Var(i).pos()
+    }
+
+    fn add_norm(s: &mut Solver, terms: &[(i64, Lit)], cmp: Cmp, rhs: i64) -> bool {
+        for piece in normalize(terms, cmp, rhs) {
+            let ok = match piece {
+                NormalizeOutcome::Trivial => true,
+                NormalizeOutcome::Unsat => false,
+                NormalizeOutcome::Clause(c) => s.add_clause(&c),
+                NormalizeOutcome::Linear(l) => s.add_linear(l),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn trivially_sat() {
+        let mut s = Solver::new(2);
+        s.add_clause(&[lit(0), lit(1)]);
+        match s.solve(None) {
+            SolveResult::Sat(m) => assert!(m[0] || m[1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat() {
+        let mut s = Solver::new(1);
+        assert!(s.add_clause(&[lit(0)]));
+        assert!(!s.add_clause(&[!lit(0)]));
+        assert_eq!(s.solve(None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // x0 ∧ (¬x0 ∨ x1) ∧ (¬x1 ∨ x2) forces all true.
+        let mut s = Solver::new(3);
+        s.add_clause(&[lit(0)]);
+        s.add_clause(&[!lit(0), lit(1)]);
+        s.add_clause(&[!lit(1), lit(2)]);
+        match s.solve(None) {
+            SolveResult::Sat(m) => assert_eq!(m, vec![true, true, true]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_{i,j}: pigeon i in hole j. 3 pigeons, 2 holes.
+        let var = |p: u32, h: u32| lit(p * 2 + h);
+        let mut s = Solver::new(6);
+        for p in 0..3 {
+            s.add_clause(&[var(p, 0), var(p, 1)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause(&[!var(p1, h), !var(p2, h)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn cardinality_constraint_propagates() {
+        // x0 + x1 + x2 ≥ 2 with x0 false ⇒ x1, x2 both true.
+        let mut s = Solver::new(3);
+        assert!(add_norm(
+            &mut s,
+            &[(1, lit(0)), (1, lit(1)), (1, lit(2))],
+            Cmp::Ge,
+            2
+        ));
+        s.add_clause(&[!lit(0)]);
+        match s.solve(None) {
+            SolveResult::Sat(m) => {
+                assert!(!m[0] && m[1] && m[2]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn weighted_pb_conflict() {
+        // 3x0 + 2x1 ≤ 2 together with x0 = true is UNSAT.
+        let mut s = Solver::new(2);
+        assert!(add_norm(&mut s, &[(3, lit(0)), (2, lit(1))], Cmp::Le, 2));
+        s.add_clause(&[lit(0)]);
+        assert_eq!(s.solve(None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn exactly_one_works() {
+        let mut s = Solver::new(4);
+        let all: Vec<(i64, Lit)> = (0..4).map(|i| (1, lit(i))).collect();
+        assert!(add_norm(&mut s, &all, Cmp::Eq, 1));
+        s.add_clause(&[!lit(0)]);
+        s.add_clause(&[!lit(2)]);
+        s.add_clause(&[!lit(3)]);
+        match s.solve(None) {
+            SolveResult::Sat(m) => assert_eq!(m, vec![false, true, false, false]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exactly_one_overconstrained_unsat() {
+        let mut s = Solver::new(3);
+        let all: Vec<(i64, Lit)> = (0..3).map(|i| (1, lit(i))).collect();
+        assert!(add_norm(&mut s, &all, Cmp::Eq, 1));
+        s.add_clause(&[lit(0)]);
+        // x0 true forces the others false; demanding x1 true conflicts.
+        assert!(!s.add_clause(&[lit(1)]) || s.solve(None) == SolveResult::Unsat);
+    }
+
+    #[test]
+    fn knapsack_feasibility() {
+        // 5x0 + 4x1 + 3x2 ≤ 7 and x0 + x1 + x2 ≥ 2: only {x1,x2} works.
+        let mut s = Solver::new(3);
+        assert!(add_norm(
+            &mut s,
+            &[(5, lit(0)), (4, lit(1)), (3, lit(2))],
+            Cmp::Le,
+            7
+        ));
+        assert!(add_norm(
+            &mut s,
+            &[(1, lit(0)), (1, lit(1)), (1, lit(2))],
+            Cmp::Ge,
+            2
+        ));
+        match s.solve(None) {
+            SolveResult::Sat(m) => {
+                assert_eq!(m, vec![false, true, true]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A formula with plenty of search space and a budget of 0 conflicts
+        // can still be solved if no conflict occurs; force conflicts with a
+        // pigeonhole and give a tiny budget.
+        let var = |p: u32, h: u32| lit(p * 4 + h);
+        let mut s = Solver::new(5 * 4);
+        for p in 0..5 {
+            let c: Vec<Lit> = (0..4).map(|h| var(p, h)).collect();
+            s.add_clause(&c);
+        }
+        for h in 0..4 {
+            for p1 in 0..5 {
+                for p2 in (p1 + 1)..5 {
+                    s.add_clause(&[!var(p1, h), !var(p2, h)]);
+                }
+            }
+        }
+        let r = s.solve(Some(1));
+        assert!(matches!(r, SolveResult::Unknown | SolveResult::Unsat));
+    }
+
+    #[test]
+    fn pigeonhole_8_into_7_exercises_learning_machinery() {
+        let (p, h) = (8u32, 7u32);
+        let var = |i: u32, j: u32| Lit::new(Var(i * h + j), false);
+        let mut s = Solver::new((p * h) as usize);
+        for i in 0..p {
+            let c: Vec<Lit> = (0..h).map(|j| var(i, j)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..h {
+            for a in 0..p {
+                for b in (a + 1)..p {
+                    s.add_clause(&[!var(a, j), !var(b, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(None), SolveResult::Unsat);
+        assert!(s.conflicts > 100, "PHP(8,7) must be non-trivial: {}", s.conflicts);
+        assert!(s.decisions > 0 && s.propagations > 0);
+    }
+
+    #[test]
+    fn restart_and_deletion_counters_advance_on_hard_instances() {
+        // A large satisfiable instance with dense constraints to force
+        // many conflicts, restarts and (eventually) clause deletion.
+        let n = 26u32;
+        let mut s = Solver::new((n * n) as usize);
+        let var = |i: u32, j: u32| Lit::new(Var(i * n + j), false);
+        // Latin-square-ish rows/cols with exactly-one modeled as clauses.
+        for i in 0..n {
+            let row: Vec<Lit> = (0..n).map(|j| var(i, j)).collect();
+            s.add_clause(&row);
+            let col: Vec<Lit> = (0..n).map(|j| var(j, i)).collect();
+            s.add_clause(&col);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    s.add_clause(&[!var(i, a), !var(i, b)]);
+                    s.add_clause(&[!var(a, i), !var(b, i)]);
+                }
+            }
+        }
+        match s.solve(Some(200_000)) {
+            SolveResult::Sat(m) => assert!(s.check_model(&m)),
+            SolveResult::Unknown => {}
+            SolveResult::Unsat => panic!("permutation matrices exist"),
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(got, expect);
+    }
+
+    /// Brute-force every assignment and compare with the solver on small
+    /// random 3-SAT + PB mixes.
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut state = 0x12345678u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _case in 0..60 {
+            let nvars = 6;
+            let nclauses = 3 + (rnd() % 8) as usize;
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                for _ in 0..3 {
+                    let v = (rnd() % nvars as u64) as u32;
+                    let neg = rnd() % 2 == 0;
+                    c.push(Lit::new(Var(v), neg));
+                }
+                clauses.push(c);
+            }
+            // One random ≤ constraint.
+            let terms: Vec<(i64, Lit)> = (0..nvars as u32)
+                .map(|v| ((rnd() % 4) as i64, Lit::new(Var(v), rnd() % 2 == 0)))
+                .collect();
+            let rhs = (rnd() % 8) as i64;
+
+            // Brute force.
+            let mut any = false;
+            'outer: for bits in 0..(1u32 << nvars) {
+                let model: Vec<bool> = (0..nvars).map(|i| bits >> i & 1 == 1).collect();
+                for c in &clauses {
+                    if !c.iter().any(|l| l.eval(model[l.var().index()])) {
+                        continue 'outer;
+                    }
+                }
+                let lhs: i64 = terms
+                    .iter()
+                    .filter(|(_, l)| l.eval(model[l.var().index()]))
+                    .map(|(a, _)| a)
+                    .sum();
+                if lhs <= rhs {
+                    any = true;
+                    break;
+                }
+            }
+
+            // Solver.
+            let mut s = Solver::new(nvars);
+            let mut ok = true;
+            for c in &clauses {
+                if !s.add_clause(c) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                ok = add_norm(&mut s, &terms, Cmp::Le, rhs);
+            }
+            let result = if !ok { SolveResult::Unsat } else { s.solve(None) };
+            match (any, result) {
+                (true, SolveResult::Sat(m)) => {
+                    // Model must satisfy everything.
+                    for c in &clauses {
+                        assert!(c.iter().any(|l| l.eval(m[l.var().index()])));
+                    }
+                    let lhs: i64 = terms
+                        .iter()
+                        .filter(|(_, l)| l.eval(m[l.var().index()]))
+                        .map(|(a, _)| a)
+                        .sum();
+                    assert!(lhs <= rhs);
+                }
+                (false, SolveResult::Unsat) => {}
+                (expected, got) => {
+                    panic!("brute force says sat={expected}, solver says {got:?}")
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! First-fit device memory allocator.
+//!
+//! GPU memory in the CUDA-2.0 era was managed by explicit `cudaMalloc` /
+//! `cudaFree` with no paging, so a plan that is feasible "by total bytes"
+//! can still fail from fragmentation. The paper handles this by planning
+//! against a de-rated capacity; the simulator makes the phenomenon real so
+//! tests and the fragmentation ablation can observe it.
+//!
+//! Free blocks are kept address-ordered and coalesced on free; allocation
+//! is first-fit with 256-byte alignment (`cudaMalloc`'s documented
+//! guarantee of the era).
+
+/// Alignment of every allocation, bytes.
+pub const ALIGN: u64 = 256;
+
+/// A live allocation: `[addr, addr + size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Start address within the device address space.
+    pub addr: u64,
+    /// Size in bytes (already aligned up).
+    pub size: u64,
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough total free bytes.
+    OutOfMemory {
+        /// Bytes requested (aligned).
+        requested: u64,
+        /// Total free bytes at failure.
+        free: u64,
+    },
+    /// Enough free bytes exist but no contiguous block fits.
+    Fragmented {
+        /// Bytes requested (aligned).
+        requested: u64,
+        /// Largest contiguous free block.
+        largest_block: u64,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested, free } => {
+                write!(f, "out of device memory: need {requested} B, {free} B free")
+            }
+            AllocError::Fragmented { requested, largest_block } => write!(
+                f,
+                "fragmented: need {requested} B contiguous, largest block {largest_block} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// How the allocator picks among free blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitPolicy {
+    /// Lowest-address block that fits — the classic `cudaMalloc`-era
+    /// behaviour the paper plans around.
+    #[default]
+    FirstFit,
+    /// Smallest block that fits — trades search for markedly lower
+    /// external fragmentation on mixed-size workloads (see the
+    /// `ablation_fragmentation` harness).
+    BestFit,
+}
+
+/// Free-list allocator over a flat device address space.
+///
+/// ```
+/// use gpuflow_sim::DeviceAllocator;
+///
+/// let mut mem = DeviceAllocator::new(1 << 20);
+/// let a = mem.alloc(1000).unwrap();
+/// assert_eq!(a.size, 1024); // aligned up to 256 B
+/// let b = mem.alloc(4096).unwrap();
+/// mem.free(a);
+/// // Freeing `b` coalesces everything back into one block.
+/// mem.free(b);
+/// assert_eq!(mem.largest_free_block(), 1 << 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceAllocator {
+    capacity: u64,
+    /// Address-ordered, non-adjacent free blocks `(addr, size)`.
+    free_blocks: Vec<(u64, u64)>,
+    in_use: u64,
+    high_water: u64,
+    alloc_count: u64,
+    policy: FitPolicy,
+}
+
+impl DeviceAllocator {
+    /// First-fit allocator over `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self::with_policy(capacity, FitPolicy::FirstFit)
+    }
+
+    /// Allocator over `capacity` bytes with an explicit fit policy.
+    pub fn with_policy(capacity: u64, policy: FitPolicy) -> Self {
+        DeviceAllocator {
+            capacity,
+            free_blocks: vec![(0, capacity)],
+            in_use: 0,
+            high_water: 0,
+            alloc_count: 0,
+            policy,
+        }
+    }
+
+    /// The configured fit policy.
+    pub fn policy(&self) -> FitPolicy {
+        self.policy
+    }
+
+    fn align_up(bytes: u64) -> u64 {
+        bytes.div_ceil(ALIGN) * ALIGN
+    }
+
+    /// Allocate `bytes` (rounded up to [`ALIGN`]) per the fit policy.
+    pub fn alloc(&mut self, bytes: u64) -> Result<Allocation, AllocError> {
+        let size = Self::align_up(bytes.max(1));
+        let slot = match self.policy {
+            FitPolicy::FirstFit => self.free_blocks.iter().position(|&(_, s)| s >= size),
+            FitPolicy::BestFit => self
+                .free_blocks
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(_, s))| s >= size)
+                .min_by_key(|&(_, &(_, s))| s)
+                .map(|(i, _)| i),
+        };
+        match slot {
+            Some(i) => {
+                let (addr, block_size) = self.free_blocks[i];
+                if block_size == size {
+                    self.free_blocks.remove(i);
+                } else {
+                    self.free_blocks[i] = (addr + size, block_size - size);
+                }
+                self.in_use += size;
+                self.high_water = self.high_water.max(self.in_use);
+                self.alloc_count += 1;
+                Ok(Allocation { addr, size })
+            }
+            None => {
+                let free = self.free_bytes();
+                if free >= size {
+                    Err(AllocError::Fragmented {
+                        requested: size,
+                        largest_block: self.largest_free_block(),
+                    })
+                } else {
+                    Err(AllocError::OutOfMemory { requested: size, free })
+                }
+            }
+        }
+    }
+
+    /// Release an allocation. Coalesces with free neighbours. Panics on a
+    /// double free or foreign allocation (framework bug).
+    pub fn free(&mut self, a: Allocation) {
+        assert!(a.addr + a.size <= self.capacity, "foreign allocation");
+        // Insertion point by address.
+        let i = self
+            .free_blocks
+            .partition_point(|&(addr, _)| addr < a.addr);
+        // Overlap checks against neighbours catch double frees.
+        if i > 0 {
+            let (paddr, psize) = self.free_blocks[i - 1];
+            assert!(paddr + psize <= a.addr, "double free / overlap at {:#x}", a.addr);
+        }
+        if i < self.free_blocks.len() {
+            let (naddr, _) = self.free_blocks[i];
+            assert!(a.addr + a.size <= naddr, "double free / overlap at {:#x}", a.addr);
+        }
+        self.free_blocks.insert(i, (a.addr, a.size));
+        // Coalesce with next, then previous.
+        if i + 1 < self.free_blocks.len() {
+            let (naddr, nsize) = self.free_blocks[i + 1];
+            if a.addr + a.size == naddr {
+                self.free_blocks[i].1 += nsize;
+                self.free_blocks.remove(i + 1);
+            }
+        }
+        if i > 0 {
+            let (paddr, psize) = self.free_blocks[i - 1];
+            if paddr + psize == self.free_blocks[i].0 {
+                self.free_blocks[i - 1].1 += self.free_blocks[i].1;
+                self.free_blocks.remove(i);
+            }
+        }
+        self.in_use -= a.size;
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// Peak bytes ever allocated simultaneously.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Number of successful allocations performed.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Size of the largest contiguous free block.
+    pub fn largest_free_block(&self) -> u64 {
+        self.free_blocks.iter().map(|&(_, s)| s).max().unwrap_or(0)
+    }
+
+    /// External fragmentation in `[0, 1]`: 1 − largest_free / total_free.
+    /// Zero when memory is empty or free space is one block.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_bytes();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_block() as f64 / free as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_roundtrip() {
+        let mut a = DeviceAllocator::new(1 << 20);
+        let x = a.alloc(1000).unwrap();
+        assert_eq!(x.size, 1024); // aligned up
+        assert_eq!(a.in_use(), 1024);
+        a.free(x);
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.free_bytes(), 1 << 20);
+        assert_eq!(a.largest_free_block(), 1 << 20);
+    }
+
+    #[test]
+    fn first_fit_reuses_low_addresses() {
+        let mut a = DeviceAllocator::new(4096);
+        let x = a.alloc(1024).unwrap();
+        let _y = a.alloc(1024).unwrap();
+        a.free(x);
+        let z = a.alloc(512).unwrap();
+        assert_eq!(z.addr, 0);
+    }
+
+    #[test]
+    fn oom_vs_fragmentation() {
+        let mut a = DeviceAllocator::new(3 * 256);
+        let x = a.alloc(256).unwrap();
+        let y = a.alloc(256).unwrap();
+        let z = a.alloc(256).unwrap();
+        assert!(matches!(
+            a.alloc(256),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+        a.free(x);
+        a.free(z);
+        // 512 free but split 256 + 256 around y.
+        let err = a.alloc(512).unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::Fragmented { requested: 512, largest_block: 256 }
+        );
+        a.free(y);
+        assert!(a.alloc(512).is_ok());
+    }
+
+    #[test]
+    fn coalescing_merges_neighbours() {
+        let mut a = DeviceAllocator::new(1024);
+        let x = a.alloc(256).unwrap();
+        let y = a.alloc(256).unwrap();
+        let z = a.alloc(256).unwrap();
+        a.free(y);
+        a.free(x); // should merge with y's block
+        a.free(z); // should merge everything
+        assert_eq!(a.largest_free_block(), 1024);
+        assert_eq!(a.fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut a = DeviceAllocator::new(4096);
+        let x = a.alloc(1024).unwrap();
+        let y = a.alloc(2048).unwrap();
+        a.free(x);
+        a.free(y);
+        a.alloc(256).unwrap();
+        assert_eq!(a.high_water(), 3072);
+        assert_eq!(a.alloc_count(), 3);
+    }
+
+    #[test]
+    fn fragmentation_metric() {
+        let mut a = DeviceAllocator::new(1024);
+        assert_eq!(a.fragmentation(), 0.0);
+        let x = a.alloc(256).unwrap();
+        let _y = a.alloc(256).unwrap();
+        a.free(x);
+        // free = 768 split as 256 + 512.
+        assert!((a.fragmentation() - (1.0 - 512.0 / 768.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = DeviceAllocator::new(1024);
+        let x = a.alloc(256).unwrap();
+        a.free(x);
+        a.free(x);
+    }
+
+    #[test]
+    fn best_fit_prefers_tight_holes() {
+        // Layout: [256][512][256][rest]; free the 256s and the 512,
+        // then ask for 512: best-fit reuses the 512 hole, first-fit
+        // grabs the lowest 256+... (coalesced) hole.
+        let build = |policy: FitPolicy| {
+            let mut a = DeviceAllocator::with_policy(4096, policy);
+            let x = a.alloc(256).unwrap();
+            let y = a.alloc(512).unwrap();
+            let z = a.alloc(256).unwrap();
+            let _anchor = a.alloc(256).unwrap();
+            a.free(x);
+            a.free(z); // holes: [0,256) and [768,1024) — not adjacent
+            let _ = y;
+            a.free(y); // hole [0,1024) after coalescing with x... no: y adjacent to x -> [0, 768), plus [768,1024) -> coalesce to [0,1024)
+            a
+        };
+        // Rebuild a fragmented layout that does NOT coalesce:
+        let frag = |policy: FitPolicy| {
+            let mut a = DeviceAllocator::with_policy(8192, policy);
+            let small1 = a.alloc(256).unwrap();
+            let _keep1 = a.alloc(256).unwrap();
+            let big = a.alloc(1024).unwrap();
+            let _keep2 = a.alloc(256).unwrap();
+            a.free(small1); // hole of 256 at addr 0
+            a.free(big); // hole of 1024 in the middle
+            a.alloc(200).unwrap() // fits both holes
+        };
+        assert_eq!(frag(FitPolicy::FirstFit).addr, 0, "first fit takes the low hole");
+        assert_eq!(frag(FitPolicy::BestFit).addr, 0, "the 256 hole is the tightest");
+        // For a request only the big hole fits, both behave the same.
+        let _ = build(FitPolicy::BestFit);
+        // Now a case where best-fit differs: holes 1024 (low) and 512 (high).
+        let differs = |policy: FitPolicy| {
+            let mut a = DeviceAllocator::with_policy(8192, policy);
+            let big = a.alloc(1024).unwrap();
+            let _keep = a.alloc(256).unwrap();
+            let small = a.alloc(512).unwrap();
+            let _keep2 = a.alloc(256).unwrap();
+            a.free(big); // 1024 hole at addr 0
+            a.free(small); // 512 hole higher up
+            a.alloc(512).unwrap().addr
+        };
+        assert_eq!(differs(FitPolicy::FirstFit), 0);
+        assert!(differs(FitPolicy::BestFit) > 0, "best fit picks the 512 hole");
+    }
+
+    #[test]
+    fn zero_sized_alloc_takes_one_unit() {
+        let mut a = DeviceAllocator::new(1024);
+        let x = a.alloc(0).unwrap();
+        assert_eq!(x.size, ALIGN);
+    }
+}

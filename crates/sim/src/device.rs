@@ -1,0 +1,173 @@
+//! Device descriptors.
+//!
+//! The two evaluation platforms of the paper differ only in memory capacity
+//! ("Both the GPUs have the same clock frequency (1.35 GHz) and degree of
+//! parallelism (128 cores) and differ only in the amount of memory").
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a (simulated) GPU platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Number of scalar cores.
+    pub cores: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak device-memory bandwidth in bytes/second.
+    pub internal_bw: f64,
+    /// Sustained host↔device (PCIe) bandwidth in bytes/second. The paper
+    /// observes 1–2 GB/s on PCIe of the era.
+    pub pcie_bw: f64,
+    /// Fixed cost per host↔device transfer, seconds.
+    pub transfer_latency_s: f64,
+    /// Fixed cost per kernel launch, seconds.
+    pub launch_overhead_s: f64,
+    /// Fraction of peak flops a real kernel of the era sustains.
+    /// Calibrated so the Fig. 2 transfer-share curve is reproduced
+    /// (~75 Gflop/s sustained out of 345 Gflop/s peak on the C870).
+    pub flops_efficiency: f64,
+    /// Fraction of peak internal bandwidth sustained by (often poorly
+    /// coalesced, CUDA-2.0-era) kernels. Calibrated to ~6 % from the same
+    /// Fig. 2 anchor points.
+    pub mem_efficiency: f64,
+}
+
+impl DeviceSpec {
+    /// Peak flops: `cores × clock × 2` (multiply-add per cycle).
+    pub fn peak_flops(&self) -> f64 {
+        self.cores as f64 * self.clock_ghz * 1e9 * 2.0
+    }
+
+    /// The planner's memory budget in bytes: capacity de-rated by
+    /// `margin` to absorb fragmentation (§3.3.2: "the `Total_GPU_Memory`
+    /// parameter in the formulation is set to a value less than the actual
+    /// amount of GPU memory present in the system").
+    pub fn plannable_memory(&self, margin: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&margin), "margin must be in [0,1]");
+        (self.memory_bytes as f64 * (1.0 - margin)) as u64
+    }
+
+    /// Clone with a different memory capacity — handy for sweeps.
+    pub fn with_memory(&self, memory_bytes: u64) -> DeviceSpec {
+        DeviceSpec {
+            memory_bytes,
+            name: format!("{} ({} MiB)", self.name, memory_bytes / (1 << 20)),
+            ..self.clone()
+        }
+    }
+}
+
+/// One mebibyte.
+pub const MIB: u64 = 1 << 20;
+
+fn base(name: &str, memory_bytes: u64) -> DeviceSpec {
+    DeviceSpec {
+        name: name.to_string(),
+        memory_bytes,
+        cores: 128,
+        clock_ghz: 1.35,
+        internal_bw: 76.8e9,
+        pcie_bw: 1.5e9,
+        transfer_latency_s: 20e-6,
+        launch_overhead_s: 10e-6,
+        flops_efficiency: 0.217,
+        mem_efficiency: 0.0625,
+    }
+}
+
+/// NVIDIA Tesla C870 GPU computing card: 128 cores @ 1.35 GHz, 1.5 GB.
+pub fn tesla_c870() -> DeviceSpec {
+    base("Tesla C870", 1500 * MIB)
+}
+
+/// NVIDIA GeForce 8800 GTX graphics card: 128 cores @ 1.35 GHz, 768 MB.
+pub fn geforce_8800_gtx() -> DeviceSpec {
+    base("GeForce 8800 GTX", 768 * MIB)
+}
+
+/// Convenience constant-style accessors used across benches and tests.
+#[allow(non_snake_case)]
+pub mod specs {
+    pub use super::{geforce_8800_gtx, tesla_c870};
+}
+
+/// Tesla C870 descriptor.
+pub static TESLA_C870: once::Lazy<DeviceSpec> = once::Lazy::new(tesla_c870);
+/// GeForce 8800 GTX descriptor.
+pub static GEFORCE_8800_GTX: once::Lazy<DeviceSpec> = once::Lazy::new(geforce_8800_gtx);
+
+/// Minimal lazy-init cell (std-only stand-in for `once_cell`).
+pub mod once {
+    use std::sync::OnceLock;
+
+    /// Lazily-initialized static value.
+    pub struct Lazy<T> {
+        cell: OnceLock<T>,
+        init: fn() -> T,
+    }
+
+    impl<T> Lazy<T> {
+        /// Create a lazy cell initialized by `init` on first deref.
+        pub const fn new(init: fn() -> T) -> Self {
+            Lazy { cell: OnceLock::new(), init }
+        }
+    }
+
+    impl<T> std::ops::Deref for Lazy<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.cell.get_or_init(self.init)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platforms_differ_only_in_memory() {
+        let (a, b) = (tesla_c870(), geforce_8800_gtx());
+        assert_eq!(a.cores, b.cores);
+        assert_eq!(a.clock_ghz, b.clock_ghz);
+        assert_eq!(a.memory_bytes, 1500 * MIB);
+        assert_eq!(b.memory_bytes, 768 * MIB);
+    }
+
+    #[test]
+    fn peak_flops_is_345_gflops() {
+        let f = tesla_c870().peak_flops();
+        assert!((f - 345.6e9).abs() < 1e6, "got {f}");
+    }
+
+    #[test]
+    fn plannable_memory_derates() {
+        let d = tesla_c870();
+        assert_eq!(d.plannable_memory(0.0), 1500 * MIB);
+        assert_eq!(d.plannable_memory(0.1), (1500.0 * 0.9) as u64 * MIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn margin_bounds_checked() {
+        tesla_c870().plannable_memory(1.5);
+    }
+
+    #[test]
+    fn with_memory_renames() {
+        let d = tesla_c870().with_memory(256 * MIB);
+        assert_eq!(d.memory_bytes, 256 * MIB);
+        assert!(d.name.contains("256 MiB"));
+        assert_eq!(d.cores, 128);
+    }
+
+    #[test]
+    fn lazy_statics_resolve() {
+        assert_eq!(TESLA_C870.name, "Tesla C870");
+        assert_eq!(GEFORCE_8800_GTX.memory_bytes, 768 * MIB);
+    }
+}

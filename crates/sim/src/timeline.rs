@@ -1,0 +1,241 @@
+//! Simulated clock, event timeline, and aggregate counters.
+//!
+//! The executor appends one [`Event`] per kernel launch, host↔device copy,
+//! or device free. The [`Counters`] summary provides exactly the quantities
+//! the paper reports: floats moved between CPU and GPU (Table 1), and the
+//! split of execution time into compute and transfer (Fig. 2, Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// What happened at a timeline point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Kernel launch.
+    Kernel {
+        /// Operator name.
+        name: String,
+    },
+    /// Host→device copy.
+    CopyToGpu {
+        /// Data structure name.
+        data: String,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// Device→host copy.
+    CopyToCpu {
+        /// Data structure name.
+        data: String,
+        /// Bytes copied.
+        bytes: u64,
+    },
+    /// Device buffer released (eager delete or eviction).
+    Free {
+        /// Data structure name.
+        data: String,
+        /// Bytes released.
+        bytes: u64,
+    },
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulated start time, seconds.
+    pub start: f64,
+    /// Simulated duration, seconds (0 for frees).
+    pub duration: f64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// Aggregates over a timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Bytes copied host→device.
+    pub bytes_to_gpu: u64,
+    /// Bytes copied device→host.
+    pub bytes_to_cpu: u64,
+    /// Number of host→device copies.
+    pub copies_to_gpu: u64,
+    /// Number of device→host copies.
+    pub copies_to_cpu: u64,
+    /// Number of kernel launches.
+    pub kernel_launches: u64,
+    /// Total simulated kernel time, seconds.
+    pub kernel_time: f64,
+    /// Total simulated transfer time, seconds.
+    pub transfer_time: f64,
+}
+
+impl Counters {
+    /// Total bytes moved across PCIe in either direction — Table 1's metric
+    /// (divide by 4 for floats).
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.bytes_to_gpu + self.bytes_to_cpu
+    }
+
+    /// Table 1 reports transfers in floats.
+    pub fn total_transfer_floats(&self) -> u64 {
+        self.total_transfer_bytes() / 4
+    }
+
+    /// End-to-end simulated time (no compute/transfer overlap; the paper's
+    /// GPUs did not support it and its experiments did not use it).
+    pub fn total_time(&self) -> f64 {
+        self.kernel_time + self.transfer_time
+    }
+
+    /// Fraction of time spent transferring — the Fig. 2 quantity.
+    pub fn transfer_share(&self) -> f64 {
+        let t = self.total_time();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.transfer_time / t
+        }
+    }
+}
+
+/// An append-only simulated timeline.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Timeline {
+    events: Vec<Event>,
+    now: f64,
+    counters: Counters,
+}
+
+impl Timeline {
+    /// Empty timeline at t = 0.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Aggregate counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Record a kernel launch of `duration` seconds.
+    pub fn push_kernel(&mut self, name: impl Into<String>, duration: f64) {
+        self.counters.kernel_launches += 1;
+        self.counters.kernel_time += duration;
+        self.push(EventKind::Kernel { name: name.into() }, duration);
+    }
+
+    /// Record a host→device copy.
+    pub fn push_copy_to_gpu(&mut self, data: impl Into<String>, bytes: u64, duration: f64) {
+        self.counters.copies_to_gpu += 1;
+        self.counters.bytes_to_gpu += bytes;
+        self.counters.transfer_time += duration;
+        self.push(EventKind::CopyToGpu { data: data.into(), bytes }, duration);
+    }
+
+    /// Record a device→host copy.
+    pub fn push_copy_to_cpu(&mut self, data: impl Into<String>, bytes: u64, duration: f64) {
+        self.counters.copies_to_cpu += 1;
+        self.counters.bytes_to_cpu += bytes;
+        self.counters.transfer_time += duration;
+        self.push(EventKind::CopyToCpu { data: data.into(), bytes }, duration);
+    }
+
+    /// Record a device free (takes no simulated time).
+    pub fn push_free(&mut self, data: impl Into<String>, bytes: u64) {
+        self.push(EventKind::Free { data: data.into(), bytes }, 0.0);
+    }
+
+    fn push(&mut self, kind: EventKind, duration: f64) {
+        self.events.push(Event { start: self.now, duration, kind });
+        self.now += duration;
+    }
+
+    /// Human-readable rendering of the timeline, one event per line —
+    /// the textual equivalent of the paper's Fig. 6(b).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for e in &self.events {
+            let desc = match &e.kind {
+                EventKind::Kernel { name } => format!("KERNEL  {name}"),
+                EventKind::CopyToGpu { data, bytes } => {
+                    format!("H->D    {data} ({bytes} B)")
+                }
+                EventKind::CopyToCpu { data, bytes } => {
+                    format!("D->H    {data} ({bytes} B)")
+                }
+                EventKind::Free { data, bytes } => format!("FREE    {data} ({bytes} B)"),
+            };
+            let _ = writeln!(s, "[{:>12.6}s +{:>10.6}s] {desc}", e.start, e.duration);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_accumulates_time_and_counters() {
+        let mut t = Timeline::new();
+        t.push_copy_to_gpu("Img", 800, 0.5);
+        t.push_kernel("C1", 0.25);
+        t.push_copy_to_cpu("E1", 400, 0.25);
+        t.push_free("Img", 800);
+        assert_eq!(t.now(), 1.0);
+        let c = t.counters();
+        assert_eq!(c.bytes_to_gpu, 800);
+        assert_eq!(c.bytes_to_cpu, 400);
+        assert_eq!(c.total_transfer_bytes(), 1200);
+        assert_eq!(c.total_transfer_floats(), 300);
+        assert_eq!(c.kernel_launches, 1);
+        assert_eq!(c.copies_to_gpu, 1);
+        assert_eq!(c.copies_to_cpu, 1);
+        assert!((c.transfer_share() - 0.75).abs() < 1e-12);
+        assert_eq!(c.total_time(), 1.0);
+    }
+
+    #[test]
+    fn events_are_ordered_and_timed() {
+        let mut t = Timeline::new();
+        t.push_kernel("a", 1.0);
+        t.push_kernel("b", 2.0);
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].start, 0.0);
+        assert_eq!(ev[1].start, 1.0);
+        assert_eq!(ev[1].duration, 2.0);
+    }
+
+    #[test]
+    fn render_mentions_every_event() {
+        let mut t = Timeline::new();
+        t.push_copy_to_gpu("Img", 8, 0.1);
+        t.push_kernel("C1", 0.1);
+        t.push_copy_to_cpu("E1", 4, 0.1);
+        t.push_free("Img", 8);
+        let s = t.render();
+        assert!(s.contains("H->D    Img"));
+        assert!(s.contains("KERNEL  C1"));
+        assert!(s.contains("D->H    E1"));
+        assert!(s.contains("FREE    Img"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn empty_counters() {
+        let c = Counters::default();
+        assert_eq!(c.transfer_share(), 0.0);
+        assert_eq!(c.total_time(), 0.0);
+    }
+}

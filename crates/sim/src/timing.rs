@@ -1,0 +1,119 @@
+//! The simulated-time model.
+//!
+//! Calibration: the model is an *additive* roofline — kernels of the CUDA
+//! 2.0 era overlapped memory and ALU work poorly, so
+//!
+//! ```text
+//! kernel_time  = launch_overhead + bytes / (internal_bw · mem_eff)
+//!                                + flops / (peak_flops · flops_eff)
+//! transfer_time = transfer_latency + bytes / pcie_bw
+//! ```
+//!
+//! With the default efficiencies (`mem_eff` ≈ 6 %, `flops_eff` ≈ 22 %) the
+//! model reproduces the two anchor points of the paper's Fig. 2 on an
+//! 8000×8000 convolution: transfers ≈ 75 % of runtime at kernel size 2 and
+//! ≈ 30 % at kernel size 20.
+
+use crate::device::DeviceSpec;
+
+/// Work counts consumed by [`kernel_time`]. Mirrors `gpuflow_ops::OpCost`
+/// without creating a dependency between the crates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Work {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Device-memory bytes moved by the kernel.
+    pub bytes: u64,
+}
+
+/// Simulated duration of one kernel launch performing `work`.
+pub fn kernel_time(dev: &DeviceSpec, work: Work) -> f64 {
+    let mem = work.bytes as f64 / (dev.internal_bw * dev.mem_efficiency);
+    let alu = work.flops as f64 / (dev.peak_flops() * dev.flops_efficiency);
+    dev.launch_overhead_s + mem + alu
+}
+
+/// Simulated duration of one host↔device copy of `bytes`.
+pub fn transfer_time(dev: &DeviceSpec, bytes: u64) -> f64 {
+    dev.transfer_latency_s + bytes as f64 / dev.pcie_bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::tesla_c870;
+
+    /// Fig. 2 anchor: 8000×8000 image, k×k kernel, baseline execution
+    /// (transfer image in, result out). The kernel streams the image and
+    /// result once (k² re-reads hit on-chip memory), so `bytes = in + out`,
+    /// matching `gpuflow_ops::op_cost`.
+    fn fig2_transfer_share(k: u64) -> f64 {
+        let dev = tesla_c870();
+        let n: u64 = 8000;
+        let out = (n - k + 1) * (n - k + 1);
+        let work = Work {
+            flops: out * k * k * 2,
+            bytes: (n * n + out) * 4,
+        };
+        let compute = kernel_time(&dev, work);
+        let xfer = transfer_time(&dev, n * n * 4) + transfer_time(&dev, out * 4);
+        xfer / (xfer + compute)
+    }
+
+    #[test]
+    fn fig2_anchor_small_kernel() {
+        let share = fig2_transfer_share(2);
+        assert!(
+            (0.60..=0.85).contains(&share),
+            "kernel 2: transfer share {share:.2} outside paper's ~75% band"
+        );
+    }
+
+    #[test]
+    fn fig2_anchor_large_kernel() {
+        let share = fig2_transfer_share(20);
+        assert!(
+            (0.15..=0.45).contains(&share),
+            "kernel 20: transfer share {share:.2} outside paper's ~30% band"
+        );
+    }
+
+    #[test]
+    fn fig2_share_is_monotonically_decreasing() {
+        let mut prev = 1.0;
+        for k in (2..=20).step_by(2) {
+            let s = fig2_transfer_share(k);
+            assert!(s < prev, "share must fall with kernel size (k={k})");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn transfer_dominated_by_bandwidth_for_large_copies() {
+        let dev = tesla_c870();
+        let t = transfer_time(&dev, 1_500_000_000);
+        assert!((t - 1.0).abs() < 0.01, "1.5 GB at 1.5 GB/s ≈ 1 s, got {t}");
+    }
+
+    #[test]
+    fn latency_floors_small_transfers() {
+        let dev = tesla_c870();
+        assert!(transfer_time(&dev, 4) >= dev.transfer_latency_s);
+    }
+
+    #[test]
+    fn kernel_time_has_launch_floor() {
+        let dev = tesla_c870();
+        assert!(kernel_time(&dev, Work::default()) >= dev.launch_overhead_s);
+    }
+
+    #[test]
+    fn kernel_time_additive_in_work() {
+        let dev = tesla_c870();
+        let a = kernel_time(&dev, Work { flops: 1_000_000, bytes: 0 });
+        let b = kernel_time(&dev, Work { flops: 2_000_000, bytes: 0 });
+        let alu1 = a - dev.launch_overhead_s;
+        let alu2 = b - dev.launch_overhead_s;
+        assert!((alu2 / alu1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the device allocator and serde round-trips of
+//! the simulator's data types.
+
+use proptest::prelude::*;
+
+use gpuflow_sim::{device, Allocation, DeviceAllocator, DeviceSpec, Timeline};
+
+// Random alloc/free workloads must preserve the allocator's invariants:
+// live allocations never overlap, accounting matches, and freeing
+// everything returns the allocator to a pristine single free block.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_workload_preserves_invariants(
+        ops in prop::collection::vec((0u8..2, 1u64..5000, 0usize..32), 1..120),
+        capacity_kib in 8u64..64,
+    ) {
+        let capacity = capacity_kib * 1024;
+        let mut a = DeviceAllocator::new(capacity);
+        let mut live: Vec<Allocation> = Vec::new();
+        for (kind, size, idx) in ops {
+            match kind {
+                0 => {
+                    if let Ok(x) = a.alloc(size) {
+                        // No overlap with any live allocation.
+                        for y in &live {
+                            let disjoint = x.addr + x.size <= y.addr || y.addr + y.size <= x.addr;
+                            prop_assert!(disjoint, "{x:?} overlaps {y:?}");
+                        }
+                        prop_assert_eq!(x.addr % gpuflow_sim::alloc::ALIGN, 0);
+                        live.push(x);
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let x = live.swap_remove(idx % live.len());
+                        a.free(x);
+                    }
+                }
+            }
+            let used: u64 = live.iter().map(|x| x.size).sum();
+            prop_assert_eq!(a.in_use(), used);
+            prop_assert_eq!(a.free_bytes(), capacity - used);
+            prop_assert!(a.largest_free_block() <= a.free_bytes());
+            prop_assert!(a.high_water() >= a.in_use());
+        }
+        for x in live.drain(..) {
+            a.free(x);
+        }
+        prop_assert_eq!(a.in_use(), 0);
+        prop_assert_eq!(a.largest_free_block(), capacity);
+        prop_assert_eq!(a.fragmentation(), 0.0);
+    }
+
+    /// First-fit determinism: the same request sequence yields the same
+    /// addresses.
+    #[test]
+    fn allocation_is_deterministic(sizes in prop::collection::vec(1u64..4096, 1..40)) {
+        let run = || {
+            let mut a = DeviceAllocator::new(1 << 20);
+            sizes
+                .iter()
+                .map(|&s| a.alloc(s).unwrap().addr)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+#[test]
+fn device_spec_serde_roundtrip() {
+    let dev = device::tesla_c870();
+    let json = serde_json::to_string(&dev).unwrap();
+    let back: DeviceSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(dev, back);
+}
+
+#[test]
+fn timeline_serde_roundtrip() {
+    let mut t = Timeline::new();
+    t.push_copy_to_gpu("Img", 4096, 0.1);
+    t.push_kernel("conv", 0.2);
+    t.push_copy_to_cpu("Out", 2048, 0.05);
+    t.push_free("Img", 4096);
+    let json = serde_json::to_string(&t).unwrap();
+    let back: Timeline = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.events(), t.events());
+    assert_eq!(back.counters(), t.counters());
+    assert_eq!(back.now(), t.now());
+}

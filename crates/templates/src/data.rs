@@ -1,0 +1,165 @@
+//! Deterministic synthetic inputs.
+//!
+//! The paper's edge-detection inputs are histological micrographs from a
+//! cancer-diagnosis application and its CNN comes from a driver face/pose
+//! detector — neither dataset is public. Scheduling, splitting, and
+//! transfer volumes depend only on data *dimensions*, so procedurally
+//! generated stand-ins exercise exactly the same code paths; these
+//! generators are deterministic so every experiment is reproducible.
+
+use gpuflow_graph::{DataId, Graph};
+use gpuflow_ops::Tensor;
+use std::collections::HashMap;
+
+/// A micrograph-like image: smooth blobs (cell nuclei) over a textured
+/// background, deterministic in `(rows, cols, seed)`.
+pub fn synth_image(rows: usize, cols: usize, seed: u32) -> Tensor {
+    let fr = 1.0 / rows.max(1) as f32;
+    let fc = 1.0 / cols.max(1) as f32;
+    let s = seed as f32 * 0.618;
+    Tensor::from_fn(rows, cols, |r, c| {
+        let (x, y) = (c as f32 * fc, r as f32 * fr);
+        // Blobby "nuclei" via a few cosine bumps + high-frequency texture.
+        let blobs = (6.3 * x + s).cos() * (5.1 * y - s).cos()
+            + 0.5 * (13.7 * x - 2.0 * s).sin() * (11.3 * y + s).sin();
+        let texture = 0.1 * ((r * 31 + c * 17 + seed as usize) % 13) as f32 / 13.0;
+        blobs + texture
+    })
+}
+
+/// An oriented edge-detection kernel (difference of shifted Gaussians at
+/// angle index `orientation`), `k × k`, zero-mean.
+pub fn edge_kernel(k: usize, orientation: usize) -> Tensor {
+    let mid = (k as f32 - 1.0) / 2.0;
+    let angle = orientation as f32 * std::f32::consts::PI / 4.0;
+    let (dx, dy) = (angle.cos(), angle.sin());
+    let mut t = Tensor::from_fn(k, k, |r, c| {
+        // Signed distance to the edge line through the center.
+        let d = (c as f32 - mid) * dx + (r as f32 - mid) * dy;
+        let g = (-((r as f32 - mid).powi(2) + (c as f32 - mid).powi(2)) / (k as f32)).exp();
+        d.signum() * g
+    });
+    // Zero-mean so flat regions respond with 0.
+    let mean: f32 = t.as_slice().iter().sum::<f32>() / t.len() as f32;
+    for v in t.as_mut_slice() {
+        *v -= mean;
+    }
+    t
+}
+
+/// Small deterministic CNN weight values in `(-0.5, 0.5)`.
+pub fn cnn_weight(k: usize, index: usize) -> Tensor {
+    Tensor::from_fn(k, k, |r, c| {
+        let h = (r * 2654435761 + c * 40503 + index * 97) as u32;
+        let h = h ^ (h >> 13);
+        (h % 1000) as f32 / 1000.0 - 0.5
+    })
+}
+
+/// Deterministic bias value for bias `index`.
+pub fn cnn_bias(index: usize) -> Tensor {
+    Tensor::scalar(((index * 37) % 19) as f32 / 19.0 - 0.5)
+}
+
+/// Bind every host-resident data structure of `g` with deterministic
+/// synthetic content: images for inputs, edge kernels / CNN weights for
+/// constants (selected by shape).
+pub fn default_bindings(g: &Graph) -> HashMap<DataId, Tensor> {
+    let mut bind = HashMap::new();
+    let mut const_idx = 0usize;
+    let mut input_idx = 0u32;
+    for d in g.data_ids() {
+        let desc = g.data(d);
+        if !desc.kind.starts_on_cpu() {
+            continue;
+        }
+        let t = match desc.kind {
+            gpuflow_graph::DataKind::Input => {
+                input_idx += 1;
+                synth_image(desc.rows, desc.cols, input_idx)
+            }
+            gpuflow_graph::DataKind::Constant => {
+                const_idx += 1;
+                if desc.rows == 1 && desc.cols == 1 {
+                    cnn_bias(const_idx)
+                } else if desc.rows == desc.cols {
+                    edge_kernel(desc.rows, const_idx % 8)
+                } else {
+                    cnn_weight(desc.rows.min(desc.cols), const_idx)
+                }
+            }
+            _ => unreachable!("starts_on_cpu covers inputs and constants"),
+        };
+        bind.insert(d, t);
+    }
+    bind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_image_is_deterministic_and_varied() {
+        let a = synth_image(64, 64, 1);
+        let b = synth_image(64, 64, 1);
+        assert_eq!(a, b);
+        let c = synth_image(64, 64, 2);
+        assert!(a.max_abs_diff(&c) > 0.0, "seeds must differ");
+        // Non-constant content.
+        let first = a.get(0, 0);
+        assert!(a.as_slice().iter().any(|&v| (v - first).abs() > 0.1));
+    }
+
+    #[test]
+    fn edge_kernels_are_zero_mean_and_oriented() {
+        for o in 0..8 {
+            let k = edge_kernel(16, o);
+            let mean: f32 = k.as_slice().iter().sum::<f32>() / k.len() as f32;
+            assert!(mean.abs() < 1e-5, "orientation {o}: mean {mean}");
+        }
+        // Different orientations differ.
+        let k0 = edge_kernel(9, 0);
+        let k2 = edge_kernel(9, 2);
+        assert!(k0.max_abs_diff(&k2) > 0.01);
+    }
+
+    #[test]
+    fn weights_bounded() {
+        let w = cnn_weight(5, 3);
+        assert!(w.as_slice().iter().all(|v| v.abs() <= 0.5));
+        assert!(cnn_bias(4).get(0, 0).abs() <= 0.5);
+    }
+
+    #[test]
+    fn default_bindings_cover_template() {
+        let t = crate::edge::find_edges(64, 64, 9, 4, crate::edge::CombineOp::Max);
+        let bind = default_bindings(&t.graph);
+        assert_eq!(bind.len(), 3); // Img + 2 kernels
+        assert!(bind.contains_key(&t.image));
+        for k in &t.kernels {
+            assert!(bind.contains_key(k));
+        }
+        // Shapes match descriptors.
+        for (d, tensor) in &bind {
+            assert_eq!(tensor.shape(), t.graph.shape(*d));
+        }
+    }
+
+    #[test]
+    fn default_bindings_on_cnn() {
+        let t = crate::cnn::CnnBuilder::new(2, 16, 16)
+            .spatial_convolution(3, 3)
+            .tanh()
+            .build();
+        let bind = default_bindings(&t.graph);
+        // 2 inputs + 6 weights + 3 biases.
+        assert_eq!(bind.len(), 11);
+        let out = gpuflow_ops::reference_eval(&t.graph, &bind).unwrap();
+        assert_eq!(out.len(), 3);
+        // Tanh keeps activations in (-1, 1).
+        for t in out.values() {
+            assert!(t.as_slice().iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+}

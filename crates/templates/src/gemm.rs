@@ -1,0 +1,86 @@
+//! Dense matrix-multiply templates — §3.2's worked splitting example: "a
+//! large matrix-matrix multiply that does not fit in the GPU memory can be
+//! split by breaking up one of the input matrices and the output matrix".
+//!
+//! [`matmul_chain`] composes `A · B₁ · B₂ · …` — a template whose split
+//! pieces broadcast each `Bᵢ` whole while banding the running product,
+//! exactly the rule the paper prescribes.
+
+use gpuflow_graph::{DataId, DataKind, Graph, OpId, OpKind};
+
+/// A built GEMM-chain template.
+#[derive(Debug, Clone)]
+pub struct GemmTemplate {
+    /// The operator graph.
+    pub graph: Graph,
+    /// The left-hand matrix `A` (m × k₀).
+    pub a: DataId,
+    /// The right-hand factors `Bᵢ`, in application order.
+    pub factors: Vec<DataId>,
+    /// The final product.
+    pub product: DataId,
+    /// One multiply per factor.
+    pub multiplies: Vec<OpId>,
+}
+
+/// Build `A(m × dims[0]) · B₁(dims[0] × dims[1]) · …`; `dims` lists the
+/// inner/outer dimensions, so `dims.len() - 1` multiplies are created.
+pub fn matmul_chain(m: usize, dims: &[usize]) -> GemmTemplate {
+    assert!(dims.len() >= 2, "need at least one factor");
+    assert!(m >= 1 && dims.iter().all(|&d| d >= 1));
+    let mut g = Graph::new();
+    let a = g.add("A", m, dims[0], DataKind::Input);
+    let mut factors = Vec::new();
+    let mut multiplies = Vec::new();
+    let mut acc = a;
+    for (i, w) in dims.windows(2).enumerate() {
+        let b = g.add(format!("B{}", i + 1), w[0], w[1], DataKind::Input);
+        factors.push(b);
+        let last = i + 2 == dims.len();
+        let kind = if last { DataKind::Output } else { DataKind::Temporary };
+        let out = g.add(format!("P{}", i + 1), m, w[1], kind);
+        let op = g
+            .add_op(format!("mm{}", i + 1), OpKind::MatMul, vec![acc, b], out)
+            .expect("valid matmul");
+        multiplies.push(op);
+        acc = out;
+    }
+    GemmTemplate { graph: g, a, factors, product: acc, multiplies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_ops::{reference_eval, Tensor};
+    use std::collections::HashMap;
+
+    #[test]
+    fn chain_structure() {
+        let t = matmul_chain(100, &[64, 32, 16]);
+        t.graph.validate().unwrap();
+        assert_eq!(t.multiplies.len(), 2);
+        assert_eq!(t.factors.len(), 2);
+        assert_eq!(t.graph.shape(t.product), gpuflow_graph::Shape::new(100, 16));
+    }
+
+    #[test]
+    fn matches_direct_product() {
+        let t = matmul_chain(6, &[5, 4, 3]);
+        let mut bind = HashMap::new();
+        let a = Tensor::from_fn(6, 5, |r, c| ((r * 5 + c) % 7) as f32 - 3.0);
+        let b1 = Tensor::from_fn(5, 4, |r, c| ((r + c * 2) % 5) as f32);
+        let b2 = Tensor::from_fn(4, 3, |r, c| ((r * 3 + c) % 4) as f32 - 1.0);
+        bind.insert(t.a, a.clone());
+        bind.insert(t.factors[0], b1.clone());
+        bind.insert(t.factors[1], b2.clone());
+        let out = reference_eval(&t.graph, &bind).unwrap();
+        let direct = gpuflow_ops::kernels::matmul(&gpuflow_ops::kernels::matmul(&a, &b1), &b2);
+        assert_eq!(out[&t.product], direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one factor")]
+    fn degenerate_chain_rejected() {
+        matmul_chain(4, &[4]);
+    }
+}

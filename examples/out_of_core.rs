@@ -1,0 +1,50 @@
+//! Out-of-core scaling — the paper's headline capability: executing
+//! templates whose data does not fit in GPU memory at all.
+//!
+//! Plans and analytically executes edge detection on inputs up to 6 GB
+//! against the 768 MB GeForce 8800 GTX (no tensors are materialized; the
+//! simulator accounts transfers, time, and device occupancy exactly).
+//!
+//! ```sh
+//! cargo run --release --example out_of_core
+//! ```
+
+use gpuflow::core::{baseline_plan, Framework};
+use gpuflow::sim::device::geforce_8800_gtx;
+use gpuflow::templates::edge::{find_edges, CombineOp};
+
+fn main() {
+    let dev = geforce_8800_gtx();
+    println!(
+        "device: {} with {} MiB of memory\n",
+        dev.name,
+        dev.memory_bytes >> 20
+    );
+    println!(
+        "{:<14} {:>10} {:>8} {:>16} {:>12} {:>10}",
+        "image", "input", "split P", "floats moved", "time (s)", "baseline"
+    );
+    for n in [4000usize, 8000, 16000, 24000, 32000, 40000] {
+        let t = find_edges(n, n, 16, 4, CombineOp::Max);
+        let compiled = Framework::new(dev.clone()).compile_adaptive(&t.graph).unwrap();
+        let out = compiled.run_analytic().unwrap();
+        let baseline = match baseline_plan(&t.graph, dev.memory_bytes) {
+            Ok(_) => "feasible".to_string(),
+            Err(_) => "N/A".to_string(),
+        };
+        println!(
+            "{:<14} {:>7} MB {:>8} {:>16} {:>12.2} {:>10}",
+            format!("{n}x{n}"),
+            (n * n * 4) >> 20,
+            compiled.split.parts,
+            out.transfer_floats(),
+            out.total_time(),
+            baseline
+        );
+        assert!(out.peak_device_bytes <= dev.memory_bytes);
+    }
+    println!(
+        "\nEvery row respects the 768 MiB device; the paper demonstrated the\n\
+         same for 6 GB inputs and 17 GB application footprints."
+    );
+}

@@ -1,0 +1,28 @@
+//! Facade crate re-exporting the full gpuflow public API.
+//!
+//! ```
+//! use gpuflow::core::Framework;
+//! use gpuflow::ops::reference_eval;
+//! use gpuflow::sim::device::geforce_8800_gtx;
+//! use gpuflow::templates::data::default_bindings;
+//! use gpuflow::templates::edge::{find_edges, CombineOp};
+//!
+//! // Express a template, compile it for a memory-limited GPU, run it,
+//! // and verify against the unconstrained reference evaluator.
+//! let t = find_edges(128, 128, 9, 4, CombineOp::Max);
+//! let device = geforce_8800_gtx().with_memory(200 << 10);
+//! let compiled = Framework::new(device).compile_adaptive(&t.graph).unwrap();
+//! assert!(compiled.split.parts >= 1);
+//!
+//! let bindings = default_bindings(&t.graph);
+//! let run = compiled.run_functional(&bindings).unwrap();
+//! let reference = reference_eval(&t.graph, &bindings).unwrap();
+//! assert_eq!(run.outputs[&t.edge_map], reference[&t.edge_map]);
+//! ```
+pub use gpuflow_codegen as codegen;
+pub use gpuflow_core as core;
+pub use gpuflow_graph as graph;
+pub use gpuflow_ops as ops;
+pub use gpuflow_pbsat as pbsat;
+pub use gpuflow_sim as sim;
+pub use gpuflow_templates as templates;

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, tests, and a static-analysis
+# sweep of every shipped template. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> gpuflow check over shipped templates"
+for gfg in assets/*.gfg; do
+    echo "--- $gfg"
+    cargo run --release -q -p gpuflow-cli --bin gpuflow -- check "$gfg" --device custom:1
+done
+
+echo "CI OK"

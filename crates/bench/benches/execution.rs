@@ -33,7 +33,9 @@ fn bench_execution(c: &mut Criterion) {
     // Functional: real kernels on a 256x256 edge template under splitting.
     let t = find_edges(256, 256, 9, 4, CombineOp::Max);
     let small_dev = dev.with_memory(512 << 10);
-    let compiled_split = Framework::new(small_dev).compile_adaptive(&t.graph).unwrap();
+    let compiled_split = Framework::new(small_dev)
+        .compile_adaptive(&t.graph)
+        .unwrap();
     let bindings = default_bindings(&t.graph);
     c.bench_function("functional exec edge 256^2 (split)", |b| {
         b.iter(|| compiled_split.run_functional(black_box(&bindings)).unwrap())

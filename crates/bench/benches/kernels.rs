@@ -22,15 +22,17 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| kernels::conv2d_valid(black_box(&img), black_box(&k16)))
     });
 
-    let maps: Vec<Tensor> = (0..4).map(|i| {
-        Tensor::from_fn(512, 512, |r, c| ((r + c * i) % 13) as f32)
-    }).collect();
+    let maps: Vec<Tensor> = (0..4)
+        .map(|i| Tensor::from_fn(512, 512, |r, c| ((r + c * i) % 13) as f32))
+        .collect();
     let refs: Vec<&Tensor> = maps.iter().collect();
     c.bench_function("ew_max arity-4 512x512", |b| {
         b.iter(|| kernels::ew_max(black_box(&refs)))
     });
 
-    c.bench_function("tanh 512x512", |b| b.iter(|| kernels::tanh(black_box(&img))));
+    c.bench_function("tanh 512x512", |b| {
+        b.iter(|| kernels::tanh(black_box(&img)))
+    });
     c.bench_function("remap flip-h 512x512", |b| {
         b.iter(|| kernels::remap(black_box(&img), RemapKind::FlipH))
     });

@@ -16,14 +16,7 @@ fn bench_pb(c: &mut Criterion) {
 
     c.bench_function("pbexact fig6 free order", |b| {
         b.iter(|| {
-            pb_exact_plan(
-                black_box(&g),
-                &units,
-                mem,
-                PbExactOptions::default(),
-                None,
-            )
-            .unwrap()
+            pb_exact_plan(black_box(&g), &units, mem, PbExactOptions::default(), None).unwrap()
         })
     });
     let order = fig3_schedule_a(&g, &units);

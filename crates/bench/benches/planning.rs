@@ -20,16 +20,32 @@ fn bench_planning(c: &mut Criterion) {
     let geforce = geforce_8800_gtx();
 
     c.bench_function("compile edge 1000^2 (fits)", |b| {
-        b.iter(|| Framework::new(tesla.clone()).compile(black_box(&edge_small)).unwrap())
+        b.iter(|| {
+            Framework::new(tesla.clone())
+                .compile(black_box(&edge_small))
+                .unwrap()
+        })
     });
     c.bench_function("compile edge 10000^2 (splits on 768MB)", |b| {
-        b.iter(|| Framework::new(geforce.clone()).compile(black_box(&edge_large)).unwrap())
+        b.iter(|| {
+            Framework::new(geforce.clone())
+                .compile(black_box(&edge_large))
+                .unwrap()
+        })
     });
     c.bench_function("compile small CNN 640x480 (1568 ops)", |b| {
-        b.iter(|| Framework::new(tesla.clone()).compile(black_box(&cnn_small)).unwrap())
+        b.iter(|| {
+            Framework::new(tesla.clone())
+                .compile(black_box(&cnn_small))
+                .unwrap()
+        })
     });
     c.bench_function("compile large CNN 640x480 (7496 ops)", |b| {
-        b.iter(|| Framework::new(tesla.clone()).compile(black_box(&cnn_large)).unwrap())
+        b.iter(|| {
+            Framework::new(tesla.clone())
+                .compile(black_box(&cnn_large))
+                .unwrap()
+        })
     });
 
     c.bench_function("build large CNN graph 640x480", |b| {

@@ -19,7 +19,11 @@ fn layered_graph(widths: &[usize], unit_cols: usize) -> Graph {
         let last = l + 1 == widths.len();
         let mut next = Vec::with_capacity(w);
         for i in 0..w {
-            let kind = if last { DataKind::Output } else { DataKind::Temporary };
+            let kind = if last {
+                DataKind::Output
+            } else {
+                DataKind::Temporary
+            };
             let d = g.add(format!("d{l}.{i}"), 1, unit_cols, kind);
             // Each node reads 1-2 structures from the previous layer.
             let a = prev[i % prev.len()];
@@ -55,7 +59,11 @@ fn heuristic_floats(g: &Graph, policy: PartitionPolicy, mem: u64) -> u64 {
         g,
         &units,
         &order,
-        XferOptions { memory_bytes: mem, policy: EvictionPolicy::Belady, eager_free: true },
+        XferOptions {
+            memory_bytes: mem,
+            policy: EvictionPolicy::Belady,
+            eager_free: true,
+        },
     )
     .expect("feasible");
     plan.stats(g).total_floats()
@@ -74,7 +82,11 @@ fn main() {
             &g,
             &units,
             &order,
-            XferOptions { memory_bytes: mem, policy: EvictionPolicy::Belady, eager_free: true },
+            XferOptions {
+                memory_bytes: mem,
+                policy: EvictionPolicy::Belady,
+                eager_free: true,
+            },
         )
         .unwrap();
         plan.stats(&g).total_floats()
@@ -88,13 +100,7 @@ fn main() {
     );
 
     // Part 2: layered DAGs at varying memory pressure.
-    let mut t = TableWriter::new(&[
-        "graph",
-        "memory (units)",
-        "heuristic",
-        "PB optimum",
-        "gap",
-    ]);
+    let mut t = TableWriter::new(&["graph", "memory (units)", "heuristic", "PB optimum", "gap"]);
     let cols = 64;
     let unit = (cols * 4) as u64;
     for (widths, mems) in [

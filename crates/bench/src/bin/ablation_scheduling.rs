@@ -106,13 +106,7 @@ fn main() {
     for (label, g, dev) in workloads() {
         let run = |eager: bool| {
             optimized_outcome(&dev, &g, |o: &mut CompileOptions| o.eager_free = eager)
-                .map(|o| {
-                    format!(
-                        "{} / {} MiB",
-                        commas(o.transfer_floats),
-                        o.peak_bytes >> 20
-                    )
-                })
+                .map(|o| format!("{} / {} MiB", commas(o.transfer_floats), o.peak_bytes >> 20))
                 .unwrap_or_else(|e| short_err(&e))
         };
         t.row(&[label, run(true), run(false)]);

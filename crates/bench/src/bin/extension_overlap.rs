@@ -18,7 +18,10 @@ use gpuflow_sim::device::tesla_c870;
 
 fn main() {
     let dev = tesla_c870();
-    println!("Extension — async transfer/compute overlap on {}\n", dev.name);
+    println!(
+        "Extension — async transfer/compute overlap on {}\n",
+        dev.name
+    );
 
     println!("1. Overlapped makespans (dual DMA engines + compute engine):\n");
     let mut t = TableWriter::new(&[
@@ -32,26 +35,50 @@ fn main() {
         "opt overlap+prefetch",
     ]);
     for spec in [
-        TemplateSpec::Edge { n: 1000, k: 16, orientations: 4 },
-        TemplateSpec::Edge { n: 4000, k: 16, orientations: 4 },
-        TemplateSpec::Edge { n: 16000, k: 16, orientations: 4 },
-        TemplateSpec::SmallCnn { rows: 480, cols: 640 },
-        TemplateSpec::LargeCnn { rows: 480, cols: 640 },
-        TemplateSpec::SmallCnn { rows: 4800, cols: 6400 },
+        TemplateSpec::Edge {
+            n: 1000,
+            k: 16,
+            orientations: 4,
+        },
+        TemplateSpec::Edge {
+            n: 4000,
+            k: 16,
+            orientations: 4,
+        },
+        TemplateSpec::Edge {
+            n: 16000,
+            k: 16,
+            orientations: 4,
+        },
+        TemplateSpec::SmallCnn {
+            rows: 480,
+            cols: 640,
+        },
+        TemplateSpec::LargeCnn {
+            rows: 480,
+            cols: 640,
+        },
+        TemplateSpec::SmallCnn {
+            rows: 4800,
+            cols: 6400,
+        },
     ] {
         let g = spec.build();
         let (bs, bo, bg) = match baseline_plan(&g, dev.memory_bytes) {
             Ok(plan) => {
                 let o = overlapped_makespan(&g, &plan, &dev);
-                (secs(o.serial_time), secs(o.overlapped_time), format!("{:.2}x", o.speedup()))
+                (
+                    secs(o.serial_time),
+                    secs(o.overlapped_time),
+                    format!("{:.2}x", o.speedup()),
+                )
             }
             Err(_) => ("N/A".into(), "N/A".into(), "-".into()),
         };
         let compiled = Framework::new(dev.clone()).compile(&g).unwrap();
         let o = overlapped_makespan(&compiled.split.graph, &compiled.plan, &dev);
         let budget = dev.plannable_memory(0.05);
-        let (hoisted, _) =
-            hoist_prefetches(&compiled.split.graph, &compiled.plan, budget, 64);
+        let (hoisted, _) = hoist_prefetches(&compiled.split.graph, &compiled.plan, budget, 64);
         let h = overlapped_makespan(&compiled.split.graph, &hoisted, &dev);
         t.row(&[
             spec.label(),
@@ -75,24 +102,38 @@ fn main() {
     println!("Gantt of the hoisted small-CNN plan's first moments (offload");
     println!("pipeline visible as the copy lane running ahead of compute):\n");
     {
-        let g = TemplateSpec::SmallCnn { rows: 480, cols: 640 }.build();
+        let g = TemplateSpec::SmallCnn {
+            rows: 480,
+            cols: 640,
+        }
+        .build();
         let compiled = Framework::new(dev.clone()).compile(&g).unwrap();
         let budget = dev.plannable_memory(0.05);
-        let (hoisted, _) =
-            hoist_prefetches(&compiled.split.graph, &compiled.plan, budget, 64);
-        let (out, events) =
-            gpuflow_core::overlapped_trace(&compiled.split.graph, &hoisted, &dev);
-        println!("{}", gpuflow_core::render_gantt(&events, out.overlapped_time, 90));
+        let (hoisted, _) = hoist_prefetches(&compiled.split.graph, &compiled.plan, budget, 64);
+        let (out, events) = gpuflow_core::overlapped_trace(&compiled.split.graph, &hoisted, &dev);
+        println!(
+            "{}",
+            gpuflow_core::render_gantt(&events, out.overlapped_time, 90)
+        );
     }
 
     println!("2. PB objective variants on the Fig. 3 example (5-unit memory):\n");
     let g = fig3_graph();
     let units = fig3_units(&g);
     for (name, objective) in [
-        ("total transfers (paper's evaluation)", ObjectiveKind::TotalTransfers),
-        ("synchronous transfers only (§3.3.2 note)", ObjectiveKind::SynchronousTransfers),
+        (
+            "total transfers (paper's evaluation)",
+            ObjectiveKind::TotalTransfers,
+        ),
+        (
+            "synchronous transfers only (§3.3.2 note)",
+            ObjectiveKind::SynchronousTransfers,
+        ),
     ] {
-        let opts = PbExactOptions { objective, ..PbExactOptions::default() };
+        let opts = PbExactOptions {
+            objective,
+            ..PbExactOptions::default()
+        };
         let out = pb_exact_plan(&g, &units, fig3_memory_bytes(), opts, None).unwrap();
         println!(
             "  {name}: optimum = {} units (plan physically moves {} units)",

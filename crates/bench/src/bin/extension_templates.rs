@@ -8,8 +8,8 @@
 
 use gpuflow_bench::run::{commas, secs};
 use gpuflow_bench::{baseline_outcome, optimized_outcome, TableWriter};
-use gpuflow_graph::{Graph, OpKind};
 use gpuflow_core::Framework;
+use gpuflow_graph::{Graph, OpKind};
 use gpuflow_sim::device::tesla_c870;
 use gpuflow_templates::{gemm, stencil};
 

@@ -58,8 +58,8 @@ fn main() {
     ]);
     // Sweep sizes around every boundary, up to typical micrograph sizes.
     for &n in &[
-        2000usize, 4000, 6000, 6200, 6400, 6600, 8000, 12000, 13000, 14000, 16000, 19000,
-        20000, 24000, 32000, 48000,
+        2000usize, 4000, 6000, 6200, 6400, 6600, 8000, 12000, 13000, 14000, 16000, 19000, 20000,
+        24000, 32000, 48000,
     ] {
         let t = find_edges(n, n, 16, 8, CombineOp::Max);
         let img_bytes = (n * n) as u64 * FLOAT_BYTES;
@@ -69,7 +69,11 @@ fn main() {
         let parts = t
             .graph
             .op_ids()
-            .map(|o| op_parts_needed(&t.graph, o, mem).map(|p| p as u64).unwrap_or(0))
+            .map(|o| {
+                op_parts_needed(&t.graph, o, mem)
+                    .map(|p| p as u64)
+                    .unwrap_or(0)
+            })
             .max()
             .unwrap();
         table.row(&[

@@ -14,13 +14,17 @@ fn conv_graph(n: usize, k: usize) -> Graph {
     let img = g.add("Img", n, n, DataKind::Input);
     let ker = g.add("K", k, k, DataKind::Constant);
     let out = g.add("Out", n - k + 1, n - k + 1, DataKind::Output);
-    g.add_op("conv", OpKind::Conv2d, vec![img, ker], out).unwrap();
+    g.add_op("conv", OpKind::Conv2d, vec![img, ker], out)
+        .unwrap();
     g
 }
 
 fn main() {
     let dev = tesla_c870();
-    println!("Fig. 2 — execution time breakdown, 8000x8000 convolution on {}\n", dev.name);
+    println!(
+        "Fig. 2 — execution time breakdown, 8000x8000 convolution on {}\n",
+        dev.name
+    );
     let mut table = TableWriter::new(&[
         "kernel",
         "transfer (s)",

@@ -52,8 +52,8 @@ fn main() {
             format!("{}", floats_to_units(exact.transfer_floats)),
         ]);
     }
-    let free = pb_exact_plan(&g, &units, mem, PbExactOptions::default(), None)
-        .expect("PB solvable");
+    let free =
+        pb_exact_plan(&g, &units, mem, PbExactOptions::default(), None).expect("PB solvable");
     table.row(&[
         "solver-chosen order".to_string(),
         "PB-optimal (free order)".to_string(),

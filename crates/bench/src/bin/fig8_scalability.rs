@@ -14,7 +14,10 @@ use gpuflow_templates::edge::{find_edges, CombineOp};
 
 fn main() {
     let dev = tesla_c870();
-    println!("Fig. 8 — edge detection (16x16 kernel) scaling on {}\n", dev.name);
+    println!(
+        "Fig. 8 — edge detection (16x16 kernel) scaling on {}\n",
+        dev.name
+    );
     let mut table = TableWriter::new(&[
         "image",
         "input (MB)",
@@ -24,7 +27,9 @@ fn main() {
         "opt/best",
         "split P",
     ]);
-    for &n in &[1000usize, 2000, 4000, 6000, 7000, 8000, 12000, 16000, 24000, 32000, 40000] {
+    for &n in &[
+        1000usize, 2000, 4000, 6000, 7000, 8000, 12000, 16000, 24000, 32000, 40000,
+    ] {
         let t = find_edges(n, n, 16, 4, CombineOp::Max);
         let base = baseline_outcome(&dev, &t.graph).ok();
         let opt = optimized_outcome(&dev, &t.graph, |_| {}).expect("framework always scales");
@@ -32,7 +37,8 @@ fn main() {
         table.row(&[
             format!("{n}x{n}"),
             format!("{:.0}", (n * n * 4) as f64 / (1 << 20) as f64),
-            base.map(|b| secs(b.time_s)).unwrap_or_else(|| "N/A".to_string()),
+            base.map(|b| secs(b.time_s))
+                .unwrap_or_else(|| "N/A".to_string()),
             secs(opt.time_s),
             secs(best.total_time()),
             format!("{:.2}", opt.time_s / best.total_time()),

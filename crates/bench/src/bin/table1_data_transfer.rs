@@ -20,13 +20,7 @@ fn main() {
         "opt C870",
         "opt 8800GTX",
     ]);
-    let mut compare = TableWriter::new(&[
-        "template",
-        "column",
-        "paper",
-        "measured",
-        "ratio",
-    ]);
+    let mut compare = TableWriter::new(&["template", "column", "paper", "measured", "ratio"]);
 
     for (spec, paper) in TemplateSpec::paper_rows().iter().zip(TABLE1.iter()) {
         let g = spec.build();

@@ -38,7 +38,9 @@ fn main() {
         let bt = baseline_outcome(&tesla, &g).ok().map(|o| o.time_s);
         let ot = optimized_outcome(&tesla, &g, |_| {}).ok().map(|o| o.time_s);
         let bg = baseline_outcome(&geforce, &g).ok().map(|o| o.time_s);
-        let og = optimized_outcome(&geforce, &g, |_| {}).ok().map(|o| o.time_s);
+        let og = optimized_outcome(&geforce, &g, |_| {})
+            .ok()
+            .map(|o| o.time_s);
         let speedup = |b: Option<f64>, o: Option<f64>| match (b, o) {
             (Some(b), Some(o)) if o > 0.0 => format!("{:.1}x", b / o),
             _ => "-".to_string(),

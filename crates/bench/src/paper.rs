@@ -165,7 +165,8 @@ pub const TABLE2: [PaperTable2Row; 8] = [
 
 /// Format an optional count cell ("N/A" when absent).
 pub fn opt_commas(v: Option<u64>) -> String {
-    v.map(crate::run::commas).unwrap_or_else(|| "N/A".to_string())
+    v.map(crate::run::commas)
+        .unwrap_or_else(|| "N/A".to_string())
 }
 
 /// Format an optional seconds cell.

@@ -58,14 +58,40 @@ impl TemplateSpec {
     /// rows/cols follow that convention.
     pub fn paper_rows() -> Vec<TemplateSpec> {
         vec![
-            TemplateSpec::Edge { n: 1000, k: 16, orientations: 4 },
-            TemplateSpec::Edge { n: 10000, k: 16, orientations: 4 },
-            TemplateSpec::SmallCnn { rows: 480, cols: 640 },
-            TemplateSpec::SmallCnn { rows: 480, cols: 6400 },
-            TemplateSpec::SmallCnn { rows: 4800, cols: 6400 },
-            TemplateSpec::LargeCnn { rows: 480, cols: 640 },
-            TemplateSpec::LargeCnn { rows: 480, cols: 6400 },
-            TemplateSpec::LargeCnn { rows: 4800, cols: 6400 },
+            TemplateSpec::Edge {
+                n: 1000,
+                k: 16,
+                orientations: 4,
+            },
+            TemplateSpec::Edge {
+                n: 10000,
+                k: 16,
+                orientations: 4,
+            },
+            TemplateSpec::SmallCnn {
+                rows: 480,
+                cols: 640,
+            },
+            TemplateSpec::SmallCnn {
+                rows: 480,
+                cols: 6400,
+            },
+            TemplateSpec::SmallCnn {
+                rows: 4800,
+                cols: 6400,
+            },
+            TemplateSpec::LargeCnn {
+                rows: 480,
+                cols: 640,
+            },
+            TemplateSpec::LargeCnn {
+                rows: 480,
+                cols: 6400,
+            },
+            TemplateSpec::LargeCnn {
+                rows: 4800,
+                cols: 6400,
+            },
         ]
     }
 }
@@ -79,9 +105,19 @@ mod tests {
         // Only the cheap rows here; the big ones are exercised by the
         // harness binaries.
         for spec in [
-            TemplateSpec::Edge { n: 1000, k: 16, orientations: 4 },
-            TemplateSpec::SmallCnn { rows: 480, cols: 640 },
-            TemplateSpec::LargeCnn { rows: 480, cols: 640 },
+            TemplateSpec::Edge {
+                n: 1000,
+                k: 16,
+                orientations: 4,
+            },
+            TemplateSpec::SmallCnn {
+                rows: 480,
+                cols: 640,
+            },
+            TemplateSpec::LargeCnn {
+                rows: 480,
+                cols: 640,
+            },
         ] {
             let g = spec.build();
             g.validate().unwrap();

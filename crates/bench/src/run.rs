@@ -38,7 +38,10 @@ pub fn optimized_outcome(
 ) -> Result<OutcomeSummary, FrameworkError> {
     let mut last_err = None;
     for &margin in &MARGIN_LADDER {
-        let mut opts = CompileOptions { memory_margin: margin, ..CompileOptions::default() };
+        let mut opts = CompileOptions {
+            memory_margin: margin,
+            ..CompileOptions::default()
+        };
         tweak(&mut opts);
         let compiled = match Framework::new(device.clone()).with_options(opts).compile(g) {
             Ok(c) => c,
@@ -69,10 +72,7 @@ pub fn optimized_outcome(
 /// Run the paper's baseline execution pattern analytically. Returns the
 /// framework error (typically [`FrameworkError::BaselineInfeasible`] — the
 /// paper's "N/A" cells) when it cannot run.
-pub fn baseline_outcome(
-    device: &DeviceSpec,
-    g: &Graph,
-) -> Result<OutcomeSummary, FrameworkError> {
+pub fn baseline_outcome(device: &DeviceSpec, g: &Graph) -> Result<OutcomeSummary, FrameworkError> {
     let plan = baseline_plan(g, device.memory_bytes)?;
     let out = Executor::new(g, &plan, device).run_analytic()?;
     let c = out.timeline.counters();

@@ -56,7 +56,12 @@ impl Source {
                     return Err(format!("unknown edge parameter '{p}'"));
                 }
             }
-            return Ok(Source::Edge { rows, cols, k, orientations });
+            return Ok(Source::Edge {
+                rows,
+                cols,
+                k,
+                orientations,
+            });
         }
         if let Some(spec) = tok.strip_prefix("cnn-small:") {
             let (rows, cols) = parse_dims(spec)?;
@@ -69,7 +74,9 @@ impl Source {
         if tok.ends_with(".gfg") || tok.contains('/') {
             return Ok(Source::File(tok.to_string()));
         }
-        Err(format!("unrecognized source '{tok}' (not a .gfg path or builtin)"))
+        Err(format!(
+            "unrecognized source '{tok}' (not a .gfg path or builtin)"
+        ))
     }
 }
 
@@ -122,9 +129,7 @@ impl DeviceArg {
         match self {
             DeviceArg::TeslaC870 => gpuflow_sim::device::tesla_c870(),
             DeviceArg::Geforce8800 => gpuflow_sim::device::geforce_8800_gtx(),
-            DeviceArg::Custom(mib) => {
-                gpuflow_sim::device::tesla_c870().with_memory(mib << 20)
-            }
+            DeviceArg::Custom(mib) => gpuflow_sim::device::tesla_c870().with_memory(mib << 20),
         }
     }
 }
@@ -166,6 +171,15 @@ pub enum Command {
         overlap: bool,
         /// Print an ASCII Gantt chart of the overlapped execution.
         gantt: bool,
+    },
+    /// `gpuflow check <source> ...`
+    Check {
+        /// Template source.
+        source: Source,
+        /// Target device (memory bound for footprint/capacity checks).
+        device: DeviceArg,
+        /// Emit the diagnostic report as JSON instead of text.
+        json: bool,
     },
     /// `gpuflow emit <source> ...`
     Emit {
@@ -221,6 +235,7 @@ impl Command {
         let mut gantt = false;
         let mut cuda = None;
         let mut json = None;
+        let mut check_json = false;
         let mut dot = None;
 
         let next_value = |it: &mut std::slice::Iter<String>, flag: &str| {
@@ -249,6 +264,9 @@ impl Command {
                     gantt = true;
                 }
                 "--cuda" => cuda = Some(next_value(&mut it, flag)?),
+                // `check --json` is a boolean switch; `emit --json` takes
+                // an output path.
+                "--json" if verb == "check" => check_json = true,
                 "--json" => json = Some(next_value(&mut it, flag)?),
                 "--dot" => dot = Some(next_value(&mut it, flag)?),
                 other => return Err(format!("unknown flag '{other}'")),
@@ -257,13 +275,38 @@ impl Command {
 
         match verb.as_str() {
             "info" => Ok(Command::Info { source }),
-            "plan" => Ok(Command::Plan { source, device, margin, scheduler, eviction, exact, render }),
-            "run" => Ok(Command::Run { source, device, functional, overlap, gantt }),
+            "plan" => Ok(Command::Plan {
+                source,
+                device,
+                margin,
+                scheduler,
+                eviction,
+                exact,
+                render,
+            }),
+            "run" => Ok(Command::Run {
+                source,
+                device,
+                functional,
+                overlap,
+                gantt,
+            }),
+            "check" => Ok(Command::Check {
+                source,
+                device,
+                json: check_json,
+            }),
             "emit" => {
                 if cuda.is_none() && json.is_none() && dot.is_none() {
                     return Err("emit requires --cuda, --json, or --dot".into());
                 }
-                Ok(Command::Emit { source, device, cuda, json, dot })
+                Ok(Command::Emit {
+                    source,
+                    device,
+                    cuda,
+                    json,
+                    dot,
+                })
             }
             other => Err(format!("unknown subcommand '{other}'")),
         }
@@ -282,15 +325,28 @@ mod tests {
     fn parse_sources() {
         assert_eq!(
             Source::parse("edge:1000x800,k=9,o=8").unwrap(),
-            Source::Edge { rows: 1000, cols: 800, k: 9, orientations: 8 }
+            Source::Edge {
+                rows: 1000,
+                cols: 800,
+                k: 9,
+                orientations: 8
+            }
         );
         assert_eq!(
             Source::parse("edge:64x64").unwrap(),
-            Source::Edge { rows: 64, cols: 64, k: 16, orientations: 4 }
+            Source::Edge {
+                rows: 64,
+                cols: 64,
+                k: 16,
+                orientations: 4
+            }
         );
         assert_eq!(
             Source::parse("cnn-small:480x640").unwrap(),
-            Source::SmallCnn { rows: 480, cols: 640 }
+            Source::SmallCnn {
+                rows: 480,
+                cols: 640
+            }
         );
         assert_eq!(Source::parse("fig3").unwrap(), Source::Fig3);
         assert_eq!(
@@ -305,7 +361,10 @@ mod tests {
     fn parse_devices() {
         assert_eq!(DeviceArg::parse("c870").unwrap(), DeviceArg::TeslaC870);
         assert_eq!(DeviceArg::parse("8800gtx").unwrap(), DeviceArg::Geforce8800);
-        assert_eq!(DeviceArg::parse("custom:256").unwrap(), DeviceArg::Custom(256));
+        assert_eq!(
+            DeviceArg::parse("custom:256").unwrap(),
+            DeviceArg::Custom(256)
+        );
         assert!(DeviceArg::parse("custom:0").is_err());
         assert!(DeviceArg::parse("rtx5090").is_err());
         assert_eq!(DeviceArg::Custom(64).spec().memory_bytes, 64 << 20);
@@ -318,7 +377,15 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Plan { device, margin, scheduler, eviction, exact, render, .. } => {
+            Command::Plan {
+                device,
+                margin,
+                scheduler,
+                eviction,
+                exact,
+                render,
+                ..
+            } => {
                 assert_eq!(device, DeviceArg::Geforce8800);
                 assert!((margin - 0.1).abs() < 1e-12);
                 assert_eq!(scheduler, OpScheduler::BreadthFirst);
@@ -334,17 +401,42 @@ mod tests {
     fn parse_run_and_emit() {
         assert!(matches!(
             Command::parse(&argv("run fig3 --functional --overlap")).unwrap(),
-            Command::Run { functional: true, overlap: true, gantt: false, .. }
+            Command::Run {
+                functional: true,
+                overlap: true,
+                gantt: false,
+                ..
+            }
         ));
         // --gantt implies --overlap.
         assert!(matches!(
             Command::parse(&argv("run fig3 --gantt")).unwrap(),
-            Command::Run { overlap: true, gantt: true, .. }
+            Command::Run {
+                overlap: true,
+                gantt: true,
+                ..
+            }
         ));
         assert!(Command::parse(&argv("emit fig3")).is_err());
         assert!(matches!(
             Command::parse(&argv("emit fig3 --cuda out.cu")).unwrap(),
             Command::Emit { cuda: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn parse_check() {
+        assert!(matches!(
+            Command::parse(&argv("check fig3")).unwrap(),
+            Command::Check { json: false, .. }
+        ));
+        assert!(matches!(
+            Command::parse(&argv("check fig3 --json --device custom:2")).unwrap(),
+            Command::Check {
+                json: true,
+                device: DeviceArg::Custom(2),
+                ..
+            }
         ));
     }
 

@@ -15,18 +15,16 @@ use crate::args::{Command, Source};
 pub fn load_source(source: &Source) -> Result<Graph, String> {
     match source {
         Source::File(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             gpuflow_graph::parse_graph(&text).map_err(|e| e.to_string())
         }
-        Source::Edge { rows, cols, k, orientations } => Ok(edge::find_edges(
-            *rows,
-            *cols,
-            *k,
-            *orientations,
-            edge::CombineOp::Max,
-        )
-        .graph),
+        Source::Edge {
+            rows,
+            cols,
+            k,
+            orientations,
+        } => Ok(edge::find_edges(*rows, *cols, *k, *orientations, edge::CombineOp::Max).graph),
         Source::SmallCnn { rows, cols } => Ok(cnn::small_cnn(*rows, *cols).graph),
         Source::LargeCnn { rows, cols } => Ok(cnn::large_cnn(*rows, *cols).graph),
         Source::Fig3 => Ok(gpuflow_core::examples::fig3_graph()),
@@ -71,7 +69,15 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 g.op_footprint_bytes(biggest) >> 20
             );
         }
-        Command::Plan { source, device, margin, scheduler, eviction, exact, render } => {
+        Command::Plan {
+            source,
+            device,
+            margin,
+            scheduler,
+            eviction,
+            exact,
+            render,
+        } => {
             let g = load_source(source)?;
             let dev = device.spec();
             let options = CompileOptions {
@@ -104,7 +110,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 let _ = writeln!(out, "{}", compiled.plan.render(&compiled.split.graph));
             }
         }
-        Command::Run { source, device, functional, overlap, gantt } => {
+        Command::Run {
+            source,
+            device,
+            functional,
+            overlap,
+            gantt,
+        } => {
             let g = load_source(source)?;
             let dev = device.spec();
             let compiled = Framework::new(dev.clone())
@@ -112,7 +124,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 .map_err(|e| e.to_string())?;
             let result = if *functional {
                 let bindings = default_bindings(&g);
-                let run = compiled.run_functional(&bindings).map_err(|e| e.to_string())?;
+                let run = compiled
+                    .run_functional(&bindings)
+                    .map_err(|e| e.to_string())?;
                 let reference = reference_eval(&g, &bindings).map_err(|e| e.to_string())?;
                 for (d, t) in &run.outputs {
                     if t != &reference[d] {
@@ -163,7 +177,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     b.total_time() / c.total_time()
                 );
             } else {
-                let _ = writeln!(out, "baseline:         N/A (operator exceeds device memory)");
+                let _ = writeln!(
+                    out,
+                    "baseline:         N/A (operator exceeds device memory)"
+                );
             }
             if *overlap {
                 let (o, events) =
@@ -183,7 +200,68 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 }
             }
         }
-        Command::Emit { source, device, cuda, json, dot } => {
+        Command::Check {
+            source,
+            device,
+            json,
+        } => {
+            let g = load_source(source)?;
+            let dev = device.spec();
+            // Graph passes first; plan passes only when the graph itself
+            // is sound enough to compile.
+            let mut diags = gpuflow_verify::analyze_graph(&g, Some(dev.memory_bytes));
+            let mut plan_info = None;
+            if !gpuflow_verify::has_errors(&diags) {
+                let compiled = Framework::new(dev.clone())
+                    .compile_adaptive(&g)
+                    .map_err(|e| e.to_string())?;
+                let analysis = compiled
+                    .plan
+                    .analyze(&compiled.split.graph, dev.memory_bytes, true);
+                plan_info = Some((
+                    compiled.plan.steps.len(),
+                    compiled.plan.units.len(),
+                    analysis.stats.peak_bytes,
+                ));
+                diags.extend(analysis.diagnostics);
+            }
+            let failed = gpuflow_verify::has_errors(&diags);
+            let text = if *json {
+                let mut s = gpuflow_verify::report_to_json(&diags).to_string_pretty();
+                s.push('\n');
+                s
+            } else {
+                let mut s = String::new();
+                let _ = writeln!(
+                    s,
+                    "graph: {} operators, {} data structures",
+                    g.num_ops(),
+                    g.num_data()
+                );
+                if let Some((steps, units, peak)) = plan_info {
+                    let _ = writeln!(
+                        s,
+                        "plan:  {steps} steps over {units} offload units on {} (peak residency {peak} B)",
+                        dev.name
+                    );
+                }
+                s.push_str(&gpuflow_verify::render_report(&diags));
+                s
+            };
+            // Error-bearing reports become the command's failure so the
+            // binary exits nonzero; warnings and notes do not.
+            if failed {
+                return Err(text);
+            }
+            out.push_str(&text);
+        }
+        Command::Emit {
+            source,
+            device,
+            cuda,
+            json,
+            dot,
+        } => {
             let g = load_source(source)?;
             let dev = device.spec();
             let compiled = Framework::new(dev)
@@ -194,12 +272,18 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 other => format!("{other:?}"),
             };
             if let Some(path) = cuda {
-                let src = generate_cuda(&compiled.split.graph, &compiled.plan, &name);
+                let src = generate_cuda(&compiled.split.graph, &compiled.plan, &name)
+                    .map_err(|e| e.to_string())?;
                 std::fs::write(path, &src).map_err(|e| format!("write {path}: {e}"))?;
-                let _ = writeln!(out, "wrote {path} ({} lines of CUDA-style C)", src.lines().count());
+                let _ = writeln!(
+                    out,
+                    "wrote {path} ({} lines of CUDA-style C)",
+                    src.lines().count()
+                );
             }
             if let Some(path) = json {
-                let doc = plan_to_json(&compiled.split.graph, &compiled.plan, &name);
+                let doc = plan_to_json(&compiled.split.graph, &compiled.plan, &name)
+                    .map_err(|e| e.to_string())?;
                 std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
                 let _ = writeln!(out, "wrote {path} ({} bytes of JSON)", doc.len());
             }
@@ -251,7 +335,10 @@ mod tests {
 
     #[test]
     fn run_analytic_reports_speedup() {
-        let out = execute(&parse("run edge:256x256,k=9,o=4 --device custom:2 --overlap")).unwrap();
+        let out = execute(&parse(
+            "run edge:256x256,k=9,o=4 --device custom:2 --overlap",
+        ))
+        .unwrap();
         assert!(out.contains("simulated time:"), "{out}");
         assert!(out.contains("speedup"), "{out}");
         assert!(out.contains("overlapped:"), "{out}");
@@ -266,8 +353,10 @@ mod tests {
 
     #[test]
     fn run_functional_verifies() {
-        let out = execute(&parse("run edge:96x96,k=5,o=4 --device custom:1 --functional"))
-            .unwrap();
+        let out = execute(&parse(
+            "run edge:96x96,k=5,o=4 --device custom:1 --functional",
+        ))
+        .unwrap();
         assert!(out.contains("verified against the reference"), "{out}");
     }
 
@@ -287,8 +376,12 @@ mod tests {
         let out = execute(&parse(&cmd)).unwrap();
         assert!(out.lines().count() >= 3, "{out}");
         assert!(std::fs::read_to_string(&cu).unwrap().contains("cudaMemcpy"));
-        assert!(std::fs::read_to_string(&js).unwrap().contains("total_transfer_floats"));
-        assert!(std::fs::read_to_string(&dot).unwrap().starts_with("digraph"));
+        assert!(std::fs::read_to_string(&js)
+            .unwrap()
+            .contains("total_transfer_floats"));
+        assert!(std::fs::read_to_string(&dot)
+            .unwrap()
+            .starts_with("digraph"));
     }
 
     #[test]
@@ -336,6 +429,58 @@ mod tests {
                 assert!(out.contains("verified"), "{out}");
             }
         }
+    }
+
+    #[test]
+    fn check_reports_clean_builtin() {
+        let out = execute(&parse("check fig3 --device custom:1")).unwrap();
+        assert!(out.contains("graph: 10 operators"), "{out}");
+        assert!(out.contains("0 errors"), "{out}");
+    }
+
+    #[test]
+    fn check_shipped_assets_are_clean() {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../assets");
+        for name in ["edge_4or.gfg", "pipeline.gfg"] {
+            let path = root.join(name);
+            let out = execute(&Command::Check {
+                source: Source::File(path.display().to_string()),
+                device: DeviceArg::Custom(1),
+                json: false,
+            })
+            .unwrap_or_else(|e| panic!("{name} failed check:\n{e}"));
+            assert!(out.contains("0 errors"), "{name}: {out}");
+        }
+    }
+
+    #[test]
+    fn check_json_is_parseable() {
+        let out = execute(&parse("check fig3 --device custom:1 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&out).unwrap();
+        assert_eq!(doc["counts"]["errors"].as_u64(), Some(0));
+        assert!(doc["diagnostics"].as_array().is_some());
+    }
+
+    #[test]
+    fn check_warnings_do_not_fail_the_command() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("deadinput.gfg");
+        // `C` is read by nothing: a dead-data warning, not an error.
+        std::fs::write(
+            &path,
+            "data A input 32 32\ndata C input 16 16\ndata B output 32 32\nop t tanh A -> B\n",
+        )
+        .unwrap();
+        let out = execute(&Command::Check {
+            source: Source::File(path.display().to_string()),
+            device: DeviceArg::Custom(1),
+            json: false,
+        })
+        .unwrap();
+        assert!(out.contains("GF0004"), "{out}");
+        assert!(out.contains("0 errors"), "{out}");
+        assert!(!out.contains("0 warnings"), "{out}");
     }
 
     #[test]

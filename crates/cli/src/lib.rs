@@ -7,9 +7,16 @@
 //! gpuflow info  <source>
 //! gpuflow plan  <source> [--device DEV] [--margin F] [--scheduler S]
 //!                        [--eviction E] [--exact] [--render]
-//! gpuflow run   <source> [--device DEV] [--functional] [--overlap] [--gantt] [--gantt]
+//! gpuflow run   <source> [--device DEV] [--functional] [--overlap] [--gantt]
+//! gpuflow check <source> [--device DEV] [--json]
 //! gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV]
 //! ```
+//!
+//! `check` runs the `gpuflow-verify` static analyzer over the template
+//! graph and its compiled execution plan, printing every diagnostic (see
+//! `docs/diagnostics.md` for the `GF####` catalogue). The process exits
+//! nonzero only when errors are found; warnings and notes are reported
+//! but do not fail the command.
 //!
 //! `<source>` is either a `.gfg` file (see `gpuflow_graph::text`) or a
 //! built-in template:
@@ -40,6 +47,7 @@ usage:
   gpuflow info  <source>
   gpuflow plan  <source> [--device DEV] [--margin F] [--scheduler S] [--eviction E] [--exact] [--render]
   gpuflow run   <source> [--device DEV] [--functional] [--overlap] [--gantt]
+  gpuflow check <source> [--device DEV] [--json]
   gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV]
 
 sources:

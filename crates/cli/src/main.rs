@@ -2,8 +2,23 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match gpuflow_cli::run(&argv) {
+    let cmd = match gpuflow_cli::Command::parse(&argv) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", gpuflow_cli::USAGE);
+            std::process::exit(1);
+        }
+    };
+    let is_check = matches!(cmd, gpuflow_cli::Command::Check { .. });
+    match gpuflow_cli::execute(&cmd) {
         Ok(out) => print!("{out}"),
+        // A failed `check` carries its diagnostic report as the error;
+        // print it verbatim (no usage noise) and exit nonzero. Warnings
+        // and notes come back as success — only errors fail the command.
+        Err(report) if is_check && report.contains('\n') => {
+            print!("{report}");
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("error: {e}\n\n{}", gpuflow_cli::USAGE);
             std::process::exit(1);

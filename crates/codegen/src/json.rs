@@ -2,15 +2,28 @@
 //!
 //! A machine-readable rendering of an execution plan — the input format
 //! for the "simple run-time library to orchestrate execution" alternative
-//! the paper describes at the end of §3.3.
-
-use serde::{Deserialize, Serialize};
+//! the paper describes at the end of §3.3. Serialized with
+//! `gpuflow-minijson`; the document shape is stable:
+//!
+//! ```json
+//! {
+//!   "template": "...",
+//!   "data": [ { "name": "...", "rows": 1, "cols": 1, "kind": "input", "bytes": 4 } ],
+//!   "units": [ ["op", "names"] ],
+//!   "steps": [ { "op": "copy_in", "data": 0 }, { "op": "launch", "unit": 0 } ],
+//!   "total_transfer_floats": 0,
+//!   "peak_bytes": 0
+//! }
+//! ```
 
 use gpuflow_core::{ExecutionPlan, Step};
 use gpuflow_graph::{DataKind, Graph};
+use gpuflow_minijson::{Map, Value};
+
+use crate::EmitError;
 
 /// One data structure in the document.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataDoc {
     /// Name from the graph.
     pub name: String,
@@ -25,8 +38,7 @@ pub struct DataDoc {
 }
 
 /// One plan step in the document.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(tag = "op", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StepDoc {
     /// Host→device copy of data index `data`.
     CopyIn {
@@ -51,7 +63,7 @@ pub enum StepDoc {
 }
 
 /// A complete serializable plan.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanDoc {
     /// Template name.
     pub template: String,
@@ -114,10 +126,173 @@ pub fn plan_doc(graph: &Graph, plan: &ExecutionPlan, template: &str) -> PlanDoc 
     }
 }
 
-/// Serialize `plan` to pretty JSON.
-pub fn plan_to_json(graph: &Graph, plan: &ExecutionPlan, template: &str) -> String {
-    serde_json::to_string_pretty(&plan_doc(graph, plan, template))
-        .expect("plan documents are always serializable")
+/// JSON value form of a document.
+pub fn doc_to_value(doc: &PlanDoc) -> Value {
+    let mut m = Map::new();
+    m.insert("template", doc.template.as_str());
+    m.insert(
+        "data",
+        Value::Array(
+            doc.data
+                .iter()
+                .map(|d| {
+                    let mut dm = Map::new();
+                    dm.insert("name", d.name.as_str());
+                    dm.insert("rows", d.rows);
+                    dm.insert("cols", d.cols);
+                    dm.insert("kind", d.kind.as_str());
+                    dm.insert("bytes", d.bytes);
+                    Value::Object(dm)
+                })
+                .collect(),
+        ),
+    );
+    m.insert(
+        "units",
+        Value::Array(
+            doc.units
+                .iter()
+                .map(|names| Value::Array(names.iter().map(|n| Value::from(n.as_str())).collect()))
+                .collect(),
+        ),
+    );
+    m.insert(
+        "steps",
+        Value::Array(
+            doc.steps
+                .iter()
+                .map(|s| {
+                    let mut sm = Map::new();
+                    match *s {
+                        StepDoc::CopyIn { data } => {
+                            sm.insert("op", "copy_in");
+                            sm.insert("data", data);
+                        }
+                        StepDoc::CopyOut { data } => {
+                            sm.insert("op", "copy_out");
+                            sm.insert("data", data);
+                        }
+                        StepDoc::Free { data } => {
+                            sm.insert("op", "free");
+                            sm.insert("data", data);
+                        }
+                        StepDoc::Launch { unit } => {
+                            sm.insert("op", "launch");
+                            sm.insert("unit", unit);
+                        }
+                    }
+                    Value::Object(sm)
+                })
+                .collect(),
+        ),
+    );
+    m.insert("total_transfer_floats", doc.total_transfer_floats);
+    m.insert("peak_bytes", doc.peak_bytes);
+    Value::Object(m)
+}
+
+/// Serialize `plan` to pretty JSON, refusing if the static analyzer finds
+/// any error in the plan.
+pub fn plan_to_json(
+    graph: &Graph,
+    plan: &ExecutionPlan,
+    template: &str,
+) -> Result<String, EmitError> {
+    crate::check_emittable(graph, plan)?;
+    Ok(doc_to_value(&plan_doc(graph, plan, template)).to_string_pretty())
+}
+
+/// Error parsing a plan document out of JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocParseError(pub String);
+
+impl std::fmt::Display for DocParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid plan document: {}", self.0)
+    }
+}
+
+impl std::error::Error for DocParseError {}
+
+/// Parse a [`PlanDoc`] back out of JSON text.
+pub fn parse_plan_doc(text: &str) -> Result<PlanDoc, DocParseError> {
+    let v = gpuflow_minijson::parse(text).map_err(|e| DocParseError(e.to_string()))?;
+    doc_from_value(&v)
+}
+
+/// Decode a [`PlanDoc`] from a parsed JSON value.
+pub fn doc_from_value(v: &Value) -> Result<PlanDoc, DocParseError> {
+    let err = |m: &str| DocParseError(m.to_string());
+    let str_field = |v: &Value, k: &str| -> Result<String, DocParseError> {
+        v[k].as_str()
+            .map(str::to_string)
+            .ok_or_else(|| err(&format!("missing or non-string field '{k}'")))
+    };
+    let num_field = |v: &Value, k: &str| -> Result<u64, DocParseError> {
+        v[k].as_u64()
+            .ok_or_else(|| err(&format!("missing or non-integer field '{k}'")))
+    };
+    let arr_field = |v: &Value, k: &str| -> Result<Vec<Value>, DocParseError> {
+        v[k].as_array()
+            .cloned()
+            .ok_or_else(|| err(&format!("missing or non-array field '{k}'")))
+    };
+
+    let data = arr_field(v, "data")?
+        .iter()
+        .map(|d| {
+            Ok(DataDoc {
+                name: str_field(d, "name")?,
+                rows: num_field(d, "rows")? as usize,
+                cols: num_field(d, "cols")? as usize,
+                kind: str_field(d, "kind")?,
+                bytes: num_field(d, "bytes")?,
+            })
+        })
+        .collect::<Result<Vec<_>, DocParseError>>()?;
+    let units = arr_field(v, "units")?
+        .iter()
+        .map(|u| {
+            u.as_array()
+                .ok_or_else(|| err("unit is not an array"))?
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| err("unit op name is not a string"))
+                })
+                .collect::<Result<Vec<_>, DocParseError>>()
+        })
+        .collect::<Result<Vec<_>, DocParseError>>()?;
+    let steps = arr_field(v, "steps")?
+        .iter()
+        .map(|s| {
+            let op = str_field(s, "op")?;
+            Ok(match op.as_str() {
+                "copy_in" => StepDoc::CopyIn {
+                    data: num_field(s, "data")? as usize,
+                },
+                "copy_out" => StepDoc::CopyOut {
+                    data: num_field(s, "data")? as usize,
+                },
+                "free" => StepDoc::Free {
+                    data: num_field(s, "data")? as usize,
+                },
+                "launch" => StepDoc::Launch {
+                    unit: num_field(s, "unit")? as usize,
+                },
+                other => return Err(err(&format!("unknown step op '{other}'"))),
+            })
+        })
+        .collect::<Result<Vec<_>, DocParseError>>()?;
+    Ok(PlanDoc {
+        template: str_field(v, "template")?,
+        data,
+        units,
+        steps,
+        total_transfer_floats: num_field(v, "total_transfer_floats")?,
+        peak_bytes: num_field(v, "peak_bytes")?,
+    })
 }
 
 /// Error from [`load_plan`].
@@ -218,8 +393,8 @@ mod tests {
     fn document_roundtrips_through_json() {
         let g = fig3_graph();
         let plan = baseline_plan(&g, u64::MAX).unwrap();
-        let json = plan_to_json(&g, &plan, "fig3");
-        let doc: PlanDoc = serde_json::from_str(&json).unwrap();
+        let json = plan_to_json(&g, &plan, "fig3").unwrap();
+        let doc = parse_plan_doc(&json).unwrap();
         assert_eq!(doc, plan_doc(&g, &plan, "fig3"));
         assert_eq!(doc.template, "fig3");
         assert_eq!(doc.data.len(), g.num_data());
@@ -231,7 +406,7 @@ mod tests {
     fn step_kinds_render_as_tagged_json() {
         let g = fig3_graph();
         let plan = baseline_plan(&g, u64::MAX).unwrap();
-        let json = plan_to_json(&g, &plan, "fig3");
+        let json = plan_to_json(&g, &plan, "fig3").unwrap();
         assert!(json.contains("\"op\": \"copy_in\""));
         assert!(json.contains("\"op\": \"copy_out\""));
         assert!(json.contains("\"op\": \"launch\""));
@@ -251,8 +426,8 @@ mod tests {
         assert_eq!(loaded.units.len(), plan.units.len());
         validate_plan(&g, &loaded, u64::MAX).unwrap();
         // Round trip through actual JSON text too.
-        let text = serde_json::to_string(&doc).unwrap();
-        let doc2: PlanDoc = serde_json::from_str(&text).unwrap();
+        let text = doc_to_value(&doc).to_string_compact();
+        let doc2 = parse_plan_doc(&text).unwrap();
         assert_eq!(load_plan(&doc2, &g).unwrap().steps, plan.steps);
     }
 
@@ -269,6 +444,28 @@ mod tests {
         let mut doc3 = plan_doc(&g, &plan, "fig3");
         doc3.steps.push(StepDoc::Launch { unit: 999 });
         assert!(load_plan(&doc3, &g).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_plan_doc("not json").is_err());
+        assert!(parse_plan_doc("{}").is_err());
+        assert!(parse_plan_doc(
+            r#"{"template":"t","data":[],"units":[],"steps":[{"op":"warp"}],"total_transfer_floats":0,"peak_bytes":0}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn emission_refused_for_invalid_plans() {
+        let g = fig3_graph();
+        let mut plan = baseline_plan(&g, u64::MAX).unwrap();
+        // Dropping the first CopyIn makes a launch read a non-resident
+        // buffer; the JSON emitter must refuse.
+        plan.steps.remove(0);
+        let err = plan_to_json(&g, &plan, "fig3").unwrap_err();
+        assert!(!err.errors.is_empty());
+        assert!(err.to_string().contains("refusing to emit"), "{err}");
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub fn baseline_plan(g: &Graph, memory_bytes: u64) -> Result<ExecutionPlan, Fram
             });
         }
     }
-    let units: Vec<OffloadUnit> = order.iter().map(|&o| OffloadUnit { ops: vec![o] }).collect();
+    let units: Vec<OffloadUnit> = order
+        .iter()
+        .map(|&o| OffloadUnit { ops: vec![o] })
+        .collect();
     let mut steps = Vec::new();
     for (u, &o) in order.iter().enumerate() {
         let node = g.op(o);
@@ -50,7 +53,10 @@ pub fn baseline_plan(g: &Graph, memory_bytes: u64) -> Result<ExecutionPlan, Fram
             }
         }
     }
-    Ok(ExecutionPlan { units, steps })
+    let plan = ExecutionPlan { units, steps };
+    #[cfg(debug_assertions)]
+    crate::plan::debug_check_plan(g, &plan, memory_bytes, "baseline_plan");
+    Ok(plan)
 }
 
 #[cfg(test)]

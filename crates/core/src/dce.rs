@@ -77,7 +77,11 @@ pub fn eliminate_dead_ops(g: &Graph) -> Result<DceResult, FrameworkError> {
             removed_ops.push(node.name.clone());
         }
     }
-    Ok(DceResult { graph: ng, removed_ops, removed_data })
+    Ok(DceResult {
+        graph: ng,
+        removed_ops,
+        removed_data,
+    })
 }
 
 /// Which operators of `g` are dead (do not reach any output)?
@@ -118,7 +122,8 @@ mod tests {
         let out = g.add("out", 8, 8, DataKind::Output);
         let unused_input = g.add("spare", 4, 4, DataKind::Input);
         g.add_op("keep1", OpKind::Tanh, vec![a], used).unwrap();
-        g.add_op("drop1", OpKind::Remap(RemapKind::FlipH), vec![a], dead1).unwrap();
+        g.add_op("drop1", OpKind::Remap(RemapKind::FlipH), vec![a], dead1)
+            .unwrap();
         g.add_op("drop2", OpKind::Tanh, vec![dead1], dead2).unwrap();
         g.add_op("keep2", OpKind::Tanh, vec![used], out).unwrap();
         let _ = unused_input;

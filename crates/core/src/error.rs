@@ -60,16 +60,28 @@ pub enum FrameworkError {
 impl std::fmt::Display for FrameworkError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FrameworkError::UnsplittableTooLarge { op, footprint, budget } => write!(
+            FrameworkError::UnsplittableTooLarge {
+                op,
+                footprint,
+                budget,
+            } => write!(
                 f,
                 "operator {op} is unsplittable but needs {footprint} B (> budget {budget} B)"
             ),
-            FrameworkError::CannotSplitEnough { op, min_footprint, budget } => write!(
+            FrameworkError::CannotSplitEnough {
+                op,
+                min_footprint,
+                budget,
+            } => write!(
                 f,
                 "operator {op} cannot be split below {min_footprint} B (budget {budget} B)"
             ),
             FrameworkError::InvalidGraph(m) => write!(f, "invalid graph: {m}"),
-            FrameworkError::BaselineInfeasible { op, footprint, memory } => write!(
+            FrameworkError::BaselineInfeasible {
+                op,
+                footprint,
+                memory,
+            } => write!(
                 f,
                 "baseline infeasible: operator {op} needs {footprint} B of {memory} B memory"
             ),

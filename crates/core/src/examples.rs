@@ -38,8 +38,16 @@ pub fn fig3_graph() -> Graph {
     let ea = g.add("E'", 1, cols, DataKind::Output);
     let eb = g.add("E''", 1, cols, DataKind::Output);
     // "Convolution" piece: the whole image in, one band out.
-    let top = OpKind::GatherRows { arity: 1, row_off: 0, rows: 1 };
-    let bot = OpKind::GatherRows { arity: 1, row_off: 1, rows: 1 };
+    let top = OpKind::GatherRows {
+        arity: 1,
+        row_off: 0,
+        rows: 1,
+    };
+    let bot = OpKind::GatherRows {
+        arity: 1,
+        row_off: 1,
+        rows: 1,
+    };
     g.add_op("C1", top, vec![im], e1a).unwrap();
     g.add_op("C1b", bot, vec![im], e1b).unwrap();
     g.add_op("C2", top, vec![im], e2a).unwrap();
@@ -49,10 +57,20 @@ pub fn fig3_graph() -> Graph {
     g.add_op("R2'", r, vec![e2a], e6a).unwrap();
     g.add_op("R1''", r, vec![e1b], e5b).unwrap();
     g.add_op("R2''", r, vec![e2b], e6b).unwrap();
-    g.add_op("max1", OpKind::EwMax { arity: 4 }, vec![e1a, e2a, e5a, e6a], ea)
-        .unwrap();
-    g.add_op("max2", OpKind::EwMax { arity: 4 }, vec![e1b, e2b, e5b, e6b], eb)
-        .unwrap();
+    g.add_op(
+        "max1",
+        OpKind::EwMax { arity: 4 },
+        vec![e1a, e2a, e5a, e6a],
+        ea,
+    )
+    .unwrap();
+    g.add_op(
+        "max2",
+        OpKind::EwMax { arity: 4 },
+        vec![e1b, e2b, e5b, e6b],
+        eb,
+    )
+    .unwrap();
     g
 }
 
@@ -66,14 +84,30 @@ pub fn fig3_units(g: &Graph) -> Vec<OffloadUnit> {
             .unwrap_or_else(|| panic!("no op named {name}"))
     };
     vec![
-        OffloadUnit { ops: vec![by_name("C1"), by_name("C1b")] },
-        OffloadUnit { ops: vec![by_name("C2"), by_name("C2b")] },
-        OffloadUnit { ops: vec![by_name("R1'")] },
-        OffloadUnit { ops: vec![by_name("R2'")] },
-        OffloadUnit { ops: vec![by_name("R1''")] },
-        OffloadUnit { ops: vec![by_name("R2''")] },
-        OffloadUnit { ops: vec![by_name("max1")] },
-        OffloadUnit { ops: vec![by_name("max2")] },
+        OffloadUnit {
+            ops: vec![by_name("C1"), by_name("C1b")],
+        },
+        OffloadUnit {
+            ops: vec![by_name("C2"), by_name("C2b")],
+        },
+        OffloadUnit {
+            ops: vec![by_name("R1'")],
+        },
+        OffloadUnit {
+            ops: vec![by_name("R2'")],
+        },
+        OffloadUnit {
+            ops: vec![by_name("R1''")],
+        },
+        OffloadUnit {
+            ops: vec![by_name("R2''")],
+        },
+        OffloadUnit {
+            ops: vec![by_name("max1")],
+        },
+        OffloadUnit {
+            ops: vec![by_name("max2")],
+        },
     ]
 }
 
@@ -92,13 +126,21 @@ fn order_by_first_op(g: &Graph, units: &[OffloadUnit], names: &[&str]) -> Vec<us
 /// The paper's Fig. 3(a) unit order: `C1 C2 R1' R1'' R2' R2'' max1 max2`
 /// (15 units of transfer under optimal transfer scheduling).
 pub fn fig3_schedule_a(g: &Graph, units: &[OffloadUnit]) -> Vec<usize> {
-    order_by_first_op(g, units, &["C1", "C2", "R1'", "R1''", "R2'", "R2''", "max1", "max2"])
+    order_by_first_op(
+        g,
+        units,
+        &["C1", "C2", "R1'", "R1''", "R2'", "R2''", "max1", "max2"],
+    )
 }
 
 /// The paper's Fig. 3(b)/Fig. 6 unit order: `C1 C2 R1' R2' max1 R1'' R2''
 /// max2` (8 units of transfer — the optimum).
 pub fn fig3_schedule_b(g: &Graph, units: &[OffloadUnit]) -> Vec<usize> {
-    order_by_first_op(g, units, &["C1", "C2", "R1'", "R2'", "max1", "R1''", "R2''", "max2"])
+    order_by_first_op(
+        g,
+        units,
+        &["C1", "C2", "R1'", "R2'", "max1", "R1''", "R2''", "max2"],
+    )
 }
 
 /// Floats per "unit" in [`fig3_graph`]; the paper's 5-unit GPU memory is
@@ -129,7 +171,10 @@ mod tests {
         assert_eq!(g.inputs().len(), 1);
         assert_eq!(g.outputs().len(), 2);
         // Im is 2 units; everything else 1 unit.
-        assert_eq!(g.data(gpuflow_graph::DataId(0)).len(), 2 * FIG3_UNIT_FLOATS as u64);
+        assert_eq!(
+            g.data(gpuflow_graph::DataId(0)).len(),
+            2 * FIG3_UNIT_FLOATS as u64
+        );
         assert_eq!(g.total_data_floats(), 12 * FIG3_UNIT_FLOATS as u64);
     }
 

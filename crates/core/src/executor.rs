@@ -76,7 +76,13 @@ impl<'a> Executor<'a> {
     /// Executor over `plan` for `graph` on `device`. `graph` must be the
     /// graph the plan was scheduled for.
     pub fn new(graph: &'a Graph, plan: &'a ExecutionPlan, device: &'a DeviceSpec) -> Self {
-        Executor { graph, plan, device, origin: None, alloc_policy: FitPolicy::FirstFit }
+        Executor {
+            graph,
+            plan,
+            device,
+            origin: None,
+            alloc_policy: FitPolicy::FirstFit,
+        }
     }
 
     /// Override the device allocator's fit policy.
@@ -113,21 +119,25 @@ impl<'a> Executor<'a> {
         bindings: &HashMap<DataId, Tensor>,
     ) -> Result<Tensor, FrameworkError> {
         if self.graph.producer(d).is_some() {
-            return host.get(&d).cloned().ok_or_else(|| FrameworkError::DataUnavailable {
-                data: d,
-                context: "produced data not in host memory".into(),
-            });
+            return host
+                .get(&d)
+                .cloned()
+                .ok_or_else(|| FrameworkError::DataUnavailable {
+                    data: d,
+                    context: "produced data not in host memory".into(),
+                });
         }
         let desc = self.graph.data(d);
         match self.origin {
             Some(split) => match split.origin_of(d) {
                 DataOrigin::Region { parent, row_off } => {
-                    let src = bindings.get(&parent).ok_or_else(|| {
-                        FrameworkError::DataUnavailable {
-                            data: parent,
-                            context: format!("no binding for template input '{}'", desc.name),
-                        }
-                    })?;
+                    let src =
+                        bindings
+                            .get(&parent)
+                            .ok_or_else(|| FrameworkError::DataUnavailable {
+                                data: parent,
+                                context: format!("no binding for template input '{}'", desc.name),
+                            })?;
                     if row_off + desc.rows > src.rows() || desc.cols > src.cols() {
                         return Err(FrameworkError::InvalidPlan(format!(
                             "binding for {} too small for piece {}",
@@ -142,12 +152,14 @@ impl<'a> Executor<'a> {
                 }),
             },
             None => {
-                let t = bindings.get(&d).cloned().ok_or_else(|| {
-                    FrameworkError::DataUnavailable {
-                        data: d,
-                        context: format!("no binding for '{}'", desc.name),
-                    }
-                })?;
+                let t =
+                    bindings
+                        .get(&d)
+                        .cloned()
+                        .ok_or_else(|| FrameworkError::DataUnavailable {
+                            data: d,
+                            context: format!("no binding for '{}'", desc.name),
+                        })?;
                 if t.shape() != self.graph.shape(d) {
                     return Err(FrameworkError::InvalidPlan(format!(
                         "binding for '{}' has shape {} (expected {})",
@@ -169,15 +181,14 @@ impl<'a> Executor<'a> {
         let mut timeline = Timeline::new();
         let mut alloc = DeviceAllocator::with_policy(self.device.memory_bytes, self.alloc_policy);
         // Device-resident data: allocation plus (functional) the tensor.
-        let mut device: HashMap<DataId, (gpuflow_sim::Allocation, Option<Tensor>)> =
-            HashMap::new();
+        let mut device: HashMap<DataId, (gpuflow_sim::Allocation, Option<Tensor>)> = HashMap::new();
         // Host copies of produced data (functional).
         let mut host: HashMap<DataId, Tensor> = HashMap::new();
         let mut peak_frag = 0.0f64;
 
         let allocate = |alloc: &mut DeviceAllocator,
-                            peak_frag: &mut f64,
-                            d: DataId|
+                        peak_frag: &mut f64,
+                        d: DataId|
          -> Result<gpuflow_sim::Allocation, FrameworkError> {
             let a = alloc.alloc(g.data(d).bytes()).map_err(|e| {
                 FrameworkError::InvalidPlan(format!(
@@ -206,12 +217,13 @@ impl<'a> Executor<'a> {
                     );
                 }
                 Step::CopyOut(d) => {
-                    let (_, tensor) = device.get(&d).ok_or_else(|| {
-                        FrameworkError::DataUnavailable {
-                            data: d,
-                            context: "CopyOut of non-resident data".into(),
-                        }
-                    })?;
+                    let (_, tensor) =
+                        device
+                            .get(&d)
+                            .ok_or_else(|| FrameworkError::DataUnavailable {
+                                data: d,
+                                context: "CopyOut of non-resident data".into(),
+                            })?;
                     if let Some(t) = tensor {
                         host.insert(d, t.clone());
                     }
@@ -223,36 +235,35 @@ impl<'a> Executor<'a> {
                     );
                 }
                 Step::Free(d) => {
-                    let (a, _) = device.remove(&d).ok_or_else(|| {
-                        FrameworkError::DataUnavailable {
-                            data: d,
-                            context: "Free of non-resident data".into(),
-                        }
-                    })?;
+                    let (a, _) =
+                        device
+                            .remove(&d)
+                            .ok_or_else(|| FrameworkError::DataUnavailable {
+                                data: d,
+                                context: "Free of non-resident data".into(),
+                            })?;
                     alloc.free(a);
                     timeline.push_free(g.data(d).name.clone(), g.data(d).bytes());
                 }
                 Step::Launch(u) => {
                     for &o in &self.plan.units[u].ops {
                         let node = g.op(o);
-                        let in_shapes: Vec<_> =
-                            node.inputs.iter().map(|&i| g.shape(i)).collect();
+                        let in_shapes: Vec<_> = node.inputs.iter().map(|&i| g.shape(i)).collect();
                         let cost = op_cost(node.kind, &in_shapes, g.shape(node.outputs[0]));
                         let out_tensor = if bindings.is_some() {
                             let ins: Vec<&Tensor> = node
                                 .inputs
                                 .iter()
                                 .map(|i| {
-                                    device
-                                        .get(i)
-                                        .and_then(|(_, t)| t.as_ref())
-                                        .ok_or_else(|| FrameworkError::DataUnavailable {
+                                    device.get(i).and_then(|(_, t)| t.as_ref()).ok_or_else(|| {
+                                        FrameworkError::DataUnavailable {
                                             data: *i,
                                             context: format!(
                                                 "input of {} not on device",
                                                 node.name
                                             ),
-                                        })
+                                        }
+                                    })
                                 })
                                 .collect::<Result<_, _>>()?;
                             Some(execute(node.kind, &ins))
@@ -266,7 +277,10 @@ impl<'a> Executor<'a> {
                             node.name.clone(),
                             kernel_time(
                                 self.device,
-                                Work { flops: cost.flops, bytes: cost.bytes },
+                                Work {
+                                    flops: cost.flops,
+                                    bytes: cost.bytes,
+                                },
                             ),
                         );
                     }
@@ -286,24 +300,22 @@ impl<'a> Executor<'a> {
                         if g.data(d).kind != DataKind::Output {
                             continue;
                         }
-                        let piece = host.get(&d).ok_or_else(|| {
-                            FrameworkError::DataUnavailable {
-                                data: d,
-                                context: "output piece missing on host".into(),
-                            }
-                        })?;
+                        let piece =
+                            host.get(&d)
+                                .ok_or_else(|| FrameworkError::DataUnavailable {
+                                    data: d,
+                                    context: "output piece missing on host".into(),
+                                })?;
                         match split.origin_of(d) {
                             DataOrigin::Region { parent, row_off } => {
                                 let e = extents.entry(parent).or_insert(0);
                                 *e = (*e).max(row_off + piece.rows());
-                                assembled
-                                    .entry(parent)
-                                    .or_insert_with(|| {
-                                        // Rows grow as pieces arrive; start
-                                        // with the known column count and
-                                        // fill below.
-                                        Tensor::zeros(0, 0)
-                                    });
+                                assembled.entry(parent).or_insert_with(|| {
+                                    // Rows grow as pieces arrive; start
+                                    // with the known column count and
+                                    // fill below.
+                                    Tensor::zeros(0, 0)
+                                });
                             }
                             DataOrigin::Fresh => {
                                 return Err(FrameworkError::InvalidPlan(
@@ -420,7 +432,9 @@ mod tests {
                 (r * 1000 + c) as f32
             }),
         );
-        let out = Executor::new(&g, &plan, &dev).run_functional(&bind).unwrap();
+        let out = Executor::new(&g, &plan, &dev)
+            .run_functional(&bind)
+            .unwrap();
         let reference = reference_eval(&g, &bind).unwrap();
         assert_eq!(out.outputs.len(), 2);
         for (d, t) in &out.outputs {
@@ -439,7 +453,9 @@ mod tests {
             im,
             Tensor::from_fn(2, crate::examples::FIG3_UNIT_FLOATS, |_, c| c as f32),
         );
-        let out = Executor::new(&g, &plan, &dev).run_functional(&bind).unwrap();
+        let out = Executor::new(&g, &plan, &dev)
+            .run_functional(&bind)
+            .unwrap();
         let reference = reference_eval(&g, &bind).unwrap();
         for (d, t) in &out.outputs {
             assert_eq!(t, &reference[d]);
@@ -475,7 +491,9 @@ mod tests {
         let (g, plan) = fig3_plan();
         let dev = tesla_c870();
         let bind = HashMap::new();
-        let err = Executor::new(&g, &plan, &dev).run_functional(&bind).unwrap_err();
+        let err = Executor::new(&g, &plan, &dev)
+            .run_functional(&bind)
+            .unwrap_err();
         assert!(matches!(err, FrameworkError::DataUnavailable { .. }));
     }
 
@@ -485,7 +503,9 @@ mod tests {
         let dev = tesla_c870();
         let mut bind = HashMap::new();
         bind.insert(g.inputs()[0], Tensor::zeros(3, 3));
-        let err = Executor::new(&g, &plan, &dev).run_functional(&bind).unwrap_err();
+        let err = Executor::new(&g, &plan, &dev)
+            .run_functional(&bind)
+            .unwrap_err();
         assert!(matches!(err, FrameworkError::InvalidPlan(_)), "{err:?}");
     }
 }

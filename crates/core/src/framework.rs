@@ -103,7 +103,10 @@ pub struct CompiledTemplate {
 impl Framework {
     /// Framework targeting `device` with default (paper) options.
     pub fn new(device: DeviceSpec) -> Self {
-        Framework { device, options: CompileOptions::default() }
+        Framework {
+            device,
+            options: CompileOptions::default(),
+        }
     }
 
     /// Override the compilation options.
@@ -123,8 +126,7 @@ impl Framework {
         let split = split_graph(template, budget)?;
 
         if let Some(pb_opts) = self.options.exact {
-            let units =
-                partition_offload_units(&split.graph, self.options.partition, budget);
+            let units = partition_offload_units(&split.graph, self.options.partition, budget);
             let out = pb_exact_plan(&split.graph, &units, budget, pb_opts, None)?;
             validate_plan(&split.graph, &out.plan, budget)?;
             return Ok(CompiledTemplate {
@@ -171,7 +173,10 @@ impl Framework {
         for &margin in &DEFAULT_MARGINS {
             let fw = Framework {
                 device: self.device.clone(),
-                options: CompileOptions { memory_margin: margin, ..self.options },
+                options: CompileOptions {
+                    memory_margin: margin,
+                    ..self.options
+                },
             };
             match fw.compile(template) {
                 Ok(compiled) => match compiled.run_analytic() {
@@ -232,10 +237,20 @@ mod tests {
         let edg = g.add("Edg", e, e, DataKind::Output);
         g.add_op("C1", OpKind::Conv2d, vec![img, k1], e1).unwrap();
         g.add_op("C2", OpKind::Conv2d, vec![img, k2], e2).unwrap();
-        g.add_op("R1", OpKind::Remap(gpuflow_graph::RemapKind::FlipH), vec![e1], e5)
-            .unwrap();
-        g.add_op("R2", OpKind::Remap(gpuflow_graph::RemapKind::FlipH), vec![e2], e6)
-            .unwrap();
+        g.add_op(
+            "R1",
+            OpKind::Remap(gpuflow_graph::RemapKind::FlipH),
+            vec![e1],
+            e5,
+        )
+        .unwrap();
+        g.add_op(
+            "R2",
+            OpKind::Remap(gpuflow_graph::RemapKind::FlipH),
+            vec![e2],
+            e6,
+        )
+        .unwrap();
         g.add_op("max", OpKind::EwMax { arity: 4 }, vec![e1, e2, e5, e6], edg)
             .unwrap();
         g
@@ -304,8 +319,14 @@ mod tests {
     fn exact_mode_matches_heuristic_or_better() {
         let g = fig3_graph();
         let dev = tesla_c870().with_memory(fig3_memory_bytes());
-        let mut opts = CompileOptions { memory_margin: 0.0, ..CompileOptions::default() };
-        let heuristic = Framework::new(dev.clone()).with_options(opts).compile(&g).unwrap();
+        let mut opts = CompileOptions {
+            memory_margin: 0.0,
+            ..CompileOptions::default()
+        };
+        let heuristic = Framework::new(dev.clone())
+            .with_options(opts)
+            .compile(&g)
+            .unwrap();
         opts.exact = Some(PbExactOptions::default());
         let exact = Framework::new(dev).with_options(opts).compile(&g).unwrap();
         assert!(exact.exact_optimal);

@@ -34,8 +34,8 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
-pub mod dce;
 pub mod best;
+pub mod dce;
 pub mod error;
 pub mod examples;
 pub mod executor;
@@ -51,8 +51,8 @@ pub mod split;
 pub mod xfer;
 
 pub use baseline::baseline_plan;
-pub use dce::{dead_ops, eliminate_dead_ops, DceResult};
 pub use best::best_possible_estimate;
+pub use dce::{dead_ops, eliminate_dead_ops, DceResult};
 pub use error::FrameworkError;
 pub use executor::{ExecMode, ExecOutcome, Executor};
 pub use framework::{CompileOptions, CompiledTemplate, Framework};

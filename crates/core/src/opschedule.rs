@@ -81,7 +81,11 @@ fn unit_dag(g: &Graph, units: &[OffloadUnit]) -> UnitDag {
         })
         .map(|(ui, _)| ui)
         .collect();
-    UnitDag { preds, succs, output_units }
+    UnitDag {
+        preds,
+        succs,
+        output_units,
+    }
 }
 
 /// Order the units for execution. The result is always a valid topological
@@ -134,12 +138,7 @@ pub fn schedule_units(g: &Graph, units: &[OffloadUnit], scheduler: OpScheduler) 
             let mut visiting = vec![false; n];
             // Roots: output units first, then any unit not reachable from
             // them (dead branches still must execute).
-            let roots: Vec<usize> = dag
-                .output_units
-                .iter()
-                .copied()
-                .chain(0..n)
-                .collect();
+            let roots: Vec<usize> = dag.output_units.iter().copied().chain(0..n).collect();
             for root in roots {
                 if scheduled[root] {
                     continue;
@@ -167,7 +166,11 @@ pub fn schedule_units(g: &Graph, units: &[OffloadUnit], scheduler: OpScheduler) 
             }
         }
     }
-    assert_eq!(order.len(), n, "unit DAG must be acyclic and fully reachable");
+    assert_eq!(
+        order.len(),
+        n,
+        "unit DAG must be acyclic and fully reachable"
+    );
     order
 }
 
@@ -293,8 +296,10 @@ mod tests {
         let a = g.add("a", 4, 4, DataKind::Input);
         let dead = g.add("dead", 4, 4, DataKind::Temporary);
         let out = g.add("out", 4, 4, DataKind::Output);
-        g.add_op("t_dead", gpuflow_graph::OpKind::Tanh, vec![a], dead).unwrap();
-        g.add_op("t_out", gpuflow_graph::OpKind::Tanh, vec![a], out).unwrap();
+        g.add_op("t_dead", gpuflow_graph::OpKind::Tanh, vec![a], dead)
+            .unwrap();
+        g.add_op("t_out", gpuflow_graph::OpKind::Tanh, vec![a], out)
+            .unwrap();
         let units = partition_offload_units(&g, PartitionPolicy::PerOperator, u64::MAX);
         let order = schedule_units(&g, &units, OpScheduler::DepthFirst);
         assert_eq!(order.len(), 2);

@@ -94,6 +94,8 @@ pub fn overlapped_trace(
     plan: &ExecutionPlan,
     dev: &DeviceSpec,
 ) -> (OverlapOutcome, Vec<LaneEvent>) {
+    #[cfg(debug_assertions)]
+    crate::plan::debug_check_plan(g, plan, dev.memory_bytes, "overlapped_trace");
     let nd = g.num_data();
     // Completion time of the event that makes data available on each side.
     let mut device_ready = vec![0.0f64; nd];
@@ -163,7 +165,13 @@ pub fn overlapped_trace(
                     let node = g.op(o);
                     let ins: Vec<_> = node.inputs.iter().map(|&i| g.shape(i)).collect();
                     let c = op_cost(node.kind, &ins, g.shape(node.outputs[0]));
-                    let dur = kernel_time(dev, Work { flops: c.flops, bytes: c.bytes });
+                    let dur = kernel_time(
+                        dev,
+                        Work {
+                            flops: c.flops,
+                            bytes: c.bytes,
+                        },
+                    );
                     events.push(LaneEvent {
                         lane: Lane::Compute,
                         label: node.name.clone(),
@@ -249,8 +257,10 @@ mod tests {
             let e5 = g.add("E5", e, e, DataKind::Temporary);
             let edg = g.add("Edg", e, e, DataKind::Output);
             g.add_op("C1", OpKind::Conv2d, vec![img, k1], e1).unwrap();
-            g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5).unwrap();
-            g.add_op("max", OpKind::EwMax { arity: 2 }, vec![e1, e5], edg).unwrap();
+            g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5)
+                .unwrap();
+            g.add_op("max", OpKind::EwMax { arity: 2 }, vec![e1, e5], edg)
+                .unwrap();
             g
         }
     }
@@ -289,8 +299,7 @@ mod tests {
         );
         // The makespan can never beat any single engine's busy time.
         assert!(
-            out.overlapped_time
-                >= out.h2d_busy.max(out.d2h_busy).max(out.compute_busy) - 1e-12
+            out.overlapped_time >= out.h2d_busy.max(out.d2h_busy).max(out.compute_busy) - 1e-12
         );
     }
 

@@ -169,9 +169,14 @@ mod tests {
         let mut g = Graph::new();
         let mut prev = g.add("in", 8, 8, DataKind::Input);
         for i in 0..n {
-            let kind = if i + 1 == n { DataKind::Output } else { DataKind::Temporary };
+            let kind = if i + 1 == n {
+                DataKind::Output
+            } else {
+                DataKind::Temporary
+            };
             let next = g.add(format!("d{i}"), 8, 8, kind);
-            g.add_op(format!("t{i}"), OpKind::Tanh, vec![prev], next).unwrap();
+            g.add_op(format!("t{i}"), OpKind::Tanh, vec![prev], next)
+                .unwrap();
             prev = next;
         }
         g
@@ -205,7 +210,9 @@ mod tests {
     #[test]
     fn unit_boundary_analysis() {
         let g = chain(3);
-        let unit = OffloadUnit { ops: vec![gpuflow_graph::OpId(0), gpuflow_graph::OpId(1)] };
+        let unit = OffloadUnit {
+            ops: vec![gpuflow_graph::OpId(0), gpuflow_graph::OpId(1)],
+        };
         let ext = unit.external_inputs(&g);
         assert_eq!(ext.len(), 1);
         assert_eq!(g.data(ext[0]).name, "in");
@@ -228,7 +235,8 @@ mod tests {
         g.add_op("t0", OpKind::Tanh, vec![a], x).unwrap();
         g.add_op("tl", OpKind::Tanh, vec![x], l).unwrap();
         g.add_op("tr", OpKind::Tanh, vec![x], r).unwrap();
-        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![l, r], out).unwrap();
+        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![l, r], out)
+            .unwrap();
         let units = partition_offload_units(&g, PartitionPolicy::GreedyFuse, u64::MAX);
         // t0 cannot fuse forward (x has 2 consumers); tl and tr each have a
         // single consumer j, so both fuse into j's unit.

@@ -103,7 +103,10 @@ pub fn pb_exact_plan(
     let j = g.num_data();
     if n == 0 {
         return Ok(PbExactOutcome {
-            plan: ExecutionPlan { units: Vec::new(), steps: Vec::new() },
+            plan: ExecutionPlan {
+                units: Vec::new(),
+                steps: Vec::new(),
+            },
             transfer_floats: 0,
             optimal: true,
         });
@@ -216,7 +219,7 @@ pub fn pb_exact_plan(
             f.add_implies(cg[dj][t - 1], gv[dj][t]); // (7)
             f.add_implies(cg[dj][t - 1], cv[dj][t - 1]); // upload needs a host copy
             f.add_clause(&[!cg[dj][t - 1], !gv[dj][t - 1]]); // no redundant uploads
-            // (8) g[t] → g[t-1] ∨ cg[t] ∨ produced-at-t
+                                                             // (8) g[t] → g[t-1] ∨ cg[t] ∨ produced-at-t
             let mut cl = vec![!gv[dj][t], gv[dj][t - 1], cg[dj][t - 1]];
             if let Some(u) = owner[dj] {
                 cl.push(x[u][t - 1]);
@@ -330,7 +333,10 @@ pub fn pb_exact_plan(
     let (model, value, optimal) = match outcome {
         OptimizeOutcome::Infeasible => return Err(FrameworkError::PbInfeasible),
         OptimizeOutcome::Optimal { model, value } => (model, value, true),
-        OptimizeOutcome::BudgetExhausted { model: Some(m), value } => (m, value, false),
+        OptimizeOutcome::BudgetExhausted {
+            model: Some(m),
+            value,
+        } => (m, value, false),
         OptimizeOutcome::BudgetExhausted { model: None, .. } => {
             return Err(FrameworkError::PbBudgetExhausted)
         }
@@ -355,7 +361,9 @@ pub fn pb_exact_plan(
                 steps.push(Step::CopyIn(DataId(dj as u32)));
             }
         }
-        let u = (0..n).find(|&u| tv(x[u][t - 1])).expect("one unit per step");
+        let u = (0..n)
+            .find(|&u| tv(x[u][t - 1]))
+            .expect("one unit per step");
         steps.push(Step::Launch(u));
     }
     // Drain after the last step.
@@ -370,8 +378,14 @@ pub fn pb_exact_plan(
         }
     }
 
+    let plan = ExecutionPlan {
+        units: units.to_vec(),
+        steps,
+    };
+    #[cfg(debug_assertions)]
+    crate::plan::debug_check_plan(g, &plan, memory_bytes, "pb_exact_plan");
     Ok(PbExactOutcome {
-        plan: ExecutionPlan { units: units.to_vec(), steps },
+        plan,
         transfer_floats: value as u64,
         optimal,
     })
@@ -427,11 +441,20 @@ mod tests {
         let l = g.add("l", 1, 16, DataKind::Temporary);
         let r = g.add("r", 1, 16, DataKind::Temporary);
         let o = g.add("o", 1, 16, DataKind::Output);
-        let top = OpKind::GatherRows { arity: 1, row_off: 0, rows: 1 };
-        let bot = OpKind::GatherRows { arity: 1, row_off: 1, rows: 1 };
+        let top = OpKind::GatherRows {
+            arity: 1,
+            row_off: 0,
+            rows: 1,
+        };
+        let bot = OpKind::GatherRows {
+            arity: 1,
+            row_off: 1,
+            rows: 1,
+        };
         g.add_op("tl", top, vec![a], l).unwrap();
         g.add_op("tr", bot, vec![a], r).unwrap();
-        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![l, r], o).unwrap();
+        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![l, r], o)
+            .unwrap();
         let mem = 3 * 16 * 4; // 3 one-row units
         let out = pb_exact_plan_ops(&g, mem, PbExactOptions::default()).unwrap();
         assert!(out.optimal);
@@ -446,8 +469,14 @@ mod tests {
     fn fig6_free_order_optimum_is_8_units() {
         let g = fig3_graph();
         let units = fig3_units(&g);
-        let out = pb_exact_plan(&g, &units, fig3_memory_bytes(), PbExactOptions::default(), None)
-            .unwrap();
+        let out = pb_exact_plan(
+            &g,
+            &units,
+            fig3_memory_bytes(),
+            PbExactOptions::default(),
+            None,
+        )
+        .unwrap();
         assert!(out.optimal, "solver must prove optimality");
         validate_plan(&g, &out.plan, fig3_memory_bytes()).unwrap();
         assert_eq!(
@@ -539,14 +568,8 @@ mod tests {
         let units = fig3_units(&g);
         // max needs 5 units simultaneously; 4 are not enough for any
         // schedule.
-        let err = pb_exact_plan(
-            &g,
-            &units,
-            4 * 256 * 4,
-            PbExactOptions::default(),
-            None,
-        )
-        .unwrap_err();
+        let err =
+            pb_exact_plan(&g, &units, 4 * 256 * 4, PbExactOptions::default(), None).unwrap_err();
         assert!(matches!(err, FrameworkError::PbInfeasible));
     }
 
@@ -555,9 +578,14 @@ mod tests {
         let mut g = Graph::new();
         let mut prev = g.add("in", 2, 2, DataKind::Input);
         for i in 0..40 {
-            let kind = if i == 39 { DataKind::Output } else { DataKind::Temporary };
+            let kind = if i == 39 {
+                DataKind::Output
+            } else {
+                DataKind::Temporary
+            };
             let next = g.add(format!("d{i}"), 2, 2, kind);
-            g.add_op(format!("t{i}"), OpKind::Tanh, vec![prev], next).unwrap();
+            g.add_op(format!("t{i}"), OpKind::Tanh, vec![prev], next)
+                .unwrap();
             prev = next;
         }
         let err = pb_exact_plan_ops(&g, 1 << 20, PbExactOptions::default()).unwrap_err();

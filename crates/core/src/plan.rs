@@ -5,16 +5,24 @@
 //! (offload units), device→host copies, and device frees. Plans are
 //! statically validated against precedence, residency and memory-capacity
 //! invariants before anything executes.
+//!
+//! Validation and statistics are both produced by the residency-dataflow
+//! engine of `gpuflow-verify` ([`ExecutionPlan::analyze`]): one forward
+//! walk checks every invariant *and* computes the transfer numbers, so
+//! the semantics the validator enforces and the costs the reports quote
+//! can never drift apart. [`validate_plan`] and [`ExecutionPlan::stats`]
+//! are thin views over that engine.
 
-use serde::{Deserialize, Serialize};
+use gpuflow_graph::{DataId, Graph, FLOAT_BYTES};
+use gpuflow_verify::{analyze_plan, Location, PlanAnalysis, PlanView, UnitView};
 
-use gpuflow_graph::{DataId, DataKind, Graph, FLOAT_BYTES};
+pub use gpuflow_verify::PlanStats;
 
 use crate::error::FrameworkError;
 use crate::partition::OffloadUnit;
 
 /// One step of an execution plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Step {
     /// Copy a data structure from host to device memory.
     CopyIn(DataId),
@@ -37,69 +45,40 @@ pub struct ExecutionPlan {
     pub steps: Vec<Step>,
 }
 
-/// Static transfer/occupancy statistics of a plan.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PlanStats {
-    /// Floats copied host→device.
-    pub floats_in: u64,
-    /// Floats copied device→host.
-    pub floats_out: u64,
-    /// Number of host→device copies.
-    pub copies_in: u64,
-    /// Number of device→host copies.
-    pub copies_out: u64,
-    /// Number of kernel/unit launches.
-    pub launches: u64,
-    /// Peak bytes resident on the device.
-    pub peak_bytes: u64,
-}
-
-impl PlanStats {
-    /// Total floats moved in either direction — the paper's Table 1 metric.
-    pub fn total_floats(&self) -> u64 {
-        self.floats_in + self.floats_out
-    }
-}
-
 impl ExecutionPlan {
+    /// The engine-neutral view of this plan consumed by `gpuflow-verify`:
+    /// per-unit external inputs/outputs plus the step sequence.
+    pub fn view(&self, g: &Graph) -> PlanView {
+        let units = self
+            .units
+            .iter()
+            .map(|u| UnitView {
+                inputs: u.external_inputs(g),
+                outputs: u.outputs(g),
+            })
+            .collect();
+        let steps = self
+            .steps
+            .iter()
+            .map(|s| match *s {
+                Step::CopyIn(d) => gpuflow_verify::PlanStep::CopyIn(d),
+                Step::CopyOut(d) => gpuflow_verify::PlanStep::CopyOut(d),
+                Step::Free(d) => gpuflow_verify::PlanStep::Free(d),
+                Step::Launch(u) => gpuflow_verify::PlanStep::Launch(u),
+            })
+            .collect();
+        PlanView { units, steps }
+    }
+
+    /// Run the full static analyzer over this plan: every validity
+    /// invariant, transfer statistics, and (optionally) efficiency lints.
+    pub fn analyze(&self, g: &Graph, memory_bytes: u64, lints: bool) -> PlanAnalysis {
+        analyze_plan(g, &self.view(g), memory_bytes, lints)
+    }
+
     /// Compute transfer statistics without executing.
     pub fn stats(&self, g: &Graph) -> PlanStats {
-        let mut s = PlanStats::default();
-        let mut resident: std::collections::HashMap<DataId, u64> =
-            std::collections::HashMap::new();
-        let mut cur = 0u64;
-        for step in &self.steps {
-            match *step {
-                Step::CopyIn(d) => {
-                    s.floats_in += g.data(d).len();
-                    s.copies_in += 1;
-                    let b = g.data(d).bytes();
-                    resident.insert(d, b);
-                    cur += b;
-                    s.peak_bytes = s.peak_bytes.max(cur);
-                }
-                Step::CopyOut(d) => {
-                    s.floats_out += g.data(d).len();
-                    s.copies_out += 1;
-                }
-                Step::Launch(u) => {
-                    s.launches += 1;
-                    for d in self.units[u].outputs(g) {
-                        let b = g.data(d).bytes();
-                        if resident.insert(d, b).is_none() {
-                            cur += b;
-                        }
-                    }
-                    s.peak_bytes = s.peak_bytes.max(cur);
-                }
-                Step::Free(d) => {
-                    if let Some(b) = resident.remove(&d) {
-                        cur -= b;
-                    }
-                }
-            }
-        }
-        s
+        self.analyze(g, u64::MAX, false).stats
     }
 
     /// Render the plan as one step per line (the textual Fig. 6(b)).
@@ -133,119 +112,33 @@ impl ExecutionPlan {
 
 /// Validate a plan against `g` and a device memory of `memory_bytes`:
 ///
-/// * copies reference existing data; launches reference existing units;
+/// * every step references existing data / units (all four step kinds);
 /// * `CopyIn` only moves data that is currently valid on the host;
 /// * every unit's external inputs are device-resident at launch;
 /// * device occupancy never exceeds `memory_bytes`;
 /// * every unit launches exactly once, in dependency order;
 /// * every graph output is valid on the host when the plan ends.
+///
+/// This is a fail-fast view over [`ExecutionPlan::analyze`]: the first
+/// error diagnostic (in step order) becomes the
+/// [`FrameworkError::InvalidPlan`] message. Use `analyze` directly for
+/// the complete diagnostic list.
 pub fn validate_plan(
     g: &Graph,
     plan: &ExecutionPlan,
     memory_bytes: u64,
 ) -> Result<(), FrameworkError> {
-    let err = |m: String| Err(FrameworkError::InvalidPlan(m));
-    let nd = g.num_data();
-    let mut on_gpu = vec![false; nd];
-    let mut on_cpu: Vec<bool> = g
-        .data_ids()
-        .map(|d| g.data(d).kind.starts_on_cpu())
-        .collect();
-    let mut produced = vec![false; nd];
-    let mut launched = vec![false; plan.units.len()];
-    let mut used = 0u64;
-
-    for (i, step) in plan.steps.iter().enumerate() {
-        match *step {
-            Step::CopyIn(d) => {
-                if d.index() >= nd {
-                    return err(format!("step {i}: unknown data {d}"));
-                }
-                if !on_cpu[d.index()] {
-                    return err(format!(
-                        "step {i}: CopyIn of {} which is not valid on the host",
-                        g.data(d).name
-                    ));
-                }
-                if on_gpu[d.index()] {
-                    return err(format!("step {i}: {} already on device", g.data(d).name));
-                }
-                on_gpu[d.index()] = true;
-                used += g.data(d).bytes();
-            }
-            Step::CopyOut(d) => {
-                if !on_gpu[d.index()] {
-                    return err(format!(
-                        "step {i}: CopyOut of non-resident {}",
-                        g.data(d).name
-                    ));
-                }
-                on_cpu[d.index()] = true;
-            }
-            Step::Free(d) => {
-                if !on_gpu[d.index()] {
-                    return err(format!("step {i}: Free of non-resident {}", g.data(d).name));
-                }
-                on_gpu[d.index()] = false;
-                used -= g.data(d).bytes();
-            }
-            Step::Launch(u) => {
-                if u >= plan.units.len() {
-                    return err(format!("step {i}: unknown unit {u}"));
-                }
-                if launched[u] {
-                    return err(format!("step {i}: unit {u} launched twice"));
-                }
-                launched[u] = true;
-                let unit = &plan.units[u];
-                for d in unit.external_inputs(g) {
-                    if !on_gpu[d.index()] {
-                        return err(format!(
-                            "step {i}: unit {u} input {} not resident",
-                            g.data(d).name
-                        ));
-                    }
-                    if g.producer(d).is_some() && !produced[d.index()] {
-                        return err(format!(
-                            "step {i}: unit {u} input {} not yet produced",
-                            g.data(d).name
-                        ));
-                    }
-                }
-                for d in unit.outputs(g) {
-                    if on_gpu[d.index()] {
-                        return err(format!(
-                            "step {i}: output {} already resident",
-                            g.data(d).name
-                        ));
-                    }
-                    on_gpu[d.index()] = true;
-                    produced[d.index()] = true;
-                    used += g.data(d).bytes();
-                }
-            }
-        }
-        if used > memory_bytes {
-            return err(format!(
-                "step {i}: device occupancy {used} B exceeds {memory_bytes} B"
-            ));
+    let analysis = plan.analyze(g, memory_bytes, false);
+    match analysis.first_error() {
+        None => Ok(()),
+        Some(d) => {
+            let msg = match d.location {
+                Some(Location::Step(i)) => format!("step {i}: {}", d.message),
+                _ => d.message.clone(),
+            };
+            Err(FrameworkError::InvalidPlan(msg))
         }
     }
-
-    for (u, &l) in launched.iter().enumerate() {
-        if !l {
-            return err(format!("unit {u} never launched"));
-        }
-    }
-    for d in g.data_ids() {
-        if g.data(d).kind == DataKind::Output && !on_cpu[d.index()] {
-            return err(format!(
-                "output {} not on the host at plan end",
-                g.data(d).name
-            ));
-        }
-    }
-    Ok(())
 }
 
 /// Bytes of a data structure — tiny helper shared by planners.
@@ -253,10 +146,24 @@ pub fn data_bytes(g: &Graph, d: DataId) -> u64 {
     g.data(d).len() * FLOAT_BYTES
 }
 
+/// Debug/test guard used by every planner: assert that a freshly produced
+/// plan carries no error diagnostics. Compiled to nothing in release
+/// builds (the planners are trusted there; `validate_plan` remains the
+/// explicit check).
+#[cfg(debug_assertions)]
+pub(crate) fn debug_check_plan(g: &Graph, plan: &ExecutionPlan, memory_bytes: u64, planner: &str) {
+    let analysis = plan.analyze(g, memory_bytes, false);
+    if let Some(d) = analysis.first_error() {
+        panic!("{planner} produced an invalid plan: {}", d.render());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpuflow_graph::OpKind;
+    use gpuflow_graph::{DataKind, OpKind};
+    use gpuflow_verify::engine::codes;
+    use gpuflow_verify::Severity;
 
     /// in -> t0 -> mid -> t1 -> out
     fn chain2() -> Graph {
@@ -349,7 +256,11 @@ mod tests {
         assert!(validate_plan(&g, &p, u64::MAX).is_err());
         let p2 = ExecutionPlan {
             units: units2(&g),
-            steps: vec![Step::CopyIn(DataId(0)), Step::Launch(0), Step::CopyOut(DataId(1))],
+            steps: vec![
+                Step::CopyIn(DataId(0)),
+                Step::Launch(0),
+                Step::CopyOut(DataId(1)),
+            ],
         };
         let err = validate_plan(&g, &p2, u64::MAX).unwrap_err();
         assert!(err.to_string().contains("never launched"), "{err}");
@@ -383,8 +294,89 @@ mod tests {
         let g = chain2();
         let p = ExecutionPlan {
             units: units2(&g),
-            steps: vec![Step::CopyIn(DataId(0)), Step::Free(DataId(0)), Step::Free(DataId(0))],
+            steps: vec![
+                Step::CopyIn(DataId(0)),
+                Step::Free(DataId(0)),
+                Step::Free(DataId(0)),
+            ],
         };
         assert!(validate_plan(&g, &p, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn out_of_range_ids_rejected_for_every_step_kind() {
+        let g = chain2();
+        let bogus = DataId(99);
+        for step in [Step::CopyIn(bogus), Step::CopyOut(bogus), Step::Free(bogus)] {
+            let p = ExecutionPlan {
+                units: units2(&g),
+                steps: vec![step],
+            };
+            let err = validate_plan(&g, &p, u64::MAX).unwrap_err();
+            assert!(err.to_string().contains("unknown data"), "{step:?}: {err}");
+        }
+        let p = ExecutionPlan {
+            units: units2(&g),
+            steps: vec![Step::Launch(99)],
+        };
+        let err = validate_plan(&g, &p, u64::MAX).unwrap_err();
+        assert!(err.to_string().contains("unknown unit"), "{err}");
+    }
+
+    #[test]
+    fn freeing_a_live_buffer_is_a_use_after_free() {
+        let g = chain2();
+        let mut p = good_plan(&g);
+        // Free `mid` before the launch that reads it.
+        p.steps.swap(3, 4);
+        let err = validate_plan(&g, &p, u64::MAX).unwrap_err();
+        assert!(err.to_string().contains("not resident"), "{err}");
+        // The analyzer pins it to the use-after-free code GF0017.
+        let a = p.analyze(&g, u64::MAX, false);
+        assert_eq!(a.first_error().unwrap().code, codes::INPUT_NOT_RESIDENT);
+    }
+
+    /// `validate_plan` and `analyze` are views over one engine: they must
+    /// agree on validity, and the fail-fast message must be the first
+    /// error diagnostic.
+    #[test]
+    fn validator_and_analyzer_agree() {
+        let g = chain2();
+        let mut variants: Vec<ExecutionPlan> = vec![good_plan(&g)];
+        // Every single-step deletion of the good plan.
+        for i in 0..good_plan(&g).steps.len() {
+            let mut p = good_plan(&g);
+            p.steps.remove(i);
+            variants.push(p);
+        }
+        // Every adjacent swap.
+        for i in 0..good_plan(&g).steps.len() - 1 {
+            let mut p = good_plan(&g);
+            p.steps.swap(i, i + 1);
+            variants.push(p);
+        }
+        // A duplicated step each.
+        for i in 0..good_plan(&g).steps.len() {
+            let mut p = good_plan(&g);
+            let s = p.steps[i];
+            p.steps.insert(i, s);
+            variants.push(p);
+        }
+        for (k, p) in variants.iter().enumerate() {
+            for mem in [u64::MAX, 3 * 64 * 4, 64 * 4] {
+                let v = validate_plan(&g, p, mem);
+                let a = p.analyze(&g, mem, false);
+                assert_eq!(v.is_ok(), !a.has_errors(), "variant {k} mem {mem}");
+                if let Err(e) = v {
+                    let d = a.first_error().unwrap();
+                    assert_eq!(d.severity, Severity::Error);
+                    assert!(
+                        e.to_string().contains(&d.message),
+                        "variant {k}: '{e}' vs '{}'",
+                        d.message
+                    );
+                }
+            }
+        }
     }
 }

@@ -63,7 +63,13 @@ pub fn hoist_prefetches(
         }
         i += 1;
     }
-    (ExecutionPlan { units: plan.units.clone(), steps }, moves)
+    let hoisted = ExecutionPlan {
+        units: plan.units.clone(),
+        steps,
+    };
+    #[cfg(debug_assertions)]
+    crate::plan::debug_check_plan(g, &hoisted, memory_bytes, "hoist_prefetches");
+    (hoisted, moves)
 }
 
 /// May `CopyIn(d)` move above `prev`?
@@ -136,7 +142,10 @@ mod tests {
         let (hoisted, moves) = hoist_prefetches(&g, &plan, fig3_memory_bytes(), 16);
         validate_plan(&g, &hoisted, fig3_memory_bytes()).unwrap();
         // Same transfers, same peak bound.
-        assert_eq!(hoisted.stats(&g).total_floats(), plan.stats(&g).total_floats());
+        assert_eq!(
+            hoisted.stats(&g).total_floats(),
+            plan.stats(&g).total_floats()
+        );
         assert!(moves > 0, "the fig3 plan has hoistable uploads");
     }
 
@@ -154,8 +163,13 @@ mod tests {
                 gpuflow_graph::DataKind::Temporary
             };
             let next = g.add(format!("d{i}"), 256, 256, kind);
-            g.add_op(format!("t{i}"), gpuflow_graph::OpKind::Tanh, vec![prev], next)
-                .unwrap();
+            g.add_op(
+                format!("t{i}"),
+                gpuflow_graph::OpKind::Tanh,
+                vec![prev],
+                next,
+            )
+            .unwrap();
             prev = next;
         }
         let dev = tesla_c870();

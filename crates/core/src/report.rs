@@ -16,10 +16,7 @@ use crate::split::DataOrigin;
 
 /// Render a multi-section report for `compiled`, relative to the original
 /// `template` graph it was compiled from.
-pub fn compilation_report(
-    compiled: &CompiledTemplate,
-    template: &gpuflow_graph::Graph,
-) -> String {
+pub fn compilation_report(compiled: &CompiledTemplate, template: &gpuflow_graph::Graph) -> String {
     let mut s = String::new();
     let g = &compiled.split.graph;
     let stats = compiled.stats();
@@ -39,7 +36,12 @@ pub fn compilation_report(
     );
 
     let _ = writeln!(s, "== splitting ==");
-    let _ = writeln!(s, "  device: {} ({} MiB)", compiled.device.name, compiled.device.memory_bytes >> 20);
+    let _ = writeln!(
+        s,
+        "  device: {} ({} MiB)",
+        compiled.device.name,
+        compiled.device.memory_bytes >> 20
+    );
     let _ = writeln!(s, "  global split factor: {}", compiled.split.parts);
     let gathers = g
         .op_ids()
@@ -146,7 +148,12 @@ mod tests {
         let dev = tesla_c870().with_memory(256 << 10);
         let compiled = Framework::new(dev).compile_adaptive(&g).unwrap();
         let report = compilation_report(&compiled, &g);
-        for section in ["== template ==", "== splitting ==", "== plan ==", "== reference points =="] {
+        for section in [
+            "== template ==",
+            "== splitting ==",
+            "== plan ==",
+            "== reference points ==",
+        ] {
             assert!(report.contains(section), "missing {section}\n{report}");
         }
         assert!(report.contains("global split factor"), "{report}");

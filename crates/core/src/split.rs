@@ -123,9 +123,7 @@ pub fn piece_footprint_bytes(g: &Graph, op: OpId, parts: usize) -> u64 {
         SplitClass::MatMulRows => {
             let a = g.shape(node.inputs[0]);
             let b = g.shape(node.inputs[1]);
-            band(out_shape.rows) * out_shape.cols as u64
-                + band(a.rows) * a.cols as u64
-                + b.len()
+            band(out_shape.rows) * out_shape.cols as u64 + band(a.rows) * a.cols as u64 + b.len()
         }
         SplitClass::Reduction { .. } => {
             let inp = g.shape(node.inputs[0]);
@@ -145,7 +143,11 @@ pub fn op_parts_needed(g: &Graph, op: OpId, budget: u64) -> Result<usize, Framew
     }
     let node = g.op(op);
     if node.kind.split_class() == SplitClass::Unsplittable {
-        return Err(FrameworkError::UnsplittableTooLarge { op, footprint, budget });
+        return Err(FrameworkError::UnsplittableTooLarge {
+            op,
+            footprint,
+            budget,
+        });
     }
     let max_parts = match node.kind.split_class() {
         SplitClass::Reduction { .. } => g.shape(node.inputs[0]).rows,
@@ -196,7 +198,11 @@ impl<'a> Rewriter<'a> {
             // Record provenance on the descriptor too, so exported plans
             // and DOT dumps carry it. `parent` refers to the ORIGINAL
             // (pre-split) graph's data id.
-            desc.region = Some(gpuflow_graph::Region { parent, row_off, col_off: 0 });
+            desc.region = Some(gpuflow_graph::Region {
+                parent,
+                row_off,
+                col_off: 0,
+            });
         }
         let id = self.ng.add_data(desc);
         self.origin.push(origin);
@@ -241,7 +247,10 @@ impl<'a> Rewriter<'a> {
                 .copied()
                 .filter(|&(a, b, _)| a < hi && b > lo)
                 .collect();
-            assert!(!covering.is_empty(), "region not covered by producer pieces");
+            assert!(
+                !covering.is_empty(),
+                "region not covered by producer pieces"
+            );
             let virt_off = lo - covering[0].0;
             let desc = self.orig.data(d);
             let out = self.add_data(
@@ -251,7 +260,10 @@ impl<'a> Rewriter<'a> {
                     desc.cols,
                     DataKind::Temporary,
                 ),
-                DataOrigin::Region { parent: d, row_off: lo },
+                DataOrigin::Region {
+                    parent: d,
+                    row_off: lo,
+                },
             );
             let kind = OpKind::GatherRows {
                 arity: covering.len() as u8,
@@ -286,7 +298,10 @@ impl<'a> Rewriter<'a> {
             };
             let id = self.add_data(
                 DataDesc::new(name, hi - lo, desc.cols, desc.kind),
-                DataOrigin::Region { parent: d, row_off: lo },
+                DataOrigin::Region {
+                    parent: d,
+                    row_off: lo,
+                },
             );
             self.region_cache.insert((d, lo, hi), id);
             Ok(id)
@@ -380,8 +395,16 @@ fn rewrite_with_parts(
                 inputs.push(rw.resolve(inp, 0, rows, o)?);
             }
             let out = rw.add_data(
-                DataDesc::new(out_desc.name.clone(), out_desc.rows, out_desc.cols, out_desc.kind),
-                DataOrigin::Region { parent: out_d, row_off: 0 },
+                DataDesc::new(
+                    out_desc.name.clone(),
+                    out_desc.rows,
+                    out_desc.cols,
+                    out_desc.kind,
+                ),
+                DataOrigin::Region {
+                    parent: out_d,
+                    row_off: 0,
+                },
             );
             rw.produced.insert(out_d, vec![(0, out_desc.rows, out)]);
             rw.add_op(node.name.clone(), node.kind, inputs, out, Some(o))?;
@@ -404,7 +427,10 @@ fn rewrite_with_parts(
                     out_desc.cols,
                     out_desc.kind,
                 ),
-                DataOrigin::Region { parent: out_d, row_off: lo },
+                DataOrigin::Region {
+                    parent: out_d,
+                    row_off: lo,
+                },
             );
             out_pieces.push((lo, hi, id));
         }
@@ -451,7 +477,13 @@ fn rewrite_with_parts(
                 SplitClass::Reduction { .. } | SplitClass::Unsplittable => unreachable!(),
             }
             let out_id = out_pieces[i].2;
-            rw.add_op(format!("{}[{i}]", node.name), node.kind, inputs, out_id, Some(o))?;
+            rw.add_op(
+                format!("{}[{i}]", node.name),
+                node.kind,
+                inputs,
+                out_id,
+                Some(o),
+            )?;
         }
     }
 
@@ -509,7 +541,10 @@ fn split_reduction(
         let (dest, origin) = if is_last {
             (
                 DataDesc::new(out_desc.name.clone(), 1, 1, out_desc.kind),
-                DataOrigin::Region { parent: out_d, row_off: 0 },
+                DataOrigin::Region {
+                    parent: out_d,
+                    row_off: 0,
+                },
             )
         } else {
             (
@@ -550,8 +585,10 @@ mod tests {
         let edg = g.add("Edg", e, e, DataKind::Output);
         g.add_op("C1", OpKind::Conv2d, vec![img, k1], e1).unwrap();
         g.add_op("C2", OpKind::Conv2d, vec![img, k2], e2).unwrap();
-        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5).unwrap();
-        g.add_op("R2", OpKind::Remap(RemapKind::FlipH), vec![e2], e6).unwrap();
+        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5)
+            .unwrap();
+        g.add_op("R2", OpKind::Remap(RemapKind::FlipH), vec![e2], e6)
+            .unwrap();
         g.add_op("max", OpKind::EwMax { arity: 4 }, vec![e1, e2, e5, e6], edg)
             .unwrap();
         g
@@ -642,9 +679,7 @@ mod tests {
             .data_ids()
             .filter(|&d| res.graph.data(d).kind == DataKind::Output)
             .map(|d| match res.origin_of(d) {
-                DataOrigin::Region { row_off, .. } => {
-                    (row_off, row_off + res.graph.data(d).rows)
-                }
+                DataOrigin::Region { row_off, .. } => (row_off, row_off + res.graph.data(d).rows),
                 DataOrigin::Fresh => panic!("output piece must map to a region"),
             })
             .collect();
@@ -662,7 +697,8 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add("A", 100, 100, DataKind::Input);
         let b = g.add("B", 100, 100, DataKind::Output);
-        g.add_op("T", OpKind::Remap(RemapKind::Transpose), vec![a], b).unwrap();
+        g.add_op("T", OpKind::Remap(RemapKind::Transpose), vec![a], b)
+            .unwrap();
         let err = split_graph(&g, 1000).unwrap_err();
         assert!(matches!(err, FrameworkError::UnsplittableTooLarge { .. }));
         // But fits-whole is fine even when other ops split around it.
@@ -674,7 +710,8 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add("A", 100, 100, DataKind::Input);
         let r = g.add("r", 1, 1, DataKind::Output);
-        g.add_op("sum", OpKind::Reduce(ReduceKind::Sum), vec![a], r).unwrap();
+        g.add_op("sum", OpKind::Reduce(ReduceKind::Sum), vec![a], r)
+            .unwrap();
         // Footprint = 10001 floats ≈ 40 KB; budget forces ~4 parts.
         let res = split_graph(&g, 11_000).unwrap();
         assert!(res.parts >= 4);
@@ -704,7 +741,10 @@ mod tests {
         let b = g.add("B", 32, 32, DataKind::Output);
         g.add_op(
             "pool",
-            OpKind::Subsample { factor: 2, kind: SubsampleKind::Avg },
+            OpKind::Subsample {
+                factor: 2,
+                kind: SubsampleKind::Avg,
+            },
             vec![a],
             b,
         )
@@ -729,7 +769,8 @@ mod tests {
         let a = g.add("A", 100, 8, DataKind::Input);
         let t = g.add("T", 100, 8, DataKind::Temporary);
         let b = g.add("B", 100, 8, DataKind::Output);
-        g.add_op("f", OpKind::Remap(RemapKind::FlipV), vec![a], t).unwrap();
+        g.add_op("f", OpKind::Remap(RemapKind::FlipV), vec![a], t)
+            .unwrap();
         g.add_op("i", OpKind::Identity, vec![t], b).unwrap();
         let res = split_graph(&g, g.op_footprint_bytes(OpId(0)) / 2).unwrap();
         assert!(res.parts >= 2);

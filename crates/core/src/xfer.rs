@@ -158,7 +158,15 @@ pub fn schedule_transfers(
                 match victim {
                     Some(v) => {
                         let needed = next_read(v, t + 1).is_some();
-                        drop_data(g, &mut steps, &mut on_cpu, &mut resident, &mut used, v, needed);
+                        drop_data(
+                            g,
+                            &mut steps,
+                            &mut on_cpu,
+                            &mut resident,
+                            &mut used,
+                            v,
+                            needed,
+                        );
                     }
                     None => {
                         return Err(FrameworkError::InvalidPlan(format!(
@@ -179,7 +187,14 @@ pub fn schedule_transfers(
                 }
                 steps.push(Step::CopyIn(d));
             }
-            resident.insert(d, Resident { bytes: need, arrived: tick, last_touch: tick });
+            resident.insert(
+                d,
+                Resident {
+                    bytes: need,
+                    arrived: tick,
+                    last_touch: tick,
+                },
+            );
             used += need;
             tick += 1;
         }
@@ -195,7 +210,15 @@ pub fn schedule_transfers(
                 .filter(|&d| next_read(d, t + 1).is_none())
                 .collect();
             for d in dead {
-                drop_data(g, &mut steps, &mut on_cpu, &mut resident, &mut used, d, false);
+                drop_data(
+                    g,
+                    &mut steps,
+                    &mut on_cpu,
+                    &mut resident,
+                    &mut used,
+                    d,
+                    false,
+                );
             }
         }
     }
@@ -203,10 +226,24 @@ pub fn schedule_transfers(
     // Drain: anything still resident that the host needs.
     let leftovers: Vec<DataId> = resident.keys().copied().collect();
     for d in leftovers {
-        drop_data(g, &mut steps, &mut on_cpu, &mut resident, &mut used, d, false);
+        drop_data(
+            g,
+            &mut steps,
+            &mut on_cpu,
+            &mut resident,
+            &mut used,
+            d,
+            false,
+        );
     }
 
-    Ok(ExecutionPlan { units: units.to_vec(), steps })
+    let plan = ExecutionPlan {
+        units: units.to_vec(),
+        steps,
+    };
+    #[cfg(debug_assertions)]
+    crate::plan::debug_check_plan(g, &plan, opts.memory_bytes, "schedule_transfers");
+    Ok(plan)
 }
 
 #[cfg(test)]
@@ -242,7 +279,12 @@ mod tests {
         let plan = schedule_transfers(&g, &units, &order, opts()).unwrap();
         validate_plan(&g, &plan, fig3_memory_bytes()).unwrap();
         let stats = plan.stats(&g);
-        assert_eq!(floats_to_units(stats.total_floats()), 15.0, "\n{}", plan.render(&g));
+        assert_eq!(
+            floats_to_units(stats.total_floats()),
+            15.0,
+            "\n{}",
+            plan.render(&g)
+        );
     }
 
     /// Paper Fig. 3(b)/Fig. 6: the interleaved order costs 8 units.
@@ -254,7 +296,12 @@ mod tests {
         let plan = schedule_transfers(&g, &units, &order, opts()).unwrap();
         validate_plan(&g, &plan, fig3_memory_bytes()).unwrap();
         let stats = plan.stats(&g);
-        assert_eq!(floats_to_units(stats.total_floats()), 8.0, "\n{}", plan.render(&g));
+        assert_eq!(
+            floats_to_units(stats.total_floats()),
+            8.0,
+            "\n{}",
+            plan.render(&g)
+        );
     }
 
     /// The DFS heuristic should find a schedule no worse than (a).
@@ -281,7 +328,10 @@ mod tests {
             &g,
             &units,
             &order,
-            XferOptions { memory_bytes: u64::MAX, ..opts() },
+            XferOptions {
+                memory_bytes: u64::MAX,
+                ..opts()
+            },
         )
         .unwrap();
         validate_plan(&g, &plan, u64::MAX).unwrap();
@@ -303,19 +353,17 @@ mod tests {
             EvictionPolicy::Lru,
             EvictionPolicy::Fifo,
         ] {
-            let plan = schedule_transfers(
-                &g,
-                &units,
-                &order,
-                XferOptions { policy, ..opts() },
-            )
-            .unwrap();
+            let plan =
+                schedule_transfers(&g, &units, &order, XferOptions { policy, ..opts() }).unwrap();
             validate_plan(&g, &plan, fig3_memory_bytes()).unwrap();
             costs.push((policy, floats_to_units(plan.stats(&g).total_floats())));
         }
         // Belady is never worse than FIFO here.
         let get = |p: EvictionPolicy| costs.iter().find(|(q, _)| *q == p).unwrap().1;
-        assert!(get(EvictionPolicy::Belady) <= get(EvictionPolicy::Fifo), "{costs:?}");
+        assert!(
+            get(EvictionPolicy::Belady) <= get(EvictionPolicy::Fifo),
+            "{costs:?}"
+        );
     }
 
     #[test]
@@ -328,7 +376,10 @@ mod tests {
             &g,
             &units,
             &order,
-            XferOptions { eager_free: false, ..opts() },
+            XferOptions {
+                eager_free: false,
+                ..opts()
+            },
         )
         .unwrap();
         validate_plan(&g, &lazy, fig3_memory_bytes()).unwrap();
@@ -345,7 +396,10 @@ mod tests {
             &g,
             &units,
             &order,
-            XferOptions { memory_bytes: 2 * FIG3_UNIT_FLOATS as u64 * 4, ..opts() },
+            XferOptions {
+                memory_bytes: 2 * FIG3_UNIT_FLOATS as u64 * 4,
+                ..opts()
+            },
         )
         .unwrap_err();
         assert!(matches!(err, FrameworkError::InvalidPlan(_)));
@@ -363,7 +417,10 @@ mod tests {
             &g,
             &units,
             &order,
-            XferOptions { memory_bytes: mem, ..opts() },
+            XferOptions {
+                memory_bytes: mem,
+                ..opts()
+            },
         )
         .unwrap();
         validate_plan(&g, &plan, mem).unwrap();
@@ -408,7 +465,8 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add("a", 100, 100, gpuflow_graph::DataKind::Input);
         let b = g.add("b", 100, 100, gpuflow_graph::DataKind::Output);
-        g.add_op("t", gpuflow_graph::OpKind::Tanh, vec![a], b).unwrap();
+        g.add_op("t", gpuflow_graph::OpKind::Tanh, vec![a], b)
+            .unwrap();
         let units = vec![OffloadUnit { ops: vec![OpId(0)] }];
         let err = schedule_transfers(
             &g,

@@ -7,10 +7,8 @@
 //! records that so the executor can materialize split views of host data and
 //! so analyses can attribute split traffic back to the original.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a data structure within one [`crate::Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DataId(pub u32);
 
 impl DataId {
@@ -28,7 +26,7 @@ impl std::fmt::Display for DataId {
 }
 
 /// Role a data structure plays at the template boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataKind {
     /// Template input: lives on the CPU initially and must be copied to the
     /// GPU before first use (paper constraint 12: all data starts on CPU).
@@ -61,7 +59,7 @@ impl DataKind {
 ///
 /// Regions of two siblings may overlap (convolution halos, §3.2: splitting a
 /// 100×100 convolution by a 5×5 kernel into two yields two 100×52 inputs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Region {
     /// The original (pre-split) data structure.
     pub parent: DataId,
@@ -72,7 +70,7 @@ pub struct Region {
 }
 
 /// Descriptor of one two-dimensional data structure of `f32` elements.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataDesc {
     /// Human-readable name (`Img`, `E1'`, …) used in plans, DOT dumps and
     /// generated code.

@@ -1,9 +1,7 @@
 //! The operator graph container.
 
-use serde::{Deserialize, Serialize};
-
 use crate::data::{DataDesc, DataId, DataKind};
-use crate::op::{OpId, OpNode, OpKind};
+use crate::op::{OpId, OpKind, OpNode};
 use crate::shape::{infer_output_shape, Shape, ShapeError};
 
 /// Errors raised while constructing or validating a [`Graph`].
@@ -50,7 +48,11 @@ impl std::fmt::Display for GraphError {
             GraphError::ProducedConstant(d) => write!(f, "constant {d} cannot be produced"),
             GraphError::Cyclic => write!(f, "graph has a cycle"),
             GraphError::Shape(e) => write!(f, "shape error: {e}"),
-            GraphError::OutputShape { data, expected, declared } => write!(
+            GraphError::OutputShape {
+                data,
+                expected,
+                declared,
+            } => write!(
                 f,
                 "output {data}: inferred shape {expected} but descriptor declares {declared}"
             ),
@@ -90,7 +92,7 @@ impl From<ShapeError> for GraphError {
 /// assert_eq!(g.op_footprint_floats(gpuflow_graph::OpId(0)),
 ///            100 * 100 + 25 + 96 * 96);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     data: Vec<DataDesc>,
     ops: Vec<OpNode>,
@@ -142,7 +144,10 @@ impl Graph {
             }
         }
         if let Some(existing) = self.producer[output.index()] {
-            return Err(GraphError::MultipleProducers { data: output, existing });
+            return Err(GraphError::MultipleProducers {
+                data: output,
+                existing,
+            });
         }
         if self.data[output.index()].kind == DataKind::Constant {
             return Err(GraphError::ProducedConstant(output));
@@ -151,7 +156,11 @@ impl Graph {
         let expected = infer_output_shape(kind, &in_shapes)?;
         let declared = self.shape(output);
         if expected != declared {
-            return Err(GraphError::OutputShape { data: output, expected, declared });
+            return Err(GraphError::OutputShape {
+                data: output,
+                expected,
+                declared,
+            });
         }
 
         let id = OpId(self.ops.len() as u32);
@@ -294,7 +303,7 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::{RemapKind, OpKind};
+    use crate::op::{OpKind, RemapKind};
 
     /// Build the paper's experimental edge-detection graph (§4.1.1):
     /// 2 convolutions, 2 remaps, one 4-ary max.
@@ -311,8 +320,10 @@ mod tests {
         let edg = g.add("Edg", e, e, DataKind::Output);
         g.add_op("C1", OpKind::Conv2d, vec![img, k1], e1).unwrap();
         g.add_op("C2", OpKind::Conv2d, vec![img, k2], e2).unwrap();
-        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5).unwrap();
-        g.add_op("R2", OpKind::Remap(RemapKind::FlipH), vec![e2], e6).unwrap();
+        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5)
+            .unwrap();
+        g.add_op("R2", OpKind::Remap(RemapKind::FlipH), vec![e2], e6)
+            .unwrap();
         g.add_op("max", OpKind::EwMax { arity: 4 }, vec![e1, e2, e5, e6], edg)
             .unwrap();
         (g, vec![img, e1, e2, e5, e6, edg])
@@ -342,8 +353,10 @@ mod tests {
         let e1 = g.add("E1", 1000, 1000, DataKind::Temporary);
         let edg = g.add("Edg", 1000, 1000, DataKind::Output);
         // Idealized: remap stands in for conv so shapes stay 1000^2.
-        g.add_op("C1", OpKind::Remap(RemapKind::FlipH), vec![img], e1).unwrap();
-        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], edg).unwrap();
+        g.add_op("C1", OpKind::Remap(RemapKind::FlipH), vec![img], e1)
+            .unwrap();
+        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], edg)
+            .unwrap();
         let _ = k1;
         assert_eq!(g.io_lower_bound_floats(), 2_000_512);
     }
@@ -356,10 +369,7 @@ mod tests {
         assert_eq!(g.op_footprint_floats(max_id), 5 * 985 * 985);
         // conv: image + kernel + output.
         let c1 = OpId(0);
-        assert_eq!(
-            g.op_footprint_floats(c1),
-            1000 * 1000 + 256 + 985 * 985
-        );
+        assert_eq!(g.op_footprint_floats(c1), 1000 * 1000 + 256 + 985 * 985);
         assert_eq!(g.op_footprint_bytes(c1), g.op_footprint_floats(c1) * 4);
     }
 
@@ -395,9 +405,7 @@ mod tests {
     fn rejects_unknown_data() {
         let mut g = Graph::new();
         let a = g.add("a", 4, 4, DataKind::Input);
-        let err = g
-            .add_op("t", OpKind::Tanh, vec![DataId(9)], a)
-            .unwrap_err();
+        let err = g.add_op("t", OpKind::Tanh, vec![DataId(9)], a).unwrap_err();
         assert_eq!(err, GraphError::UnknownData(DataId(9)));
     }
 

@@ -46,7 +46,11 @@ impl Liveness {
                 use_times[d.index()].push(t);
             }
         }
-        Liveness { first_use, last_use, use_times }
+        Liveness {
+            first_use,
+            last_use,
+            use_times,
+        }
     }
 
     /// Earliest step touching `d`.
@@ -99,7 +103,9 @@ mod tests {
         let d = g.add("d", 4, 4, DataKind::Output);
         let l = g.add_op("l", OpKind::Tanh, vec![a], b).unwrap();
         let r = g.add_op("r", OpKind::Tanh, vec![a], c).unwrap();
-        let j = g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![b, c], d).unwrap();
+        let j = g
+            .add_op("j", OpKind::EwAdd { arity: 2 }, vec![b, c], d)
+            .unwrap();
         (g, [a, b, c, d], vec![l, r, j])
     }
 

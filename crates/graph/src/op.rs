@@ -8,12 +8,10 @@
 //! structural rule the operator-splitting pass uses to break it up when its
 //! memory footprint exceeds the GPU capacity.
 
-use serde::{Deserialize, Serialize};
-
 use crate::DataId;
 
 /// Identifier of an operator within one [`crate::Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct OpId(pub u32);
 
 impl OpId {
@@ -37,7 +35,7 @@ impl std::fmt::Display for OpId {
 /// row-local (each output row depends only on the same input row), which is
 /// what the paper's split diagrams (Fig. 3/6) assume; the other kinds
 /// exercise the non-row-local split rules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RemapKind {
     /// Reverse each row (mirror about the vertical axis). Row-local.
     FlipH,
@@ -50,7 +48,7 @@ pub enum RemapKind {
 }
 
 /// Combine operation of a full [`OpKind::Reduce`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceKind {
     /// Sum of all elements.
     Sum,
@@ -61,7 +59,7 @@ pub enum ReduceKind {
 }
 
 /// Pooling flavour of [`OpKind::Subsample`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SubsampleKind {
     /// Average pooling (torch5 `SpatialSubSampling` semantics).
     Avg,
@@ -70,7 +68,7 @@ pub enum SubsampleKind {
 }
 
 /// The parallel operator library.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// Non-separable 2-D *valid* convolution. Inputs: `[image, kernel]`;
     /// output shape `(r - kr + 1, c - kc + 1)`. The kernel is a broadcast
@@ -260,7 +258,7 @@ impl OpKind {
 }
 
 /// One vertex of the operator graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpNode {
     /// Human-readable name (`C1`, `R1'`, `max2`, …).
     pub name: String,
@@ -325,6 +323,13 @@ mod tests {
     fn mnemonics_are_stable() {
         assert_eq!(OpKind::Conv2d.mnemonic(), "conv");
         assert_eq!(OpKind::EwMax { arity: 2 }.mnemonic(), "max");
-        assert_eq!(OpKind::Subsample { factor: 2, kind: SubsampleKind::Avg }.mnemonic(), "pool");
+        assert_eq!(
+            OpKind::Subsample {
+                factor: 2,
+                kind: SubsampleKind::Avg
+            }
+            .mnemonic(),
+            "pool"
+        );
     }
 }

@@ -5,12 +5,10 @@
 //! implements that derivation and the shape-compatibility checks used by
 //! [`crate::Graph::add_op`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::op::{OpKind, RemapKind};
 
 /// A two-dimensional shape, `(rows, cols)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Shape {
     /// Number of rows.
     pub rows: usize,
@@ -73,7 +71,11 @@ pub enum ShapeError {
 impl std::fmt::Display for ShapeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ShapeError::Arity { kind, expected, got } => {
+            ShapeError::Arity {
+                kind,
+                expected,
+                got,
+            } => {
                 write!(f, "{kind:?}: expected {expected} inputs, got {got}")
             }
             ShapeError::Mismatch { kind, detail } => write!(f, "{kind:?}: {detail}"),
@@ -104,9 +106,7 @@ pub fn infer_output_shape(kind: OpKind, inputs: &[Shape]) -> Result<Shape, Shape
             }
             Ok(Shape::new(img.rows - ker.rows + 1, img.cols - ker.cols + 1))
         }
-        OpKind::Remap(RemapKind::Transpose) => {
-            Ok(Shape::new(inputs[0].cols, inputs[0].rows))
-        }
+        OpKind::Remap(RemapKind::Transpose) => Ok(Shape::new(inputs[0].cols, inputs[0].rows)),
         OpKind::Remap(_) | OpKind::Tanh | OpKind::ScaleBits(_) | OpKind::Identity => Ok(inputs[0]),
         OpKind::EwMax { .. } | OpKind::EwMaxAbs { .. } | OpKind::EwAdd { .. } => {
             all_same(kind, inputs)?;
@@ -213,15 +213,21 @@ mod tests {
             infer_output_shape(OpKind::EwMax { arity: 3 }, &[s(8, 8); 3]).unwrap(),
             s(8, 8)
         );
-        let err =
-            infer_output_shape(OpKind::EwAdd { arity: 2 }, &[s(8, 8), s(8, 9)]).unwrap_err();
+        let err = infer_output_shape(OpKind::EwAdd { arity: 2 }, &[s(8, 8), s(8, 9)]).unwrap_err();
         assert!(matches!(err, ShapeError::Mismatch { .. }));
     }
 
     #[test]
     fn arity_checked() {
         let err = infer_output_shape(OpKind::EwMax { arity: 4 }, &[s(8, 8); 3]).unwrap_err();
-        assert!(matches!(err, ShapeError::Arity { expected: 4, got: 3, .. }));
+        assert!(matches!(
+            err,
+            ShapeError::Arity {
+                expected: 4,
+                got: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -265,12 +271,20 @@ mod tests {
 
     #[test]
     fn gather_rows_shapes() {
-        let k = OpKind::GatherRows { arity: 2, row_off: 3, rows: 4 };
+        let k = OpKind::GatherRows {
+            arity: 2,
+            row_off: 3,
+            rows: 4,
+        };
         assert_eq!(infer_output_shape(k, &[s(5, 7), s(5, 7)]).unwrap(), s(4, 7));
         // Column mismatch rejected.
         assert!(infer_output_shape(k, &[s(5, 7), s(5, 8)]).is_err());
         // Out of range rejected.
-        let k2 = OpKind::GatherRows { arity: 2, row_off: 8, rows: 4 };
+        let k2 = OpKind::GatherRows {
+            arity: 2,
+            row_off: 8,
+            rows: 4,
+        };
         assert!(infer_output_shape(k2, &[s(5, 7), s(5, 7)]).is_err());
     }
 

@@ -35,7 +35,11 @@ pub struct TextError {
 
 impl std::fmt::Display for TextError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "graph parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "graph parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -185,7 +189,7 @@ pub fn parse_graph(src: &str) -> Result<Graph, TextError> {
                     .ok_or_else(|| err("missing '->'".into()))?;
                 if arrow < 3 || arrow + 2 != toks.len() {
                     return Err(err(
-                        "expected: op <name> <kind> <inputs...> -> <output>".into(),
+                        "expected: op <name> <kind> <inputs...> -> <output>".into()
                     ));
                 }
                 let lookup = |n: &str| {
@@ -194,8 +198,10 @@ pub fn parse_graph(src: &str) -> Result<Graph, TextError> {
                         .copied()
                         .ok_or_else(|| err(format!("unknown data '{n}'")))
                 };
-                let inputs: Vec<DataId> =
-                    toks[3..arrow].iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
+                let inputs: Vec<DataId> = toks[3..arrow]
+                    .iter()
+                    .map(|n| lookup(n))
+                    .collect::<Result<_, _>>()?;
                 let output = lookup(toks[arrow + 1])?;
                 let kind = parse_kind(toks[2], inputs.len(), line)?;
                 g.add_op(toks[1], kind, inputs, output)
@@ -204,7 +210,10 @@ pub fn parse_graph(src: &str) -> Result<Graph, TextError> {
             other => return Err(err(format!("unknown declaration '{other}'"))),
         }
     }
-    g.validate().map_err(|e| TextError { line: 0, message: e.to_string() })?;
+    g.validate().map_err(|e| TextError {
+        line: 0,
+        message: e.to_string(),
+    })?;
     Ok(g)
 }
 
@@ -299,10 +308,16 @@ op r reduce.maxabs S -> R
         let g = parse_graph(src).unwrap();
         assert_eq!(
             g.op(crate::OpId(0)).kind,
-            OpKind::Subsample { factor: 2, kind: SubsampleKind::Avg }
+            OpKind::Subsample {
+                factor: 2,
+                kind: SubsampleKind::Avg
+            }
         );
         assert_eq!(g.op(crate::OpId(1)).kind, OpKind::scale(2.5));
-        assert_eq!(g.op(crate::OpId(2)).kind, OpKind::Reduce(ReduceKind::MaxAbs));
+        assert_eq!(
+            g.op(crate::OpId(2)).kind,
+            OpKind::Reduce(ReduceKind::MaxAbs)
+        );
         // Scale factor survives a write/parse cycle.
         let g2 = parse_graph(&write_graph(&g)).unwrap();
         assert_eq!(g2.op(crate::OpId(1)).kind, OpKind::scale(2.5));
@@ -312,13 +327,18 @@ op r reduce.maxabs S -> R
     fn errors_carry_line_numbers() {
         assert_eq!(parse_graph("data A 8 8\n").unwrap_err().line, 1);
         assert_eq!(
-            parse_graph("data A input 8 8\nop t bogus A -> A\n").unwrap_err().line,
+            parse_graph("data A input 8 8\nop t bogus A -> A\n")
+                .unwrap_err()
+                .line,
             2
         );
-        let e = parse_graph("data A input 8 8\ndata B output 8 8\nop t tanh A B -> B\n")
-            .unwrap_err();
+        let e =
+            parse_graph("data A input 8 8\ndata B output 8 8\nop t tanh A B -> B\n").unwrap_err();
         assert!(e.message.contains("takes 1 inputs"), "{e}");
-        assert!(parse_graph("op t tanh X -> Y\n").unwrap_err().message.contains("unknown data"));
+        assert!(parse_graph("op t tanh X -> Y\n")
+            .unwrap_err()
+            .message
+            .contains("unknown data"));
         assert!(parse_graph("data A input 8 8\nop t tanh A\n")
             .unwrap_err()
             .message
@@ -333,7 +353,10 @@ op r reduce.maxabs S -> R
     fn shape_violations_rejected_at_parse() {
         let src = "data A input 8 8\ndata B output 9 9\nop t tanh A -> B\n";
         let e = parse_graph(src).unwrap_err();
-        assert!(e.message.contains("shape") || e.message.contains("inferred"), "{e}");
+        assert!(
+            e.message.contains("shape") || e.message.contains("inferred"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -107,9 +107,14 @@ mod tests {
         let mut g = Graph::new();
         let mut prev = g.add("in", 4, 4, DataKind::Input);
         for i in 0..n {
-            let kind = if i + 1 == n { DataKind::Output } else { DataKind::Temporary };
+            let kind = if i + 1 == n {
+                DataKind::Output
+            } else {
+                DataKind::Temporary
+            };
             let next = g.add(format!("d{i}"), 4, 4, kind);
-            g.add_op(format!("t{i}"), OpKind::Tanh, vec![prev], next).unwrap();
+            g.add_op(format!("t{i}"), OpKind::Tanh, vec![prev], next)
+                .unwrap();
             prev = next;
         }
         g
@@ -132,7 +137,8 @@ mod tests {
         let d = g.add("d", 4, 4, DataKind::Output);
         g.add_op("l", OpKind::Tanh, vec![a], b).unwrap();
         g.add_op("r", OpKind::Tanh, vec![a], c).unwrap();
-        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![b, c], d).unwrap();
+        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![b, c], d)
+            .unwrap();
         let order = topo_sort(&g).unwrap();
         assert_eq!(order.last(), Some(&OpId(2)));
         assert!(is_valid_order(&g, &order));

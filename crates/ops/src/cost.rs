@@ -7,10 +7,9 @@
 //! depend on the compute:transfer ratio, not on absolute accuracy.
 
 use gpuflow_graph::{OpKind, Shape, FLOAT_BYTES};
-use serde::{Deserialize, Serialize};
 
 /// Work performed by one operator invocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct OpCost {
     /// Floating-point operations (multiply-adds count as 2).
     pub flops: u64,
@@ -47,9 +46,7 @@ pub fn op_cost(kind: OpKind, inputs: &[Shape], output: Shape) -> OpCost {
         // Pure data movement.
         OpKind::Remap(_) | OpKind::Identity | OpKind::GatherRows { .. } => 0,
         // One compare/add per input element beyond the first, per output.
-        OpKind::EwMax { arity } | OpKind::EwAdd { arity } => {
-            out_elems * (arity as u64 - 1)
-        }
+        OpKind::EwMax { arity } | OpKind::EwAdd { arity } => out_elems * (arity as u64 - 1),
         // abs + compare per element.
         OpKind::EwMaxAbs { arity } => out_elems * (2 * arity as u64 - 1),
         OpKind::EwMul | OpKind::EwSub => out_elems,
@@ -112,20 +109,32 @@ mod tests {
         assert!(op_cost(OpKind::Tanh, &[s(5, 5)], s(5, 5)).flops > 0);
         assert!(
             op_cost(
-                OpKind::Subsample { factor: 2, kind: SubsampleKind::Avg },
+                OpKind::Subsample {
+                    factor: 2,
+                    kind: SubsampleKind::Avg
+                },
                 &[s(10, 10)],
                 s(5, 5)
             )
             .flops
                 > 0
         );
-        assert_eq!(op_cost(OpKind::Reduce(ReduceKind::Sum), &[s(8, 8)], s(1, 1)).flops, 64);
+        assert_eq!(
+            op_cost(OpKind::Reduce(ReduceKind::Sum), &[s(8, 8)], s(1, 1)).flops,
+            64
+        );
         assert_eq!(op_cost(OpKind::Identity, &[s(8, 8)], s(8, 8)).flops, 0);
         assert_eq!(op_cost(OpKind::EwMul, &[s(2, 2); 2], s(2, 2)).flops, 4);
         assert_eq!(op_cost(OpKind::EwSub, &[s(2, 2); 2], s(2, 2)).flops, 4);
-        assert_eq!(op_cost(OpKind::BiasAdd, &[s(2, 2), s(1, 1)], s(2, 2)).flops, 4);
+        assert_eq!(
+            op_cost(OpKind::BiasAdd, &[s(2, 2), s(1, 1)], s(2, 2)).flops,
+            4
+        );
         assert_eq!(op_cost(OpKind::scale(3.0), &[s(2, 2)], s(2, 2)).flops, 4);
-        assert_eq!(op_cost(OpKind::EwMaxAbs { arity: 2 }, &[s(2, 2); 2], s(2, 2)).flops, 12);
+        assert_eq!(
+            op_cost(OpKind::EwMaxAbs { arity: 2 }, &[s(2, 2); 2], s(2, 2)).flops,
+            12
+        );
         assert_eq!(
             op_cost(OpKind::EwAdd { arity: 3 }, &[s(2, 2); 3], s(2, 2)).flops,
             8
@@ -135,8 +144,17 @@ mod tests {
     #[test]
     fn cost_add() {
         let a = OpCost { flops: 1, bytes: 2 };
-        let b = OpCost { flops: 10, bytes: 20 };
-        assert_eq!(a + b, OpCost { flops: 11, bytes: 22 });
+        let b = OpCost {
+            flops: 10,
+            bytes: 20,
+        };
+        assert_eq!(
+            a + b,
+            OpCost {
+                flops: 11,
+                bytes: 22
+            }
+        );
         assert_eq!([a, b].into_iter().sum::<OpCost>(), a + b);
     }
 }

@@ -97,8 +97,7 @@ pub fn reference_eval(
         let out = execute(op.kind, &ins);
         env.insert(op.outputs[0], out);
     }
-    Ok(g
-        .outputs()
+    Ok(g.outputs()
         .into_iter()
         .map(|d| {
             let t = env.remove(&d).expect("output was produced");
@@ -118,17 +117,35 @@ mod tests {
         let b = Tensor::from_fn(4, 4, |r, c| (r + c) as f32);
         let k = Tensor::from_fn(2, 2, |_, _| 0.25);
         assert_eq!(execute(OpKind::Conv2d, &[&a, &k]).shape().rows, 3);
-        assert_eq!(execute(OpKind::Remap(RemapKind::FlipH), &[&a]).shape(), a.shape());
-        assert_eq!(execute(OpKind::EwMax { arity: 2 }, &[&a, &b]).get(0, 0), 0.0);
-        assert_eq!(execute(OpKind::EwMaxAbs { arity: 2 }, &[&a, &b]).get(0, 0), 8.0);
-        assert_eq!(execute(OpKind::EwAdd { arity: 2 }, &[&a, &b]).get(0, 0), -8.0);
+        assert_eq!(
+            execute(OpKind::Remap(RemapKind::FlipH), &[&a]).shape(),
+            a.shape()
+        );
+        assert_eq!(
+            execute(OpKind::EwMax { arity: 2 }, &[&a, &b]).get(0, 0),
+            0.0
+        );
+        assert_eq!(
+            execute(OpKind::EwMaxAbs { arity: 2 }, &[&a, &b]).get(0, 0),
+            8.0
+        );
+        assert_eq!(
+            execute(OpKind::EwAdd { arity: 2 }, &[&a, &b]).get(0, 0),
+            -8.0
+        );
         assert_eq!(execute(OpKind::EwMul, &[&a, &b]).get(0, 1), -7.0);
         assert_eq!(execute(OpKind::EwSub, &[&a, &b]).get(0, 1), -8.0);
-        assert_eq!(execute(OpKind::BiasAdd, &[&a, &Tensor::scalar(8.0)]).get(0, 0), 0.0);
+        assert_eq!(
+            execute(OpKind::BiasAdd, &[&a, &Tensor::scalar(8.0)]).get(0, 0),
+            0.0
+        );
         assert_eq!(execute(OpKind::Tanh, &[&a]).get(0, 0), (-8.0f32).tanh());
         assert_eq!(
             execute(
-                OpKind::Subsample { factor: 2, kind: gpuflow_graph::SubsampleKind::Max },
+                OpKind::Subsample {
+                    factor: 2,
+                    kind: gpuflow_graph::SubsampleKind::Max
+                },
                 &[&a]
             )
             .shape()
@@ -152,8 +169,10 @@ mod tests {
         let e5 = g.add("E5", 8, 8, DataKind::Temporary);
         let edg = g.add("Edg", 8, 8, DataKind::Output);
         g.add_op("C1", OpKind::Conv2d, vec![img, ker], e1).unwrap();
-        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5).unwrap();
-        g.add_op("max", OpKind::EwMax { arity: 2 }, vec![e1, e5], edg).unwrap();
+        g.add_op("R1", OpKind::Remap(RemapKind::FlipH), vec![e1], e5)
+            .unwrap();
+        g.add_op("max", OpKind::EwMax { arity: 2 }, vec![e1, e5], edg)
+            .unwrap();
         (g, img, ker, edg)
     }
 
@@ -161,8 +180,14 @@ mod tests {
     fn reference_eval_small_graph() {
         let (g, img, ker, edg) = small_edge_graph();
         let mut bind = HashMap::new();
-        bind.insert(img, Tensor::from_fn(10, 10, |r, c| ((r * 7 + c * 3) % 5) as f32));
-        bind.insert(ker, Tensor::from_fn(3, 3, |r, c| if r == 1 && c == 1 { 1.0 } else { 0.0 }));
+        bind.insert(
+            img,
+            Tensor::from_fn(10, 10, |r, c| ((r * 7 + c * 3) % 5) as f32),
+        );
+        bind.insert(
+            ker,
+            Tensor::from_fn(3, 3, |r, c| if r == 1 && c == 1 { 1.0 } else { 0.0 }),
+        );
         let out = reference_eval(&g, &bind).unwrap();
         assert_eq!(out.len(), 1);
         let t = &out[&edg];

@@ -16,7 +16,10 @@ use crate::Tensor;
 pub fn conv2d_valid(img: &Tensor, kernel: &Tensor) -> Tensor {
     let (ir, ic) = (img.rows(), img.cols());
     let (kr, kc) = (kernel.rows(), kernel.cols());
-    assert!(ir >= kr && ic >= kc, "image {ir}x{ic} smaller than kernel {kr}x{kc}");
+    assert!(
+        ir >= kr && ic >= kc,
+        "image {ir}x{ic} smaller than kernel {kr}x{kc}"
+    );
     let (or, oc) = (ir - kr + 1, ic - kc + 1);
     let mut out = vec![0.0f32; or * oc];
     out.par_chunks_mut(oc).enumerate().for_each(|(i, row)| {
@@ -69,7 +72,10 @@ mod tests {
         // §3.2: 100x100 convolved with 5x5 -> 96x96.
         let img = Tensor::zeros(100, 100);
         let k = Tensor::zeros(5, 5);
-        assert_eq!(conv2d_valid(&img, &k).shape(), gpuflow_graph::Shape::new(96, 96));
+        assert_eq!(
+            conv2d_valid(&img, &k).shape(),
+            gpuflow_graph::Shape::new(96, 96)
+        );
     }
 
     #[test]

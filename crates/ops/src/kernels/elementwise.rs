@@ -6,14 +6,21 @@ use rayon::prelude::*;
 use crate::Tensor;
 
 fn assert_same_shapes(inputs: &[&Tensor]) {
-    assert!(!inputs.is_empty(), "element-wise op needs at least one input");
+    assert!(
+        !inputs.is_empty(),
+        "element-wise op needs at least one input"
+    );
     let s = inputs[0].shape();
     for t in &inputs[1..] {
         assert_eq!(t.shape(), s, "element-wise inputs must share a shape");
     }
 }
 
-fn zip_n(inputs: &[&Tensor], f: impl Fn(&mut f32, f32) + Sync, init: impl Fn(f32) -> f32 + Sync) -> Tensor {
+fn zip_n(
+    inputs: &[&Tensor],
+    f: impl Fn(&mut f32, f32) + Sync,
+    init: impl Fn(f32) -> f32 + Sync,
+) -> Tensor {
     assert_same_shapes(inputs);
     let (rows, cols) = (inputs[0].rows(), inputs[0].cols());
     let mut out = vec![0.0f32; rows * cols];
@@ -55,7 +62,11 @@ pub fn ew_sub(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Add the scalar bias (a 1×1 tensor) to every element of `a`.
 pub fn bias_add(a: &Tensor, bias: &Tensor) -> Tensor {
-    assert_eq!(bias.shape(), gpuflow_graph::Shape::new(1, 1), "bias must be 1x1");
+    assert_eq!(
+        bias.shape(),
+        gpuflow_graph::Shape::new(1, 1),
+        "bias must be 1x1"
+    );
     let b = bias.get(0, 0);
     map(a, move |v| v + b)
 }

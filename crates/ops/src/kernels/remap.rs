@@ -37,9 +37,15 @@ pub fn remap(a: &Tensor, kind: RemapKind) -> Tensor {
 pub fn gather_rows(bands: &[&Tensor], row_off: usize, rows: usize) -> Tensor {
     assert!(!bands.is_empty(), "gather needs at least one band");
     let cols = bands[0].cols();
-    assert!(bands.iter().all(|b| b.cols() == cols), "bands must share a column count");
+    assert!(
+        bands.iter().all(|b| b.cols() == cols),
+        "bands must share a column count"
+    );
     let total: usize = bands.iter().map(|b| b.rows()).sum();
-    assert!(row_off + rows <= total, "gather range exceeds concatenated rows");
+    assert!(
+        row_off + rows <= total,
+        "gather range exceeds concatenated rows"
+    );
     let mut out = Vec::with_capacity(rows * cols);
     let mut band_idx = 0;
     let mut band_start = 0;
@@ -120,6 +126,9 @@ mod tests {
             assert_eq!(twice, sample(), "{kind:?} should be an involution");
         }
         let sq = Tensor::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
-        assert_eq!(remap(&remap(&sq, RemapKind::Transpose), RemapKind::Transpose), sq);
+        assert_eq!(
+            remap(&remap(&sq, RemapKind::Transpose), RemapKind::Transpose),
+            sq
+        );
     }
 }

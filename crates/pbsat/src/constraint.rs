@@ -102,6 +102,11 @@ fn normalize_ge(terms: &[(i64, Lit)], mut bound: i64) -> NormalizeOutcome {
     if max_sum < bound {
         return NormalizeOutcome::Unsat;
     }
+    // Canonical order up front: `per_var` is a HashMap, and letting its
+    // iteration order leak into clause/term order makes the solver's
+    // propagation — and hence which of several optimal models it returns —
+    // nondeterministic across runs.
+    out.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.index().cmp(&y.1.index())));
     if out.iter().all(|&(a, _)| a == bound) && bound > 0 && out.iter().all(|&(a, _)| a == out[0].0)
     {
         // Every single term alone satisfies the constraint *only* when
@@ -109,7 +114,6 @@ fn normalize_ge(terms: &[(i64, Lit)], mut bound: i64) -> NormalizeOutcome {
         // constraint is the clause (l₁ ∨ … ∨ lₙ).
         return NormalizeOutcome::Clause(out.into_iter().map(|(_, l)| l).collect());
     }
-    out.sort_by(|x, y| y.0.cmp(&x.0).then(x.1.index().cmp(&y.1.index())));
     NormalizeOutcome::Linear(LinearConstraint { terms: out, bound })
 }
 
@@ -240,7 +244,9 @@ mod tests {
         }
         // Over two literals both directions collapse to clauses.
         let out2 = normalize(&[(1, l(0)), (1, l(1))], Cmp::Eq, 1);
-        assert!(out2.iter().all(|o| matches!(o, NormalizeOutcome::Clause(_))));
+        assert!(out2
+            .iter()
+            .all(|o| matches!(o, NormalizeOutcome::Clause(_))));
     }
 
     #[test]

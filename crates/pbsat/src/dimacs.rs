@@ -15,7 +15,11 @@ pub struct DimacsError {
 
 impl std::fmt::Display for DimacsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "DIMACS parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "DIMACS parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -40,7 +44,10 @@ pub fn parse_dimacs(src: &str) -> Result<PbFormula, DimacsError> {
         if let Some(rest) = text.strip_prefix('p') {
             let toks: Vec<&str> = rest.split_whitespace().collect();
             if toks.len() != 3 || toks[0] != "cnf" {
-                return Err(DimacsError { line, message: "malformed problem line".into() });
+                return Err(DimacsError {
+                    line,
+                    message: "malformed problem line".into(),
+                });
             }
             declared_vars = Some(toks[1].parse().map_err(|_| DimacsError {
                 line,

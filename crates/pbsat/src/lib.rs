@@ -26,17 +26,17 @@
 #![warn(missing_docs)]
 
 pub mod builder;
-pub mod dimacs;
 pub mod constraint;
+pub mod dimacs;
 pub mod opb;
 pub mod optimize;
 pub mod solver;
 pub mod types;
 
 pub use builder::PbFormula;
-pub use opb::{formula_to_opb, parse_opb as parse_opb_instance};
-pub use dimacs::parse_dimacs;
 pub use constraint::{Cmp, LinearConstraint, NormalizeOutcome};
+pub use dimacs::parse_dimacs;
+pub use opb::{formula_to_opb, parse_opb as parse_opb_instance};
 pub use optimize::{minimize, OptimizeOptions, OptimizeOutcome};
-pub use solver::{Solver, SolveResult};
+pub use solver::{SolveResult, Solver};
 pub use types::{Lit, Var};

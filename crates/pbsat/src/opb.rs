@@ -42,7 +42,10 @@ fn parse_term_list(
     line: usize,
     maxvar: &mut u32,
 ) -> Result<Vec<(i64, Lit)>, OpbError> {
-    let err = |m: &str| OpbError { line, message: m.to_string() };
+    let err = |m: &str| OpbError {
+        line,
+        message: m.to_string(),
+    };
     if !tokens.len().is_multiple_of(2) {
         return Err(err("expected coefficient/literal pairs"));
     }
@@ -82,7 +85,10 @@ pub fn parse_opb(src: &str) -> Result<OpbInstance, OpbError> {
         }
         let text = text
             .strip_suffix(';')
-            .ok_or(OpbError { line, message: "missing trailing ';'".into() })?
+            .ok_or(OpbError {
+                line,
+                message: "missing trailing ';'".into(),
+            })?
             .trim();
         if let Some(body) = text.strip_prefix("min:") {
             let tokens: Vec<&str> = body.split_whitespace().collect();
@@ -97,14 +103,18 @@ pub fn parse_opb(src: &str) -> Result<OpbInstance, OpbError> {
         } else if text.contains('=') {
             ("=", Cmp::Eq)
         } else {
-            return Err(OpbError { line, message: "no relational operator".into() });
+            return Err(OpbError {
+                line,
+                message: "no relational operator".into(),
+            });
         };
         let mut halves = text.splitn(2, op);
         let lhs = halves.next().unwrap();
         let rhs_text = halves.next().unwrap().trim();
-        let rhs: i64 = rhs_text
-            .parse()
-            .map_err(|_| OpbError { line, message: format!("bad rhs '{rhs_text}'") })?;
+        let rhs: i64 = rhs_text.parse().map_err(|_| OpbError {
+            line,
+            message: format!("bad rhs '{rhs_text}'"),
+        })?;
         let tokens: Vec<&str> = lhs.split_whitespace().collect();
         let terms = parse_term_list(&tokens, line, &mut maxvar)?;
         pending.push((terms, cmp, rhs));
@@ -145,7 +155,10 @@ pub fn write_opb(
         }
     };
     if let Some(obj) = objective {
-        let body: Vec<String> = obj.iter().map(|(c, l)| format!("{c:+} {}", term(l))).collect();
+        let body: Vec<String> = obj
+            .iter()
+            .map(|(c, l)| format!("{c:+} {}", term(l)))
+            .collect();
         let _ = writeln!(s, "min: {} ;", body.join(" "));
     }
     for c in clauses {
@@ -153,7 +166,10 @@ pub fn write_opb(
         let _ = writeln!(s, "{} >= 1 ;", body.join(" "));
     }
     for (terms, cmp, rhs) in linears {
-        let body: Vec<String> = terms.iter().map(|(c, l)| format!("{c:+} {}", term(l))).collect();
+        let body: Vec<String> = terms
+            .iter()
+            .map(|(c, l)| format!("{c:+} {}", term(l)))
+            .collect();
         let op = match cmp {
             Cmp::Ge => ">=",
             Cmp::Le => "<=",
@@ -233,9 +249,18 @@ min: +5 x1 +1 x2 ;
     fn parse_errors_carry_line_numbers() {
         assert_eq!(parse_opb("+1 x1 >= 1").unwrap_err().line, 1);
         assert_eq!(parse_opb("* ok\n+1 y9 >= 1 ;").unwrap_err().line, 2);
-        assert!(parse_opb("+1 x1 1 ;").unwrap_err().message.contains("operator"));
-        assert!(parse_opb("+q x1 >= 1 ;").unwrap_err().message.contains("coefficient"));
-        assert!(parse_opb("+1 x1 >= z ;").unwrap_err().message.contains("rhs"));
+        assert!(parse_opb("+1 x1 1 ;")
+            .unwrap_err()
+            .message
+            .contains("operator"));
+        assert!(parse_opb("+q x1 >= 1 ;")
+            .unwrap_err()
+            .message
+            .contains("coefficient"));
+        assert!(parse_opb("+1 x1 >= z ;")
+            .unwrap_err()
+            .message
+            .contains("rhs"));
     }
 
     #[test]
@@ -271,11 +296,7 @@ min: +5 x1 +1 x2 ;
     #[test]
     fn write_then_parse_roundtrip() {
         let clauses = vec![vec![Var(0).pos(), Var(1).neg()]];
-        let linears = vec![(
-            vec![(2i64, Var(0).pos()), (3, Var(2).pos())],
-            Cmp::Le,
-            4i64,
-        )];
+        let linears = vec![(vec![(2i64, Var(0).pos()), (3, Var(2).pos())], Cmp::Le, 4i64)];
         let obj = vec![(1i64, Var(2).pos())];
         let text = write_opb(3, &clauses, &linears, Some(&obj));
         assert!(text.contains("min: +1 x3 ;"));

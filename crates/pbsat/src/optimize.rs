@@ -193,11 +193,7 @@ mod tests {
         let weights = [4i64, 3, 3, 5, 2];
         let mut f = PbFormula::new();
         let xs = f.new_vars(5);
-        let wterms: Vec<(i64, Lit)> = xs
-            .iter()
-            .zip(weights)
-            .map(|(v, w)| (w, v.pos()))
-            .collect();
+        let wterms: Vec<(i64, Lit)> = xs.iter().zip(weights).map(|(v, w)| (w, v.pos())).collect();
         f.add_linear(&wterms, Cmp::Ge, 10);
         let obj: Vec<(i64, Lit)> = xs.iter().zip(costs).map(|(v, c)| (c, v.pos())).collect();
         let out = minimize(&f, &obj, OptimizeOptions::default());
@@ -205,9 +201,15 @@ mod tests {
         // Brute-force optimum.
         let mut best = i64::MAX;
         for bits in 0u32..32 {
-            let w: i64 = (0..5).filter(|i| bits >> i & 1 == 1).map(|i| weights[i]).sum();
+            let w: i64 = (0..5)
+                .filter(|i| bits >> i & 1 == 1)
+                .map(|i| weights[i])
+                .sum();
             if w >= 10 {
-                let c: i64 = (0..5).filter(|i| bits >> i & 1 == 1).map(|i| costs[i]).sum();
+                let c: i64 = (0..5)
+                    .filter(|i| bits >> i & 1 == 1)
+                    .map(|i| costs[i])
+                    .sum();
                 best = best.min(c);
             }
         }

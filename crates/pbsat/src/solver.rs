@@ -264,7 +264,12 @@ impl Solver {
                 let ci = self.clauses.len() as u32;
                 self.watches[ls[0].index()].push(ci);
                 self.watches[ls[1].index()].push(ci);
-                self.clauses.push(Clause { lits: ls, learnt: false, activity: 0.0, deleted: false });
+                self.clauses.push(Clause {
+                    lits: ls,
+                    learnt: false,
+                    activity: 0.0,
+                    deleted: false,
+                });
                 true
             }
         }
@@ -623,10 +628,9 @@ impl Solver {
             let r = self.reason[q.var().index()];
             let redundant = match r {
                 Reason::None => false,
-                Reason::Clause(ci) => self.clauses[ci as usize]
-                    .lits
-                    .iter()
-                    .all(|p| *p == !q || self.seen[p.var().index()] || self.level[p.var().index()] == 0),
+                Reason::Clause(ci) => self.clauses[ci as usize].lits.iter().all(|p| {
+                    *p == !q || self.seen[p.var().index()] || self.level[p.var().index()] == 0
+                }),
                 Reason::Linear(_) => {
                     let ants = self.reason_lits(!q, r);
                     !ants.is_empty()
@@ -761,8 +765,7 @@ impl Solver {
                     match self.pick_branch() {
                         None => {
                             // Total assignment found.
-                            let model: Vec<bool> =
-                                self.assign.iter().map(|&a| a == 1).collect();
+                            let model: Vec<bool> = self.assign.iter().map(|&a| a == 1).collect();
                             debug_assert!(self.check_model(&model));
                             self.cancel_until(0);
                             return SolveResult::Sat(model);
@@ -1012,7 +1015,11 @@ mod tests {
             }
         }
         assert_eq!(s.solve(None), SolveResult::Unsat);
-        assert!(s.conflicts > 100, "PHP(8,7) must be non-trivial: {}", s.conflicts);
+        assert!(
+            s.conflicts > 100,
+            "PHP(8,7) must be non-trivial: {}",
+            s.conflicts
+        );
         assert!(s.decisions > 0 && s.propagations > 0);
     }
 
@@ -1113,7 +1120,11 @@ mod tests {
             if ok {
                 ok = add_norm(&mut s, &terms, Cmp::Le, rhs);
             }
-            let result = if !ok { SolveResult::Unsat } else { s.solve(None) };
+            let result = if !ok {
+                SolveResult::Unsat
+            } else {
+                s.solve(None)
+            };
             match (any, result) {
                 (true, SolveResult::Sat(m)) => {
                     // Model must satisfy everything.

@@ -47,7 +47,10 @@ impl std::fmt::Display for AllocError {
             AllocError::OutOfMemory { requested, free } => {
                 write!(f, "out of device memory: need {requested} B, {free} B free")
             }
-            AllocError::Fragmented { requested, largest_block } => write!(
+            AllocError::Fragmented {
+                requested,
+                largest_block,
+            } => write!(
                 f,
                 "fragmented: need {requested} B contiguous, largest block {largest_block} B"
             ),
@@ -156,7 +159,10 @@ impl DeviceAllocator {
                         largest_block: self.largest_free_block(),
                     })
                 } else {
-                    Err(AllocError::OutOfMemory { requested: size, free })
+                    Err(AllocError::OutOfMemory {
+                        requested: size,
+                        free,
+                    })
                 }
             }
         }
@@ -167,17 +173,23 @@ impl DeviceAllocator {
     pub fn free(&mut self, a: Allocation) {
         assert!(a.addr + a.size <= self.capacity, "foreign allocation");
         // Insertion point by address.
-        let i = self
-            .free_blocks
-            .partition_point(|&(addr, _)| addr < a.addr);
+        let i = self.free_blocks.partition_point(|&(addr, _)| addr < a.addr);
         // Overlap checks against neighbours catch double frees.
         if i > 0 {
             let (paddr, psize) = self.free_blocks[i - 1];
-            assert!(paddr + psize <= a.addr, "double free / overlap at {:#x}", a.addr);
+            assert!(
+                paddr + psize <= a.addr,
+                "double free / overlap at {:#x}",
+                a.addr
+            );
         }
         if i < self.free_blocks.len() {
             let (naddr, _) = self.free_blocks[i];
-            assert!(a.addr + a.size <= naddr, "double free / overlap at {:#x}", a.addr);
+            assert!(
+                a.addr + a.size <= naddr,
+                "double free / overlap at {:#x}",
+                a.addr
+            );
         }
         self.free_blocks.insert(i, (a.addr, a.size));
         // Coalesce with next, then previous.
@@ -271,17 +283,17 @@ mod tests {
         let x = a.alloc(256).unwrap();
         let y = a.alloc(256).unwrap();
         let z = a.alloc(256).unwrap();
-        assert!(matches!(
-            a.alloc(256),
-            Err(AllocError::OutOfMemory { .. })
-        ));
+        assert!(matches!(a.alloc(256), Err(AllocError::OutOfMemory { .. })));
         a.free(x);
         a.free(z);
         // 512 free but split 256 + 256 around y.
         let err = a.alloc(512).unwrap_err();
         assert_eq!(
             err,
-            AllocError::Fragmented { requested: 512, largest_block: 256 }
+            AllocError::Fragmented {
+                requested: 512,
+                largest_block: 256
+            }
         );
         a.free(y);
         assert!(a.alloc(512).is_ok());
@@ -360,8 +372,16 @@ mod tests {
             a.free(big); // hole of 1024 in the middle
             a.alloc(200).unwrap() // fits both holes
         };
-        assert_eq!(frag(FitPolicy::FirstFit).addr, 0, "first fit takes the low hole");
-        assert_eq!(frag(FitPolicy::BestFit).addr, 0, "the 256 hole is the tightest");
+        assert_eq!(
+            frag(FitPolicy::FirstFit).addr,
+            0,
+            "first fit takes the low hole"
+        );
+        assert_eq!(
+            frag(FitPolicy::BestFit).addr,
+            0,
+            "the 256 hole is the tightest"
+        );
         // For a request only the big hole fits, both behave the same.
         let _ = build(FitPolicy::BestFit);
         // Now a case where best-fit differs: holes 1024 (low) and 512 (high).
@@ -376,7 +396,10 @@ mod tests {
             a.alloc(512).unwrap().addr
         };
         assert_eq!(differs(FitPolicy::FirstFit), 0);
-        assert!(differs(FitPolicy::BestFit) > 0, "best fit picks the 512 hole");
+        assert!(
+            differs(FitPolicy::BestFit) > 0,
+            "best fit picks the 512 hole"
+        );
     }
 
     #[test]

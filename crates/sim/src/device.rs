@@ -4,10 +4,8 @@
 //! ("Both the GPUs have the same clock frequency (1.35 GHz) and degree of
 //! parallelism (128 cores) and differ only in the amount of memory").
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of a (simulated) GPU platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Marketing name, used in reports.
     pub name: String,
@@ -113,7 +111,10 @@ pub mod once {
     impl<T> Lazy<T> {
         /// Create a lazy cell initialized by `init` on first deref.
         pub const fn new(init: fn() -> T) -> Self {
-            Lazy { cell: OnceLock::new(), init }
+            Lazy {
+                cell: OnceLock::new(),
+                init,
+            }
         }
     }
 

@@ -5,10 +5,8 @@
 //! the paper reports: floats moved between CPU and GPU (Table 1), and the
 //! split of execution time into compute and transfer (Fig. 2, Table 2).
 
-use serde::{Deserialize, Serialize};
-
 /// What happened at a timeline point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// Kernel launch.
     Kernel {
@@ -39,7 +37,7 @@ pub enum EventKind {
 }
 
 /// One timeline entry.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Simulated start time, seconds.
     pub start: f64,
@@ -50,7 +48,7 @@ pub struct Event {
 }
 
 /// Aggregates over a timeline.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Counters {
     /// Bytes copied host→device.
     pub bytes_to_gpu: u64,
@@ -98,7 +96,7 @@ impl Counters {
 }
 
 /// An append-only simulated timeline.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Timeline {
     events: Vec<Event>,
     now: f64,
@@ -138,7 +136,13 @@ impl Timeline {
         self.counters.copies_to_gpu += 1;
         self.counters.bytes_to_gpu += bytes;
         self.counters.transfer_time += duration;
-        self.push(EventKind::CopyToGpu { data: data.into(), bytes }, duration);
+        self.push(
+            EventKind::CopyToGpu {
+                data: data.into(),
+                bytes,
+            },
+            duration,
+        );
     }
 
     /// Record a device→host copy.
@@ -146,16 +150,32 @@ impl Timeline {
         self.counters.copies_to_cpu += 1;
         self.counters.bytes_to_cpu += bytes;
         self.counters.transfer_time += duration;
-        self.push(EventKind::CopyToCpu { data: data.into(), bytes }, duration);
+        self.push(
+            EventKind::CopyToCpu {
+                data: data.into(),
+                bytes,
+            },
+            duration,
+        );
     }
 
     /// Record a device free (takes no simulated time).
     pub fn push_free(&mut self, data: impl Into<String>, bytes: u64) {
-        self.push(EventKind::Free { data: data.into(), bytes }, 0.0);
+        self.push(
+            EventKind::Free {
+                data: data.into(),
+                bytes,
+            },
+            0.0,
+        );
     }
 
     fn push(&mut self, kind: EventKind, duration: f64) {
-        self.events.push(Event { start: self.now, duration, kind });
+        self.events.push(Event {
+            start: self.now,
+            duration,
+            kind,
+        });
         self.now += duration;
     }
 

@@ -110,8 +110,20 @@ mod tests {
     #[test]
     fn kernel_time_additive_in_work() {
         let dev = tesla_c870();
-        let a = kernel_time(&dev, Work { flops: 1_000_000, bytes: 0 });
-        let b = kernel_time(&dev, Work { flops: 2_000_000, bytes: 0 });
+        let a = kernel_time(
+            &dev,
+            Work {
+                flops: 1_000_000,
+                bytes: 0,
+            },
+        );
+        let b = kernel_time(
+            &dev,
+            Work {
+                flops: 2_000_000,
+                bytes: 0,
+            },
+        );
         let alu1 = a - dev.launch_overhead_s;
         let alu2 = b - dev.launch_overhead_s;
         assert!((alu2 / alu1 - 2.0).abs() < 1e-9);

@@ -1,9 +1,8 @@
-//! Property-based tests of the device allocator and serde round-trips of
-//! the simulator's data types.
+//! Property-based tests of the device allocator.
 
 use proptest::prelude::*;
 
-use gpuflow_sim::{device, Allocation, DeviceAllocator, DeviceSpec, Timeline};
+use gpuflow_sim::{Allocation, DeviceAllocator};
 
 // Random alloc/free workloads must preserve the allocator's invariants:
 // live allocations never overlap, accounting matches, and freeing
@@ -66,26 +65,4 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
-}
-
-#[test]
-fn device_spec_serde_roundtrip() {
-    let dev = device::tesla_c870();
-    let json = serde_json::to_string(&dev).unwrap();
-    let back: DeviceSpec = serde_json::from_str(&json).unwrap();
-    assert_eq!(dev, back);
-}
-
-#[test]
-fn timeline_serde_roundtrip() {
-    let mut t = Timeline::new();
-    t.push_copy_to_gpu("Img", 4096, 0.1);
-    t.push_kernel("conv", 0.2);
-    t.push_copy_to_cpu("Out", 2048, 0.05);
-    t.push_free("Img", 4096);
-    let json = serde_json::to_string(&t).unwrap();
-    let back: Timeline = serde_json::from_str(&json).unwrap();
-    assert_eq!(back.events(), t.events());
-    assert_eq!(back.counters(), t.counters());
-    assert_eq!(back.now(), t.now());
 }

@@ -82,7 +82,10 @@ impl CnnBuilder {
     /// expanded per Fig. 7.
     pub fn spatial_convolution(mut self, out_planes: usize, k: usize) -> Self {
         assert!(out_planes >= 1);
-        assert!(self.rows >= k && self.cols >= k, "plane smaller than kernel");
+        assert!(
+            self.rows >= k && self.cols >= k,
+            "plane smaller than kernel"
+        );
         self.layer += 1;
         let l = self.layer;
         let in_planes = self.planes.clone();
@@ -93,18 +96,20 @@ impl CnnBuilder {
             // I convolutions.
             let mut partials = Vec::with_capacity(i_n);
             for (i, &inp) in in_planes.iter().enumerate() {
-                let w = self.graph.add(
-                    format!("L{l}.K{i}.{j}"),
-                    k,
-                    k,
-                    DataKind::Constant,
-                );
+                let w = self
+                    .graph
+                    .add(format!("L{l}.K{i}.{j}"), k, k, DataKind::Constant);
                 self.weights.push(w);
                 let lij = self
                     .graph
                     .add(format!("L{l}.L{i}.{j}"), or, oc, DataKind::Temporary);
                 self.graph
-                    .add_op(format!("L{l}.conv{i}.{j}"), OpKind::Conv2d, vec![inp, w], lij)
+                    .add_op(
+                        format!("L{l}.conv{i}.{j}"),
+                        OpKind::Conv2d,
+                        vec![inp, w],
+                        lij,
+                    )
                     .expect("valid conv");
                 partials.push(lij);
             }
@@ -125,7 +130,9 @@ impl CnnBuilder {
                 acc = s;
             }
             // Bias add produces the output plane.
-            let b = self.graph.add(format!("L{l}.B{j}"), 1, 1, DataKind::Constant);
+            let b = self
+                .graph
+                .add(format!("L{l}.B{j}"), 1, 1, DataKind::Constant);
             self.biases.push(b);
             let out = self
                 .graph
@@ -156,7 +163,10 @@ impl CnnBuilder {
         table: &[(usize, usize)],
     ) -> Self {
         assert!(out_planes >= 1);
-        assert!(self.rows >= k && self.cols >= k, "plane smaller than kernel");
+        assert!(
+            self.rows >= k && self.cols >= k,
+            "plane smaller than kernel"
+        );
         let in_planes = self.planes.clone();
         for &(i, j) in table {
             assert!(i < in_planes.len(), "input plane {i} out of range");
@@ -207,7 +217,9 @@ impl CnnBuilder {
                     .expect("valid add");
                 acc = s;
             }
-            let b = self.graph.add(format!("L{l}.B{j}"), 1, 1, DataKind::Constant);
+            let b = self
+                .graph
+                .add(format!("L{l}.B{j}"), 1, 1, DataKind::Constant);
             self.biases.push(b);
             let out = self
                 .graph
@@ -232,9 +244,12 @@ impl CnnBuilder {
             .iter()
             .enumerate()
             .map(|(j, &p)| {
-                let out = self
-                    .graph
-                    .add(format!("L{l}.T{j}"), self.rows, self.cols, DataKind::Temporary);
+                let out = self.graph.add(
+                    format!("L{l}.T{j}"),
+                    self.rows,
+                    self.cols,
+                    DataKind::Temporary,
+                );
                 self.graph
                     .add_op(format!("L{l}.tanh{j}"), OpKind::Tanh, vec![p], out)
                     .expect("valid tanh");

@@ -97,7 +97,12 @@ pub fn find_edges(
     let mut conv_outs = Vec::with_capacity(half);
     let mut convs = Vec::with_capacity(half);
     for i in 0..half {
-        let k = g.add(format!("K{}", i + 1), kernel_size, kernel_size, DataKind::Constant);
+        let k = g.add(
+            format!("K{}", i + 1),
+            kernel_size,
+            kernel_size,
+            DataKind::Constant,
+        );
         kernels.push(k);
         let e = g.add(format!("E{}", i + 1), er, ec, DataKind::Temporary);
         let c = g
@@ -133,7 +138,15 @@ pub fn find_edges(
         )
         .expect("valid combine");
 
-    EdgeTemplate { graph: g, image, kernels, edge_map, convs, remaps, combine: combine_op }
+    EdgeTemplate {
+        graph: g,
+        image,
+        kernels,
+        edge_map,
+        convs,
+        remaps,
+        combine: combine_op,
+    }
 }
 
 impl EdgeTemplate {
@@ -191,7 +204,11 @@ mod tests {
         let maxf = t.combine_footprint_floats() as f64;
         let convf = t.conv_footprint_floats() as f64;
         assert!((maxf / img - 9.0).abs() < 0.3, "max/img = {}", maxf / img);
-        assert!((convf / img - 2.0).abs() < 0.1, "conv/img = {}", convf / img);
+        assert!(
+            (convf / img - 2.0).abs() < 0.1,
+            "conv/img = {}",
+            convf / img
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ pub fn matmul_chain(m: usize, dims: &[usize]) -> GemmTemplate {
         let b = g.add(format!("B{}", i + 1), w[0], w[1], DataKind::Input);
         factors.push(b);
         let last = i + 2 == dims.len();
-        let kind = if last { DataKind::Output } else { DataKind::Temporary };
+        let kind = if last {
+            DataKind::Output
+        } else {
+            DataKind::Temporary
+        };
         let out = g.add(format!("P{}", i + 1), m, w[1], kind);
         let op = g
             .add_op(format!("mm{}", i + 1), OpKind::MatMul, vec![acc, b], out)
@@ -45,7 +49,13 @@ pub fn matmul_chain(m: usize, dims: &[usize]) -> GemmTemplate {
         multiplies.push(op);
         acc = out;
     }
-    GemmTemplate { graph: g, a, factors, product: acc, multiplies }
+    GemmTemplate {
+        graph: g,
+        a,
+        factors,
+        product: acc,
+        multiplies,
+    }
 }
 
 #[cfg(test)]

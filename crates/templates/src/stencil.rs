@@ -39,7 +39,10 @@ pub struct StencilTemplate {
 /// shrink away (`n ≤ 2·iterations`).
 pub fn heat_diffusion(n: usize, iterations: usize) -> StencilTemplate {
     assert!(iterations >= 1, "need at least one sweep");
-    assert!(n > 2 * iterations, "field vanishes after {iterations} sweeps");
+    assert!(
+        n > 2 * iterations,
+        "field vanishes after {iterations} sweeps"
+    );
     let mut g = Graph::new();
     let field = g.add("U0", n, n, DataKind::Input);
     let kernel = g.add("K", 3, 3, DataKind::Constant);
@@ -47,15 +50,30 @@ pub fn heat_diffusion(n: usize, iterations: usize) -> StencilTemplate {
     let mut sweeps = Vec::with_capacity(iterations);
     for i in 1..=iterations {
         let m = n - 2 * i;
-        let kind = if i == iterations { DataKind::Output } else { DataKind::Temporary };
+        let kind = if i == iterations {
+            DataKind::Output
+        } else {
+            DataKind::Temporary
+        };
         let next = g.add(format!("U{i}"), m, m, kind);
         let op = g
-            .add_op(format!("sweep{i}"), OpKind::Conv2d, vec![prev, kernel], next)
+            .add_op(
+                format!("sweep{i}"),
+                OpKind::Conv2d,
+                vec![prev, kernel],
+                next,
+            )
             .expect("valid sweep");
         sweeps.push(op);
         prev = next;
     }
-    StencilTemplate { graph: g, field, kernel, result: prev, sweeps }
+    StencilTemplate {
+        graph: g,
+        field,
+        kernel,
+        result: prev,
+        sweeps,
+    }
 }
 
 /// The combined update kernel `δ + α·L` for diffusivity `alpha`
@@ -65,9 +83,15 @@ pub fn diffusion_kernel(alpha: f32) -> Tensor {
         3,
         3,
         vec![
-            0.0, alpha, 0.0,
-            alpha, 1.0 - 4.0 * alpha, alpha,
-            0.0, alpha, 0.0,
+            0.0,
+            alpha,
+            0.0,
+            alpha,
+            1.0 - 4.0 * alpha,
+            alpha,
+            0.0,
+            alpha,
+            0.0,
         ],
     )
 }
@@ -122,7 +146,10 @@ mod tests {
         assert!(peak < peak0, "diffusion must lower the peak: {peak}");
         assert!(peak > 0.0, "heat cannot vanish in 4 sweeps");
         // No new extrema: everything stays within the initial range.
-        assert!(result.as_slice().iter().all(|&v| (0.0..=100.0).contains(&v)));
+        assert!(result
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=100.0).contains(&v)));
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Diagnostic types: codes, severities, locations, and rendering.
+
+use gpuflow_graph::{DataId, OpId};
+use gpuflow_minijson::{Map, Value};
+
+/// How bad a finding is.
+///
+/// Ordered so that `max()` over a report yields the worst severity:
+/// `Note < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a fact worth surfacing (e.g. the peak footprint).
+    Note,
+    /// The plan/graph works but wastes resources or looks suspicious.
+    Warning,
+    /// The graph or plan is invalid and must not execute.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in human and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// An operator of the graph.
+    Op(OpId),
+    /// A data structure of the graph.
+    Data(DataId),
+    /// An offload unit of the plan.
+    Unit(usize),
+    /// A step of the plan (index into the step sequence).
+    Step(usize),
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Location::Op(o) => write!(f, "op {}", o.index()),
+            Location::Data(d) => write!(f, "{d}"),
+            Location::Unit(u) => write!(f, "unit {u}"),
+            Location::Step(i) => write!(f, "step {i}"),
+        }
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code, `GF` + four digits (see
+    /// `docs/diagnostics.md` for the catalogue).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// What the finding points at, when it points at one thing.
+    pub location: Option<Location>,
+    /// Human-readable statement of the problem.
+    pub message: String,
+    /// Optional remediation hint.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Construct an [`Severity::Error`] diagnostic.
+    pub fn error(
+        code: &'static str,
+        location: Option<Location>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            location,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Construct a [`Severity::Warning`] diagnostic.
+    pub fn warning(
+        code: &'static str,
+        location: Option<Location>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            location,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Construct a [`Severity::Note`] diagnostic.
+    pub fn note(
+        code: &'static str,
+        location: Option<Location>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Note,
+            location,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach a remediation hint.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// One human-readable line (plus an indented help line when present),
+    /// e.g. `error[GF0017] step 4: unit 1 input mid not resident`.
+    pub fn render(&self) -> String {
+        let mut s = format!("{}[{}]", self.severity, self.code);
+        if let Some(loc) = self.location {
+            s.push_str(&format!(" {loc}:"));
+        }
+        s.push(' ');
+        s.push_str(&self.message);
+        if let Some(help) = &self.help {
+            s.push_str("\n  help: ");
+            s.push_str(help);
+        }
+        s
+    }
+
+    /// JSON object form.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("code", self.code);
+        m.insert("severity", self.severity.label());
+        if let Some(loc) = self.location {
+            let mut l = Map::new();
+            let (kind, index) = match loc {
+                Location::Op(o) => ("op", o.index()),
+                Location::Data(d) => ("data", d.index()),
+                Location::Unit(u) => ("unit", u),
+                Location::Step(i) => ("step", i),
+            };
+            l.insert("kind", kind);
+            l.insert("index", index);
+            m.insert("location", l);
+        } else {
+            m.insert("location", Value::Null);
+        }
+        m.insert("message", self.message.as_str());
+        match &self.help {
+            Some(h) => m.insert("help", h.as_str()),
+            None => m.insert("help", Value::Null),
+        };
+        Value::Object(m)
+    }
+}
+
+/// Severity tallies over a diagnostic list.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Number of errors.
+    pub errors: usize,
+    /// Number of warnings.
+    pub warnings: usize,
+    /// Number of notes.
+    pub notes: usize,
+}
+
+/// Tally a diagnostic list by severity.
+pub fn count(diags: &[Diagnostic]) -> Counts {
+    let mut c = Counts::default();
+    for d in diags {
+        match d.severity {
+            Severity::Error => c.errors += 1,
+            Severity::Warning => c.warnings += 1,
+            Severity::Note => c.notes += 1,
+        }
+    }
+    c
+}
+
+/// True when any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// One-line summary, e.g. `2 errors, 1 warning, 3 notes`.
+pub fn summary(diags: &[Diagnostic]) -> String {
+    let c = count(diags);
+    let plural =
+        |n: usize, word: &str| -> String { format!("{n} {word}{}", if n == 1 { "" } else { "s" }) };
+    format!(
+        "{}, {}, {}",
+        plural(c.errors, "error"),
+        plural(c.warnings, "warning"),
+        plural(c.notes, "note")
+    )
+}
+
+/// Render every diagnostic as text, one finding per line (help lines
+/// indented beneath), ending with the summary line.
+pub fn render_report(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    out.push_str(&summary(diags));
+    out.push('\n');
+    out
+}
+
+/// Render a diagnostic list as a JSON document.
+pub fn report_to_json(diags: &[Diagnostic]) -> Value {
+    let c = count(diags);
+    let mut counts = Map::new();
+    counts.insert("errors", c.errors);
+    counts.insert("warnings", c.warnings);
+    counts.insert("notes", c.notes);
+    let mut m = Map::new();
+    m.insert(
+        "diagnostics",
+        Value::Array(diags.iter().map(Diagnostic::to_json).collect()),
+    );
+    m.insert("counts", counts);
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_worst_last() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn render_includes_code_location_and_help() {
+        let d = Diagnostic::error("GF0017", Some(Location::Step(4)), "input mid not resident")
+            .with_help("copy it in first");
+        let r = d.render();
+        assert!(r.starts_with("error[GF0017] step 4: input mid not resident"));
+        assert!(r.contains("help: copy it in first"));
+    }
+
+    #[test]
+    fn counting_and_summary() {
+        let diags = vec![
+            Diagnostic::error("GF0001", None, "a"),
+            Diagnostic::warning("GF0101", Some(Location::Unit(0)), "b"),
+            Diagnostic::warning("GF0102", None, "c"),
+            Diagnostic::note("GF0005", Some(Location::Op(OpId(1))), "d"),
+        ];
+        assert!(has_errors(&diags));
+        let c = count(&diags);
+        assert_eq!((c.errors, c.warnings, c.notes), (1, 2, 1));
+        assert_eq!(summary(&diags), "1 error, 2 warnings, 1 note");
+        assert!(render_report(&diags).lines().count() >= 5);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let diags = vec![Diagnostic::error(
+            "GF0010",
+            Some(Location::Data(DataId(3))),
+            "unknown data d3",
+        )];
+        let v = report_to_json(&diags);
+        assert_eq!(v["counts"]["errors"].as_u64(), Some(1));
+        let d = &v["diagnostics"][0];
+        assert_eq!(d["code"], "GF0010");
+        assert_eq!(d["severity"], "error");
+        assert_eq!(d["location"]["kind"], "data");
+        assert_eq!(d["location"]["index"].as_u64(), Some(3));
+        // The document parses back.
+        let text = v.to_string_pretty();
+        assert_eq!(gpuflow_minijson::parse(&text).unwrap(), v);
+    }
+}

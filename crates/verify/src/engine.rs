@@ -1,0 +1,850 @@
+//! The residency-dataflow engine: one forward walk over a plan's step
+//! sequence that simultaneously
+//!
+//! * checks every residency, precedence and capacity invariant the
+//!   framework guarantees (the checks previously duplicated between
+//!   `validate_plan` and `ExecutionPlan::stats` in `gpuflow-core`),
+//! * computes transfer/occupancy statistics ([`PlanStats`]), and
+//! * optionally runs efficiency lints (redundant transfers, free/reload
+//!   thrash, dead copy-outs, Belady-suboptimal evictions).
+//!
+//! The engine is deliberately decoupled from `gpuflow-core`'s plan types:
+//! it consumes a neutral [`PlanView`] (steps plus per-unit input/output
+//! data lists) so that it can live below the scheduler in the crate graph
+//! and be reused by the code generator and the CLI.
+
+use gpuflow_graph::{DataId, DataKind, Graph};
+
+use crate::diag::{Diagnostic, Location};
+
+/// Diagnostic codes emitted by the plan engine.
+pub mod codes {
+    /// A step references a data id outside the graph.
+    pub const UNKNOWN_DATA: &str = "GF0010";
+    /// A launch references a unit index outside the plan.
+    pub const UNKNOWN_UNIT: &str = "GF0011";
+    /// `CopyIn` of data that is not currently valid on the host.
+    pub const COPYIN_NOT_ON_HOST: &str = "GF0012";
+    /// `CopyIn` of data already resident on the device.
+    pub const COPYIN_RESIDENT: &str = "GF0013";
+    /// `CopyOut` of data not resident on the device.
+    pub const COPYOUT_NOT_RESIDENT: &str = "GF0014";
+    /// `Free` of data not resident on the device (double free).
+    pub const FREE_NOT_RESIDENT: &str = "GF0015";
+    /// A unit is launched more than once.
+    pub const DOUBLE_LAUNCH: &str = "GF0016";
+    /// A launch reads data that is not resident (use after free).
+    pub const INPUT_NOT_RESIDENT: &str = "GF0017";
+    /// A launch reads produced data before its producer has run.
+    pub const INPUT_NOT_PRODUCED: &str = "GF0018";
+    /// A launch writes data that is already resident.
+    pub const OUTPUT_RESIDENT: &str = "GF0019";
+    /// Device occupancy exceeds the memory budget.
+    pub const OVER_CAPACITY: &str = "GF0020";
+    /// A unit is never launched.
+    pub const NEVER_LAUNCHED: &str = "GF0021";
+    /// A template output is not on the host when the plan ends.
+    pub const OUTPUT_NOT_DELIVERED: &str = "GF0022";
+    /// Internal occupancy accounting underflowed (engine self-check).
+    pub const ACCOUNTING_UNDERFLOW: &str = "GF0023";
+
+    /// Lint: repeated `CopyIn` of the same data.
+    pub const LINT_REDUNDANT_COPYIN: &str = "GF0101";
+    /// Lint: `Free` immediately undone by `CopyIn` with no launch between.
+    pub const LINT_FREE_THRASH: &str = "GF0102";
+    /// Lint: `CopyOut` whose bytes are never needed on the host.
+    pub const LINT_DEAD_COPYOUT: &str = "GF0103";
+    /// Lint: eviction choice contradicts Belady's rule.
+    pub const LINT_NON_BELADY_EVICTION: &str = "GF0104";
+}
+
+/// One step of a plan, in engine-neutral form (mirrors
+/// `gpuflow_core::Step`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Copy a data structure host→device.
+    CopyIn(DataId),
+    /// Launch offload unit `usize`.
+    Launch(usize),
+    /// Copy a data structure device→host.
+    CopyOut(DataId),
+    /// Release a data structure's device buffer.
+    Free(DataId),
+}
+
+/// The dataflow boundary of one offload unit: its external inputs (data
+/// produced outside the unit, deduplicated, in first-use order) and every
+/// data structure it produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitView {
+    /// Data read from outside the unit.
+    pub inputs: Vec<DataId>,
+    /// Data produced by the unit.
+    pub outputs: Vec<DataId>,
+}
+
+/// A plan as the engine sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanView {
+    /// Unit boundaries, indexed by [`PlanStep::Launch`].
+    pub units: Vec<UnitView>,
+    /// The step sequence.
+    pub steps: Vec<PlanStep>,
+}
+
+/// Static transfer/occupancy statistics of a plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Floats copied host→device.
+    pub floats_in: u64,
+    /// Floats copied device→host.
+    pub floats_out: u64,
+    /// Number of host→device copies.
+    pub copies_in: u64,
+    /// Number of device→host copies.
+    pub copies_out: u64,
+    /// Number of kernel/unit launches.
+    pub launches: u64,
+    /// Peak bytes resident on the device.
+    pub peak_bytes: u64,
+}
+
+impl PlanStats {
+    /// Total floats moved in either direction — the paper's Table 1 metric.
+    pub fn total_floats(&self) -> u64 {
+        self.floats_in + self.floats_out
+    }
+}
+
+/// Everything one engine run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanAnalysis {
+    /// Transfer/occupancy statistics.
+    pub stats: PlanStats,
+    /// All findings, in step order; end-of-plan findings last.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl PlanAnalysis {
+    /// True when any finding is an error (the plan must not execute).
+    pub fn has_errors(&self) -> bool {
+        crate::diag::has_errors(&self.diagnostics)
+    }
+
+    /// The first error in emission order, if any — the one a fail-fast
+    /// validator would have reported.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == crate::diag::Severity::Error)
+    }
+}
+
+/// First element of `sorted` strictly greater than `i`.
+fn next_after(sorted: &[usize], i: usize) -> Option<usize> {
+    sorted.get(sorted.partition_point(|&x| x <= i)).copied()
+}
+
+/// Run the engine: validate `plan` against `g` and a device memory of
+/// `memory_bytes`, computing statistics along the way. With `lints` set,
+/// efficiency findings (codes `GF01xx`, all warnings) are also emitted.
+///
+/// Invariants checked (all errors):
+///
+/// * every step references existing data / units;
+/// * `CopyIn` moves only host-valid, non-resident data;
+/// * launches read only resident, already-produced data and write only
+///   non-resident data; each unit launches exactly once;
+/// * `CopyOut`/`Free` touch only resident data;
+/// * occupancy never exceeds `memory_bytes` (reported once, at the first
+///   violation — the running maximum is `stats.peak_bytes`);
+/// * every template output is host-valid when the plan ends.
+pub fn analyze_plan(g: &Graph, plan: &PlanView, memory_bytes: u64, lints: bool) -> PlanAnalysis {
+    let nd = g.num_data();
+    let nu = plan.units.len();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    // Lint precomputation: for every data structure, the (sorted) step
+    // indices of the launches that read it and of its CopyIns.
+    let mut uses: Vec<Vec<usize>> = vec![Vec::new(); if lints { nd } else { 0 }];
+    let mut copyins: Vec<Vec<usize>> = vec![Vec::new(); if lints { nd } else { 0 }];
+    if lints {
+        for (i, step) in plan.steps.iter().enumerate() {
+            match *step {
+                PlanStep::Launch(u) if u < nu => {
+                    for &d in &plan.units[u].inputs {
+                        if d.index() < nd {
+                            uses[d.index()].push(i);
+                        }
+                    }
+                }
+                PlanStep::CopyIn(d) if d.index() < nd => copyins[d.index()].push(i),
+                _ => {}
+            }
+        }
+    }
+
+    // Residency state for invariant checking.
+    let mut on_gpu = vec![false; nd];
+    let mut on_cpu: Vec<bool> = g
+        .data_ids()
+        .map(|d| g.data(d).kind.starts_on_cpu())
+        .collect();
+    let mut produced = vec![false; nd];
+    let mut launched = vec![false; nu];
+    let mut used = 0u64;
+    let mut capacity_reported = false;
+
+    // Statistics state. Kept separate from the boolean residency so the
+    // numbers reproduce the historical `ExecutionPlan::stats` semantics
+    // bit-for-bit, even on invalid plans.
+    let mut stats = PlanStats::default();
+    let mut resident_bytes: std::collections::HashMap<DataId, u64> =
+        std::collections::HashMap::new();
+    let mut cur = 0u64;
+
+    // Lint state.
+    let mut copyin_seen = vec![0u32; if lints { nd } else { 0 }];
+    let mut last_free: Vec<Option<usize>> = vec![None; if lints { nd } else { 0 }];
+    let mut launches_at_free = vec![0u64; if lints { nd } else { 0 }];
+    let mut launch_counter = 0u64;
+
+    for (i, step) in plan.steps.iter().enumerate() {
+        let at = Some(Location::Step(i));
+        match *step {
+            PlanStep::CopyIn(d) => {
+                if d.index() >= nd {
+                    diags.push(Diagnostic::error(
+                        codes::UNKNOWN_DATA,
+                        at,
+                        format!("unknown data {d}"),
+                    ));
+                    continue;
+                }
+                let desc = g.data(d);
+                let b = desc.bytes();
+                stats.floats_in += desc.len();
+                stats.copies_in += 1;
+                resident_bytes.insert(d, b);
+                cur += b;
+                stats.peak_bytes = stats.peak_bytes.max(cur);
+
+                if !on_cpu[d.index()] {
+                    diags.push(
+                        Diagnostic::error(
+                            codes::COPYIN_NOT_ON_HOST,
+                            at,
+                            format!("CopyIn of {} which is not valid on the host", desc.name),
+                        )
+                        .with_help(
+                            "only inputs, constants, and data previously copied out are host-valid",
+                        ),
+                    );
+                }
+                if on_gpu[d.index()] {
+                    diags.push(Diagnostic::error(
+                        codes::COPYIN_RESIDENT,
+                        at,
+                        format!("{} already on device", desc.name),
+                    ));
+                }
+                if lints {
+                    if copyin_seen[d.index()] >= 1 {
+                        let first = copyins[d.index()].first().copied().unwrap_or(0);
+                        diags.push(
+                            Diagnostic::warning(
+                                codes::LINT_REDUNDANT_COPYIN,
+                                at,
+                                format!(
+                                    "repeated CopyIn of {}: the same bytes were already transferred at step {first}",
+                                    desc.name
+                                ),
+                            )
+                            .with_help("host data never changes during a plan; retaining residency would save the transfer (re-fetching can still be the right call under memory pressure)"),
+                        );
+                    }
+                    if let Some(j) = last_free[d.index()] {
+                        if launches_at_free[d.index()] == launch_counter {
+                            diags.push(
+                                Diagnostic::warning(
+                                    codes::LINT_FREE_THRASH,
+                                    at,
+                                    format!(
+                                        "{} was freed at step {j} and copied back in with no launch in between",
+                                        desc.name
+                                    ),
+                                )
+                                .with_help("the free released memory nothing needed; drop both steps and keep the buffer resident"),
+                            );
+                        }
+                    }
+                    copyin_seen[d.index()] += 1;
+                }
+                if !on_gpu[d.index()] {
+                    on_gpu[d.index()] = true;
+                    used += b;
+                }
+            }
+            PlanStep::CopyOut(d) => {
+                if d.index() >= nd {
+                    diags.push(Diagnostic::error(
+                        codes::UNKNOWN_DATA,
+                        at,
+                        format!("unknown data {d}"),
+                    ));
+                    continue;
+                }
+                let desc = g.data(d);
+                stats.floats_out += desc.len();
+                stats.copies_out += 1;
+                if !on_gpu[d.index()] {
+                    diags.push(Diagnostic::error(
+                        codes::COPYOUT_NOT_RESIDENT,
+                        at,
+                        format!("CopyOut of non-resident {}", desc.name),
+                    ));
+                }
+                if lints
+                    && desc.kind != DataKind::Output
+                    && next_after(&copyins[d.index()], i).is_none()
+                {
+                    diags.push(
+                        Diagnostic::warning(
+                            codes::LINT_DEAD_COPYOUT,
+                            at,
+                            format!(
+                                "CopyOut of {} is dead: it is not a template output and is never copied back in",
+                                desc.name
+                            ),
+                        )
+                        .with_help("the transferred bytes are never consumed on the host; drop the CopyOut"),
+                    );
+                }
+                on_cpu[d.index()] = true;
+            }
+            PlanStep::Free(d) => {
+                if d.index() >= nd {
+                    diags.push(Diagnostic::error(
+                        codes::UNKNOWN_DATA,
+                        at,
+                        format!("unknown data {d}"),
+                    ));
+                    continue;
+                }
+                let desc = g.data(d);
+                if let Some(b) = resident_bytes.remove(&d) {
+                    cur -= b;
+                }
+                if !on_gpu[d.index()] {
+                    diags.push(
+                        Diagnostic::error(
+                            codes::FREE_NOT_RESIDENT,
+                            at,
+                            format!("Free of non-resident {}", desc.name),
+                        )
+                        .with_help("double free, or free before the data ever reached the device"),
+                    );
+                    continue;
+                }
+                if lints {
+                    lint_eviction_choice(g, plan, &uses, &on_gpu, d, i, &mut diags);
+                    last_free[d.index()] = Some(i);
+                    launches_at_free[d.index()] = launch_counter;
+                }
+                on_gpu[d.index()] = false;
+                match used.checked_sub(desc.bytes()) {
+                    Some(rest) => used = rest,
+                    None => {
+                        diags.push(Diagnostic::error(
+                            codes::ACCOUNTING_UNDERFLOW,
+                            at,
+                            format!(
+                                "occupancy accounting underflowed freeing {} ({} B tracked, {} B freed)",
+                                desc.name,
+                                used,
+                                desc.bytes()
+                            ),
+                        ));
+                        used = 0;
+                    }
+                }
+            }
+            PlanStep::Launch(u) => {
+                if u >= nu {
+                    diags.push(Diagnostic::error(
+                        codes::UNKNOWN_UNIT,
+                        at,
+                        format!("unknown unit {u}"),
+                    ));
+                    continue;
+                }
+                let unit = &plan.units[u];
+                stats.launches += 1;
+                for &d in &unit.outputs {
+                    if d.index() < nd {
+                        let b = g.data(d).bytes();
+                        if resident_bytes.insert(d, b).is_none() {
+                            cur += b;
+                        }
+                    }
+                }
+                stats.peak_bytes = stats.peak_bytes.max(cur);
+                launch_counter += 1;
+
+                if launched[u] {
+                    diags.push(Diagnostic::error(
+                        codes::DOUBLE_LAUNCH,
+                        at,
+                        format!("unit {u} launched twice"),
+                    ));
+                    continue;
+                }
+                launched[u] = true;
+                for &d in &unit.inputs {
+                    if d.index() >= nd {
+                        diags.push(Diagnostic::error(
+                            codes::UNKNOWN_DATA,
+                            at,
+                            format!("unknown data {d}"),
+                        ));
+                        continue;
+                    }
+                    if !on_gpu[d.index()] {
+                        diags.push(
+                            Diagnostic::error(
+                                codes::INPUT_NOT_RESIDENT,
+                                at,
+                                format!("unit {u} input {} not resident", g.data(d).name),
+                            )
+                            .with_help("the buffer was freed (or never transferred) before this launch read it"),
+                        );
+                    } else if g.producer(d).is_some() && !produced[d.index()] {
+                        diags.push(Diagnostic::error(
+                            codes::INPUT_NOT_PRODUCED,
+                            at,
+                            format!("unit {u} input {} not yet produced", g.data(d).name),
+                        ));
+                    }
+                }
+                for &d in &unit.outputs {
+                    if d.index() >= nd {
+                        diags.push(Diagnostic::error(
+                            codes::UNKNOWN_DATA,
+                            at,
+                            format!("unknown data {d}"),
+                        ));
+                        continue;
+                    }
+                    if on_gpu[d.index()] {
+                        diags.push(Diagnostic::error(
+                            codes::OUTPUT_RESIDENT,
+                            at,
+                            format!("output {} already resident", g.data(d).name),
+                        ));
+                    } else {
+                        on_gpu[d.index()] = true;
+                        used += g.data(d).bytes();
+                    }
+                    produced[d.index()] = true;
+                }
+            }
+        }
+        if used > memory_bytes && !capacity_reported {
+            diags.push(
+                Diagnostic::error(
+                    codes::OVER_CAPACITY,
+                    at,
+                    format!("device occupancy {used} B exceeds {memory_bytes} B"),
+                )
+                .with_help(
+                    "insert frees earlier, split operators further, or plan for a larger device",
+                ),
+            );
+            capacity_reported = true;
+        }
+    }
+
+    for (u, &l) in launched.iter().enumerate() {
+        if !l {
+            diags.push(Diagnostic::error(
+                codes::NEVER_LAUNCHED,
+                Some(Location::Unit(u)),
+                format!("unit {u} never launched"),
+            ));
+        }
+    }
+    for d in g.data_ids() {
+        if g.data(d).kind == DataKind::Output && !on_cpu[d.index()] {
+            diags.push(
+                Diagnostic::error(
+                    codes::OUTPUT_NOT_DELIVERED,
+                    Some(Location::Data(d)),
+                    format!("output {} not on the host at plan end", g.data(d).name),
+                )
+                .with_help("every template output must be copied out before the plan ends"),
+            );
+        }
+    }
+
+    PlanAnalysis {
+        stats,
+        diagnostics: diags,
+    }
+}
+
+/// Belady lint: freeing `d` at step `i` is suboptimal when `d` is needed
+/// again while some other resident structure's next use is farther away
+/// (or never) — evicting that one instead would have saved a reload.
+fn lint_eviction_choice(
+    g: &Graph,
+    _plan: &PlanView,
+    uses: &[Vec<usize>],
+    on_gpu: &[bool],
+    d: DataId,
+    i: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(t1) = next_after(&uses[d.index()], i) else {
+        return;
+    };
+    for e in 0..on_gpu.len() {
+        if e == d.index() || !on_gpu[e] {
+            continue;
+        }
+        let t2 = next_after(&uses[e], i);
+        if t2.is_none_or(|t2| t2 > t1) {
+            let when = match t2 {
+                Some(t2) => format!("not needed until step {t2}"),
+                None => "never needed again".to_string(),
+            };
+            diags.push(
+                Diagnostic::warning(
+                    codes::LINT_NON_BELADY_EVICTION,
+                    Some(Location::Step(i)),
+                    format!(
+                        "freeing {} is suboptimal: it is needed again at step {t1}, while resident {} is {when}",
+                        g.data(d).name,
+                        g.data(DataId(e as u32)).name
+                    ),
+                )
+                .with_help("Belady's rule evicts the resident structure whose next use is farthest in the future"),
+            );
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use gpuflow_graph::OpKind;
+
+    /// in -> t0 -> mid -> t1 -> out, all 8x8 (256 B each).
+    fn chain2() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add("in", 8, 8, DataKind::Input);
+        let m = g.add("mid", 8, 8, DataKind::Temporary);
+        let o = g.add("out", 8, 8, DataKind::Output);
+        g.add_op("t0", OpKind::Tanh, vec![a], m).unwrap();
+        g.add_op("t1", OpKind::Tanh, vec![m], o).unwrap();
+        g
+    }
+
+    fn units2() -> Vec<UnitView> {
+        vec![
+            UnitView {
+                inputs: vec![DataId(0)],
+                outputs: vec![DataId(1)],
+            },
+            UnitView {
+                inputs: vec![DataId(1)],
+                outputs: vec![DataId(2)],
+            },
+        ]
+    }
+
+    fn good_plan() -> PlanView {
+        PlanView {
+            units: units2(),
+            steps: vec![
+                PlanStep::CopyIn(DataId(0)),
+                PlanStep::Launch(0),
+                PlanStep::Free(DataId(0)),
+                PlanStep::Launch(1),
+                PlanStep::Free(DataId(1)),
+                PlanStep::CopyOut(DataId(2)),
+                PlanStep::Free(DataId(2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_plan_no_diagnostics_stats_add_up() {
+        let g = chain2();
+        let a = analyze_plan(&g, &good_plan(), 3 * 256, true);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(a.stats.floats_in, 64);
+        assert_eq!(a.stats.floats_out, 64);
+        assert_eq!(a.stats.copies_in, 1);
+        assert_eq!(a.stats.copies_out, 1);
+        assert_eq!(a.stats.launches, 2);
+        assert_eq!(a.stats.peak_bytes, 2 * 256);
+        assert_eq!(a.stats.total_floats(), 128);
+    }
+
+    #[test]
+    fn use_after_free_is_gf0017() {
+        let g = chain2();
+        let mut p = good_plan();
+        // Free `mid` before the launch that reads it.
+        p.steps.swap(3, 4);
+        let a = analyze_plan(&g, &p, u64::MAX, false);
+        let first = a.first_error().unwrap();
+        assert_eq!(first.code, codes::INPUT_NOT_RESIDENT);
+        assert!(first.message.contains("not resident"));
+    }
+
+    #[test]
+    fn capacity_reported_once_at_first_violation() {
+        let g = chain2();
+        let a = analyze_plan(&g, &good_plan(), 256, false);
+        let caps: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::OVER_CAPACITY)
+            .collect();
+        assert_eq!(caps.len(), 1);
+        assert_eq!(caps[0].location, Some(Location::Step(1)));
+        assert!(caps[0].message.contains("occupancy"));
+        // peak is still proven over the whole plan.
+        assert_eq!(a.stats.peak_bytes, 512);
+    }
+
+    #[test]
+    fn double_free_and_unknown_ids() {
+        let g = chain2();
+        let p = PlanView {
+            units: units2(),
+            steps: vec![
+                PlanStep::CopyIn(DataId(0)),
+                PlanStep::Free(DataId(0)),
+                PlanStep::Free(DataId(0)),
+                PlanStep::CopyOut(DataId(9)),
+                PlanStep::Free(DataId(9)),
+                PlanStep::Launch(7),
+            ],
+        };
+        let a = analyze_plan(&g, &p, u64::MAX, false);
+        let codes_seen: Vec<&str> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes_seen.contains(&codes::FREE_NOT_RESIDENT));
+        assert_eq!(
+            codes_seen
+                .iter()
+                .filter(|&&c| c == codes::UNKNOWN_DATA)
+                .count(),
+            2
+        );
+        assert!(codes_seen.contains(&codes::UNKNOWN_UNIT));
+    }
+
+    #[test]
+    fn precedence_and_ordering_errors() {
+        let g = chain2();
+        // Launch unit 1 before unit 0 produced `mid`.
+        let p = PlanView {
+            units: units2(),
+            steps: vec![PlanStep::CopyIn(DataId(0)), PlanStep::Launch(1)],
+        };
+        let a = analyze_plan(&g, &p, u64::MAX, false);
+        assert_eq!(a.first_error().unwrap().code, codes::INPUT_NOT_RESIDENT);
+
+        // Resident but not yet produced: copy the temporary in by force.
+        let p2 = PlanView {
+            units: units2(),
+            steps: vec![
+                PlanStep::CopyIn(DataId(0)),
+                PlanStep::Launch(0),
+                PlanStep::Launch(1),
+                PlanStep::Launch(1),
+            ],
+        };
+        let a2 = analyze_plan(&g, &p2, u64::MAX, false);
+        assert!(a2
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::DOUBLE_LAUNCH));
+    }
+
+    #[test]
+    fn end_state_errors() {
+        let g = chain2();
+        let p = PlanView {
+            units: units2(),
+            steps: vec![PlanStep::CopyIn(DataId(0)), PlanStep::Launch(0)],
+        };
+        let a = analyze_plan(&g, &p, u64::MAX, false);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::NEVER_LAUNCHED && d.location == Some(Location::Unit(1))));
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::OUTPUT_NOT_DELIVERED && d.message.contains("out")));
+    }
+
+    #[test]
+    fn copyin_of_unproduced_temporary() {
+        let g = chain2();
+        let p = PlanView {
+            units: units2(),
+            steps: vec![PlanStep::CopyIn(DataId(1))],
+        };
+        let a = analyze_plan(&g, &p, u64::MAX, false);
+        assert_eq!(a.first_error().unwrap().code, codes::COPYIN_NOT_ON_HOST);
+        assert!(a
+            .first_error()
+            .unwrap()
+            .message
+            .contains("not valid on the host"));
+    }
+
+    #[test]
+    fn thrash_and_redundant_copyin_lints() {
+        let g = chain2();
+        let p = PlanView {
+            units: units2(),
+            steps: vec![
+                PlanStep::CopyIn(DataId(0)),
+                PlanStep::Free(DataId(0)),
+                PlanStep::CopyIn(DataId(0)), // thrash: no launch in between
+                PlanStep::Launch(0),
+                PlanStep::Free(DataId(0)),
+                PlanStep::Launch(1),
+                PlanStep::Free(DataId(1)),
+                PlanStep::CopyOut(DataId(2)),
+                PlanStep::Free(DataId(2)),
+            ],
+        };
+        let a = analyze_plan(&g, &p, u64::MAX, true);
+        assert!(!a.has_errors(), "{:?}", a.diagnostics);
+        let codes_seen: Vec<&str> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes_seen.contains(&codes::LINT_FREE_THRASH));
+        assert!(codes_seen.contains(&codes::LINT_REDUNDANT_COPYIN));
+        // Lints stay silent when disabled.
+        let quiet = analyze_plan(&g, &p, u64::MAX, false);
+        assert!(quiet.diagnostics.is_empty(), "{:?}", quiet.diagnostics);
+    }
+
+    #[test]
+    fn dead_copyout_lint() {
+        let g = chain2();
+        let mut p = good_plan();
+        // Copy the temporary out even though nothing ever needs it again.
+        p.steps.insert(2, PlanStep::CopyOut(DataId(1)));
+        let a = analyze_plan(&g, &p, u64::MAX, true);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::LINT_DEAD_COPYOUT && d.message.contains("mid")));
+        // A spill (copy-out followed by a later copy-in) is not dead.
+        let spill = PlanView {
+            units: units2(),
+            steps: vec![
+                PlanStep::CopyIn(DataId(0)),
+                PlanStep::Launch(0),
+                PlanStep::CopyOut(DataId(1)),
+                PlanStep::Free(DataId(1)),
+                PlanStep::Launch(1), // reads freed mid -> error, but lint-wise:
+                PlanStep::CopyIn(DataId(1)),
+                PlanStep::CopyOut(DataId(2)),
+            ],
+        };
+        let a2 = analyze_plan(&g, &spill, u64::MAX, true);
+        assert!(!a2
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::LINT_DEAD_COPYOUT));
+    }
+
+    #[test]
+    fn belady_lint_flags_evicting_sooner_needed_data() {
+        // Two inputs feeding one op each; free the one needed sooner while
+        // the one needed later stays resident.
+        let mut g = Graph::new();
+        let a = g.add("a", 8, 8, DataKind::Input);
+        let b = g.add("b", 8, 8, DataKind::Input);
+        let oa = g.add("oa", 8, 8, DataKind::Output);
+        let ob = g.add("ob", 8, 8, DataKind::Output);
+        g.add_op("ta", OpKind::Tanh, vec![a], oa).unwrap();
+        g.add_op("tb", OpKind::Tanh, vec![b], ob).unwrap();
+        let units = vec![
+            UnitView {
+                inputs: vec![a],
+                outputs: vec![oa],
+            },
+            UnitView {
+                inputs: vec![b],
+                outputs: vec![ob],
+            },
+        ];
+        let p = PlanView {
+            units,
+            steps: vec![
+                PlanStep::CopyIn(a),
+                PlanStep::CopyIn(b),
+                PlanStep::Free(a), // a is needed at step 4, b only at step 6
+                PlanStep::CopyIn(a),
+                PlanStep::Launch(0),
+                PlanStep::CopyOut(oa),
+                PlanStep::Launch(1),
+                PlanStep::CopyOut(ob),
+            ],
+        };
+        let an = analyze_plan(&g, &p, u64::MAX, true);
+        let belady: Vec<_> = an
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::LINT_NON_BELADY_EVICTION)
+            .collect();
+        assert_eq!(belady.len(), 1);
+        assert!(
+            belady[0].message.contains("freeing a"),
+            "{}",
+            belady[0].message
+        );
+        assert!(belady[0].message.contains('b'), "{}", belady[0].message);
+    }
+
+    #[test]
+    fn stats_match_legacy_quirks_on_weird_plans() {
+        // Historical stats counted a repeated CopyIn's bytes twice in the
+        // running occupancy (insert + unconditional add); the engine must
+        // reproduce that number exactly for behavioural parity.
+        let g = chain2();
+        let p = PlanView {
+            units: units2(),
+            steps: vec![
+                PlanStep::CopyIn(DataId(0)),
+                PlanStep::CopyIn(DataId(0)),
+                PlanStep::Free(DataId(0)),
+            ],
+        };
+        let a = analyze_plan(&g, &p, u64::MAX, false);
+        assert_eq!(a.stats.copies_in, 2);
+        assert_eq!(a.stats.peak_bytes, 512); // 2 * 256, the historical double count
+        assert!(a.has_errors()); // the plan is of course invalid
+    }
+
+    #[test]
+    fn severity_partition() {
+        let g = chain2();
+        let a = analyze_plan(&g, &good_plan(), 3 * 256, true);
+        assert!(a.first_error().is_none());
+        assert!(!a.has_errors());
+        let bad = analyze_plan(&g, &good_plan(), 1, false);
+        assert!(bad.has_errors());
+        assert_eq!(bad.first_error().unwrap().severity, Severity::Error);
+    }
+}

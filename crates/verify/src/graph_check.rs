@@ -1,0 +1,378 @@
+//! Graph-level analysis passes.
+//!
+//! These run before any plan exists: structural validity (cycles, shapes),
+//! reachability (operators and data that cannot affect a template output),
+//! capacity feasibility (per-operator footprints against the device), and
+//! halo consistency of split convolutions.
+
+use gpuflow_graph::{infer_output_shape, topo_sort, DataKind, Graph, OpKind, Shape};
+
+use crate::diag::{Diagnostic, Location};
+
+/// Diagnostic codes emitted by the graph passes.
+pub mod codes {
+    /// The graph contains a dependency cycle.
+    pub const CYCLE: &str = "GF0001";
+    /// An operator's arity or output shape disagrees with its inference rule.
+    pub const SHAPE: &str = "GF0002";
+    /// An operator cannot influence any template output.
+    pub const UNREACHABLE_OP: &str = "GF0003";
+    /// A data structure is never read and is not a template output.
+    pub const DEAD_DATA: &str = "GF0004";
+    /// Per-operator footprint versus device memory.
+    pub const FOOTPRINT: &str = "GF0005";
+    /// A split convolution's input/output views have inconsistent halos.
+    pub const HALO: &str = "GF0006";
+}
+
+/// Run every graph pass over `g`.
+///
+/// `device_memory` enables the footprint pass ([`codes::FOOTPRINT`]): each
+/// operator whose working set exceeds the budget gets a warning (the
+/// splitter must break it up before planning); when everything fits, a
+/// single note records the high-water mark.
+pub fn analyze_graph(g: &Graph, device_memory: Option<u64>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_cycle(g, &mut diags);
+    check_shapes(g, &mut diags);
+    check_reachability(g, &mut diags);
+    check_dead_data(g, &mut diags);
+    if let Some(mem) = device_memory {
+        check_footprints(g, mem, &mut diags);
+    }
+    check_halos(g, &mut diags);
+    diags
+}
+
+fn check_cycle(g: &Graph, diags: &mut Vec<Diagnostic>) {
+    if topo_sort(g).is_err() {
+        diags.push(
+            Diagnostic::error(codes::CYCLE, None, "operator graph contains a dependency cycle")
+                .with_help("templates must be acyclic; check for operators consuming their own (transitive) outputs"),
+        );
+    }
+}
+
+fn check_shapes(g: &Graph, diags: &mut Vec<Diagnostic>) {
+    for o in g.op_ids() {
+        let op = g.op(o);
+        if op.outputs.len() != 1 {
+            diags.push(Diagnostic::error(
+                codes::SHAPE,
+                Some(Location::Op(o)),
+                format!(
+                    "operator '{}' lists {} outputs; library operators produce exactly one",
+                    op.name,
+                    op.outputs.len()
+                ),
+            ));
+            continue;
+        }
+        let in_shapes: Vec<Shape> = op.inputs.iter().map(|&d| g.shape(d)).collect();
+        match infer_output_shape(op.kind, &in_shapes) {
+            Err(e) => diags.push(Diagnostic::error(
+                codes::SHAPE,
+                Some(Location::Op(o)),
+                format!("operator '{}': {e}", op.name),
+            )),
+            Ok(expected) => {
+                let declared = g.shape(op.outputs[0]);
+                if expected != declared {
+                    diags.push(Diagnostic::error(
+                        codes::SHAPE,
+                        Some(Location::Op(o)),
+                        format!(
+                            "operator '{}': inferred output shape {expected} but '{}' declares {declared}",
+                            op.name,
+                            g.data(op.outputs[0]).name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Backward reachability from template outputs: an operator is useful when
+/// its output is a template output or feeds (transitively) into one.
+fn check_reachability(g: &Graph, diags: &mut Vec<Diagnostic>) {
+    let mut data_useful = vec![false; g.num_data()];
+    let mut worklist: Vec<_> = g.outputs();
+    for &d in &worklist {
+        data_useful[d.index()] = true;
+    }
+    while let Some(d) = worklist.pop() {
+        if let Some(o) = g.producer(d) {
+            for &inp in &g.op(o).inputs {
+                if !data_useful[inp.index()] {
+                    data_useful[inp.index()] = true;
+                    worklist.push(inp);
+                }
+            }
+        }
+    }
+    for o in g.op_ids() {
+        let op = g.op(o);
+        let useful = op.outputs.iter().any(|d| data_useful[d.index()]);
+        if !useful {
+            diags.push(
+                Diagnostic::warning(
+                    codes::UNREACHABLE_OP,
+                    Some(Location::Op(o)),
+                    format!("operator '{}' cannot influence any template output", op.name),
+                )
+                .with_help("its results are computed and then discarded; remove it or route its output to a template output"),
+            );
+        }
+    }
+}
+
+fn check_dead_data(g: &Graph, diags: &mut Vec<Diagnostic>) {
+    for d in g.data_ids() {
+        let desc = g.data(d);
+        if desc.kind != DataKind::Output && g.consumers(d).is_empty() {
+            diags.push(
+                Diagnostic::warning(
+                    codes::DEAD_DATA,
+                    Some(Location::Data(d)),
+                    format!("data '{}' ({}) is never read", desc.name, d),
+                )
+                .with_help(
+                    "no operator consumes it and it is not a template output; it can be deleted",
+                ),
+            );
+        }
+    }
+}
+
+fn check_footprints(g: &Graph, memory_bytes: u64, diags: &mut Vec<Diagnostic>) {
+    let mut worst: Option<(u64, String)> = None;
+    for o in g.op_ids() {
+        let op = g.op(o);
+        let b = g.op_footprint_bytes(o);
+        if b > memory_bytes {
+            diags.push(
+                Diagnostic::warning(
+                    codes::FOOTPRINT,
+                    Some(Location::Op(o)),
+                    format!(
+                        "operator '{}' working set is {b} B, exceeding device memory of {memory_bytes} B",
+                        op.name
+                    ),
+                )
+                .with_help("the operator must be split before it can execute on this device"),
+            );
+        }
+        if worst.as_ref().is_none_or(|(w, _)| b > *w) {
+            worst = Some((b, op.name.clone()));
+        }
+    }
+    if let Some((b, name)) = worst {
+        if b <= memory_bytes {
+            diags.push(Diagnostic::note(
+                codes::FOOTPRINT,
+                None,
+                format!(
+                    "largest operator working set is {b} B ('{name}'), within device memory of {memory_bytes} B"
+                ),
+            ));
+        }
+    }
+}
+
+/// Halo consistency of split convolutions: a band computing output rows
+/// `[r, r+n)` must read input rows `[r, r+n+k-1)` of the parent, so the
+/// views' parent offsets coincide and the input view carries exactly
+/// `k - 1` halo rows (and `k - 1` halo columns at full width).
+fn check_halos(g: &Graph, diags: &mut Vec<Diagnostic>) {
+    for o in g.op_ids() {
+        let op = g.op(o);
+        if op.kind != OpKind::Conv2d || op.inputs.len() != 2 || op.outputs.len() != 1 {
+            continue;
+        }
+        let (img, ker, out) = (op.inputs[0], op.inputs[1], op.outputs[0]);
+        let (Some(img_r), Some(out_r)) = (g.data(img).region, g.data(out).region) else {
+            continue;
+        };
+        let k = g.data(ker);
+        let (img_d, out_d) = (g.data(img), g.data(out));
+        if img_d.rows != out_d.rows + k.rows - 1 {
+            diags.push(Diagnostic::error(
+                codes::HALO,
+                Some(Location::Op(o)),
+                format!(
+                    "split convolution '{}': input view has {} rows but output view of {} rows with a {}-row kernel needs {}",
+                    op.name,
+                    img_d.rows,
+                    out_d.rows,
+                    k.rows,
+                    out_d.rows + k.rows - 1
+                ),
+            ));
+        }
+        if img_r.row_off != out_r.row_off {
+            diags.push(
+                Diagnostic::error(
+                    codes::HALO,
+                    Some(Location::Op(o)),
+                    format!(
+                        "split convolution '{}': input view starts at parent row {} but output view starts at parent row {}",
+                        op.name, img_r.row_off, out_r.row_off
+                    ),
+                )
+                .with_help("output rows [r, r+n) of a valid convolution read input rows [r, r+n+k-1); the band offsets must match"),
+            );
+        }
+        if img_d.cols != out_d.cols + k.cols - 1 || img_r.col_off != out_r.col_off {
+            diags.push(Diagnostic::error(
+                codes::HALO,
+                Some(Location::Op(o)),
+                format!(
+                    "split convolution '{}': column extents are inconsistent (input {} cols at offset {}, output {} cols at offset {}, kernel {} cols)",
+                    op.name, img_d.cols, img_r.col_off, out_d.cols, out_r.col_off, k.cols
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{has_errors, Severity};
+    use gpuflow_graph::{DataDesc, DataId, Region};
+
+    /// in -> t0 -> mid -> t1 -> out
+    fn chain2() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add("in", 8, 8, DataKind::Input);
+        let m = g.add("mid", 8, 8, DataKind::Temporary);
+        let o = g.add("out", 8, 8, DataKind::Output);
+        g.add_op("t0", OpKind::Tanh, vec![a], m).unwrap();
+        g.add_op("t1", OpKind::Tanh, vec![m], o).unwrap();
+        g
+    }
+
+    #[test]
+    fn clean_graph_has_no_errors_or_warnings() {
+        let g = chain2();
+        let diags = analyze_graph(&g, None);
+        assert!(diags.is_empty(), "{diags:?}");
+        // With a device budget, the footprint note appears and nothing else.
+        let diags = analyze_graph(&g, Some(1 << 20));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::FOOTPRINT);
+        assert_eq!(diags[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn oversized_op_warns() {
+        let g = chain2();
+        // Each tanh touches 2 * 64 floats = 512 B.
+        let diags = analyze_graph(&g, Some(100));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::FOOTPRINT && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn unreachable_op_and_dead_data_warn() {
+        let mut g = chain2();
+        let dead_in = g.add("spare", 4, 4, DataKind::Input);
+        let sink = g.add("sink", 4, 4, DataKind::Temporary);
+        g.add_op("loose", OpKind::Tanh, vec![dead_in], sink)
+            .unwrap();
+        let diags = analyze_graph(&g, None);
+        assert!(diags.iter().any(|d| d.code == codes::UNREACHABLE_OP));
+        // `sink` is never read.
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::DEAD_DATA && d.message.contains("sink")));
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        // Build a bad graph by hand: Graph::add_op validates shapes, so
+        // tamper with the descriptor afterwards (as a buggy splitter might).
+        let mut g = chain2();
+        g.data_mut(DataId(1)).rows = 5;
+        let diags = analyze_graph(&g, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::SHAPE && d.severity == Severity::Error));
+    }
+
+    fn split_conv_graph() -> Graph {
+        let mut g = Graph::new();
+        let img = g.add_data(DataDesc {
+            name: "Img[0..54]".into(),
+            rows: 54,
+            cols: 100,
+            kind: DataKind::Input,
+            region: Some(Region {
+                parent: DataId(0),
+                row_off: 0,
+                col_off: 0,
+            }),
+        });
+        let k = g.add("K", 5, 5, DataKind::Constant);
+        let out = g.add_data(DataDesc {
+            name: "E[0..50]".into(),
+            rows: 50,
+            cols: 96,
+            kind: DataKind::Output,
+            region: Some(Region {
+                parent: DataId(1),
+                row_off: 0,
+                col_off: 0,
+            }),
+        });
+        g.add_op("conv[0]", OpKind::Conv2d, vec![img, k], out)
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn consistent_halo_passes() {
+        let g = split_conv_graph();
+        let diags = analyze_graph(&g, None);
+        assert!(!diags.iter().any(|d| d.code == codes::HALO), "{diags:?}");
+    }
+
+    #[test]
+    fn offset_mismatch_is_flagged() {
+        let mut g = split_conv_graph();
+        g.data_mut(DataId(0)).region = Some(Region {
+            parent: DataId(0),
+            row_off: 2,
+            col_off: 0,
+        });
+        let diags = analyze_graph(&g, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::HALO && d.message.contains("starts at parent row 2")));
+    }
+
+    #[test]
+    fn missing_halo_rows_are_flagged() {
+        let mut g = split_conv_graph();
+        // Shrink the input view: 50-row output with a 5-row kernel needs 54.
+        g.data_mut(DataId(0)).rows = 52;
+        let diags = analyze_graph(&g, None);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == codes::HALO && d.message.contains("needs 54")));
+    }
+
+    #[test]
+    fn unsplit_conv_is_exempt_from_halo_checks() {
+        let mut g = Graph::new();
+        let img = g.add("Img", 54, 100, DataKind::Input);
+        let k = g.add("K", 5, 5, DataKind::Constant);
+        let out = g.add("E", 50, 96, DataKind::Output);
+        g.add_op("conv", OpKind::Conv2d, vec![img, k], out).unwrap();
+        let diags = analyze_graph(&g, None);
+        assert!(!diags.iter().any(|d| d.code == codes::HALO));
+    }
+}

@@ -1,0 +1,38 @@
+//! # gpuflow-verify — static analysis for operator graphs and execution plans
+//!
+//! A diagnostics-grade analyzer in the spirit of the IPDPS'09 framework's
+//! "templates are analyzable" premise: because a domain-specific template
+//! fully describes its dataflow, every plan the framework emits can be
+//! *proven* well-formed before a single byte moves to the device.
+//!
+//! The crate has three layers:
+//!
+//! * [`diag`] — the diagnostic vocabulary: stable `GF####` codes,
+//!   severities, locations, human and JSON rendering.
+//! * [`graph_check`] — whole-graph passes ([`analyze_graph`]): cycle
+//!   detection, shape/arity consistency, reachability, dead data,
+//!   per-operator footprint vs. device memory, and halo consistency for
+//!   split stencil operators.
+//! * [`engine`] — the residency-dataflow engine ([`analyze_plan`]): one
+//!   forward walk that validates a plan (use-after-free, double-free,
+//!   precedence, capacity), computes its transfer statistics
+//!   ([`PlanStats`]), and optionally lints it for efficiency hazards.
+//!
+//! `gpuflow-core` builds its `validate_plan` and `ExecutionPlan::stats`
+//! on the engine, so the checked semantics and the reported numbers can
+//! never drift apart. The `gpuflow check` CLI subcommand exposes the same
+//! analyses to users.
+//!
+//! Diagnostic codes are catalogued in `docs/diagnostics.md` at the
+//! repository root.
+
+pub mod diag;
+pub mod engine;
+pub mod graph_check;
+
+pub use diag::{
+    count, has_errors, render_report, report_to_json, summary, Counts, Diagnostic, Location,
+    Severity,
+};
+pub use engine::{analyze_plan, PlanAnalysis, PlanStats, PlanStep, PlanView, UnitView};
+pub use graph_check::analyze_graph;

@@ -38,7 +38,8 @@ fn main() {
         // Check every output plane bit-for-bit.
         for &out in &cnn.outputs {
             assert_eq!(
-                outcome.outputs[&out], reference[&out],
+                outcome.outputs[&out],
+                reference[&out],
                 "plane {} must match",
                 cnn.graph.data(out).name
             );

@@ -18,8 +18,10 @@ fn main() {
     let device = tesla_c870().with_memory(256 << 10);
     let compiled = Framework::new(device).compile(&template.graph).unwrap();
 
-    let cuda = generate_cuda(&compiled.split.graph, &compiled.plan, "find_edges_256");
-    let json = plan_to_json(&compiled.split.graph, &compiled.plan, "find_edges_256");
+    let cuda = generate_cuda(&compiled.split.graph, &compiled.plan, "find_edges_256")
+        .expect("compiled plans are emittable");
+    let json = plan_to_json(&compiled.split.graph, &compiled.plan, "find_edges_256")
+        .expect("compiled plans are emittable");
 
     let out_dir = std::path::Path::new("target/codegen");
     std::fs::create_dir_all(out_dir).expect("create output dir");

@@ -32,7 +32,9 @@ fn main() {
 
     // 64 MiB device: the max operator (9x input ≈ 144 MB) must split.
     let device = tesla_c870().with_memory(64 << 20);
-    let compiled = Framework::new(device.clone()).compile_adaptive(&template.graph).unwrap();
+    let compiled = Framework::new(device.clone())
+        .compile_adaptive(&template.graph)
+        .unwrap();
     println!(
         "device {} ({} MiB): split into {} bands, {} plan steps",
         device.name,

@@ -27,8 +27,7 @@ fn render(field: &gpuflow::ops::Tensor, height: usize, width: usize) {
                     }
                 }
                 let v = (acc / (br * bc) as f32 / 100.0).clamp(0.0, 1.0);
-                shades[((v * (shades.len() - 1) as f32) as usize).min(shades.len() - 1)]
-                    as char
+                shades[((v * (shades.len() - 1) as f32) as usize).min(shades.len() - 1)] as char
             })
             .collect();
         println!("  {row}");

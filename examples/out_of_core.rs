@@ -26,7 +26,9 @@ fn main() {
     );
     for n in [4000usize, 8000, 16000, 24000, 32000, 40000] {
         let t = find_edges(n, n, 16, 4, CombineOp::Max);
-        let compiled = Framework::new(dev.clone()).compile_adaptive(&t.graph).unwrap();
+        let compiled = Framework::new(dev.clone())
+            .compile_adaptive(&t.graph)
+            .unwrap();
         let out = compiled.run_analytic().unwrap();
         let baseline = match baseline_plan(&t.graph, dev.memory_bytes) {
             Ok(_) => "feasible".to_string(),

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gpuflow::core::{Framework, CompileOptions};
+use gpuflow::core::{CompileOptions, Framework};
 use gpuflow::ops::reference_eval;
 use gpuflow::sim::device::tesla_c870;
 use gpuflow::templates::data::default_bindings;
@@ -27,7 +27,9 @@ fn main() {
     //    operator-splitting pass actually has to work.
     let device = tesla_c870().with_memory(1 << 20);
     let framework = Framework::new(device).with_options(CompileOptions::default());
-    let compiled = framework.compile(&template.graph).expect("template compiles");
+    let compiled = framework
+        .compile(&template.graph)
+        .expect("template compiles");
     println!(
         "compiled: split into {} band(s); plan has {} steps over {} offload units",
         compiled.split.parts,

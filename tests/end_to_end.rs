@@ -79,12 +79,16 @@ fn small_cnn_is_correct_and_beats_baseline() {
     let cnn = small_cnn(60, 80);
     let bindings = default_bindings(&cnn.graph);
     let dev = tesla_c870().with_memory(1 << 20);
-    let compiled = Framework::new(dev.clone()).compile_adaptive(&cnn.graph).unwrap();
+    let compiled = Framework::new(dev.clone())
+        .compile_adaptive(&cnn.graph)
+        .unwrap();
     let out = compiled.run_functional(&bindings).unwrap();
     check_against_reference(&cnn.graph, &out.outputs, &bindings);
 
     let base = baseline_plan(&cnn.graph, dev.memory_bytes).unwrap();
-    let base_out = Executor::new(&cnn.graph, &base, &dev).run_analytic().unwrap();
+    let base_out = Executor::new(&cnn.graph, &base, &dev)
+        .run_analytic()
+        .unwrap();
     assert!(
         out.transfer_floats() * 5 < base_out.transfer_floats(),
         "optimized {} vs baseline {}",
@@ -141,7 +145,10 @@ fn greedy_fusion_is_functionally_correct() {
         partition: PartitionPolicy::GreedyFuse,
         ..CompileOptions::default()
     };
-    let compiled = Framework::new(dev).with_options(opts).compile(&t.graph).unwrap();
+    let compiled = Framework::new(dev)
+        .with_options(opts)
+        .compile(&t.graph)
+        .unwrap();
     // Fusion reduces launch count.
     assert!(compiled.plan.units.len() < t.graph.num_ops());
     let out = compiled.run_functional(&bindings).unwrap();
@@ -160,14 +167,20 @@ fn exact_pb_compilation_end_to_end() {
         memory_margin: 0.1,
         ..CompileOptions::default()
     };
-    let exact = Framework::new(dev.clone()).with_options(opts).compile(&t.graph).unwrap();
+    let exact = Framework::new(dev.clone())
+        .with_options(opts)
+        .compile(&t.graph)
+        .unwrap();
     assert!(exact.exact_optimal);
     let out = exact.run_functional(&bindings).unwrap();
     check_against_reference(&t.graph, &out.outputs, &bindings);
 
     // The heuristic plan must not beat the proven optimum.
     let heur = Framework::new(dev)
-        .with_options(CompileOptions { memory_margin: 0.1, ..CompileOptions::default() })
+        .with_options(CompileOptions {
+            memory_margin: 0.1,
+            ..CompileOptions::default()
+        })
         .compile(&t.graph)
         .unwrap();
     assert!(exact.stats().total_floats() <= heur.stats().total_floats());
@@ -180,7 +193,7 @@ fn codegen_round_trip_for_compiled_template() {
     let compiled = Framework::new(dev).compile_adaptive(&t.graph).unwrap();
     let g = &compiled.split.graph;
 
-    let cuda = generate_cuda(g, &compiled.plan, "edge120");
+    let cuda = generate_cuda(g, &compiled.plan, "edge120").unwrap();
     let stats = compiled.stats();
     assert_eq!(
         cuda.matches("cudaMemcpyHostToDevice").count() as u64,
@@ -192,14 +205,17 @@ fn codegen_round_trip_for_compiled_template() {
     );
     assert_eq!(cuda.matches('{').count(), cuda.matches('}').count());
 
-    let json = plan_to_json(g, &compiled.plan, "edge120");
-    let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let json = plan_to_json(g, &compiled.plan, "edge120").unwrap();
+    let doc = gpuflow_minijson::parse(&json).unwrap();
     assert_eq!(doc["template"], "edge120");
     assert_eq!(
         doc["total_transfer_floats"].as_u64().unwrap(),
         stats.total_floats()
     );
-    assert_eq!(doc["steps"].as_array().unwrap().len(), compiled.plan.steps.len());
+    assert_eq!(
+        doc["steps"].as_array().unwrap().len(),
+        compiled.plan.steps.len()
+    );
 }
 
 #[test]
@@ -236,9 +252,18 @@ fn gemm_chain_splits_by_broadcasting_factors() {
     use gpuflow::templates::gemm::matmul_chain;
     let t = matmul_chain(256, &[128, 96, 64]);
     let mut bindings = HashMap::new();
-    bindings.insert(t.a, Tensor::from_fn(256, 128, |r, c| ((r + 3 * c) % 11) as f32 - 5.0));
-    bindings.insert(t.factors[0], Tensor::from_fn(128, 96, |r, c| ((r * c) % 7) as f32 - 3.0));
-    bindings.insert(t.factors[1], Tensor::from_fn(96, 64, |r, c| ((r + c) % 5) as f32 - 2.0));
+    bindings.insert(
+        t.a,
+        Tensor::from_fn(256, 128, |r, c| ((r + 3 * c) % 11) as f32 - 5.0),
+    );
+    bindings.insert(
+        t.factors[0],
+        Tensor::from_fn(128, 96, |r, c| ((r * c) % 7) as f32 - 3.0),
+    );
+    bindings.insert(
+        t.factors[1],
+        Tensor::from_fn(96, 64, |r, c| ((r + c) % 5) as f32 - 2.0),
+    );
     // Total data ~ 125k floats = 500 KB; 128 KiB forces row-banding.
     let dev = tesla_c870().with_memory(128 << 10);
     let compiled = Framework::new(dev).compile_adaptive(&t.graph).unwrap();
@@ -261,12 +286,16 @@ fn devices_differ_only_in_memory_pressure() {
     // identical plans (they differ only in memory, like the paper's).
     let t = find_edges(500, 500, 16, 4, CombineOp::Max);
     let a = Framework::new(tesla_c870()).compile(&t.graph).unwrap();
-    let b = Framework::new(geforce_8800_gtx()).compile(&t.graph).unwrap();
+    let b = Framework::new(geforce_8800_gtx())
+        .compile(&t.graph)
+        .unwrap();
     assert_eq!(a.stats(), b.stats());
     // On a workload exceeding the smaller card, plans diverge.
     let big = find_edges(7000, 7000, 16, 4, CombineOp::Max);
     let a = Framework::new(tesla_c870()).compile(&big.graph).unwrap();
-    let b = Framework::new(geforce_8800_gtx()).compile(&big.graph).unwrap();
+    let b = Framework::new(geforce_8800_gtx())
+        .compile(&big.graph)
+        .unwrap();
     assert_eq!(a.split.parts, 1, "fits the 1.5 GB card whole");
     assert!(b.split.parts >= 2, "must split on the 768 MB card");
 }

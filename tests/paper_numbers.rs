@@ -27,7 +27,11 @@ fn fig1c_region_boundaries() {
     let total = (t.graph.total_data_floats() * FLOAT_BYTES) as f64;
     let maxf = (t.combine_footprint_floats() * FLOAT_BYTES) as f64;
     let convf = (t.conv_footprint_floats() * FLOAT_BYTES) as f64;
-    assert!((total / img - 10.0).abs() < 0.25, "total/img {}", total / img);
+    assert!(
+        (total / img - 10.0).abs() < 0.25,
+        "total/img {}",
+        total / img
+    );
     assert!((maxf / img - 9.0).abs() < 0.25, "max/img {}", maxf / img);
     assert!((convf / img - 2.0).abs() < 0.1, "conv/img {}", convf / img);
     // Boundaries implied by the ratios.
@@ -67,7 +71,10 @@ fn fig2_transfer_share_band() {
         let out = (n - k + 1) * (n - k + 1);
         let compute = kernel_time(
             &dev,
-            Work { flops: out * k * k * 2, bytes: (n * n + out) * 4 },
+            Work {
+                flops: out * k * k * 2,
+                bytes: (n * n + out) * 4,
+            },
         );
         let xfer = transfer_time(&dev, n * n * 4) + transfer_time(&dev, out * 4);
         xfer / (xfer + compute)
@@ -114,8 +121,14 @@ fn dfs_heuristic_finds_schedule_b() {
 fn fig6_pb_optimum_is_eight() {
     let g = fig3_graph();
     let units = fig3_units(&g);
-    let out =
-        pb_exact_plan(&g, &units, fig3_memory_bytes(), PbExactOptions::default(), None).unwrap();
+    let out = pb_exact_plan(
+        &g,
+        &units,
+        fig3_memory_bytes(),
+        PbExactOptions::default(),
+        None,
+    )
+    .unwrap();
     assert!(out.optimal);
     assert_eq!(floats_to_units(out.transfer_floats), 8.0);
 }
@@ -152,8 +165,7 @@ fn table1_edge_10000_baseline_na() {
         assert!(compiled.split.parts >= 2);
         // Optimized transfers stay within ~2.1x of the lower bound (the
         // paper reports exactly 2x).
-        let ratio = compiled.stats().total_floats() as f64
-            / t.graph.io_lower_bound_floats() as f64;
+        let ratio = compiled.stats().total_floats() as f64 / t.graph.io_lower_bound_floats() as f64;
         assert!(ratio < 2.1, "ratio {ratio}");
     }
 }

@@ -6,7 +6,10 @@ use std::collections::HashMap;
 
 use proptest::prelude::*;
 
-use gpuflow::core::{split_graph, validate_plan, DataOrigin, Executor, Framework, Step};
+use gpuflow::core::{
+    partition_offload_units, pb_exact_plan, split_graph, validate_plan, DataOrigin, Executor,
+    Framework, PartitionPolicy, PbExactOptions, Step,
+};
 use gpuflow::graph::{DataKind, Graph, OpKind, RemapKind, SubsampleKind};
 use gpuflow::ops::{reference_eval, Tensor};
 use gpuflow::pbsat::{Cmp, PbFormula, SolveResult, Var};
@@ -41,7 +44,11 @@ fn random_template(
             0 if shape.0 >= 4 && shape.1 >= 4 => {
                 let (nr, nc) = (shape.0 - 2, shape.1 - 2);
                 for (i, &p) in frontier.clone().iter().enumerate() {
-                    let kind = if last { DataKind::Output } else { DataKind::Temporary };
+                    let kind = if last {
+                        DataKind::Output
+                    } else {
+                        DataKind::Temporary
+                    };
                     let d = g.add(format!("c{l}.{i}"), nr, nc, kind);
                     g.add_op(format!("conv{l}.{i}"), OpKind::Conv2d, vec![p, kernel], d)
                         .unwrap();
@@ -53,11 +60,18 @@ fn random_template(
             1 if shape.0 >= 4 && shape.1 >= 4 => {
                 let (nr, nc) = (shape.0 / 2, shape.1 / 2);
                 for (i, &p) in frontier.clone().iter().enumerate() {
-                    let kind = if last { DataKind::Output } else { DataKind::Temporary };
+                    let kind = if last {
+                        DataKind::Output
+                    } else {
+                        DataKind::Temporary
+                    };
                     let d = g.add(format!("p{l}.{i}"), nr, nc, kind);
                     g.add_op(
                         format!("pool{l}.{i}"),
-                        OpKind::Subsample { factor: 2, kind: SubsampleKind::Max },
+                        OpKind::Subsample {
+                            factor: 2,
+                            kind: SubsampleKind::Max,
+                        },
                         vec![p],
                         d,
                     )
@@ -68,11 +82,17 @@ fn random_template(
             }
             // Merge all planes element-wise, then fan back out via remaps.
             2 if frontier.len() >= 2 => {
-                let kind = if last { DataKind::Output } else { DataKind::Temporary };
+                let kind = if last {
+                    DataKind::Output
+                } else {
+                    DataKind::Temporary
+                };
                 let d = g.add(format!("m{l}"), shape.0, shape.1, kind);
                 g.add_op(
                     format!("merge{l}"),
-                    OpKind::EwMax { arity: frontier.len() as u8 },
+                    OpKind::EwMax {
+                        arity: frontier.len() as u8,
+                    },
                     frontier.clone(),
                     d,
                 )
@@ -82,7 +102,11 @@ fn random_template(
             // Mirror remap per plane (non-row-local split rule).
             3 => {
                 for (i, &p) in frontier.clone().iter().enumerate() {
-                    let kind = if last { DataKind::Output } else { DataKind::Temporary };
+                    let kind = if last {
+                        DataKind::Output
+                    } else {
+                        DataKind::Temporary
+                    };
                     let d = g.add(format!("f{l}.{i}"), shape.0, shape.1, kind);
                     g.add_op(
                         format!("flip{l}.{i}"),
@@ -97,21 +121,20 @@ fn random_template(
             // Tanh per plane, sometimes duplicating a plane.
             _ => {
                 for (i, &p) in frontier.clone().iter().enumerate() {
-                    let kind = if last { DataKind::Output } else { DataKind::Temporary };
+                    let kind = if last {
+                        DataKind::Output
+                    } else {
+                        DataKind::Temporary
+                    };
                     let d = g.add(format!("t{l}.{i}"), shape.0, shape.1, kind);
-                    g.add_op(format!("tanh{l}.{i}"), OpKind::Tanh, vec![p], d).unwrap();
+                    g.add_op(format!("tanh{l}.{i}"), OpKind::Tanh, vec![p], d)
+                        .unwrap();
                     next.push(d);
                 }
                 if !last && next.len() < 3 && rnd() % 2 == 0 {
-                    let extra =
-                        g.add(format!("x{l}"), shape.0, shape.1, DataKind::Temporary);
-                    g.add_op(
-                        format!("dup{l}"),
-                        OpKind::scale(0.5),
-                        vec![next[0]],
-                        extra,
-                    )
-                    .unwrap();
+                    let extra = g.add(format!("x{l}"), shape.0, shape.1, DataKind::Temporary);
+                    g.add_op(format!("dup{l}"), OpKind::scale(0.5), vec![next[0]], extra)
+                        .unwrap();
                     next.push(extra);
                 }
             }
@@ -119,9 +142,14 @@ fn random_template(
         if next.is_empty() {
             // Degenerate choice for the current shape: fall back to tanh.
             for (i, &p) in frontier.clone().iter().enumerate() {
-                let kind = if last { DataKind::Output } else { DataKind::Temporary };
+                let kind = if last {
+                    DataKind::Output
+                } else {
+                    DataKind::Temporary
+                };
                 let d = g.add(format!("t{l}.{i}b"), shape.0, shape.1, kind);
-                g.add_op(format!("tanh{l}.{i}b"), OpKind::Tanh, vec![p], d).unwrap();
+                g.add_op(format!("tanh{l}.{i}b"), OpKind::Tanh, vec![p], d)
+                    .unwrap();
                 next.push(d);
             }
         }
@@ -130,7 +158,9 @@ fn random_template(
     let mut bindings = HashMap::new();
     bindings.insert(
         input,
-        Tensor::from_fn(rows, cols, |r, c| ((r * 37 + c * 11 + seed as usize) % 23) as f32 - 11.0),
+        Tensor::from_fn(rows, cols, |r, c| {
+            ((r * 37 + c * 11 + seed as usize) % 23) as f32 - 11.0
+        }),
     );
     bindings.insert(
         kernel,
@@ -388,5 +418,146 @@ proptest! {
                 prop_assert!(false, "brute force sat={expected}, solver {got:?}");
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Static-analyzer properties: planner outputs are diagnostic-clean, and
+// targeted corruptions are always caught with the expected GF code.
+// ---------------------------------------------------------------------------
+
+use gpuflow::verify::engine::codes;
+use gpuflow::verify::Severity;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The heuristic planning pipeline (split → partition → schedule →
+    /// transfer placement → prefetch hoisting) never emits a plan the
+    /// analyzer flags with an Error, under the same budget it planned for.
+    #[test]
+    fn heuristic_plans_are_error_free(
+        seed in 1u64..10_000,
+        layers in 1usize..5,
+        mem_divisor in 1u64..10,
+    ) {
+        let (g, _) = random_template(seed, layers, 24, 24);
+        let total = g.total_data_floats() * 4;
+        let mem = (total / mem_divisor).max(8 * 1024);
+        let dev = tesla_c870().with_memory(mem);
+        let compiled = match Framework::new(dev).compile_adaptive(&g) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let analysis = compiled.plan.analyze(&compiled.split.graph, mem, true);
+        let errors: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        prop_assert!(errors.is_empty(), "heuristic plan has errors: {errors:?}");
+        // Analyzer verdict matches the legacy validator's.
+        prop_assert!(validate_plan(&compiled.split.graph, &compiled.plan, mem).is_ok());
+    }
+
+    /// The PB-exact planner is held to the same standard.
+    #[test]
+    fn pb_exact_plans_are_error_free(
+        seed in 1u64..10_000,
+        mem_divisor in 1u64..6,
+    ) {
+        let (g, _) = random_template(seed, 2, 16, 16);
+        let budget = (g.total_data_floats() * 4 / mem_divisor).max(8 * 1024);
+        let split = match split_graph(&g, budget) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        let units = partition_offload_units(&split.graph, PartitionPolicy::PerOperator, budget);
+        let out =
+            match pb_exact_plan(&split.graph, &units, budget, PbExactOptions::default(), None) {
+                Ok(o) => o,
+                Err(_) => return Ok(()),
+            };
+        let analysis = out.plan.analyze(&split.graph, budget, true);
+        prop_assert!(
+            !analysis.has_errors(),
+            "pb-exact plan has errors: {:?}",
+            analysis.diagnostics
+        );
+    }
+
+    /// Dropping the first CopyIn from a valid plan always surfaces as a
+    /// residency error: a use-after-free-style read (GF0017), a Free of a
+    /// buffer that never arrived (GF0015), or an undelivered output
+    /// (GF0022).
+    #[test]
+    fn dropped_copyin_is_diagnosed(seed in 1u64..10_000, layers in 1usize..5) {
+        let (g, _) = random_template(seed, layers, 20, 20);
+        let dev = tesla_c870();
+        let compiled = match Framework::new(dev.clone()).compile_adaptive(&g) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let mut plan = compiled.plan.clone();
+        let Some(i) = plan.steps.iter().position(|s| matches!(s, Step::CopyIn(_))) else {
+            return Ok(());
+        };
+        plan.steps.remove(i);
+        let analysis = plan.analyze(&compiled.split.graph, dev.memory_bytes, false);
+        let expected =
+            [codes::INPUT_NOT_RESIDENT, codes::FREE_NOT_RESIDENT, codes::OUTPUT_NOT_DELIVERED];
+        prop_assert!(
+            analysis.diagnostics.iter().any(|d| expected.contains(&d.code)),
+            "dropped CopyIn not caught: {:?}",
+            analysis.diagnostics
+        );
+    }
+
+    /// Hoisting a later Launch to the front of the plan reorders it before
+    /// the transfers and producers it depends on — the analyzer must flag
+    /// a non-resident (GF0017) or not-yet-produced (GF0018) input.
+    #[test]
+    fn fronted_launch_is_diagnosed(seed in 1u64..10_000, layers in 1usize..5) {
+        let (g, _) = random_template(seed, layers, 20, 20);
+        let dev = tesla_c870();
+        let compiled = match Framework::new(dev.clone()).compile_adaptive(&g) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let mut plan = compiled.plan.clone();
+        let Some(i) = plan.steps.iter().rposition(|s| matches!(s, Step::Launch(_))) else {
+            return Ok(());
+        };
+        if i == 0 {
+            return Ok(());
+        }
+        let s = plan.steps.remove(i);
+        plan.steps.insert(0, s);
+        let analysis = plan.analyze(&compiled.split.graph, dev.memory_bytes, false);
+        let expected = [codes::INPUT_NOT_RESIDENT, codes::INPUT_NOT_PRODUCED];
+        prop_assert!(
+            analysis.diagnostics.iter().any(|d| expected.contains(&d.code)),
+            "fronted Launch not caught: {:?}",
+            analysis.diagnostics
+        );
+    }
+
+    /// Shrinking device memory below the plan's high-water mark is proven
+    /// impossible by the capacity pass (GF0020).
+    #[test]
+    fn sub_peak_memory_is_diagnosed(seed in 1u64..10_000, layers in 1usize..5) {
+        let (g, _) = random_template(seed, layers, 20, 20);
+        let compiled = match Framework::new(tesla_c870()).compile_adaptive(&g) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let peak = compiled.stats().peak_bytes;
+        prop_assume!(peak > 0);
+        let analysis = compiled.plan.analyze(&compiled.split.graph, peak - 1, false);
+        prop_assert!(
+            analysis.diagnostics.iter().any(|d| d.code == codes::OVER_CAPACITY),
+            "peak {peak} not flagged at budget {}",
+            peak - 1
+        );
     }
 }

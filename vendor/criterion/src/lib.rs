@@ -1,0 +1,168 @@
+//! Minimal benchmark harness standing in for the subset of the
+//! `criterion` API used by this workspace's benches.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real `criterion` cannot be resolved. The shim keeps the bench
+//! sources compiling and produces honest (if statistically unadorned)
+//! wall-clock numbers: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints the median per-iteration time.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        // Calibration pass: pick an iteration count that makes one sample
+        // take at least ~2 ms, so Instant resolution does not dominate.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            b.iters_per_sample = iters;
+            b.samples.clear();
+            f(&mut b);
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        // Timed samples.
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.samples.clear();
+            f(&mut b);
+            let total: Duration = b.samples.iter().sum();
+            per_iter.push(total.as_secs_f64() / b.iters_per_sample as f64);
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+        println!(
+            "{name:<44} median {} (min {}, max {}, {} samples x {} iters)",
+            format_time(median),
+            format_time(lo),
+            format_time(hi),
+            self.sample_size,
+            b.iters_per_sample,
+        );
+        self
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `f`, running it the calibrated number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Re-export matching `criterion::black_box` call sites (the benches here
+/// use `std::hint::black_box` directly, but keep the name available).
+pub use std::hint::black_box;
+
+/// Declare a benchmark group: a runner function invoking each target with
+/// a configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running each group. The shim ignores criterion CLI flags
+/// except `--bench`, which cargo passes through.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" us"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

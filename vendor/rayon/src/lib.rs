@@ -1,0 +1,98 @@
+//! Sequential shim for the subset of the `rayon` API used in this
+//! workspace.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real `rayon` cannot be resolved. All kernels are deterministic
+//! per-element maps, so running them sequentially preserves results
+//! bit-for-bit; only wall-clock parallelism is lost. Every `par_*` method
+//! returns the corresponding standard-library iterator, so the call sites
+//! compile unchanged against either implementation.
+
+#![warn(missing_docs)]
+
+/// The rayon prelude: traits providing `par_iter`, `par_iter_mut`,
+/// `par_chunks_mut` and `into_par_iter`.
+pub mod prelude {
+    /// Shared-slice "parallel" iteration (sequential here).
+    pub trait ParallelSlice<T> {
+        /// Iterate over the elements of the slice.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// Mutable-slice "parallel" iteration (sequential here).
+    pub trait ParallelSliceMut<T> {
+        /// Iterate mutably over the elements of the slice.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Iterate mutably over non-overlapping chunks of `chunk_size`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// By-value "parallel" iteration (sequential here).
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter;
+        /// Convert into an iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_mut_matches_sequential() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(v, [2, 4, 6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_chunks() {
+        let mut v = [0u32; 6];
+        v.par_chunks_mut(2)
+            .enumerate()
+            .for_each(|(i, c)| c.fill(i as u32));
+        assert_eq!(v, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let squares: Vec<usize> = (0..4usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, [0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn par_iter_zip() {
+        let a = [1, 2, 3];
+        let mut out = [0; 3];
+        out.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(o, &x)| *o = x + 1);
+        assert_eq!(out, [2, 3, 4]);
+    }
+}

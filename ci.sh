@@ -16,6 +16,17 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> examples build and run"
+cargo build --release -q --examples
+for ex in examples/*.rs; do
+    name="$(basename "$ex" .rs)"
+    echo "--- example $name"
+    cargo run --release -q --example "$name" > /dev/null
+done
+
 echo "==> gpuflow check over shipped templates"
 for gfg in assets/*.gfg; do
     echo "--- $gfg"

@@ -13,6 +13,7 @@
 //! | `table2_exec_time`       | Table 2: simulated times and speedups |
 //! | `fig8_scalability`       | Fig. 8: time vs input size, 3 curves |
 //! | `ablation_*`             | design-choice ablations (DESIGN.md §5) |
+//! | `extension_multigpu`     | beyond the paper: makespan vs device count on a shared-bus cluster (docs/multigpu.md) |
 //!
 //! The library half hosts the shared machinery: workload specifications,
 //! compile-and-run helpers with automatic fragmentation-margin escalation,

@@ -100,6 +100,8 @@ pub enum DeviceArg {
     TeslaC870,
     /// NVIDIA GeForce 8800 GTX (768 MB).
     Geforce8800,
+    /// The larger-memory Fermi-class profile (Tesla C2050, 3 GB).
+    Modern,
     /// A C870-like device with a custom memory size in MiB.
     Custom(u64),
 }
@@ -110,6 +112,7 @@ impl DeviceArg {
         match tok {
             "c870" | "tesla" => Ok(DeviceArg::TeslaC870),
             "8800gtx" | "8800" | "geforce" => Ok(DeviceArg::Geforce8800),
+            "modern" | "c2050" => Ok(DeviceArg::Modern),
             other => {
                 if let Some(mib) = other.strip_prefix("custom:") {
                     let m: u64 = mib.parse().map_err(|_| format!("bad memory '{mib}'"))?;
@@ -129,6 +132,7 @@ impl DeviceArg {
         match self {
             DeviceArg::TeslaC870 => gpuflow_sim::device::tesla_c870(),
             DeviceArg::Geforce8800 => gpuflow_sim::device::geforce_8800_gtx(),
+            DeviceArg::Modern => gpuflow_sim::device::modern(),
             DeviceArg::Custom(mib) => gpuflow_sim::device::tesla_c870().with_memory(mib << 20),
         }
     }
@@ -158,6 +162,9 @@ pub enum Command {
         exact: bool,
         /// Print the full step listing.
         render: bool,
+        /// Multi-device cluster spec (`--devices gtx8800x4`); overrides
+        /// `--device` and switches to the sharded multi-GPU pipeline.
+        devices: Option<String>,
     },
     /// `gpuflow run <source> ...`
     Run {
@@ -171,6 +178,10 @@ pub enum Command {
         overlap: bool,
         /// Print an ASCII Gantt chart of the overlapped execution.
         gantt: bool,
+        /// Emit the outcome as machine-readable JSON instead of text.
+        json: bool,
+        /// Multi-device cluster spec.
+        devices: Option<String>,
     },
     /// `gpuflow check <source> ...`
     Check {
@@ -180,6 +191,8 @@ pub enum Command {
         device: DeviceArg,
         /// Emit the diagnostic report as JSON instead of text.
         json: bool,
+        /// Multi-device cluster spec.
+        devices: Option<String>,
     },
     /// `gpuflow emit <source> ...`
     Emit {
@@ -193,6 +206,8 @@ pub enum Command {
         json: Option<String>,
         /// Write Graphviz DOT of the (split) graph here.
         dot: Option<String>,
+        /// Multi-device cluster spec (JSON emission only).
+        devices: Option<String>,
     },
 }
 
@@ -235,8 +250,9 @@ impl Command {
         let mut gantt = false;
         let mut cuda = None;
         let mut json = None;
-        let mut check_json = false;
+        let mut json_switch = false;
         let mut dot = None;
+        let mut devices: Option<String> = None;
 
         let next_value = |it: &mut std::slice::Iter<String>, flag: &str| {
             it.next()
@@ -249,9 +265,16 @@ impl Command {
                 "--margin" => {
                     let v = next_value(&mut it, flag)?;
                     margin = v.parse().map_err(|_| format!("bad margin '{v}'"))?;
+                    // NaN fails `contains` too, so it is rejected here.
                     if !(0.0..1.0).contains(&margin) {
-                        return Err("margin must be in [0, 1)".into());
+                        return Err(format!("margin '{v}' out of range: must be in [0, 1)"));
                     }
+                }
+                "--devices" => {
+                    let v = next_value(&mut it, flag)?;
+                    // Validate eagerly so a typo fails before any planning.
+                    gpuflow_multi::parse_cluster(&v)?;
+                    devices = Some(v);
                 }
                 "--scheduler" => scheduler = parse_scheduler(&next_value(&mut it, flag)?)?,
                 "--eviction" => eviction = parse_eviction(&next_value(&mut it, flag)?)?,
@@ -264,9 +287,9 @@ impl Command {
                     gantt = true;
                 }
                 "--cuda" => cuda = Some(next_value(&mut it, flag)?),
-                // `check --json` is a boolean switch; `emit --json` takes
-                // an output path.
-                "--json" if verb == "check" => check_json = true,
+                // `check --json` / `run --json` are boolean switches;
+                // `emit --json` takes an output path.
+                "--json" if verb == "check" || verb == "run" => json_switch = true,
                 "--json" => json = Some(next_value(&mut it, flag)?),
                 "--dot" => dot = Some(next_value(&mut it, flag)?),
                 other => return Err(format!("unknown flag '{other}'")),
@@ -283,22 +306,34 @@ impl Command {
                 eviction,
                 exact,
                 render,
+                devices,
             }),
-            "run" => Ok(Command::Run {
-                source,
-                device,
-                functional,
-                overlap,
-                gantt,
-            }),
+            "run" => {
+                if functional && devices.is_some() {
+                    return Err("--functional does not support --devices yet".into());
+                }
+                Ok(Command::Run {
+                    source,
+                    device,
+                    functional,
+                    overlap,
+                    gantt,
+                    json: json_switch,
+                    devices,
+                })
+            }
             "check" => Ok(Command::Check {
                 source,
                 device,
-                json: check_json,
+                json: json_switch,
+                devices,
             }),
             "emit" => {
                 if cuda.is_none() && json.is_none() && dot.is_none() {
                     return Err("emit requires --cuda, --json, or --dot".into());
+                }
+                if devices.is_some() && cuda.is_some() {
+                    return Err("--cuda does not support --devices (use --json)".into());
                 }
                 Ok(Command::Emit {
                     source,
@@ -306,6 +341,7 @@ impl Command {
                     cuda,
                     json,
                     dot,
+                    devices,
                 })
             }
             other => Err(format!("unknown subcommand '{other}'")),
@@ -361,6 +397,7 @@ mod tests {
     fn parse_devices() {
         assert_eq!(DeviceArg::parse("c870").unwrap(), DeviceArg::TeslaC870);
         assert_eq!(DeviceArg::parse("8800gtx").unwrap(), DeviceArg::Geforce8800);
+        assert_eq!(DeviceArg::parse("modern").unwrap(), DeviceArg::Modern);
         assert_eq!(
             DeviceArg::parse("custom:256").unwrap(),
             DeviceArg::Custom(256)
@@ -368,6 +405,7 @@ mod tests {
         assert!(DeviceArg::parse("custom:0").is_err());
         assert!(DeviceArg::parse("rtx5090").is_err());
         assert_eq!(DeviceArg::Custom(64).spec().memory_bytes, 64 << 20);
+        assert_eq!(DeviceArg::Modern.spec().memory_bytes, 3072 << 20);
     }
 
     #[test]
@@ -448,5 +486,59 @@ mod tests {
         assert!(Command::parse(&argv("plan fig3 --margin 2.0")).is_err());
         assert!(Command::parse(&argv("plan fig3 --bogus")).is_err());
         assert!(Command::parse(&argv("plan fig3 --device")).is_err());
+    }
+
+    #[test]
+    fn margin_rejects_out_of_range_values() {
+        // The planner de-rates memory by `margin`; anything outside [0, 1)
+        // would make the budget nonpositive or grow it, so reject early.
+        for bad in ["-0.1", "1.0", "1.5", "2.0", "NaN", "inf"] {
+            let err = Command::parse(&argv(&format!("plan fig3 --margin {bad}"))).unwrap_err();
+            assert!(err.contains("must be in [0, 1)"), "{bad}: {err}");
+            assert!(err.contains(bad), "error names the value: {err}");
+        }
+        // Both ends of the accepted range parse.
+        for good in ["0.0", "0.05", "0.999"] {
+            assert!(
+                Command::parse(&argv(&format!("plan fig3 --margin {good}"))).is_ok(),
+                "{good}"
+            );
+        }
+        assert!(Command::parse(&argv("plan fig3 --margin potato")).is_err());
+    }
+
+    #[test]
+    fn parse_cluster_flag() {
+        match Command::parse(&argv("plan fig3 --devices gtx8800x4")).unwrap() {
+            Command::Plan { devices, .. } => assert_eq!(devices.as_deref(), Some("gtx8800x4")),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            Command::parse(&argv("check fig3 --devices c870,modern")).unwrap(),
+            Command::Check {
+                devices: Some(_),
+                ..
+            }
+        ));
+        // Bad cluster specs fail at parse time, before any planning.
+        assert!(Command::parse(&argv("plan fig3 --devices quantum9000")).is_err());
+        assert!(Command::parse(&argv("run fig3 --devices c870x0")).is_err());
+        // Multi-device functional execution is not implemented.
+        assert!(Command::parse(&argv("run fig3 --functional --devices c870x2")).is_err());
+        // Multi-device CUDA emission is refused; JSON is the exchange format.
+        assert!(Command::parse(&argv("emit fig3 --cuda x.cu --devices c870x2")).is_err());
+        assert!(Command::parse(&argv("emit fig3 --json x.json --devices c870x2")).is_ok());
+    }
+
+    #[test]
+    fn run_json_is_a_switch() {
+        assert!(matches!(
+            Command::parse(&argv("run fig3 --json")).unwrap(),
+            Command::Run { json: true, .. }
+        ));
+        assert!(matches!(
+            Command::parse(&argv("run fig3 --overlap")).unwrap(),
+            Command::Run { json: false, .. }
+        ));
     }
 }

@@ -2,14 +2,19 @@
 
 use std::fmt::Write as _;
 
-use gpuflow_codegen::{generate_cuda, plan_to_json};
+use gpuflow_codegen::{compiled_multi_to_json, generate_cuda, plan_to_json};
 use gpuflow_core::{baseline_plan, CompileOptions, Framework, PbExactOptions};
 use gpuflow_graph::{Graph, FLOAT_BYTES};
+use gpuflow_minijson::{Map, Value};
+use gpuflow_multi::{compile_multi, parse_cluster, render_multi_gantt, MultiOutcome};
 use gpuflow_ops::reference_eval;
 use gpuflow_templates::data::default_bindings;
 use gpuflow_templates::{cnn, edge};
 
 use crate::args::{Command, Source};
+
+/// Planner memory margin used by subcommands that take no `--margin` flag.
+const DEFAULT_MARGIN: f64 = 0.05;
 
 /// Build the template graph for a source.
 pub fn load_source(source: &Source) -> Result<Graph, String> {
@@ -29,6 +34,31 @@ pub fn load_source(source: &Source) -> Result<Graph, String> {
         Source::LargeCnn { rows, cols } => Ok(cnn::large_cnn(*rows, *cols).graph),
         Source::Fig3 => Ok(gpuflow_core::examples::fig3_graph()),
     }
+}
+
+/// Machine-readable rendering of a cluster simulation outcome.
+fn multi_outcome_json(cluster: &str, o: &MultiOutcome) -> Value {
+    let mut m = Map::new();
+    m.insert("mode", "multi");
+    m.insert("cluster", cluster);
+    m.insert("devices", o.compute_busy.len());
+    m.insert("serial_time_s", o.serial_time);
+    m.insert("makespan_s", o.makespan);
+    m.insert("speedup", o.speedup());
+    m.insert("bus_h2d_busy_s", o.bus_h2d_busy);
+    m.insert("bus_d2h_busy_s", o.bus_d2h_busy);
+    // Occupancy of the busier bus channel: 1.0 means the shared fabric,
+    // not compute, bounds the makespan.
+    m.insert(
+        "bus_share",
+        o.bus_h2d_busy.max(o.bus_d2h_busy) / o.makespan.max(1e-12),
+    );
+    m.insert("bus_bytes", o.bus_bytes);
+    m.insert(
+        "compute_busy_s",
+        Value::Array(o.compute_busy.iter().map(|&b| Value::from(b)).collect()),
+    );
+    Value::Object(m)
 }
 
 /// Execute a parsed command, returning its printable output.
@@ -77,8 +107,40 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             eviction,
             exact,
             render,
+            devices,
         } => {
             let g = load_source(source)?;
+            if let Some(spec) = devices {
+                let cluster = parse_cluster(spec)?;
+                let c = compile_multi(&g, &cluster, *margin).map_err(|e| e.to_string())?;
+                let a = c.analyze();
+                let _ = writeln!(out, "cluster:          {}", cluster.describe());
+                let _ = writeln!(out, "split factor:     {}", c.sharded.split.parts);
+                let _ = writeln!(
+                    out,
+                    "ops per device:   {:?}",
+                    c.sharded.ops_per_device(cluster.len())
+                );
+                let _ = writeln!(out, "offload units:    {}", c.plan.units.len());
+                let _ = writeln!(out, "plan steps:       {}", c.plan.steps.len());
+                let _ = writeln!(
+                    out,
+                    "bus traffic:      {} MiB over the shared PCIe fabric",
+                    c.plan.bus_bytes(&c.sharded.split.graph) >> 20
+                );
+                for (d, peak) in a.peak_per_device.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "device {d} peak:    {} MiB on {}",
+                        peak >> 20,
+                        cluster.devices[d].name
+                    );
+                }
+                if *render {
+                    let _ = writeln!(out, "\n{}", c.plan.render(&c.sharded.split.graph));
+                }
+                return Ok(out);
+            }
             let dev = device.spec();
             let options = CompileOptions {
                 memory_margin: *margin,
@@ -116,12 +178,52 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             functional,
             overlap,
             gantt,
+            json,
+            devices,
         } => {
             let g = load_source(source)?;
+            if let Some(spec) = devices {
+                let cluster = parse_cluster(spec)?;
+                let c = compile_multi(&g, &cluster, DEFAULT_MARGIN).map_err(|e| e.to_string())?;
+                let (o, events) = c.trace();
+                if *json {
+                    out.push_str(&multi_outcome_json(&cluster.describe(), &o).to_string_pretty());
+                    out.push('\n');
+                } else {
+                    let _ = writeln!(out, "cluster:          {}", cluster.describe());
+                    let _ = writeln!(out, "split factor:     {}", c.sharded.split.parts);
+                    let _ = writeln!(out, "serial time:      {:.4} s", o.serial_time);
+                    let _ = writeln!(
+                        out,
+                        "makespan:         {:.4} s ({:.2}x vs serial)",
+                        o.makespan,
+                        o.speedup()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "shared bus:       {:.4} s H->D, {:.4} s D->H busy; {} MiB moved",
+                        o.bus_h2d_busy,
+                        o.bus_d2h_busy,
+                        o.bus_bytes >> 20
+                    );
+                    let busy: Vec<String> =
+                        o.compute_busy.iter().map(|b| format!("{b:.4}")).collect();
+                    let _ = writeln!(out, "compute busy (s): [{}]", busy.join(", "));
+                    if *gantt {
+                        let _ = writeln!(
+                            out,
+                            "\n{}",
+                            render_multi_gantt(&events, o.makespan, cluster.len(), 80)
+                        );
+                    }
+                }
+                return Ok(out);
+            }
             let dev = device.spec();
             let compiled = Framework::new(dev.clone())
                 .compile_adaptive(&g)
                 .map_err(|e| e.to_string())?;
+            let mut verified = None;
             let result = if *functional {
                 let bindings = default_bindings(&g);
                 let run = compiled
@@ -136,16 +238,41 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                         ));
                     }
                 }
-                let _ = writeln!(
-                    out,
-                    "functional run:   {} outputs verified against the reference ✓",
-                    run.outputs.len()
-                );
+                verified = Some(run.outputs.len());
                 run
             } else {
                 compiled.run_analytic().map_err(|e| e.to_string())?
             };
             let c = result.timeline.counters();
+            let (o, events) =
+                gpuflow_core::overlapped_trace(&compiled.split.graph, &compiled.plan, &dev);
+            if *json {
+                let mut m = Map::new();
+                m.insert("mode", "single");
+                m.insert("device", dev.name.as_str());
+                m.insert("total_time_s", c.total_time());
+                m.insert("transfer_time_s", c.transfer_time);
+                m.insert("transfer_share", c.transfer_share());
+                m.insert("transfer_floats", c.total_transfer_floats());
+                m.insert("transfer_bytes", c.total_transfer_floats() * FLOAT_BYTES);
+                m.insert("kernel_time_s", c.kernel_time);
+                m.insert("kernel_launches", c.kernel_launches);
+                m.insert("peak_device_bytes", result.peak_device_bytes);
+                m.insert("overlapped_makespan_s", o.overlapped_time);
+                m.insert("overlap_speedup", o.speedup());
+                if let Some(n) = verified {
+                    m.insert("outputs_verified", n);
+                }
+                out.push_str(&Value::Object(m).to_string_pretty());
+                out.push('\n');
+                return Ok(out);
+            }
+            if let Some(n) = verified {
+                let _ = writeln!(
+                    out,
+                    "functional run:   {n} outputs verified against the reference ✓"
+                );
+            }
             let _ = writeln!(out, "device:           {}", dev.name);
             let _ = writeln!(out, "simulated time:   {:.4} s", c.total_time());
             let _ = writeln!(
@@ -183,8 +310,6 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 );
             }
             if *overlap {
-                let (o, events) =
-                    gpuflow_core::overlapped_trace(&compiled.split.graph, &compiled.plan, &dev);
                 let _ = writeln!(
                     out,
                     "overlapped:       {:.4} s (async copy engines, {:.2}x vs serial)",
@@ -204,26 +329,56 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             source,
             device,
             json,
+            devices,
         } => {
             let g = load_source(source)?;
-            let dev = device.spec();
-            // Graph passes first; plan passes only when the graph itself
-            // is sound enough to compile.
-            let mut diags = gpuflow_verify::analyze_graph(&g, Some(dev.memory_bytes));
-            let mut plan_info = None;
-            if !gpuflow_verify::has_errors(&diags) {
-                let compiled = Framework::new(dev.clone())
-                    .compile_adaptive(&g)
-                    .map_err(|e| e.to_string())?;
-                let analysis = compiled
-                    .plan
-                    .analyze(&compiled.split.graph, dev.memory_bytes, true);
-                plan_info = Some((
-                    compiled.plan.steps.len(),
-                    compiled.plan.units.len(),
-                    analysis.stats.peak_bytes,
-                ));
-                diags.extend(analysis.diagnostics);
+            let (mut diags, plan_info);
+            if let Some(spec) = devices {
+                let cluster = parse_cluster(spec)?;
+                // The graph-level footprint warning is judged against the
+                // roomiest member; the per-device capacity check below is
+                // what actually enforces each member's memory.
+                let cap = cluster.capacities().into_iter().max().unwrap();
+                diags = gpuflow_verify::analyze_graph(&g, Some(cap));
+                plan_info = if !gpuflow_verify::has_errors(&diags) {
+                    let c =
+                        compile_multi(&g, &cluster, DEFAULT_MARGIN).map_err(|e| e.to_string())?;
+                    let analysis = c.analyze();
+                    let info = (
+                        c.plan.steps.len(),
+                        c.plan.units.len(),
+                        analysis.stats.peak_bytes,
+                        cluster.describe(),
+                    );
+                    diags.extend(analysis.diagnostics);
+                    Some(info)
+                } else {
+                    None
+                };
+            } else {
+                let dev = device.spec();
+                // Graph passes first; plan passes only when the graph
+                // itself is sound enough to compile.
+                diags = gpuflow_verify::analyze_graph(&g, Some(dev.memory_bytes));
+                plan_info = if !gpuflow_verify::has_errors(&diags) {
+                    let compiled = Framework::new(dev.clone())
+                        .compile_adaptive(&g)
+                        .map_err(|e| e.to_string())?;
+                    let analysis =
+                        compiled
+                            .plan
+                            .analyze(&compiled.split.graph, dev.memory_bytes, true);
+                    let info = (
+                        compiled.plan.steps.len(),
+                        compiled.plan.units.len(),
+                        analysis.stats.peak_bytes,
+                        dev.name.clone(),
+                    );
+                    diags.extend(analysis.diagnostics);
+                    Some(info)
+                } else {
+                    None
+                };
             }
             let failed = gpuflow_verify::has_errors(&diags);
             let text = if *json {
@@ -238,11 +393,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     g.num_ops(),
                     g.num_data()
                 );
-                if let Some((steps, units, peak)) = plan_info {
+                if let Some((steps, units, peak, target)) = plan_info {
                     let _ = writeln!(
                         s,
-                        "plan:  {steps} steps over {units} offload units on {} (peak residency {peak} B)",
-                        dev.name
+                        "plan:  {steps} steps over {units} offload units on {target} (peak residency {peak} B)",
                     );
                 }
                 s.push_str(&gpuflow_verify::render_report(&diags));
@@ -261,16 +415,36 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             cuda,
             json,
             dot,
+            devices,
         } => {
             let g = load_source(source)?;
-            let dev = device.spec();
-            let compiled = Framework::new(dev)
-                .compile_adaptive(&g)
-                .map_err(|e| e.to_string())?;
             let name = match source {
                 Source::File(p) => p.clone(),
                 other => format!("{other:?}"),
             };
+            if let Some(spec) = devices {
+                let cluster = parse_cluster(spec)?;
+                let c = compile_multi(&g, &cluster, DEFAULT_MARGIN).map_err(|e| e.to_string())?;
+                if let Some(path) = json {
+                    let doc = compiled_multi_to_json(&c, &name).map_err(|e| e.to_string())?;
+                    std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
+                    let _ = writeln!(
+                        out,
+                        "wrote {path} ({} bytes of multi-device JSON)",
+                        doc.len()
+                    );
+                }
+                if let Some(path) = dot {
+                    let doc = gpuflow_graph::dot::to_dot(&c.sharded.split.graph, &name);
+                    std::fs::write(path, &doc).map_err(|e| format!("write {path}: {e}"))?;
+                    let _ = writeln!(out, "wrote {path} (Graphviz DOT)");
+                }
+                return Ok(out);
+            }
+            let dev = device.spec();
+            let compiled = Framework::new(dev)
+                .compile_adaptive(&g)
+                .map_err(|e| e.to_string())?;
             if let Some(path) = cuda {
                 let src = generate_cuda(&compiled.split.graph, &compiled.plan, &name)
                     .map_err(|e| e.to_string())?;
@@ -403,6 +577,8 @@ mod tests {
             functional: true,
             overlap: false,
             gantt: false,
+            json: false,
+            devices: None,
         })
         .unwrap();
         assert!(out.contains("verified"), "{out}");
@@ -424,6 +600,8 @@ mod tests {
                     functional: true,
                     overlap: true,
                     gantt: false,
+                    json: false,
+                    devices: None,
                 })
                 .unwrap();
                 assert!(out.contains("verified"), "{out}");
@@ -447,6 +625,7 @@ mod tests {
                 source: Source::File(path.display().to_string()),
                 device: DeviceArg::Custom(1),
                 json: false,
+                devices: None,
             })
             .unwrap_or_else(|e| panic!("{name} failed check:\n{e}"));
             assert!(out.contains("0 errors"), "{name}: {out}");
@@ -476,6 +655,7 @@ mod tests {
             source: Source::File(path.display().to_string()),
             device: DeviceArg::Custom(1),
             json: false,
+            devices: None,
         })
         .unwrap();
         assert!(out.contains("GF0004"), "{out}");
@@ -487,5 +667,74 @@ mod tests {
     fn missing_file_is_reported() {
         let err = execute(&parse("info /nonexistent/x.gfg")).unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn plan_with_cluster_reports_per_device_state() {
+        let out = execute(&parse(
+            "plan edge:1200x1200,k=9,o=4 --devices c870x2 --render",
+        ))
+        .unwrap();
+        assert!(out.contains("cluster:          2 x Tesla C870"), "{out}");
+        assert!(out.contains("ops per device:"), "{out}");
+        assert!(out.contains("device 0 peak:"), "{out}");
+        assert!(out.contains("device 1 peak:"), "{out}");
+        assert!(out.contains("bus traffic:"), "{out}");
+    }
+
+    #[test]
+    fn run_with_cluster_reports_makespan_and_gantt() {
+        let out = execute(&parse(
+            "run edge:1200x1200,k=9,o=4 --devices c870x2 --gantt",
+        ))
+        .unwrap();
+        assert!(out.contains("makespan:"), "{out}");
+        assert!(out.contains("shared bus:"), "{out}");
+        assert!(out.contains("GPU0") && out.contains("GPU1"), "{out}");
+    }
+
+    #[test]
+    fn run_json_single_device_is_parseable() {
+        let out = execute(&parse("run edge:512x512,k=9,o=4 --device c870 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&out).unwrap();
+        assert_eq!(doc["mode"].as_str(), Some("single"));
+        assert!(doc["total_time_s"].as_f64().unwrap() > 0.0);
+        assert!(doc["overlapped_makespan_s"].as_f64().unwrap() > 0.0);
+        assert!(doc["transfer_bytes"].as_u64().unwrap() > 0);
+        assert!(doc["transfer_share"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_json_cluster_reports_bus_and_compute() {
+        let out = execute(&parse("run edge:1200x1200,k=9,o=4 --devices c870x4 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&out).unwrap();
+        assert_eq!(doc["mode"].as_str(), Some("multi"));
+        assert_eq!(doc["devices"].as_u64(), Some(4));
+        assert!(doc["makespan_s"].as_f64().unwrap() > 0.0);
+        assert!(doc["bus_bytes"].as_u64().unwrap() > 0);
+        assert_eq!(doc["compute_busy_s"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn check_with_cluster_is_clean_and_names_it() {
+        let out = execute(&parse("check edge:1200x1200,k=9,o=4 --devices gtx8800x4")).unwrap();
+        assert!(out.contains("0 errors"), "{out}");
+        assert!(out.contains("4 x GeForce 8800 GTX"), "{out}");
+    }
+
+    #[test]
+    fn emit_json_with_cluster_writes_device_annotations() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let js = dir.join("multi.json");
+        let cmd = format!(
+            "emit edge:1200x1200,k=9,o=4 --devices c870x2 --json {}",
+            js.display()
+        );
+        let out = execute(&parse(&cmd)).unwrap();
+        assert!(out.contains("multi-device JSON"), "{out}");
+        let doc = gpuflow_minijson::parse(&std::fs::read_to_string(&js).unwrap()).unwrap();
+        assert_eq!(doc["devices"].as_array().unwrap().len(), 2);
+        assert!(doc["bus_bytes"].as_u64().unwrap() > 0);
     }
 }

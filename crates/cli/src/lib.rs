@@ -5,11 +5,13 @@
 //!
 //! ```text
 //! gpuflow info  <source>
-//! gpuflow plan  <source> [--device DEV] [--margin F] [--scheduler S]
-//!                        [--eviction E] [--exact] [--render]
-//! gpuflow run   <source> [--device DEV] [--functional] [--overlap] [--gantt]
-//! gpuflow check <source> [--device DEV] [--json]
-//! gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV]
+//! gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F]
+//!                        [--scheduler S] [--eviction E] [--exact] [--render]
+//! gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional]
+//!                        [--overlap] [--gantt] [--json]
+//! gpuflow check <source> [--device DEV | --devices CLUSTER] [--json]
+//! gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH)
+//!                        [--device DEV | --devices CLUSTER]
 //! ```
 //!
 //! `check` runs the `gpuflow-verify` static analyzer over the template
@@ -25,7 +27,11 @@
 //! * `cnn-small:<rows>x<cols>` / `cnn-large:<rows>x<cols>`
 //! * `fig3` — the paper's Fig. 3/6 example
 //!
-//! `DEV` is `c870` (default), `8800gtx`, or `custom:<MiB>`.
+//! `DEV` is `c870` (default), `8800gtx`, `modern`, or `custom:<MiB>`.
+//! `CLUSTER` shards the template across simulated devices behind one
+//! shared PCIe bus (see `docs/multigpu.md`): a comma list of device names
+//! with optional `xN` counts, e.g. `--devices gtx8800x4` or
+//! `--devices c870x2,modern`.
 
 #![warn(missing_docs)]
 
@@ -45,10 +51,10 @@ pub fn run(argv: &[String]) -> Result<String, String> {
 pub const USAGE: &str = "\
 usage:
   gpuflow info  <source>
-  gpuflow plan  <source> [--device DEV] [--margin F] [--scheduler S] [--eviction E] [--exact] [--render]
-  gpuflow run   <source> [--device DEV] [--functional] [--overlap] [--gantt]
-  gpuflow check <source> [--device DEV] [--json]
-  gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV]
+  gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F] [--scheduler S] [--eviction E] [--exact] [--render]
+  gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional] [--overlap] [--gantt] [--json]
+  gpuflow check <source> [--device DEV | --devices CLUSTER] [--json]
+  gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV | --devices CLUSTER]
 
 sources:
   path/to/template.gfg
@@ -56,7 +62,9 @@ sources:
   cnn-small:<rows>x<cols> | cnn-large:<rows>x<cols>
   fig3
 
-devices:    c870 (default) | 8800gtx | custom:<MiB>
+devices:    c870 (default) | 8800gtx | modern | custom:<MiB>
+clusters:   comma list of device names with optional xN counts, all behind
+            one shared PCIe bus: gtx8800x4 | c870x2,modern (docs/multigpu.md)
 schedulers: dfs (default) | source-dfs | bfs | insertion
 evictions:  belady (default) | latest | lru | fifo
 ";

@@ -56,12 +56,12 @@ pub use dce::{dead_ops, eliminate_dead_ops, DceResult};
 pub use error::FrameworkError;
 pub use executor::{ExecMode, ExecOutcome, Executor};
 pub use framework::{CompileOptions, CompiledTemplate, Framework};
-pub use opschedule::OpScheduler;
+pub use opschedule::{schedule_units, OpScheduler};
 pub use overlap::{overlapped_makespan, overlapped_trace, render_gantt, OverlapOutcome};
 pub use partition::{partition_offload_units, OffloadUnit, PartitionPolicy};
 pub use pbexact::{pb_exact_plan, PbExactOptions, PbExactOutcome};
 pub use plan::{validate_plan, ExecutionPlan, PlanStats, Step};
 pub use prefetch::hoist_prefetches;
 pub use report::compilation_report;
-pub use split::{split_graph, DataOrigin, SplitResult};
+pub use split::{split_graph, split_graph_min_parts, DataOrigin, SplitResult};
 pub use xfer::EvictionPolicy;

@@ -56,6 +56,14 @@ impl OverlapOutcome {
     pub fn copy_busy(&self) -> f64 {
         self.h2d_busy + self.d2h_busy
     }
+
+    /// A makespan lower bound from engine occupancy alone: no schedule can
+    /// finish before its busiest engine has done all its work, so
+    /// `overlapped_time ≥ max(h2d, d2h, compute)` always holds. Property
+    /// tests pin the simulation between this bound and `serial_time`.
+    pub fn busy_lower_bound(&self) -> f64 {
+        self.h2d_busy.max(self.d2h_busy).max(self.compute_busy)
+    }
 }
 
 /// Which engine an event ran on.

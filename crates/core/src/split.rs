@@ -320,12 +320,24 @@ impl<'a> Rewriter<'a> {
 /// paper's §3.2 loop: "Perform steps 1 & 2 until it is feasible to execute
 /// all operators on the GPU."
 pub fn split_graph(g: &Graph, budget_bytes: u64) -> Result<SplitResult, FrameworkError> {
+    split_graph_min_parts(g, budget_bytes, 1)
+}
+
+/// Like [`split_graph`], but never applies a split factor below
+/// `min_parts` (the memory-driven factor still escalates past it when the
+/// budget demands more). Multi-device sharding uses this to force at least
+/// one row-band piece per device even when everything would fit on one.
+pub fn split_graph_min_parts(
+    g: &Graph,
+    budget_bytes: u64,
+    min_parts: usize,
+) -> Result<SplitResult, FrameworkError> {
     g.validate()
         .map_err(|e| FrameworkError::InvalidGraph(e.to_string()))?;
     let order =
         gpuflow_graph::topo_sort(g).map_err(|e| FrameworkError::InvalidGraph(e.to_string()))?;
 
-    let mut parts_global = 1usize;
+    let mut parts_global = min_parts.clamp(1, 255);
     for o in g.op_ids() {
         parts_global = parts_global.max(op_parts_needed(g, o, budget_bytes)?);
     }
@@ -829,6 +841,27 @@ mod tests {
                 assert_eq!(res.graph.data(node.inputs[1]).rows, 32);
             }
         }
+    }
+
+    #[test]
+    fn min_parts_forces_a_split_under_ample_memory() {
+        let g = edge_graph(100, 5);
+        // Ample memory, but four pieces demanded (one per device).
+        let res = split_graph_min_parts(&g, u64::MAX, 4).unwrap();
+        assert_eq!(res.parts, 4);
+        res.graph.validate().unwrap();
+        // Each non-broadcast op appears in (at least) 4 pieces.
+        let c1_pieces = res
+            .graph
+            .op_ids()
+            .filter(|&o| res.graph.op(o).name.starts_with("C1["))
+            .count();
+        assert_eq!(c1_pieces, 4);
+        // A memory-driven factor still wins over a smaller min_parts.
+        let budget = g.op_footprint_bytes(OpId(4)) / 3;
+        let forced = split_graph_min_parts(&g, budget, 2).unwrap();
+        let free = split_graph(&g, budget).unwrap();
+        assert!(forced.parts >= free.parts.max(2));
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! # gpuflow-multi — sharded multi-GPU planning and simulated execution
+//!
+//! Scales the IPDPS'09 single-GPU framework across a simulated cluster of
+//! N devices (possibly heterogeneous) hanging off one host and sharing a
+//! single PCIe fabric:
+//!
+//! * [`cluster`] — cluster descriptions and the `NAMExN` spec parser
+//!   behind the CLI's `--devices` flag;
+//! * [`shard`] — the sharding pass: the single-GPU operator-splitting pass
+//!   carves every operator into at least one row band per device, and each
+//!   piece is assigned the device owning its band;
+//! * [`schedule`] — the multi-device transfer scheduler: one global
+//!   topological unit order, per-device Belady eviction and eager free,
+//!   and explicit **staged** device→host→device inter-device copies;
+//! * [`makespan`] — the shared-bus overlap simulation: per-device compute
+//!   lanes arbitrating FCFS for one bus, which is what bends the
+//!   scalability curve at high device counts;
+//! * [`planner`] — [`compile_multi`], the end-to-end entry point.
+//!
+//! Every plan this crate emits verifies clean under
+//! [`gpuflow_verify::analyze_multi_plan`] (the `GF003x` cross-device
+//! diagnostics); the scheduler re-checks its own output in debug builds.
+
+#![deny(missing_docs)]
+
+pub mod cluster;
+pub mod makespan;
+pub mod planner;
+pub mod schedule;
+pub mod shard;
+
+pub use cluster::{parse_cluster, Cluster};
+pub use makespan::{
+    multi_overlapped_makespan, multi_overlapped_trace, render_multi_gantt, MultiLane,
+    MultiLaneEvent, MultiOutcome,
+};
+pub use planner::{compile_multi, MultiCompiled};
+pub use schedule::{schedule_multi_transfers, MultiPlan, MultiStep, MultiXferOptions};
+pub use shard::{device_for_row, shard_graph, ShardedGraph};

@@ -1,0 +1,231 @@
+//! Shared PCIe bus model for multi-device clusters.
+//!
+//! Every device of a cluster hangs off one host-side PCIe fabric: all
+//! host↔device transfers — including the device→host→device staged copies
+//! that implement inter-device communication — contend for the same bus.
+//! The fabric is full duplex, like PCIe itself: one shared host→device
+//! channel and one shared device→host channel, each serving one transfer
+//! at a time across *all* devices, granted at the earliest time the
+//! channel is free once the transfer's data is ready. This mirrors the
+//! single-GPU dual-DMA-engine overlap model, except that here each
+//! channel is shared by the whole cluster — the contention that bounds
+//! scalability as the device count grows.
+
+/// Static description of the shared host↔device interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusSpec {
+    /// Sustained bandwidth of each direction of the fabric, bytes/second.
+    pub bandwidth: f64,
+    /// Fixed per-transfer cost (DMA setup, driver overhead), seconds.
+    pub latency_s: f64,
+}
+
+impl BusSpec {
+    /// Bus matching one device's PCIe link: the whole cluster shares a
+    /// fabric no faster than its slowest endpoint.
+    pub fn from_device(dev: &crate::DeviceSpec) -> BusSpec {
+        BusSpec {
+            bandwidth: dev.pcie_bw,
+            latency_s: dev.transfer_latency_s,
+        }
+    }
+
+    /// The slowest link among `devices` — the fabric's effective spec.
+    /// Panics if `devices` is empty.
+    pub fn shared_by(devices: &[crate::DeviceSpec]) -> BusSpec {
+        assert!(!devices.is_empty(), "cluster needs at least one device");
+        let slowest = devices
+            .iter()
+            .min_by(|a, b| a.pcie_bw.total_cmp(&b.pcie_bw))
+            .expect("non-empty");
+        let latency = devices
+            .iter()
+            .map(|d| d.transfer_latency_s)
+            .fold(0.0f64, f64::max);
+        BusSpec {
+            bandwidth: slowest.pcie_bw,
+            latency_s: latency,
+        }
+    }
+
+    /// Duration of one transfer of `bytes` over the bus.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Direction of a transfer over the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusDir {
+    /// Host→device (upload).
+    H2d,
+    /// Device→host (download).
+    D2h,
+}
+
+/// Arbiter over one [`BusSpec`]: each direction's channel serves one
+/// transfer at a time (the two directions are independent). A transfer is
+/// granted the *earliest free slot* of its channel at or after its ready
+/// time — a request whose data is ready while the channel idles slips into
+/// the gap instead of queueing behind transfers that were merely issued
+/// earlier. When the channel is saturated there are no gaps and requests
+/// serialize: this is the contention that bounds multi-device scaling.
+#[derive(Debug, Clone)]
+pub struct SharedBus {
+    spec: BusSpec,
+    /// Per channel: scheduled `(start, end)` intervals, sorted by start,
+    /// non-overlapping.
+    granted: [Vec<(f64, f64)>; 2],
+    busy: [f64; 2],
+    bytes: u64,
+}
+
+impl SharedBus {
+    /// A bus that is idle at time zero.
+    pub fn new(spec: BusSpec) -> SharedBus {
+        SharedBus {
+            spec,
+            granted: [Vec::new(), Vec::new()],
+            busy: [0.0; 2],
+            bytes: 0,
+        }
+    }
+
+    /// The bus description this arbiter serializes.
+    pub fn spec(&self) -> &BusSpec {
+        &self.spec
+    }
+
+    /// Grant a transfer of `bytes` in direction `dir` whose data is
+    /// available at time `ready`. Returns the `(start, end)` interval; the
+    /// direction's channel is busy for the whole interval.
+    pub fn acquire(&mut self, dir: BusDir, ready: f64, bytes: u64) -> (f64, f64) {
+        let dur = self.spec.transfer_time(bytes);
+        let ch = dir as usize;
+        let slots = &mut self.granted[ch];
+        // Earliest gap of length `dur` at or after `ready`.
+        let mut start = ready;
+        let mut at = slots.len();
+        for (i, &(s, e)) in slots.iter().enumerate() {
+            if start + dur <= s {
+                at = i;
+                break;
+            }
+            start = start.max(e);
+        }
+        slots.insert(at, (start, start + dur));
+        self.busy[ch] += dur;
+        self.bytes += bytes;
+        (start, start + dur)
+    }
+
+    /// Time the direction's channel has spent transferring.
+    pub fn busy_time(&self, dir: BusDir) -> f64 {
+        self.busy[dir as usize]
+    }
+
+    /// Total transferring time across both channels.
+    pub fn total_busy_time(&self) -> f64 {
+        self.busy[0] + self.busy[1]
+    }
+
+    /// Total bytes moved over the bus (both directions).
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Time the last scheduled transfer in direction `dir` ends (zero on
+    /// an idle channel).
+    pub fn free_at(&self, dir: BusDir) -> f64 {
+        self.granted[dir as usize]
+            .last()
+            .map(|&(_, e)| e)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{geforce_8800_gtx, modern, tesla_c870};
+
+    #[test]
+    fn bus_matches_device_link() {
+        let bus = BusSpec::from_device(&tesla_c870());
+        assert!((bus.transfer_time(1_500_000_000) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn shared_fabric_is_the_slowest_link() {
+        let bus = BusSpec::shared_by(&[modern(), geforce_8800_gtx()]);
+        assert_eq!(bus.bandwidth, geforce_8800_gtx().pcie_bw);
+        // A homogeneous cluster keeps its device's link speed.
+        let homo = BusSpec::shared_by(&[modern(), modern()]);
+        assert_eq!(homo.bandwidth, modern().pcie_bw);
+    }
+
+    #[test]
+    fn arbiter_serializes_and_accounts() {
+        let mut bus = SharedBus::new(BusSpec {
+            bandwidth: 1e9,
+            latency_s: 0.0,
+        });
+        let (s1, e1) = bus.acquire(BusDir::H2d, 0.0, 500_000_000);
+        let (s2, e2) = bus.acquire(BusDir::H2d, 0.0, 500_000_000);
+        assert_eq!(s1, 0.0);
+        assert!((e1 - 0.5).abs() < 1e-12);
+        assert_eq!(s2, e1, "second upload waits for the channel");
+        assert!((e2 - 1.0).abs() < 1e-12);
+        assert!((bus.busy_time(BusDir::H2d) - 1.0).abs() < 1e-12);
+        assert_eq!(bus.bytes_moved(), 1_000_000_000);
+    }
+
+    #[test]
+    fn directions_are_independent_channels() {
+        let mut bus = SharedBus::new(BusSpec {
+            bandwidth: 1e9,
+            latency_s: 0.0,
+        });
+        let (_, up_end) = bus.acquire(BusDir::H2d, 0.0, 1_000_000_000);
+        // A download issued later does not queue behind the upload.
+        let (s, e) = bus.acquire(BusDir::D2h, 0.0, 500_000_000);
+        assert_eq!(s, 0.0, "full duplex: directions do not serialize");
+        assert!(e < up_end);
+        assert!((bus.total_busy_time() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arbiter_respects_data_readiness() {
+        let mut bus = SharedBus::new(BusSpec {
+            bandwidth: 1e9,
+            latency_s: 0.0,
+        });
+        let (s, _) = bus.acquire(BusDir::D2h, 2.0, 1000);
+        assert_eq!(s, 2.0, "transfer cannot start before its data is ready");
+        assert!(bus.free_at(BusDir::D2h) > 2.0);
+        assert_eq!(bus.free_at(BusDir::H2d), 0.0);
+    }
+
+    #[test]
+    fn ready_transfer_backfills_idle_gaps() {
+        let mut bus = SharedBus::new(BusSpec {
+            bandwidth: 1e9,
+            latency_s: 0.0,
+        });
+        // One device trickles uploads late in the timeline...
+        let (s1, _) = bus.acquire(BusDir::H2d, 10.0, 1_000_000_000);
+        assert_eq!(s1, 10.0);
+        // ...another device's upload, requested afterwards but ready at
+        // t=0, uses the idle channel instead of queueing behind it.
+        let (s2, e2) = bus.acquire(BusDir::H2d, 0.0, 1_000_000_000);
+        assert_eq!(s2, 0.0, "no head-of-line blocking on an idle channel");
+        assert!((e2 - 1.0).abs() < 1e-12);
+        // A third transfer that overlaps the gap's tail slots in after it.
+        let (s3, _) = bus.acquire(BusDir::H2d, 0.5, 2_000_000_000);
+        assert!((s3 - 1.0).abs() < 1e-12, "partial gap: waits for the gap");
+        // Saturated channel: no gap left before 10.0 fits a 8s transfer,
+        // so it goes after the late upload.
+        let (s4, _) = bus.acquire(BusDir::H2d, 0.0, 8_000_000_000);
+        assert!((s4 - 11.0).abs() < 1e-12, "{s4}");
+    }
+}

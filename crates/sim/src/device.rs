@@ -87,16 +87,38 @@ pub fn geforce_8800_gtx() -> DeviceSpec {
     base("GeForce 8800 GTX", 768 * MIB)
 }
 
+/// A larger-memory "modern" profile (Fermi-class Tesla C2050: 448 cores
+/// @ 1.15 GHz, 3 GB, 144 GB/s internal, PCIe 2.0 at ~4 GB/s sustained).
+/// Lets scalability sweeps go beyond the two 2009 evaluation cards; the
+/// sustained-efficiency calibration is kept from the 2009 anchor points so
+/// the compute : transfer balance stays comparable across presets.
+pub fn modern() -> DeviceSpec {
+    DeviceSpec {
+        name: "Tesla C2050".to_string(),
+        memory_bytes: 3072 * MIB,
+        cores: 448,
+        clock_ghz: 1.15,
+        internal_bw: 144.0e9,
+        pcie_bw: 4.0e9,
+        transfer_latency_s: 10e-6,
+        launch_overhead_s: 5e-6,
+        flops_efficiency: 0.217,
+        mem_efficiency: 0.0625,
+    }
+}
+
 /// Convenience constant-style accessors used across benches and tests.
 #[allow(non_snake_case)]
 pub mod specs {
-    pub use super::{geforce_8800_gtx, tesla_c870};
+    pub use super::{geforce_8800_gtx, modern, tesla_c870};
 }
 
 /// Tesla C870 descriptor.
 pub static TESLA_C870: once::Lazy<DeviceSpec> = once::Lazy::new(tesla_c870);
 /// GeForce 8800 GTX descriptor.
 pub static GEFORCE_8800_GTX: once::Lazy<DeviceSpec> = once::Lazy::new(geforce_8800_gtx);
+/// Tesla C2050 ("modern" larger-memory profile) descriptor.
+pub static MODERN: once::Lazy<DeviceSpec> = once::Lazy::new(modern);
 
 /// Minimal lazy-init cell (std-only stand-in for `once_cell`).
 pub mod once {
@@ -170,5 +192,14 @@ mod tests {
     fn lazy_statics_resolve() {
         assert_eq!(TESLA_C870.name, "Tesla C870");
         assert_eq!(GEFORCE_8800_GTX.memory_bytes, 768 * MIB);
+        assert_eq!(MODERN.memory_bytes, 3072 * MIB);
+    }
+
+    #[test]
+    fn modern_profile_outclasses_the_2009_cards() {
+        let (m, c) = (modern(), tesla_c870());
+        assert!(m.memory_bytes > c.memory_bytes);
+        assert!(m.peak_flops() > c.peak_flops());
+        assert!(m.pcie_bw > c.pcie_bw);
     }
 }

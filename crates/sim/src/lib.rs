@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod bus;
 pub mod device;
 pub mod timeline;
 pub mod timing;
 
 pub use alloc::{AllocError, Allocation, DeviceAllocator, FitPolicy};
-pub use device::{DeviceSpec, GEFORCE_8800_GTX, TESLA_C870};
+pub use bus::{BusDir, BusSpec, SharedBus};
+pub use device::{DeviceSpec, GEFORCE_8800_GTX, MODERN, TESLA_C870};
 pub use timeline::{Counters, Event, EventKind, Timeline};
 pub use timing::{kernel_time, transfer_time};

@@ -17,6 +17,10 @@
 //!   forward walk that validates a plan (use-after-free, double-free,
 //!   precedence, capacity), computes its transfer statistics
 //!   ([`PlanStats`]), and optionally lints it for efficiency hazards.
+//! * [`multi`] — the same engine generalized to multi-device plans
+//!   ([`analyze_multi_plan`]): per-device residency and capacity, staged
+//!   device→host→device inter-device transfers, and cross-device launch
+//!   placement (`GF003x` codes).
 //!
 //! `gpuflow-core` builds its `validate_plan` and `ExecutionPlan::stats`
 //! on the engine, so the checked semantics and the reported numbers can
@@ -29,6 +33,7 @@
 pub mod diag;
 pub mod engine;
 pub mod graph_check;
+pub mod multi;
 
 pub use diag::{
     count, has_errors, render_report, report_to_json, summary, Counts, Diagnostic, Location,
@@ -36,3 +41,4 @@ pub use diag::{
 };
 pub use engine::{analyze_plan, PlanAnalysis, PlanStats, PlanStep, PlanView, UnitView};
 pub use graph_check::analyze_graph;
+pub use multi::{analyze_multi_plan, MultiPlanAnalysis, MultiPlanStep, MultiPlanView};

@@ -1,0 +1,627 @@
+//! Cross-device plan analysis: the residency-dataflow engine generalized
+//! to a cluster of devices sharing one host.
+//!
+//! A multi-device plan interleaves per-device transfer/launch/free steps
+//! into one global sequence; inter-device communication is *staged* — a
+//! `CopyOut` on the producer's device makes the bytes host-valid, and a
+//! later `CopyIn` on the consumer's device materializes them there. The
+//! analyzer walks the sequence once, tracking residency **per device**
+//! plus host validity, and proves:
+//!
+//! * every launch reads data resident on *its own* device
+//!   ([`codes::INPUT_ON_OTHER_DEVICE`] when the bytes live elsewhere — the
+//!   missing-inter-device-copy / wrong-device-shard case, and
+//!   [`codes::INPUT_ON_NO_DEVICE`] when they live nowhere);
+//! * every `CopyIn` is staged — its bytes are host-valid, i.e. the
+//!   producer's `CopyOut` happened first ([`codes::TRANSFER_NOT_STAGED`]
+//!   catches the transfer race);
+//! * every device's occupancy stays within *its* capacity
+//!   ([`codes::DEVICE_OVER_CAPACITY`]);
+//! * `CopyOut`/`Free` touch data resident on the named device
+//!   ([`codes::NOT_RESIDENT_ON_DEVICE`]);
+//! * the single-device end-state invariants still hold (each unit launches
+//!   exactly once, every template output reaches the host).
+
+use gpuflow_graph::{DataKind, Graph};
+
+use crate::diag::{Diagnostic, Location};
+use crate::engine::{PlanStats, UnitView};
+
+/// Diagnostic codes emitted by the multi-device engine. Single-device
+/// codes (`GF0010`–`GF0023`) are reused where the finding is identical;
+/// the `GF003x` range covers the genuinely cross-device invariants.
+pub mod codes {
+    /// A launch reads data resident on a different device than the one it
+    /// runs on — a shard assigned to the wrong device, or a missing
+    /// device→host→device staged copy.
+    pub const INPUT_ON_OTHER_DEVICE: &str = "GF0030";
+    /// A `CopyIn` of produced data whose bytes were never made host-valid:
+    /// the staging `CopyOut` on the producer's device is missing or comes
+    /// later (a transfer race on the shared bus).
+    pub const TRANSFER_NOT_STAGED: &str = "GF0031";
+    /// A device's occupancy exceeds that device's memory capacity.
+    pub const DEVICE_OVER_CAPACITY: &str = "GF0032";
+    /// `CopyOut`/`Free` names a device where the data is not resident.
+    pub const NOT_RESIDENT_ON_DEVICE: &str = "GF0033";
+    /// A launch reads data that is resident on no device at all.
+    pub const INPUT_ON_NO_DEVICE: &str = "GF0034";
+}
+
+/// One step of a multi-device plan, in engine-neutral form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiPlanStep {
+    /// Copy a data structure host→device `device`.
+    CopyIn {
+        /// Target device index.
+        device: usize,
+        /// The data moved.
+        data: gpuflow_graph::DataId,
+    },
+    /// Copy a data structure device `device`→host.
+    CopyOut {
+        /// Source device index.
+        device: usize,
+        /// The data moved.
+        data: gpuflow_graph::DataId,
+    },
+    /// Release a data structure's buffer on device `device`.
+    Free {
+        /// Device holding the buffer.
+        device: usize,
+        /// The data freed.
+        data: gpuflow_graph::DataId,
+    },
+    /// Launch offload unit `unit` on its assigned device.
+    Launch(usize),
+}
+
+/// A multi-device plan as the engine sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiPlanView {
+    /// Unit boundaries, indexed by [`MultiPlanStep::Launch`].
+    pub units: Vec<UnitView>,
+    /// Device each unit launches on (parallel to `units`).
+    pub unit_device: Vec<usize>,
+    /// The global interleaved step sequence.
+    pub steps: Vec<MultiPlanStep>,
+}
+
+/// Everything one multi-device engine run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiPlanAnalysis {
+    /// Whole-cluster transfer statistics (all devices pooled; every staged
+    /// copy counts on both legs, matching what crosses the shared bus).
+    pub stats: PlanStats,
+    /// Peak bytes resident per device.
+    pub peak_per_device: Vec<u64>,
+    /// All findings, in step order; end-of-plan findings last.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl MultiPlanAnalysis {
+    /// True when any finding is an error (the plan must not execute).
+    pub fn has_errors(&self) -> bool {
+        crate::diag::has_errors(&self.diagnostics)
+    }
+
+    /// The first error in emission order, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == crate::diag::Severity::Error)
+    }
+}
+
+/// Run the multi-device engine: validate `plan` against `g` and the
+/// per-device `capacities` (bytes, indexed by device).
+pub fn analyze_multi_plan(
+    g: &Graph,
+    plan: &MultiPlanView,
+    capacities: &[u64],
+) -> MultiPlanAnalysis {
+    let nd = g.num_data();
+    let nu = plan.units.len();
+    let ndev = capacities.len();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut stats = PlanStats::default();
+
+    // resident[dev][data], used[dev]; host validity is global.
+    let mut resident = vec![vec![false; nd]; ndev];
+    let mut used = vec![0u64; ndev];
+    let mut peak = vec![0u64; ndev];
+    let mut capacity_reported = vec![false; ndev];
+    let mut on_cpu: Vec<bool> = g
+        .data_ids()
+        .map(|d| g.data(d).kind.starts_on_cpu())
+        .collect();
+    let mut produced = vec![false; nd];
+    let mut launched = vec![false; nu];
+
+    let bad_device = |diags: &mut Vec<Diagnostic>, at, dev: usize| {
+        diags.push(Diagnostic::error(
+            crate::engine::codes::UNKNOWN_DATA,
+            at,
+            format!("unknown device {dev} (cluster has {ndev})"),
+        ));
+    };
+
+    for (i, step) in plan.steps.iter().enumerate() {
+        let at = Some(Location::Step(i));
+        match *step {
+            MultiPlanStep::CopyIn { device, data } => {
+                if data.index() >= nd {
+                    diags.push(Diagnostic::error(
+                        crate::engine::codes::UNKNOWN_DATA,
+                        at,
+                        format!("unknown data {data}"),
+                    ));
+                    continue;
+                }
+                if device >= ndev {
+                    bad_device(&mut diags, at, device);
+                    continue;
+                }
+                let desc = g.data(data);
+                stats.floats_in += desc.len();
+                stats.copies_in += 1;
+                if !on_cpu[data.index()] {
+                    diags.push(
+                        Diagnostic::error(
+                            codes::TRANSFER_NOT_STAGED,
+                            at,
+                            format!(
+                                "CopyIn of {} to device {device} before its bytes are host-valid",
+                                desc.name
+                            ),
+                        )
+                        .with_help(
+                            "inter-device movement is staged: the producer device's CopyOut must complete first",
+                        ),
+                    );
+                }
+                if resident[device][data.index()] {
+                    diags.push(Diagnostic::error(
+                        crate::engine::codes::COPYIN_RESIDENT,
+                        at,
+                        format!("{} already on device {device}", desc.name),
+                    ));
+                } else {
+                    resident[device][data.index()] = true;
+                    used[device] += desc.bytes();
+                    peak[device] = peak[device].max(used[device]);
+                }
+            }
+            MultiPlanStep::CopyOut { device, data } => {
+                if data.index() >= nd {
+                    diags.push(Diagnostic::error(
+                        crate::engine::codes::UNKNOWN_DATA,
+                        at,
+                        format!("unknown data {data}"),
+                    ));
+                    continue;
+                }
+                if device >= ndev {
+                    bad_device(&mut diags, at, device);
+                    continue;
+                }
+                let desc = g.data(data);
+                stats.floats_out += desc.len();
+                stats.copies_out += 1;
+                if !resident[device][data.index()] {
+                    diags.push(Diagnostic::error(
+                        codes::NOT_RESIDENT_ON_DEVICE,
+                        at,
+                        format!(
+                            "CopyOut of {} from device {device} where it is not resident",
+                            desc.name
+                        ),
+                    ));
+                }
+                on_cpu[data.index()] = true;
+            }
+            MultiPlanStep::Free { device, data } => {
+                if data.index() >= nd {
+                    diags.push(Diagnostic::error(
+                        crate::engine::codes::UNKNOWN_DATA,
+                        at,
+                        format!("unknown data {data}"),
+                    ));
+                    continue;
+                }
+                if device >= ndev {
+                    bad_device(&mut diags, at, device);
+                    continue;
+                }
+                let desc = g.data(data);
+                if !resident[device][data.index()] {
+                    diags.push(
+                        Diagnostic::error(
+                            codes::NOT_RESIDENT_ON_DEVICE,
+                            at,
+                            format!(
+                                "Free of {} on device {device} where it is not resident",
+                                desc.name
+                            ),
+                        )
+                        .with_help("double free, or free on the wrong device of the cluster"),
+                    );
+                    continue;
+                }
+                resident[device][data.index()] = false;
+                used[device] = used[device].saturating_sub(desc.bytes());
+            }
+            MultiPlanStep::Launch(u) => {
+                if u >= nu {
+                    diags.push(Diagnostic::error(
+                        crate::engine::codes::UNKNOWN_UNIT,
+                        at,
+                        format!("unknown unit {u}"),
+                    ));
+                    continue;
+                }
+                let dev = plan.unit_device[u];
+                if dev >= ndev {
+                    bad_device(&mut diags, at, dev);
+                    continue;
+                }
+                stats.launches += 1;
+                if launched[u] {
+                    diags.push(Diagnostic::error(
+                        crate::engine::codes::DOUBLE_LAUNCH,
+                        at,
+                        format!("unit {u} launched twice"),
+                    ));
+                    continue;
+                }
+                launched[u] = true;
+                let unit = &plan.units[u];
+                for &d in &unit.inputs {
+                    if d.index() >= nd {
+                        diags.push(Diagnostic::error(
+                            crate::engine::codes::UNKNOWN_DATA,
+                            at,
+                            format!("unknown data {d}"),
+                        ));
+                        continue;
+                    }
+                    if !resident[dev][d.index()] {
+                        let elsewhere: Vec<usize> =
+                            (0..ndev).filter(|&e| resident[e][d.index()]).collect();
+                        if let Some(&e) = elsewhere.first() {
+                            diags.push(
+                                Diagnostic::error(
+                                    codes::INPUT_ON_OTHER_DEVICE,
+                                    at,
+                                    format!(
+                                        "unit {u} on device {dev} reads {} which is resident on device {e}",
+                                        g.data(d).name
+                                    ),
+                                )
+                                .with_help(
+                                    "the shard is on the wrong device, or the device→host→device staged copy is missing",
+                                ),
+                            );
+                        } else {
+                            diags.push(
+                                Diagnostic::error(
+                                    codes::INPUT_ON_NO_DEVICE,
+                                    at,
+                                    format!(
+                                        "unit {u} on device {dev} reads {} which is resident on no device",
+                                        g.data(d).name
+                                    ),
+                                )
+                                .with_help("the buffer was freed (or never transferred) before this launch read it"),
+                            );
+                        }
+                    } else if g.producer(d).is_some() && !produced[d.index()] {
+                        diags.push(Diagnostic::error(
+                            crate::engine::codes::INPUT_NOT_PRODUCED,
+                            at,
+                            format!("unit {u} input {} not yet produced", g.data(d).name),
+                        ));
+                    }
+                }
+                for &d in &unit.outputs {
+                    if d.index() >= nd {
+                        diags.push(Diagnostic::error(
+                            crate::engine::codes::UNKNOWN_DATA,
+                            at,
+                            format!("unknown data {d}"),
+                        ));
+                        continue;
+                    }
+                    if resident[dev][d.index()] {
+                        diags.push(Diagnostic::error(
+                            crate::engine::codes::OUTPUT_RESIDENT,
+                            at,
+                            format!("output {} already resident on device {dev}", g.data(d).name),
+                        ));
+                    } else {
+                        resident[dev][d.index()] = true;
+                        used[dev] += g.data(d).bytes();
+                        peak[dev] = peak[dev].max(used[dev]);
+                    }
+                    produced[d.index()] = true;
+                }
+            }
+        }
+        for dev in 0..ndev {
+            if used[dev] > capacities[dev] && !capacity_reported[dev] {
+                diags.push(
+                    Diagnostic::error(
+                        codes::DEVICE_OVER_CAPACITY,
+                        at,
+                        format!(
+                            "device {dev} occupancy {} B exceeds its capacity {} B",
+                            used[dev], capacities[dev]
+                        ),
+                    )
+                    .with_help(
+                        "shard finer, free earlier on that device, or give the cluster larger devices",
+                    ),
+                );
+                capacity_reported[dev] = true;
+            }
+        }
+    }
+
+    for (u, &l) in launched.iter().enumerate() {
+        if !l {
+            diags.push(Diagnostic::error(
+                crate::engine::codes::NEVER_LAUNCHED,
+                Some(Location::Unit(u)),
+                format!("unit {u} never launched"),
+            ));
+        }
+    }
+    for d in g.data_ids() {
+        if g.data(d).kind == DataKind::Output && !on_cpu[d.index()] {
+            diags.push(
+                Diagnostic::error(
+                    crate::engine::codes::OUTPUT_NOT_DELIVERED,
+                    Some(Location::Data(d)),
+                    format!("output {} not on the host at plan end", g.data(d).name),
+                )
+                .with_help("every template output must be copied out before the plan ends"),
+            );
+        }
+    }
+
+    stats.peak_bytes = peak.iter().copied().max().unwrap_or(0);
+    MultiPlanAnalysis {
+        stats,
+        peak_per_device: peak,
+        diagnostics: diags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_graph::{DataId, DataKind, Graph, OpKind};
+
+    /// in -> t0 -> mid -> t1 -> out, all 8x8 (256 B each); t0 on device 0,
+    /// t1 on device 1, with a staged mid transfer between them.
+    fn chain2() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add("in", 8, 8, DataKind::Input);
+        let m = g.add("mid", 8, 8, DataKind::Temporary);
+        let o = g.add("out", 8, 8, DataKind::Output);
+        g.add_op("t0", OpKind::Tanh, vec![a], m).unwrap();
+        g.add_op("t1", OpKind::Tanh, vec![m], o).unwrap();
+        g
+    }
+
+    fn units2() -> Vec<UnitView> {
+        vec![
+            UnitView {
+                inputs: vec![DataId(0)],
+                outputs: vec![DataId(1)],
+            },
+            UnitView {
+                inputs: vec![DataId(1)],
+                outputs: vec![DataId(2)],
+            },
+        ]
+    }
+
+    fn good_plan() -> MultiPlanView {
+        let d = DataId;
+        MultiPlanView {
+            units: units2(),
+            unit_device: vec![0, 1],
+            steps: vec![
+                MultiPlanStep::CopyIn {
+                    device: 0,
+                    data: d(0),
+                },
+                MultiPlanStep::Launch(0),
+                MultiPlanStep::Free {
+                    device: 0,
+                    data: d(0),
+                },
+                // Staged inter-device transfer of mid: dev0 -> host -> dev1.
+                MultiPlanStep::CopyOut {
+                    device: 0,
+                    data: d(1),
+                },
+                MultiPlanStep::Free {
+                    device: 0,
+                    data: d(1),
+                },
+                MultiPlanStep::CopyIn {
+                    device: 1,
+                    data: d(1),
+                },
+                MultiPlanStep::Launch(1),
+                MultiPlanStep::Free {
+                    device: 1,
+                    data: d(1),
+                },
+                MultiPlanStep::CopyOut {
+                    device: 1,
+                    data: d(2),
+                },
+                MultiPlanStep::Free {
+                    device: 1,
+                    data: d(2),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_cross_device_plan_passes() {
+        let g = chain2();
+        let a = analyze_multi_plan(&g, &good_plan(), &[2 * 256, 2 * 256]);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(a.stats.launches, 2);
+        // in + staged mid + nothing else inbound; mid + out outbound.
+        assert_eq!(a.stats.copies_in, 2);
+        assert_eq!(a.stats.copies_out, 2);
+        assert_eq!(a.peak_per_device, vec![2 * 256, 2 * 256]);
+    }
+
+    #[test]
+    fn wrong_device_shard_is_gf0030() {
+        let g = chain2();
+        let mut p = good_plan();
+        // Mutation: unit 1 assigned to device 0, but its input was staged
+        // to device 1.
+        p.unit_device[1] = 0;
+        let a = analyze_multi_plan(&g, &p, &[u64::MAX, u64::MAX]);
+        let first = a.first_error().unwrap();
+        assert_eq!(first.code, codes::INPUT_ON_OTHER_DEVICE);
+        assert!(first.message.contains("resident on device 1"), "{first:?}");
+    }
+
+    #[test]
+    fn missing_staged_copyout_is_gf0031() {
+        let g = chain2();
+        let mut p = good_plan();
+        // Mutation: drop the CopyOut of mid on device 0 — the CopyIn on
+        // device 1 now races ahead of unstaged bytes.
+        p.steps.remove(3);
+        let a = analyze_multi_plan(&g, &p, &[u64::MAX, u64::MAX]);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::TRANSFER_NOT_STAGED));
+    }
+
+    #[test]
+    fn missing_inter_device_copyin_is_gf0034() {
+        let g = chain2();
+        let mut p = good_plan();
+        // Mutation: drop the CopyIn of mid on device 1 entirely (and its
+        // matching Free) — unit 1 reads data resident nowhere.
+        p.steps.remove(7); // Free mid on dev 1
+        p.steps.remove(5); // CopyIn mid on dev 1
+        let a = analyze_multi_plan(&g, &p, &[u64::MAX, u64::MAX]);
+        assert_eq!(a.first_error().unwrap().code, codes::INPUT_ON_NO_DEVICE);
+    }
+
+    #[test]
+    fn per_device_over_capacity_is_gf0032() {
+        let g = chain2();
+        // Device 0 can only hold one 256 B structure: staging in + out
+        // (512 B) trips its capacity; device 1 is fine.
+        let a = analyze_multi_plan(&g, &good_plan(), &[256, 2 * 256]);
+        let caps: Vec<_> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::DEVICE_OVER_CAPACITY)
+            .collect();
+        assert_eq!(caps.len(), 1);
+        assert!(caps[0].message.contains("device 0"), "{:?}", caps[0]);
+    }
+
+    #[test]
+    fn wrong_device_free_and_copyout_are_gf0033() {
+        let g = chain2();
+        let p = MultiPlanView {
+            units: units2(),
+            unit_device: vec![0, 1],
+            steps: vec![
+                MultiPlanStep::CopyIn {
+                    device: 0,
+                    data: DataId(0),
+                },
+                MultiPlanStep::Free {
+                    device: 1,
+                    data: DataId(0),
+                },
+                MultiPlanStep::CopyOut {
+                    device: 1,
+                    data: DataId(0),
+                },
+            ],
+        };
+        let a = analyze_multi_plan(&g, &p, &[u64::MAX, u64::MAX]);
+        let n = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == codes::NOT_RESIDENT_ON_DEVICE)
+            .count();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn end_state_checks_still_apply() {
+        let g = chain2();
+        let p = MultiPlanView {
+            units: units2(),
+            unit_device: vec![0, 1],
+            steps: vec![
+                MultiPlanStep::CopyIn {
+                    device: 0,
+                    data: DataId(0),
+                },
+                MultiPlanStep::Launch(0),
+            ],
+        };
+        let a = analyze_multi_plan(&g, &p, &[u64::MAX, u64::MAX]);
+        let codes_seen: Vec<&str> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes_seen.contains(&crate::engine::codes::NEVER_LAUNCHED));
+        assert!(codes_seen.contains(&crate::engine::codes::OUTPUT_NOT_DELIVERED));
+    }
+
+    #[test]
+    fn single_device_cluster_matches_engine_semantics() {
+        // A 1-device multi plan is exactly a single-device plan; the same
+        // clean sequence must pass both engines.
+        let g = chain2();
+        let p = MultiPlanView {
+            units: units2(),
+            unit_device: vec![0, 0],
+            steps: vec![
+                MultiPlanStep::CopyIn {
+                    device: 0,
+                    data: DataId(0),
+                },
+                MultiPlanStep::Launch(0),
+                MultiPlanStep::Free {
+                    device: 0,
+                    data: DataId(0),
+                },
+                MultiPlanStep::Launch(1),
+                MultiPlanStep::Free {
+                    device: 0,
+                    data: DataId(1),
+                },
+                MultiPlanStep::CopyOut {
+                    device: 0,
+                    data: DataId(2),
+                },
+                MultiPlanStep::Free {
+                    device: 0,
+                    data: DataId(2),
+                },
+            ],
+        };
+        let a = analyze_multi_plan(&g, &p, &[3 * 256]);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert_eq!(a.peak_per_device, vec![512]);
+    }
+}

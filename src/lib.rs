@@ -22,6 +22,7 @@
 pub use gpuflow_codegen as codegen;
 pub use gpuflow_core as core;
 pub use gpuflow_graph as graph;
+pub use gpuflow_multi as multi;
 pub use gpuflow_ops as ops;
 pub use gpuflow_pbsat as pbsat;
 pub use gpuflow_sim as sim;

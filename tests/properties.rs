@@ -561,3 +561,88 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Makespan properties: every simulated schedule — single device or cluster —
+// is pinned between the serialized timeline (above) and per-engine occupancy
+// (below). A simulation outside that band is simulating the wrong machine.
+// ---------------------------------------------------------------------------
+
+use gpuflow::core::overlapped_makespan;
+use gpuflow::multi::{compile_multi, Cluster};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Single device: overlapping the copy and compute engines never loses
+    /// to the serialized timeline, and never beats the busiest engine.
+    #[test]
+    fn single_device_overlap_is_bounded(
+        seed in 1u64..10_000,
+        layers in 1usize..5,
+        rows in 12usize..40,
+        cols in 12usize..40,
+        mem_divisor in 1u64..8,
+    ) {
+        let (g, _) = random_template(seed, layers, rows, cols);
+        let total = g.total_data_floats() * 4;
+        let mem = (total / mem_divisor).max(8 * 1024);
+        let dev = tesla_c870().with_memory(mem);
+        let compiled = match Framework::new(dev.clone()).compile_adaptive(&g) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let o = overlapped_makespan(&compiled.split.graph, &compiled.plan, &dev);
+        prop_assert!(
+            o.overlapped_time <= o.serial_time + 1e-9,
+            "overlap {} beats serial {}",
+            o.overlapped_time,
+            o.serial_time
+        );
+        prop_assert!(
+            o.overlapped_time >= o.busy_lower_bound() - 1e-9,
+            "overlap {} under occupancy bound {}",
+            o.overlapped_time,
+            o.busy_lower_bound()
+        );
+    }
+
+    /// Cluster: the shared-bus multi-device makespan obeys the same band —
+    /// at most the fully serialized timeline, at least the busier shared
+    /// bus channel and at least the busiest device's compute engine — and
+    /// the plan it came from verifies clean.
+    #[test]
+    fn multi_device_makespan_is_bounded(
+        seed in 1u64..10_000,
+        layers in 1usize..5,
+        rows in 16usize..48,
+        cols in 16usize..48,
+        devices in 1usize..5,
+    ) {
+        let (g, _) = random_template(seed, layers, rows, cols);
+        let cluster = Cluster::homogeneous(tesla_c870(), devices);
+        let compiled = match compile_multi(&g, &cluster, 0.05) {
+            Ok(c) => c,
+            Err(_) => return Ok(()), // template too small to band this wide
+        };
+        let analysis = compiled.analyze();
+        prop_assert!(
+            !analysis.has_errors(),
+            "multi plan has errors: {}",
+            analysis.first_error().map(|d| d.render()).unwrap_or_default()
+        );
+        let o = compiled.outcome();
+        prop_assert!(
+            o.makespan <= o.serial_time + 1e-9,
+            "makespan {} beats serial {}",
+            o.makespan,
+            o.serial_time
+        );
+        prop_assert!(
+            o.makespan >= o.busy_lower_bound() - 1e-9,
+            "makespan {} under occupancy bound {}",
+            o.makespan,
+            o.busy_lower_bound()
+        );
+    }
+}

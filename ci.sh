@@ -27,6 +27,9 @@ for ex in examples/*.rs; do
     cargo run --release -q --example "$name" > /dev/null
 done
 
+echo "==> exact PB scheduler perf tripwire (ablation_pb_scaling --smoke)"
+cargo run --release -q -p gpuflow-bench --bin ablation_pb_scaling -- --smoke
+
 echo "==> gpuflow check over shipped templates"
 for gfg in assets/*.gfg; do
     echo "--- $gfg"

@@ -1,0 +1,340 @@
+//! Ablation — scaling of the exact PB scheduler: windowed encoding +
+//! heuristic warm-start + anytime budget vs the full cold encoding.
+//!
+//! Sweeps chained edge-detection graphs (Fig. 3-style blocks whose
+//! combined bands are stacked into the next block's image, with one band
+//! crossing each block boundary so the transfer optimum sits strictly
+//! above the I/O lower bound) and compares two solver configurations
+//! under the same default conflict budget:
+//!
+//! * **pruned+warm** — the defaults: ASAP/ALAP window pruning, Belady
+//!   warm-start bound and phases, structural-lower-bound early exit.
+//! * **full+cold**  — `prune: false, warm_start: false`: the original
+//!   Fig. 5 encoding solved from scratch.
+//!
+//! The solver is deterministic, so the conflict counts (and therefore the
+//! proven/unproven outcomes) are reproducible across machines; only the
+//! wall-clock column varies.
+//!
+//! Emits `BENCH_pb_scaling.json` (full mode) and doubles as the CI
+//! perf-regression tripwire (`--smoke`): the Fig. 6 exact pass must stay
+//! proven optimal within a generous conflict ceiling, and the pruned+warm
+//! configuration must still prove a ≥24-unit instance that the full cold
+//! encoding cannot crack within the same budget.
+
+use std::time::Instant;
+
+use gpuflow_bench::TableWriter;
+use gpuflow_core::examples::{fig3_graph, fig3_memory_bytes, fig3_units, floats_to_units};
+use gpuflow_core::pbexact::{pb_exact_plan, pb_exact_plan_ops, PbExactOptions, PbExactOutcome};
+use gpuflow_graph::{DataId, DataKind, Graph, OpKind, RemapKind};
+use gpuflow_minijson::{Map, Value};
+
+/// Conflict ceiling for the Fig. 6 tripwire. The warm-started solver
+/// currently proves Fig. 6 in well under a thousand conflicts; leave
+/// generous headroom before CI screams.
+const FIG6_CONFLICT_CEILING: u64 = 50_000;
+
+/// A chain of Fig. 3-style edge-detection blocks, truncated to a total op
+/// budget. Each full block slices a 2-row image into bands, flips them,
+/// max-combines, and stacks the combined bands into the next block's
+/// image, so blocks are strictly sequenced while the ops *inside* a block
+/// interleave freely — the regime the tentpole targets: ASAP/ALAP windows
+/// stay block-local while the full encoding carries the whole O(N²) order
+/// space. The previous block's second combined band also feeds the next
+/// block's first combine, so a temporary must survive each block boundary
+/// and, under exactly-tight memory, the optimum sits strictly above the
+/// I/O lower bound — real solving is required. Dangling bands of a
+/// truncated final block become outputs.
+fn edge_chain_ops(total_ops: usize, cols: usize) -> Graph {
+    let mut g = Graph::new();
+    let mut im = g.add("im0", 2, cols, DataKind::Input);
+    let mut prev: Option<DataId> = None;
+    let top = OpKind::GatherRows {
+        arity: 1,
+        row_off: 0,
+        rows: 1,
+    };
+    let bot = OpKind::GatherRows {
+        arity: 1,
+        row_off: 1,
+        rows: 1,
+    };
+    let flip = OpKind::Remap(RemapKind::FlipH);
+    let stack = OpKind::GatherRows {
+        arity: 2,
+        row_off: 0,
+        rows: 2,
+    };
+    let out = |g: &mut Graph, d: DataId| g.data_mut(d).kind = DataKind::Output;
+    let mut left = total_ops;
+    let mut k = 0usize;
+    while left > 0 {
+        let t = g.add(format!("t{k}"), 1, cols, DataKind::Temporary);
+        g.add_op(format!("top{k}"), top, vec![im], t).unwrap();
+        left -= 1;
+        if left == 0 {
+            out(&mut g, t);
+            break;
+        }
+        let b = g.add(format!("b{k}"), 1, cols, DataKind::Temporary);
+        g.add_op(format!("bot{k}"), bot, vec![im], b).unwrap();
+        left -= 1;
+        if left == 0 {
+            out(&mut g, t);
+            out(&mut g, b);
+            break;
+        }
+        let ft = g.add(format!("ft{k}"), 1, cols, DataKind::Temporary);
+        g.add_op(format!("flt{k}"), flip, vec![t], ft).unwrap();
+        left -= 1;
+        if left == 0 {
+            out(&mut g, ft);
+            out(&mut g, b);
+            break;
+        }
+        let fb = g.add(format!("fb{k}"), 1, cols, DataKind::Temporary);
+        g.add_op(format!("flb{k}"), flip, vec![b], fb).unwrap();
+        left -= 1;
+        if left == 0 {
+            out(&mut g, ft);
+            out(&mut g, fb);
+            break;
+        }
+        let ea = g.add(format!("ea{k}"), 1, cols, DataKind::Temporary);
+        let ia = match prev {
+            Some(p) => vec![t, fb, p],
+            None => vec![t, fb],
+        };
+        g.add_op(
+            format!("mxa{k}"),
+            OpKind::EwMax {
+                arity: ia.len() as u8,
+            },
+            ia,
+            ea,
+        )
+        .unwrap();
+        left -= 1;
+        if left == 0 {
+            out(&mut g, ea);
+            out(&mut g, ft);
+            break;
+        }
+        let eb = g.add(format!("eb{k}"), 1, cols, DataKind::Temporary);
+        g.add_op(
+            format!("mxb{k}"),
+            OpKind::EwMax { arity: 2 },
+            vec![b, ft],
+            eb,
+        )
+        .unwrap();
+        left -= 1;
+        prev = Some(eb);
+        if left == 0 {
+            out(&mut g, ea);
+            out(&mut g, eb);
+            break;
+        }
+        let next = g.add(format!("im{}", k + 1), 2, cols, DataKind::Temporary);
+        g.add_op(format!("stk{k}"), stack, vec![ea, eb], next)
+            .unwrap();
+        left -= 1;
+        if left == 0 {
+            out(&mut g, next);
+            break;
+        }
+        im = next;
+        k += 1;
+    }
+    g
+}
+
+struct ConfigResult {
+    proven: bool,
+    transfer_floats: u64,
+    conflicts: u64,
+    vars: usize,
+    clauses: usize,
+    millis: u128,
+}
+
+fn run_config(g: &Graph, mem: u64, opts: PbExactOptions) -> ConfigResult {
+    let start = Instant::now();
+    let out = pb_exact_plan_ops(g, mem, opts).expect("edge chains are feasible");
+    let millis = start.elapsed().as_millis();
+    config_result(&out, opts, millis)
+}
+
+fn config_result(out: &PbExactOutcome, opts: PbExactOptions, millis: u128) -> ConfigResult {
+    ConfigResult {
+        proven: out.optimal,
+        transfer_floats: out.transfer_floats,
+        conflicts: out.stats.conflicts,
+        vars: if opts.prune {
+            out.stats.vars_pruned
+        } else {
+            out.stats.vars_full
+        },
+        clauses: if opts.prune {
+            out.stats.clauses_pruned
+        } else {
+            out.stats.clauses_full
+        },
+        millis,
+    }
+}
+
+fn config_json(r: &ConfigResult) -> Value {
+    let mut m = Map::new();
+    m.insert("proven_optimal", r.proven);
+    m.insert("transfer_floats", r.transfer_floats);
+    m.insert("conflicts", r.conflicts);
+    m.insert("vars", r.vars);
+    m.insert("clauses", r.clauses);
+    m.insert("solve_millis", r.millis as u64);
+    Value::Object(m)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    println!("Ablation — exact PB scheduler scaling (windowing + warm start)\n");
+
+    // --- Tripwire: the Fig. 6 exact optimum must stay proven. ---
+    let g6 = fig3_graph();
+    let u6 = fig3_units(&g6);
+    let start = Instant::now();
+    let fig6 = pb_exact_plan(
+        &g6,
+        &u6,
+        fig3_memory_bytes(),
+        PbExactOptions::default(),
+        None,
+    )
+    .expect("Fig. 6 is feasible");
+    let fig6_ms = start.elapsed().as_millis();
+    println!(
+        "Fig. 6 exact: {} units, proven={}, {} conflicts, {} ms ({} vars pruned of {})",
+        floats_to_units(fig6.transfer_floats),
+        fig6.optimal,
+        fig6.stats.conflicts,
+        fig6_ms,
+        fig6.stats.vars_pruned,
+        fig6.stats.vars_full,
+    );
+    let fig6_ok = fig6.optimal
+        && floats_to_units(fig6.transfer_floats) == 8.0
+        && fig6.stats.conflicts <= FIG6_CONFLICT_CEILING;
+    if !fig6_ok {
+        eprintln!(
+            "FAIL: Fig. 6 exact pass regressed (want proven 8.0 units within {FIG6_CONFLICT_CEILING} conflicts)"
+        );
+        std::process::exit(1);
+    }
+
+    // --- Sweep: pruned+warm vs full+cold under the default budget. ---
+    let cols = 64usize;
+    let mem = 4 * (cols as u64) * 4; // four 1-row units of device memory
+    let sizes: &[usize] = if smoke {
+        &[6, 27]
+    } else {
+        &[6, 13, 20, 27, 30, 32, 34]
+    };
+    let mut table = TableWriter::new(&[
+        "ops",
+        "config",
+        "vars",
+        "clauses",
+        "floats",
+        "proven",
+        "conflicts",
+        "ms",
+    ]);
+    let mut sweep_rows: Vec<Value> = Vec::new();
+    let mut crossover_ops: Option<usize> = None;
+    for &n in sizes {
+        let g = edge_chain_ops(n, cols);
+        assert_eq!(g.num_ops(), n);
+        let warm = run_config(&g, mem, PbExactOptions::default());
+        let cold = run_config(
+            &g,
+            mem,
+            PbExactOptions {
+                prune: false,
+                warm_start: false,
+                ..PbExactOptions::default()
+            },
+        );
+        for (name, r) in [("pruned+warm", &warm), ("full+cold", &cold)] {
+            table.row(&[
+                n.to_string(),
+                name.to_string(),
+                r.vars.to_string(),
+                r.clauses.to_string(),
+                r.transfer_floats.to_string(),
+                r.proven.to_string(),
+                r.conflicts.to_string(),
+                r.millis.to_string(),
+            ]);
+        }
+        if n >= 24 && warm.proven && !cold.proven && crossover_ops.is_none() {
+            crossover_ops = Some(n);
+        }
+        let mut row = Map::new();
+        row.insert("ops", n);
+        row.insert("mem_rows", 4u64);
+        row.insert("pruned_warm", config_json(&warm));
+        row.insert("full_cold", config_json(&cold));
+        sweep_rows.push(Value::Object(row));
+    }
+    println!("\n{}", table.render());
+
+    match crossover_ops {
+        Some(n) => println!(
+            "crossover: pruned+warm proves the {n}-op instance within the \
+             default budget; the full cold encoding cannot"
+        ),
+        None => println!("crossover: NOT demonstrated on this sweep"),
+    }
+
+    if smoke {
+        if crossover_ops.is_none() {
+            eprintln!(
+                "FAIL: pruned+warm no longer beats the full cold encoding on a >=24-op instance"
+            );
+            std::process::exit(1);
+        }
+        println!("\nsmoke OK");
+        return;
+    }
+
+    // --- Emit BENCH_pb_scaling.json. ---
+    let mut doc = Map::new();
+    doc.insert("bench", "pb_scaling");
+    let mut f6 = Map::new();
+    f6.insert("units", floats_to_units(fig6.transfer_floats));
+    f6.insert("proven_optimal", fig6.optimal);
+    f6.insert("conflicts", fig6.stats.conflicts);
+    f6.insert("vars_full", fig6.stats.vars_full);
+    f6.insert("vars_pruned", fig6.stats.vars_pruned);
+    f6.insert("clauses_full", fig6.stats.clauses_full);
+    f6.insert("clauses_pruned", fig6.stats.clauses_pruned);
+    f6.insert("solve_millis", fig6_ms as u64);
+    doc.insert("fig6", Value::Object(f6));
+    doc.insert("sweep", Value::Array(sweep_rows));
+    doc.insert(
+        "default_conflict_budget",
+        PbExactOptions::default().max_conflicts,
+    );
+    match crossover_ops {
+        Some(n) => doc.insert("crossover_ops", n),
+        None => doc.insert("crossover_ops", Value::Null),
+    };
+    let json = Value::Object(doc).to_string_pretty();
+    let path = "BENCH_pb_scaling.json";
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

@@ -160,6 +160,10 @@ pub enum Command {
         eviction: EvictionPolicy,
         /// Use the exact PB scheduler.
         exact: bool,
+        /// Conflict budget for the exact solver (implies `exact`).
+        exact_budget: Option<u64>,
+        /// Offload-unit cap for the exact solver (implies `exact`).
+        exact_max_ops: Option<usize>,
         /// Print the full step listing.
         render: bool,
         /// Multi-device cluster spec (`--devices gtx8800x4`); overrides
@@ -172,6 +176,12 @@ pub enum Command {
         source: Source,
         /// Target device.
         device: DeviceArg,
+        /// Use the exact PB scheduler for the plan.
+        exact: bool,
+        /// Conflict budget for the exact solver (implies `exact`).
+        exact_budget: Option<u64>,
+        /// Offload-unit cap for the exact solver (implies `exact`).
+        exact_max_ops: Option<usize>,
         /// Execute kernels on synthetic data and verify vs the reference.
         functional: bool,
         /// Also report the overlapped (async-copy) makespan.
@@ -244,6 +254,8 @@ impl Command {
         let mut scheduler = OpScheduler::DepthFirst;
         let mut eviction = EvictionPolicy::Belady;
         let mut exact = false;
+        let mut exact_budget: Option<u64> = None;
+        let mut exact_max_ops: Option<usize> = None;
         let mut render = false;
         let mut functional = false;
         let mut overlap = false;
@@ -279,6 +291,23 @@ impl Command {
                 "--scheduler" => scheduler = parse_scheduler(&next_value(&mut it, flag)?)?,
                 "--eviction" => eviction = parse_eviction(&next_value(&mut it, flag)?)?,
                 "--exact" => exact = true,
+                "--exact-budget" => {
+                    let v = next_value(&mut it, flag)?;
+                    let b: u64 = v
+                        .parse()
+                        .map_err(|_| format!("bad conflict budget '{v}'"))?;
+                    exact_budget = Some(b);
+                    exact = true;
+                }
+                "--exact-max-ops" => {
+                    let v = next_value(&mut it, flag)?;
+                    let m: usize = v.parse().map_err(|_| format!("bad unit cap '{v}'"))?;
+                    if m == 0 {
+                        return Err("--exact-max-ops must be > 0".into());
+                    }
+                    exact_max_ops = Some(m);
+                    exact = true;
+                }
                 "--render" => render = true,
                 "--functional" => functional = true,
                 "--overlap" => overlap = true,
@@ -305,6 +334,8 @@ impl Command {
                 scheduler,
                 eviction,
                 exact,
+                exact_budget,
+                exact_max_ops,
                 render,
                 devices,
             }),
@@ -312,9 +343,15 @@ impl Command {
                 if functional && devices.is_some() {
                     return Err("--functional does not support --devices yet".into());
                 }
+                if exact && devices.is_some() {
+                    return Err("--exact does not support --devices".into());
+                }
                 Ok(Command::Run {
                     source,
                     device,
+                    exact,
+                    exact_budget,
+                    exact_max_ops,
                     functional,
                     overlap,
                     gantt,
@@ -528,6 +565,38 @@ mod tests {
         // Multi-device CUDA emission is refused; JSON is the exchange format.
         assert!(Command::parse(&argv("emit fig3 --cuda x.cu --devices c870x2")).is_err());
         assert!(Command::parse(&argv("emit fig3 --json x.json --devices c870x2")).is_ok());
+    }
+
+    #[test]
+    fn exact_flags_imply_exact_mode() {
+        match Command::parse(&argv("plan fig3 --exact-budget 100000")).unwrap() {
+            Command::Plan {
+                exact,
+                exact_budget,
+                exact_max_ops,
+                ..
+            } => {
+                assert!(exact, "--exact-budget implies --exact");
+                assert_eq!(exact_budget, Some(100_000));
+                assert_eq!(exact_max_ops, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match Command::parse(&argv("run fig3 --exact-max-ops 24")).unwrap() {
+            Command::Run {
+                exact,
+                exact_max_ops,
+                ..
+            } => {
+                assert!(exact, "--exact-max-ops implies --exact");
+                assert_eq!(exact_max_ops, Some(24));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Command::parse(&argv("plan fig3 --exact-max-ops 0")).is_err());
+        assert!(Command::parse(&argv("plan fig3 --exact-budget lots")).is_err());
+        // The exact scheduler is single-device only.
+        assert!(Command::parse(&argv("run fig3 --exact --devices c870x2")).is_err());
     }
 
     #[test]

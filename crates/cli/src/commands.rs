@@ -16,6 +16,41 @@ use crate::args::{Command, Source};
 /// Planner memory margin used by subcommands that take no `--margin` flag.
 const DEFAULT_MARGIN: f64 = 0.05;
 
+/// Resolve the exact-scheduler flags into compile options.
+fn exact_options(
+    exact: bool,
+    budget: Option<u64>,
+    max_ops: Option<usize>,
+) -> Option<PbExactOptions> {
+    exact.then(|| {
+        let mut o = PbExactOptions::default();
+        if let Some(b) = budget {
+            o.max_conflicts = b;
+        }
+        if let Some(m) = max_ops {
+            o.max_ops = m;
+        }
+        o
+    })
+}
+
+/// Append the exact solver's search statistics to a JSON map.
+fn insert_exact_stats(m: &mut Map, compiled: &gpuflow_core::CompiledTemplate) {
+    if let Some(st) = &compiled.exact_stats {
+        m.insert("exact_optimal", compiled.exact_optimal);
+        m.insert("exact_conflicts", st.conflicts);
+        m.insert("exact_decisions", st.decisions);
+        m.insert("exact_propagations", st.propagations);
+        m.insert("exact_restarts", st.restarts);
+        m.insert("exact_vars_full", st.vars_full);
+        m.insert("exact_vars_pruned", st.vars_pruned);
+        m.insert("exact_clauses_full", st.clauses_full);
+        m.insert("exact_clauses_pruned", st.clauses_pruned);
+        m.insert("exact_warm_started", st.warm_started);
+        m.insert("exact_window_pruned", st.pruned);
+    }
+}
+
 /// Build the template graph for a source.
 pub fn load_source(source: &Source) -> Result<Graph, String> {
     match source {
@@ -106,6 +141,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             scheduler,
             eviction,
             exact,
+            exact_budget,
+            exact_max_ops,
             render,
             devices,
         } => {
@@ -146,7 +183,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 memory_margin: *margin,
                 scheduler: *scheduler,
                 eviction: *eviction,
-                exact: exact.then(PbExactOptions::default),
+                exact: exact_options(*exact, *exact_budget, *exact_max_ops),
                 ..CompileOptions::default()
             };
             let compiled = Framework::new(dev.clone())
@@ -166,6 +203,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let _ = writeln!(out, "peak residency:   {} MiB", stats.peak_bytes >> 20);
             if *exact {
                 let _ = writeln!(out, "exact optimum:    {}", compiled.exact_optimal);
+                if let Some(st) = &compiled.exact_stats {
+                    let _ = writeln!(
+                        out,
+                        "exact solver:     {} conflicts, {} vars ({} unpruned)",
+                        st.conflicts, st.vars_pruned, st.vars_full
+                    );
+                }
             }
             let _ = writeln!(out, "\n{}", gpuflow_core::compilation_report(&compiled, &g));
             if *render {
@@ -175,6 +219,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         Command::Run {
             source,
             device,
+            exact,
+            exact_budget,
+            exact_max_ops,
             functional,
             overlap,
             gantt,
@@ -220,7 +267,12 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 return Ok(out);
             }
             let dev = device.spec();
+            let options = CompileOptions {
+                exact: exact_options(*exact, *exact_budget, *exact_max_ops),
+                ..CompileOptions::default()
+            };
             let compiled = Framework::new(dev.clone())
+                .with_options(options)
                 .compile_adaptive(&g)
                 .map_err(|e| e.to_string())?;
             let mut verified = None;
@@ -263,6 +315,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 if let Some(n) = verified {
                     m.insert("outputs_verified", n);
                 }
+                insert_exact_stats(&mut m, &compiled);
                 out.push_str(&Value::Object(m).to_string_pretty());
                 out.push('\n');
                 return Ok(out);
@@ -272,6 +325,16 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     out,
                     "functional run:   {n} outputs verified against the reference ✓"
                 );
+            }
+            if *exact {
+                let _ = writeln!(out, "exact optimum:    {}", compiled.exact_optimal);
+                if let Some(st) = &compiled.exact_stats {
+                    let _ = writeln!(
+                        out,
+                        "exact solver:     {} conflicts, {} vars ({} unpruned)",
+                        st.conflicts, st.vars_pruned, st.vars_full
+                    );
+                }
             }
             let _ = writeln!(out, "device:           {}", dev.name);
             let _ = writeln!(out, "simulated time:   {:.4} s", c.total_time());
@@ -505,6 +568,33 @@ mod tests {
     fn plan_exact_on_fig3() {
         let out = execute(&parse("plan fig3 --exact --device custom:1")).unwrap();
         assert!(out.contains("exact optimum:    true"), "{out}");
+        assert!(out.contains("exact solver:"), "{out}");
+    }
+
+    #[test]
+    fn exact_budget_flag_implies_exact_and_caps_solver() {
+        let out = execute(&parse("plan fig3 --exact-budget 200000 --device custom:1")).unwrap();
+        assert!(out.contains("exact optimum:    true"), "{out}");
+    }
+
+    #[test]
+    fn exact_max_ops_flag_rejects_large_graphs() {
+        // fig3 has 10 offload units; a cap of 2 must push the exact
+        // scheduler into its budget error.
+        let err = execute(&parse("plan fig3 --exact-max-ops 2 --device custom:1")).unwrap_err();
+        assert!(err.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn run_exact_json_reports_solver_stats() {
+        let out = execute(&parse("run fig3 --exact --device custom:1 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&out).unwrap();
+        assert_eq!(doc["exact_optimal"].as_bool(), Some(true));
+        assert!(
+            doc["exact_vars_full"].as_u64().unwrap() > doc["exact_vars_pruned"].as_u64().unwrap()
+        );
+        assert_eq!(doc["exact_warm_started"].as_bool(), Some(true));
+        assert!(doc["exact_conflicts"].as_u64().is_some());
     }
 
     #[test]
@@ -574,6 +664,9 @@ mod tests {
         let out = execute(&Command::Run {
             source: src,
             device: DeviceArg::Custom(1),
+            exact: false,
+            exact_budget: None,
+            exact_max_ops: None,
             functional: true,
             overlap: false,
             gantt: false,
@@ -597,6 +690,9 @@ mod tests {
                 let out = execute(&Command::Run {
                     source: src,
                     device: DeviceArg::Custom(1),
+                    exact: false,
+                    exact_budget: None,
+                    exact_max_ops: None,
                     functional: true,
                     overlap: true,
                     gantt: false,

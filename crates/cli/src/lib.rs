@@ -6,9 +6,11 @@
 //! ```text
 //! gpuflow info  <source>
 //! gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F]
-//!                        [--scheduler S] [--eviction E] [--exact] [--render]
+//!                        [--scheduler S] [--eviction E] [--exact]
+//!                        [--exact-budget N] [--exact-max-ops N] [--render]
 //! gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional]
 //!                        [--overlap] [--gantt] [--json]
+//!                        [--exact] [--exact-budget N] [--exact-max-ops N]
 //! gpuflow check <source> [--device DEV | --devices CLUSTER] [--json]
 //! gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH)
 //!                        [--device DEV | --devices CLUSTER]
@@ -51,8 +53,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
 pub const USAGE: &str = "\
 usage:
   gpuflow info  <source>
-  gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F] [--scheduler S] [--eviction E] [--exact] [--render]
-  gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional] [--overlap] [--gantt] [--json]
+  gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F] [--scheduler S] [--eviction E] [--exact] [--exact-budget N] [--exact-max-ops N] [--render]
+  gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional] [--overlap] [--gantt] [--json] [--exact] [--exact-budget N] [--exact-max-ops N]
   gpuflow check <source> [--device DEV | --devices CLUSTER] [--json]
   gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV | --devices CLUSTER]
 
@@ -67,4 +69,7 @@ clusters:   comma list of device names with optional xN counts, all behind
             one shared PCIe bus: gtx8800x4 | c870x2,modern (docs/multigpu.md)
 schedulers: dfs (default) | source-dfs | bfs | insertion
 evictions:  belady (default) | latest | lru | fifo
+exact:      --exact proves a transfer-optimal schedule (pseudo-Boolean);
+            --exact-budget caps solver conflicts (past it: best plan found,
+            unproven); --exact-max-ops bounds the accepted graph size
 ";

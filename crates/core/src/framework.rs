@@ -18,7 +18,7 @@ use crate::error::FrameworkError;
 use crate::executor::{ExecOutcome, Executor};
 use crate::opschedule::{schedule_units, OpScheduler};
 use crate::partition::{partition_offload_units, PartitionPolicy};
-use crate::pbexact::{pb_exact_plan, PbExactOptions};
+use crate::pbexact::{pb_exact_plan, PbExactOptions, PbExactStats};
 use crate::plan::{validate_plan, ExecutionPlan, PlanStats};
 use crate::split::{split_graph, SplitResult};
 use crate::xfer::{schedule_transfers, EvictionPolicy, XferOptions};
@@ -98,6 +98,9 @@ pub struct CompiledTemplate {
     /// Whether the exact PB scheduler produced the plan (and proved it
     /// optimal).
     pub exact_optimal: bool,
+    /// Solver search and formula-size statistics when the exact PB
+    /// scheduler ran.
+    pub exact_stats: Option<PbExactStats>,
 }
 
 impl Framework {
@@ -134,6 +137,7 @@ impl Framework {
                 plan: out.plan,
                 device: self.device.clone(),
                 exact_optimal: out.optimal,
+                exact_stats: Some(out.stats),
             });
         }
 
@@ -155,6 +159,7 @@ impl Framework {
             plan,
             device: self.device.clone(),
             exact_optimal: false,
+            exact_stats: None,
         })
     }
 }

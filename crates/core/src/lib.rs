@@ -59,7 +59,7 @@ pub use framework::{CompileOptions, CompiledTemplate, Framework};
 pub use opschedule::{schedule_units, OpScheduler};
 pub use overlap::{overlapped_makespan, overlapped_trace, render_gantt, OverlapOutcome};
 pub use partition::{partition_offload_units, OffloadUnit, PartitionPolicy};
-pub use pbexact::{pb_exact_plan, PbExactOptions, PbExactOutcome};
+pub use pbexact::{pb_exact_plan, ObjectiveKind, PbExactOptions, PbExactOutcome, PbExactStats};
 pub use plan::{validate_plan, ExecutionPlan, PlanStats, Step};
 pub use prefetch::hoist_prefetches;
 pub use report::compilation_report;

@@ -25,21 +25,41 @@
 //! 2. copies require a source: `cg[j][t] → c[j][t-1]` and
 //!    `cc[j][t] → g[j][t-1]`.
 //!
-//! The constraint count scales as `O(N²·M)` in the free-order case, so —
-//! exactly as the paper reports — the method is only practical for small
-//! templates; CNN-scale graphs fall back to the heuristics.
-//! [`PbExactOptions::max_ops`] enforces that boundary explicitly.
+//! The raw constraint count scales as `O(N²·M)` in the free-order case, so
+//! — exactly as the paper reports — the *unpruned* method is only practical
+//! for small templates. Three scaling measures (see `docs/exact-scaling.md`)
+//! push the boundary out without changing what is proven:
+//!
+//! * **Window pruning**: ASAP/ALAP step windows for every unit (from the
+//!   precedence DAG) and liveness windows for every `g/c/cg/cc` variable
+//!   (from producer/consumer windows) fix all out-of-window variables to
+//!   constants at encode time, shrinking the formula to its reachable core
+//!   while preserving the optimum.
+//! * **Heuristic warm start**: the depth-first + Belady plan seeds the
+//!   incumbent (`objective ≤ heuristic − 1` before the first solve) and the
+//!   solver's initial phases; a structural lower bound (unavoidable input
+//!   uploads + output downloads) lets provably-optimal heuristic plans
+//!   return without any search.
+//! * **Anytime solving**: conflict and wall-clock budgets return the best
+//!   incumbent with `optimal: false` plus search statistics instead of
+//!   failing outright.
+//!
+//! [`PbExactOptions::max_ops`] still bounds the accepted problem size.
 
 // Index-style loops mirror the paper's constraint numbering; iterator
 // rewrites would obscure the correspondence with Fig. 5.
 #![allow(clippy::needless_range_loop)]
 
 use gpuflow_graph::{DataId, DataKind, Graph, FLOAT_BYTES};
-use gpuflow_pbsat::{minimize, Cmp, Lit, OptimizeOptions, OptimizeOutcome, PbFormula};
+use gpuflow_pbsat::{
+    minimize_warm, Cmp, Lit, OptimizeOptions, OptimizeOutcome, PbFormula, WarmStart,
+};
 
 use crate::error::FrameworkError;
+use crate::opschedule::{schedule_units, OpScheduler};
 use crate::partition::OffloadUnit;
-use crate::plan::{ExecutionPlan, Step};
+use crate::plan::{validate_plan, ExecutionPlan, Step};
+use crate::xfer::{schedule_transfers, EvictionPolicy, XferOptions};
 
 /// What the optimizer minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -59,10 +79,21 @@ pub enum ObjectiveKind {
 #[derive(Debug, Clone, Copy)]
 pub struct PbExactOptions {
     /// Refuse problems with more offload units than this (the paper's
-    /// "practically infeasible" boundary).
+    /// "practically infeasible" boundary, pushed out by window pruning).
     pub max_ops: usize,
-    /// Total conflict budget handed to the PB optimizer.
+    /// Total conflict budget handed to the PB optimizer. Exhausting it
+    /// returns the best incumbent with `optimal: false` (anytime mode).
     pub max_conflicts: u64,
+    /// Optional wall-clock budget in milliseconds (anytime mode).
+    pub max_millis: Option<u64>,
+    /// Fix variables outside their precedence/liveness windows to
+    /// constants at encode time. Optimum-preserving; disable only for
+    /// ablation against the full Fig. 5 encoding.
+    pub prune: bool,
+    /// Seed the optimizer with the depth-first + Belady heuristic plan:
+    /// incumbent bound, initial solver phases, and a structural
+    /// lower-bound early exit.
+    pub warm_start: bool,
     /// Which transfers the objective charges for.
     pub objective: ObjectiveKind,
 }
@@ -70,11 +101,48 @@ pub struct PbExactOptions {
 impl Default for PbExactOptions {
     fn default() -> Self {
         PbExactOptions {
-            max_ops: 16,
-            max_conflicts: 4_000_000,
+            max_ops: 40,
+            max_conflicts: 70_000,
+            max_millis: None,
+            prune: true,
+            warm_start: true,
             objective: ObjectiveKind::TotalTransfers,
         }
     }
+}
+
+/// Formula-size and search statistics for one exact solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PbExactStats {
+    /// Variables in the full (unpruned) Fig. 5 encoding.
+    pub vars_full: usize,
+    /// Clauses in the full encoding.
+    pub clauses_full: usize,
+    /// Linear constraints in the full encoding.
+    pub linears_full: usize,
+    /// Variables in the window-pruned encoding.
+    pub vars_pruned: usize,
+    /// Clauses in the window-pruned encoding.
+    pub clauses_pruned: usize,
+    /// Linear constraints in the window-pruned encoding.
+    pub linears_pruned: usize,
+    /// Solver conflicts spent.
+    pub conflicts: u64,
+    /// Solver decisions made.
+    pub decisions: u64,
+    /// Solver propagations performed.
+    pub propagations: u64,
+    /// Solver restarts performed.
+    pub restarts: u64,
+    /// Transfer floats of the heuristic warm-start plan, when one exists.
+    pub heuristic_floats: Option<u64>,
+    /// Structural lower bound: unavoidable input uploads + output
+    /// downloads, in floats (total-transfer objective).
+    pub lower_bound_floats: u64,
+    /// True when the solve was seeded with the heuristic incumbent.
+    pub warm_started: bool,
+    /// True when the window-pruned encoding was the one solved.
+    pub pruned: bool,
 }
 
 /// Result of the exact scheduler.
@@ -87,6 +155,660 @@ pub struct PbExactOutcome {
     pub transfer_floats: u64,
     /// True when the solver proved optimality.
     pub optimal: bool,
+    /// Formula-size and search statistics.
+    pub stats: PbExactStats,
+}
+
+/// Constant-or-variable slot for one encoding position. Window pruning
+/// replaces out-of-window variables with `F`/`T` constants; the emitters
+/// below fold constants away, so one constraint body serves both the full
+/// and the pruned encodings.
+#[derive(Debug, Clone, Copy)]
+enum S {
+    /// Constant false.
+    F,
+    /// Constant true.
+    T,
+    /// A live solver variable.
+    V(Lit),
+}
+
+impl S {
+    fn neg(self) -> S {
+        match self {
+            S::F => S::T,
+            S::T => S::F,
+            S::V(l) => S::V(!l),
+        }
+    }
+}
+
+fn slot(f: &mut PbFormula, live: bool) -> S {
+    if live {
+        S::V(f.new_var().pos())
+    } else {
+        S::F
+    }
+}
+
+/// Emit a clause over slots: satisfied clauses (any `T`) vanish, constant
+/// false literals drop out. An all-`F` clause marks the formula UNSAT.
+fn s_clause(f: &mut PbFormula, slots: &[S]) {
+    let mut lits = Vec::with_capacity(slots.len());
+    for &s in slots {
+        match s {
+            S::T => return,
+            S::F => {}
+            S::V(l) => lits.push(l),
+        }
+    }
+    f.add_clause(&lits);
+}
+
+fn s_unit(f: &mut PbFormula, s: S) {
+    s_clause(f, &[s]);
+}
+
+fn s_implies(f: &mut PbFormula, a: S, b: S) {
+    s_clause(f, &[a.neg(), b]);
+}
+
+/// Exactly one of `slots` is true, after constant folding.
+fn s_exactly_one(f: &mut PbFormula, slots: &[S]) {
+    let mut lits = Vec::new();
+    let mut trues = 0usize;
+    for &s in slots {
+        match s {
+            S::T => trues += 1,
+            S::F => {}
+            S::V(l) => lits.push(l),
+        }
+    }
+    match trues {
+        0 if lits.is_empty() => f.add_clause(&[]), // no candidate left
+        0 => f.add_exactly_one(&lits),
+        1 => {
+            for l in lits {
+                f.add_unit(!l);
+            }
+        }
+        _ => f.add_clause(&[]), // two constants true: contradictory
+    }
+}
+
+/// `Σ coefᵢ·slotᵢ ≤ rhs` with constants folded into the bound.
+fn s_linear_le(f: &mut PbFormula, terms: &[(i64, S)], mut rhs: i64) {
+    let mut lin = Vec::with_capacity(terms.len());
+    for &(a, s) in terms {
+        match s {
+            S::T => rhs -= a,
+            S::F => {}
+            S::V(l) => lin.push((a, l)),
+        }
+    }
+    f.add_linear(&lin, Cmp::Le, rhs);
+}
+
+/// ASAP/ALAP step windows from the unit-level precedence DAG:
+/// `est[u] = |ancestors(u)| + 1` and `lst[u] = n − |descendants(u)|`
+/// (1-based steps). Every precedence-respecting schedule places `u`
+/// inside `[est[u], lst[u]]`, and every step keeps at least one
+/// candidate unit (any topological order witnesses both).
+fn unit_windows(
+    n: usize,
+    ext_inputs: &[Vec<DataId>],
+    owner: &[Option<usize>],
+) -> (Vec<usize>, Vec<usize>) {
+    let words = n.div_ceil(64);
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for u2 in 0..n {
+        for inp in &ext_inputs[u2] {
+            if let Some(u1) = owner[inp.index()] {
+                if !preds[u2].contains(&u1) {
+                    preds[u2].push(u1);
+                    succs[u1].push(u2);
+                    indeg[u2] += 1;
+                }
+            }
+        }
+    }
+    // Kahn traversal accumulating ancestor bitsets along edges.
+    let mut anc: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&u| indeg[u] == 0).collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let mut src = anc[u].clone();
+        src[u / 64] |= 1u64 << (u % 64);
+        for k in 0..succs[u].len() {
+            let v = succs[u][k];
+            for (dst, &s) in anc[v].iter_mut().zip(src.iter()) {
+                *dst |= s;
+            }
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    if queue.len() != n {
+        // Defensive: a cyclic unit graph gets trivial (full) windows.
+        return (vec![1; n], vec![n; n]);
+    }
+    let mut est = vec![0usize; n];
+    let mut desc = vec![0usize; n];
+    for u in 0..n {
+        let cnt: u32 = anc[u].iter().map(|w| w.count_ones()).sum();
+        est[u] = cnt as usize + 1;
+        for w in 0..words {
+            let mut bits = anc[u][w];
+            while bits != 0 {
+                desc[w * 64 + bits.trailing_zeros() as usize] += 1;
+                bits &= bits - 1;
+            }
+        }
+    }
+    let lst: Vec<usize> = (0..n).map(|u| n - desc[u]).collect();
+    (est, lst)
+}
+
+/// Shared inputs of the encoder.
+struct EncCtx<'a> {
+    g: &'a Graph,
+    n: usize,
+    j: usize,
+    mem_floats: i64,
+    sizes: &'a [i64],
+    ext_inputs: &'a [Vec<DataId>],
+    outputs: &'a [Vec<DataId>],
+    owner: &'a [Option<usize>],
+    consumers: &'a [Vec<usize>],
+    est: &'a [usize],
+    lst: &'a [usize],
+    objective_kind: ObjectiveKind,
+    pinned: Option<&'a [usize]>,
+}
+
+/// One built encoding: the formula, its slot arrays, and the objective.
+struct Encoded {
+    f: PbFormula,
+    x: Vec<Vec<S>>,    // x[u][t-1], t = 1..=n
+    gv: Vec<Vec<S>>,   // g[j][t], t = 0..=n
+    cv: Vec<Vec<S>>,   // c[j][t], t = 0..=n+1
+    cg: Vec<Vec<S>>,   // cg[j][t-1], t = 1..=n
+    cc: Vec<Vec<S>>,   // cc[j][t-1], t = 1..=n+1
+    done: Vec<Vec<S>>, // done[u][t], t = 0..=n
+    objective: Vec<(i64, Lit)>,
+}
+
+/// Build the Fig. 5 formulation. With `prune` set, every variable outside
+/// its precedence/liveness window becomes a constant slot (the derivations
+/// and optimum-preservation arguments are in `docs/exact-scaling.md`);
+/// without it every slot is live, reproducing the full published encoding.
+fn encode(cx: &EncCtx<'_>, prune: bool) -> Encoded {
+    let (n, j) = (cx.n, cx.j);
+    let mut f = PbFormula::new();
+
+    // --- Variable slots. ---
+    let mut x: Vec<Vec<S>> = Vec::with_capacity(n);
+    let mut done: Vec<Vec<S>> = Vec::with_capacity(n);
+    for u in 0..n {
+        let mut xrow = Vec::with_capacity(n);
+        for t in 1..=n {
+            xrow.push(slot(&mut f, !prune || (cx.est[u] <= t && t <= cx.lst[u])));
+        }
+        x.push(xrow);
+        let mut drow = Vec::with_capacity(n + 1);
+        for t in 0..=n {
+            // `done[u][t]` is decided outside [est, lst): exactly-one over
+            // the x window entails execution by lst[u].
+            drow.push(if !prune {
+                S::V(f.new_var().pos())
+            } else if t < cx.est[u] {
+                S::F
+            } else if t >= cx.lst[u] {
+                S::T
+            } else {
+                S::V(f.new_var().pos())
+            });
+        }
+        done.push(drow);
+    }
+    let mut gv: Vec<Vec<S>> = Vec::with_capacity(j);
+    let mut cv: Vec<Vec<S>> = Vec::with_capacity(j);
+    let mut cg: Vec<Vec<S>> = Vec::with_capacity(j);
+    let mut cc: Vec<Vec<S>> = Vec::with_capacity(j);
+    for dj in 0..j {
+        let kind = cx.g.data(DataId(dj as u32)).kind;
+        let is_output = kind == DataKind::Output;
+        let prod = cx.owner[dj];
+        let cons = &cx.consumers[dj];
+        let minc = cons.iter().map(|&u| cx.est[u]).min();
+        let maxc = cons.iter().map(|&u| cx.lst[u]).max();
+        // The host's copy of an unproduced datum can never be invalidated,
+        // so it never pays to discard it: pin the whole `c` row true.
+        let host_always = prod.is_none() && kind.starts_on_cpu();
+
+        // g[j][t] can be true only in [gs, ge]: nothing exists before its
+        // producer's earliest step (or one step before its first possible
+        // consumer, the latest prefetch that still serves it), and keeping
+        // residency past the last possible use never helps (Free is free).
+        let (gs, ge) = match prod {
+            Some(p) => (
+                cx.est[p],
+                if is_output {
+                    n
+                } else {
+                    maxc.unwrap_or(0).max(cx.lst[p])
+                },
+            ),
+            None => match (minc, maxc) {
+                (Some(mn), Some(mx)) => {
+                    (mn.saturating_sub(1).max(1), if is_output { n } else { mx })
+                }
+                _ => (1, 0), // dead and unproduced: never on the GPU
+            },
+        };
+        let mut grow = Vec::with_capacity(n + 1);
+        for t in 0..=n {
+            grow.push(slot(&mut f, !prune || (t >= 1 && gs <= t && t <= ge)));
+        }
+        gv.push(grow);
+
+        // Uploads serve a future consumer: latest-prefetch..last-use for
+        // host data; re-uploads of produced data additionally need a host
+        // copy first (production → download → upload takes two steps).
+        let (cgs, cge) = match (prod, maxc) {
+            (_, None) => (1, 0),
+            (Some(p), Some(mx)) => (cx.est[p] + 2, mx),
+            (None, Some(mx)) => (minc.unwrap_or(1).saturating_sub(1).max(1), mx),
+        };
+        let mut cgrow = Vec::with_capacity(n);
+        for t in 1..=n {
+            cgrow.push(slot(&mut f, !prune || (cgs <= t && t <= cge)));
+        }
+        cg.push(cgrow);
+
+        // Downloads need the datum on the GPU (so after production) and
+        // only pay off for outputs (until the final drain) or to enable a
+        // re-upload / host-side liveness before the last consumer.
+        let (ccs, cce) = match prod {
+            None => (1, 0), // host keeps it, or unreachable anyway
+            Some(p) => {
+                if is_output {
+                    (cx.est[p] + 1, n + 1)
+                } else {
+                    match maxc {
+                        Some(mx) => (cx.est[p] + 1, mx),
+                        None => (1, 0), // dead temporary: never download
+                    }
+                }
+            }
+        };
+        let mut ccrow = Vec::with_capacity(n + 1);
+        for t in 1..=n + 1 {
+            ccrow.push(slot(&mut f, !prune || (ccs <= t && t <= cce)));
+        }
+        cc.push(ccrow);
+
+        // Host residency mirrors the download window.
+        let mut cvrow = Vec::with_capacity(n + 2);
+        for t in 0..=n + 1 {
+            cvrow.push(if !prune {
+                S::V(f.new_var().pos())
+            } else if host_always {
+                S::T
+            } else {
+                match prod {
+                    None => S::F,
+                    Some(p) => {
+                        let end = if is_output { n + 1 } else { maxc.unwrap_or(0) };
+                        if t > cx.est[p] && t <= end {
+                            S::V(f.new_var().pos())
+                        } else {
+                            S::F
+                        }
+                    }
+                }
+            });
+        }
+        cv.push(cvrow);
+    }
+
+    // --- Constraints (numbering follows Fig. 5 / the original port). ---
+
+    // Pin the order if given.
+    if let Some(ord) = cx.pinned {
+        for (t, &u) in ord.iter().enumerate() {
+            s_unit(&mut f, x[u][t]);
+        }
+    }
+
+    // (1) one unit per step; (2) each unit exactly once.
+    for t in 1..=n {
+        let col: Vec<S> = (0..n).map(|u| x[u][t - 1]).collect();
+        s_exactly_one(&mut f, &col);
+    }
+    for u in 0..n {
+        s_exactly_one(&mut f, &x[u]);
+    }
+
+    // (14, 15) done bookkeeping.
+    for u in 0..n {
+        s_unit(&mut f, done[u][0].neg());
+        for t in 1..=n {
+            s_implies(&mut f, x[u][t - 1], done[u][t]);
+            s_implies(&mut f, done[u][t - 1], done[u][t]);
+            s_clause(&mut f, &[done[u][t].neg(), x[u][t - 1], done[u][t - 1]]);
+        }
+    }
+
+    // (3) precedence via done: a unit can run at t only if the producers
+    // of all its external inputs are done by t-1.
+    for u2 in 0..n {
+        for &inp in &cx.ext_inputs[u2] {
+            if let Some(u1) = cx.owner[inp.index()] {
+                s_unit(&mut f, x[u2][0].neg()); // cannot be the first step
+                for t in 2..=n {
+                    s_implies(&mut f, x[u2][t - 1], done[u1][t - 1]);
+                }
+            }
+        }
+    }
+
+    // (4) memory capacity at every step.
+    for t in 1..=n {
+        let terms: Vec<(i64, S)> = (0..j).map(|dj| (cx.sizes[dj], gv[dj][t])).collect();
+        s_linear_le(&mut f, &terms, cx.mem_floats);
+    }
+
+    // (5-8) GPU residency, copies, persistence.
+    for u in 0..n {
+        for t in 1..=n {
+            for d in cx.ext_inputs[u].iter().chain(cx.outputs[u].iter()) {
+                s_implies(&mut f, x[u][t - 1], gv[d.index()][t]); // (5)
+            }
+            for d in &cx.ext_inputs[u] {
+                // (6) x ∧ ¬g[t-1] → cg[t]
+                s_clause(
+                    &mut f,
+                    &[
+                        x[u][t - 1].neg(),
+                        gv[d.index()][t - 1],
+                        cg[d.index()][t - 1],
+                    ],
+                );
+            }
+        }
+    }
+    for dj in 0..j {
+        for t in 1..=n {
+            s_implies(&mut f, cg[dj][t - 1], gv[dj][t]); // (7)
+            s_implies(&mut f, cg[dj][t - 1], cv[dj][t - 1]); // upload needs a host copy
+            s_clause(&mut f, &[cg[dj][t - 1].neg(), gv[dj][t - 1].neg()]); // no redundant uploads
+                                                                           // (8) g[t] → g[t-1] ∨ cg[t] ∨ produced-at-t
+            let mut cl = vec![gv[dj][t].neg(), gv[dj][t - 1], cg[dj][t - 1]];
+            if let Some(u) = cx.owner[dj] {
+                cl.push(x[u][t - 1]);
+            }
+            s_clause(&mut f, &cl);
+        }
+        for t in 1..=n + 1 {
+            s_implies(&mut f, cc[dj][t - 1], gv[dj][t - 1]); // download needs GPU presence
+            s_clause(&mut f, &[cc[dj][t - 1].neg(), cv[dj][t - 1].neg()]); // no redundant downloads
+        }
+    }
+
+    // (9) CPU copy invalidation on production; (10) CPU persistence.
+    for dj in 0..j {
+        if let Some(u) = cx.owner[dj] {
+            for t in 1..=n {
+                // x[u][t] ∧ ¬cc[t+1] → ¬c[t+1]
+                s_clause(&mut f, &[x[u][t - 1].neg(), cc[dj][t], cv[dj][t + 1].neg()]);
+            }
+        }
+        for t in 0..=n {
+            // c[t+1] → c[t] ∨ cc[t+1]
+            s_clause(&mut f, &[cv[dj][t + 1].neg(), cv[dj][t], cc[dj][t]]);
+        }
+    }
+
+    // (11, 12, 13) boundary conditions (constant slots absorb these in
+    // the pruned encoding).
+    for dj in 0..j {
+        let kind = cx.g.data(DataId(dj as u32)).kind;
+        if kind.starts_on_cpu() {
+            s_unit(&mut f, cv[dj][0]);
+        } else {
+            s_unit(&mut f, cv[dj][0].neg());
+        }
+        s_unit(&mut f, gv[dj][0].neg());
+        if kind == DataKind::Output {
+            s_unit(&mut f, cv[dj][n + 1]);
+        }
+    }
+
+    // (16-19) liveness: data that is produced and still has pending
+    // consumers must exist somewhere.
+    for dj in 0..j {
+        let kind = cx.g.data(DataId(dj as u32)).kind;
+        let producer = cx.owner[dj];
+        if kind == DataKind::Output {
+            if let Some(u) = producer {
+                for t in 1..=n {
+                    s_clause(&mut f, &[done[u][t].neg(), cv[dj][t], gv[dj][t]]);
+                }
+            }
+            continue;
+        }
+        if cx.consumers[dj].is_empty() {
+            continue;
+        }
+        for t in 1..=n {
+            for &u in &cx.consumers[dj] {
+                let mut cl = vec![done[u][t], cv[dj][t], gv[dj][t]];
+                if let Some(p) = producer {
+                    cl.insert(0, done[p][t].neg());
+                }
+                s_clause(&mut f, &cl);
+            }
+        }
+    }
+
+    // --- Objective. ---
+    let mut objective: Vec<(i64, Lit)> = Vec::new();
+    match cx.objective_kind {
+        ObjectiveKind::TotalTransfers => {
+            for dj in 0..j {
+                for t in 0..n {
+                    if let S::V(l) = cg[dj][t] {
+                        objective.push((cx.sizes[dj], l));
+                    }
+                }
+                for t in 0..=n {
+                    if let S::V(l) = cc[dj][t] {
+                        objective.push((cx.sizes[dj], l));
+                    }
+                }
+            }
+        }
+        ObjectiveKind::SynchronousTransfers => {
+            // z[j][t] ⇐ cg[j][t] ∧ (some consumer of j executes at t): an
+            // upload arriving exactly when it is consumed cannot be
+            // hidden. Prefetches and all downloads overlap with kernels.
+            for dj in 0..j {
+                if cx.consumers[dj].is_empty() {
+                    continue;
+                }
+                for t in 1..=n {
+                    let cgl = match cg[dj][t - 1] {
+                        S::V(l) => Some(l),
+                        _ => None,
+                    };
+                    let users: Vec<Lit> = cx.consumers[dj]
+                        .iter()
+                        .filter_map(|&u| match x[u][t - 1] {
+                            S::V(l) => Some(l),
+                            _ => None,
+                        })
+                        .collect();
+                    // The pruned encoding only materializes z where an
+                    // unhidable upload is possible at all.
+                    if prune && (cgl.is_none() || users.is_empty()) {
+                        continue;
+                    }
+                    let z = f.new_var().pos();
+                    if let Some(cgl) = cgl {
+                        for &xu in &users {
+                            f.add_clause(&[!cgl, !xu, z]);
+                        }
+                    }
+                    objective.push((cx.sizes[dj], z));
+                }
+            }
+        }
+    }
+
+    Encoded {
+        f,
+        x,
+        gv,
+        cv,
+        cg,
+        cc,
+        done,
+        objective,
+    }
+}
+
+/// The paper's heuristic pipeline (depth-first order unless pinned, Belady
+/// transfers) as a feasible incumbent: order, plan and transfer floats.
+fn heuristic_incumbent(
+    g: &Graph,
+    units: &[OffloadUnit],
+    memory_bytes: u64,
+    fixed_order: Option<&[usize]>,
+) -> Option<(Vec<usize>, ExecutionPlan, u64)> {
+    let order: Vec<usize> = match fixed_order {
+        Some(o) => o.to_vec(),
+        None => schedule_units(g, units, OpScheduler::DepthFirst),
+    };
+    let plan = schedule_transfers(
+        g,
+        units,
+        &order,
+        XferOptions {
+            memory_bytes,
+            policy: EvictionPolicy::Belady,
+            eager_free: true,
+        },
+    )
+    .ok()?;
+    validate_plan(g, &plan, memory_bytes).ok()?;
+    let floats = plan.stats(g).total_floats();
+    Some((order, plan, floats))
+}
+
+/// Translate the heuristic plan into initial phases for every live
+/// variable of `enc`. Approximate where the plan's intra-step ordering
+/// differs from the step semantics — phases are hints, not constraints.
+fn warm_phases(
+    g: &Graph,
+    units: &[OffloadUnit],
+    enc: &Encoded,
+    order: &[usize],
+    plan: &ExecutionPlan,
+) -> Vec<(gpuflow_pbsat::Var, bool)> {
+    let n = units.len();
+    let j = g.num_data();
+    let mut launch_step = vec![0usize; n]; // 1-based
+    for (pos, &u) in order.iter().enumerate() {
+        launch_step[u] = pos + 1;
+    }
+    let mut on_gpu = vec![false; j];
+    let mut on_cpu: Vec<bool> = (0..j)
+        .map(|dj| g.data(DataId(dj as u32)).kind.starts_on_cpu())
+        .collect();
+    let mut gv_at = vec![vec![false; j]; n + 1]; // [t][dj], t = 0..=n
+    let mut cv_at = vec![vec![false; j]; n + 2]; // t = 0..=n+1
+    let mut cg_at = vec![vec![false; j]; n + 1]; // t = 1..=n
+    let mut cc_at = vec![vec![false; j]; n + 2]; // t = 1..=n+1
+    cv_at[0].clone_from(&on_cpu);
+    let mut t = 1usize;
+    for step in &plan.steps {
+        match *step {
+            Step::CopyOut(d) => {
+                cc_at[t.min(n + 1)][d.index()] = true;
+                on_cpu[d.index()] = true;
+            }
+            Step::CopyIn(d) => {
+                cg_at[t.min(n)][d.index()] = true;
+                on_gpu[d.index()] = true;
+            }
+            Step::Free(d) => on_gpu[d.index()] = false,
+            Step::Launch(u) => {
+                for d in units[u].outputs(g) {
+                    on_gpu[d.index()] = true;
+                }
+                if t <= n {
+                    gv_at[t].clone_from(&on_gpu);
+                    cv_at[t].clone_from(&on_cpu);
+                }
+                t += 1;
+            }
+        }
+    }
+    cv_at[n + 1].clone_from(&on_cpu);
+
+    let mut phases: Vec<(gpuflow_pbsat::Var, bool)> = Vec::new();
+    let mut push = |s: S, val: bool| {
+        if let S::V(l) = s {
+            phases.push((l.var(), if l.is_neg() { !val } else { val }));
+        }
+    };
+    for u in 0..n {
+        for tt in 1..=n {
+            push(enc.x[u][tt - 1], launch_step[u] == tt);
+        }
+        for tt in 0..=n {
+            push(enc.done[u][tt], launch_step[u] != 0 && launch_step[u] <= tt);
+        }
+    }
+    for dj in 0..j {
+        for tt in 0..=n {
+            push(enc.gv[dj][tt], gv_at[tt][dj]);
+        }
+        for tt in 0..=n + 1 {
+            push(enc.cv[dj][tt], cv_at[tt][dj]);
+        }
+        for tt in 1..=n {
+            push(enc.cg[dj][tt - 1], cg_at[tt][dj]);
+        }
+        for tt in 1..=n + 1 {
+            push(enc.cc[dj][tt - 1], cc_at[tt][dj]);
+        }
+    }
+    phases
+}
+
+/// Structural lower bound on total transfer floats: every host-resident
+/// datum some unit consumes must be uploaded at least once, and every
+/// produced output downloaded at least once.
+fn structural_lower_bound(g: &Graph, owner: &[Option<usize>], consumers: &[Vec<usize>]) -> u64 {
+    let mut lb = 0u64;
+    for dj in 0..g.num_data() {
+        let info = g.data(DataId(dj as u32));
+        if info.kind.starts_on_cpu() && owner[dj].is_none() && !consumers[dj].is_empty() {
+            lb += info.len();
+        }
+        if info.kind == DataKind::Output && owner[dj].is_some() {
+            lb += info.len();
+        }
+    }
+    lb
 }
 
 /// Solve the Fig. 5 formulation over `units` with `memory_bytes` of device
@@ -109,6 +831,7 @@ pub fn pb_exact_plan(
             },
             transfer_floats: 0,
             optimal: true,
+            stats: PbExactStats::default(),
         });
     }
     if n > opts.max_ops {
@@ -137,200 +860,112 @@ pub fn pb_exact_plan(
         }
     }
 
-    let mut f = PbFormula::new();
-    let x: Vec<Vec<Lit>> = (0..n)
-        .map(|_| (0..n).map(|_| f.new_var().pos()).collect())
-        .collect(); // x[u][t-1]
-    let gv: Vec<Vec<Lit>> = (0..j)
-        .map(|_| (0..=n).map(|_| f.new_var().pos()).collect())
-        .collect(); // g[j][t], t=0..=N
-    let cv: Vec<Vec<Lit>> = (0..j)
-        .map(|_| (0..=n + 1).map(|_| f.new_var().pos()).collect())
-        .collect(); // c[j][t], t=0..=N+1
-    let cg: Vec<Vec<Lit>> = (0..j)
-        .map(|_| (0..n).map(|_| f.new_var().pos()).collect())
-        .collect(); // cg[j][t-1], t=1..=N
-    let cc: Vec<Vec<Lit>> = (0..j)
-        .map(|_| (0..=n).map(|_| f.new_var().pos()).collect())
-        .collect(); // cc[j][t-1], t=1..=N+1
-    let done: Vec<Vec<Lit>> = (0..n)
-        .map(|_| (0..=n).map(|_| f.new_var().pos()).collect())
-        .collect(); // done[u][t], t=0..=N
-
-    // Pin the order if given.
-    if let Some(ord) = fixed_order {
-        for (t, &u) in ord.iter().enumerate() {
-            f.add_unit(x[u][t]);
+    // ASAP/ALAP windows; a pinned order collapses them to singletons.
+    let (est, lst) = match fixed_order {
+        Some(ord) => {
+            let mut e = vec![0usize; n];
+            for (pos, &u) in ord.iter().enumerate() {
+                e[u] = pos + 1;
+            }
+            (e.clone(), e)
         }
-    }
+        None => unit_windows(n, &ext_inputs, &owner),
+    };
 
-    // (1) one unit per step; (2) each unit exactly once.
-    for t in 0..n {
-        let col: Vec<Lit> = (0..n).map(|u| x[u][t]).collect();
-        f.add_exactly_one(&col);
-    }
-    for u in 0..n {
-        f.add_exactly_one(&x[u]);
-    }
+    let cx = EncCtx {
+        g,
+        n,
+        j,
+        mem_floats,
+        sizes: &sizes,
+        ext_inputs: &ext_inputs,
+        outputs: &outputs,
+        owner: &owner,
+        consumers: &consumers,
+        est: &est,
+        lst: &lst,
+        objective_kind: opts.objective,
+        pinned: fixed_order,
+    };
+    // Both encodings are built (encoding is cheap next to solving) so the
+    // size reduction is always measurable in the reported stats.
+    let full = encode(&cx, false);
+    let pruned = encode(&cx, true);
+    let mut stats = PbExactStats {
+        vars_full: full.f.num_vars(),
+        clauses_full: full.f.num_clauses(),
+        linears_full: full.f.num_linears(),
+        vars_pruned: pruned.f.num_vars(),
+        clauses_pruned: pruned.f.num_clauses(),
+        linears_pruned: pruned.f.num_linears(),
+        pruned: opts.prune,
+        ..PbExactStats::default()
+    };
+    let enc = if opts.prune { &pruned } else { &full };
 
-    // (14, 15) done bookkeeping.
-    for u in 0..n {
-        f.add_unit(!done[u][0]);
-        for t in 1..=n {
-            f.add_implies(x[u][t - 1], done[u][t]);
-            f.add_implies(done[u][t - 1], done[u][t]);
-            f.add_clause(&[!done[u][t], x[u][t - 1], done[u][t - 1]]);
-        }
-    }
-
-    // (3) precedence via done: a unit can run at t only if the producers of
-    // all its external inputs are done by t-1.
-    for u2 in 0..n {
-        for &inp in &ext_inputs[u2] {
-            if let Some(u1) = owner[inp.index()] {
-                f.add_unit(!x[u2][0]); // cannot be the first step
-                for t in 2..=n {
-                    f.add_implies(x[u2][t - 1], done[u1][t - 1]);
-                }
+    // Heuristic incumbent: warm start, lower-bound early exit, and the
+    // anytime fallback when the budget expires without any model.
+    let heuristic = heuristic_incumbent(g, units, memory_bytes, fixed_order);
+    let lb = structural_lower_bound(g, &owner, &consumers);
+    stats.lower_bound_floats = lb;
+    stats.heuristic_floats = heuristic.as_ref().map(|(_, _, fl)| *fl);
+    let total_objective = opts.objective == ObjectiveKind::TotalTransfers;
+    if opts.warm_start && total_objective {
+        if let Some((_, plan, floats)) = &heuristic {
+            if *floats <= lb {
+                // The heuristic meets the structural lower bound: it is
+                // proven optimal without touching the solver.
+                stats.warm_started = true;
+                return Ok(PbExactOutcome {
+                    plan: plan.clone(),
+                    transfer_floats: *floats,
+                    optimal: true,
+                    stats,
+                });
             }
         }
     }
+    let warm = match &heuristic {
+        Some((order, plan, floats)) if opts.warm_start => Some(WarmStart {
+            // The heuristic's synchronous-transfer cost is unknown, so the
+            // bound only applies to the total-transfer objective; phases
+            // still help either way.
+            bound: total_objective.then_some(*floats as i64),
+            phases: warm_phases(g, units, enc, order, plan),
+        }),
+        _ => None,
+    };
+    let warm_bound = warm.as_ref().is_some_and(|w| w.bound.is_some());
+    stats.warm_started = warm.is_some();
 
-    // (4) memory capacity at every step.
-    for t in 1..=n {
-        let terms: Vec<(i64, Lit)> = (0..j).map(|dj| (sizes[dj], gv[dj][t])).collect();
-        f.add_linear(&terms, Cmp::Le, mem_floats);
-    }
-
-    // (5-8) GPU residency, copies, persistence.
-    for u in 0..n {
-        for t in 1..=n {
-            for d in ext_inputs[u].iter().chain(outputs[u].iter()) {
-                f.add_implies(x[u][t - 1], gv[d.index()][t]); // (5)
-            }
-            for d in &ext_inputs[u] {
-                // (6) x ∧ ¬g[t-1] → cg[t]
-                f.add_clause(&[!x[u][t - 1], gv[d.index()][t - 1], cg[d.index()][t - 1]]);
-            }
-        }
-    }
-    for dj in 0..j {
-        for t in 1..=n {
-            f.add_implies(cg[dj][t - 1], gv[dj][t]); // (7)
-            f.add_implies(cg[dj][t - 1], cv[dj][t - 1]); // upload needs a host copy
-            f.add_clause(&[!cg[dj][t - 1], !gv[dj][t - 1]]); // no redundant uploads
-                                                             // (8) g[t] → g[t-1] ∨ cg[t] ∨ produced-at-t
-            let mut cl = vec![!gv[dj][t], gv[dj][t - 1], cg[dj][t - 1]];
-            if let Some(u) = owner[dj] {
-                cl.push(x[u][t - 1]);
-            }
-            f.add_clause(&cl);
-        }
-        for t in 1..=n + 1 {
-            f.add_implies(cc[dj][t - 1], gv[dj][t - 1]); // download needs GPU presence
-            f.add_clause(&[!cc[dj][t - 1], !cv[dj][t - 1]]); // no redundant downloads
-        }
-    }
-
-    // (9) CPU copy invalidation on production; (10) CPU persistence.
-    for dj in 0..j {
-        if let Some(u) = owner[dj] {
-            for t in 1..=n {
-                // x[u][t] ∧ ¬cc[t+1] → ¬c[t+1]
-                f.add_clause(&[!x[u][t - 1], cc[dj][t], !cv[dj][t + 1]]);
-            }
-        }
-        for t in 0..=n {
-            // c[t+1] → c[t] ∨ cc[t+1]
-            f.add_clause(&[!cv[dj][t + 1], cv[dj][t], cc[dj][t]]);
-        }
-    }
-
-    // (11, 12, 13) boundary conditions.
-    for dj in 0..j {
-        let d = DataId(dj as u32);
-        let kind = g.data(d).kind;
-        if kind.starts_on_cpu() {
-            f.add_unit(cv[dj][0]);
-        } else {
-            f.add_unit(!cv[dj][0]);
-        }
-        f.add_unit(!gv[dj][0]);
-        if kind == DataKind::Output {
-            f.add_unit(cv[dj][n + 1]);
-        }
-    }
-
-    // (16-19) liveness: data that is produced and still has pending
-    // consumers must exist somewhere.
-    for dj in 0..j {
-        let d = DataId(dj as u32);
-        let kind = g.data(d).kind;
-        let producer = owner[dj];
-        if kind == DataKind::Output {
-            if let Some(u) = producer {
-                for t in 1..=n {
-                    f.add_clause(&[!done[u][t], cv[dj][t], gv[dj][t]]);
-                }
-            }
-            continue;
-        }
-        if consumers[dj].is_empty() {
-            continue;
-        }
-        for t in 1..=n {
-            for &u in &consumers[dj] {
-                let mut cl = vec![done[u][t], cv[dj][t], gv[dj][t]];
-                if let Some(p) = producer {
-                    cl.insert(0, !done[p][t]);
-                }
-                f.add_clause(&cl);
-            }
-        }
-    }
-
-    // Objective.
-    let mut objective: Vec<(i64, Lit)> = Vec::new();
-    match opts.objective {
-        ObjectiveKind::TotalTransfers => {
-            for dj in 0..j {
-                for t in 0..n {
-                    objective.push((sizes[dj], cg[dj][t]));
-                }
-                for t in 0..=n {
-                    objective.push((sizes[dj], cc[dj][t]));
-                }
-            }
-        }
-        ObjectiveKind::SynchronousTransfers => {
-            // z[j][t] ⇐ cg[j][t] ∧ (some consumer of j executes at t):
-            // an upload that arrives exactly when it is consumed cannot be
-            // hidden. Prefetches and all downloads overlap with kernels.
-            for dj in 0..j {
-                if consumers[dj].is_empty() {
-                    continue;
-                }
-                for t in 1..=n {
-                    let z = f.new_var().pos();
-                    for &u in &consumers[dj] {
-                        // cg ∧ x_u → z
-                        f.add_clause(&[!cg[dj][t - 1], !x[u][t - 1], z]);
-                    }
-                    objective.push((sizes[dj], z));
-                }
-            }
-        }
-    }
-
-    let outcome = minimize(
-        &f,
-        &objective,
+    let (outcome, search) = minimize_warm(
+        &enc.f,
+        &enc.objective,
         OptimizeOptions {
             max_conflicts_per_call: None,
             max_total_conflicts: Some(opts.max_conflicts),
+            max_millis: opts.max_millis,
+            lower_bound: if total_objective { lb as i64 } else { 0 },
         },
+        warm.as_ref(),
     );
+    stats.conflicts = search.conflicts;
+    stats.decisions = search.decisions;
+    stats.propagations = search.propagations;
+    stats.restarts = search.restarts;
+
     let (model, value, optimal) = match outcome {
+        OptimizeOutcome::Infeasible if warm_bound => {
+            // UNSAT under `objective ≤ heuristic − 1`: nothing beats the
+            // (feasible, validated) incumbent, so it is the optimum.
+            let (_, plan, floats) = heuristic.expect("warm bound implies an incumbent");
+            return Ok(PbExactOutcome {
+                plan,
+                transfer_floats: floats,
+                optimal: true,
+                stats,
+            });
+        }
         OptimizeOutcome::Infeasible => return Err(FrameworkError::PbInfeasible),
         OptimizeOutcome::Optimal { model, value } => (model, value, true),
         OptimizeOutcome::BudgetExhausted {
@@ -338,42 +973,58 @@ pub fn pb_exact_plan(
             value,
         } => (m, value, false),
         OptimizeOutcome::BudgetExhausted { model: None, .. } => {
-            return Err(FrameworkError::PbBudgetExhausted)
+            // Anytime fallback: the budget is gone and the solver found no
+            // model; hand back the heuristic plan, unproven.
+            match heuristic {
+                Some((_, plan, floats)) => {
+                    return Ok(PbExactOutcome {
+                        plan,
+                        transfer_floats: floats,
+                        optimal: false,
+                        stats,
+                    })
+                }
+                None => return Err(FrameworkError::PbBudgetExhausted),
+            }
         }
     };
 
     // --- Extract the plan. ---
-    let tv = |l: Lit| l.eval(model[l.var().index()]);
+    let tv = |s: S| match s {
+        S::F => false,
+        S::T => true,
+        S::V(l) => l.eval(model[l.var().index()]),
+    };
     let mut steps = Vec::new();
     for t in 1..=n {
         for dj in 0..j {
-            if tv(cc[dj][t - 1]) {
+            if tv(enc.cc[dj][t - 1]) {
                 steps.push(Step::CopyOut(DataId(dj as u32)));
             }
         }
         for dj in 0..j {
-            if tv(gv[dj][t - 1]) && !tv(gv[dj][t]) {
+            if tv(enc.gv[dj][t - 1]) && !tv(enc.gv[dj][t]) {
                 steps.push(Step::Free(DataId(dj as u32)));
             }
         }
         for dj in 0..j {
-            if tv(cg[dj][t - 1]) {
+            if tv(enc.cg[dj][t - 1]) {
                 steps.push(Step::CopyIn(DataId(dj as u32)));
             }
         }
         let u = (0..n)
-            .find(|&u| tv(x[u][t - 1]))
+            .find(|&u| tv(enc.x[u][t - 1]))
             .expect("one unit per step");
         steps.push(Step::Launch(u));
     }
     // Drain after the last step.
     for dj in 0..j {
-        if tv(cc[dj][n]) {
+        if tv(enc.cc[dj][n]) {
             steps.push(Step::CopyOut(DataId(dj as u32)));
         }
     }
     for dj in 0..j {
-        if tv(gv[dj][n]) {
+        if tv(enc.gv[dj][n]) {
             steps.push(Step::Free(DataId(dj as u32)));
         }
     }
@@ -388,6 +1039,7 @@ pub fn pb_exact_plan(
         plan,
         transfer_floats: value as u64,
         optimal,
+        stats,
     })
 }
 
@@ -577,8 +1229,8 @@ mod tests {
     fn large_graphs_rejected() {
         let mut g = Graph::new();
         let mut prev = g.add("in", 2, 2, DataKind::Input);
-        for i in 0..40 {
-            let kind = if i == 39 {
+        for i in 0..48 {
+            let kind = if i == 47 {
                 DataKind::Output
             } else {
                 DataKind::Temporary
@@ -598,5 +1250,190 @@ mod tests {
         let out = pb_exact_plan(&g, &[], 1024, PbExactOptions::default(), None).unwrap();
         assert!(out.optimal);
         assert!(out.plan.steps.is_empty());
+    }
+
+    #[test]
+    fn pruned_formula_is_smaller_than_full() {
+        let g = fig3_graph();
+        let units = fig3_units(&g);
+        let out = pb_exact_plan(
+            &g,
+            &units,
+            fig3_memory_bytes(),
+            PbExactOptions::default(),
+            None,
+        )
+        .unwrap();
+        let s = out.stats;
+        assert!(
+            s.vars_pruned < s.vars_full,
+            "window pruning must remove variables ({} vs {})",
+            s.vars_pruned,
+            s.vars_full
+        );
+        assert!(
+            s.clauses_pruned < s.clauses_full,
+            "window pruning must remove clauses ({} vs {})",
+            s.clauses_pruned,
+            s.clauses_full
+        );
+        assert!(s.pruned);
+    }
+
+    #[test]
+    fn full_encoding_still_proves_fig6() {
+        // `prune: false, warm_start: false` is the original cold path; it
+        // must agree with the pruned result.
+        let g = fig3_graph();
+        let units = fig3_units(&g);
+        let opts = PbExactOptions {
+            prune: false,
+            warm_start: false,
+            ..PbExactOptions::default()
+        };
+        let out = pb_exact_plan(&g, &units, fig3_memory_bytes(), opts, None).unwrap();
+        assert!(out.optimal);
+        assert_eq!(floats_to_units(out.transfer_floats), 8.0);
+        assert!(!out.stats.warm_started);
+        assert!(!out.stats.pruned);
+    }
+
+    #[test]
+    fn chain_of_32_ops_proves_optimal_via_lower_bound() {
+        // The raised `max_ops` admits a 32-op chain; with ample memory the
+        // heuristic already meets the structural lower bound (input +
+        // output), so optimality is proven without any solver search.
+        let mut g = Graph::new();
+        let mut prev = g.add("in", 2, 2, DataKind::Input);
+        for i in 0..32 {
+            let kind = if i == 31 {
+                DataKind::Output
+            } else {
+                DataKind::Temporary
+            };
+            let next = g.add(format!("d{i}"), 2, 2, kind);
+            g.add_op(format!("t{i}"), OpKind::Tanh, vec![prev], next)
+                .unwrap();
+            prev = next;
+        }
+        let out = pb_exact_plan_ops(&g, 1 << 20, PbExactOptions::default()).unwrap();
+        assert!(out.optimal, "lower-bound early exit proves optimality");
+        assert_eq!(out.transfer_floats, 8, "input (4) + output (4) floats");
+        assert_eq!(out.stats.conflicts, 0, "no search was needed");
+        assert_eq!(out.stats.heuristic_floats, Some(8));
+        assert_eq!(out.stats.lower_bound_floats, 8);
+        validate_plan(&g, &out.plan, 1 << 20).unwrap();
+    }
+
+    #[test]
+    fn exhausted_budget_falls_back_to_heuristic_plan() {
+        // Zero conflict budget on the tight diamond: the solver cannot
+        // finish, so the anytime path hands back a valid (heuristic or
+        // incumbent) plan flagged non-optimal.
+        let mut g = Graph::new();
+        let a = g.add("a", 2, 16, DataKind::Input);
+        let l = g.add("l", 1, 16, DataKind::Temporary);
+        let r = g.add("r", 1, 16, DataKind::Temporary);
+        let o = g.add("o", 1, 16, DataKind::Output);
+        let top = OpKind::GatherRows {
+            arity: 1,
+            row_off: 0,
+            rows: 1,
+        };
+        let bot = OpKind::GatherRows {
+            arity: 1,
+            row_off: 1,
+            rows: 1,
+        };
+        g.add_op("tl", top, vec![a], l).unwrap();
+        g.add_op("tr", bot, vec![a], r).unwrap();
+        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![l, r], o)
+            .unwrap();
+        let mem = 3 * 16 * 4;
+        let opts = PbExactOptions {
+            max_conflicts: 0,
+            warm_start: false,
+            ..PbExactOptions::default()
+        };
+        let out = pb_exact_plan_ops(&g, mem, opts).unwrap();
+        assert!(!out.optimal, "zero budget cannot prove optimality");
+        // Whatever was returned is feasible and no better than the true
+        // optimum of 80 floats.
+        validate_plan(&g, &out.plan, mem).unwrap();
+        assert!(out.transfer_floats >= 80);
+        assert_eq!(out.stats.heuristic_floats, Some(80));
+    }
+
+    #[test]
+    fn warm_start_proves_tight_diamond_optimal() {
+        // Same diamond, default options: the Belady heuristic already
+        // achieves the 80-float optimum, so the solver only has to prove
+        // `objective ≤ 79` UNSAT (or find an equal model).
+        let mut g = Graph::new();
+        let a = g.add("a", 2, 16, DataKind::Input);
+        let l = g.add("l", 1, 16, DataKind::Temporary);
+        let r = g.add("r", 1, 16, DataKind::Temporary);
+        let o = g.add("o", 1, 16, DataKind::Output);
+        let top = OpKind::GatherRows {
+            arity: 1,
+            row_off: 0,
+            rows: 1,
+        };
+        let bot = OpKind::GatherRows {
+            arity: 1,
+            row_off: 1,
+            rows: 1,
+        };
+        g.add_op("tl", top, vec![a], l).unwrap();
+        g.add_op("tr", bot, vec![a], r).unwrap();
+        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![l, r], o)
+            .unwrap();
+        let mem = 3 * 16 * 4;
+        let out = pb_exact_plan_ops(&g, mem, PbExactOptions::default()).unwrap();
+        assert!(out.optimal);
+        assert_eq!(out.transfer_floats, 80);
+        assert!(out.stats.warm_started);
+    }
+
+    #[test]
+    fn unit_windows_match_chain_and_diamond() {
+        // Chain a->b: est/lst are singletons. Diamond: the two middle
+        // units share the [2, 3] window.
+        let mut g = Graph::new();
+        let a = g.add("a", 2, 16, DataKind::Input);
+        let l = g.add("l", 1, 16, DataKind::Temporary);
+        let r = g.add("r", 1, 16, DataKind::Temporary);
+        let o = g.add("o", 1, 16, DataKind::Output);
+        let top = OpKind::GatherRows {
+            arity: 1,
+            row_off: 0,
+            rows: 1,
+        };
+        let bot = OpKind::GatherRows {
+            arity: 1,
+            row_off: 1,
+            rows: 1,
+        };
+        g.add_op("tl", top, vec![a], l).unwrap();
+        g.add_op("tr", bot, vec![a], r).unwrap();
+        g.add_op("j", OpKind::EwAdd { arity: 2 }, vec![l, r], o)
+            .unwrap();
+        let units: Vec<OffloadUnit> = gpuflow_graph::topo_sort(&g)
+            .unwrap()
+            .into_iter()
+            .map(|op| OffloadUnit { ops: vec![op] })
+            .collect();
+        let ext_inputs: Vec<Vec<DataId>> = units.iter().map(|u| u.external_inputs(&g)).collect();
+        let outputs: Vec<Vec<DataId>> = units.iter().map(|u| u.outputs(&g)).collect();
+        let mut owner: Vec<Option<usize>> = vec![None; g.num_data()];
+        for (u, outs) in outputs.iter().enumerate() {
+            for &d in outs {
+                owner[d.index()] = Some(u);
+            }
+        }
+        let (est, lst) = unit_windows(units.len(), &ext_inputs, &owner);
+        // tl and tr are interchangeable in steps 1..=2; j is pinned last.
+        assert_eq!(est, vec![1, 1, 3]);
+        assert_eq!(lst, vec![2, 2, 3]);
     }
 }

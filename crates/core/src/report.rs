@@ -98,6 +98,27 @@ pub fn compilation_report(compiled: &CompiledTemplate, template: &gpuflow_graph:
     if compiled.exact_optimal {
         let _ = writeln!(s, "  schedule: PROVEN OPTIMAL (pseudo-Boolean)");
     }
+    if let Some(st) = &compiled.exact_stats {
+        let _ = writeln!(
+            s,
+            "  exact solver: {} conflicts, {} decisions, {} propagations, {} restarts",
+            st.conflicts, st.decisions, st.propagations, st.restarts
+        );
+        let _ = writeln!(
+            s,
+            "  exact formula: {} vars / {} clauses pruned (full: {} / {}){}{}",
+            st.vars_pruned,
+            st.clauses_pruned,
+            st.vars_full,
+            st.clauses_full,
+            if st.warm_started {
+                ", warm-started"
+            } else {
+                ""
+            },
+            if st.pruned { "" } else { ", pruning off" }
+        );
+    }
 
     let _ = writeln!(s, "== reference points ==");
     match baseline_plan(template, compiled.device.memory_bytes) {

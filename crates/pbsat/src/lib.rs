@@ -37,6 +37,8 @@ pub use builder::PbFormula;
 pub use constraint::{Cmp, LinearConstraint, NormalizeOutcome};
 pub use dimacs::parse_dimacs;
 pub use opb::{formula_to_opb, parse_opb as parse_opb_instance};
-pub use optimize::{minimize, OptimizeOptions, OptimizeOutcome};
+pub use optimize::{
+    minimize, minimize_warm, OptimizeOptions, OptimizeOutcome, SearchStats, WarmStart,
+};
 pub use solver::{SolveResult, Solver};
 pub use types::{Lit, Var};

@@ -8,15 +8,23 @@
 use crate::builder::PbFormula;
 use crate::constraint::{normalize, Cmp, NormalizeOutcome};
 use crate::solver::{SolveResult, Solver};
-use crate::types::Lit;
+use crate::types::{Lit, Var};
+use std::time::{Duration, Instant};
 
-/// Knobs for [`minimize`].
+/// Knobs for [`minimize`] and [`minimize_warm`].
 #[derive(Debug, Clone, Copy)]
 pub struct OptimizeOptions {
     /// Conflict budget per solver call (`None` = unbounded).
     pub max_conflicts_per_call: Option<u64>,
     /// Total conflict budget across all calls (`None` = unbounded).
     pub max_total_conflicts: Option<u64>,
+    /// Wall-clock budget in milliseconds (`None` = unbounded). Checked
+    /// between conflict slices, so the deadline can overshoot by one slice.
+    pub max_millis: Option<u64>,
+    /// A value the objective provably cannot go below. As soon as a model
+    /// attains it the search stops with a proven optimum instead of adding
+    /// one final (always-UNSAT) strengthening round.
+    pub lower_bound: i64,
 }
 
 impl Default for OptimizeOptions {
@@ -24,6 +32,54 @@ impl Default for OptimizeOptions {
         OptimizeOptions {
             max_conflicts_per_call: None,
             max_total_conflicts: Some(2_000_000),
+            max_millis: None,
+            lower_bound: 0,
+        }
+    }
+}
+
+/// A heuristic incumbent used to seed [`minimize_warm`].
+///
+/// `bound` must be the objective value of some *known-feasible* assignment:
+/// the optimizer strengthens `objective ≤ bound − 1` before the first solve,
+/// so a subsequent `Infeasible` means "nothing beats the incumbent" (the
+/// incumbent itself is optimal), not that the formula is unsatisfiable.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Objective value of the known-feasible incumbent, if its value is
+    /// comparable to the encoded objective.
+    pub bound: Option<i64>,
+    /// Initial branch polarities taken from the incumbent assignment; the
+    /// solver's phase saving takes over after the first flip.
+    pub phases: Vec<(Var, bool)>,
+}
+
+/// Aggregate search statistics for one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub learnts_deleted: u64,
+    /// Tombstoned clause slots reused for new learnt clauses.
+    pub learnts_recycled: u64,
+}
+
+impl SearchStats {
+    fn snapshot(s: &Solver) -> SearchStats {
+        SearchStats {
+            conflicts: s.conflicts,
+            decisions: s.decisions,
+            propagations: s.propagations,
+            restarts: s.restarts,
+            learnts_deleted: s.learnts_deleted,
+            learnts_recycled: s.learnts_recycled,
         }
     }
 }
@@ -105,6 +161,46 @@ pub fn minimize(
     objective: &[(i64, Lit)],
     opts: OptimizeOptions,
 ) -> OptimizeOutcome {
+    minimize_warm(formula, objective, opts, None).0
+}
+
+/// Conflicts per slice when a wall-clock deadline is active: small enough
+/// to check the clock regularly, large enough to amortize the restart.
+const TIME_SLICE_CONFLICTS: u64 = 20_000;
+
+// Add a normalized `objective <= bound` constraint to the live solver.
+// Returns false when the constraint is unsatisfiable on its own or
+// conflicts immediately at the top level.
+fn strengthen(solver: &mut Solver, objective: &[(i64, Lit)], bound: i64) -> bool {
+    for piece in normalize(objective, Cmp::Le, bound) {
+        let ok = match piece {
+            NormalizeOutcome::Trivial => true,
+            NormalizeOutcome::Unsat => false,
+            NormalizeOutcome::Clause(c) => solver.add_clause(&c),
+            NormalizeOutcome::Linear(l) => solver.add_linear(l),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`minimize`] with an optional heuristic warm start, returning the search
+/// statistics alongside the outcome.
+///
+/// When `warm` carries a `bound`, the search starts below it: the first
+/// solve already looks for something strictly better than the incumbent.
+/// **Caveat:** in that case `Infeasible` means "nothing beats the bound" —
+/// the caller holds a feasible incumbent attaining it, so the incumbent is
+/// the proven optimum. Pass `warm: None` (or `bound: None`) to keep the
+/// plain `Infeasible` = unsatisfiable reading.
+pub fn minimize_warm(
+    formula: &PbFormula,
+    objective: &[(i64, Lit)],
+    opts: OptimizeOptions,
+    warm: Option<&WarmStart>,
+) -> (OptimizeOutcome, SearchStats) {
     assert!(
         objective.iter().all(|&(c, _)| c >= 0),
         "objective coefficients must be non-negative"
@@ -114,68 +210,94 @@ pub fn minimize(
     let mut spent: u64 = 0;
     let mut already_spent = solver.conflicts;
 
-    // Add a normalized `objective <= bound` constraint to the live solver.
-    // Returns false when the constraint is unsatisfiable on its own or
-    // conflicts immediately at the top level.
-    fn strengthen(solver: &mut Solver, objective: &[(i64, Lit)], bound: i64) -> bool {
-        for piece in normalize(objective, Cmp::Le, bound) {
-            let ok = match piece {
-                NormalizeOutcome::Trivial => true,
-                NormalizeOutcome::Unsat => false,
-                NormalizeOutcome::Clause(c) => solver.add_clause(&c),
-                NormalizeOutcome::Linear(l) => solver.add_linear(l),
-            };
-            if !ok {
-                return false;
+    if let Some(w) = warm {
+        for &(v, phase) in &w.phases {
+            solver.set_phase(v, phase);
+        }
+        if let Some(bound) = w.bound {
+            // Search strictly below the incumbent from the start.
+            if !strengthen(&mut solver, objective, bound - 1) {
+                return (OptimizeOutcome::Infeasible, SearchStats::snapshot(&solver));
             }
         }
-        true
     }
+    let deadline = opts
+        .max_millis
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let exhausted = |best: Option<(Vec<bool>, i64)>, solver: &Solver| {
+        let stats = SearchStats::snapshot(solver);
+        (
+            OptimizeOutcome::BudgetExhausted {
+                value: best.as_ref().map(|(_, v)| *v).unwrap_or(i64::MAX),
+                model: best.map(|(m, _)| m),
+            },
+            stats,
+        )
+    };
 
     loop {
-        let per_call = match (opts.max_conflicts_per_call, opts.max_total_conflicts) {
+        // Budget for this call: the tighter of the per-call and remaining
+        // total conflict caps, further sliced when a deadline is active so
+        // the clock is checked regularly.
+        let hard = match (opts.max_conflicts_per_call, opts.max_total_conflicts) {
             (Some(p), Some(t)) => Some(p.min(t.saturating_sub(spent))),
             (Some(p), None) => Some(p),
             (None, Some(t)) => Some(t.saturating_sub(spent)),
             (None, None) => None,
+        };
+        let (per_call, sliced) = match deadline {
+            Some(_) => {
+                let h = hard.unwrap_or(u64::MAX);
+                (Some(h.min(TIME_SLICE_CONFLICTS)), TIME_SLICE_CONFLICTS < h)
+            }
+            None => (hard, false),
         };
         let result = solver.solve(per_call);
         spent += solver.conflicts - already_spent;
         already_spent = solver.conflicts;
         match result {
             SolveResult::Unsat => {
+                let stats = SearchStats::snapshot(&solver);
                 return match best {
-                    None => OptimizeOutcome::Infeasible,
-                    Some((model, value)) => OptimizeOutcome::Optimal { model, value },
+                    None => (OptimizeOutcome::Infeasible, stats),
+                    Some((model, value)) => (OptimizeOutcome::Optimal { model, value }, stats),
                 };
             }
             SolveResult::Unknown => {
-                return OptimizeOutcome::BudgetExhausted {
-                    value: best.as_ref().map(|(_, v)| *v).unwrap_or(i64::MAX),
-                    model: best.map(|(m, _)| m),
-                };
+                // When only the time slice (not a caller cap) was binding
+                // and the deadline has not passed, keep searching.
+                let deadline_ok = deadline.is_none_or(|d| Instant::now() < d);
+                if sliced && deadline_ok {
+                    continue;
+                }
+                return exhausted(best, &solver);
             }
             SolveResult::Sat(model) => {
                 let value = objective_value(objective, &model);
                 best = Some((model, value));
-                if value <= 0 {
-                    // Cannot do better with non-negative coefficients.
+                if value <= opts.lower_bound.max(0) {
+                    // A model at the structural lower bound (or at zero,
+                    // with non-negative coefficients) cannot be beaten.
                     let (model, value) = best.unwrap();
-                    return OptimizeOutcome::Optimal { model, value };
+                    let stats = SearchStats::snapshot(&solver);
+                    return (OptimizeOutcome::Optimal { model, value }, stats);
                 }
                 // Strengthen: objective ≤ value − 1, on the live solver.
                 if !strengthen(&mut solver, objective, value - 1) {
                     let (model, value) = best.unwrap();
-                    return OptimizeOutcome::Optimal { model, value };
+                    let stats = SearchStats::snapshot(&solver);
+                    return (OptimizeOutcome::Optimal { model, value }, stats);
                 }
             }
         }
         if let Some(t) = opts.max_total_conflicts {
             if spent >= t {
-                return OptimizeOutcome::BudgetExhausted {
-                    value: best.as_ref().map(|(_, v)| *v).unwrap_or(i64::MAX),
-                    model: best.map(|(m, _)| m),
-                };
+                return exhausted(best, &solver);
+            }
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return exhausted(best, &solver);
             }
         }
     }
@@ -287,6 +409,7 @@ mod tests {
             OptimizeOptions {
                 max_conflicts_per_call: Some(0),
                 max_total_conflicts: Some(0),
+                ..OptimizeOptions::default()
             },
         );
         match out {
@@ -301,5 +424,115 @@ mod tests {
         let mut f = PbFormula::new();
         let x = f.new_var();
         minimize(&f, &[(-1, x.pos())], OptimizeOptions::default());
+    }
+
+    #[test]
+    fn warm_bound_at_optimum_proves_without_model() {
+        // Incumbent value 6 is the true optimum of the doc-example cover:
+        // strengthening to ≤ 5 makes the formula UNSAT, which the warm
+        // reading maps back to "incumbent optimal".
+        let mut f = PbFormula::new();
+        let items = f.new_vars(3);
+        f.add_linear(
+            &[
+                (6, items[0].pos()),
+                (5, items[1].pos()),
+                (5, items[2].pos()),
+            ],
+            Cmp::Ge,
+            10,
+        );
+        let cost = vec![
+            (4, items[0].pos()),
+            (3, items[1].pos()),
+            (3, items[2].pos()),
+        ];
+        let warm = WarmStart {
+            bound: Some(6),
+            phases: vec![(items[1], true), (items[2], true), (items[0], false)],
+        };
+        let (out, stats) = minimize_warm(&f, &cost, OptimizeOptions::default(), Some(&warm));
+        assert_eq!(out, OptimizeOutcome::Infeasible);
+        assert!(stats.conflicts < 1_000);
+    }
+
+    #[test]
+    fn warm_bound_above_optimum_still_finds_it() {
+        let mut f = PbFormula::new();
+        let items = f.new_vars(3);
+        f.add_linear(
+            &[
+                (6, items[0].pos()),
+                (5, items[1].pos()),
+                (5, items[2].pos()),
+            ],
+            Cmp::Ge,
+            10,
+        );
+        let cost = vec![
+            (4, items[0].pos()),
+            (3, items[1].pos()),
+            (3, items[2].pos()),
+        ];
+        let warm = WarmStart {
+            bound: Some(7), // e.g. the {x0, x1} cover
+            phases: vec![(items[0], true), (items[1], true)],
+        };
+        let (out, _) = minimize_warm(&f, &cost, OptimizeOptions::default(), Some(&warm));
+        match out {
+            OptimizeOutcome::Optimal { value, .. } => assert_eq!(value, 6),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lower_bound_short_circuits_final_unsat_round() {
+        // Minimum of x0+x1 subject to x0+x1 ≥ 1 is 1; telling the optimizer
+        // that 1 is unbeatable lets it stop at the first model of value 1.
+        let mut f = PbFormula::new();
+        let xs = f.new_vars(2);
+        f.add_clause(&[xs[0].pos(), xs[1].pos()]);
+        let obj = vec![(1, xs[0].pos()), (1, xs[1].pos())];
+        let opts = OptimizeOptions {
+            lower_bound: 1,
+            ..OptimizeOptions::default()
+        };
+        match minimize_warm(&f, &obj, opts, None).0 {
+            OptimizeOutcome::Optimal { value, .. } => assert_eq!(value, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_budget_returns_incumbent() {
+        // A 0 ms deadline must still return whatever incumbent the sliced
+        // search produced (possibly none) rather than spin forever.
+        let mut f = PbFormula::new();
+        let xs = f.new_vars(8);
+        for w in xs.windows(2) {
+            f.add_clause(&[w[0].pos(), w[1].pos()]);
+        }
+        let obj: Vec<(i64, Lit)> = xs.iter().map(|v| (1, v.pos())).collect();
+        let opts = OptimizeOptions {
+            max_millis: Some(0),
+            max_total_conflicts: None,
+            ..OptimizeOptions::default()
+        };
+        match minimize_warm(&f, &obj, opts, None).0 {
+            OptimizeOutcome::BudgetExhausted { .. } | OptimizeOutcome::Optimal { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let mut f = PbFormula::new();
+        let xs = f.new_vars(4);
+        f.add_clause(&[xs[0].pos(), xs[1].pos()]);
+        f.add_clause(&[xs[2].pos(), xs[3].pos()]);
+        let obj: Vec<(i64, Lit)> = xs.iter().map(|v| (1, v.pos())).collect();
+        let (out, stats) = minimize_warm(&f, &obj, OptimizeOptions::default(), None);
+        assert!(out.is_optimal());
+        assert!(stats.decisions > 0 || stats.propagations > 0);
     }
 }

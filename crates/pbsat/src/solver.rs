@@ -26,8 +26,9 @@ struct Clause {
     lits: Vec<Lit>,
     learnt: bool,
     activity: f64,
-    /// Tombstone set by clause-database reduction; the slot is skipped by
-    /// propagation and never reused (indices stay stable).
+    /// Tombstone set by clause-database reduction. Reduction fully unhooks
+    /// the clause from both watch lists, so the slot is inert and its index
+    /// is pushed onto the free list for reuse by the next learnt clause.
     deleted: bool,
 }
 
@@ -37,6 +38,10 @@ struct LinState {
     /// `Σ aᵢ` over currently-non-false literals, minus the bound. Negative
     /// slack means the constraint is violated.
     slack: i64,
+    /// Largest coefficient in the constraint (terms are sorted descending).
+    /// When `slack ≥ max_coeff` the constraint can neither conflict nor
+    /// imply anything, so propagation skips it without scanning terms.
+    max_coeff: i64,
 }
 
 /// Indexed max-heap over variable activities (MiniSat's variable order).
@@ -163,10 +168,14 @@ pub struct Solver {
     pub restarts: u64,
     /// Statistics: learnt clauses deleted by database reduction.
     pub learnts_deleted: u64,
+    /// Statistics: tombstoned clause slots reused for new learnt clauses.
+    pub learnts_recycled: u64,
     /// Live learnt-clause count.
     num_learnts: usize,
     /// Reduction ceiling; grows after each reduction.
     max_learnts: usize,
+    /// Indices of tombstoned clause slots available for reuse.
+    free_slots: Vec<u32>,
 }
 
 impl Solver {
@@ -197,8 +206,10 @@ impl Solver {
             propagations: 0,
             restarts: 0,
             learnts_deleted: 0,
+            learnts_recycled: 0,
             num_learnts: 0,
             max_learnts: 4000,
+            free_slots: Vec::new(),
         }
     }
 
@@ -219,6 +230,33 @@ impl Solver {
 
     fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
+    }
+
+    /// Initialize the saved phase of `v` so the first branch on it tries
+    /// `phase`. Used to seed the search with a known-good assignment
+    /// (heuristic warm start); later phase saving overwrites it.
+    pub fn set_phase(&mut self, v: Var, phase: bool) {
+        if v.index() < self.saved_phase.len() {
+            self.saved_phase[v.index()] = phase;
+        }
+    }
+
+    /// Store `clause` in a recycled tombstone slot when one is available,
+    /// otherwise append a fresh slot. Returns the slot index.
+    fn alloc_clause(&mut self, clause: Clause) -> u32 {
+        match self.free_slots.pop() {
+            Some(ci) => {
+                debug_assert!(self.clauses[ci as usize].deleted);
+                self.clauses[ci as usize] = clause;
+                self.learnts_recycled += 1;
+                ci
+            }
+            None => {
+                let ci = self.clauses.len() as u32;
+                self.clauses.push(clause);
+                ci
+            }
+        }
     }
 
     /// Add a clause (may be called only before `solve`, at decision level
@@ -261,15 +299,15 @@ impl Solver {
                 self.ok
             }
             _ => {
-                let ci = self.clauses.len() as u32;
-                self.watches[ls[0].index()].push(ci);
-                self.watches[ls[1].index()].push(ci);
-                self.clauses.push(Clause {
+                let (w0, w1) = (ls[0], ls[1]);
+                let ci = self.alloc_clause(Clause {
                     lits: ls,
                     learnt: false,
                     activity: 0.0,
                     deleted: false,
                 });
+                self.watches[w0.index()].push(ci);
+                self.watches[w1.index()].push(ci);
                 true
             }
         }
@@ -290,7 +328,12 @@ impl Solver {
             }
             self.lin_occur[l.index()].push((idx, a));
         }
-        self.linears.push(LinState { cons, slack });
+        let max_coeff = cons.terms.first().map_or(0, |&(a, _)| a);
+        self.linears.push(LinState {
+            cons,
+            slack,
+            max_coeff,
+        });
         if slack < 0 {
             self.ok = false;
             return false;
@@ -309,6 +352,9 @@ impl Solver {
         let slack = self.linears[li as usize].slack;
         if slack < 0 {
             return Some(Reason::Linear(li));
+        }
+        if slack >= self.linears[li as usize].max_coeff {
+            return None; // no coefficient exceeds the slack
         }
         let terms = self.linears[li as usize].cons.terms.clone();
         for (a, l) in terms {
@@ -410,6 +456,9 @@ impl Solver {
                 if slack < 0 {
                     self.qhead = self.trail.len();
                     return Some(Reason::Linear(ci));
+                }
+                if slack >= self.linears[ci as usize].max_coeff {
+                    continue; // slack covers every coefficient: inert
                 }
                 // Imply every unassigned literal whose coefficient exceeds
                 // the slack (terms sorted descending).
@@ -602,17 +651,17 @@ impl Solver {
             debug_assert!(ok, "asserting literal must be enqueueable");
             return;
         }
-        let ci = self.clauses.len() as u32;
-        self.watches[lits[0].index()].push(ci);
-        self.watches[lits[1].index()].push(ci);
+        let (w0, w1) = (lits[0], lits[1]);
         let first = lits[0];
         self.num_learnts += 1;
-        self.clauses.push(Clause {
+        let ci = self.alloc_clause(Clause {
             lits,
             learnt: true,
             activity: self.cla_inc,
             deleted: false,
         });
+        self.watches[w0.index()].push(ci);
+        self.watches[w1.index()].push(ci);
         let ok = self.enqueue(first, Reason::Clause(ci));
         debug_assert!(ok);
     }
@@ -676,10 +725,15 @@ impl Solver {
             let (w0, w1) = {
                 let c = &mut self.clauses[ci as usize];
                 c.deleted = true;
-                (c.lits[0], c.lits[1])
+                let ws = (c.lits[0], c.lits[1]);
+                // Release the literal storage; the slot itself goes on the
+                // free list and is reused by the next learnt clause.
+                c.lits = Vec::new();
+                ws
             };
             self.watches[w0.index()].retain(|&x| x != ci);
             self.watches[w1.index()].retain(|&x| x != ci);
+            self.free_slots.push(ci);
             self.num_learnts -= 1;
             self.learnts_deleted += 1;
         }
@@ -1047,6 +1101,29 @@ mod tests {
             SolveResult::Sat(m) => assert!(s.check_model(&m)),
             SolveResult::Unknown => {}
             SolveResult::Unsat => panic!("permutation matrices exist"),
+        }
+        // Database reduction must recycle tombstoned slots rather than
+        // growing the arena monotonically.
+        if s.learnts_deleted > 0 {
+            assert!(
+                s.learnts_recycled > 0,
+                "deleted {} learnts but recycled none",
+                s.learnts_deleted
+            );
+        }
+    }
+
+    #[test]
+    fn set_phase_seeds_first_branch_polarity() {
+        let mut s = Solver::new(4);
+        s.add_clause(&[lit(0), lit(1), lit(2), lit(3)]);
+        let want = [true, false, true, false];
+        for (i, &p) in want.iter().enumerate() {
+            s.set_phase(Var(i as u32), p);
+        }
+        match s.solve(None) {
+            SolveResult::Sat(m) => assert_eq!(m, want.to_vec()),
+            other => panic!("{other:?}"),
         }
     }
 

@@ -36,4 +36,19 @@ for gfg in assets/*.gfg; do
     cargo run --release -q -p gpuflow-cli --bin gpuflow -- check "$gfg" --device custom:1
 done
 
+echo "==> gpuflow trace export + reconciliation (single device, exact, cluster)"
+# `trace` re-parses its own Chrome-trace export and exits nonzero if the
+# summed per-event byte counters drift from the plan's canonical stats.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+cargo run --release -q -p gpuflow-cli --bin gpuflow -- \
+    trace fig3 --device custom:1 --out "$tracedir/fig3.json" > /dev/null
+cargo run --release -q -p gpuflow-cli --bin gpuflow -- \
+    trace fig3 --device custom:1 --exact --out "$tracedir/fig3_exact.json" > /dev/null
+cargo run --release -q -p gpuflow-cli --bin gpuflow -- \
+    trace assets/pipeline.gfg --devices c870x2 --out "$tracedir/pipeline_multi.json" > /dev/null
+for t in fig3 fig3_exact pipeline_multi; do
+    grep -q '"traceEvents"' "$tracedir/$t.json" || { echo "bad trace $t"; exit 1; }
+done
+
 echo "CI OK"

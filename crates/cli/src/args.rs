@@ -169,6 +169,8 @@ pub enum Command {
         /// Multi-device cluster spec (`--devices gtx8800x4`); overrides
         /// `--device` and switches to the sharded multi-GPU pipeline.
         devices: Option<String>,
+        /// Write a Chrome-trace JSON of the compilation here.
+        trace: Option<String>,
     },
     /// `gpuflow run <source> ...`
     Run {
@@ -192,6 +194,8 @@ pub enum Command {
         json: bool,
         /// Multi-device cluster spec.
         devices: Option<String>,
+        /// Write a Chrome-trace JSON of the compile + simulation here.
+        trace: Option<String>,
     },
     /// `gpuflow check <source> ...`
     Check {
@@ -201,6 +205,29 @@ pub enum Command {
         device: DeviceArg,
         /// Emit the diagnostic report as JSON instead of text.
         json: bool,
+        /// Multi-device cluster spec.
+        devices: Option<String>,
+        /// Write a Chrome-trace JSON of the compilation here.
+        trace: Option<String>,
+    },
+    /// `gpuflow trace <source> ...` — compile, simulate, export a
+    /// Chrome-trace JSON, then re-parse the export and reconcile its
+    /// summed counters against the plan's canonical statistics.
+    Trace {
+        /// Template source.
+        source: Source,
+        /// Target device.
+        device: DeviceArg,
+        /// Fragmentation margin.
+        margin: f64,
+        /// Use the exact PB scheduler.
+        exact: bool,
+        /// Conflict budget for the exact solver (implies `exact`).
+        exact_budget: Option<u64>,
+        /// Offload-unit cap for the exact solver (implies `exact`).
+        exact_max_ops: Option<usize>,
+        /// Output path for the Chrome-trace JSON.
+        out: String,
         /// Multi-device cluster spec.
         devices: Option<String>,
     },
@@ -265,6 +292,8 @@ impl Command {
         let mut json_switch = false;
         let mut dot = None;
         let mut devices: Option<String> = None;
+        let mut trace: Option<String> = None;
+        let mut trace_out: Option<String> = None;
 
         let next_value = |it: &mut std::slice::Iter<String>, flag: &str| {
             it.next()
@@ -321,6 +350,8 @@ impl Command {
                 "--json" if verb == "check" || verb == "run" => json_switch = true,
                 "--json" => json = Some(next_value(&mut it, flag)?),
                 "--dot" => dot = Some(next_value(&mut it, flag)?),
+                "--trace" => trace = Some(next_value(&mut it, flag)?),
+                "--out" if verb == "trace" => trace_out = Some(next_value(&mut it, flag)?),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -338,6 +369,7 @@ impl Command {
                 exact_max_ops,
                 render,
                 devices,
+                trace,
             }),
             "run" => {
                 if functional && devices.is_some() {
@@ -357,6 +389,7 @@ impl Command {
                     gantt,
                     json: json_switch,
                     devices,
+                    trace,
                 })
             }
             "check" => Ok(Command::Check {
@@ -364,7 +397,23 @@ impl Command {
                 device,
                 json: json_switch,
                 devices,
+                trace,
             }),
+            "trace" => {
+                if exact && devices.is_some() {
+                    return Err("--exact does not support --devices".into());
+                }
+                Ok(Command::Trace {
+                    source,
+                    device,
+                    margin,
+                    exact,
+                    exact_budget,
+                    exact_max_ops,
+                    out: trace_out.unwrap_or_else(|| "trace.json".to_string()),
+                    devices,
+                })
+            }
             "emit" => {
                 if cuda.is_none() && json.is_none() && dot.is_none() {
                     return Err("emit requires --cuda, --json, or --dot".into());
@@ -597,6 +646,60 @@ mod tests {
         assert!(Command::parse(&argv("plan fig3 --exact-budget lots")).is_err());
         // The exact scheduler is single-device only.
         assert!(Command::parse(&argv("run fig3 --exact --devices c870x2")).is_err());
+    }
+
+    #[test]
+    fn parse_trace_command_and_flags() {
+        match Command::parse(&argv("trace fig3 --device custom:1 --out /tmp/t.json")).unwrap() {
+            Command::Trace { out, exact, .. } => {
+                assert_eq!(out, "/tmp/t.json");
+                assert!(!exact);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --out defaults to trace.json.
+        assert!(matches!(
+            Command::parse(&argv("trace fig3")).unwrap(),
+            Command::Trace { out, .. } if out == "trace.json"
+        ));
+        // Exact flags imply --exact here as elsewhere.
+        assert!(matches!(
+            Command::parse(&argv("trace fig3 --exact-budget 1000")).unwrap(),
+            Command::Trace { exact: true, .. }
+        ));
+        // The exact scheduler stays single-device only.
+        assert!(Command::parse(&argv("trace fig3 --exact --devices c870x2")).is_err());
+        // Cluster traces parse.
+        assert!(matches!(
+            Command::parse(&argv("trace fig3 --devices c870x2")).unwrap(),
+            Command::Trace {
+                devices: Some(_),
+                ..
+            }
+        ));
+        // --out belongs to the trace verb only.
+        assert!(Command::parse(&argv("plan fig3 --out x.json")).is_err());
+    }
+
+    #[test]
+    fn parse_trace_flag_on_plan_run_check() {
+        assert!(matches!(
+            Command::parse(&argv("plan fig3 --trace t.json")).unwrap(),
+            Command::Plan { trace: Some(p), .. } if p == "t.json"
+        ));
+        assert!(matches!(
+            Command::parse(&argv("run fig3 --json --trace t.json")).unwrap(),
+            Command::Run {
+                json: true,
+                trace: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            Command::parse(&argv("check fig3 --trace t.json")).unwrap(),
+            Command::Check { trace: Some(_), .. }
+        ));
+        assert!(Command::parse(&argv("run fig3 --trace")).is_err());
     }
 
     #[test]

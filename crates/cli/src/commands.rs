@@ -2,14 +2,24 @@
 
 use std::fmt::Write as _;
 
-use gpuflow_codegen::{compiled_multi_to_json, generate_cuda, plan_to_json};
-use gpuflow_core::{baseline_plan, CompileOptions, Framework, PbExactOptions};
+use gpuflow_codegen::{
+    compiled_multi_to_json, compiled_multi_to_json_traced, generate_cuda, plan_to_json,
+    plan_to_json_traced,
+};
+use gpuflow_core::{
+    baseline_plan, trace_overlap_lanes, trace_serial_timeline, CompileOptions, Framework,
+    PbExactOptions,
+};
 use gpuflow_graph::{Graph, FLOAT_BYTES};
 use gpuflow_minijson::{Map, Value};
-use gpuflow_multi::{compile_multi, parse_cluster, render_multi_gantt, MultiOutcome};
+use gpuflow_multi::{
+    compile_multi, compile_multi_traced, parse_cluster, render_multi_gantt, trace_multi_lanes,
+    MultiOutcome,
+};
 use gpuflow_ops::reference_eval;
 use gpuflow_templates::data::default_bindings;
 use gpuflow_templates::{cnn, edge};
+use gpuflow_trace::{sum_event_arg, validate_chrome_trace, Tracer, PID_CLUSTER, PID_SERIAL};
 
 use crate::args::{Command, Source};
 
@@ -49,6 +59,70 @@ fn insert_exact_stats(m: &mut Map, compiled: &gpuflow_core::CompiledTemplate) {
         m.insert("exact_warm_started", st.warm_started);
         m.insert("exact_window_pruned", st.pruned);
     }
+}
+
+/// An enabled tracer with the wall-clock compile track pre-named.
+fn new_tracer() -> Tracer {
+    let mut t = Tracer::new();
+    t.name_process(gpuflow_trace::PID_COMPILE, "gpuflow compile (wall clock)");
+    t.name_thread(gpuflow_trace::PID_COMPILE, 0, "pipeline passes");
+    t
+}
+
+/// Enabled tracer when a `--trace PATH` was given, else the no-op tracer.
+fn tracer_for(trace: &Option<String>) -> Tracer {
+    if trace.is_some() {
+        new_tracer()
+    } else {
+        Tracer::disabled()
+    }
+}
+
+/// Serialize the tracer to Chrome-trace JSON, re-parse and validate the
+/// exact text being written (the export self-checks on every write), then
+/// write it to `path`. Returns the parsed document for reconciliation.
+fn write_trace(path: &str, tracer: &Tracer) -> Result<Value, String> {
+    let text = tracer.chrome_trace().to_string_pretty();
+    let parsed = gpuflow_minijson::parse(&text).map_err(|e| format!("trace re-parse: {e}"))?;
+    validate_chrome_trace(&parsed).map_err(|e| format!("invalid Chrome trace: {e}"))?;
+    std::fs::write(path, &text).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(parsed)
+}
+
+/// Append a `--trace PATH` export to a command's output if requested.
+fn maybe_write_trace(
+    out: &mut String,
+    trace: &Option<String>,
+    tracer: &Tracer,
+) -> Result<(), String> {
+    if let Some(path) = trace {
+        write_trace(path, tracer)?;
+        let _ = writeln!(
+            out,
+            "wrote {path} (Chrome trace, {} events)",
+            tracer.events().len()
+        );
+    }
+    Ok(())
+}
+
+/// The plan's canonical statistics as a JSON object — shared by the
+/// single- and multi-device `run --json` paths so their schema matches.
+fn plan_stats_json(stats: &gpuflow_core::PlanStats, peak_per_device: Option<&[u64]>) -> Value {
+    let mut m = Map::new();
+    m.insert("bytes_in", stats.floats_in * FLOAT_BYTES);
+    m.insert("bytes_out", stats.floats_out * FLOAT_BYTES);
+    m.insert("copies_in", stats.copies_in);
+    m.insert("copies_out", stats.copies_out);
+    m.insert("launches", stats.launches);
+    m.insert("peak_bytes", stats.peak_bytes);
+    if let Some(peaks) = peak_per_device {
+        m.insert(
+            "peak_per_device",
+            Value::Array(peaks.iter().map(|&p| Value::from(p)).collect()),
+        );
+    }
+    Value::Object(m)
 }
 
 /// Build the template graph for a source.
@@ -145,11 +219,14 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             exact_max_ops,
             render,
             devices,
+            trace,
         } => {
             let g = load_source(source)?;
+            let mut tracer = tracer_for(trace);
             if let Some(spec) = devices {
                 let cluster = parse_cluster(spec)?;
-                let c = compile_multi(&g, &cluster, *margin).map_err(|e| e.to_string())?;
+                let c = compile_multi_traced(&g, &cluster, *margin, &mut tracer)
+                    .map_err(|e| e.to_string())?;
                 let a = c.analyze();
                 let _ = writeln!(out, "cluster:          {}", cluster.describe());
                 let _ = writeln!(out, "split factor:     {}", c.sharded.split.parts);
@@ -176,6 +253,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 if *render {
                     let _ = writeln!(out, "\n{}", c.plan.render(&c.sharded.split.graph));
                 }
+                maybe_write_trace(&mut out, trace, &tracer)?;
                 return Ok(out);
             }
             let dev = device.spec();
@@ -188,7 +266,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             };
             let compiled = Framework::new(dev.clone())
                 .with_options(options)
-                .compile(&g)
+                .compile_traced(&g, &mut tracer)
                 .map_err(|e| e.to_string())?;
             let stats = compiled.stats();
             let _ = writeln!(out, "device:           {}", dev.name);
@@ -215,6 +293,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             if *render {
                 let _ = writeln!(out, "{}", compiled.plan.render(&compiled.split.graph));
             }
+            maybe_write_trace(&mut out, trace, &tracer)?;
         }
         Command::Run {
             source,
@@ -227,14 +306,30 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             gantt,
             json,
             devices,
+            trace,
         } => {
             let g = load_source(source)?;
+            // `run` always traces: `--json` embeds the metrics snapshot
+            // whether or not a `--trace` export was requested.
+            let mut tracer = new_tracer();
             if let Some(spec) = devices {
                 let cluster = parse_cluster(spec)?;
-                let c = compile_multi(&g, &cluster, DEFAULT_MARGIN).map_err(|e| e.to_string())?;
+                let c = compile_multi_traced(&g, &cluster, DEFAULT_MARGIN, &mut tracer)
+                    .map_err(|e| e.to_string())?;
                 let (o, events) = c.trace();
+                trace_multi_lanes(&mut tracer, &events, &o, cluster.len());
                 if *json {
-                    out.push_str(&multi_outcome_json(&cluster.describe(), &o).to_string_pretty());
+                    let analysis = c.analyze();
+                    let mut doc = match multi_outcome_json(&cluster.describe(), &o) {
+                        Value::Object(m) => m,
+                        _ => unreachable!(),
+                    };
+                    doc.insert(
+                        "plan",
+                        plan_stats_json(&analysis.stats, Some(&analysis.peak_per_device)),
+                    );
+                    doc.insert("metrics", tracer.metrics_ref().to_json());
+                    out.push_str(&Value::Object(doc).to_string_pretty());
                     out.push('\n');
                 } else {
                     let _ = writeln!(out, "cluster:          {}", cluster.describe());
@@ -263,6 +358,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                             render_multi_gantt(&events, o.makespan, cluster.len(), 80)
                         );
                     }
+                    maybe_write_trace(&mut out, trace, &tracer)?;
+                }
+                if *json {
+                    // Keep stdout pure JSON: write the export silently.
+                    if let Some(path) = trace {
+                        write_trace(path, &tracer)?;
+                    }
                 }
                 return Ok(out);
             }
@@ -273,7 +375,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             };
             let compiled = Framework::new(dev.clone())
                 .with_options(options)
-                .compile_adaptive(&g)
+                .compile_adaptive_traced(&g, &mut tracer)
                 .map_err(|e| e.to_string())?;
             let mut verified = None;
             let result = if *functional {
@@ -298,6 +400,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let c = result.timeline.counters();
             let (o, events) =
                 gpuflow_core::overlapped_trace(&compiled.split.graph, &compiled.plan, &dev);
+            trace_serial_timeline(&mut tracer, &result.timeline);
+            trace_overlap_lanes(&mut tracer, &events);
             if *json {
                 let mut m = Map::new();
                 m.insert("mode", "single");
@@ -316,8 +420,14 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     m.insert("outputs_verified", n);
                 }
                 insert_exact_stats(&mut m, &compiled);
+                m.insert("plan", plan_stats_json(&compiled.stats(), None));
+                m.insert("metrics", tracer.metrics_ref().to_json());
                 out.push_str(&Value::Object(m).to_string_pretty());
                 out.push('\n');
+                // Keep stdout pure JSON: write the export silently.
+                if let Some(path) = trace {
+                    write_trace(path, &tracer)?;
+                }
                 return Ok(out);
             }
             if let Some(n) = verified {
@@ -387,14 +497,17 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     );
                 }
             }
+            maybe_write_trace(&mut out, trace, &tracer)?;
         }
         Command::Check {
             source,
             device,
             json,
             devices,
+            trace,
         } => {
             let g = load_source(source)?;
+            let mut tracer = tracer_for(trace);
             let (mut diags, plan_info);
             if let Some(spec) = devices {
                 let cluster = parse_cluster(spec)?;
@@ -404,8 +517,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 let cap = cluster.capacities().into_iter().max().unwrap();
                 diags = gpuflow_verify::analyze_graph(&g, Some(cap));
                 plan_info = if !gpuflow_verify::has_errors(&diags) {
-                    let c =
-                        compile_multi(&g, &cluster, DEFAULT_MARGIN).map_err(|e| e.to_string())?;
+                    let c = compile_multi_traced(&g, &cluster, DEFAULT_MARGIN, &mut tracer)
+                        .map_err(|e| e.to_string())?;
                     let analysis = c.analyze();
                     let info = (
                         c.plan.steps.len(),
@@ -425,7 +538,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 diags = gpuflow_verify::analyze_graph(&g, Some(dev.memory_bytes));
                 plan_info = if !gpuflow_verify::has_errors(&diags) {
                     let compiled = Framework::new(dev.clone())
-                        .compile_adaptive(&g)
+                        .compile_adaptive_traced(&g, &mut tracer)
                         .map_err(|e| e.to_string())?;
                     let analysis =
                         compiled
@@ -465,12 +578,124 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 s.push_str(&gpuflow_verify::render_report(&diags));
                 s
             };
+            // The export is written even when the check fails — the trace
+            // of a failing compile is exactly what one wants to look at.
+            // Silent under --json to keep stdout pure JSON.
+            if let Some(path) = trace {
+                write_trace(path, &tracer)?;
+            }
             // Error-bearing reports become the command's failure so the
             // binary exits nonzero; warnings and notes do not.
             if failed {
                 return Err(text);
             }
             out.push_str(&text);
+        }
+        Command::Trace {
+            source,
+            device,
+            margin,
+            exact,
+            exact_budget,
+            exact_max_ops,
+            out: out_path,
+            devices,
+        } => {
+            let g = load_source(source)?;
+            let name = match source {
+                Source::File(p) => p.clone(),
+                other => format!("{other:?}"),
+            };
+            let mut tracer = new_tracer();
+            // Each reconciliation row compares an independently summed
+            // quantity from the re-parsed export against the framework's
+            // canonical bookkeeping; any drift fails the command.
+            let mut checks: Vec<(String, u64, u64)> = Vec::new();
+            if let Some(spec) = devices {
+                let cluster = parse_cluster(spec)?;
+                let c = compile_multi_traced(&g, &cluster, *margin, &mut tracer)
+                    .map_err(|e| e.to_string())?;
+                let _ = compiled_multi_to_json_traced(&c, &name, &mut tracer)
+                    .map_err(|e| e.to_string())?;
+                let (o, events) = c.trace();
+                trace_multi_lanes(&mut tracer, &events, &o, cluster.len());
+                let parsed = write_trace(out_path, &tracer)?;
+                // Bus lanes (simulation) vs the bus accounting of both the
+                // SharedBus model and the planner's own step walk.
+                let h2d = sum_event_arg(&parsed, "h2d", "bytes", Some(PID_CLUSTER));
+                let d2h = sum_event_arg(&parsed, "d2h", "bytes", Some(PID_CLUSTER));
+                checks.push(("bus bytes vs simulation".into(), h2d + d2h, o.bus_bytes));
+                checks.push((
+                    "bus bytes vs plan".into(),
+                    h2d + d2h,
+                    c.plan.bus_bytes(&c.sharded.split.graph),
+                ));
+            } else {
+                let dev = device.spec();
+                let options = CompileOptions {
+                    memory_margin: *margin,
+                    exact: exact_options(*exact, *exact_budget, *exact_max_ops),
+                    ..CompileOptions::default()
+                };
+                // Same entry point as `run`: the adaptive ladder dry-runs
+                // the real first-fit allocator, so a template that runs
+                // also traces (`--margin` is the ladder's floor).
+                let compiled = Framework::new(dev.clone())
+                    .with_options(options)
+                    .compile_adaptive_traced(&g, &mut tracer)
+                    .map_err(|e| e.to_string())?;
+                let _ =
+                    plan_to_json_traced(&compiled.split.graph, &compiled.plan, &name, &mut tracer)
+                        .map_err(|e| e.to_string())?;
+                let result = compiled.run_analytic().map_err(|e| e.to_string())?;
+                trace_serial_timeline(&mut tracer, &result.timeline);
+                let (_, events) =
+                    gpuflow_core::overlapped_trace(&compiled.split.graph, &compiled.plan, &dev);
+                trace_overlap_lanes(&mut tracer, &events);
+                let parsed = write_trace(out_path, &tracer)?;
+                // Executor timeline (summed from the re-parsed export)
+                // vs the verify engine's static plan statistics — two
+                // genuinely independent walks over the plan.
+                let stats = compiled.stats();
+                checks.push((
+                    "h2d bytes vs plan".into(),
+                    sum_event_arg(&parsed, "h2d", "bytes", Some(PID_SERIAL)),
+                    stats.floats_in * FLOAT_BYTES,
+                ));
+                checks.push((
+                    "d2h bytes vs plan".into(),
+                    sum_event_arg(&parsed, "d2h", "bytes", Some(PID_SERIAL)),
+                    stats.floats_out * FLOAT_BYTES,
+                ));
+                if let Some(st) = &compiled.exact_stats {
+                    checks.push((
+                        "solver conflicts vs PbExactStats".into(),
+                        tracer.metrics_ref().counter("exact.conflicts"),
+                        st.conflicts,
+                    ));
+                }
+            }
+            let _ = writeln!(
+                out,
+                "wrote {out_path} (Chrome trace, {} events; load in Perfetto or chrome://tracing)",
+                tracer.events().len()
+            );
+            let mut drift = false;
+            for (what, got, want) in &checks {
+                let ok = got == want;
+                drift |= !ok;
+                let _ = writeln!(
+                    out,
+                    "reconcile: {what}: {got} == {want} {}",
+                    if ok { "ok" } else { "MISMATCH" }
+                );
+            }
+            let _ = writeln!(out, "\n{}", tracer.summary());
+            if drift {
+                return Err(format!(
+                    "{out}\ntrace counters drifted from the plan's canonical statistics"
+                ));
+            }
         }
         Command::Emit {
             source,
@@ -672,6 +897,7 @@ mod tests {
             gantt: false,
             json: false,
             devices: None,
+            trace: None,
         })
         .unwrap();
         assert!(out.contains("verified"), "{out}");
@@ -698,11 +924,101 @@ mod tests {
                     gantt: false,
                     json: false,
                     devices: None,
+                    trace: None,
                 })
                 .unwrap();
                 assert!(out.contains("verified"), "{out}");
             }
         }
+    }
+
+    #[test]
+    fn trace_command_reconciles_and_writes_a_valid_export() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig3_trace.json");
+        let out = execute(&parse(&format!(
+            "trace fig3 --device custom:1 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("Chrome trace"), "{out}");
+        assert!(out.contains("h2d bytes vs plan"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+        // The export re-parses and validates from disk too.
+        let doc = gpuflow_minijson::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        validate_chrome_trace(&doc).unwrap();
+        assert!(doc["traceEvents"].as_array().unwrap().len() > 20);
+    }
+
+    #[test]
+    fn trace_command_covers_exact_solver_and_clusters() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("exact_trace.json");
+        let out = execute(&parse(&format!(
+            "trace fig3 --device custom:1 --exact --out {}",
+            p1.display()
+        )))
+        .unwrap();
+        assert!(out.contains("solver conflicts vs PbExactStats"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+        let p2 = dir.join("multi_trace.json");
+        let out = execute(&parse(&format!(
+            "trace edge:1200x1200,k=9,o=4 --devices c870x2 --out {}",
+            p2.display()
+        )))
+        .unwrap();
+        assert!(out.contains("bus bytes vs simulation"), "{out}");
+        assert!(out.contains("bus bytes vs plan"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+    }
+
+    #[test]
+    fn run_json_embeds_plan_stats_and_metrics_in_both_modes() {
+        let single = execute(&parse("run fig3 --device custom:1 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&single).unwrap();
+        let plan = &doc["plan"];
+        assert!(plan["bytes_in"].as_u64().unwrap() > 0);
+        assert!(plan["peak_bytes"].as_u64().unwrap() > 0);
+        // The serial executor's counters and the verify engine's plan walk
+        // must agree byte-for-byte in the embedded snapshot.
+        assert_eq!(
+            doc["metrics"]["counters"]["sim.bytes_h2d"].as_u64(),
+            plan["bytes_in"].as_u64()
+        );
+        let multi = execute(&parse("run edge:1200x1200,k=9,o=4 --devices c870x2 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&multi).unwrap();
+        let plan = &doc["plan"];
+        assert!(plan["bytes_in"].as_u64().unwrap() > 0);
+        assert_eq!(plan["peak_per_device"].as_array().unwrap().len(), 2);
+        assert_eq!(
+            doc["metrics"]["counters"]["cluster.bus_bytes_moved"].as_u64(),
+            doc["bus_bytes"].as_u64()
+        );
+    }
+
+    #[test]
+    fn plan_and_check_write_trace_files_on_request() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("plan_trace.json");
+        let out = execute(&parse(&format!(
+            "plan fig3 --device custom:1 --trace {}",
+            p.display()
+        )))
+        .unwrap();
+        assert!(out.contains("Chrome trace"), "{out}");
+        let doc = gpuflow_minijson::parse(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        validate_chrome_trace(&doc).unwrap();
+        let p = dir.join("check_trace.json");
+        execute(&parse(&format!(
+            "check fig3 --device custom:1 --trace {}",
+            p.display()
+        )))
+        .unwrap();
+        let doc = gpuflow_minijson::parse(&std::fs::read_to_string(&p).unwrap()).unwrap();
+        validate_chrome_trace(&doc).unwrap();
     }
 
     #[test]
@@ -722,6 +1038,7 @@ mod tests {
                 device: DeviceArg::Custom(1),
                 json: false,
                 devices: None,
+                trace: None,
             })
             .unwrap_or_else(|e| panic!("{name} failed check:\n{e}"));
             assert!(out.contains("0 errors"), "{name}: {out}");
@@ -752,6 +1069,7 @@ mod tests {
             device: DeviceArg::Custom(1),
             json: false,
             devices: None,
+            trace: None,
         })
         .unwrap();
         assert!(out.contains("GF0004"), "{out}");

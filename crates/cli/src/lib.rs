@@ -8,13 +8,26 @@
 //! gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F]
 //!                        [--scheduler S] [--eviction E] [--exact]
 //!                        [--exact-budget N] [--exact-max-ops N] [--render]
+//!                        [--trace PATH]
 //! gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional]
 //!                        [--overlap] [--gantt] [--json]
 //!                        [--exact] [--exact-budget N] [--exact-max-ops N]
+//!                        [--trace PATH]
 //! gpuflow check <source> [--device DEV | --devices CLUSTER] [--json]
+//!                        [--trace PATH]
+//! gpuflow trace <source> [--device DEV | --devices CLUSTER] [--margin F]
+//!                        [--exact] [--exact-budget N] [--exact-max-ops N]
+//!                        [--out PATH]
 //! gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH)
 //!                        [--device DEV | --devices CLUSTER]
 //! ```
+//!
+//! `trace` compiles and simulates the template, writes a Chrome-trace JSON
+//! (loadable in Perfetto / `chrome://tracing`, see `docs/observability.md`),
+//! then **re-parses its own export** and reconciles the summed per-event
+//! byte counters against the plan's canonical statistics — exiting nonzero
+//! on any drift. `--trace PATH` on `plan`, `run`, and `check` writes the
+//! same export as a side effect of the normal command.
 //!
 //! `check` runs the `gpuflow-verify` static analyzer over the template
 //! graph and its compiled execution plan, printing every diagnostic (see
@@ -53,9 +66,10 @@ pub fn run(argv: &[String]) -> Result<String, String> {
 pub const USAGE: &str = "\
 usage:
   gpuflow info  <source>
-  gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F] [--scheduler S] [--eviction E] [--exact] [--exact-budget N] [--exact-max-ops N] [--render]
-  gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional] [--overlap] [--gantt] [--json] [--exact] [--exact-budget N] [--exact-max-ops N]
-  gpuflow check <source> [--device DEV | --devices CLUSTER] [--json]
+  gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F] [--scheduler S] [--eviction E] [--exact] [--exact-budget N] [--exact-max-ops N] [--render] [--trace PATH]
+  gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional] [--overlap] [--gantt] [--json] [--exact] [--exact-budget N] [--exact-max-ops N] [--trace PATH]
+  gpuflow check <source> [--device DEV | --devices CLUSTER] [--json] [--trace PATH]
+  gpuflow trace <source> [--device DEV | --devices CLUSTER] [--margin F] [--exact] [--exact-budget N] [--exact-max-ops N] [--out PATH]
   gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV | --devices CLUSTER]
 
 sources:

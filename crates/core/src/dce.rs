@@ -25,6 +25,31 @@ pub struct DceResult {
 /// a template output. Inputs and constants that become unused are removed
 /// too. Ids are renumbered; names are preserved.
 pub fn eliminate_dead_ops(g: &Graph) -> Result<DceResult, FrameworkError> {
+    eliminate_dead_ops_traced(g, &mut gpuflow_trace::Tracer::disabled())
+}
+
+/// [`eliminate_dead_ops`], emitting a wall-clock `dce` span with the
+/// removed operator/data counts onto `tracer`.
+pub fn eliminate_dead_ops_traced(
+    g: &Graph,
+    tracer: &mut gpuflow_trace::Tracer,
+) -> Result<DceResult, FrameworkError> {
+    let tok = tracer.begin("compile", "dce");
+    let out = eliminate_dead_ops_inner(g);
+    match &out {
+        Ok(r) => tracer.end_with(
+            tok,
+            vec![
+                gpuflow_trace::kv("removed_ops", r.removed_ops.len()),
+                gpuflow_trace::kv("removed_data", r.removed_data.len()),
+            ],
+        ),
+        Err(_) => tracer.end(tok),
+    }
+    out
+}
+
+fn eliminate_dead_ops_inner(g: &Graph) -> Result<DceResult, FrameworkError> {
     g.validate()
         .map_err(|e| FrameworkError::InvalidGraph(e.to_string()))?;
 
@@ -128,6 +153,27 @@ mod tests {
         g.add_op("keep2", OpKind::Tanh, vec![used], out).unwrap();
         let _ = unused_input;
         g
+    }
+
+    #[test]
+    fn traced_dce_emits_a_span_with_removal_counts() {
+        let g = graph_with_dead_branch();
+        let mut tracer = gpuflow_trace::Tracer::new();
+        let res = eliminate_dead_ops_traced(&g, &mut tracer).unwrap();
+        let span = tracer
+            .events()
+            .iter()
+            .find(|e| e.name == "dce")
+            .expect("span recorded");
+        assert_eq!(span.cat, "compile");
+        let arg = |key: &str| {
+            span.args
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_u64())
+        };
+        assert_eq!(arg("removed_ops"), Some(res.removed_ops.len() as u64));
+        assert_eq!(arg("removed_data"), Some(res.removed_data.len() as u64));
     }
 
     #[test]

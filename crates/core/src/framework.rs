@@ -14,11 +14,13 @@ use gpuflow_graph::{DataId, Graph};
 use gpuflow_ops::Tensor;
 use gpuflow_sim::DeviceSpec;
 
+use gpuflow_trace::{kv, Tracer};
+
 use crate::error::FrameworkError;
 use crate::executor::{ExecOutcome, Executor};
 use crate::opschedule::{schedule_units, OpScheduler};
 use crate::partition::{partition_offload_units, PartitionPolicy};
-use crate::pbexact::{pb_exact_plan, PbExactOptions, PbExactStats};
+use crate::pbexact::{pb_exact_plan_traced, PbExactOptions, PbExactStats};
 use crate::plan::{validate_plan, ExecutionPlan, PlanStats};
 use crate::split::{split_graph, SplitResult};
 use crate::xfer::{schedule_transfers, EvictionPolicy, XferOptions};
@@ -125,41 +127,102 @@ impl Framework {
 
     /// Compile a template into an execution plan (Fig. 4).
     pub fn compile(&self, template: &Graph) -> Result<CompiledTemplate, FrameworkError> {
-        let budget = self.device.plannable_memory(self.options.memory_margin);
-        let split = split_graph(template, budget)?;
+        self.compile_traced(template, &mut Tracer::disabled())
+    }
 
+    /// [`Framework::compile`], emitting a span with per-pass counters for
+    /// every pipeline phase (split, partition, op schedule, transfer
+    /// schedule, validate — or the exact PB solve) onto `tracer`, and
+    /// recording the plan's canonical statistics (the same
+    /// [`ExecutionPlan::stats`] numbers) into its metrics registry.
+    pub fn compile_traced(
+        &self,
+        template: &Graph,
+        tracer: &mut Tracer,
+    ) -> Result<CompiledTemplate, FrameworkError> {
+        let budget = self.device.plannable_memory(self.options.memory_margin);
+        let tok = tracer.begin("compile", "split");
+        let split = split_graph(template, budget)?;
+        tracer.end_with(
+            tok,
+            vec![
+                kv("parts", split.parts),
+                kv("ops_before", template.num_ops()),
+                kv("ops_after", split.graph.num_ops()),
+                kv("data_after", split.graph.num_data()),
+            ],
+        );
+        tracer
+            .metrics()
+            .set("compile.split_parts", split.parts as u64);
+        tracer
+            .metrics()
+            .set("compile.split_ops", split.graph.num_ops() as u64);
+
+        let tok = tracer.begin("compile", "partition");
+        let units = partition_offload_units(&split.graph, self.options.partition, budget);
+        tracer.end_with(tok, vec![kv("units", units.len())]);
+        tracer.metrics().set("compile.units", units.len() as u64);
+
+        let plan;
+        let exact_optimal;
+        let exact_stats;
         if let Some(pb_opts) = self.options.exact {
-            let units = partition_offload_units(&split.graph, self.options.partition, budget);
-            let out = pb_exact_plan(&split.graph, &units, budget, pb_opts, None)?;
-            validate_plan(&split.graph, &out.plan, budget)?;
-            return Ok(CompiledTemplate {
-                split,
-                plan: out.plan,
-                device: self.device.clone(),
-                exact_optimal: out.optimal,
-                exact_stats: Some(out.stats),
-            });
+            let out = pb_exact_plan_traced(&split.graph, &units, budget, pb_opts, None, tracer)?;
+            plan = out.plan;
+            exact_optimal = out.optimal;
+            exact_stats = Some(out.stats);
+        } else {
+            let tok = tracer.begin("compile", "op-schedule");
+            let order = schedule_units(&split.graph, &units, self.options.scheduler);
+            tracer.end_with(
+                tok,
+                vec![kv("scheduler", format!("{:?}", self.options.scheduler))],
+            );
+            let tok = tracer.begin("compile", "xfer-schedule");
+            plan = schedule_transfers(
+                &split.graph,
+                &units,
+                &order,
+                XferOptions {
+                    memory_bytes: budget,
+                    policy: self.options.eviction,
+                    eager_free: self.options.eager_free,
+                },
+            )?;
+            tracer.end_with(
+                tok,
+                vec![
+                    kv("eviction", format!("{:?}", self.options.eviction)),
+                    kv("steps", plan.steps.len()),
+                    kv("evictions", plan.evictions()),
+                ],
+            );
+            exact_optimal = false;
+            exact_stats = None;
         }
 
-        let units = partition_offload_units(&split.graph, self.options.partition, budget);
-        let order = schedule_units(&split.graph, &units, self.options.scheduler);
-        let plan = schedule_transfers(
-            &split.graph,
-            &units,
-            &order,
-            XferOptions {
-                memory_bytes: budget,
-                policy: self.options.eviction,
-                eager_free: self.options.eager_free,
-            },
-        )?;
+        let tok = tracer.begin("compile", "validate");
         validate_plan(&split.graph, &plan, budget)?;
+        tracer.end(tok);
+
+        // Canonical plan statistics (the verify engine's walk): the
+        // metrics the exported trace reconciles against come from here,
+        // never from a second count.
+        let stats = plan.stats(&split.graph);
+        crate::observe::record_plan_metrics(tracer, &stats);
+        if tracer.is_enabled() {
+            let m = tracer.metrics();
+            m.set("plan.steps", plan.steps.len() as u64);
+            m.set("plan.evictions", plan.evictions() as u64);
+        }
+
         Ok(CompiledTemplate {
             split,
             plan,
             device: self.device.clone(),
-            exact_optimal: false,
-            exact_stats: None,
+            exact_optimal,
+            exact_stats,
         })
     }
 }
@@ -171,11 +234,32 @@ impl Framework {
     /// Compile like [`Framework::compile`], but validate the plan against
     /// the *real* first-fit allocator by dry-running it analytically, and
     /// escalate the fragmentation margin until the plan both schedules and
-    /// allocates. This is the production entry point: the paper de-rates
-    /// `Total_GPU_Memory` for exactly this reason (§3.3.2).
+    /// allocates. The configured `memory_margin` is the ladder's floor;
+    /// rungs of [`DEFAULT_MARGINS`] above it are tried in order. This is
+    /// the production entry point: the paper de-rates `Total_GPU_Memory`
+    /// for exactly this reason (§3.3.2).
     pub fn compile_adaptive(&self, template: &Graph) -> Result<CompiledTemplate, FrameworkError> {
+        self.compile_adaptive_traced(template, &mut Tracer::disabled())
+    }
+
+    /// [`Framework::compile_adaptive`] with tracing: each margin attempt
+    /// becomes a span (wrapping the usual per-pass spans) that records the
+    /// margin tried and why it was rejected, and the accepted margin lands
+    /// in the metrics registry as `compile.margin`.
+    pub fn compile_adaptive_traced(
+        &self,
+        template: &Graph,
+        tracer: &mut Tracer,
+    ) -> Result<CompiledTemplate, FrameworkError> {
+        // The configured margin is the ladder's floor: start there, then
+        // escalate through the default rungs above it. With default
+        // options this is exactly `DEFAULT_MARGINS`.
+        let floor = self.options.memory_margin;
+        let ladder: Vec<f64> = std::iter::once(floor)
+            .chain(DEFAULT_MARGINS.iter().copied().filter(|&m| m > floor))
+            .collect();
         let mut last_err = None;
-        for &margin in &DEFAULT_MARGINS {
+        for &margin in &ladder {
             let fw = Framework {
                 device: self.device.clone(),
                 options: CompileOptions {
@@ -183,12 +267,29 @@ impl Framework {
                     ..self.options
                 },
             };
-            match fw.compile(template) {
+            let tok = tracer.begin("compile", "margin-attempt");
+            match fw.compile_traced(template, tracer) {
                 Ok(compiled) => match compiled.run_analytic() {
-                    Ok(_) => return Ok(compiled),
-                    Err(e) => last_err = Some(e),
+                    Ok(_) => {
+                        tracer.end_with(tok, vec![kv("margin", margin), kv("outcome", "ok")]);
+                        tracer.metrics().gauge("compile.margin", margin);
+                        return Ok(compiled);
+                    }
+                    Err(e) => {
+                        tracer.end_with(
+                            tok,
+                            vec![kv("margin", margin), kv("outcome", format!("dry-run: {e}"))],
+                        );
+                        last_err = Some(e);
+                    }
                 },
-                Err(e) => last_err = Some(e),
+                Err(e) => {
+                    tracer.end_with(
+                        tok,
+                        vec![kv("margin", margin), kv("outcome", format!("{e}"))],
+                    );
+                    last_err = Some(e);
+                }
             }
         }
         Err(last_err.expect("ladder attempted at least one margin"))

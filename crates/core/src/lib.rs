@@ -40,6 +40,7 @@ pub mod error;
 pub mod examples;
 pub mod executor;
 pub mod framework;
+pub mod observe;
 pub mod opschedule;
 pub mod overlap;
 pub mod partition;
@@ -52,16 +53,17 @@ pub mod xfer;
 
 pub use baseline::baseline_plan;
 pub use best::best_possible_estimate;
-pub use dce::{dead_ops, eliminate_dead_ops, DceResult};
+pub use dce::{dead_ops, eliminate_dead_ops, eliminate_dead_ops_traced, DceResult};
 pub use error::FrameworkError;
 pub use executor::{ExecMode, ExecOutcome, Executor};
 pub use framework::{CompileOptions, CompiledTemplate, Framework};
+pub use observe::{record_plan_metrics, trace_overlap_lanes, trace_serial_timeline};
 pub use opschedule::{schedule_units, OpScheduler};
 pub use overlap::{overlapped_makespan, overlapped_trace, render_gantt, OverlapOutcome};
 pub use partition::{partition_offload_units, OffloadUnit, PartitionPolicy};
 pub use pbexact::{pb_exact_plan, ObjectiveKind, PbExactOptions, PbExactOutcome, PbExactStats};
 pub use plan::{validate_plan, ExecutionPlan, PlanStats, Step};
-pub use prefetch::hoist_prefetches;
+pub use prefetch::{hoist_prefetches, hoist_prefetches_traced};
 pub use report::compilation_report;
 pub use split::{split_graph, split_graph_min_parts, DataOrigin, SplitResult};
 pub use xfer::EvictionPolicy;

@@ -1,0 +1,207 @@
+//! Adapters from the framework's runtime artifacts onto [`gpuflow_trace`]
+//! tracks.
+//!
+//! The tracing crate knows nothing about graphs, plans, or timelines; this
+//! module is the one place where the executor's serial [`Timeline`], the
+//! two-engine overlap lanes of [`crate::overlap`], and plan statistics are
+//! projected onto Chrome-trace tracks. Every byte count recorded here is
+//! read from the same structures the validator and [`PlanStats`] use — the
+//! trace is a *view* of existing bookkeeping, never a second accounting
+//! path that could drift.
+
+use gpuflow_sim::{EventKind, Timeline};
+use gpuflow_trace::{kv, Tracer, PID_OVERLAP, PID_SERIAL};
+
+use crate::overlap::{Lane, LaneEvent};
+use crate::plan::PlanStats;
+
+/// Project the serial executor [`Timeline`] onto the [`PID_SERIAL`] track
+/// and record its aggregate counters as `sim.*` metrics.
+///
+/// Kernel launches and copies become complete ("X") events carrying their
+/// byte payloads; zero-duration frees become instants. Byte arguments come
+/// from the timeline's own events, so `sum_event_arg(.., "h2d", "bytes")`
+/// over the exported trace equals `Counters::bytes_to_gpu` exactly.
+pub fn trace_serial_timeline(tracer: &mut Tracer, tl: &Timeline) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.name_process(PID_SERIAL, "serial executor (simulated)");
+    tracer.name_thread(PID_SERIAL, 0, "serial timeline");
+    for e in tl.events() {
+        let end = e.start + e.duration;
+        match &e.kind {
+            EventKind::Kernel { name } => {
+                tracer.virtual_span(PID_SERIAL, 0, "kernel", name, e.start, end, vec![]);
+            }
+            EventKind::CopyToGpu { data, bytes } => {
+                tracer.virtual_span(
+                    PID_SERIAL,
+                    0,
+                    "h2d",
+                    data,
+                    e.start,
+                    end,
+                    vec![kv("bytes", *bytes)],
+                );
+            }
+            EventKind::CopyToCpu { data, bytes } => {
+                tracer.virtual_span(
+                    PID_SERIAL,
+                    0,
+                    "d2h",
+                    data,
+                    e.start,
+                    end,
+                    vec![kv("bytes", *bytes)],
+                );
+            }
+            EventKind::Free { data, bytes } => {
+                tracer.virtual_instant(
+                    PID_SERIAL,
+                    0,
+                    "free",
+                    data,
+                    e.start,
+                    vec![kv("bytes", *bytes)],
+                );
+            }
+        }
+    }
+    let c = tl.counters();
+    tracer.metrics().add("sim.bytes_h2d", c.bytes_to_gpu);
+    tracer.metrics().add("sim.bytes_d2h", c.bytes_to_cpu);
+    tracer.metrics().add("sim.copies_h2d", c.copies_to_gpu);
+    tracer.metrics().add("sim.copies_d2h", c.copies_to_cpu);
+    tracer
+        .metrics()
+        .add("sim.kernel_launches", c.kernel_launches);
+    tracer.metrics().gauge("sim.kernel_time_s", c.kernel_time);
+    tracer
+        .metrics()
+        .gauge("sim.transfer_time_s", c.transfer_time);
+    tracer.metrics().gauge("sim.total_time_s", c.total_time());
+}
+
+/// Project the two-engine overlap lanes of [`crate::overlap`] onto the
+/// [`PID_OVERLAP`] track: one thread per engine (H2D DMA, compute, D2H
+/// DMA). Byte arguments carry each event's [`LaneEvent::bytes`].
+pub fn trace_overlap_lanes(tracer: &mut Tracer, events: &[LaneEvent]) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.name_process(PID_OVERLAP, "overlapped engines (simulated)");
+    tracer.name_thread(PID_OVERLAP, 0, "H2D DMA");
+    tracer.name_thread(PID_OVERLAP, 1, "compute");
+    tracer.name_thread(PID_OVERLAP, 2, "D2H DMA");
+    for e in events {
+        let (tid, cat) = match e.lane {
+            Lane::H2d => (0, "h2d"),
+            Lane::Compute => (1, "kernel"),
+            Lane::D2h => (2, "d2h"),
+        };
+        tracer.virtual_span(
+            PID_OVERLAP,
+            tid,
+            cat,
+            &e.label,
+            e.start,
+            e.end,
+            vec![kv("bytes", e.bytes)],
+        );
+    }
+}
+
+/// Record the canonical plan statistics as `plan.*` metrics — the same
+/// numbers [`crate::framework::Framework::compile`] derives from the
+/// verification engine's [`PlanStats`].
+pub fn record_plan_metrics(tracer: &mut Tracer, stats: &PlanStats) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    let m = tracer.metrics();
+    m.set(
+        "plan.bytes_in",
+        stats.floats_in * gpuflow_graph::FLOAT_BYTES,
+    );
+    m.set(
+        "plan.bytes_out",
+        stats.floats_out * gpuflow_graph::FLOAT_BYTES,
+    );
+    m.set("plan.copies_in", stats.copies_in);
+    m.set("plan.copies_out", stats.copies_out);
+    m.set("plan.launches", stats.launches);
+    m.set("plan.peak_bytes", stats.peak_bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpuflow_trace::{sum_event_arg, validate_chrome_trace};
+
+    #[test]
+    fn serial_timeline_bytes_reconcile_with_counters() {
+        let mut tl = Timeline::new();
+        tl.push_copy_to_gpu("Img", 800, 0.5);
+        tl.push_kernel("C1", 0.25);
+        tl.push_copy_to_cpu("E1", 400, 0.25);
+        tl.push_free("Img", 800);
+        let mut tracer = Tracer::new();
+        trace_serial_timeline(&mut tracer, &tl);
+        let doc = tracer.chrome_trace();
+        validate_chrome_trace(&doc).unwrap();
+        assert_eq!(
+            sum_event_arg(&doc, "h2d", "bytes", Some(PID_SERIAL)),
+            tl.counters().bytes_to_gpu
+        );
+        assert_eq!(
+            sum_event_arg(&doc, "d2h", "bytes", Some(PID_SERIAL)),
+            tl.counters().bytes_to_cpu
+        );
+        assert_eq!(tracer.metrics().counter("sim.kernel_launches"), 1);
+    }
+
+    #[test]
+    fn overlap_lanes_map_to_three_threads() {
+        let events = vec![
+            LaneEvent {
+                lane: Lane::H2d,
+                label: "Img".into(),
+                start: 0.0,
+                end: 0.5,
+                bytes: 800,
+            },
+            LaneEvent {
+                lane: Lane::Compute,
+                label: "C1".into(),
+                start: 0.5,
+                end: 0.75,
+                bytes: 1600,
+            },
+            LaneEvent {
+                lane: Lane::D2h,
+                label: "E1".into(),
+                start: 0.75,
+                end: 1.0,
+                bytes: 400,
+            },
+        ];
+        let mut tracer = Tracer::new();
+        trace_overlap_lanes(&mut tracer, &events);
+        let doc = tracer.chrome_trace();
+        validate_chrome_trace(&doc).unwrap();
+        assert_eq!(sum_event_arg(&doc, "h2d", "bytes", Some(PID_OVERLAP)), 800);
+        assert_eq!(sum_event_arg(&doc, "d2h", "bytes", Some(PID_OVERLAP)), 400);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut tl = Timeline::new();
+        tl.push_kernel("C1", 0.25);
+        let mut tracer = Tracer::disabled();
+        trace_serial_timeline(&mut tracer, &tl);
+        trace_overlap_lanes(&mut tracer, &[]);
+        assert!(tracer.events().is_empty());
+        assert!(tracer.metrics_ref().is_empty());
+    }
+}

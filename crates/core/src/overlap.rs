@@ -88,6 +88,11 @@ pub struct LaneEvent {
     pub start: f64,
     /// End time, seconds.
     pub end: f64,
+    /// Bytes moved: PCIe bytes for the DMA lanes, device-memory traffic
+    /// for compute. Sourced from the same [`Graph`] sizes the plan
+    /// validator and [`crate::plan::PlanStats`] use, so traces reconcile
+    /// exactly with plan statistics.
+    pub bytes: u64,
 }
 
 /// Simulate `plan` on `dev` with concurrent copy and compute engines.
@@ -125,7 +130,8 @@ pub fn overlapped_trace(
     for step in &plan.steps {
         match *step {
             Step::CopyIn(d) => {
-                let dur = transfer_time(dev, g.data(d).bytes());
+                let bytes = g.data(d).bytes();
+                let dur = transfer_time(dev, bytes);
                 // Allocating: wait for host validity and for all earlier
                 // Frees to have actually released their space.
                 let start = h2d_free.max(host_ready[d.index()]).max(free_horizon);
@@ -140,10 +146,12 @@ pub fn overlapped_trace(
                     label: g.data(d).name.clone(),
                     start,
                     end: h2d_free,
+                    bytes,
                 });
             }
             Step::CopyOut(d) => {
-                let dur = transfer_time(dev, g.data(d).bytes());
+                let bytes = g.data(d).bytes();
+                let dur = transfer_time(dev, bytes);
                 let start = d2h_free.max(device_ready[d.index()]);
                 d2h_free = start + dur;
                 d2h_busy += dur;
@@ -156,6 +164,7 @@ pub fn overlapped_trace(
                     label: g.data(d).name.clone(),
                     start,
                     end: d2h_free,
+                    bytes,
                 });
             }
             Step::Free(d) => {
@@ -185,6 +194,7 @@ pub fn overlapped_trace(
                         label: node.name.clone(),
                         start: t,
                         end: t + dur,
+                        bytes: c.bytes,
                     });
                     t += dur;
                     compute_busy += dur;

@@ -52,8 +52,10 @@
 
 use gpuflow_graph::{DataId, DataKind, Graph, FLOAT_BYTES};
 use gpuflow_pbsat::{
-    minimize_warm, Cmp, Lit, OptimizeOptions, OptimizeOutcome, PbFormula, WarmStart,
+    minimize_warm_with, Cmp, Lit, OptimizeOptions, OptimizeOutcome, PbFormula, SolveProgress,
+    WarmStart,
 };
+use gpuflow_trace::{kv, Tracer};
 
 use crate::error::FrameworkError;
 use crate::opschedule::{schedule_units, OpScheduler};
@@ -821,6 +823,29 @@ pub fn pb_exact_plan(
     opts: PbExactOptions,
     fixed_order: Option<&[usize]>,
 ) -> Result<PbExactOutcome, FrameworkError> {
+    pb_exact_plan_traced(
+        g,
+        units,
+        memory_bytes,
+        opts,
+        fixed_order,
+        &mut Tracer::disabled(),
+    )
+}
+
+/// [`pb_exact_plan`] with tracing: emits encode-size spans (full vs pruned
+/// formula, pruning ratio), solver incumbent/progress events with conflict
+/// counts, and the final bound gap onto `tracer`, and mirrors the search
+/// statistics into its metrics registry (single bookkeeping source: the
+/// same [`gpuflow_pbsat::SearchStats`] that fills [`PbExactStats`]).
+pub fn pb_exact_plan_traced(
+    g: &Graph,
+    units: &[OffloadUnit],
+    memory_bytes: u64,
+    opts: PbExactOptions,
+    fixed_order: Option<&[usize]>,
+    tracer: &mut Tracer,
+) -> Result<PbExactOutcome, FrameworkError> {
     let n = units.len();
     let j = g.num_data();
     if n == 0 {
@@ -889,6 +914,7 @@ pub fn pb_exact_plan(
     };
     // Both encodings are built (encoding is cheap next to solving) so the
     // size reduction is always measurable in the reported stats.
+    let tok = tracer.begin("solver", "pb-encode");
     let full = encode(&cx, false);
     let pruned = encode(&cx, true);
     let mut stats = PbExactStats {
@@ -901,6 +927,25 @@ pub fn pb_exact_plan(
         pruned: opts.prune,
         ..PbExactStats::default()
     };
+    tracer.end_with(
+        tok,
+        vec![
+            kv("vars_full", stats.vars_full),
+            kv("clauses_full", stats.clauses_full),
+            kv("vars_pruned", stats.vars_pruned),
+            kv("clauses_pruned", stats.clauses_pruned),
+            kv(
+                "var_pruning_ratio",
+                stats.vars_pruned as f64 / stats.vars_full.max(1) as f64,
+            ),
+        ],
+    );
+    tracer
+        .metrics()
+        .set("exact.vars_full", stats.vars_full as u64);
+    tracer
+        .metrics()
+        .set("exact.vars_pruned", stats.vars_pruned as u64);
     let enc = if opts.prune { &pruned } else { &full };
 
     // Heuristic incumbent: warm start, lower-bound early exit, and the
@@ -916,6 +961,12 @@ pub fn pb_exact_plan(
                 // The heuristic meets the structural lower bound: it is
                 // proven optimal without touching the solver.
                 stats.warm_started = true;
+                tracer.instant(
+                    "solver",
+                    "lower-bound-proof",
+                    vec![kv("floats", *floats), kv("lower_bound", lb)],
+                );
+                tracer.metrics().set("exact.bound_gap_floats", 0);
                 return Ok(PbExactOutcome {
                     plan: plan.clone(),
                     transfer_floats: *floats,
@@ -937,8 +988,41 @@ pub fn pb_exact_plan(
     };
     let warm_bound = warm.as_ref().is_some_and(|w| w.bound.is_some());
     stats.warm_started = warm.is_some();
+    if let Some(w) = &warm {
+        tracer.instant(
+            "solver",
+            "warm-start",
+            vec![
+                kv("bound", w.bound.unwrap_or(-1)),
+                kv("phases", w.phases.len()),
+                kv("lower_bound", lb),
+            ],
+        );
+    }
 
-    let (outcome, search) = minimize_warm(
+    let tok = tracer.begin("solver", "pb-solve");
+    let mut incumbents = 0u64;
+    let mut progress = |p: SolveProgress| {
+        let SolveProgress::Incumbent {
+            value,
+            conflicts,
+            decisions,
+            restarts,
+        } = p;
+        incumbents += 1;
+        tracer.instant(
+            "solver",
+            "incumbent",
+            vec![
+                kv("value", value),
+                kv("conflicts", conflicts),
+                kv("decisions", decisions),
+                kv("restarts", restarts),
+            ],
+        );
+        tracer.counter("pb-objective", vec![kv("value", value)]);
+    };
+    let (outcome, search) = minimize_warm_with(
         &enc.f,
         &enc.objective,
         OptimizeOptions {
@@ -948,17 +1032,40 @@ pub fn pb_exact_plan(
             lower_bound: if total_objective { lb as i64 } else { 0 },
         },
         warm.as_ref(),
+        Some(&mut progress),
     );
     stats.conflicts = search.conflicts;
     stats.decisions = search.decisions;
     stats.propagations = search.propagations;
     stats.restarts = search.restarts;
+    tracer.end_with(
+        tok,
+        vec![
+            kv("conflicts", search.conflicts),
+            kv("decisions", search.decisions),
+            kv("propagations", search.propagations),
+            kv("restarts", search.restarts),
+            kv("incumbents", incumbents),
+        ],
+    );
+    // Single bookkeeping source: the same `SearchStats` that fills
+    // `PbExactStats` feeds the metrics the trace reconciles against.
+    tracer.metrics().set("exact.conflicts", search.conflicts);
+    tracer.metrics().set("exact.decisions", search.decisions);
+    tracer.metrics().set("exact.restarts", search.restarts);
+    tracer.metrics().set("exact.incumbents", incumbents);
 
     let (model, value, optimal) = match outcome {
         OptimizeOutcome::Infeasible if warm_bound => {
             // UNSAT under `objective ≤ heuristic − 1`: nothing beats the
             // (feasible, validated) incumbent, so it is the optimum.
             let (_, plan, floats) = heuristic.expect("warm bound implies an incumbent");
+            tracer.instant(
+                "solver",
+                "incumbent-proven-optimal",
+                vec![kv("floats", floats), kv("lower_bound", lb)],
+            );
+            tracer.metrics().set("exact.bound_gap_floats", 0);
             return Ok(PbExactOutcome {
                 plan,
                 transfer_floats: floats,
@@ -972,22 +1079,45 @@ pub fn pb_exact_plan(
             model: Some(m),
             value,
         } => (m, value, false),
-        OptimizeOutcome::BudgetExhausted { model: None, .. } => {
+        OptimizeOutcome::BudgetExhausted { model: None, .. } if heuristic.is_some() => {
             // Anytime fallback: the budget is gone and the solver found no
             // model; hand back the heuristic plan, unproven.
-            match heuristic {
-                Some((_, plan, floats)) => {
-                    return Ok(PbExactOutcome {
-                        plan,
-                        transfer_floats: floats,
-                        optimal: false,
-                        stats,
-                    })
-                }
-                None => return Err(FrameworkError::PbBudgetExhausted),
-            }
+            let (_, plan, floats) = heuristic.expect("guard checked");
+            tracer.instant(
+                "solver",
+                "budget-exhausted",
+                vec![kv("fallback_floats", floats), kv("lower_bound", lb)],
+            );
+            tracer
+                .metrics()
+                .set("exact.bound_gap_floats", floats.saturating_sub(lb));
+            return Ok(PbExactOutcome {
+                plan,
+                transfer_floats: floats,
+                optimal: false,
+                stats,
+            });
+        }
+        OptimizeOutcome::BudgetExhausted { model: None, .. } => {
+            return Err(FrameworkError::PbBudgetExhausted)
         }
     };
+    let gap = if total_objective {
+        (value - lb as i64).max(0) as u64
+    } else {
+        value.max(0) as u64
+    };
+    tracer.instant(
+        "solver",
+        "final-bound",
+        vec![
+            kv("value", value),
+            kv("lower_bound", lb),
+            kv("gap", gap),
+            kv("optimal", optimal),
+        ],
+    );
+    tracer.metrics().set("exact.bound_gap_floats", gap);
 
     // --- Extract the plan. ---
     let tv = |s: S| match s {

@@ -81,6 +81,22 @@ impl ExecutionPlan {
         self.analyze(g, u64::MAX, false).stats
     }
 
+    /// Number of evictions: `Free` steps whose datum is uploaded again by
+    /// a later `CopyIn` (the transfer scheduler spilled it to make room,
+    /// as opposed to a final dead-data free).
+    pub fn evictions(&self) -> usize {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter(|&(i, step)| match *step {
+                Step::Free(d) => self.steps[i + 1..]
+                    .iter()
+                    .any(|s| matches!(*s, Step::CopyIn(d2) if d2 == d)),
+                _ => false,
+            })
+            .count()
+    }
+
     /// Render the plan as one step per line (the textual Fig. 6(b)).
     pub fn render(&self, g: &Graph) -> String {
         use std::fmt::Write as _;

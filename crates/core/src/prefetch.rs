@@ -30,6 +30,42 @@ pub fn hoist_prefetches(
     memory_bytes: u64,
     lookahead: usize,
 ) -> (ExecutionPlan, usize) {
+    hoist_prefetches_traced(
+        g,
+        plan,
+        memory_bytes,
+        lookahead,
+        &mut gpuflow_trace::Tracer::disabled(),
+    )
+}
+
+/// [`hoist_prefetches`], emitting a wall-clock `prefetch-hoist` span with
+/// the lookahead and the number of hoists onto `tracer`.
+pub fn hoist_prefetches_traced(
+    g: &Graph,
+    plan: &ExecutionPlan,
+    memory_bytes: u64,
+    lookahead: usize,
+    tracer: &mut gpuflow_trace::Tracer,
+) -> (ExecutionPlan, usize) {
+    let tok = tracer.begin("compile", "prefetch-hoist");
+    let out = hoist_prefetches_inner(g, plan, memory_bytes, lookahead);
+    tracer.end_with(
+        tok,
+        vec![
+            gpuflow_trace::kv("lookahead", lookahead),
+            gpuflow_trace::kv("moves", out.1),
+        ],
+    );
+    out
+}
+
+fn hoist_prefetches_inner(
+    g: &Graph,
+    plan: &ExecutionPlan,
+    memory_bytes: u64,
+    lookahead: usize,
+) -> (ExecutionPlan, usize) {
     let mut steps = plan.steps.clone();
     // Occupancy *before* each step, in bytes.
     let mut occ = occupancy_before(g, plan, &steps);
@@ -147,6 +183,25 @@ mod tests {
             plan.stats(&g).total_floats()
         );
         assert!(moves > 0, "the fig3 plan has hoistable uploads");
+    }
+
+    #[test]
+    fn traced_hoist_emits_a_span_with_the_move_count() {
+        let (g, plan) = fig3_plan();
+        let mut tracer = gpuflow_trace::Tracer::new();
+        let (_, moves) = hoist_prefetches_traced(&g, &plan, fig3_memory_bytes(), 16, &mut tracer);
+        let span = tracer
+            .events()
+            .iter()
+            .find(|e| e.name == "prefetch-hoist")
+            .expect("span recorded");
+        assert_eq!(span.cat, "compile");
+        let recorded = span
+            .args
+            .iter()
+            .find(|(k, _)| k == "moves")
+            .and_then(|(_, v)| v.as_u64());
+        assert_eq!(recorded, Some(moves as u64));
     }
 
     #[test]

@@ -204,11 +204,14 @@ pub fn schedule_transfers(
 
         if opts.eager_free {
             // Delete everything whose last external read is behind us.
-            let dead: Vec<DataId> = resident
+            // Sorted so the emitted plan (and hence every trace and render
+            // of it) is identical run to run despite HashMap iteration.
+            let mut dead: Vec<DataId> = resident
                 .keys()
                 .copied()
                 .filter(|&d| next_read(d, t + 1).is_none())
                 .collect();
+            dead.sort_unstable();
             for d in dead {
                 drop_data(
                     g,
@@ -223,8 +226,10 @@ pub fn schedule_transfers(
         }
     }
 
-    // Drain: anything still resident that the host needs.
-    let leftovers: Vec<DataId> = resident.keys().copied().collect();
+    // Drain: anything still resident that the host needs (sorted for
+    // run-to-run determinism, as above).
+    let mut leftovers: Vec<DataId> = resident.keys().copied().collect();
+    leftovers.sort_unstable();
     for d in leftovers {
         drop_data(
             g,

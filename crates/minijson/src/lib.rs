@@ -103,6 +103,14 @@ impl Map {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Look up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
     /// Iterate entries in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
         self.entries.iter().map(|(k, v)| (k.as_str(), v))
@@ -190,6 +198,14 @@ impl Value {
     /// Object member by key; [`Value::Null`] if absent or not an object.
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Object member by key, mutably; `None` if absent or not an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(m) => m.get_mut(key),
+            _ => None,
+        }
     }
 
     /// Compact one-line rendering.
@@ -592,20 +608,28 @@ impl<'a> Parser<'a> {
                         b't' => out.push('\t'),
                         b'u' => {
                             let code = self.hex4()?;
-                            // Surrogate pairs: decode a following \uXXXX low half.
+                            // Surrogate pairs: a high half must be followed by
+                            // `\uXXXX` with a valid low half; anything else
+                            // (lone halves, two highs, a non-escape) is an
+                            // error rather than a silently mis-decoded char.
                             let c = if (0xD800..0xDC00).contains(&code) {
                                 if self.peek() == Some(b'\\') {
                                     self.pos += 1;
                                     self.expect(b'u')?;
                                     let low = self.hex4()?;
-                                    let combined = 0x10000
-                                        + ((code - 0xD800) << 10)
-                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
-                                    char::from_u32(combined)
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        let combined =
+                                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                        char::from_u32(combined)
+                                    } else {
+                                        None
+                                    }
                                 } else {
                                     None
                                 }
                             } else {
+                                // A lone low half falls out here:
+                                // char::from_u32 rejects 0xDC00..0xE000.
                                 char::from_u32(code)
                             };
                             out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
@@ -721,6 +745,41 @@ mod tests {
         assert_eq!(parse(&s).unwrap(), v);
         let unicode = parse(r#""Aé😀""#).unwrap();
         assert_eq!(unicode, "Aé😀");
+    }
+
+    #[test]
+    fn control_characters_escape_and_roundtrip() {
+        // Every C0 control character must be written escaped and parse
+        // back to itself (trace op names can contain anything).
+        let all: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let v = Value::from(all.clone());
+        let text = v.to_string_compact();
+        assert!(
+            text.bytes().all(|b| b == b'"' || (0x20..0x7f).contains(&b)),
+            "control characters must not appear raw: {text:?}"
+        );
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn valid_surrogate_pairs_decode() {
+        assert_eq!(parse(r#""𝄞""#).unwrap(), "\u{1D11E}");
+        assert_eq!(parse(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn lone_and_mismatched_surrogates_are_rejected() {
+        // Lone high half (end of string, or followed by a non-escape).
+        assert!(parse(r#""\uD800""#).is_err());
+        assert!(parse(r#""\uD800A""#).is_err());
+        // High half followed by an escaped non-low half: previously this
+        // silently decoded to a wrong character via bit masking.
+        assert!(parse("\"\\uD800\\u0041\"").is_err());
+        assert!(parse(r#""\uD800\uD800""#).is_err());
+        assert!(parse(r#""\uD800\n""#).is_err());
+        // Lone low half.
+        assert!(parse(r#""\uDC00""#).is_err());
+        assert!(parse(r#""\uDFFF""#).is_err());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Property tests: strings with arbitrary content — C0 control
+//! characters, quote/backslash escapes, astral-plane characters — must
+//! survive a write→parse roundtrip, and surrogate escapes must either
+//! decode to the exact character or be rejected (never mis-decoded).
+
+use proptest::prelude::*;
+
+use gpuflow_minijson::{parse, Map, Value};
+
+/// Map one generated `(class, code)` pair to a character, biasing toward
+/// the troublesome classes: C0 controls, JSON escapes, and non-ASCII.
+fn char_from(class: u8, code: u32) -> char {
+    match class {
+        0 => char::from_u32(code % 0x20).unwrap(),
+        1 => char::from_u32(0x20 + code % 0x5F).unwrap(),
+        2 => *['"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{7f}']
+            .iter()
+            .cycle()
+            .nth(code as usize % 9)
+            .unwrap(),
+        _ => {
+            let c = code % 0x110000;
+            // Fold the surrogate gap (and anything else invalid) into
+            // nearby valid scalar values.
+            char::from_u32(c).unwrap_or_else(|| char::from_u32(c - 0x800).unwrap())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn arbitrary_strings_roundtrip(chars in prop::collection::vec((0u8..4, 0u32..0x110000), 0..48)) {
+        let s: String = chars.iter().map(|&(cl, co)| char_from(cl, co)).collect();
+        let v = Value::from(s.clone());
+        let compact = v.to_string_compact();
+        prop_assert_eq!(parse(&compact).unwrap(), v.clone());
+        let pretty = v.to_string_pretty();
+        prop_assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn arbitrary_object_keys_roundtrip(chars in prop::collection::vec((0u8..4, 0u32..0x110000), 1..24)) {
+        let key: String = chars.iter().map(|&(cl, co)| char_from(cl, co)).collect();
+        let mut m = Map::new();
+        m.insert(key.clone(), 1u64);
+        let v = Value::from(m);
+        let reparsed = parse(&v.to_string_compact()).unwrap();
+        prop_assert_eq!(reparsed.get(&key).and_then(|x| x.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn surrogate_escapes_decode_exactly_or_error(high in 0xD800u32..0xDC00, low in 0u32..0x10000) {
+        let text = format!("\"\\u{high:04X}\\u{low:04X}\"");
+        let parsed = parse(&text);
+        if (0xDC00..0xE000).contains(&low) {
+            let expected = char::from_u32(0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)).unwrap();
+            prop_assert_eq!(parsed.unwrap(), Value::from(expected.to_string()));
+        } else {
+            // High half followed by anything but a low half must error,
+            // not silently decode to some other character.
+            prop_assert!(parsed.is_err());
+        }
+    }
+
+    #[test]
+    fn lone_surrogate_escapes_error(code in 0xD800u32..0xE000) {
+        prop_assert!(parse(&format!("\"\\u{code:04X}\"")).is_err());
+        prop_assert!(parse(&format!("\"a\\u{code:04X}b\"")).is_err());
+    }
+
+    #[test]
+    fn bmp_escapes_decode(code in 0u32..0x10000) {
+        prop_assume!(!(0xD800..0xE000).contains(&code));
+        let v = parse(&format!("\"\\u{code:04X}\"")).unwrap();
+        prop_assert_eq!(v, Value::from(char::from_u32(code).unwrap().to_string()));
+    }
+}

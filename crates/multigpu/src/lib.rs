@@ -25,6 +25,7 @@
 
 pub mod cluster;
 pub mod makespan;
+pub mod observe;
 pub mod planner;
 pub mod schedule;
 pub mod shard;
@@ -34,6 +35,7 @@ pub use makespan::{
     multi_overlapped_makespan, multi_overlapped_trace, render_multi_gantt, MultiLane,
     MultiLaneEvent, MultiOutcome,
 };
-pub use planner::{compile_multi, MultiCompiled};
+pub use observe::{tid_compute, trace_multi_lanes, TID_BUS_D2H, TID_BUS_H2D};
+pub use planner::{compile_multi, compile_multi_traced, MultiCompiled};
 pub use schedule::{schedule_multi_transfers, MultiPlan, MultiStep, MultiXferOptions};
 pub use shard::{device_for_row, shard_graph, ShardedGraph};

@@ -73,6 +73,10 @@ pub struct MultiLaneEvent {
     pub start: f64,
     /// End time, seconds.
     pub end: f64,
+    /// Bytes moved: bus bytes for the shared channels, device-memory
+    /// traffic for compute. Bus-lane bytes sum to
+    /// [`MultiOutcome::bus_bytes`], so traces reconcile exactly.
+    pub bytes: u64,
 }
 
 /// Which engine of the cluster an event ran on.
@@ -131,6 +135,7 @@ pub fn multi_overlapped_trace(
                     label: format!("{}>d{device}", g.data(data).name),
                     start,
                     end: fin,
+                    bytes,
                 });
             }
             MultiStep::CopyOut { device, data } => {
@@ -146,6 +151,7 @@ pub fn multi_overlapped_trace(
                     label: format!("d{device}>{}", g.data(data).name),
                     start,
                     end: fin,
+                    bytes,
                 });
             }
             MultiStep::Free { device, data } => {
@@ -178,6 +184,7 @@ pub fn multi_overlapped_trace(
                         label: node.name.clone(),
                         start: t,
                         end: t + dur,
+                        bytes: c.bytes,
                     });
                     t += dur;
                     compute_busy[dev] += dur;

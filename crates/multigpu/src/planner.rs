@@ -4,6 +4,7 @@ use gpuflow_core::{
     partition_offload_units, schedule_units, FrameworkError, OpScheduler, PartitionPolicy,
 };
 use gpuflow_graph::Graph;
+use gpuflow_trace::{kv, Tracer};
 
 use crate::cluster::Cluster;
 use crate::makespan::{multi_overlapped_trace, MultiLaneEvent, MultiOutcome};
@@ -50,12 +51,40 @@ pub fn compile_multi(
     cluster: &Cluster,
     margin: f64,
 ) -> Result<MultiCompiled, FrameworkError> {
+    compile_multi_traced(g, cluster, margin, &mut Tracer::disabled())
+}
+
+/// Like [`compile_multi`], recording one span per compilation pass (plus
+/// per-pass counters) on `tracer`'s compile track.
+pub fn compile_multi_traced(
+    g: &Graph,
+    cluster: &Cluster,
+    margin: f64,
+    tracer: &mut Tracer,
+) -> Result<MultiCompiled, FrameworkError> {
+    let tok = tracer.begin("compile", "shard");
     let sharded = shard_graph(g, cluster, margin)?;
+    tracer.end_with(
+        tok,
+        vec![
+            kv("devices", cluster.len()),
+            kv("parts", sharded.split.parts),
+            kv("ops", sharded.split.graph.num_ops()),
+        ],
+    );
     let sg = &sharded.split.graph;
+
+    let tok = tracer.begin("compile", "partition");
     let units = partition_offload_units(sg, PartitionPolicy::PerOperator, u64::MAX);
     // Per-operator units: a unit's device is its single op's device.
     let unit_device: Vec<usize> = units.iter().map(|u| sharded.device_of(u.ops[0])).collect();
+    tracer.end_with(tok, vec![kv("units", units.len())]);
+
+    let tok = tracer.begin("compile", "op-schedule");
     let order = schedule_units(sg, &units, OpScheduler::DepthFirst);
+    tracer.end(tok);
+
+    let tok = tracer.begin("compile", "xfer-schedule");
     let plan = schedule_multi_transfers(
         sg,
         &units,
@@ -66,6 +95,19 @@ pub fn compile_multi(
             eager_free: true,
         },
     )?;
+    tracer.end_with(
+        tok,
+        vec![
+            kv("steps", plan.steps.len()),
+            kv("bus_bytes", plan.bus_bytes(sg)),
+        ],
+    );
+    if tracer.is_enabled() {
+        let m = tracer.metrics();
+        m.set("cluster.devices", cluster.len() as u64);
+        m.set("cluster.units", units.len() as u64);
+        m.set("cluster.bus_bytes", plan.bus_bytes(sg));
+    }
     Ok(MultiCompiled {
         cluster: cluster.clone(),
         sharded,

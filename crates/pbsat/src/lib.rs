@@ -38,7 +38,8 @@ pub use constraint::{Cmp, LinearConstraint, NormalizeOutcome};
 pub use dimacs::parse_dimacs;
 pub use opb::{formula_to_opb, parse_opb as parse_opb_instance};
 pub use optimize::{
-    minimize, minimize_warm, OptimizeOptions, OptimizeOutcome, SearchStats, WarmStart,
+    minimize, minimize_warm, minimize_warm_with, OptimizeOptions, OptimizeOutcome, SearchStats,
+    SolveProgress, WarmStart,
 };
 pub use solver::{SolveResult, Solver};
 pub use types::{Lit, Var};

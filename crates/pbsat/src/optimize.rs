@@ -186,6 +186,24 @@ fn strengthen(solver: &mut Solver, objective: &[(i64, Lit)], bound: i64) -> bool
     true
 }
 
+/// A progress notification emitted by [`minimize_warm_with`] as the
+/// search advances, letting callers trace the anytime behaviour of the
+/// strengthening loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveProgress {
+    /// A new incumbent model was found.
+    Incumbent {
+        /// Objective value of the new incumbent.
+        value: i64,
+        /// Conflicts encountered when it was found.
+        conflicts: u64,
+        /// Branching decisions made when it was found.
+        decisions: u64,
+        /// Restarts performed when it was found.
+        restarts: u64,
+    },
+}
+
 /// [`minimize`] with an optional heuristic warm start, returning the search
 /// statistics alongside the outcome.
 ///
@@ -200,6 +218,18 @@ pub fn minimize_warm(
     objective: &[(i64, Lit)],
     opts: OptimizeOptions,
     warm: Option<&WarmStart>,
+) -> (OptimizeOutcome, SearchStats) {
+    minimize_warm_with(formula, objective, opts, warm, None)
+}
+
+/// [`minimize_warm`] with an optional progress callback, invoked from
+/// inside the strengthening loop each time the incumbent improves.
+pub fn minimize_warm_with(
+    formula: &PbFormula,
+    objective: &[(i64, Lit)],
+    opts: OptimizeOptions,
+    warm: Option<&WarmStart>,
+    mut progress: Option<&mut dyn FnMut(SolveProgress)>,
 ) -> (OptimizeOutcome, SearchStats) {
     assert!(
         objective.iter().all(|&(c, _)| c >= 0),
@@ -275,6 +305,14 @@ pub fn minimize_warm(
             SolveResult::Sat(model) => {
                 let value = objective_value(objective, &model);
                 best = Some((model, value));
+                if let Some(cb) = progress.as_deref_mut() {
+                    cb(SolveProgress::Incumbent {
+                        value,
+                        conflicts: solver.conflicts,
+                        decisions: solver.decisions,
+                        restarts: solver.restarts,
+                    });
+                }
                 if value <= opts.lower_bound.max(0) {
                     // A model at the structural lower bound (or at zero,
                     // with non-negative coefficients) cannot be beaten.
@@ -522,6 +560,33 @@ mod tests {
             OptimizeOutcome::BudgetExhausted { .. } | OptimizeOutcome::Optimal { .. } => {}
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn progress_callback_sees_strictly_improving_incumbents() {
+        let mut f = PbFormula::new();
+        let xs = f.new_vars(6);
+        for w in xs.windows(2) {
+            f.add_clause(&[w[0].pos(), w[1].pos()]);
+        }
+        let obj: Vec<(i64, Lit)> = xs.iter().map(|v| (1, v.pos())).collect();
+        let mut seen = Vec::new();
+        let mut cb = |p: SolveProgress| {
+            let SolveProgress::Incumbent { value, .. } = p;
+            seen.push(value);
+        };
+        let (out, _) =
+            minimize_warm_with(&f, &obj, OptimizeOptions::default(), None, Some(&mut cb));
+        let value = match out {
+            OptimizeOutcome::Optimal { value, .. } => value,
+            other => panic!("{other:?}"),
+        };
+        assert!(!seen.is_empty(), "at least one incumbent must be reported");
+        assert!(
+            seen.windows(2).all(|w| w[1] < w[0]),
+            "incumbents must strictly improve: {seen:?}"
+        );
+        assert_eq!(*seen.last().unwrap(), value);
     }
 
     #[test]

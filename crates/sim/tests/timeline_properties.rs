@@ -1,0 +1,101 @@
+//! Property-based tests of the simulated timeline.
+//!
+//! The Chrome-trace exporter and the `run --json` metrics snapshot both
+//! read [`Timeline`] events and [`Counters`] and assume they agree; these
+//! properties pin that contract down for arbitrary event sequences.
+
+use proptest::prelude::*;
+
+use gpuflow_sim::{Counters, EventKind, Timeline};
+
+/// One randomly generated timeline operation:
+/// `(kind 0..4, bytes, duration in seconds)`.
+type Op = (u8, u64, f64);
+
+fn apply(t: &mut Timeline, i: usize, op: Op) {
+    let (kind, bytes, dur) = op;
+    match kind {
+        0 => t.push_kernel(format!("k{i}"), dur),
+        1 => t.push_copy_to_gpu(format!("d{i}"), bytes, dur),
+        2 => t.push_copy_to_cpu(format!("d{i}"), bytes, dur),
+        _ => t.push_free(format!("d{i}"), bytes),
+    }
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0u8..4, 1u64..1 << 30, 0.0f64..2.0), 0..100)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events are contiguous in virtual time: each one starts exactly
+    /// where the previous ended, frees take zero time, and `now()` is the
+    /// end of the last event. Exact float equality is intentional — the
+    /// clock is a single running sum, so there is nothing to round.
+    #[test]
+    fn events_are_contiguous_and_clock_matches(ops in ops_strategy()) {
+        let mut t = Timeline::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut t, i, *op);
+        }
+        let mut clock = 0.0f64;
+        for e in t.events() {
+            prop_assert_eq!(e.start, clock, "event starts where the last ended");
+            prop_assert!(e.duration >= 0.0);
+            if matches!(e.kind, EventKind::Free { .. }) {
+                prop_assert_eq!(e.duration, 0.0, "frees are instantaneous");
+            }
+            clock = e.start + e.duration;
+        }
+        prop_assert_eq!(t.now(), clock);
+        prop_assert_eq!(t.events().len(), ops.len());
+    }
+
+    /// Counters are exactly the event-wise sums — the same reconciliation
+    /// `gpuflow trace` performs against its own Chrome-trace export.
+    #[test]
+    fn counters_match_event_sums(ops in ops_strategy()) {
+        let mut t = Timeline::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut t, i, *op);
+        }
+        let mut sum = Counters::default();
+        for e in t.events() {
+            match &e.kind {
+                EventKind::Kernel { .. } => {
+                    sum.kernel_launches += 1;
+                    sum.kernel_time += e.duration;
+                }
+                EventKind::CopyToGpu { bytes, .. } => {
+                    sum.copies_to_gpu += 1;
+                    sum.bytes_to_gpu += bytes;
+                    sum.transfer_time += e.duration;
+                }
+                EventKind::CopyToCpu { bytes, .. } => {
+                    sum.copies_to_cpu += 1;
+                    sum.bytes_to_cpu += bytes;
+                    sum.transfer_time += e.duration;
+                }
+                EventKind::Free { .. } => {}
+            }
+        }
+        let c = t.counters();
+        prop_assert_eq!(c, sum);
+        prop_assert_eq!(c.total_transfer_bytes(), c.bytes_to_gpu + c.bytes_to_cpu);
+        prop_assert_eq!(c.total_transfer_floats(), c.total_transfer_bytes() / 4);
+        prop_assert_eq!(c.total_time(), c.kernel_time + c.transfer_time);
+        let share = c.transfer_share();
+        prop_assert!((0.0..=1.0).contains(&share), "share {share} out of range");
+    }
+
+    /// `render` prints exactly one line per event, in order.
+    #[test]
+    fn render_is_one_line_per_event(ops in ops_strategy()) {
+        let mut t = Timeline::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut t, i, *op);
+        }
+        prop_assert_eq!(t.render().lines().count(), t.events().len());
+    }
+}

@@ -1,0 +1,251 @@
+//! Chrome-trace (Perfetto) JSON export and validation.
+//!
+//! The exported document follows the Chrome Trace Event format's JSON
+//! object form: a `traceEvents` array of `"X"` (complete), `"i"`
+//! (instant), `"C"` (counter), and `"M"` (metadata) events, with `ts` /
+//! `dur` in microseconds and `pid`/`tid` selecting the track. Perfetto
+//! (<https://ui.perfetto.dev>) and `chrome://tracing` both load it.
+
+use gpuflow_minijson::{Map, Value};
+
+use crate::{args_to_map, EventPhase, MetricsRegistry, TraceEvent, TrackName};
+
+fn base_event(e: &TraceEvent, ph: &str) -> Map {
+    let mut m = Map::new();
+    m.insert("name", e.name.as_str());
+    m.insert("cat", e.cat.as_str());
+    m.insert("ph", ph);
+    m.insert("ts", e.ts_us);
+    m.insert("pid", e.pid);
+    m.insert("tid", e.tid);
+    m
+}
+
+pub(crate) fn chrome_trace(
+    events: &[TraceEvent],
+    names: &[TrackName],
+    metrics: &MetricsRegistry,
+) -> Value {
+    let mut out = Vec::with_capacity(events.len() + names.len());
+    for n in names {
+        let mut m = Map::new();
+        m.insert(
+            "name",
+            if n.tid.is_some() {
+                "thread_name"
+            } else {
+                "process_name"
+            },
+        );
+        m.insert("ph", "M");
+        m.insert("pid", n.pid);
+        if let Some(tid) = n.tid {
+            m.insert("tid", tid);
+        }
+        let mut args = Map::new();
+        args.insert("name", n.name.as_str());
+        m.insert("args", args);
+        out.push(Value::Object(m));
+    }
+    for e in events {
+        let mut m = match e.phase {
+            EventPhase::Complete { dur_us } => {
+                let mut m = base_event(e, "X");
+                m.insert("dur", dur_us);
+                m
+            }
+            EventPhase::Instant => {
+                let mut m = base_event(e, "i");
+                // Thread-scoped so the marker renders on its own lane.
+                m.insert("s", "t");
+                m
+            }
+            EventPhase::Counter => base_event(e, "C"),
+        };
+        if !e.args.is_empty() {
+            m.insert("args", args_to_map(&e.args));
+        }
+        out.push(Value::Object(m));
+    }
+
+    let mut doc = Map::new();
+    doc.insert("traceEvents", Value::Array(out));
+    doc.insert("displayTimeUnit", "ms");
+    let mut other = Map::new();
+    other.insert("tool", "gpuflow-trace");
+    if !metrics.is_empty() {
+        other.insert("metrics", metrics.to_json());
+    }
+    doc.insert("otherData", other);
+    Value::Object(doc)
+}
+
+/// What [`validate_chrome_trace`] found in a well-formed trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeSummary {
+    /// Complete (`"X"`) span events.
+    pub complete: usize,
+    /// Instant (`"i"`) events.
+    pub instants: usize,
+    /// Counter (`"C"`) samples.
+    pub counters: usize,
+    /// Metadata (`"M"`) records.
+    pub metadata: usize,
+}
+
+/// Check that `doc` is a structurally valid Chrome trace: a `traceEvents`
+/// array whose entries carry `name`/`ph`/`pid` (and `ts`/`tid` for
+/// non-metadata events), `"X"` events carry a `dur`, `"B"`/`"E"` events
+/// pair up per `(pid, tid)`, and at least one track-metadata record names
+/// a process or thread.
+pub fn validate_chrome_trace(doc: &Value) -> Result<ChromeSummary, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+    let mut s = ChromeSummary::default();
+    // Open "B" spans per (pid, tid).
+    let mut open: Vec<((u64, u64), u64)> = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let obj = e.as_object().ok_or(format!("event {i} is not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or(format!("event {i} lacks ph"))?;
+        if obj.get("name").and_then(|v| v.as_str()).is_none() {
+            return Err(format!("event {i} lacks a string name"));
+        }
+        let pid = obj
+            .get("pid")
+            .and_then(|v| v.as_u64())
+            .ok_or(format!("event {i} lacks pid"))?;
+        if ph == "M" {
+            s.metadata += 1;
+            continue;
+        }
+        let tid = obj
+            .get("tid")
+            .and_then(|v| v.as_u64())
+            .ok_or(format!("event {i} lacks tid"))?;
+        if obj.get("ts").and_then(|v| v.as_u64()).is_none() {
+            return Err(format!("event {i} lacks an integer ts"));
+        }
+        match ph {
+            "X" => {
+                if obj.get("dur").and_then(|v| v.as_u64()).is_none() {
+                    return Err(format!("complete event {i} lacks dur"));
+                }
+                s.complete += 1;
+            }
+            "i" | "I" => s.instants += 1,
+            "C" => s.counters += 1,
+            "B" => {
+                let key = (pid, tid);
+                match open.iter_mut().find(|(k, _)| *k == key) {
+                    Some(slot) => slot.1 += 1,
+                    None => open.push((key, 1)),
+                }
+                s.complete += 1;
+            }
+            "E" => {
+                let slot = open
+                    .iter_mut()
+                    .find(|((p, t), n)| *p == pid && *t == tid && *n > 0)
+                    .ok_or(format!("event {i}: E without matching B on ({pid},{tid})"))?;
+                slot.1 -= 1;
+            }
+            other => return Err(format!("event {i}: unsupported phase '{other}'")),
+        }
+    }
+    if let Some(((pid, tid), n)) = open.iter().find(|(_, n)| *n > 0) {
+        return Err(format!("{n} unclosed B event(s) on ({pid},{tid})"));
+    }
+    if s.metadata == 0 {
+        return Err("no process/thread metadata records".to_string());
+    }
+    Ok(s)
+}
+
+/// Sum the integer argument `arg` over every event whose category is
+/// `cat` and whose `pid` matches (when `pid` is `Some`). Used to
+/// reconcile exported traces against `ExecutionPlan::stats`.
+pub fn sum_event_arg(doc: &Value, cat: &str, arg: &str, pid: Option<u32>) -> u64 {
+    let Some(events) = doc.get("traceEvents").and_then(|v| v.as_array()) else {
+        return 0;
+    };
+    events
+        .iter()
+        .filter(|e| e.get("cat").and_then(|v| v.as_str()) == Some(cat))
+        .filter(|e| pid.is_none_or(|p| e.get("pid").and_then(|v| v.as_u64()) == Some(p as u64)))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get(arg))
+                .and_then(|v| v.as_u64())
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{kv, Tracer, PID_SERIAL};
+
+    fn sample() -> Value {
+        let mut t = Tracer::new();
+        t.name_process(PID_SERIAL, "sim");
+        t.name_thread(PID_SERIAL, 0, "timeline");
+        t.virtual_span(
+            PID_SERIAL,
+            0,
+            "h2d",
+            "A",
+            0.0,
+            1e-6,
+            vec![kv("bytes", 64u64)],
+        );
+        t.virtual_span(
+            PID_SERIAL,
+            0,
+            "h2d",
+            "B",
+            2e-6,
+            3e-6,
+            vec![kv("bytes", 36u64)],
+        );
+        t.virtual_instant(PID_SERIAL, 0, "free", "A", 4e-6, vec![]);
+        t.chrome_trace()
+    }
+
+    #[test]
+    fn validates_and_counts_phases() {
+        let s = validate_chrome_trace(&sample()).unwrap();
+        assert_eq!(s.complete, 2);
+        assert_eq!(s.instants, 1);
+        assert_eq!(s.metadata, 2);
+    }
+
+    #[test]
+    fn sums_event_args_by_category() {
+        let doc = sample();
+        assert_eq!(sum_event_arg(&doc, "h2d", "bytes", None), 100);
+        assert_eq!(sum_event_arg(&doc, "h2d", "bytes", Some(PID_SERIAL)), 100);
+        assert_eq!(sum_event_arg(&doc, "h2d", "bytes", Some(99)), 0);
+        assert_eq!(sum_event_arg(&doc, "d2h", "bytes", None), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        assert!(validate_chrome_trace(&gpuflow_minijson::parse("{}").unwrap()).is_err());
+        let no_dur = r#"{"traceEvents":[{"name":"x","ph":"X","ts":0,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(&gpuflow_minijson::parse(no_dur).unwrap()).is_err());
+        let unmatched = r#"{"traceEvents":[
+            {"name":"p","ph":"M","pid":1,"args":{"name":"t"}},
+            {"name":"x","ph":"B","ts":0,"pid":1,"tid":0}]}"#;
+        assert!(validate_chrome_trace(&gpuflow_minijson::parse(unmatched).unwrap()).is_err());
+        let paired = r#"{"traceEvents":[
+            {"name":"p","ph":"M","pid":1,"args":{"name":"t"}},
+            {"name":"x","ph":"B","ts":0,"pid":1,"tid":0},
+            {"name":"x","ph":"E","ts":5,"pid":1,"tid":0}]}"#;
+        validate_chrome_trace(&gpuflow_minijson::parse(paired).unwrap()).unwrap();
+    }
+}

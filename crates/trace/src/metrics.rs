@@ -1,0 +1,124 @@
+//! A small registry of named counters and gauges.
+//!
+//! Counters are monotone `u64` sums (bytes moved, conflicts, steps);
+//! gauges are point-in-time `f64` readings (makespan seconds, speedups).
+//! Names are dotted paths (`sim.bytes_h2d`, `exact.conflicts`); the
+//! catalogue lives in `docs/observability.md`. Insertion order is
+//! preserved so snapshots render deterministically.
+
+use gpuflow_minijson::{Map, Value};
+
+/// Insertion-ordered counters and gauges.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to the counter `name`, creating it at zero first.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(k, _)| k == name) {
+            slot.1 += delta;
+        } else {
+            self.counters.push((name.to_string(), delta));
+        }
+    }
+
+    /// Set the counter `name` to an absolute value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
+    /// Set the gauge `name`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        if let Some(slot) = self.gauges.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            self.gauges.push((name.to_string(), value));
+        }
+    }
+
+    /// Current value of the counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Current value of the gauge `name`, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Iterate counters in insertion order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate gauges in insertion order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Snapshot as JSON: `{"counters": {...}, "gauges": {...}}`.
+    pub fn to_json(&self) -> Value {
+        let mut counters = Map::new();
+        for (k, v) in &self.counters {
+            counters.insert(k.clone(), *v);
+        }
+        let mut gauges = Map::new();
+        for (k, v) in &self.gauges {
+            gauges.insert(k.clone(), *v);
+        }
+        let mut m = Map::new();
+        m.insert("counters", counters);
+        m.insert("gauges", gauges);
+        Value::Object(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut m = MetricsRegistry::new();
+        m.add("sim.bytes_h2d", 100);
+        m.add("sim.bytes_h2d", 28);
+        m.set("exact.conflicts", 7);
+        m.gauge("overlap.speedup", 1.25);
+        assert_eq!(m.counter("sim.bytes_h2d"), 128);
+        assert_eq!(m.counter("exact.conflicts"), 7);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge_value("overlap.speedup"), Some(1.25));
+        let j = m.to_json();
+        assert_eq!(j["counters"]["sim.bytes_h2d"].as_u64(), Some(128));
+        assert_eq!(j["gauges"]["overlap.speedup"].as_f64(), Some(1.25));
+    }
+
+    #[test]
+    fn snapshot_preserves_insertion_order() {
+        let mut m = MetricsRegistry::new();
+        m.add("b.second", 2);
+        m.add("a.first", 1);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["b.second", "a.first"]);
+    }
+}

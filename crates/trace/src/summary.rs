@@ -1,0 +1,104 @@
+//! The human-readable summary sink.
+//!
+//! Aggregates the event stream per track: wall-clock phases by name with
+//! total/self time, virtual tracks by lane with busy time and event
+//! counts, followed by the metrics snapshot.
+
+use std::collections::BTreeMap;
+
+use crate::{EventPhase, MetricsRegistry, TraceEvent, PID_COMPILE};
+
+fn track_label(pid: u32) -> &'static str {
+    match pid {
+        crate::PID_COMPILE => "compile (wall clock)",
+        crate::PID_SERIAL => "serial execution (virtual time)",
+        crate::PID_OVERLAP => "overlapped engines (virtual time)",
+        crate::PID_CLUSTER => "cluster (virtual time)",
+        _ => "other",
+    }
+}
+
+pub(crate) fn render(events: &[TraceEvent], metrics: &MetricsRegistry) -> String {
+    let mut out = String::from("trace summary\n");
+
+    // Wall-clock phases, in first-seen order.
+    let mut phases: Vec<(String, u64, usize)> = Vec::new();
+    for e in events.iter().filter(|e| e.pid == PID_COMPILE) {
+        if let EventPhase::Complete { dur_us } = e.phase {
+            match phases.iter_mut().find(|(n, _, _)| *n == e.name) {
+                Some(slot) => {
+                    slot.1 += dur_us;
+                    slot.2 += 1;
+                }
+                None => phases.push((e.name.clone(), dur_us, 1)),
+            }
+        }
+    }
+    if !phases.is_empty() {
+        out.push_str("  phases:\n");
+        for (name, dur_us, n) in &phases {
+            out.push_str(&format!(
+                "    {name:<18} {:>10.3} ms  x{n}\n",
+                *dur_us as f64 / 1e3
+            ));
+        }
+    }
+
+    // Virtual tracks: busy time and event counts per (pid, tid).
+    let mut tracks: BTreeMap<(u32, u32), (u64, usize)> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.pid != PID_COMPILE) {
+        let slot = tracks.entry((e.pid, e.tid)).or_insert((0, 0));
+        if let EventPhase::Complete { dur_us } = e.phase {
+            slot.0 += dur_us;
+        }
+        slot.1 += 1;
+    }
+    let mut last_pid = u32::MAX;
+    for (&(pid, tid), &(busy_us, n)) in &tracks {
+        if pid != last_pid {
+            out.push_str(&format!("  {}:\n", track_label(pid)));
+            last_pid = pid;
+        }
+        out.push_str(&format!(
+            "    lane {tid}: busy {:>10.3} ms, {n} events\n",
+            busy_us as f64 / 1e3
+        ));
+    }
+
+    if !metrics.is_empty() {
+        out.push_str("  metrics:\n");
+        for (k, v) in metrics.counters() {
+            out.push_str(&format!("    {k} = {v}\n"));
+        }
+        for (k, v) in metrics.gauges() {
+            out.push_str(&format!("    {k} = {v:.6}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{kv, Tracer, PID_SERIAL};
+
+    #[test]
+    fn summary_reports_phases_tracks_and_metrics() {
+        let mut t = Tracer::new();
+        let tok = t.begin("compile", "split");
+        t.end(tok);
+        t.virtual_span(
+            PID_SERIAL,
+            0,
+            "h2d",
+            "Img",
+            0.0,
+            2e-3,
+            vec![kv("bytes", 8u64)],
+        );
+        t.metrics().add("sim.bytes_h2d", 8);
+        let s = t.summary();
+        assert!(s.contains("split"));
+        assert!(s.contains("serial execution"));
+        assert!(s.contains("sim.bytes_h2d = 8"));
+    }
+}

@@ -27,4 +27,5 @@ pub use gpuflow_ops as ops;
 pub use gpuflow_pbsat as pbsat;
 pub use gpuflow_sim as sim;
 pub use gpuflow_templates as templates;
+pub use gpuflow_trace as trace;
 pub use gpuflow_verify as verify;

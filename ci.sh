@@ -30,6 +30,12 @@ done
 echo "==> exact PB scheduler perf tripwire (ablation_pb_scaling --smoke)"
 cargo run --release -q -p gpuflow-bench --bin ablation_pb_scaling -- --smoke
 
+echo "==> chaos resilience gate (gpuflow chaos --smoke)"
+# Seeded device loss at the midpoint of a 2-device run on each benchmark
+# template (plus transient-fault sweeps) must recover, match the
+# reference evaluation bit-for-bit, and replay deterministically.
+cargo run --release -q -p gpuflow-cli --bin gpuflow -- chaos --smoke
+
 echo "==> gpuflow check over shipped templates"
 for gfg in assets/*.gfg; do
     echo "--- $gfg"

@@ -1,0 +1,111 @@
+//! Recovery observability: fault and recovery instants on a dedicated
+//! chaos track in Chrome-trace exports, plus `chaos.*` metrics counters.
+
+use crate::inject::FaultInjector;
+use crate::policy::{RecoveryEventKind, RecoveryStats};
+use gpuflow_trace::{kv, Tracer};
+
+/// Virtual process id for the chaos/recovery track in Chrome traces
+/// (compile=1, serial=2, overlap=3, cluster=4 live in `gpuflow-trace`).
+pub const PID_CHAOS: u32 = 5;
+
+/// Emit the fault schedule and recovery timeline onto the chaos track and
+/// register `chaos.*` metrics. No-op on a disabled tracer.
+pub fn trace_recovery(tracer: &mut Tracer, injector: &FaultInjector, stats: &RecoveryStats) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.name_process(PID_CHAOS, "chaos / recovery");
+    tracer.name_thread(PID_CHAOS, 0, "faults");
+    tracer.name_thread(PID_CHAOS, 1, "recovery");
+
+    for f in injector.events() {
+        tracer.virtual_instant(
+            PID_CHAOS,
+            0,
+            "fault",
+            f.class.label(),
+            f.at_s,
+            vec![kv("site", f.site), kv("attempt", f.attempt)],
+        );
+    }
+    for e in &stats.events {
+        // Faults already have richer instants on the fault thread.
+        if e.kind == RecoveryEventKind::Fault {
+            continue;
+        }
+        tracer.virtual_instant(
+            PID_CHAOS,
+            1,
+            "recovery",
+            e.kind.label(),
+            e.at_s,
+            vec![kv("detail", e.detail.as_str())],
+        );
+    }
+
+    let m = tracer.metrics();
+    m.set("chaos.faults_injected", stats.faults_injected);
+    m.set("chaos.retries", stats.retries);
+    m.set("chaos.checkpoints_taken", stats.checkpoints_taken);
+    m.set("chaos.checkpoints_restored", stats.checkpoints_restored);
+    m.set("chaos.replans", stats.replans);
+    m.set("chaos.cpu_fallback_ops", stats.cpu_fallback_ops);
+    m.set("chaos.recovered", u64::from(stats.recovered));
+    m.gauge("chaos.recovery_overhead", stats.overhead());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FaultSpec;
+
+    #[test]
+    fn disabled_tracer_stays_empty() {
+        let mut t = Tracer::disabled();
+        let inj = FaultInjector::new(&FaultSpec::quiet(0), 1.0);
+        trace_recovery(&mut t, &inj, &RecoveryStats::default());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn instants_and_metrics_land_on_the_chaos_track() {
+        let mut t = Tracer::new();
+        let spec = FaultSpec {
+            kernel_rate: 1.0,
+            ..FaultSpec::quiet(1)
+        };
+        let mut inj = FaultInjector::new(&spec, 1.0);
+        assert!(inj.kernel_faults(0.25, 3, 0));
+
+        let mut stats = RecoveryStats {
+            recovered: true,
+            makespan_s: 1.2,
+            faultfree_makespan_s: 1.0,
+            ..RecoveryStats::default()
+        };
+        stats.record(0.25, RecoveryEventKind::Fault, "kernel fault at step 3");
+        stats.record(0.26, RecoveryEventKind::Retry, "retry 1 after 100us");
+
+        trace_recovery(&mut t, &inj, &stats);
+        let events = t.events();
+        assert!(events
+            .iter()
+            .any(|e| e.pid == PID_CHAOS && e.name == "kernel"));
+        assert!(events
+            .iter()
+            .any(|e| e.pid == PID_CHAOS && e.name == "retry"));
+        // The fault appears once (on the fault thread), not twice.
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.pid == PID_CHAOS && e.cat == "fault")
+                .count(),
+            1
+        );
+        assert_eq!(t.metrics_ref().counter("chaos.retries"), 1);
+        assert_eq!(t.metrics_ref().counter("chaos.recovered"), 1);
+        let overhead = t.metrics_ref().gauge_value("chaos.recovery_overhead");
+        assert!((overhead.unwrap() - 0.2).abs() < 1e-9);
+    }
+}

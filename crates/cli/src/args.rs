@@ -1,5 +1,6 @@
 //! Argument parsing (hand-rolled; the CLI surface is small and stable).
 
+use gpuflow_chaos::FaultSpec;
 use gpuflow_core::{EvictionPolicy, OpScheduler};
 
 /// Where the template comes from.
@@ -196,6 +197,8 @@ pub enum Command {
         devices: Option<String>,
         /// Write a Chrome-trace JSON of the compile + simulation here.
         trace: Option<String>,
+        /// Inject faults from this spec and run the resilient executor.
+        faults: Option<FaultSpec>,
     },
     /// `gpuflow check <source> ...`
     Check {
@@ -230,6 +233,27 @@ pub enum Command {
         out: String,
         /// Multi-device cluster spec.
         devices: Option<String>,
+    },
+    /// `gpuflow chaos [<source>] ...` — seeded fault-injection sweeps
+    /// over the resilient executors, reporting recovery rate and
+    /// recovery-overhead percentiles.
+    Chaos {
+        /// Template source; omitted with `--smoke` (the smoke suite
+        /// sweeps the built-in benchmark templates).
+        source: Option<Source>,
+        /// Target device for single-device trials.
+        device: DeviceArg,
+        /// Multi-device cluster spec.
+        devices: Option<String>,
+        /// Fault spec template; the seed is re-derived per trial.
+        faults: Option<FaultSpec>,
+        /// Number of seeds to sweep.
+        seeds: u64,
+        /// Run the fixed CI smoke suite (device loss at the midpoint plus
+        /// transient sweeps over the benchmark templates) instead.
+        smoke: bool,
+        /// Emit the sweep report as JSON.
+        json: bool,
     },
     /// `gpuflow emit <source> ...`
     Emit {
@@ -273,8 +297,15 @@ impl Command {
     pub fn parse(argv: &[String]) -> Result<Command, String> {
         let mut it = argv.iter();
         let verb = it.next().ok_or("missing subcommand")?;
-        let source_tok = it.next().ok_or("missing <source>")?;
-        let source = Source::parse(source_tok)?;
+        // `chaos` may omit <source> (`gpuflow chaos --smoke`); every other
+        // verb requires one.
+        let mut source: Option<Source> = None;
+        if let Some(tok) = argv.get(1) {
+            if !tok.starts_with('-') {
+                source = Some(Source::parse(tok)?);
+                it.next();
+            }
+        }
 
         let mut device = DeviceArg::TeslaC870;
         let mut margin = 0.05f64;
@@ -294,6 +325,9 @@ impl Command {
         let mut devices: Option<String> = None;
         let mut trace: Option<String> = None;
         let mut trace_out: Option<String> = None;
+        let mut faults: Option<FaultSpec> = None;
+        let mut seeds = 8u64;
+        let mut smoke = false;
 
         let next_value = |it: &mut std::slice::Iter<String>, flag: &str| {
             it.next()
@@ -345,9 +379,24 @@ impl Command {
                     gantt = true;
                 }
                 "--cuda" => cuda = Some(next_value(&mut it, flag)?),
-                // `check --json` / `run --json` are boolean switches;
-                // `emit --json` takes an output path.
-                "--json" if verb == "check" || verb == "run" => json_switch = true,
+                // Fault injection belongs to the execution verbs only.
+                "--faults" if verb == "run" || verb == "chaos" => {
+                    // Validate eagerly so a typo fails before any planning.
+                    faults = Some(FaultSpec::parse(&next_value(&mut it, flag)?)?);
+                }
+                "--seeds" if verb == "chaos" => {
+                    let v = next_value(&mut it, flag)?;
+                    seeds = v.parse().map_err(|_| format!("bad seed count '{v}'"))?;
+                    if seeds == 0 {
+                        return Err("--seeds must be > 0".into());
+                    }
+                }
+                "--smoke" if verb == "chaos" => smoke = true,
+                // `check --json` / `run --json` / `chaos --json` are boolean
+                // switches; `emit --json` takes an output path.
+                "--json" if verb == "check" || verb == "run" || verb == "chaos" => {
+                    json_switch = true
+                }
                 "--json" => json = Some(next_value(&mut it, flag)?),
                 "--dot" => dot = Some(next_value(&mut it, flag)?),
                 "--trace" => trace = Some(next_value(&mut it, flag)?),
@@ -355,6 +404,22 @@ impl Command {
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
+
+        if verb == "chaos" {
+            if source.is_none() && !smoke {
+                return Err("chaos requires <source> or --smoke".into());
+            }
+            return Ok(Command::Chaos {
+                source,
+                device,
+                devices,
+                faults,
+                seeds,
+                smoke,
+                json: json_switch,
+            });
+        }
+        let source = source.ok_or("missing <source>")?;
 
         match verb.as_str() {
             "info" => Ok(Command::Info { source }),
@@ -372,9 +437,6 @@ impl Command {
                 trace,
             }),
             "run" => {
-                if functional && devices.is_some() {
-                    return Err("--functional does not support --devices yet".into());
-                }
                 if exact && devices.is_some() {
                     return Err("--exact does not support --devices".into());
                 }
@@ -390,6 +452,7 @@ impl Command {
                     json: json_switch,
                     devices,
                     trace,
+                    faults,
                 })
             }
             "check" => Ok(Command::Check {
@@ -609,8 +672,16 @@ mod tests {
         // Bad cluster specs fail at parse time, before any planning.
         assert!(Command::parse(&argv("plan fig3 --devices quantum9000")).is_err());
         assert!(Command::parse(&argv("run fig3 --devices c870x0")).is_err());
-        // Multi-device functional execution is not implemented.
-        assert!(Command::parse(&argv("run fig3 --functional --devices c870x2")).is_err());
+        // Multi-device functional execution routes through the resilient
+        // executor and is supported.
+        assert!(matches!(
+            Command::parse(&argv("run fig3 --functional --devices c870x2")).unwrap(),
+            Command::Run {
+                functional: true,
+                devices: Some(_),
+                ..
+            }
+        ));
         // Multi-device CUDA emission is refused; JSON is the exchange format.
         assert!(Command::parse(&argv("emit fig3 --cuda x.cu --devices c870x2")).is_err());
         assert!(Command::parse(&argv("emit fig3 --json x.json --devices c870x2")).is_ok());
@@ -700,6 +771,59 @@ mod tests {
             Command::Check { trace: Some(_), .. }
         ));
         assert!(Command::parse(&argv("run fig3 --trace")).is_err());
+    }
+
+    #[test]
+    fn parse_faults_flag_on_run() {
+        match Command::parse(&argv("run fig3 --faults seed=7,kernel=0.2,loss=0@50%")).unwrap() {
+            Command::Run {
+                faults: Some(f), ..
+            } => {
+                assert_eq!(f.seed, 7);
+                assert!((f.kernel_rate - 0.2).abs() < 1e-12);
+                assert!(f.device_loss.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Bad specs fail at parse time, before any planning.
+        assert!(Command::parse(&argv("run fig3 --faults seed=oops")).is_err());
+        // The flag belongs to run/chaos only.
+        assert!(Command::parse(&argv("plan fig3 --faults seed=1")).is_err());
+    }
+
+    #[test]
+    fn parse_chaos_verb() {
+        match Command::parse(&argv("chaos fig3 --seeds 4 --devices c870x2 --json")).unwrap() {
+            Command::Chaos {
+                source,
+                seeds,
+                devices,
+                smoke,
+                json,
+                ..
+            } => {
+                assert_eq!(source, Some(Source::Fig3));
+                assert_eq!(seeds, 4);
+                assert_eq!(devices.as_deref(), Some("c870x2"));
+                assert!(!smoke);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --smoke needs no source; a bare chaos does.
+        assert!(matches!(
+            Command::parse(&argv("chaos --smoke")).unwrap(),
+            Command::Chaos {
+                source: None,
+                smoke: true,
+                ..
+            }
+        ));
+        assert!(Command::parse(&argv("chaos")).is_err());
+        assert!(Command::parse(&argv("chaos fig3 --seeds 0")).is_err());
+        // --smoke / --seeds belong to the chaos verb only.
+        assert!(Command::parse(&argv("run fig3 --smoke")).is_err());
+        assert!(Command::parse(&argv("run fig3 --seeds 3")).is_err());
     }
 
     #[test]

@@ -2,19 +2,20 @@
 
 use std::fmt::Write as _;
 
+use gpuflow_chaos::{trace_recovery, FaultSpec, RecoveryStats};
 use gpuflow_codegen::{
     compiled_multi_to_json, compiled_multi_to_json_traced, generate_cuda, plan_to_json,
     plan_to_json_traced,
 };
 use gpuflow_core::{
     baseline_plan, trace_overlap_lanes, trace_serial_timeline, CompileOptions, Framework,
-    PbExactOptions,
+    PbExactOptions, ResilientExecutor,
 };
 use gpuflow_graph::{Graph, FLOAT_BYTES};
 use gpuflow_minijson::{Map, Value};
 use gpuflow_multi::{
     compile_multi, compile_multi_traced, parse_cluster, render_multi_gantt, trace_multi_lanes,
-    MultiOutcome,
+    MultiOutcome, ResilientMultiExecutor,
 };
 use gpuflow_ops::reference_eval;
 use gpuflow_templates::data::default_bindings;
@@ -170,6 +171,111 @@ fn multi_outcome_json(cluster: &str, o: &MultiOutcome) -> Value {
     Value::Object(m)
 }
 
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The fixed `chaos --smoke` CI suite: seeded device loss at the temporal
+/// midpoint of a two-device run plus a transient-fault sweep, over each
+/// benchmark template. Every run must recover, match the reference
+/// evaluation bit-for-bit, and replay deterministically; any miss is an
+/// error (nonzero exit).
+fn chaos_smoke() -> Result<String, String> {
+    let mut out = String::new();
+    let sources = [
+        ("fig3", Source::Fig3),
+        (
+            "edge:96x96,k=5,o=4",
+            Source::Edge {
+                rows: 96,
+                cols: 96,
+                k: 5,
+                orientations: 4,
+            },
+        ),
+        ("cnn-small:64x64", Source::SmallCnn { rows: 64, cols: 64 }),
+    ];
+    let cluster = parse_cluster("c870x2")?;
+    let dev = gpuflow_sim::device::tesla_c870();
+    let mut runs = 0u32;
+    for (name, src) in &sources {
+        let g = load_source(src)?;
+        let bindings = default_bindings(&g);
+        let reference = reference_eval(&g, &bindings).map_err(|e| e.to_string())?;
+
+        // Hard device loss at the midpoint of a 2-device run: each device
+        // in turn, recovered via failover replanning.
+        let c = compile_multi(&g, &cluster, DEFAULT_MARGIN).map_err(|e| e.to_string())?;
+        for lost in 0..cluster.len() {
+            let spec = FaultSpec::parse(&format!("seed=7,loss={lost}@50%"))?;
+            let rex = ResilientMultiExecutor::new(&c, &spec);
+            let r = rex.run_functional(&bindings).map_err(|e| e.to_string())?;
+            if !r.stats.recovered {
+                return Err(format!(
+                    "chaos smoke: {name}: loss of device {lost} did not recover\n{}",
+                    r.stats.summary()
+                ));
+            }
+            for (d, t) in &r.outputs {
+                if t != &reference[d] {
+                    return Err(format!(
+                        "chaos smoke: {name}: output {} diverged after losing device {lost}",
+                        g.data(*d).name
+                    ));
+                }
+            }
+            // The same seed must replay bit-identically.
+            let a = rex.run_analytic().map_err(|e| e.to_string())?;
+            let b = rex.run_analytic().map_err(|e| e.to_string())?;
+            if a.timeline.events() != b.timeline.events() || a.stats != b.stats {
+                return Err(format!(
+                    "chaos smoke: {name}: nondeterministic replay under device-{lost} loss"
+                ));
+            }
+            runs += 3;
+        }
+
+        // Transient kernel/transfer/alloc faults on a single device.
+        let compiled = Framework::new(dev.clone())
+            .compile_adaptive(&g)
+            .map_err(|e| e.to_string())?;
+        for seed in 1..=3u64 {
+            let spec =
+                FaultSpec::parse(&format!("seed={seed},kernel=0.2,transfer=0.1,alloc=0.05"))?;
+            let r = ResilientExecutor::new(&compiled.split.graph, &compiled.plan, &dev, &spec)
+                .with_origin(&compiled.split)
+                .run_functional(&bindings)
+                .map_err(|e| e.to_string())?;
+            if !r.stats.recovered {
+                return Err(format!(
+                    "chaos smoke: {name}: transient sweep seed {seed} did not recover\n{}",
+                    r.stats.summary()
+                ));
+            }
+            for (d, t) in &r.exec.outputs {
+                if t != &reference[d] {
+                    return Err(format!(
+                        "chaos smoke: {name}: output {} diverged under transient faults (seed {seed})",
+                        g.data(*d).name
+                    ));
+                }
+            }
+            runs += 1;
+        }
+        let _ = writeln!(out, "chaos smoke: {name}: ok");
+    }
+    let _ = writeln!(
+        out,
+        "chaos smoke: {runs} runs, all recovered and verified ✓"
+    );
+    Ok(out)
+}
+
 /// Execute a parsed command, returning its printable output.
 pub fn execute(cmd: &Command) -> Result<String, String> {
     let mut out = String::new();
@@ -307,6 +413,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             json,
             devices,
             trace,
+            faults,
         } => {
             let g = load_source(source)?;
             // `run` always traces: `--json` embeds the metrics snapshot
@@ -318,6 +425,43 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     .map_err(|e| e.to_string())?;
                 let (o, events) = c.trace();
                 trace_multi_lanes(&mut tracer, &events, &o, cluster.len());
+                // Functional and/or faulted runs go through the resilient
+                // executor (a quiet spec when no faults were requested).
+                let mut verified: Option<usize> = None;
+                let mut recovery: Option<RecoveryStats> = None;
+                if *functional || faults.is_some() {
+                    let quiet = FaultSpec::quiet(0);
+                    let fspec = faults.as_ref().unwrap_or(&quiet);
+                    let rex = ResilientMultiExecutor::new(&c, fspec);
+                    let r = if *functional {
+                        let bindings = default_bindings(&g);
+                        let r = rex.run_functional(&bindings).map_err(|e| e.to_string())?;
+                        if r.stats.recovered {
+                            let reference =
+                                reference_eval(&g, &bindings).map_err(|e| e.to_string())?;
+                            for (d, t) in &r.outputs {
+                                if t != &reference[d] {
+                                    return Err(format!(
+                                        "VERIFICATION FAILED for output {}",
+                                        g.data(*d).name
+                                    ));
+                                }
+                            }
+                            verified = Some(r.outputs.len());
+                        }
+                        r
+                    } else {
+                        rex.run_analytic().map_err(|e| e.to_string())?
+                    };
+                    trace_recovery(&mut tracer, &r.injector, &r.stats);
+                    if !r.stats.recovered {
+                        return Err(format!(
+                            "run did not recover from the injected fault schedule\n{}",
+                            r.stats.summary()
+                        ));
+                    }
+                    recovery = Some(r.stats);
+                }
                 if *json {
                     let analysis = c.analyze();
                     let mut doc = match multi_outcome_json(&cluster.describe(), &o) {
@@ -328,10 +472,25 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                         "plan",
                         plan_stats_json(&analysis.stats, Some(&analysis.peak_per_device)),
                     );
+                    if let Some(n) = verified {
+                        doc.insert("outputs_verified", n);
+                    }
+                    if let Some(st) = &recovery {
+                        doc.insert("recovery", st.to_json());
+                    }
                     doc.insert("metrics", tracer.metrics_ref().to_json());
                     out.push_str(&Value::Object(doc).to_string_pretty());
                     out.push('\n');
                 } else {
+                    if let Some(n) = verified {
+                        let _ = writeln!(
+                            out,
+                            "functional run:   {n} outputs verified against the reference ✓"
+                        );
+                    }
+                    if let Some(st) = &recovery {
+                        let _ = writeln!(out, "{}", st.summary());
+                    }
                     let _ = writeln!(out, "cluster:          {}", cluster.describe());
                     let _ = writeln!(out, "split factor:     {}", c.sharded.split.parts);
                     let _ = writeln!(out, "serial time:      {:.4} s", o.serial_time);
@@ -378,7 +537,41 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 .compile_adaptive_traced(&g, &mut tracer)
                 .map_err(|e| e.to_string())?;
             let mut verified = None;
-            let result = if *functional {
+            let mut recovery: Option<RecoveryStats> = None;
+            let result = if let Some(fspec) = faults {
+                // Faulted runs go through the resilient executor.
+                let rex =
+                    ResilientExecutor::new(&compiled.split.graph, &compiled.plan, &dev, fspec)
+                        .with_origin(&compiled.split);
+                let r = if *functional {
+                    let bindings = default_bindings(&g);
+                    let r = rex.run_functional(&bindings).map_err(|e| e.to_string())?;
+                    if r.stats.recovered {
+                        let reference = reference_eval(&g, &bindings).map_err(|e| e.to_string())?;
+                        for (d, t) in &r.exec.outputs {
+                            if t != &reference[d] {
+                                return Err(format!(
+                                    "VERIFICATION FAILED for output {}",
+                                    g.data(*d).name
+                                ));
+                            }
+                        }
+                        verified = Some(r.exec.outputs.len());
+                    }
+                    r
+                } else {
+                    rex.run_analytic().map_err(|e| e.to_string())?
+                };
+                trace_recovery(&mut tracer, &r.injector, &r.stats);
+                if !r.stats.recovered {
+                    return Err(format!(
+                        "run did not recover from the injected fault schedule\n{}",
+                        r.stats.summary()
+                    ));
+                }
+                recovery = Some(r.stats);
+                r.exec
+            } else if *functional {
                 let bindings = default_bindings(&g);
                 let run = compiled
                     .run_functional(&bindings)
@@ -420,6 +613,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     m.insert("outputs_verified", n);
                 }
                 insert_exact_stats(&mut m, &compiled);
+                if let Some(st) = &recovery {
+                    m.insert("recovery", st.to_json());
+                }
                 m.insert("plan", plan_stats_json(&compiled.stats(), None));
                 m.insert("metrics", tracer.metrics_ref().to_json());
                 out.push_str(&Value::Object(m).to_string_pretty());
@@ -466,6 +662,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 result.peak_device_bytes >> 20,
                 result.peak_fragmentation
             );
+            if let Some(st) = &recovery {
+                let _ = writeln!(out, "{}", st.summary());
+            }
             if let Ok(base) = baseline_plan(&g, dev.memory_bytes) {
                 let b = gpuflow_core::Executor::new(&g, &base, &dev)
                     .run_analytic()
@@ -697,6 +896,119 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 ));
             }
         }
+        Command::Chaos {
+            source,
+            device,
+            devices,
+            faults,
+            seeds,
+            smoke,
+            json,
+        } => {
+            if *smoke {
+                return chaos_smoke();
+            }
+            let src = source
+                .as_ref()
+                .ok_or("chaos requires <source> or --smoke")?;
+            let g = load_source(src)?;
+            let base = match faults {
+                Some(f) => f.clone(),
+                None => FaultSpec::parse("seed=1,kernel=0.1,transfer=0.05,alloc=0.02")?,
+            };
+            let mut overheads: Vec<f64> = Vec::new();
+            let mut recovered_n = 0u64;
+            let mut faults_total = 0u64;
+            let mut record = |stats: Option<RecoveryStats>| {
+                if let Some(st) = stats {
+                    faults_total += st.faults_injected;
+                    if st.recovered {
+                        recovered_n += 1;
+                        overheads.push(st.overhead());
+                    }
+                }
+            };
+            let target;
+            if let Some(spec) = devices {
+                let cluster = parse_cluster(spec)?;
+                let c = compile_multi(&g, &cluster, DEFAULT_MARGIN).map_err(|e| e.to_string())?;
+                target = cluster.describe();
+                for s in 0..*seeds {
+                    let mut fs = base.clone();
+                    fs.seed = base.seed.wrapping_add(s);
+                    let r = ResilientMultiExecutor::new(&c, &fs).run_analytic();
+                    record(r.ok().map(|r| r.stats));
+                }
+            } else {
+                let dev = device.spec();
+                let compiled = Framework::new(dev.clone())
+                    .compile_adaptive(&g)
+                    .map_err(|e| e.to_string())?;
+                target = dev.name.clone();
+                for s in 0..*seeds {
+                    let mut fs = base.clone();
+                    fs.seed = base.seed.wrapping_add(s);
+                    let r =
+                        ResilientExecutor::new(&compiled.split.graph, &compiled.plan, &dev, &fs)
+                            .with_origin(&compiled.split)
+                            .run_analytic();
+                    record(r.ok().map(|r| r.stats));
+                }
+            }
+            overheads.sort_by(|a, b| a.total_cmp(b));
+            let rate = recovered_n as f64 / *seeds as f64;
+            let (p50, p90) = (percentile(&overheads, 0.5), percentile(&overheads, 0.9));
+            let pmax = overheads.last().copied().unwrap_or(0.0);
+            if *json {
+                let mut m = Map::new();
+                m.insert("mode", "chaos");
+                m.insert("target", target.as_str());
+                m.insert("seeds", *seeds);
+                m.insert("base_seed", base.seed);
+                m.insert("recovered", recovered_n);
+                m.insert("recovery_rate", rate);
+                m.insert("faults_injected", faults_total);
+                m.insert("overhead_p50", p50);
+                m.insert("overhead_p90", p90);
+                m.insert("overhead_max", pmax);
+                out.push_str(&Value::Object(m).to_string_pretty());
+                out.push('\n');
+            } else {
+                let _ = writeln!(out, "chaos sweep:      {seeds} seed(s) on {target}");
+                let _ = writeln!(
+                    out,
+                    "fault model:      kernel={} transfer={} alloc={}{}{}",
+                    base.kernel_rate,
+                    base.transfer_rate,
+                    base.alloc_rate,
+                    if base.device_loss.is_some() {
+                        " device-loss"
+                    } else {
+                        ""
+                    },
+                    if base.brownout.is_some() {
+                        " brownout"
+                    } else {
+                        ""
+                    },
+                );
+                let _ = writeln!(
+                    out,
+                    "recovery rate:    {}/{} ({:.0}%)",
+                    recovered_n,
+                    seeds,
+                    rate * 100.0
+                );
+                let _ = writeln!(out, "faults injected:  {faults_total} across all trials");
+                let _ = writeln!(
+                    out,
+                    "overhead p50/p90/max: {:+.1}% / {:+.1}% / {:+.1}%",
+                    p50 * 100.0,
+                    p90 * 100.0,
+                    pmax * 100.0
+                );
+            }
+        }
         Command::Emit {
             source,
             device,
@@ -898,6 +1210,7 @@ mod tests {
             json: false,
             devices: None,
             trace: None,
+            faults: None,
         })
         .unwrap();
         assert!(out.contains("verified"), "{out}");
@@ -925,6 +1238,7 @@ mod tests {
                     json: false,
                     devices: None,
                     trace: None,
+                    faults: None,
                 })
                 .unwrap();
                 assert!(out.contains("verified"), "{out}");
@@ -1134,6 +1448,70 @@ mod tests {
         let out = execute(&parse("check edge:1200x1200,k=9,o=4 --devices gtx8800x4")).unwrap();
         assert!(out.contains("0 errors"), "{out}");
         assert!(out.contains("4 x GeForce 8800 GTX"), "{out}");
+    }
+
+    #[test]
+    fn run_with_faults_reports_recovery_in_json_and_text() {
+        let out = execute(&parse(
+            "run fig3 --device custom:1 --functional --faults seed=11,kernel=0.3,transfer=0.1,alloc=0.1 --json",
+        ))
+        .unwrap();
+        let doc = gpuflow_minijson::parse(&out).unwrap();
+        assert_eq!(doc["recovery"]["recovered"].as_bool(), Some(true));
+        assert!(doc["recovery"]["faults_injected"].as_u64().unwrap() > 0);
+        assert!(doc["recovery"]["retries"].as_u64().unwrap() > 0);
+        assert!(doc["outputs_verified"].as_u64().unwrap() > 0);
+        let text = execute(&parse(
+            "run fig3 --device custom:1 --faults seed=11,kernel=0.3,transfer=0.1,alloc=0.1",
+        ))
+        .unwrap();
+        assert!(text.contains("recovery:"), "{text}");
+    }
+
+    #[test]
+    fn run_functional_with_cluster_fails_over_device_loss() {
+        let out = execute(&parse(
+            "run edge:96x96,k=5,o=4 --devices c870x2 --functional --faults seed=5,loss=0@50% --json",
+        ))
+        .unwrap();
+        let doc = gpuflow_minijson::parse(&out).unwrap();
+        assert_eq!(doc["mode"].as_str(), Some("multi"));
+        assert_eq!(doc["recovery"]["recovered"].as_bool(), Some(true));
+        assert!(doc["outputs_verified"].as_u64().unwrap() > 0);
+        // No faults: the quiet resilient path still verifies functionally.
+        let quiet = execute(&parse(
+            "run edge:96x96,k=5,o=4 --devices c870x2 --functional",
+        ))
+        .unwrap();
+        assert!(quiet.contains("verified against the reference"), "{quiet}");
+    }
+
+    #[test]
+    fn chaos_sweep_reports_recovery_rate() {
+        let out = execute(&parse("chaos fig3 --device custom:1 --seeds 3 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&out).unwrap();
+        assert_eq!(doc["mode"].as_str(), Some("chaos"));
+        assert_eq!(doc["seeds"].as_u64(), Some(3));
+        assert_eq!(doc["recovery_rate"].as_f64(), Some(1.0));
+        assert!(doc["overhead_max"].as_f64().is_some());
+        let text = execute(&parse("chaos fig3 --device custom:1 --seeds 2")).unwrap();
+        assert!(text.contains("recovery rate:    2/2"), "{text}");
+    }
+
+    #[test]
+    fn run_with_faults_writes_chaos_track_into_trace() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("chaos_trace.json");
+        execute(&parse(&format!(
+            "run fig3 --device custom:1 --faults seed=11,kernel=0.3 --trace {}",
+            p.display()
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let doc = gpuflow_minijson::parse(&text).unwrap();
+        validate_chrome_trace(&doc).unwrap();
+        assert!(text.contains("chaos / recovery"), "chaos track missing");
     }
 
     #[test]

@@ -118,59 +118,7 @@ impl<'a> Executor<'a> {
         host: &HashMap<DataId, Tensor>,
         bindings: &HashMap<DataId, Tensor>,
     ) -> Result<Tensor, FrameworkError> {
-        if self.graph.producer(d).is_some() {
-            return host
-                .get(&d)
-                .cloned()
-                .ok_or_else(|| FrameworkError::DataUnavailable {
-                    data: d,
-                    context: "produced data not in host memory".into(),
-                });
-        }
-        let desc = self.graph.data(d);
-        match self.origin {
-            Some(split) => match split.origin_of(d) {
-                DataOrigin::Region { parent, row_off } => {
-                    let src =
-                        bindings
-                            .get(&parent)
-                            .ok_or_else(|| FrameworkError::DataUnavailable {
-                                data: parent,
-                                context: format!("no binding for template input '{}'", desc.name),
-                            })?;
-                    if row_off + desc.rows > src.rows() || desc.cols > src.cols() {
-                        return Err(FrameworkError::InvalidPlan(format!(
-                            "binding for {} too small for piece {}",
-                            parent, desc.name
-                        )));
-                    }
-                    Ok(src.view(row_off, 0, desc.rows, desc.cols))
-                }
-                DataOrigin::Fresh => Err(FrameworkError::DataUnavailable {
-                    data: d,
-                    context: "fresh data cannot come from the host".into(),
-                }),
-            },
-            None => {
-                let t =
-                    bindings
-                        .get(&d)
-                        .cloned()
-                        .ok_or_else(|| FrameworkError::DataUnavailable {
-                            data: d,
-                            context: format!("no binding for '{}'", desc.name),
-                        })?;
-                if t.shape() != self.graph.shape(d) {
-                    return Err(FrameworkError::InvalidPlan(format!(
-                        "binding for '{}' has shape {} (expected {})",
-                        desc.name,
-                        t.shape(),
-                        self.graph.shape(d)
-                    )));
-                }
-                Ok(t)
-            }
-        }
+        host_source(self.graph, self.origin, d, host, bindings)
     }
 
     fn run(
@@ -289,85 +237,11 @@ impl<'a> Executor<'a> {
         }
 
         // Assemble outputs (functional only).
-        let mut outputs = HashMap::new();
-        if bindings.is_some() {
-            match self.origin {
-                Some(split) => {
-                    // Paste each Output piece into its original tensor.
-                    let mut assembled: HashMap<DataId, Tensor> = HashMap::new();
-                    let mut extents: HashMap<DataId, usize> = HashMap::new();
-                    for d in g.data_ids() {
-                        if g.data(d).kind != DataKind::Output {
-                            continue;
-                        }
-                        let piece =
-                            host.get(&d)
-                                .ok_or_else(|| FrameworkError::DataUnavailable {
-                                    data: d,
-                                    context: "output piece missing on host".into(),
-                                })?;
-                        match split.origin_of(d) {
-                            DataOrigin::Region { parent, row_off } => {
-                                let e = extents.entry(parent).or_insert(0);
-                                *e = (*e).max(row_off + piece.rows());
-                                assembled.entry(parent).or_insert_with(|| {
-                                    // Rows grow as pieces arrive; start
-                                    // with the known column count and
-                                    // fill below.
-                                    Tensor::zeros(0, 0)
-                                });
-                            }
-                            DataOrigin::Fresh => {
-                                return Err(FrameworkError::InvalidPlan(
-                                    "output piece with no provenance".into(),
-                                ))
-                            }
-                        }
-                    }
-                    // Second pass with final extents known.
-                    let mut final_out: HashMap<DataId, Tensor> = extents
-                        .iter()
-                        .map(|(&parent, &rows)| {
-                            let cols = g
-                                .data_ids()
-                                .filter(|&d| g.data(d).kind == DataKind::Output)
-                                .find_map(|d| match split.origin_of(d) {
-                                    DataOrigin::Region { parent: p, .. } if p == parent => {
-                                        Some(g.data(d).cols)
-                                    }
-                                    _ => None,
-                                })
-                                .expect("parent has pieces");
-                            (parent, Tensor::zeros(rows, cols))
-                        })
-                        .collect();
-                    for d in g.data_ids() {
-                        if g.data(d).kind != DataKind::Output {
-                            continue;
-                        }
-                        if let DataOrigin::Region { parent, row_off } = split.origin_of(d) {
-                            let piece = &host[&d];
-                            final_out
-                                .get_mut(&parent)
-                                .expect("allocated above")
-                                .paste(piece, row_off, 0);
-                        }
-                    }
-                    outputs = final_out;
-                }
-                None => {
-                    for d in g.outputs() {
-                        let t = host.get(&d).cloned().ok_or_else(|| {
-                            FrameworkError::DataUnavailable {
-                                data: d,
-                                context: "output missing on host".into(),
-                            }
-                        })?;
-                        outputs.insert(d, t);
-                    }
-                }
-            }
-        }
+        let outputs = if bindings.is_some() {
+            assemble_outputs(g, self.origin, &host)?
+        } else {
+            HashMap::new()
+        };
 
         Ok(ExecOutcome {
             timeline,
@@ -375,6 +249,155 @@ impl<'a> Executor<'a> {
             peak_fragmentation: peak_frag,
             outputs,
         })
+    }
+}
+
+/// Materialize the host-side source tensor for `d` in functional mode:
+/// produced data comes from `host`, bindings come from `bindings` —
+/// sliced through split provenance (`origin`) when the plan runs on
+/// pieces of the original template data. Shared by the plain and the
+/// resilient executor.
+pub fn host_source(
+    g: &Graph,
+    origin: Option<&SplitResult>,
+    d: DataId,
+    host: &HashMap<DataId, Tensor>,
+    bindings: &HashMap<DataId, Tensor>,
+) -> Result<Tensor, FrameworkError> {
+    if g.producer(d).is_some() {
+        return host
+            .get(&d)
+            .cloned()
+            .ok_or_else(|| FrameworkError::DataUnavailable {
+                data: d,
+                context: "produced data not in host memory".into(),
+            });
+    }
+    let desc = g.data(d);
+    match origin {
+        Some(split) => match split.origin_of(d) {
+            DataOrigin::Region { parent, row_off } => {
+                let src = bindings
+                    .get(&parent)
+                    .ok_or_else(|| FrameworkError::DataUnavailable {
+                        data: parent,
+                        context: format!("no binding for template input '{}'", desc.name),
+                    })?;
+                if row_off + desc.rows > src.rows() || desc.cols > src.cols() {
+                    return Err(FrameworkError::InvalidPlan(format!(
+                        "binding for {} too small for piece {}",
+                        parent, desc.name
+                    )));
+                }
+                Ok(src.view(row_off, 0, desc.rows, desc.cols))
+            }
+            DataOrigin::Fresh => Err(FrameworkError::DataUnavailable {
+                data: d,
+                context: "fresh data cannot come from the host".into(),
+            }),
+        },
+        None => {
+            let t = bindings
+                .get(&d)
+                .cloned()
+                .ok_or_else(|| FrameworkError::DataUnavailable {
+                    data: d,
+                    context: format!("no binding for '{}'", desc.name),
+                })?;
+            if t.shape() != g.shape(d) {
+                return Err(FrameworkError::InvalidPlan(format!(
+                    "binding for '{}' has shape {} (expected {})",
+                    desc.name,
+                    t.shape(),
+                    g.shape(d)
+                )));
+            }
+            Ok(t)
+        }
+    }
+}
+
+/// Assemble the final output tensors from host-resident pieces. With
+/// split provenance, each `Output` piece is pasted back into its original
+/// tensor (keyed by original-graph id); without it, outputs are returned
+/// as-is keyed by plan-graph id. Shared by the plain and the resilient
+/// executor.
+pub fn assemble_outputs(
+    g: &Graph,
+    origin: Option<&SplitResult>,
+    host: &HashMap<DataId, Tensor>,
+) -> Result<HashMap<DataId, Tensor>, FrameworkError> {
+    match origin {
+        Some(split) => {
+            // Paste each Output piece into its original tensor.
+            let mut extents: HashMap<DataId, usize> = HashMap::new();
+            for d in g.data_ids() {
+                if g.data(d).kind != DataKind::Output {
+                    continue;
+                }
+                let piece = host
+                    .get(&d)
+                    .ok_or_else(|| FrameworkError::DataUnavailable {
+                        data: d,
+                        context: "output piece missing on host".into(),
+                    })?;
+                match split.origin_of(d) {
+                    DataOrigin::Region { parent, row_off } => {
+                        let e = extents.entry(parent).or_insert(0);
+                        *e = (*e).max(row_off + piece.rows());
+                    }
+                    DataOrigin::Fresh => {
+                        return Err(FrameworkError::InvalidPlan(
+                            "output piece with no provenance".into(),
+                        ))
+                    }
+                }
+            }
+            // Second pass with final extents known.
+            let mut final_out: HashMap<DataId, Tensor> = extents
+                .iter()
+                .map(|(&parent, &rows)| {
+                    let cols = g
+                        .data_ids()
+                        .filter(|&d| g.data(d).kind == DataKind::Output)
+                        .find_map(|d| match split.origin_of(d) {
+                            DataOrigin::Region { parent: p, .. } if p == parent => {
+                                Some(g.data(d).cols)
+                            }
+                            _ => None,
+                        })
+                        .expect("parent has pieces");
+                    (parent, Tensor::zeros(rows, cols))
+                })
+                .collect();
+            for d in g.data_ids() {
+                if g.data(d).kind != DataKind::Output {
+                    continue;
+                }
+                if let DataOrigin::Region { parent, row_off } = split.origin_of(d) {
+                    let piece = &host[&d];
+                    final_out
+                        .get_mut(&parent)
+                        .expect("allocated above")
+                        .paste(piece, row_off, 0);
+                }
+            }
+            Ok(final_out)
+        }
+        None => {
+            let mut outputs = HashMap::new();
+            for d in g.outputs() {
+                let t = host
+                    .get(&d)
+                    .cloned()
+                    .ok_or_else(|| FrameworkError::DataUnavailable {
+                        data: d,
+                        context: "output missing on host".into(),
+                    })?;
+                outputs.insert(d, t);
+            }
+            Ok(outputs)
+        }
     }
 }
 

@@ -48,6 +48,7 @@ pub mod pbexact;
 pub mod plan;
 pub mod prefetch;
 pub mod report;
+pub mod resilient;
 pub mod split;
 pub mod xfer;
 
@@ -65,5 +66,6 @@ pub use pbexact::{pb_exact_plan, ObjectiveKind, PbExactOptions, PbExactOutcome, 
 pub use plan::{validate_plan, ExecutionPlan, PlanStats, Step};
 pub use prefetch::{hoist_prefetches, hoist_prefetches_traced};
 pub use report::compilation_report;
+pub use resilient::{ResilientExecutor, ResilientOutcome};
 pub use split::{split_graph, split_graph_min_parts, DataOrigin, SplitResult};
 pub use xfer::EvictionPolicy;

@@ -66,6 +66,9 @@ pub fn trace_serial_timeline(tracer: &mut Tracer, tl: &Timeline) {
                     vec![kv("bytes", *bytes)],
                 );
             }
+            EventKind::Stall { reason } => {
+                tracer.virtual_span(PID_SERIAL, 0, "stall", reason, e.start, end, vec![]);
+            }
         }
     }
     let c = tl.counters();

@@ -81,6 +81,18 @@ impl ExecutionPlan {
         self.analyze(g, u64::MAX, false).stats
     }
 
+    /// Run the recoverability pass: per-launch minimal restart sets and
+    /// the `GF004x` diagnostics (see `gpuflow_verify::recover`). The
+    /// resilient executor consults the same report to decide what to
+    /// checkpoint at each offload-unit exit.
+    pub fn recovery_report(
+        &self,
+        g: &Graph,
+        opts: gpuflow_verify::RecoveryCheckOptions,
+    ) -> gpuflow_verify::RecoveryReport {
+        gpuflow_verify::analyze_recovery(g, &self.view(g), opts)
+    }
+
     /// Number of evictions: `Free` steps whose datum is uploaded again by
     /// a later `CopyIn` (the transfer scheduler spilled it to make room,
     /// as opposed to a final dead-data free).

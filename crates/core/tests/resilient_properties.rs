@@ -1,0 +1,120 @@
+//! Property tests of the resilient executor (`gpuflow_core::resilient`).
+//!
+//! Two guarantees from the chaos work are checked over randomly drawn
+//! fault schedules:
+//!
+//! 1. **Chaos determinism** — a fault spec fully determines the run:
+//!    executing the same plan twice under the same seed yields bit-identical
+//!    timelines, recovery ledgers, and injected-fault logs.
+//! 2. **Functional equivalence** — any *recovered* run's outputs match
+//!    `gpuflow_ops::reference_eval` exactly, no matter which mix of
+//!    transient kernel/transfer/allocation faults (and optionally a hard
+//!    device loss) the schedule injected along the way.
+
+use std::collections::HashMap;
+
+use gpuflow_chaos::FaultSpec;
+use gpuflow_core::{Framework, ResilientExecutor};
+use gpuflow_graph::{DataId, DataKind, Graph, OpKind, RemapKind};
+use gpuflow_ops::{reference_eval, Tensor};
+use gpuflow_sim::device::tesla_c870;
+use proptest::prelude::*;
+
+/// A small conv → remap → max pipeline with one input and one constant.
+fn pipeline_graph() -> Graph {
+    let mut g = Graph::new();
+    let a = g.add("A", 48, 48, DataKind::Input);
+    let k = g.add("K", 5, 5, DataKind::Constant);
+    let c = g.add("C", 44, 44, DataKind::Temporary);
+    let f = g.add("F", 44, 44, DataKind::Temporary);
+    let o = g.add("O", 44, 44, DataKind::Output);
+    g.add_op("conv", OpKind::Conv2d, vec![a, k], c).unwrap();
+    g.add_op("flip", OpKind::Remap(RemapKind::FlipH), vec![c], f)
+        .unwrap();
+    g.add_op("max", OpKind::EwMax { arity: 2 }, vec![c, f], o)
+        .unwrap();
+    g
+}
+
+fn bindings(g: &Graph) -> HashMap<DataId, Tensor> {
+    let mut b = HashMap::new();
+    for d in g.data_ids() {
+        if g.data(d).kind.starts_on_cpu() {
+            let desc = g.data(d);
+            b.insert(
+                d,
+                Tensor::from_fn(desc.rows, desc.cols, |r, c| {
+                    ((r * 17 + c * 3) % 11) as f32 * 0.5 - 2.0
+                }),
+            );
+        }
+    }
+    b
+}
+
+/// Fault spec from raw draws; `loss_pct` of 0 means no device loss.
+fn spec_from(seed: u64, kernel: f64, transfer: f64, alloc: f64, loss_pct: u32) -> FaultSpec {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "seed={seed},kernel={kernel},transfer={transfer},alloc={alloc}"
+    ));
+    if loss_pct > 0 {
+        s.push_str(&format!(",loss=0@{loss_pct}%"));
+    }
+    FaultSpec::parse(&s).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn same_seed_replays_bit_identically(
+        seed in 0u64..10_000,
+        kernel in 0.0f64..0.4,
+        transfer in 0.0f64..0.3,
+        alloc in 0.0f64..0.3,
+        loss_pct in 0u32..90,
+    ) {
+        let g = pipeline_graph();
+        let dev = tesla_c870();
+        let compiled = Framework::new(dev.clone()).compile_adaptive(&g).unwrap();
+        let spec = spec_from(seed, kernel, transfer, alloc, loss_pct);
+        let run = || {
+            ResilientExecutor::new(&compiled.split.graph, &compiled.plan, &dev, &spec)
+                .with_origin(&compiled.split)
+                .run_analytic()
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        prop_assert_eq!(a.exec.timeline.events(), b.exec.timeline.events());
+        prop_assert_eq!(&a.stats, &b.stats);
+        prop_assert_eq!(a.injector.events(), b.injector.events());
+    }
+
+    #[test]
+    fn recovered_runs_match_the_reference_exactly(
+        seed in 0u64..10_000,
+        kernel in 0.0f64..0.35,
+        transfer in 0.0f64..0.25,
+        alloc in 0.0f64..0.25,
+        loss_pct in 0u32..90,
+    ) {
+        let g = pipeline_graph();
+        let dev = tesla_c870();
+        let compiled = Framework::new(dev.clone()).compile_adaptive(&g).unwrap();
+        let spec = spec_from(seed, kernel, transfer, alloc, loss_pct);
+        let b = bindings(&g);
+        let r = ResilientExecutor::new(&compiled.split.graph, &compiled.plan, &dev, &spec)
+            .with_origin(&compiled.split)
+            .run_functional(&b)
+            .unwrap();
+        // With CPU fallback enabled (the default), every schedule this
+        // model can draw is recoverable.
+        prop_assert!(r.stats.recovered, "{}", r.stats.summary());
+        let reference = reference_eval(&g, &b).unwrap();
+        prop_assert_eq!(r.exec.outputs.len(), g.outputs().len());
+        for (d, t) in &r.exec.outputs {
+            prop_assert_eq!(t, &reference[d], "output {} diverged", g.data(*d).name);
+        }
+    }
+}

@@ -122,7 +122,16 @@ pub fn parse_cluster(spec: &str) -> Result<Cluster, String> {
     if devices.is_empty() {
         return Err(format!("cluster spec '{spec}' names no devices"));
     }
-    Ok(Cluster::new(devices))
+    for dev in &devices {
+        dev.validate()
+            .map_err(|e| format!("invalid device in cluster spec '{spec}': {e}"))?;
+    }
+    let cluster = Cluster::new(devices);
+    cluster
+        .bus
+        .validate()
+        .map_err(|e| format!("invalid bus derived from cluster spec '{spec}': {e}"))?;
+    Ok(cluster)
 }
 
 fn parse_device(name: &str) -> Result<DeviceSpec, String> {

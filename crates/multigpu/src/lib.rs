@@ -15,7 +15,11 @@
 //! * [`makespan`] — the shared-bus overlap simulation: per-device compute
 //!   lanes arbitrating FCFS for one bus, which is what bends the
 //!   scalability curve at high device counts;
-//! * [`planner`] — [`compile_multi`], the end-to-end entry point.
+//! * [`planner`] — [`compile_multi`], the end-to-end entry point;
+//! * [`resilient`] — fault-tolerant execution under an injected fault
+//!   schedule ([`gpuflow_chaos`]), including failover replanning of the
+//!   not-yet-executed suffix onto surviving devices after a hard device
+//!   loss.
 //!
 //! Every plan this crate emits verifies clean under
 //! [`gpuflow_verify::analyze_multi_plan`] (the `GF003x` cross-device
@@ -27,6 +31,7 @@ pub mod cluster;
 pub mod makespan;
 pub mod observe;
 pub mod planner;
+pub mod resilient;
 pub mod schedule;
 pub mod shard;
 
@@ -37,5 +42,6 @@ pub use makespan::{
 };
 pub use observe::{tid_compute, trace_multi_lanes, TID_BUS_D2H, TID_BUS_H2D};
 pub use planner::{compile_multi, compile_multi_traced, MultiCompiled};
+pub use resilient::{MultiResilientOutcome, ResilientMultiExecutor};
 pub use schedule::{schedule_multi_transfers, MultiPlan, MultiStep, MultiXferOptions};
 pub use shard::{device_for_row, shard_graph, ShardedGraph};

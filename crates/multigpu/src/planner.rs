@@ -93,6 +93,7 @@ pub fn compile_multi_traced(
         &MultiXferOptions {
             budgets: cluster.plannable_budgets(margin),
             eager_free: true,
+            pinned_host: vec![],
         },
     )?;
     tracer.end_with(

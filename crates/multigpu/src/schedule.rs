@@ -61,6 +61,9 @@ pub struct MultiPlan {
     pub unit_device: Vec<usize>,
     /// The global interleaved step sequence.
     pub steps: Vec<MultiStep>,
+    /// Data host-valid before the plan starts (see
+    /// [`MultiXferOptions::pinned_host`]). Empty for ordinary plans.
+    pub pinned_host: Vec<DataId>,
 }
 
 impl MultiPlan {
@@ -86,6 +89,7 @@ impl MultiPlan {
                     MultiStep::Launch(u) => MultiPlanStep::Launch(u),
                 })
                 .collect(),
+            pinned_host: self.pinned_host.clone(),
         }
     }
 
@@ -148,6 +152,12 @@ pub struct MultiXferOptions {
     /// Delete dead data immediately on the launching device (§3.3.1
     /// step 3).
     pub eager_free: bool,
+    /// Produced data to treat as already valid on the host when the plan
+    /// starts. Failover replanning uses this to pin the completed
+    /// prefix's results host-side: the suffix plan stages them in with a
+    /// plain `CopyIn` instead of recomputing or staging them out of a
+    /// (possibly dead) device. Empty for ordinary compilations.
+    pub pinned_host: Vec<DataId>,
 }
 
 struct Resident {
@@ -195,6 +205,9 @@ pub fn schedule_multi_transfers(
         .data_ids()
         .map(|d| g.data(d).kind.starts_on_cpu())
         .collect();
+    for &d in &opts.pinned_host {
+        on_cpu[d.index()] = true;
+    }
     let mut used = vec![0u64; ndev];
 
     // Evict or free `victim` on `dev`, staging it to the host first if the
@@ -349,6 +362,7 @@ pub fn schedule_multi_transfers(
         units: units.to_vec(),
         unit_device: unit_device.to_vec(),
         steps,
+        pinned_host: opts.pinned_host.clone(),
     };
     #[cfg(debug_assertions)]
     {
@@ -392,6 +406,7 @@ mod tests {
             &MultiXferOptions {
                 budgets: vec![budget; 2],
                 eager_free: true,
+                pinned_host: vec![],
             },
         )
         .unwrap();
@@ -450,6 +465,7 @@ mod tests {
             &MultiXferOptions {
                 budgets: vec![64 * 64 * 4, u64::MAX], // half the working set
                 eager_free: true,
+                pinned_host: vec![],
             },
         )
         .unwrap_err();
@@ -471,6 +487,7 @@ mod tests {
             &MultiXferOptions {
                 budgets: vec![u64::MAX],
                 eager_free: true,
+                pinned_host: vec![],
             },
         )
         .unwrap();

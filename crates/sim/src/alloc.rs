@@ -39,6 +39,19 @@ pub enum AllocError {
         /// Largest contiguous free block.
         largest_block: u64,
     },
+    /// The freed range overlaps a block that is already free — a double
+    /// free (or a corrupted `Allocation`).
+    DoubleFree {
+        /// Start address of the offending free.
+        addr: u64,
+    },
+    /// The allocation does not lie inside this allocator's address space.
+    Foreign {
+        /// Start address of the offending free.
+        addr: u64,
+        /// Size of the offending free.
+        size: u64,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -53,6 +66,14 @@ impl std::fmt::Display for AllocError {
             } => write!(
                 f,
                 "fragmented: need {requested} B contiguous, largest block {largest_block} B"
+            ),
+            AllocError::DoubleFree { addr } => {
+                write!(f, "double free / overlap at {addr:#x}")
+            }
+            AllocError::Foreign { addr, size } => write!(
+                f,
+                "foreign allocation: [{addr:#x}, {:#x}) outside device memory",
+                addr + size
             ),
         }
     }
@@ -168,28 +189,34 @@ impl DeviceAllocator {
         }
     }
 
-    /// Release an allocation. Coalesces with free neighbours. Panics on a
-    /// double free or foreign allocation (framework bug).
-    pub fn free(&mut self, a: Allocation) {
-        assert!(a.addr + a.size <= self.capacity, "foreign allocation");
+    /// Release an allocation. Coalesces with free neighbours.
+    ///
+    /// A double free or a foreign allocation is a framework bug, not a
+    /// simulated-device condition: the error is reported without touching
+    /// the free list, so the allocator's accounting stays intact. Callers
+    /// that treat any such error as fatal can use [`DeviceAllocator::free`],
+    /// which asserts on it.
+    pub fn try_free(&mut self, a: Allocation) -> Result<(), AllocError> {
+        if a.addr + a.size > self.capacity {
+            return Err(AllocError::Foreign {
+                addr: a.addr,
+                size: a.size,
+            });
+        }
         // Insertion point by address.
         let i = self.free_blocks.partition_point(|&(addr, _)| addr < a.addr);
         // Overlap checks against neighbours catch double frees.
         if i > 0 {
             let (paddr, psize) = self.free_blocks[i - 1];
-            assert!(
-                paddr + psize <= a.addr,
-                "double free / overlap at {:#x}",
-                a.addr
-            );
+            if paddr + psize > a.addr {
+                return Err(AllocError::DoubleFree { addr: a.addr });
+            }
         }
         if i < self.free_blocks.len() {
             let (naddr, _) = self.free_blocks[i];
-            assert!(
-                a.addr + a.size <= naddr,
-                "double free / overlap at {:#x}",
-                a.addr
-            );
+            if a.addr + a.size > naddr {
+                return Err(AllocError::DoubleFree { addr: a.addr });
+            }
         }
         self.free_blocks.insert(i, (a.addr, a.size));
         // Coalesce with next, then previous.
@@ -208,6 +235,18 @@ impl DeviceAllocator {
             }
         }
         self.in_use -= a.size;
+        Ok(())
+    }
+
+    /// Release an allocation, asserting it is valid. Identical to
+    /// [`DeviceAllocator::try_free`] but panics on a double free or foreign
+    /// allocation — the right call when such an error can only mean a bug
+    /// in the framework itself rather than an injected fault.
+    #[track_caller]
+    pub fn free(&mut self, a: Allocation) {
+        if let Err(e) = self.try_free(a) {
+            panic!("{e}");
+        }
     }
 
     /// Total capacity in bytes.
@@ -342,6 +381,53 @@ mod tests {
         let x = a.alloc(256).unwrap();
         a.free(x);
         a.free(x);
+    }
+
+    #[test]
+    fn try_free_reports_double_free_without_corrupting_state() {
+        let mut a = DeviceAllocator::new(1024);
+        let x = a.alloc(256).unwrap();
+        let y = a.alloc(256).unwrap();
+        assert_eq!(a.try_free(x), Ok(()));
+        assert_eq!(a.try_free(x), Err(AllocError::DoubleFree { addr: x.addr }));
+        // Accounting survived the bad free.
+        assert_eq!(a.in_use(), 256);
+        assert_eq!(a.try_free(y), Ok(()));
+        assert_eq!(a.in_use(), 0);
+        assert_eq!(a.largest_free_block(), 1024);
+    }
+
+    #[test]
+    fn try_free_rejects_partial_overlap_and_foreign_blocks() {
+        let mut a = DeviceAllocator::new(1024);
+        let x = a.alloc(512).unwrap();
+        a.free(x);
+        // Overlaps the free region from the middle.
+        let overlap = Allocation {
+            addr: 256,
+            size: 256,
+        };
+        assert_eq!(
+            a.try_free(overlap),
+            Err(AllocError::DoubleFree { addr: 256 })
+        );
+        let foreign = Allocation {
+            addr: 4096,
+            size: 256,
+        };
+        assert_eq!(
+            a.try_free(foreign),
+            Err(AllocError::Foreign {
+                addr: 4096,
+                size: 256
+            })
+        );
+        let msg = AllocError::Foreign {
+            addr: 4096,
+            size: 256,
+        }
+        .to_string();
+        assert!(msg.contains("foreign allocation"), "{msg}");
     }
 
     #[test]

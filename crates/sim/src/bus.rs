@@ -48,8 +48,33 @@ impl BusSpec {
         }
     }
 
+    /// Check the spec is physically meaningful: bandwidth strictly
+    /// positive and finite, latency non-negative and finite. A
+    /// zero-bandwidth bus would silently turn every transfer time into
+    /// `inf`, so specs are rejected at construction/parse time instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.bandwidth.is_finite() && self.bandwidth > 0.0) {
+            return Err(format!(
+                "bus bandwidth must be finite and > 0 (got {})",
+                self.bandwidth
+            ));
+        }
+        if !(self.latency_s.is_finite() && self.latency_s >= 0.0) {
+            return Err(format!(
+                "bus latency must be finite and >= 0 (got {})",
+                self.latency_s
+            ));
+        }
+        Ok(())
+    }
+
     /// Duration of one transfer of `bytes` over the bus.
     pub fn transfer_time(&self, bytes: u64) -> f64 {
+        debug_assert!(
+            self.validate().is_ok(),
+            "transfer_time on invalid BusSpec: {:?}",
+            self
+        );
         self.latency_s + bytes as f64 / self.bandwidth
     }
 }
@@ -153,6 +178,26 @@ mod tests {
     fn bus_matches_device_link() {
         let bus = BusSpec::from_device(&tesla_c870());
         assert!((bus.transfer_time(1_500_000_000) - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        assert!(BusSpec::from_device(&tesla_c870()).validate().is_ok());
+        let zero_bw = BusSpec {
+            bandwidth: 0.0,
+            latency_s: 1e-5,
+        };
+        assert!(zero_bw.validate().unwrap_err().contains("bandwidth"));
+        let neg_lat = BusSpec {
+            bandwidth: 1e9,
+            latency_s: -1e-6,
+        };
+        assert!(neg_lat.validate().unwrap_err().contains("latency"));
+        let nan_bw = BusSpec {
+            bandwidth: f64::NAN,
+            latency_s: 0.0,
+        };
+        assert!(nan_bw.validate().is_err());
     }
 
     #[test]

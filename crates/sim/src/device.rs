@@ -40,6 +40,48 @@ impl DeviceSpec {
         self.cores as f64 * self.clock_ghz * 1e9 * 2.0
     }
 
+    /// Check the spec is physically meaningful: every rate/bandwidth
+    /// strictly positive and finite, latencies non-negative and finite,
+    /// nonzero memory. A zero PCIe bandwidth would make transfer times
+    /// `inf` without any error, so bad specs are rejected up front (e.g.
+    /// at cluster parse time) instead of surfacing as nonsense timings.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            ("clock_ghz", self.clock_ghz),
+            ("internal_bw", self.internal_bw),
+            ("pcie_bw", self.pcie_bw),
+            ("flops_efficiency", self.flops_efficiency),
+            ("mem_efficiency", self.mem_efficiency),
+        ];
+        for (what, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!(
+                    "device '{}': {what} must be finite and > 0 (got {v})",
+                    self.name
+                ));
+            }
+        }
+        let non_negative = [
+            ("transfer_latency_s", self.transfer_latency_s),
+            ("launch_overhead_s", self.launch_overhead_s),
+        ];
+        for (what, v) in non_negative {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!(
+                    "device '{}': {what} must be finite and >= 0 (got {v})",
+                    self.name
+                ));
+            }
+        }
+        if self.memory_bytes == 0 {
+            return Err(format!("device '{}': memory_bytes must be > 0", self.name));
+        }
+        if self.cores == 0 {
+            return Err(format!("device '{}': cores must be > 0", self.name));
+        }
+        Ok(())
+    }
+
     /// The planner's memory budget in bytes: capacity de-rated by
     /// `margin` to absorb fragmentation (§3.3.2: "the `Total_GPU_Memory`
     /// parameter in the formulation is set to a value less than the actual
@@ -201,5 +243,24 @@ mod tests {
         assert!(m.memory_bytes > c.memory_bytes);
         assert!(m.peak_flops() > c.peak_flops());
         assert!(m.pcie_bw > c.pcie_bw);
+    }
+
+    #[test]
+    fn presets_validate_and_broken_specs_do_not() {
+        for d in [tesla_c870(), geforce_8800_gtx(), modern()] {
+            d.validate().unwrap();
+        }
+        let mut d = tesla_c870();
+        d.pcie_bw = 0.0;
+        assert!(d.validate().unwrap_err().contains("pcie_bw"));
+        d = tesla_c870();
+        d.transfer_latency_s = -1e-6;
+        assert!(d.validate().unwrap_err().contains("transfer_latency_s"));
+        d = tesla_c870();
+        d.internal_bw = f64::INFINITY;
+        assert!(d.validate().is_err());
+        d = tesla_c870();
+        d.memory_bytes = 0;
+        assert!(d.validate().is_err());
     }
 }

@@ -34,6 +34,12 @@ pub enum EventKind {
         /// Bytes released.
         bytes: u64,
     },
+    /// Idle wait (retry backoff, recovery pause). Advances the clock
+    /// without counting as compute or transfer time.
+    Stall {
+        /// Why execution waited.
+        reason: String,
+    },
 }
 
 /// One timeline entry.
@@ -64,6 +70,8 @@ pub struct Counters {
     pub kernel_time: f64,
     /// Total simulated transfer time, seconds.
     pub transfer_time: f64,
+    /// Total simulated idle time (retry backoff, recovery pauses), seconds.
+    pub stall_time: f64,
 }
 
 impl Counters {
@@ -81,7 +89,7 @@ impl Counters {
     /// End-to-end simulated time (no compute/transfer overlap; the paper's
     /// GPUs did not support it and its experiments did not use it).
     pub fn total_time(&self) -> f64 {
-        self.kernel_time + self.transfer_time
+        self.kernel_time + self.transfer_time + self.stall_time
     }
 
     /// Fraction of time spent transferring — the Fig. 2 quantity.
@@ -170,6 +178,19 @@ impl Timeline {
         );
     }
 
+    /// Record an idle wait of `duration` seconds (retry backoff, recovery
+    /// pause). Advances the clock without touching compute or transfer
+    /// accounting.
+    pub fn push_stall(&mut self, reason: impl Into<String>, duration: f64) {
+        self.counters.stall_time += duration;
+        self.push(
+            EventKind::Stall {
+                reason: reason.into(),
+            },
+            duration,
+        );
+    }
+
     fn push(&mut self, kind: EventKind, duration: f64) {
         self.events.push(Event {
             start: self.now,
@@ -194,6 +215,7 @@ impl Timeline {
                     format!("D->H    {data} ({bytes} B)")
                 }
                 EventKind::Free { data, bytes } => format!("FREE    {data} ({bytes} B)"),
+                EventKind::Stall { reason } => format!("STALL   {reason}"),
             };
             let _ = writeln!(s, "[{:>12.6}s +{:>10.6}s] {desc}", e.start, e.duration);
         }
@@ -257,5 +279,19 @@ mod tests {
         let c = Counters::default();
         assert_eq!(c.transfer_share(), 0.0);
         assert_eq!(c.total_time(), 0.0);
+    }
+
+    #[test]
+    fn stalls_advance_the_clock_but_not_work_counters() {
+        let mut t = Timeline::new();
+        t.push_kernel("a", 1.0);
+        t.push_stall("retry backoff", 0.5);
+        t.push_kernel("b", 1.0);
+        let c = t.counters();
+        assert_eq!(c.kernel_time, 2.0);
+        assert_eq!(c.stall_time, 0.5);
+        assert_eq!(c.total_time(), 2.5);
+        assert_eq!(t.now(), 2.5);
+        assert!(t.render().contains("STALL   retry backoff"));
     }
 }

@@ -43,6 +43,8 @@ proptest! {
             prop_assert_eq!(a.free_bytes(), capacity - used);
             prop_assert!(a.largest_free_block() <= a.free_bytes());
             prop_assert!(a.high_water() >= a.in_use());
+            let frag = a.fragmentation();
+            prop_assert!((0.0..=1.0).contains(&frag), "fragmentation {frag} out of [0, 1]");
         }
         for x in live.drain(..) {
             a.free(x);
@@ -50,6 +52,28 @@ proptest! {
         prop_assert_eq!(a.in_use(), 0);
         prop_assert_eq!(a.largest_free_block(), capacity);
         prop_assert_eq!(a.fragmentation(), 0.0);
+    }
+
+    /// Invalid frees surface as `Err` without corrupting the accounting:
+    /// a double free and a free of a never-allocated block both leave
+    /// `in_use`/`free_bytes` exactly where they were.
+    #[test]
+    fn bad_frees_error_without_corrupting_accounting(
+        sizes in prop::collection::vec(1u64..4096, 1..24),
+        which in 0usize..24,
+    ) {
+        let capacity = 1u64 << 20;
+        let mut a = DeviceAllocator::new(capacity);
+        let live: Vec<Allocation> = sizes.iter().map(|&s| a.alloc(s).unwrap()).collect();
+        let used: u64 = live.iter().map(|x| x.size).sum();
+        let x = live[which % live.len()];
+        a.try_free(x).unwrap();
+        prop_assert!(a.try_free(x).is_err(), "double free must be rejected");
+        prop_assert_eq!(a.in_use(), used - x.size);
+        prop_assert_eq!(a.free_bytes(), capacity - (used - x.size));
+        let bogus = Allocation { addr: capacity + 128, size: 64 };
+        prop_assert!(a.try_free(bogus).is_err(), "foreign free must be rejected");
+        prop_assert_eq!(a.in_use(), used - x.size);
     }
 
     /// First-fit determinism: the same request sequence yields the same

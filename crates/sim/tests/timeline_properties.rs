@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use gpuflow_sim::{Counters, EventKind, Timeline};
 
 /// One randomly generated timeline operation:
-/// `(kind 0..4, bytes, duration in seconds)`.
+/// `(kind 0..5, bytes, duration in seconds)`.
 type Op = (u8, u64, f64);
 
 fn apply(t: &mut Timeline, i: usize, op: Op) {
@@ -18,12 +18,13 @@ fn apply(t: &mut Timeline, i: usize, op: Op) {
         0 => t.push_kernel(format!("k{i}"), dur),
         1 => t.push_copy_to_gpu(format!("d{i}"), bytes, dur),
         2 => t.push_copy_to_cpu(format!("d{i}"), bytes, dur),
+        3 => t.push_stall(format!("s{i}"), dur),
         _ => t.push_free(format!("d{i}"), bytes),
     }
 }
 
 fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec((0u8..4, 1u64..1 << 30, 0.0f64..2.0), 0..100)
+    prop::collection::vec((0u8..5, 1u64..1 << 30, 0.0f64..2.0), 0..100)
 }
 
 proptest! {
@@ -77,6 +78,9 @@ proptest! {
                     sum.bytes_to_cpu += bytes;
                     sum.transfer_time += e.duration;
                 }
+                EventKind::Stall { .. } => {
+                    sum.stall_time += e.duration;
+                }
                 EventKind::Free { .. } => {}
             }
         }
@@ -84,7 +88,7 @@ proptest! {
         prop_assert_eq!(c, sum);
         prop_assert_eq!(c.total_transfer_bytes(), c.bytes_to_gpu + c.bytes_to_cpu);
         prop_assert_eq!(c.total_transfer_floats(), c.total_transfer_bytes() / 4);
-        prop_assert_eq!(c.total_time(), c.kernel_time + c.transfer_time);
+        prop_assert_eq!(c.total_time(), c.kernel_time + c.transfer_time + c.stall_time);
         let share = c.transfer_share();
         prop_assert!((0.0..=1.0).contains(&share), "share {share} out of range");
     }

@@ -21,6 +21,10 @@
 //!   ([`analyze_multi_plan`]): per-device residency and capacity, staged
 //!   device→host→device inter-device transfers, and cross-device launch
 //!   placement (`GF003x` codes).
+//! * [`recover`] — recoverability analysis ([`analyze_recovery`]): the
+//!   minimal host-resident data set needed to restart the plan at each
+//!   launch, feeding the checkpoint/restart machinery in `gpuflow-core`
+//!   (`GF004x` codes).
 //!
 //! `gpuflow-core` builds its `validate_plan` and `ExecutionPlan::stats`
 //! on the engine, so the checked semantics and the reported numbers can
@@ -34,6 +38,7 @@ pub mod diag;
 pub mod engine;
 pub mod graph_check;
 pub mod multi;
+pub mod recover;
 
 pub use diag::{
     count, has_errors, render_report, report_to_json, summary, Counts, Diagnostic, Location,
@@ -42,3 +47,4 @@ pub use diag::{
 pub use engine::{analyze_plan, PlanAnalysis, PlanStats, PlanStep, PlanView, UnitView};
 pub use graph_check::analyze_graph;
 pub use multi::{analyze_multi_plan, MultiPlanAnalysis, MultiPlanStep, MultiPlanView};
+pub use recover::{analyze_recovery, LaunchRecovery, RecoveryCheckOptions, RecoveryReport};

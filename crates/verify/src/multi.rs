@@ -84,6 +84,12 @@ pub struct MultiPlanView {
     pub unit_device: Vec<usize>,
     /// The global interleaved step sequence.
     pub steps: Vec<MultiPlanStep>,
+    /// Data valid on the host *before* the plan starts, beyond what
+    /// `DataKind::starts_on_cpu` implies. Failover replanning pins the
+    /// completed prefix's results here: the suffix plan may `CopyIn` them
+    /// without a staging `CopyOut`, and pinned template outputs count as
+    /// already delivered.
+    pub pinned_host: Vec<gpuflow_graph::DataId>,
 }
 
 /// Everything one multi-device engine run produces.
@@ -135,6 +141,14 @@ pub fn analyze_multi_plan(
         .map(|d| g.data(d).kind.starts_on_cpu())
         .collect();
     let mut produced = vec![false; nd];
+    for &d in &plan.pinned_host {
+        if d.index() < nd {
+            // Pinned data was produced and delivered before this plan
+            // began (a recovered prefix run).
+            on_cpu[d.index()] = true;
+            produced[d.index()] = true;
+        }
+    }
     let mut launched = vec![false; nu];
 
     let bad_device = |diags: &mut Vec<Diagnostic>, at, dev: usize| {
@@ -431,6 +445,7 @@ mod tests {
         MultiPlanView {
             units: units2(),
             unit_device: vec![0, 1],
+            pinned_host: vec![],
             steps: vec![
                 MultiPlanStep::CopyIn {
                     device: 0,
@@ -543,6 +558,7 @@ mod tests {
         let p = MultiPlanView {
             units: units2(),
             unit_device: vec![0, 1],
+            pinned_host: vec![],
             steps: vec![
                 MultiPlanStep::CopyIn {
                     device: 0,
@@ -573,6 +589,7 @@ mod tests {
         let p = MultiPlanView {
             units: units2(),
             unit_device: vec![0, 1],
+            pinned_host: vec![],
             steps: vec![
                 MultiPlanStep::CopyIn {
                     device: 0,
@@ -588,6 +605,53 @@ mod tests {
     }
 
     #[test]
+    fn pinned_host_data_satisfies_staging_and_delivery() {
+        // A replanned suffix: unit 0 already ran in a previous (recovered)
+        // plan, so `mid` is pinned host-side and unit 1 reads it via a
+        // plain CopyIn with no staging CopyOut. The suffix plan covers
+        // only unit 1.
+        let g = chain2();
+        let p = MultiPlanView {
+            units: vec![UnitView {
+                inputs: vec![DataId(1)],
+                outputs: vec![DataId(2)],
+            }],
+            unit_device: vec![1],
+            pinned_host: vec![DataId(1)],
+            steps: vec![
+                MultiPlanStep::CopyIn {
+                    device: 1,
+                    data: DataId(1),
+                },
+                MultiPlanStep::Launch(0),
+                MultiPlanStep::Free {
+                    device: 1,
+                    data: DataId(1),
+                },
+                MultiPlanStep::CopyOut {
+                    device: 1,
+                    data: DataId(2),
+                },
+                MultiPlanStep::Free {
+                    device: 1,
+                    data: DataId(2),
+                },
+            ],
+        };
+        let a = analyze_multi_plan(&g, &p, &[u64::MAX, u64::MAX]);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        // Without the pin the same plan races (GF0031) and the input
+        // reads unproduced data.
+        let mut unpinned = p.clone();
+        unpinned.pinned_host.clear();
+        let a = analyze_multi_plan(&g, &unpinned, &[u64::MAX, u64::MAX]);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == codes::TRANSFER_NOT_STAGED));
+    }
+
+    #[test]
     fn single_device_cluster_matches_engine_semantics() {
         // A 1-device multi plan is exactly a single-device plan; the same
         // clean sequence must pass both engines.
@@ -595,6 +659,7 @@ mod tests {
         let p = MultiPlanView {
             units: units2(),
             unit_device: vec![0, 0],
+            pinned_host: vec![],
             steps: vec![
                 MultiPlanStep::CopyIn {
                     device: 0,

@@ -19,6 +19,7 @@
 //! let reference = reference_eval(&t.graph, &bindings).unwrap();
 //! assert_eq!(run.outputs[&t.edge_map], reference[&t.edge_map]);
 //! ```
+pub use gpuflow_chaos as chaos;
 pub use gpuflow_codegen as codegen;
 pub use gpuflow_core as core;
 pub use gpuflow_graph as graph;

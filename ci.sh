@@ -42,6 +42,21 @@ for gfg in assets/*.gfg; do
     cargo run --release -q -p gpuflow-cli --bin gpuflow -- check "$gfg" --device custom:1
 done
 
+echo "==> concurrency certification sweep (check --hazards, 1/2/4 devices)"
+# Every bundled template must earn the GF005x concurrency certificate on
+# a single device, the 2009 two-card pair, and a four-way modern cluster
+# (docs/concurrency.md). The mutation property suites under `cargo test`
+# above prove injected hazards are always diagnosed.
+for src in fig3 edge:1200x1200,k=9,o=4 cnn-small:512x512 \
+           assets/edge_4or.gfg assets/pipeline.gfg; do
+    for devs in "" "--devices c870x2" "--devices modernx4"; do
+        echo "--- check $src $devs"
+        # shellcheck disable=SC2086
+        cargo run --release -q -p gpuflow-cli --bin gpuflow -- \
+            check "$src" --hazards $devs > /dev/null
+    done
+done
+
 echo "==> gpuflow trace export + reconciliation (single device, exact, cluster)"
 # `trace` re-parses its own Chrome-trace export and exits nonzero if the
 # summed per-event byte counters drift from the plan's canonical stats.

@@ -208,6 +208,8 @@ pub enum Command {
         device: DeviceArg,
         /// Emit the diagnostic report as JSON instead of text.
         json: bool,
+        /// Print the happens-before concurrency summary (lanes and edges).
+        hazards: bool,
         /// Multi-device cluster spec.
         devices: Option<String>,
         /// Write a Chrome-trace JSON of the compilation here.
@@ -325,6 +327,7 @@ impl Command {
         let mut devices: Option<String> = None;
         let mut trace: Option<String> = None;
         let mut trace_out: Option<String> = None;
+        let mut hazards = false;
         let mut faults: Option<FaultSpec> = None;
         let mut seeds = 8u64;
         let mut smoke = false;
@@ -392,6 +395,8 @@ impl Command {
                     }
                 }
                 "--smoke" if verb == "chaos" => smoke = true,
+                // Concurrency-certifier summary is a `check` refinement.
+                "--hazards" if verb == "check" => hazards = true,
                 // `check --json` / `run --json` / `chaos --json` are boolean
                 // switches; `emit --json` takes an output path.
                 "--json" if verb == "check" || verb == "run" || verb == "chaos" => {
@@ -459,6 +464,7 @@ impl Command {
                 source,
                 device,
                 json: json_switch,
+                hazards,
                 devices,
                 trace,
             }),
@@ -625,6 +631,16 @@ mod tests {
                 ..
             }
         ));
+        assert!(matches!(
+            Command::parse(&argv("check fig3 --hazards")).unwrap(),
+            Command::Check { hazards: true, .. }
+        ));
+        assert!(matches!(
+            Command::parse(&argv("check fig3")).unwrap(),
+            Command::Check { hazards: false, .. }
+        ));
+        // `--hazards` is a `check` refinement; other verbs reject it.
+        assert!(Command::parse(&argv("plan fig3 --hazards")).is_err());
     }
 
     #[test]

@@ -126,6 +126,103 @@ fn plan_stats_json(stats: &gpuflow_core::PlanStats, peak_per_device: Option<&[u6
     Value::Object(m)
 }
 
+/// What `check` learned about the compiled plan: step count, unit count,
+/// peak residency, target description, and per-unit device assignment.
+type CheckPlanInfo = (usize, usize, u64, String, Vec<usize>);
+
+/// The `check --json` document: the diagnostic report with every
+/// step-located diagnostic enriched by the plan's lane/device assignment,
+/// plus a `plan` object describing what was analyzed and certified.
+fn check_report_json(
+    diags: &[gpuflow_verify::Diagnostic],
+    plan_info: &Option<CheckPlanInfo>,
+    cert: &Option<gpuflow_verify::ConcurrencyReport>,
+) -> Value {
+    let mut doc = gpuflow_verify::report_to_json(diags);
+    let Value::Object(root) = &mut doc else {
+        return doc;
+    };
+    if let Some(report) = cert {
+        if let Some(Value::Array(list)) = root.get_mut("diagnostics") {
+            for d in list {
+                let Value::Object(dm) = d else { continue };
+                let Some(Value::Object(loc)) = dm.get_mut("location") else {
+                    continue;
+                };
+                if loc.get("kind").and_then(Value::as_str) != Some("step") {
+                    continue;
+                }
+                let Some(i) = loc.get("index").and_then(Value::as_u64) else {
+                    continue;
+                };
+                let i = i as usize;
+                if i >= report.step_lane.len() {
+                    continue;
+                }
+                loc.insert("lane", report.step_lane[i].label());
+                match report.step_device[i] {
+                    Some(dev) => loc.insert("device", dev as u64),
+                    None => loc.insert("device", Value::Null),
+                };
+            }
+        }
+    }
+    if let Some((steps, units, peak, target, unit_device)) = plan_info {
+        let mut p = Map::new();
+        p.insert("target", target.as_str());
+        p.insert("steps", *steps);
+        p.insert("units", *units);
+        p.insert("peak_bytes", *peak);
+        p.insert(
+            "unit_device",
+            Value::Array(unit_device.iter().map(|&d| Value::from(d as u64)).collect()),
+        );
+        if let Some(report) = cert {
+            let c = report.hb.edge_counts();
+            p.insert("lanes", report.lanes_used);
+            let mut e = Map::new();
+            e.insert("program", c.program);
+            e.insert("transfer", c.transfer);
+            e.insert("lifetime", c.lifetime);
+            p.insert("hb_edges", e);
+        }
+        root.insert("plan", Value::Object(p));
+    }
+    doc
+}
+
+/// The `check --hazards` human summary: the happens-before edge breakdown
+/// plus a lane census in order of first appearance.
+fn render_hazard_summary(report: &gpuflow_verify::ConcurrencyReport) -> String {
+    let mut s = String::new();
+    let c = report.hb.edge_counts();
+    let _ = writeln!(
+        s,
+        "hb:    {} steps across {} lanes; {} happens-before edges ({} program, {} transfer, {} lifetime)",
+        report.hb.len(),
+        report.lanes_used,
+        c.total(),
+        c.program,
+        c.transfer,
+        c.lifetime
+    );
+    let mut census: Vec<(String, usize)> = Vec::new();
+    for lane in &report.step_lane {
+        let label = lane.label();
+        match census.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, n)) => *n += 1,
+            None => census.push((label, 1)),
+        }
+    }
+    let lanes = census
+        .iter()
+        .map(|(l, n)| format!("{l}={n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(s, "lanes: {lanes}");
+    s
+}
+
 /// Build the template graph for a source.
 pub fn load_source(source: &Source) -> Result<Graph, String> {
     match source {
@@ -702,12 +799,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             source,
             device,
             json,
+            hazards,
             devices,
             trace,
         } => {
             let g = load_source(source)?;
             let mut tracer = tracer_for(trace);
-            let (mut diags, plan_info);
+            let (mut diags, plan_info, cert);
             if let Some(spec) = devices {
                 let cluster = parse_cluster(spec)?;
                 // The graph-level footprint warning is judged against the
@@ -715,27 +813,32 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 // what actually enforces each member's memory.
                 let cap = cluster.capacities().into_iter().max().unwrap();
                 diags = gpuflow_verify::analyze_graph(&g, Some(cap));
-                plan_info = if !gpuflow_verify::has_errors(&diags) {
+                (plan_info, cert) = if !gpuflow_verify::has_errors(&diags) {
                     let c = compile_multi_traced(&g, &cluster, DEFAULT_MARGIN, &mut tracer)
                         .map_err(|e| e.to_string())?;
                     let analysis = c.analyze();
+                    // The happens-before concurrency certifier (GF005x,
+                    // docs/concurrency.md) runs after the serial analysis.
+                    let report = c.certify();
                     let info = (
                         c.plan.steps.len(),
                         c.plan.units.len(),
                         analysis.stats.peak_bytes,
                         cluster.describe(),
+                        c.plan.unit_device.clone(),
                     );
                     diags.extend(analysis.diagnostics);
-                    Some(info)
+                    diags.extend(report.diagnostics.iter().cloned());
+                    (Some(info), Some(report))
                 } else {
-                    None
+                    (None, None)
                 };
             } else {
                 let dev = device.spec();
                 // Graph passes first; plan passes only when the graph
                 // itself is sound enough to compile.
                 diags = gpuflow_verify::analyze_graph(&g, Some(dev.memory_bytes));
-                plan_info = if !gpuflow_verify::has_errors(&diags) {
+                (plan_info, cert) = if !gpuflow_verify::has_errors(&diags) {
                     let compiled = Framework::new(dev.clone())
                         .compile_adaptive_traced(&g, &mut tracer)
                         .map_err(|e| e.to_string())?;
@@ -743,21 +846,27 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                         compiled
                             .plan
                             .analyze(&compiled.split.graph, dev.memory_bytes, true);
+                    let report = compiled.plan.certify(&compiled.split.graph);
                     let info = (
                         compiled.plan.steps.len(),
                         compiled.plan.units.len(),
                         analysis.stats.peak_bytes,
                         dev.name.clone(),
+                        vec![0usize; compiled.plan.units.len()],
                     );
                     diags.extend(analysis.diagnostics);
-                    Some(info)
+                    diags.extend(report.diagnostics.iter().cloned());
+                    (Some(info), Some(report))
                 } else {
-                    None
+                    (None, None)
                 };
+            }
+            if let Some(report) = &cert {
+                gpuflow_core::trace_hazard_certificate(&mut tracer, report);
             }
             let failed = gpuflow_verify::has_errors(&diags);
             let text = if *json {
-                let mut s = gpuflow_verify::report_to_json(&diags).to_string_pretty();
+                let mut s = check_report_json(&diags, &plan_info, &cert).to_string_pretty();
                 s.push('\n');
                 s
             } else {
@@ -768,11 +877,16 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     g.num_ops(),
                     g.num_data()
                 );
-                if let Some((steps, units, peak, target)) = plan_info {
+                if let Some((steps, units, peak, target, _)) = &plan_info {
                     let _ = writeln!(
                         s,
                         "plan:  {steps} steps over {units} offload units on {target} (peak residency {peak} B)",
                     );
+                }
+                if *hazards {
+                    if let Some(report) = &cert {
+                        s.push_str(&render_hazard_summary(report));
+                    }
                 }
                 s.push_str(&gpuflow_verify::render_report(&diags));
                 s
@@ -1351,6 +1465,7 @@ mod tests {
                 source: Source::File(path.display().to_string()),
                 device: DeviceArg::Custom(1),
                 json: false,
+                hazards: false,
                 devices: None,
                 trace: None,
             })
@@ -1368,6 +1483,94 @@ mod tests {
     }
 
     #[test]
+    fn check_hazards_prints_lane_summary_and_certificate() {
+        let out = execute(&parse("check fig3 --hazards")).unwrap();
+        assert!(out.contains("hb:"), "{out}");
+        assert!(out.contains("happens-before edges"), "{out}");
+        assert!(out.contains("lanes:"), "{out}");
+        assert!(out.contains("GF0056"), "{out}");
+        assert!(out.contains("0 errors"), "{out}");
+        // Without the flag the summary lines are absent but the
+        // certificate note still prints.
+        let plain = execute(&parse("check fig3")).unwrap();
+        assert!(!plain.contains("hb:"), "{plain}");
+        assert!(plain.contains("GF0056"), "{plain}");
+    }
+
+    #[test]
+    fn check_json_carries_plan_and_lane_assignment() {
+        let out = execute(&parse("check fig3 --devices c870x2 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&out).unwrap();
+        // The plan object names the target and the per-unit device map.
+        assert_eq!(doc["plan"]["target"].as_str(), Some("2 x Tesla C870"));
+        assert!(doc["plan"]["steps"].as_u64().unwrap() > 0);
+        let units = doc["plan"]["units"].as_u64().unwrap() as usize;
+        assert_eq!(doc["plan"]["unit_device"].as_array().unwrap().len(), units);
+        assert!(doc["plan"]["lanes"].as_u64().unwrap() >= 3);
+        let e = &doc["plan"]["hb_edges"];
+        assert!(e["program"].as_u64().is_some());
+        assert!(e["transfer"].as_u64().is_some());
+        assert!(e["lifetime"].as_u64().is_some());
+        // The certificate note rides in the diagnostic list.
+        let diags = doc["diagnostics"].as_array().unwrap();
+        assert!(diags.iter().any(|d| d["code"].as_str() == Some("GF0056")));
+    }
+
+    #[test]
+    fn check_report_json_enriches_step_locations_with_lane_and_device() {
+        use gpuflow_verify::{Diagnostic, Location};
+        let g = gpuflow_core::examples::fig3_graph();
+        let compiled = Framework::new(gpuflow_sim::TESLA_C870.clone())
+            .compile_adaptive(&g)
+            .unwrap();
+        let report = compiled.plan.certify(&compiled.split.graph);
+        assert!(report.certified());
+        // Compiled plans never carry step-located diagnostics, so the
+        // lane/device enrichment is pinned with synthetic ones: one in
+        // range, one past the end of the plan.
+        let diags = vec![
+            Diagnostic::warning("GF0050", Some(Location::Step(0)), "synthetic step finding"),
+            Diagnostic::warning("GF0050", Some(Location::Step(usize::MAX)), "out of range"),
+        ];
+        let info = Some((
+            compiled.plan.steps.len(),
+            compiled.plan.units.len(),
+            0u64,
+            "Tesla C870".to_string(),
+            vec![0; compiled.plan.units.len()],
+        ));
+        let expect_lane = report.step_lane[0].label();
+        let expect_dev = report.step_device[0];
+        let doc = check_report_json(&diags, &info, &Some(report));
+        let loc = &doc["diagnostics"][0]["location"];
+        assert_eq!(loc["kind"].as_str(), Some("step"));
+        assert_eq!(loc["lane"].as_str(), Some(expect_lane.as_str()));
+        match expect_dev {
+            Some(dev) => assert_eq!(loc["device"].as_u64(), Some(dev as u64)),
+            None => assert!(matches!(loc["device"], Value::Null)),
+        }
+        // The out-of-range index is left untouched rather than panicking.
+        let far = &doc["diagnostics"][1]["location"];
+        assert_eq!(far["kind"].as_str(), Some("step"));
+        assert!(far["lane"].as_str().is_none());
+    }
+
+    #[test]
+    fn check_trace_includes_hazard_track() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("check_hazard.trace.json");
+        let out = execute(&parse(&format!("check fig3 --trace {}", p.display()))).unwrap();
+        assert!(out.contains("0 errors"), "{out}");
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(
+            text.contains("concurrency certifier"),
+            "hazard track missing"
+        );
+        assert!(text.contains("GF0056"), "certificate instant missing");
+    }
+
+    #[test]
     fn check_warnings_do_not_fail_the_command() {
         let dir = std::env::temp_dir().join("gpuflow-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1382,6 +1585,7 @@ mod tests {
             source: Source::File(path.display().to_string()),
             device: DeviceArg::Custom(1),
             json: false,
+            hazards: false,
             devices: None,
             trace: None,
         })

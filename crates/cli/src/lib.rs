@@ -14,7 +14,7 @@
 //!                        [--exact] [--exact-budget N] [--exact-max-ops N]
 //!                        [--trace PATH]
 //! gpuflow check <source> [--device DEV | --devices CLUSTER] [--json]
-//!                        [--trace PATH]
+//!                        [--hazards] [--trace PATH]
 //! gpuflow trace <source> [--device DEV | --devices CLUSTER] [--margin F]
 //!                        [--exact] [--exact-budget N] [--exact-max-ops N]
 //!                        [--out PATH]
@@ -31,9 +31,12 @@
 //!
 //! `check` runs the `gpuflow-verify` static analyzer over the template
 //! graph and its compiled execution plan, printing every diagnostic (see
-//! `docs/diagnostics.md` for the `GF####` catalogue). The process exits
-//! nonzero only when errors are found; warnings and notes are reported
-//! but do not fail the command.
+//! `docs/diagnostics.md` for the `GF####` catalogue), and then runs the
+//! happens-before concurrency certifier over the plan's engine lanes
+//! (`GF005x`, see `docs/concurrency.md`). `--hazards` additionally prints
+//! the certifier's lane/edge summary. The process exits nonzero only when
+//! errors are found; warnings and notes are reported but do not fail the
+//! command.
 //!
 //! `<source>` is either a `.gfg` file (see `gpuflow_graph::text`) or a
 //! built-in template:
@@ -68,7 +71,7 @@ usage:
   gpuflow info  <source>
   gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F] [--scheduler S] [--eviction E] [--exact] [--exact-budget N] [--exact-max-ops N] [--render] [--trace PATH]
   gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional] [--overlap] [--gantt] [--json] [--exact] [--exact-budget N] [--exact-max-ops N] [--trace PATH]
-  gpuflow check <source> [--device DEV | --devices CLUSTER] [--json] [--trace PATH]
+  gpuflow check <source> [--device DEV | --devices CLUSTER] [--json] [--hazards] [--trace PATH]
   gpuflow trace <source> [--device DEV | --devices CLUSTER] [--margin F] [--exact] [--exact-budget N] [--exact-max-ops N] [--out PATH]
   gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV | --devices CLUSTER]
 

@@ -126,6 +126,14 @@ impl<'a> Executor<'a> {
         bindings: Option<&HashMap<DataId, Tensor>>,
     ) -> Result<ExecOutcome, FrameworkError> {
         let g = self.graph;
+        // Dynamic sanitizer: the serial executor retires each step before
+        // issuing the next, so its step times must honour every
+        // happens-before edge of a certified schedule.
+        #[cfg(debug_assertions)]
+        {
+            let times = crate::sanitize::serial_step_times(g, self.plan, self.device);
+            crate::sanitize::assert_hb_consistent(g, self.plan, &times, "Executor::run");
+        }
         let mut timeline = Timeline::new();
         let mut alloc = DeviceAllocator::with_policy(self.device.memory_bytes, self.alloc_policy);
         // Device-resident data: allocation plus (functional) the tensor.

@@ -49,6 +49,7 @@ pub mod plan;
 pub mod prefetch;
 pub mod report;
 pub mod resilient;
+pub mod sanitize;
 pub mod split;
 pub mod xfer;
 
@@ -58,7 +59,9 @@ pub use dce::{dead_ops, eliminate_dead_ops, eliminate_dead_ops_traced, DceResult
 pub use error::FrameworkError;
 pub use executor::{ExecMode, ExecOutcome, Executor};
 pub use framework::{CompileOptions, CompiledTemplate, Framework};
-pub use observe::{record_plan_metrics, trace_overlap_lanes, trace_serial_timeline};
+pub use observe::{
+    record_plan_metrics, trace_hazard_certificate, trace_overlap_lanes, trace_serial_timeline,
+};
 pub use opschedule::{schedule_units, OpScheduler};
 pub use overlap::{overlapped_makespan, overlapped_trace, render_gantt, OverlapOutcome};
 pub use partition::{partition_offload_units, OffloadUnit, PartitionPolicy};
@@ -67,5 +70,6 @@ pub use plan::{validate_plan, ExecutionPlan, PlanStats, Step};
 pub use prefetch::{hoist_prefetches, hoist_prefetches_traced};
 pub use report::compilation_report;
 pub use resilient::{ResilientExecutor, ResilientOutcome};
+pub use sanitize::{assert_hb_consistent, overlap_step_times, serial_step_times};
 pub use split::{split_graph, split_graph_min_parts, DataOrigin, SplitResult};
 pub use xfer::EvictionPolicy;

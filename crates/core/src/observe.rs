@@ -10,7 +10,8 @@
 //! path that could drift.
 
 use gpuflow_sim::{EventKind, Timeline};
-use gpuflow_trace::{kv, Tracer, PID_OVERLAP, PID_SERIAL};
+use gpuflow_trace::{kv, Tracer, PID_HAZARD, PID_OVERLAP, PID_SERIAL};
+use gpuflow_verify::{ConcurrencyReport, Location, Severity};
 
 use crate::overlap::{Lane, LaneEvent};
 use crate::plan::PlanStats;
@@ -115,6 +116,49 @@ pub fn trace_overlap_lanes(tracer: &mut Tracer, events: &[LaneEvent]) {
     }
 }
 
+/// Project a concurrency certification onto the [`PID_HAZARD`] track: one
+/// instant per diagnostic, placed at its step index as pseudo-time (the
+/// hazard report orders by plan position, not wall clock), carrying the
+/// code, severity, and lane; plus `hazard.*` metrics with the
+/// happens-before edge breakdown. Certified and hazardous reports both
+/// render, so a trace always shows what the certifier concluded.
+pub fn trace_hazard_certificate(tracer: &mut Tracer, report: &ConcurrencyReport) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.name_process(PID_HAZARD, "concurrency certifier");
+    tracer.name_thread(PID_HAZARD, 0, "hazards");
+    for d in &report.diagnostics {
+        let (ts, lane) = match d.location {
+            Some(Location::Step(i)) => (i as f64, report.step_lane[i].label()),
+            _ => (report.hb.len() as f64, "-".to_string()),
+        };
+        tracer.virtual_instant(
+            PID_HAZARD,
+            0,
+            match d.severity {
+                Severity::Error => "hazard",
+                Severity::Warning => "hazard-warning",
+                Severity::Note => "certificate",
+            },
+            d.code,
+            ts,
+            vec![kv("message", d.message.as_str()), kv("lane", lane.as_str())],
+        );
+    }
+    let c = report.hb.edge_counts();
+    let m = tracer.metrics();
+    m.set("hazard.steps", report.hb.len() as u64);
+    m.set("hazard.lanes", report.lanes_used as u64);
+    m.set("hazard.edges_program", c.program as u64);
+    m.set("hazard.edges_transfer", c.transfer as u64);
+    m.set("hazard.edges_lifetime", c.lifetime as u64);
+    m.set(
+        "hazard.errors",
+        gpuflow_verify::count(&report.diagnostics).errors as u64,
+    );
+}
+
 /// Record the canonical plan statistics as `plan.*` metrics — the same
 /// numbers [`crate::framework::Framework::compile`] derives from the
 /// verification engine's [`PlanStats`].
@@ -195,6 +239,31 @@ mod tests {
         validate_chrome_trace(&doc).unwrap();
         assert_eq!(sum_event_arg(&doc, "h2d", "bytes", Some(PID_OVERLAP)), 800);
         assert_eq!(sum_event_arg(&doc, "d2h", "bytes", Some(PID_OVERLAP)), 400);
+    }
+
+    #[test]
+    fn hazard_certificate_renders_as_instants() {
+        use gpuflow_sim::device::tesla_c870;
+        let g = crate::examples::fig3_graph();
+        let compiled = crate::framework::Framework::new(tesla_c870())
+            .compile(&g)
+            .unwrap();
+        let report = compiled.plan.certify(&compiled.split.graph);
+        assert!(report.certified());
+        let mut tracer = Tracer::new();
+        trace_hazard_certificate(&mut tracer, &report);
+        let doc = tracer.chrome_trace();
+        validate_chrome_trace(&doc).unwrap();
+        // The certificate note is on the track, and the edge metrics
+        // reconcile with the report.
+        let text = doc.to_string_pretty();
+        assert!(text.contains("GF0056"), "certificate instant missing");
+        let c = report.hb.edge_counts();
+        assert_eq!(
+            tracer.metrics().counter("hazard.edges_program"),
+            c.program as u64
+        );
+        assert_eq!(tracer.metrics().counter("hazard.errors"), 0);
     }
 
     #[test]

@@ -108,7 +108,13 @@ pub fn overlapped_trace(
     dev: &DeviceSpec,
 ) -> (OverlapOutcome, Vec<LaneEvent>) {
     #[cfg(debug_assertions)]
-    crate::plan::debug_check_plan(g, plan, dev.memory_bytes, "overlapped_trace");
+    {
+        crate::plan::debug_check_plan(g, plan, dev.memory_bytes, "overlapped_trace");
+        // Dynamic sanitizer: the overlap discipline's own step times must
+        // honour every happens-before edge of the certificate.
+        let times = crate::sanitize::overlap_step_times(g, plan, dev);
+        crate::sanitize::assert_hb_consistent(g, plan, &times, "overlapped_trace");
+    }
     let nd = g.num_data();
     // Completion time of the event that makes data available on each side.
     let mut device_ready = vec![0.0f64; nd];

@@ -14,7 +14,10 @@
 //! are thin views over that engine.
 
 use gpuflow_graph::{DataId, Graph, FLOAT_BYTES};
-use gpuflow_verify::{analyze_plan, Location, PlanAnalysis, PlanView, UnitView};
+use gpuflow_verify::{
+    analyze_plan, certify_single_plan, ConcurrencyReport, Location, PlanAnalysis, PlanView,
+    UnitView,
+};
 
 pub use gpuflow_verify::PlanStats;
 
@@ -79,6 +82,15 @@ impl ExecutionPlan {
     /// Compute transfer statistics without executing.
     pub fn stats(&self, g: &Graph) -> PlanStats {
         self.analyze(g, u64::MAX, false).stats
+    }
+
+    /// Run the concurrency certifier over this plan: build the
+    /// happens-before DAG for the two-engine overlap model and prove
+    /// every pair of conflicting accesses ordered (`GF005x` diagnostics
+    /// on failure, the `GF0056` certificate note on success). See
+    /// `docs/concurrency.md`.
+    pub fn certify(&self, g: &Graph) -> ConcurrencyReport {
+        certify_single_plan(g, &self.view(g))
     }
 
     /// Run the recoverability pass: per-launch minimal restart sets and
@@ -157,16 +169,20 @@ pub fn validate_plan(
     memory_bytes: u64,
 ) -> Result<(), FrameworkError> {
     let analysis = plan.analyze(g, memory_bytes, false);
-    match analysis.first_error() {
-        None => Ok(()),
-        Some(d) => {
-            let msg = match d.location {
-                Some(Location::Step(i)) => format!("step {i}: {}", d.message),
-                _ => d.message.clone(),
-            };
-            Err(FrameworkError::InvalidPlan(msg))
-        }
+    let step_msg = |d: &gpuflow_verify::Diagnostic| match d.location {
+        Some(Location::Step(i)) => format!("step {i}: {}", d.message),
+        _ => d.message.clone(),
+    };
+    if let Some(d) = analysis.first_error() {
+        return Err(FrameworkError::InvalidPlan(step_msg(d)));
     }
+    // A serially-valid plan must additionally be race-free on the
+    // concurrent lanes (compute vs. the two DMA engines).
+    let cert = plan.certify(g);
+    if let Some(d) = cert.first_error() {
+        return Err(FrameworkError::InvalidPlan(step_msg(d)));
+    }
+    Ok(())
 }
 
 /// Bytes of a data structure — tiny helper shared by planners.
@@ -183,6 +199,10 @@ pub(crate) fn debug_check_plan(g: &Graph, plan: &ExecutionPlan, memory_bytes: u6
     let analysis = plan.analyze(g, memory_bytes, false);
     if let Some(d) = analysis.first_error() {
         panic!("{planner} produced an invalid plan: {}", d.render());
+    }
+    let cert = plan.certify(g);
+    if let Some(d) = cert.first_error() {
+        panic!("{planner} produced a racy plan: {}", d.render());
     }
 }
 

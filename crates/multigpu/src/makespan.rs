@@ -102,6 +102,22 @@ pub fn multi_overlapped_trace(
     plan: &MultiPlan,
     cluster: &Cluster,
 ) -> (MultiOutcome, Vec<MultiLaneEvent>) {
+    // Dynamic sanitizer: on a statically certified schedule, the cluster
+    // discipline's own step-granular times must honour every
+    // happens-before edge of the certificate.
+    #[cfg(debug_assertions)]
+    {
+        let cert = plan.certify(g, cluster.len());
+        if !cert.has_errors() {
+            let times = multi_step_times(g, plan, cluster);
+            let violations = cert.dynamic_violations(&times);
+            assert!(
+                violations.is_empty(),
+                "multi_overlapped_trace: statically certified schedule tripped the dynamic \
+                 sanitizer: step pairs {violations:?} ran out of happens-before order"
+            );
+        }
+    }
     let nd = g.num_data();
     let ndev = cluster.len();
     let mut bus = SharedBus::new(cluster.bus.clone());
@@ -212,6 +228,94 @@ pub fn multi_overlapped_trace(
         },
         events,
     )
+}
+
+/// Step-granular `(start, end)` times of `plan` under the cluster's
+/// synchronization discipline, for the dynamic happens-before sanitizer
+/// (the cluster analogue of `gpuflow_core::sanitize::overlap_step_times`):
+/// each bus channel is an issue-ordered FIFO, each device's compute
+/// engine runs its launches atomically in issue order, readers wait for
+/// the completion that made their datum available, and allocators wait
+/// for the device's committed-free horizon. A `Free` is an instant at its
+/// buffer's last touch. These are the exact orderings the happens-before
+/// DAG of [`MultiPlan::certify`] encodes, so on a certified schedule
+/// `ConcurrencyReport::dynamic_violations` over these times is empty —
+/// asserted in debug builds on every [`multi_overlapped_trace`] call.
+pub fn multi_step_times(g: &Graph, plan: &MultiPlan, cluster: &Cluster) -> Vec<(f64, f64)> {
+    let nd = g.num_data();
+    let ndev = cluster.len();
+    let mut device_ready = vec![vec![0.0f64; nd]; ndev];
+    let mut last_touch = vec![vec![0.0f64; nd]; ndev];
+    let mut free_horizon = vec![0.0f64; ndev];
+    let mut compute_free = vec![0.0f64; ndev];
+    let mut host_ready = vec![0.0f64; nd];
+    let mut h2d_free = 0.0f64;
+    let mut d2h_free = 0.0f64;
+    let mut times = Vec::with_capacity(plan.steps.len());
+    for step in &plan.steps {
+        match *step {
+            MultiStep::CopyIn { device, data } => {
+                let dur = cluster.bus.transfer_time(g.data(data).bytes());
+                let start = h2d_free
+                    .max(host_ready[data.index()])
+                    .max(free_horizon[device]);
+                h2d_free = start + dur;
+                device_ready[device][data.index()] = h2d_free;
+                last_touch[device][data.index()] = h2d_free;
+                times.push((start, h2d_free));
+            }
+            MultiStep::CopyOut { device, data } => {
+                let dur = cluster.bus.transfer_time(g.data(data).bytes());
+                let start = d2h_free.max(device_ready[device][data.index()]);
+                d2h_free = start + dur;
+                host_ready[data.index()] = host_ready[data.index()].max(d2h_free);
+                last_touch[device][data.index()] = last_touch[device][data.index()].max(d2h_free);
+                times.push((start, d2h_free));
+            }
+            MultiStep::Free { device, data } => {
+                let h = last_touch[device][data.index()];
+                free_horizon[device] = free_horizon[device].max(h);
+                times.push((h, h));
+            }
+            MultiStep::Launch(u) => {
+                let unit = &plan.units[u];
+                let dev = plan.unit_device[u];
+                let spec = &cluster.devices[dev];
+                let mut start = compute_free[dev].max(free_horizon[dev]);
+                for d in unit.external_inputs(g) {
+                    start = start.max(device_ready[dev][d.index()]);
+                }
+                let mut dur = 0.0f64;
+                for &o in &unit.ops {
+                    let node = g.op(o);
+                    let ins: Vec<_> = node.inputs.iter().map(|&i| g.shape(i)).collect();
+                    let c = op_cost(node.kind, &ins, g.shape(node.outputs[0]));
+                    dur += kernel_time(
+                        spec,
+                        Work {
+                            flops: c.flops,
+                            bytes: c.bytes,
+                        },
+                    );
+                }
+                let end = start + dur;
+                compute_free[dev] = end;
+                for d in unit.outputs(g) {
+                    device_ready[dev][d.index()] = end;
+                }
+                for &o in &unit.ops {
+                    let node = g.op(o);
+                    for &i in &node.inputs {
+                        last_touch[dev][i.index()] = last_touch[dev][i.index()].max(end);
+                    }
+                    let out = node.outputs[0].index();
+                    last_touch[dev][out] = last_touch[dev][out].max(end);
+                }
+                times.push((start, end));
+            }
+        }
+    }
+    times
 }
 
 /// Render the bus lane plus one compute lane per device as an ASCII Gantt

@@ -38,6 +38,13 @@ impl MultiCompiled {
         self.plan
             .analyze(&self.sharded.split.graph, &self.cluster.capacities())
     }
+
+    /// Run the concurrency certifier over the plan against this cluster's
+    /// lane decomposition (see [`MultiPlan::certify`]).
+    pub fn certify(&self) -> gpuflow_verify::ConcurrencyReport {
+        self.plan
+            .certify(&self.sharded.split.graph, self.cluster.len())
+    }
 }
 
 /// Compile `g` for `cluster` with the planner memory margin `margin`:

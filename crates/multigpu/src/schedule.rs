@@ -99,6 +99,20 @@ impl MultiPlan {
         gpuflow_verify::analyze_multi_plan(g, &self.view(g), capacities)
     }
 
+    /// Run the concurrency certifier over the plan for a cluster of
+    /// `devices` devices: per-device compute lanes racing the shared bus
+    /// channels, with the happens-before DAG of
+    /// [`gpuflow_verify::certify_concurrency`] proving every pair of
+    /// conflicting accesses ordered (`GF005x` on failure). See
+    /// `docs/concurrency.md`.
+    pub fn certify(&self, g: &Graph, devices: usize) -> gpuflow_verify::ConcurrencyReport {
+        gpuflow_verify::certify_concurrency(
+            g,
+            &self.view(g),
+            &gpuflow_verify::LaneModel::cluster(devices),
+        )
+    }
+
     /// Bytes crossing the shared bus (both directions) — each staged
     /// inter-device copy counts twice, once per leg, exactly as the fabric
     /// sees it.
@@ -371,6 +385,12 @@ pub fn schedule_multi_transfers(
             !a.has_errors(),
             "schedule_multi_transfers produced an invalid plan:\n{}",
             a.first_error().map(|d| d.render()).unwrap_or_default()
+        );
+        let cert = plan.certify(g, opts.budgets.len());
+        debug_assert!(
+            !cert.has_errors(),
+            "schedule_multi_transfers produced a racy plan:\n{}",
+            cert.first_error().map(|d| d.render()).unwrap_or_default()
         );
     }
     Ok(plan)

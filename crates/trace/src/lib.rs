@@ -59,6 +59,11 @@ pub const PID_OVERLAP: u32 = 3;
 /// Track for the multi-GPU cluster simulation (virtual time): one thread
 /// per shared-bus channel plus one per device compute lane.
 pub const PID_CLUSTER: u32 = 4;
+/// Track for the concurrency certifier (`gpuflow-verify`'s hazard
+/// analysis): one instant per diagnostic, placed at the step index it
+/// points at (pseudo-time), plus the certificate summary. (Track 5 is
+/// used by the chaos-engineering crate.)
+pub const PID_HAZARD: u32 = 6;
 
 /// Default thread id within a track.
 pub const TID_DEFAULT: u32 = 0;

@@ -225,6 +225,145 @@ pub fn render_report(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// One entry of the diagnostic-code [`registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeEntry {
+    /// The stable `GF####` code.
+    pub code: &'static str,
+    /// The constant's name in its defining module.
+    pub name: &'static str,
+    /// The code family (one analyzer pass = one contiguous block).
+    pub family: &'static str,
+}
+
+/// The master registry of every diagnostic code the crate can emit, in
+/// numeric order. Each analyzer module keeps its own `codes` constants
+/// (those are what call sites use); this table references them so a code
+/// cannot exist without a registry entry, and the registry tests enforce
+/// uniqueness, per-family contiguity, and coverage in
+/// `docs/diagnostics.md`.
+pub fn registry() -> Vec<CodeEntry> {
+    use crate::{engine, graph_check, hazard, multi, recover};
+    let e = |code, name, family| CodeEntry { code, name, family };
+    vec![
+        e(graph_check::codes::CYCLE, "CYCLE", "graph"),
+        e(graph_check::codes::SHAPE, "SHAPE", "graph"),
+        e(
+            graph_check::codes::UNREACHABLE_OP,
+            "UNREACHABLE_OP",
+            "graph",
+        ),
+        e(graph_check::codes::DEAD_DATA, "DEAD_DATA", "graph"),
+        e(graph_check::codes::FOOTPRINT, "FOOTPRINT", "graph"),
+        e(graph_check::codes::HALO, "HALO", "graph"),
+        e(engine::codes::UNKNOWN_DATA, "UNKNOWN_DATA", "plan"),
+        e(engine::codes::UNKNOWN_UNIT, "UNKNOWN_UNIT", "plan"),
+        e(
+            engine::codes::COPYIN_NOT_ON_HOST,
+            "COPYIN_NOT_ON_HOST",
+            "plan",
+        ),
+        e(engine::codes::COPYIN_RESIDENT, "COPYIN_RESIDENT", "plan"),
+        e(
+            engine::codes::COPYOUT_NOT_RESIDENT,
+            "COPYOUT_NOT_RESIDENT",
+            "plan",
+        ),
+        e(
+            engine::codes::FREE_NOT_RESIDENT,
+            "FREE_NOT_RESIDENT",
+            "plan",
+        ),
+        e(engine::codes::DOUBLE_LAUNCH, "DOUBLE_LAUNCH", "plan"),
+        e(
+            engine::codes::INPUT_NOT_RESIDENT,
+            "INPUT_NOT_RESIDENT",
+            "plan",
+        ),
+        e(
+            engine::codes::INPUT_NOT_PRODUCED,
+            "INPUT_NOT_PRODUCED",
+            "plan",
+        ),
+        e(engine::codes::OUTPUT_RESIDENT, "OUTPUT_RESIDENT", "plan"),
+        e(engine::codes::OVER_CAPACITY, "OVER_CAPACITY", "plan"),
+        e(engine::codes::NEVER_LAUNCHED, "NEVER_LAUNCHED", "plan"),
+        e(
+            engine::codes::OUTPUT_NOT_DELIVERED,
+            "OUTPUT_NOT_DELIVERED",
+            "plan",
+        ),
+        e(
+            engine::codes::ACCOUNTING_UNDERFLOW,
+            "ACCOUNTING_UNDERFLOW",
+            "plan",
+        ),
+        e(
+            multi::codes::INPUT_ON_OTHER_DEVICE,
+            "INPUT_ON_OTHER_DEVICE",
+            "multi",
+        ),
+        e(
+            multi::codes::TRANSFER_NOT_STAGED,
+            "TRANSFER_NOT_STAGED",
+            "multi",
+        ),
+        e(
+            multi::codes::DEVICE_OVER_CAPACITY,
+            "DEVICE_OVER_CAPACITY",
+            "multi",
+        ),
+        e(
+            multi::codes::NOT_RESIDENT_ON_DEVICE,
+            "NOT_RESIDENT_ON_DEVICE",
+            "multi",
+        ),
+        e(
+            multi::codes::INPUT_ON_NO_DEVICE,
+            "INPUT_ON_NO_DEVICE",
+            "multi",
+        ),
+        e(
+            recover::codes::NOT_RECOVERABLE,
+            "NOT_RECOVERABLE",
+            "recover",
+        ),
+        e(
+            recover::codes::CHECKPOINT_OVER_BUDGET,
+            "CHECKPOINT_OVER_BUDGET",
+            "recover",
+        ),
+        e(
+            recover::codes::RETRY_UNBOUNDED,
+            "RETRY_UNBOUNDED",
+            "recover",
+        ),
+        e(hazard::codes::HAZARD_RAW, "HAZARD_RAW", "hazard"),
+        e(hazard::codes::HAZARD_WAR, "HAZARD_WAR", "hazard"),
+        e(hazard::codes::HAZARD_WAW, "HAZARD_WAW", "hazard"),
+        e(hazard::codes::USE_AFTER_FREE, "USE_AFTER_FREE", "hazard"),
+        e(hazard::codes::FREE_IN_FLIGHT, "FREE_IN_FLIGHT", "hazard"),
+        e(hazard::codes::UNSTAGED_READ, "UNSTAGED_READ", "hazard"),
+        e(hazard::codes::CERTIFIED, "CERTIFIED", "hazard"),
+        e(
+            engine::codes::LINT_REDUNDANT_COPYIN,
+            "LINT_REDUNDANT_COPYIN",
+            "lint",
+        ),
+        e(engine::codes::LINT_FREE_THRASH, "LINT_FREE_THRASH", "lint"),
+        e(
+            engine::codes::LINT_DEAD_COPYOUT,
+            "LINT_DEAD_COPYOUT",
+            "lint",
+        ),
+        e(
+            engine::codes::LINT_NON_BELADY_EVICTION,
+            "LINT_NON_BELADY_EVICTION",
+            "lint",
+        ),
+    ]
+}
+
 /// Render a diagnostic list as a JSON document.
 pub fn report_to_json(diags: &[Diagnostic]) -> Value {
     let c = count(diags);
@@ -274,6 +413,90 @@ mod tests {
         assert_eq!((c.errors, c.warnings, c.notes), (1, 2, 1));
         assert_eq!(summary(&diags), "1 error, 2 warnings, 1 note");
         assert!(render_report(&diags).lines().count() >= 5);
+    }
+
+    #[test]
+    fn registry_codes_are_unique_and_well_formed() {
+        let reg = registry();
+        let mut seen = std::collections::HashSet::new();
+        for e in &reg {
+            assert!(
+                e.code.len() == 6 && e.code.starts_with("GF"),
+                "{} ({}) is not GF + four digits",
+                e.code,
+                e.name
+            );
+            assert!(
+                e.code[2..].chars().all(|c| c.is_ascii_digit()),
+                "{} has non-digit characters",
+                e.code
+            );
+            assert!(seen.insert(e.code), "duplicate code {}", e.code);
+        }
+    }
+
+    #[test]
+    fn registry_families_are_contiguous_blocks() {
+        let reg = registry();
+        let num = |c: &str| c[2..].parse::<u32>().unwrap();
+        // Codes appear in ascending numeric order…
+        for w in reg.windows(2) {
+            assert!(
+                num(w[0].code) < num(w[1].code),
+                "{} must precede {}",
+                w[0].code,
+                w[1].code
+            );
+        }
+        // …and within one family they are consecutive integers, so a gap
+        // means a code was removed without retiring it in the docs.
+        for w in reg.windows(2) {
+            if w[0].family == w[1].family {
+                assert_eq!(
+                    num(w[0].code) + 1,
+                    num(w[1].code),
+                    "family {} has a gap between {} and {}",
+                    w[0].family,
+                    w[0].code,
+                    w[1].code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_matches_docs_catalogue() {
+        // Bidirectional coverage against docs/diagnostics.md: every
+        // registered code has a `### GF####` section, and every code the
+        // docs mention is registered (no phantom documentation).
+        let docs = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/diagnostics.md"
+        ))
+        .expect("docs/diagnostics.md must exist");
+        let reg = registry();
+        for e in &reg {
+            assert!(
+                docs.contains(&format!("### {} —", e.code)),
+                "{} ({}) has no section in docs/diagnostics.md",
+                e.code,
+                e.name
+            );
+        }
+        let registered: std::collections::HashSet<&str> = reg.iter().map(|e| e.code).collect();
+        let bytes = docs.as_bytes();
+        let mut i = 0;
+        while let Some(pos) = docs[i..].find("GF") {
+            let at = i + pos;
+            i = at + 2;
+            if at + 6 <= bytes.len() && docs[at + 2..at + 6].chars().all(|c| c.is_ascii_digit()) {
+                let code = &docs[at..at + 6];
+                assert!(
+                    registered.contains(code),
+                    "docs mention {code} but the registry does not define it"
+                );
+            }
+        }
     }
 
     #[test]

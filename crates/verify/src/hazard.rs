@@ -1,0 +1,824 @@
+//! Happens-before race detection: the concurrency certifier for plans.
+//!
+//! The serialized analyzers ([`crate::engine`], [`crate::multi`]) prove a
+//! plan correct *when executed in step order on one timeline*. But the
+//! framework's execution models are concurrent: the overlap simulator runs
+//! a compute engine against two DMA engines, and the cluster simulator
+//! runs per-device compute lanes against one shared bus. On those models
+//! the plan's step order is merely an **issue order** — steps on different
+//! lanes run whenever their inputs allow, and the only real orderings are
+//! the synchronizations the executors enforce.
+//!
+//! [`certify_concurrency`] rebuilds exactly those synchronizations as an
+//! explicit happens-before DAG ([`crate::hb`]) — program order per lane,
+//! transfer-completion edges, allocation-lifetime edges around every
+//! `Free` — then proves that **every pair of conflicting accesses to the
+//! same buffer is ordered**. A certified schedule cannot race no matter
+//! how the lanes interleave; an uncertified one is reported through the
+//! `GF005x` diagnostics below. The same report drives a dynamic sanitizer
+//! ([`ConcurrencyReport::dynamic_violations`]): the simulated executors
+//! assert, in debug builds, that every step's HB predecessors retired
+//! before it started — so a schedule the static pass certifies can never
+//! trip the dynamic check.
+
+use gpuflow_graph::{DataId, Graph};
+
+use crate::diag::{Diagnostic, Location};
+use crate::hb::{EdgeKind, HbGraph};
+use crate::multi::{MultiPlanStep, MultiPlanView};
+use crate::{PlanStep, PlanView};
+
+/// Diagnostic codes emitted by the concurrency certifier.
+pub mod codes {
+    /// A read of a device buffer has no happens-before path from any
+    /// write of that buffer — it races the write (or reads garbage).
+    pub const HAZARD_RAW: &str = "GF0050";
+    /// A write of the host copy races a read of it (a download rewrites
+    /// bytes an unordered upload is reading).
+    pub const HAZARD_WAR: &str = "GF0051";
+    /// Two writes of the same device buffer are unordered.
+    pub const HAZARD_WAW: &str = "GF0052";
+    /// A kernel access of a device buffer races (or follows) its `Free`
+    /// with no re-allocation in between — use after free across lanes.
+    pub const USE_AFTER_FREE: &str = "GF0053";
+    /// A transfer touching a device buffer races (or follows) its `Free`
+    /// — the eviction aliases a pending copy's source or target.
+    pub const FREE_IN_FLIGHT: &str = "GF0054";
+    /// A `CopyIn` of produced data is not ordered after any staging
+    /// `CopyOut` — the cross-device read the staging discipline should
+    /// have ordered.
+    pub const UNSTAGED_READ: &str = "GF0055";
+    /// Note: the concurrency certificate for a hazard-free schedule.
+    pub const CERTIFIED: &str = "GF0056";
+}
+
+/// The engine lane a step executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// The host→device DMA channel (shared across the cluster).
+    H2d,
+    /// The device→host DMA channel (shared across the cluster).
+    D2h,
+    /// Device `0`'s compute engine.
+    Compute(usize),
+    /// Host-side bookkeeping (`Free`): no engine, ordered only by its
+    /// lifetime edges.
+    Host,
+}
+
+impl Lane {
+    /// Short label used in reports and JSON (`h2d`, `d2h`, `gpu0`,
+    /// `host`).
+    pub fn label(self) -> String {
+        match self {
+            Lane::H2d => "h2d".to_string(),
+            Lane::D2h => "d2h".to_string(),
+            Lane::Compute(d) => format!("gpu{d}"),
+            Lane::Host => "host".to_string(),
+        }
+    }
+}
+
+/// The lane decomposition to certify against: how many devices contribute
+/// compute lanes. Transfers always share one channel per direction,
+/// matching both the single-GPU dual-DMA model and the cluster's shared
+/// bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneModel {
+    /// Number of devices (one compute lane each).
+    pub devices: usize,
+}
+
+impl LaneModel {
+    /// One device: the two-engine overlap model of `core::overlap`.
+    pub fn single() -> LaneModel {
+        LaneModel { devices: 1 }
+    }
+
+    /// `n` devices racing the shared bus: the `multigpu::makespan` model.
+    pub fn cluster(n: usize) -> LaneModel {
+        LaneModel { devices: n }
+    }
+}
+
+/// Everything one certification run produces.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyReport {
+    /// The happens-before DAG (sealed).
+    pub hb: HbGraph,
+    /// Lane of each step (parallel to the plan's steps).
+    pub step_lane: Vec<Lane>,
+    /// Device each step touches, when it touches one.
+    pub step_device: Vec<Option<usize>>,
+    /// Number of distinct lanes the plan occupies.
+    pub lanes_used: usize,
+    /// All findings; the `GF0056` certificate note when hazard-free.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ConcurrencyReport {
+    /// True when any finding is an error — the schedule must not run
+    /// concurrently.
+    pub fn has_errors(&self) -> bool {
+        crate::diag::has_errors(&self.diagnostics)
+    }
+
+    /// The first error in emission order, if any.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == crate::diag::Severity::Error)
+    }
+
+    /// True when the schedule certified hazard-free.
+    pub fn certified(&self) -> bool {
+        !self.has_errors()
+    }
+
+    /// Dynamic sanitizer: given each step's simulated `(start, end)`
+    /// times, return every happens-before edge `(pred, step)` whose
+    /// predecessor had not retired when the step started. A simulated
+    /// execution of a statically certified schedule must return no
+    /// violations; the executors `debug_assert` exactly that.
+    pub fn dynamic_violations(&self, times: &[(f64, f64)]) -> Vec<(usize, usize)> {
+        assert_eq!(times.len(), self.hb.len(), "one (start, end) per step");
+        self.hb
+            .edges()
+            .iter()
+            .filter(|&&(a, b, _)| times[a].1 > times[b].0 + 1e-9)
+            .map(|&(a, b, _)| (a, b))
+            .collect()
+    }
+}
+
+/// How a step touches a device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Touch {
+    /// Allocates and writes the buffer (`CopyIn`, producing `Launch`).
+    Write,
+    /// Reads the buffer (`Launch` input, `CopyOut` source).
+    Read,
+    /// Deallocates the buffer.
+    Free,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    step: usize,
+    touch: Touch,
+    /// True when the access is a bus transfer (classifies free races).
+    transfer: bool,
+}
+
+/// Certify a single-device plan against the two-engine overlap model.
+/// Convenience wrapper lifting the [`PlanView`] onto a one-device
+/// [`MultiPlanView`] (the lifting is exact: a 1-device cluster plan *is*
+/// a single-device plan).
+pub fn certify_single_plan(g: &Graph, plan: &PlanView) -> ConcurrencyReport {
+    let lifted = MultiPlanView {
+        units: plan.units.clone(),
+        unit_device: vec![0; plan.units.len()],
+        steps: plan
+            .steps
+            .iter()
+            .map(|s| match *s {
+                PlanStep::CopyIn(d) => MultiPlanStep::CopyIn { device: 0, data: d },
+                PlanStep::CopyOut(d) => MultiPlanStep::CopyOut { device: 0, data: d },
+                PlanStep::Free(d) => MultiPlanStep::Free { device: 0, data: d },
+                PlanStep::Launch(u) => MultiPlanStep::Launch(u),
+            })
+            .collect(),
+        pinned_host: vec![],
+    };
+    certify_concurrency(g, &lifted, &LaneModel::single())
+}
+
+/// Build the happens-before DAG of `plan` under `lanes` and prove every
+/// pair of conflicting accesses ordered. Assumes the plan already passed
+/// the serialized analyzer ([`crate::analyze_multi_plan`]) — steps with
+/// out-of-range ids are skipped here, not re-reported.
+pub fn certify_concurrency(
+    g: &Graph,
+    plan: &MultiPlanView,
+    lanes: &LaneModel,
+) -> ConcurrencyReport {
+    let nd = g.num_data();
+    let ndev = lanes.devices;
+    let n = plan.steps.len();
+    let nu = plan.units.len();
+    let mut hb = HbGraph::new(n);
+    let mut step_lane = vec![Lane::Host; n];
+    let mut step_device: Vec<Option<usize>> = vec![None; n];
+
+    // Forward-walk state, all in issue-order step indices.
+    let mut last_h2d: Option<usize> = None;
+    let mut last_d2h: Option<usize> = None;
+    let mut last_compute: Vec<Option<usize>> = vec![None; ndev];
+    // Last step that made (device, data) device-ready / data host-valid.
+    let mut dev_setter: Vec<Vec<Option<usize>>> = vec![vec![None; nd]; ndev];
+    let mut host_setter: Vec<Option<usize>> = vec![None; nd];
+    // Frees on each device whose committed horizon still gates the next
+    // allocation there, per allocating lane (upload vs. launch).
+    let mut gating_h2d: Vec<Vec<usize>> = vec![Vec::new(); ndev];
+    let mut gating_compute: Vec<Vec<usize>> = vec![Vec::new(); ndev];
+    // Access histories for the hazard checks.
+    let mut dev_acc: Vec<Vec<Vec<Access>>> = vec![vec![Vec::new(); nd]; ndev];
+    let mut host_writes: Vec<Vec<usize>> = vec![Vec::new(); nd];
+    let mut host_reads: Vec<Vec<usize>> = vec![Vec::new(); nd];
+    let mut initially_host: Vec<bool> = g
+        .data_ids()
+        .map(|d| g.data(d).kind.starts_on_cpu())
+        .collect();
+    for &d in &plan.pinned_host {
+        if d.index() < nd {
+            initially_host[d.index()] = true;
+        }
+    }
+
+    let program = |hb: &mut HbGraph, last: &mut Option<usize>, i: usize| {
+        if let Some(p) = *last {
+            hb.add_edge(p, i, EdgeKind::Program);
+        }
+        *last = Some(i);
+    };
+
+    for (i, step) in plan.steps.iter().enumerate() {
+        match *step {
+            MultiPlanStep::CopyIn { device, data } => {
+                if device >= ndev || data.index() >= nd {
+                    continue;
+                }
+                step_lane[i] = Lane::H2d;
+                step_device[i] = Some(device);
+                program(&mut hb, &mut last_h2d, i);
+                // Waits for the staging CopyOut that made the bytes
+                // host-valid.
+                if let Some(w) = host_setter[data.index()] {
+                    hb.add_edge(w, i, EdgeKind::Transfer);
+                }
+                // Allocates: waits for the device's committed frees.
+                for f in gating_h2d[device].drain(..) {
+                    hb.add_edge(f, i, EdgeKind::Lifetime);
+                }
+                dev_setter[device][data.index()] = Some(i);
+                dev_acc[device][data.index()].push(Access {
+                    step: i,
+                    touch: Touch::Write,
+                    transfer: true,
+                });
+                host_reads[data.index()].push(i);
+            }
+            MultiPlanStep::CopyOut { device, data } => {
+                if device >= ndev || data.index() >= nd {
+                    continue;
+                }
+                step_lane[i] = Lane::D2h;
+                step_device[i] = Some(device);
+                program(&mut hb, &mut last_d2h, i);
+                // Waits for the write that made the buffer device-ready.
+                if let Some(w) = dev_setter[device][data.index()] {
+                    hb.add_edge(w, i, EdgeKind::Transfer);
+                }
+                host_setter[data.index()] = Some(i);
+                dev_acc[device][data.index()].push(Access {
+                    step: i,
+                    touch: Touch::Read,
+                    transfer: true,
+                });
+                host_writes[data.index()].push(i);
+            }
+            MultiPlanStep::Free { device, data } => {
+                if device >= ndev || data.index() >= nd {
+                    continue;
+                }
+                step_device[i] = Some(device);
+                // The free commits once every earlier access of the buffer
+                // has retired…
+                for a in &dev_acc[device][data.index()] {
+                    if a.touch != Touch::Free {
+                        hb.add_edge(a.step, i, EdgeKind::Lifetime);
+                    }
+                }
+                // …and every later allocation on this device waits for it.
+                gating_h2d[device].push(i);
+                gating_compute[device].push(i);
+                dev_acc[device][data.index()].push(Access {
+                    step: i,
+                    touch: Touch::Free,
+                    transfer: false,
+                });
+            }
+            MultiPlanStep::Launch(u) => {
+                if u >= nu {
+                    continue;
+                }
+                let dev = plan.unit_device[u];
+                if dev >= ndev {
+                    continue;
+                }
+                step_lane[i] = Lane::Compute(dev);
+                step_device[i] = Some(dev);
+                program(&mut hb, &mut last_compute[dev], i);
+                for &d in &plan.units[u].inputs {
+                    if d.index() >= nd {
+                        continue;
+                    }
+                    if let Some(w) = dev_setter[dev][d.index()] {
+                        hb.add_edge(w, i, EdgeKind::Transfer);
+                    }
+                    dev_acc[dev][d.index()].push(Access {
+                        step: i,
+                        touch: Touch::Read,
+                        transfer: false,
+                    });
+                }
+                // Allocates its outputs: waits for committed frees.
+                for f in gating_compute[dev].drain(..) {
+                    hb.add_edge(f, i, EdgeKind::Lifetime);
+                }
+                for &d in &plan.units[u].outputs {
+                    if d.index() >= nd {
+                        continue;
+                    }
+                    dev_setter[dev][d.index()] = Some(i);
+                    dev_acc[dev][d.index()].push(Access {
+                        step: i,
+                        touch: Touch::Write,
+                        transfer: false,
+                    });
+                }
+            }
+        }
+    }
+    hb.seal();
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let name = |d: usize| g.data(DataId(d as u32)).name.as_str();
+
+    // Device-buffer hazards.
+    for (dev, dev_data) in dev_acc.iter().enumerate() {
+        for (d, acc) in dev_data.iter().enumerate() {
+            if acc.len() < 2 {
+                continue;
+            }
+            let writes: Vec<&Access> = acc.iter().filter(|a| a.touch == Touch::Write).collect();
+            // RAW: every read needs an ordered write.
+            for r in acc.iter().filter(|a| a.touch == Touch::Read) {
+                if writes.iter().any(|w| hb.happens_before(w.step, r.step)) {
+                    continue;
+                }
+                let msg = match writes.iter().find(|w| !hb.ordered(w.step, r.step)) {
+                    Some(w) => format!(
+                        "read of {} on device {dev} races the write at step {} \
+                         (no happens-before path orders them)",
+                        name(d),
+                        w.step
+                    ),
+                    None => format!(
+                        "read of {} on device {dev} is ordered after no write of it",
+                        name(d)
+                    ),
+                };
+                diags.push(
+                    Diagnostic::error(codes::HAZARD_RAW, Some(Location::Step(r.step)), msg)
+                        .with_help(
+                            "issue the CopyIn (or producing launch) on an ordered lane \
+                             position before this read",
+                        ),
+                );
+            }
+            // WAW: unordered write pairs.
+            for (k, w1) in writes.iter().enumerate() {
+                for w2 in &writes[k + 1..] {
+                    if !hb.ordered(w1.step, w2.step) {
+                        diags.push(
+                            Diagnostic::error(
+                                codes::HAZARD_WAW,
+                                Some(Location::Step(w2.step)),
+                                format!(
+                                    "write of {} on device {dev} at step {} is unordered \
+                                     with the write at step {}",
+                                    name(d),
+                                    w2.step,
+                                    w1.step
+                                ),
+                            )
+                            .with_help("two lanes allocate the same buffer concurrently"),
+                        );
+                    }
+                }
+            }
+            // Free hazards: an access is safe against a free when it
+            // retires before the free commits, or belongs to a later
+            // re-allocation the free is ordered before.
+            let frees: Vec<&Access> = acc.iter().filter(|a| a.touch == Touch::Free).collect();
+            for f in &frees {
+                for x in acc.iter().filter(|x| x.step != f.step) {
+                    if x.touch == Touch::Free {
+                        continue;
+                    }
+                    if hb.happens_before(x.step, f.step) {
+                        continue;
+                    }
+                    let realloc_protects = writes.iter().any(|w| {
+                        hb.happens_before(f.step, w.step)
+                            && (w.step == x.step || hb.happens_before(w.step, x.step))
+                    });
+                    if realloc_protects {
+                        continue;
+                    }
+                    let (code, what) = if x.transfer {
+                        (codes::FREE_IN_FLIGHT, "transfer")
+                    } else {
+                        (codes::USE_AFTER_FREE, "kernel access")
+                    };
+                    diags.push(
+                        Diagnostic::error(
+                            code,
+                            Some(Location::Step(x.step)),
+                            format!(
+                                "{what} of {} on device {dev} races the Free at step {} \
+                                 (the buffer may be gone or re-used when it runs)",
+                                name(d),
+                                f.step
+                            ),
+                        )
+                        .with_help("move the Free after the access, or re-upload first"),
+                    );
+                }
+                // Two unordered frees of one buffer race each other.
+                for f2 in &frees {
+                    if f.step < f2.step && !hb.ordered(f.step, f2.step) {
+                        diags.push(Diagnostic::error(
+                            codes::FREE_IN_FLIGHT,
+                            Some(Location::Step(f2.step)),
+                            format!(
+                                "Free of {} on device {dev} at step {} races the Free at step {}",
+                                name(d),
+                                f2.step,
+                                f.step
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Host-copy hazards: staged inter-device movement.
+    for d in 0..nd {
+        for &r in &host_reads[d] {
+            let staged = host_writes[d].iter().any(|&w| hb.happens_before(w, r));
+            if initially_host[d] || staged {
+                // Staged (or initially valid): a later unordered download
+                // rewriting the host copy is a WAR race on the host buffer.
+                for &w in &host_writes[d] {
+                    if !hb.ordered(w, r) {
+                        diags.push(
+                            Diagnostic::error(
+                                codes::HAZARD_WAR,
+                                Some(Location::Step(w)),
+                                format!(
+                                    "CopyOut of {} rewrites the host copy while the \
+                                     unordered CopyIn at step {r} reads it",
+                                    name(d)
+                                ),
+                            )
+                            .with_help("order the download after the upload that reads the bytes"),
+                        );
+                    }
+                }
+            } else if g.producer(DataId(d as u32)).is_some() {
+                let msg = match host_writes[d].iter().find(|&&w| !hb.ordered(w, r)) {
+                    Some(&w) => format!(
+                        "CopyIn of {} races the staging CopyOut at step {w} \
+                         (no happens-before path orders the staged hop)",
+                        name(d)
+                    ),
+                    None => format!(
+                        "CopyIn of {} is ordered after no staging CopyOut of it",
+                        name(d)
+                    ),
+                };
+                diags.push(
+                    Diagnostic::error(codes::UNSTAGED_READ, Some(Location::Step(r)), msg)
+                        .with_help(
+                            "inter-device movement is staged: the producer device's CopyOut \
+                             must happen-before the consumer's CopyIn",
+                        ),
+                );
+            }
+        }
+    }
+
+    diags.sort_by_key(|d| match d.location {
+        Some(Location::Step(i)) => i,
+        _ => usize::MAX,
+    });
+
+    let mut lanes_seen: Vec<Lane> = Vec::new();
+    for &l in &step_lane {
+        if !lanes_seen.contains(&l) {
+            lanes_seen.push(l);
+        }
+    }
+    if !crate::diag::has_errors(&diags) {
+        let c = hb.edge_counts();
+        diags.push(Diagnostic::note(
+            codes::CERTIFIED,
+            None,
+            format!(
+                "concurrency certificate: {n} steps across {} lanes, {} happens-before \
+                 edges ({} program, {} transfer, {} lifetime); no hazards",
+                lanes_seen.len(),
+                c.total(),
+                c.program,
+                c.transfer,
+                c.lifetime
+            ),
+        ));
+    }
+
+    ConcurrencyReport {
+        hb,
+        step_lane,
+        step_device,
+        lanes_used: lanes_seen.len(),
+        diagnostics: diags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::UnitView;
+    use gpuflow_graph::{DataKind, Graph, OpKind};
+
+    /// in -> t0 -> mid -> t1 -> out, all 8x8; unit 0 on device 0, unit 1
+    /// on device 1, staged mid hop (mirrors `multi.rs` tests).
+    fn chain2() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add("in", 8, 8, DataKind::Input);
+        let m = g.add("mid", 8, 8, DataKind::Temporary);
+        let o = g.add("out", 8, 8, DataKind::Output);
+        g.add_op("t0", OpKind::Tanh, vec![a], m).unwrap();
+        g.add_op("t1", OpKind::Tanh, vec![m], o).unwrap();
+        g
+    }
+
+    fn units2() -> Vec<UnitView> {
+        vec![
+            UnitView {
+                inputs: vec![DataId(0)],
+                outputs: vec![DataId(1)],
+            },
+            UnitView {
+                inputs: vec![DataId(1)],
+                outputs: vec![DataId(2)],
+            },
+        ]
+    }
+
+    fn good_plan() -> MultiPlanView {
+        let d = DataId;
+        MultiPlanView {
+            units: units2(),
+            unit_device: vec![0, 1],
+            pinned_host: vec![],
+            steps: vec![
+                MultiPlanStep::CopyIn {
+                    device: 0,
+                    data: d(0),
+                },
+                MultiPlanStep::Launch(0),
+                MultiPlanStep::Free {
+                    device: 0,
+                    data: d(0),
+                },
+                MultiPlanStep::CopyOut {
+                    device: 0,
+                    data: d(1),
+                },
+                MultiPlanStep::Free {
+                    device: 0,
+                    data: d(1),
+                },
+                MultiPlanStep::CopyIn {
+                    device: 1,
+                    data: d(1),
+                },
+                MultiPlanStep::Launch(1),
+                MultiPlanStep::Free {
+                    device: 1,
+                    data: d(1),
+                },
+                MultiPlanStep::CopyOut {
+                    device: 1,
+                    data: d(2),
+                },
+                MultiPlanStep::Free {
+                    device: 1,
+                    data: d(2),
+                },
+            ],
+        }
+    }
+
+    fn codes_of(r: &ConcurrencyReport) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn staged_cross_device_plan_certifies() {
+        let g = chain2();
+        let r = certify_concurrency(&g, &good_plan(), &LaneModel::cluster(2));
+        assert!(r.certified(), "{:?}", r.diagnostics);
+        assert_eq!(codes_of(&r), vec![codes::CERTIFIED]);
+        // Four lanes: h2d, d2h, both compute engines, plus host frees.
+        assert_eq!(r.lanes_used, 5);
+        assert_eq!(r.step_lane[0], Lane::H2d);
+        assert_eq!(r.step_lane[1], Lane::Compute(0));
+        assert_eq!(r.step_lane[6], Lane::Compute(1));
+        assert_eq!(r.step_device[5], Some(1));
+    }
+
+    #[test]
+    fn launch_fronted_past_its_copyin_is_raw() {
+        let g = chain2();
+        let mut p = good_plan();
+        // Mutation: the launch is issued before its input's upload — on
+        // separate lanes nothing orders them.
+        p.steps.swap(0, 1);
+        let r = certify_concurrency(&g, &p, &LaneModel::cluster(2));
+        assert!(
+            codes_of(&r).contains(&codes::HAZARD_RAW),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn dropped_staging_hop_is_unstaged_read() {
+        let g = chain2();
+        let mut p = good_plan();
+        // Mutation: delete the staging CopyOut of mid (and the Free that
+        // depended on it keeps its own edges).
+        p.steps.remove(3);
+        let r = certify_concurrency(&g, &p, &LaneModel::cluster(2));
+        assert!(
+            codes_of(&r).contains(&codes::UNSTAGED_READ),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn early_free_is_use_after_free() {
+        let g = chain2();
+        let mut p = good_plan();
+        // Mutation: free mid on device 1 before the launch that reads it.
+        p.steps.swap(6, 7);
+        let r = certify_concurrency(&g, &p, &LaneModel::cluster(2));
+        assert!(
+            codes_of(&r).contains(&codes::USE_AFTER_FREE),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn eviction_racing_pending_transfer_is_free_in_flight() {
+        let g = chain2();
+        let mut p = good_plan();
+        // Mutation: the producer device frees mid before staging it out —
+        // the eviction races the pending download.
+        p.steps.swap(3, 4);
+        let r = certify_concurrency(&g, &p, &LaneModel::cluster(2));
+        assert!(
+            codes_of(&r).contains(&codes::FREE_IN_FLIGHT),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn single_device_lift_certifies_serial_shape() {
+        let g = chain2();
+        let p = PlanView {
+            units: units2(),
+            steps: vec![
+                PlanStep::CopyIn(DataId(0)),
+                PlanStep::Launch(0),
+                PlanStep::Free(DataId(0)),
+                PlanStep::Launch(1),
+                PlanStep::Free(DataId(1)),
+                PlanStep::CopyOut(DataId(2)),
+                PlanStep::Free(DataId(2)),
+            ],
+        };
+        let r = certify_single_plan(&g, &p);
+        assert!(r.certified(), "{:?}", r.diagnostics);
+        // The dynamic sanitizer accepts any execution that honours the
+        // edges — here a fully serialized timeline.
+        let times: Vec<(f64, f64)> = (0..p.steps.len())
+            .map(|i| (i as f64, i as f64 + 0.5))
+            .collect();
+        assert!(r.dynamic_violations(&times).is_empty());
+        // And flags one that starts a step before its predecessor ends.
+        let mut bad = times.clone();
+        bad[1].0 = 0.0; // launch starts while the upload is in flight
+        assert!(!r.dynamic_violations(&bad).is_empty());
+    }
+
+    #[test]
+    fn pinned_host_data_needs_no_staging_copyout() {
+        let g = chain2();
+        let p = MultiPlanView {
+            units: vec![UnitView {
+                inputs: vec![DataId(1)],
+                outputs: vec![DataId(2)],
+            }],
+            unit_device: vec![1],
+            pinned_host: vec![DataId(1)],
+            steps: vec![
+                MultiPlanStep::CopyIn {
+                    device: 1,
+                    data: DataId(1),
+                },
+                MultiPlanStep::Launch(0),
+                MultiPlanStep::Free {
+                    device: 1,
+                    data: DataId(1),
+                },
+                MultiPlanStep::CopyOut {
+                    device: 1,
+                    data: DataId(2),
+                },
+                MultiPlanStep::Free {
+                    device: 1,
+                    data: DataId(2),
+                },
+            ],
+        };
+        let r = certify_concurrency(&g, &p, &LaneModel::cluster(2));
+        assert!(r.certified(), "{:?}", r.diagnostics);
+        let mut unpinned = p.clone();
+        unpinned.pinned_host.clear();
+        let r = certify_concurrency(&g, &unpinned, &LaneModel::cluster(2));
+        assert!(codes_of(&r).contains(&codes::UNSTAGED_READ));
+    }
+
+    #[test]
+    fn spill_reload_chain_is_ordered_not_hazardous() {
+        // upload, read, spill out, free, reload, read again: every pair is
+        // chained through transfer and lifetime edges.
+        let mut g = Graph::new();
+        let a = g.add("in", 8, 8, DataKind::Input);
+        let m = g.add("m", 8, 8, DataKind::Temporary);
+        let o = g.add("out", 8, 8, DataKind::Output);
+        g.add_op("t0", OpKind::Tanh, vec![a], m).unwrap();
+        g.add_op("t1", OpKind::EwAdd { arity: 2 }, vec![a, m], o)
+            .unwrap();
+        let p = PlanView {
+            units: vec![
+                UnitView {
+                    inputs: vec![a],
+                    outputs: vec![m],
+                },
+                UnitView {
+                    inputs: vec![a, m],
+                    outputs: vec![o],
+                },
+            ],
+            steps: vec![
+                PlanStep::CopyIn(a),
+                PlanStep::Launch(0),
+                PlanStep::CopyOut(m), // spill
+                PlanStep::Free(m),
+                PlanStep::CopyIn(m), // reload
+                PlanStep::Launch(1),
+                PlanStep::Free(a),
+                PlanStep::Free(m),
+                PlanStep::CopyOut(o),
+                PlanStep::Free(o),
+            ],
+        };
+        let r = certify_single_plan(&g, &p);
+        assert!(r.certified(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn certificate_note_reports_edge_breakdown() {
+        let g = chain2();
+        let r = certify_concurrency(&g, &good_plan(), &LaneModel::cluster(2));
+        let note = &r.diagnostics[r.diagnostics.len() - 1];
+        assert_eq!(note.code, codes::CERTIFIED);
+        assert!(note.message.contains("program"), "{}", note.message);
+        assert!(note.message.contains("lifetime"), "{}", note.message);
+        assert_eq!(
+            r.hb.edge_counts().total(),
+            r.hb.edges().len(),
+            "tallies cover every edge"
+        );
+    }
+}

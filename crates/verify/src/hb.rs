@@ -1,0 +1,221 @@
+//! The happens-before DAG over plan steps.
+//!
+//! Nodes are step indices of a (possibly multi-device) plan; edges are the
+//! *synchronizations a concurrent executor actually enforces* — nothing
+//! more. Three edge kinds exist (see [`EdgeKind`]):
+//!
+//! * **Program** — issue order between consecutive steps on one engine
+//!   lane (a DMA channel or one device's compute engine). Steps on
+//!   *different* lanes are not ordered by their position in the plan.
+//! * **Transfer** — completion of the step that made a datum available
+//!   (`device_ready`/`host_ready` in the simulators): the upload or
+//!   producing launch a read waits for, the staging `CopyOut` an
+//!   inter-device `CopyIn` waits for.
+//! * **Lifetime** — allocation-lifetime ordering around a `Free`: every
+//!   earlier access of the freed buffer must retire before the free
+//!   commits, and later allocations on the device wait for the committed
+//!   free horizon.
+//!
+//! Because every edge points from an earlier-issued step to a later one,
+//! the issue order is a topological order and the graph is a DAG by
+//! construction; [`HbGraph::seal`] computes the full reachability closure
+//! so hazard checks can ask [`HbGraph::happens_before`] for arbitrary
+//! pairs in O(1).
+
+/// Why a happens-before edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Issue order between consecutive steps on the same engine lane.
+    Program,
+    /// Completion of the transfer/kernel that made the accessed datum
+    /// available.
+    Transfer,
+    /// Allocation-lifetime ordering around a `Free`.
+    Lifetime,
+}
+
+/// Per-kind edge tallies of a sealed graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeCounts {
+    /// Program-order edges.
+    pub program: usize,
+    /// Transfer-completion edges.
+    pub transfer: usize,
+    /// Allocation-lifetime edges.
+    pub lifetime: usize,
+}
+
+impl EdgeCounts {
+    /// All edges.
+    pub fn total(&self) -> usize {
+        self.program + self.transfer + self.lifetime
+    }
+}
+
+/// The happens-before DAG. Build with [`HbGraph::add_edge`], then call
+/// [`HbGraph::seal`] once before any reachability query.
+#[derive(Debug, Clone)]
+pub struct HbGraph {
+    n: usize,
+    edges: Vec<(usize, usize, EdgeKind)>,
+    preds: Vec<Vec<usize>>,
+    /// Bitset rows: `reach[b]` holds every `a` with a path `a -> b`.
+    reach: Vec<Vec<u64>>,
+    sealed: bool,
+}
+
+impl HbGraph {
+    /// An edge-less graph over `n` step nodes.
+    pub fn new(n: usize) -> HbGraph {
+        HbGraph {
+            n,
+            edges: Vec::new(),
+            preds: vec![Vec::new(); n],
+            reach: Vec::new(),
+            sealed: false,
+        }
+    }
+
+    /// Number of step nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add the edge `from -> to`. Edges must respect issue order
+    /// (`from < to`), which keeps the graph acyclic by construction;
+    /// duplicate edges are ignored regardless of kind.
+    pub fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
+        assert!(!self.sealed, "HbGraph is sealed");
+        assert!(from < to && to < self.n, "edge {from}->{to} out of order");
+        if self.preds[to].contains(&from) {
+            return;
+        }
+        self.preds[to].push(from);
+        self.edges.push((from, to, kind));
+    }
+
+    /// All edges in insertion order.
+    pub fn edges(&self) -> &[(usize, usize, EdgeKind)] {
+        &self.edges
+    }
+
+    /// Per-kind edge tallies.
+    pub fn edge_counts(&self) -> EdgeCounts {
+        let mut c = EdgeCounts::default();
+        for &(_, _, kind) in &self.edges {
+            match kind {
+                EdgeKind::Program => c.program += 1,
+                EdgeKind::Transfer => c.transfer += 1,
+                EdgeKind::Lifetime => c.lifetime += 1,
+            }
+        }
+        c
+    }
+
+    /// Direct predecessors of `step`.
+    pub fn preds(&self, step: usize) -> &[usize] {
+        &self.preds[step]
+    }
+
+    /// Compute the reachability closure. Issue order is a topological
+    /// order (edges only point forward), so one forward sweep unioning
+    /// predecessor rows suffices.
+    pub fn seal(&mut self) {
+        let words = self.n.div_ceil(64);
+        self.reach = vec![vec![0u64; words]; self.n];
+        for b in 0..self.n {
+            // Split so `reach[a]` (a < b) can be read while writing
+            // `reach[b]`.
+            let (done, rest) = self.reach.split_at_mut(b);
+            let row = &mut rest[0];
+            for &a in &self.preds[b] {
+                row[a / 64] |= 1u64 << (a % 64);
+                for (w, &src) in row.iter_mut().zip(done[a].iter()) {
+                    *w |= src;
+                }
+            }
+        }
+        self.sealed = true;
+    }
+
+    /// True when step `a` happens-before step `b` (a path `a -> b`
+    /// exists). Reflexively false: a step does not happen-before itself.
+    pub fn happens_before(&self, a: usize, b: usize) -> bool {
+        assert!(self.sealed, "call seal() before reachability queries");
+        a != b && (self.reach[b][a / 64] >> (a % 64)) & 1 == 1
+    }
+
+    /// True when `a` and `b` are ordered in either direction (or equal).
+    pub fn ordered(&self, a: usize, b: usize) -> bool {
+        a == b || self.happens_before(a, b) || self.happens_before(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_is_transitive_and_directional() {
+        // 0 -> 1 -> 3, 2 isolated.
+        let mut hb = HbGraph::new(4);
+        hb.add_edge(0, 1, EdgeKind::Program);
+        hb.add_edge(1, 3, EdgeKind::Transfer);
+        hb.seal();
+        assert!(hb.happens_before(0, 1));
+        assert!(hb.happens_before(0, 3), "transitive");
+        assert!(!hb.happens_before(3, 0), "directional");
+        assert!(!hb.happens_before(0, 2));
+        assert!(!hb.ordered(2, 3));
+        assert!(hb.ordered(3, 0));
+        assert!(hb.ordered(1, 1), "reflexively ordered");
+        assert!(!hb.happens_before(1, 1), "but not happens-before");
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut hb = HbGraph::new(2);
+        hb.add_edge(0, 1, EdgeKind::Program);
+        hb.add_edge(0, 1, EdgeKind::Lifetime);
+        assert_eq!(hb.edges().len(), 1);
+        assert_eq!(hb.edge_counts().total(), 1);
+    }
+
+    #[test]
+    fn edge_counts_tally_by_kind() {
+        let mut hb = HbGraph::new(4);
+        hb.add_edge(0, 1, EdgeKind::Program);
+        hb.add_edge(1, 2, EdgeKind::Transfer);
+        hb.add_edge(2, 3, EdgeKind::Lifetime);
+        hb.add_edge(0, 3, EdgeKind::Lifetime);
+        let c = hb.edge_counts();
+        assert_eq!((c.program, c.transfer, c.lifetime), (1, 1, 2));
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn backward_edges_are_rejected() {
+        let mut hb = HbGraph::new(2);
+        hb.add_edge(1, 0, EdgeKind::Program);
+    }
+
+    #[test]
+    fn wide_graphs_cross_word_boundaries() {
+        // A 130-node chain exercises multi-word bitset rows.
+        let mut hb = HbGraph::new(130);
+        for i in 0..129 {
+            hb.add_edge(i, i + 1, EdgeKind::Program);
+        }
+        hb.seal();
+        assert!(hb.happens_before(0, 129));
+        assert!(hb.happens_before(63, 64));
+        assert!(hb.happens_before(64, 127));
+        assert!(!hb.happens_before(129, 0));
+    }
+}

@@ -25,6 +25,12 @@
 //!   minimal host-resident data set needed to restart the plan at each
 //!   launch, feeding the checkpoint/restart machinery in `gpuflow-core`
 //!   (`GF004x` codes).
+//! * [`hb`] / [`hazard`] — the concurrency certifier
+//!   ([`certify_concurrency`]): an explicit happens-before DAG over plan
+//!   steps (program order per engine lane, transfer-completion edges,
+//!   allocation-lifetime edges) proving every pair of conflicting
+//!   accesses ordered, or reporting RAW/WAR/WAW races, use-after-free
+//!   across lanes, and unstaged cross-device reads (`GF005x` codes).
 //!
 //! `gpuflow-core` builds its `validate_plan` and `ExecutionPlan::stats`
 //! on the engine, so the checked semantics and the reported numbers can
@@ -37,6 +43,8 @@
 pub mod diag;
 pub mod engine;
 pub mod graph_check;
+pub mod hazard;
+pub mod hb;
 pub mod multi;
 pub mod recover;
 
@@ -46,5 +54,7 @@ pub use diag::{
 };
 pub use engine::{analyze_plan, PlanAnalysis, PlanStats, PlanStep, PlanView, UnitView};
 pub use graph_check::analyze_graph;
+pub use hazard::{certify_concurrency, certify_single_plan, ConcurrencyReport, Lane, LaneModel};
+pub use hb::{EdgeCounts, EdgeKind, HbGraph};
 pub use multi::{analyze_multi_plan, MultiPlanAnalysis, MultiPlanStep, MultiPlanView};
 pub use recover::{analyze_recovery, LaunchRecovery, RecoveryCheckOptions, RecoveryReport};

@@ -36,6 +36,21 @@ echo "==> chaos resilience gate (gpuflow chaos --smoke)"
 # reference evaluation bit-for-bit, and replay deterministically.
 cargo run --release -q -p gpuflow-cli --bin gpuflow -- chaos --smoke
 
+echo "==> serving gate (gpuflow serve --smoke)"
+# Deterministic single-process ladder: cache miss -> hit -> incremental,
+# a queued run admitting after a holder releases, typed infeasible and
+# backpressure rejects, stats accounting, drain on shutdown.
+cargo run --release -q -p gpuflow-cli --bin gpuflow -- serve --smoke
+
+echo "==> serving soak gate (gpuflow serve --soak, chaos-faulted)"
+# Concurrent clients stream mixed compile/run/faulted-run requests;
+# every request must end completed-and-verified or cleanly typed-rejected.
+cargo run --release -q -p gpuflow-cli --bin gpuflow -- serve --soak
+
+echo "==> plan-cache perf tripwire (extension_serve --smoke)"
+# Warm-cache p50 must stay >=10x below the cold-compile p50.
+cargo run --release -q -p gpuflow-bench --bin extension_serve -- --smoke
+
 echo "==> gpuflow check over shipped templates"
 for gfg in assets/*.gfg; do
     echo "--- $gfg"

@@ -1,0 +1,286 @@
+//! Serving-layer benchmark: plan-cache effectiveness under a skewed
+//! (Zipf-distributed) request stream.
+//!
+//! An in-process `gpuflow-serve` daemon is driven through its real
+//! request path (`Server::handle_line`, the same function the TCP layer
+//! calls) with `compile` requests drawn from a catalogue of template
+//! variants. Requests follow a Zipf(1.5) popularity distribution — a
+//! few hot templates dominate, with a long tail — which is the regime a
+//! plan cache is built for.
+//!
+//! Two phases are measured:
+//!
+//! * **cold** — every template compiled once against an empty cache
+//!   (all misses; this is the price of planning from scratch);
+//! * **warm** — a long Zipf stream against the populated cache (mostly
+//!   hits; the daemon only re-plans on capacity evictions).
+//!
+//! Reported per phase: plans/sec, p50/p99 request latency, and the
+//! daemon's own `serve.cache_*` counters (hit rate). Results go to
+//! `BENCH_serve.json` and `docs/results/extension_serve.txt`.
+//!
+//! `--smoke` runs a shortened stream and fails (exit 1) unless the warm
+//! p50 is at least 10x below the cold p50 — the PR's acceptance gate
+//! for the content-addressed cache.
+
+use std::time::Instant;
+
+use gpuflow_bench::TableWriter;
+use gpuflow_minijson::{Map, Value};
+use gpuflow_serve::{percentile_us, ServeConfig, Server};
+
+/// Template catalogue: 8 variants spanning the built-in generators.
+/// Listed hottest-first; Zipf rank i gets weight 1/(i+1)^ZIPF_S. Every
+/// entry has a distinct graph *skeleton* (orientation count and
+/// template family change the node structure), so the cold phase
+/// measures full compiles only — never the incremental size-only fast
+/// path.
+const TEMPLATES: [&str; 8] = [
+    "edge:192x192,k=5,o=2",
+    "cnn-small:48x48",
+    "fig3",
+    "edge:192x192,k=5,o=8",
+    "edge:160x160,k=5,o=12",
+    "cnn-large:64x64",
+    "edge:128x128,k=5,o=16",
+    "edge:128x128,k=5,o=20",
+];
+
+/// Zipf exponent. Steep enough that the rank-1 template carries a
+/// majority of the warm stream (>50%), which is what a production
+/// serving mix looks like when one template dominates.
+const ZIPF_S: f64 = 1.5;
+
+/// Deterministic xorshift64* stream (no external RNG crates).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Cumulative Zipf(s = `ZIPF_S`) distribution over `n` ranks.
+fn zipf_cdf(n: usize) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n)
+        .map(|i| 1.0 / (i as f64 + 1.0).powf(ZIPF_S))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+fn sample(cdf: &[f64], rng: &mut XorShift) -> usize {
+    let u = rng.unit();
+    cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1)
+}
+
+/// Send one compile request through the daemon's real request path and
+/// return (latency_us, response ok).
+fn compile_once(server: &Server, template: &str) -> (u64, bool) {
+    let line = format!("{{\"op\":\"compile\",\"template\":\"{template}\"}}");
+    let start = Instant::now();
+    let response = server.handle_line(&line);
+    let us = start.elapsed().as_micros() as u64;
+    let ok = gpuflow_minijson::parse(&response)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Value::as_bool))
+        .unwrap_or(false);
+    (us, ok)
+}
+
+struct Phase {
+    requests: u64,
+    elapsed_us: u64,
+    p50_us: u64,
+    p99_us: u64,
+    hits: u64,
+    misses: u64,
+    incremental: u64,
+}
+
+impl Phase {
+    fn plans_per_sec(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.requests as f64 / (self.elapsed_us as f64 / 1e6)
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses + self.incremental;
+        if probes == 0 {
+            0.0
+        } else {
+            (self.hits + self.incremental) as f64 / probes as f64
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("requests", self.requests);
+        m.insert("elapsed_us", self.elapsed_us);
+        m.insert("plans_per_sec", self.plans_per_sec());
+        m.insert("p50_us", self.p50_us);
+        m.insert("p99_us", self.p99_us);
+        m.insert("cache_hits", self.hits);
+        m.insert("cache_misses", self.misses);
+        m.insert("cache_incremental", self.incremental);
+        m.insert("hit_rate", self.hit_rate());
+        Value::Object(m)
+    }
+}
+
+/// Run a request stream and snapshot the delta in the daemon's cache
+/// counters over it.
+fn run_phase(server: &Server, stream: &[usize]) -> Phase {
+    let before = server.with_metrics(|m| {
+        (
+            m.counter("serve.cache_hits"),
+            m.counter("serve.cache_misses"),
+            m.counter("serve.cache_incremental"),
+        )
+    });
+    let mut latencies = Vec::with_capacity(stream.len());
+    let start = Instant::now();
+    for &idx in stream {
+        let (us, ok) = compile_once(server, TEMPLATES[idx]);
+        assert!(ok, "compile of {} failed", TEMPLATES[idx]);
+        latencies.push(us);
+    }
+    let elapsed_us = start.elapsed().as_micros() as u64;
+    let after = server.with_metrics(|m| {
+        (
+            m.counter("serve.cache_hits"),
+            m.counter("serve.cache_misses"),
+            m.counter("serve.cache_incremental"),
+        )
+    });
+    Phase {
+        requests: stream.len() as u64,
+        elapsed_us,
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+        hits: after.0 - before.0,
+        misses: after.1 - before.1,
+        incremental: after.2 - before.2,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let warm_requests = if smoke { 120 } else { 600 };
+
+    let server = Server::new(ServeConfig::default());
+    let mut rng = XorShift(0x5EED_5E4E);
+    let cdf = zipf_cdf(TEMPLATES.len());
+
+    // Cold phase: first touch of every template, hottest first.
+    let cold_stream: Vec<usize> = (0..TEMPLATES.len()).collect();
+    let cold = run_phase(&server, &cold_stream);
+
+    // Warm phase: Zipf-distributed stream against the populated cache.
+    let warm_stream: Vec<usize> = (0..warm_requests).map(|_| sample(&cdf, &mut rng)).collect();
+    let warm = run_phase(&server, &warm_stream);
+
+    let mut table = TableWriter::new(&[
+        "phase",
+        "requests",
+        "plans/sec",
+        "p50 (us)",
+        "p99 (us)",
+        "hit rate",
+    ]);
+    for (name, phase) in [("cold", &cold), ("warm", &warm)] {
+        table.row(&[
+            name.to_string(),
+            phase.requests.to_string(),
+            format!("{:.1}", phase.plans_per_sec()),
+            phase.p50_us.to_string(),
+            phase.p99_us.to_string(),
+            format!("{:.3}", phase.hit_rate()),
+        ]);
+    }
+    let rendered = table.render();
+
+    let speedup = if warm.p50_us == 0 {
+        cold.p50_us as f64
+    } else {
+        cold.p50_us as f64 / warm.p50_us as f64
+    };
+
+    println!("extension_serve: plan-cache throughput under a Zipf request stream");
+    println!(
+        "templates: {} variants, Zipf({ZIPF_S}) popularity\n",
+        TEMPLATES.len()
+    );
+    println!("{rendered}");
+    println!("warm p50 speedup over cold: {speedup:.1}x");
+
+    assert_eq!(
+        cold.misses,
+        TEMPLATES.len() as u64,
+        "cold phase must fully compile every template (catalogue must stay skeleton-distinct)"
+    );
+    assert_eq!(warm.misses, 0, "warm phase must never re-plan from scratch");
+
+    if smoke {
+        if warm.p50_us * 10 > cold.p50_us {
+            eprintln!(
+                "FAIL: warm p50 ({} us) is not >=10x below cold p50 ({} us)",
+                warm.p50_us, cold.p50_us
+            );
+            std::process::exit(1);
+        }
+        println!("\nsmoke OK");
+        return;
+    }
+
+    let mut doc = Map::new();
+    doc.insert("bench", "serve");
+    doc.insert(
+        "templates",
+        Value::Array(TEMPLATES.iter().map(|t| Value::from(*t)).collect()),
+    );
+    doc.insert("zipf_exponent", ZIPF_S);
+    doc.insert("cold", cold.to_json());
+    doc.insert("warm", warm.to_json());
+    doc.insert("warm_p50_speedup", speedup);
+    let json = Value::Object(doc).to_string_pretty();
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+
+    let txt = format!(
+        "extension_serve: plan-cache throughput under a Zipf request stream\n\
+         templates: {} variants, Zipf({ZIPF_S}) popularity\n\n{}\n\
+         warm p50 speedup over cold: {:.1}x\n",
+        TEMPLATES.len(),
+        rendered,
+        speedup
+    );
+    let results = "docs/results/extension_serve.txt";
+    match std::fs::write(results, txt) {
+        Ok(()) => println!("wrote {results}"),
+        Err(e) => eprintln!("could not write {results}: {e}"),
+    }
+}

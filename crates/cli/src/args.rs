@@ -257,6 +257,36 @@ pub enum Command {
         /// Emit the sweep report as JSON.
         json: bool,
     },
+    /// `gpuflow serve ...` — run the planning-and-execution daemon (or
+    /// its CI gates with `--smoke` / `--soak`). Takes no `<source>`:
+    /// templates arrive in requests.
+    Serve {
+        /// Listen address (`host:port`; port 0 binds an ephemeral port,
+        /// printed to stderr at startup).
+        addr: String,
+        /// Multi-device cluster spec; overrides `--device`.
+        devices: Option<String>,
+        /// Single target device when no cluster is given.
+        device: DeviceArg,
+        /// Default compile margin (requests may override).
+        margin: f64,
+        /// Plan-cache capacity in entries.
+        cache_capacity: usize,
+        /// Run the deterministic serving smoke gate instead of a daemon.
+        smoke: bool,
+        /// Run the chaos-faulted serving soak instead of a daemon.
+        soak: bool,
+    },
+    /// `gpuflow client ...` — send one request line to a running daemon
+    /// and print the response.
+    Client {
+        /// Daemon address (`host:port`).
+        addr: String,
+        /// The request JSON line to send.
+        send: String,
+        /// Pretty-print the response instead of the raw wire line.
+        json: bool,
+    },
     /// `gpuflow emit <source> ...`
     Emit {
         /// Template source.
@@ -331,6 +361,10 @@ impl Command {
         let mut faults: Option<FaultSpec> = None;
         let mut seeds = 8u64;
         let mut smoke = false;
+        let mut soak = false;
+        let mut addr: Option<String> = None;
+        let mut send: Option<String> = None;
+        let mut cache_capacity = 64usize;
 
         let next_value = |it: &mut std::slice::Iter<String>, flag: &str| {
             it.next()
@@ -394,12 +428,26 @@ impl Command {
                         return Err("--seeds must be > 0".into());
                     }
                 }
-                "--smoke" if verb == "chaos" => smoke = true,
+                "--smoke" if verb == "chaos" || verb == "serve" => smoke = true,
+                "--soak" if verb == "serve" => soak = true,
+                "--addr" if verb == "serve" || verb == "client" => {
+                    addr = Some(next_value(&mut it, flag)?)
+                }
+                "--send" if verb == "client" => send = Some(next_value(&mut it, flag)?),
+                "--cache-capacity" if verb == "serve" => {
+                    let v = next_value(&mut it, flag)?;
+                    cache_capacity = v.parse().map_err(|_| format!("bad cache capacity '{v}'"))?;
+                    if cache_capacity == 0 {
+                        return Err("--cache-capacity must be > 0".into());
+                    }
+                }
                 // Concurrency-certifier summary is a `check` refinement.
                 "--hazards" if verb == "check" => hazards = true,
                 // `check --json` / `run --json` / `chaos --json` are boolean
                 // switches; `emit --json` takes an output path.
-                "--json" if verb == "check" || verb == "run" || verb == "chaos" => {
+                "--json"
+                    if verb == "check" || verb == "run" || verb == "chaos" || verb == "client" =>
+                {
                     json_switch = true
                 }
                 "--json" => json = Some(next_value(&mut it, flag)?),
@@ -421,6 +469,33 @@ impl Command {
                 faults,
                 seeds,
                 smoke,
+                json: json_switch,
+            });
+        }
+        if verb == "serve" {
+            if source.is_some() {
+                return Err("serve takes no <source>; templates arrive in requests".into());
+            }
+            if smoke && soak {
+                return Err("pick one of --smoke or --soak".into());
+            }
+            return Ok(Command::Serve {
+                addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+                devices,
+                device,
+                margin,
+                cache_capacity,
+                smoke,
+                soak,
+            });
+        }
+        if verb == "client" {
+            if source.is_some() {
+                return Err("client takes no <source>; put the template in --send".into());
+            }
+            return Ok(Command::Client {
+                addr: addr.ok_or("client requires --addr <host:port>")?,
+                send: send.ok_or("client requires --send '<request json>'")?,
                 json: json_switch,
             });
         }
@@ -840,6 +915,63 @@ mod tests {
         // --smoke / --seeds belong to the chaos verb only.
         assert!(Command::parse(&argv("run fig3 --smoke")).is_err());
         assert!(Command::parse(&argv("run fig3 --seeds 3")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_and_client_verbs() {
+        match Command::parse(&argv(
+            "serve --addr 127.0.0.1:7070 --devices c870x2 --margin 0.1 --cache-capacity 16",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                devices,
+                margin,
+                cache_capacity,
+                smoke,
+                soak,
+                ..
+            } => {
+                assert_eq!(addr, "127.0.0.1:7070");
+                assert_eq!(devices.as_deref(), Some("c870x2"));
+                assert!((margin - 0.1).abs() < 1e-12);
+                assert_eq!(cache_capacity, 16);
+                assert!(!smoke && !soak);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The CI gates need no address.
+        assert!(matches!(
+            Command::parse(&argv("serve --smoke")).unwrap(),
+            Command::Serve { smoke: true, .. }
+        ));
+        assert!(matches!(
+            Command::parse(&argv("serve --soak")).unwrap(),
+            Command::Serve { soak: true, .. }
+        ));
+        assert!(Command::parse(&argv("serve --smoke --soak")).is_err());
+        assert!(Command::parse(&argv("serve fig3")).is_err());
+        assert!(Command::parse(&argv("serve --cache-capacity 0")).is_err());
+
+        match Command::parse(&argv(
+            r#"client --addr 127.0.0.1:7070 --send {"op":"stats"} --json"#,
+        ))
+        .unwrap()
+        {
+            Command::Client { addr, send, json } => {
+                assert_eq!(addr, "127.0.0.1:7070");
+                assert_eq!(send, r#"{"op":"stats"}"#);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Command::parse(&argv("client --send x")).is_err());
+        assert!(Command::parse(&argv("client --addr 127.0.0.1:1")).is_err());
+        // serve/client flags belong to those verbs only.
+        assert!(Command::parse(&argv("plan fig3 --addr 127.0.0.1:1")).is_err());
+        assert!(Command::parse(&argv("run fig3 --send x")).is_err());
+        assert!(Command::parse(&argv("plan fig3 --soak")).is_err());
     }
 
     #[test]

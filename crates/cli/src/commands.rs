@@ -1123,6 +1123,63 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 );
             }
         }
+        Command::Serve {
+            addr,
+            devices,
+            device,
+            margin,
+            cache_capacity,
+            smoke,
+            soak,
+        } => {
+            if *smoke {
+                let report = gpuflow_serve::run_smoke()?;
+                let _ = write!(out, "serve smoke passed\n{report}");
+                return Ok(out);
+            }
+            if *soak {
+                let report = gpuflow_serve::run_soak(0x50A7, 4, 10)?;
+                let _ = writeln!(
+                    out,
+                    "serve soak passed: {} ok, {} backpressure, {} infeasible; \
+                     cache integrity verified over {} entries",
+                    report.ok, report.backpressure, report.infeasible, report.cache_entries
+                );
+                return Ok(out);
+            }
+            let cluster = match devices {
+                Some(spec) => parse_cluster(spec)?,
+                None => gpuflow_multi::Cluster::homogeneous(device.spec(), 1),
+            };
+            let cfg = gpuflow_serve::ServeConfig {
+                cluster,
+                margin: *margin,
+                cache_capacity: *cache_capacity,
+                ..gpuflow_serve::ServeConfig::default()
+            };
+            let handle = gpuflow_serve::serve_tcp(addr, cfg).map_err(|e| e.to_string())?;
+            // The bound address goes to stderr immediately (the ephemeral
+            // port is unknowable otherwise); stdout gets the exit summary.
+            eprintln!("gpuflow-serve listening on {}", handle.addr);
+            let bound = handle.addr;
+            let server = std::sync::Arc::clone(&handle.server);
+            handle.join();
+            let (requests, completed) = server
+                .with_metrics(|m| (m.counter("serve.requests"), m.counter("serve.completed")));
+            let _ = writeln!(
+                out,
+                "gpuflow-serve on {bound} shut down cleanly ({requests} requests, {completed} runs completed)"
+            );
+        }
+        Command::Client { addr, send, json } => {
+            let v = gpuflow_serve::request_once(addr, send).map_err(|e| e.to_string())?;
+            let rendered = if *json {
+                v.to_string_pretty()
+            } else {
+                v.to_string_compact()
+            };
+            let _ = writeln!(out, "{rendered}");
+        }
         Command::Emit {
             source,
             device,

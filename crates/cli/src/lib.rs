@@ -38,6 +38,13 @@
 //! errors are found; warnings and notes are reported but do not fail the
 //! command.
 //!
+//! `serve` starts the long-running planning-and-execution daemon
+//! (`gpuflow-serve`, see `docs/serving.md`): a line-delimited JSON
+//! protocol over plain TCP, with a content-addressed plan cache and
+//! memory-aware admission control. `serve --smoke` / `serve --soak` run
+//! its deterministic and chaos-faulted CI gates instead. `client` sends
+//! one request line to a running daemon and prints the response.
+//!
 //! `<source>` is either a `.gfg` file (see `gpuflow_graph::text`) or a
 //! built-in template:
 //!
@@ -74,6 +81,8 @@ usage:
   gpuflow check <source> [--device DEV | --devices CLUSTER] [--json] [--hazards] [--trace PATH]
   gpuflow trace <source> [--device DEV | --devices CLUSTER] [--margin F] [--exact] [--exact-budget N] [--exact-max-ops N] [--out PATH]
   gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV | --devices CLUSTER]
+  gpuflow serve [--addr HOST:PORT] [--device DEV | --devices CLUSTER] [--margin F] [--cache-capacity N] [--smoke | --soak]
+  gpuflow client --addr HOST:PORT --send '<request json>' [--json]
 
 sources:
   path/to/template.gfg

@@ -1,0 +1,91 @@
+//! Golden-file tests for `gpuflow client --json` responses.
+//!
+//! Three daemon responses are locked down byte-for-byte (after masking
+//! the wall-clock `*_us` fields, which vary run to run):
+//!
+//! * `serve_compile_miss.json` — first compile of a template (cold cache);
+//! * `serve_compile_hit.json` — the repeat compile (cache hit);
+//! * `serve_rejected_admission.json` — a run whose peak bytes can never
+//!   fit the daemon's admission capacity (typed `infeasible` reject).
+//!
+//! The daemon runs in-process on an ephemeral port; the responses go
+//! through the real `client` verb, so the wire format and the CLI's JSON
+//! rendering are both pinned. Regenerate after an intentional protocol
+//! change with:
+//! `UPDATE_GOLDEN=1 cargo test -p gpuflow-cli --test serve_golden`
+
+use gpuflow_cli::{execute, Command};
+use gpuflow_serve::{serve_tcp, ServeConfig};
+
+/// Mask the digits of every `"*_us": N` field so wall-clock jitter does
+/// not churn the goldens.
+fn mask_wall_clock(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find("_us\"") {
+        let (head, tail) = rest.split_at(pos + "_us\"".len());
+        out.push_str(head);
+        let tail = tail.strip_prefix(':').map_or(tail, |t| {
+            out.push(':');
+            t
+        });
+        let tail = tail.strip_prefix(' ').map_or(tail, |t| {
+            out.push(' ');
+            t
+        });
+        let digits = tail.chars().take_while(|c| c.is_ascii_digit()).count();
+        if digits > 0 {
+            out.push_str("<us>");
+        }
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn assert_matches_golden(name: &str, text: &str) {
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, text).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        text, golden,
+        "{name} drifted from the golden file; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+fn client(addr: &str, request: &str) -> String {
+    let cmd = Command::Client {
+        addr: addr.to_string(),
+        send: request.to_string(),
+        json: true,
+    };
+    mask_wall_clock(&execute(&cmd).unwrap())
+}
+
+#[test]
+fn client_json_responses_match_goldens() {
+    // Tiny admission capacity: compiles succeed (planning is pure), but
+    // every run is infeasible — which is exactly the third fixture.
+    let cfg = ServeConfig {
+        capacity_override: Some(vec![4096]),
+        ..ServeConfig::default()
+    };
+    let handle = serve_tcp("127.0.0.1:0", cfg).unwrap();
+    let addr = handle.addr.to_string();
+
+    let miss = client(&addr, r#"{"op":"compile","template":"fig3"}"#);
+    assert_matches_golden("serve_compile_miss.json", &miss);
+
+    let hit = client(&addr, r#"{"op":"compile","template":"fig3"}"#);
+    assert_matches_golden("serve_compile_hit.json", &hit);
+
+    let rejected = client(&addr, r#"{"op":"run","template":"fig3"}"#);
+    assert_matches_golden("serve_rejected_admission.json", &rejected);
+}

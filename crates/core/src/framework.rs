@@ -26,6 +26,14 @@ use crate::split::{split_graph, SplitResult};
 use crate::xfer::{schedule_transfers, EvictionPolicy, XferOptions};
 
 /// Compilation knobs. The defaults are the paper's configuration.
+///
+/// `Eq`/`Hash` are implemented manually so option sets can key a plan cache
+/// (`gpuflow-serve`): `memory_margin` is compared and hashed by its `f64`
+/// bit pattern (with `-0.0` normalized to `0.0`), making equality total —
+/// `NaN` margins compare equal to themselves and never poison a cache
+/// lookup. Every other field participates structurally, so two option sets
+/// collide only when every knob — margin bits, scheduler, eviction,
+/// partition, eager-free, and the full exact-solver budget — matches.
 #[derive(Debug, Clone, Copy)]
 pub struct CompileOptions {
     /// Fraction of device memory withheld from the planner to absorb
@@ -55,6 +63,42 @@ impl Default for CompileOptions {
             eager_free: true,
             exact: None,
         }
+    }
+}
+
+impl CompileOptions {
+    /// The margin's bit pattern as used by `Eq`/`Hash`: `-0.0` folds onto
+    /// `0.0` so the two zero encodings share a cache entry.
+    fn margin_bits(&self) -> u64 {
+        if self.memory_margin == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            self.memory_margin.to_bits()
+        }
+    }
+}
+
+impl PartialEq for CompileOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.margin_bits() == other.margin_bits()
+            && self.scheduler == other.scheduler
+            && self.eviction == other.eviction
+            && self.partition == other.partition
+            && self.eager_free == other.eager_free
+            && self.exact == other.exact
+    }
+}
+
+impl Eq for CompileOptions {}
+
+impl std::hash::Hash for CompileOptions {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.margin_bits().hash(state);
+        self.scheduler.hash(state);
+        self.eviction.hash(state);
+        self.partition.hash(state);
+        self.eager_free.hash(state);
+        self.exact.hash(state);
     }
 }
 
@@ -473,5 +517,93 @@ mod tests {
         // Input + 2 kernels in, output out — nothing else moves.
         assert_eq!(s.floats_in, 64 * 64 + 2 * 25);
         assert_eq!(s.floats_out, 60 * 60);
+    }
+
+    fn hash_of(o: &CompileOptions) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        o.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn options_eq_hash_distinguish_every_knob() {
+        let base = CompileOptions::default();
+        assert_eq!(base, base);
+        assert_eq!(hash_of(&base), hash_of(&base));
+
+        // Distinct margins must never collide into one cache entry.
+        for margin in [0.0, 0.01, 0.05, 0.1, 0.2, 0.5] {
+            let a = CompileOptions {
+                memory_margin: margin,
+                ..base
+            };
+            if margin != base.memory_margin {
+                assert_ne!(a, base, "margin {margin} compared equal to default");
+                assert_ne!(hash_of(&a), hash_of(&base));
+            }
+        }
+
+        // Distinct exact budgets must not collide either.
+        let exact_a = CompileOptions {
+            exact: Some(PbExactOptions::default()),
+            ..base
+        };
+        let exact_b = CompileOptions {
+            exact: Some(PbExactOptions {
+                max_conflicts: 1_000,
+                ..PbExactOptions::default()
+            }),
+            ..base
+        };
+        assert_ne!(exact_a, base);
+        assert_ne!(exact_a, exact_b);
+        assert_ne!(hash_of(&exact_a), hash_of(&exact_b));
+
+        // Every categorical knob participates.
+        for variant in [
+            CompileOptions {
+                scheduler: OpScheduler::BreadthFirst,
+                ..base
+            },
+            CompileOptions {
+                eviction: EvictionPolicy::Lru,
+                ..base
+            },
+            CompileOptions {
+                partition: PartitionPolicy::GreedyFuse,
+                ..base
+            },
+            CompileOptions {
+                eager_free: false,
+                ..base
+            },
+        ] {
+            assert_ne!(variant, base);
+            assert_ne!(hash_of(&variant), hash_of(&base));
+        }
+    }
+
+    #[test]
+    fn options_eq_is_total_and_zero_normalized() {
+        // NaN margins still compare equal to themselves (bit comparison):
+        // equality is total, as a cache key requires.
+        let nan = CompileOptions {
+            memory_margin: f64::NAN,
+            ..CompileOptions::default()
+        };
+        assert_eq!(nan, nan);
+        assert_eq!(hash_of(&nan), hash_of(&nan));
+        // The two float zeros are one key.
+        let pz = CompileOptions {
+            memory_margin: 0.0,
+            ..CompileOptions::default()
+        };
+        let nz = CompileOptions {
+            memory_margin: -0.0,
+            ..CompileOptions::default()
+        };
+        assert_eq!(pz, nz);
+        assert_eq!(hash_of(&pz), hash_of(&nz));
     }
 }

@@ -24,7 +24,7 @@ use gpuflow_graph::{DataKind, Graph};
 use crate::partition::OffloadUnit;
 
 /// Which operator-scheduling heuristic to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OpScheduler {
     /// The paper's demand-driven depth-first heuristic (post-order from
     /// the template outputs).

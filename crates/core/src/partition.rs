@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use gpuflow_graph::{DataId, Graph, OpId};
 
 /// How to group operators into offload units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartitionPolicy {
     /// One operator per unit (the paper's choice).
     PerOperator,

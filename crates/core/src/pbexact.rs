@@ -64,7 +64,7 @@ use crate::plan::{validate_plan, ExecutionPlan, Step};
 use crate::xfer::{schedule_transfers, EvictionPolicy, XferOptions};
 
 /// What the optimizer minimizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ObjectiveKind {
     /// Every transferred float counts — the paper's evaluation setting
     /// (its GPUs could not overlap transfers with computation).
@@ -78,7 +78,11 @@ pub enum ObjectiveKind {
 }
 
 /// Options for [`pb_exact_plan`].
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq`/`Eq`/`Hash` make the struct usable inside plan-cache keys
+/// (`gpuflow-serve`): two option sets compare equal exactly when every
+/// budget and switch matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PbExactOptions {
     /// Refuse problems with more offload units than this (the paper's
     /// "practically infeasible" boundary, pushed out by window pruning).

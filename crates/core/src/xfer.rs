@@ -26,7 +26,7 @@ use crate::partition::OffloadUnit;
 use crate::plan::{ExecutionPlan, Step};
 
 /// Eviction policy used when device memory runs out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EvictionPolicy {
     /// Evict the structure whose next read is furthest in the future
     /// (the paper's heuristic; optimal for uniform sizes).

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod data;
 pub mod dot;
 pub mod graph;
@@ -27,6 +28,7 @@ pub mod shape;
 pub mod text;
 pub mod topo;
 
+pub use canon::{canonical_hash, skeleton_hash};
 pub use data::{DataDesc, DataId, DataKind, Region};
 pub use graph::{Graph, GraphError};
 pub use liveness::Liveness;

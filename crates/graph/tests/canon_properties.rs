@@ -1,0 +1,264 @@
+//! Property tests for the canonical graph hash (`gpuflow_graph::canon`).
+//!
+//! The contract under test:
+//! 1. **Order invariance** — two materializations of the same logical graph
+//!    under arbitrary data/op insertion permutations hash equal (both
+//!    `canonical_hash` and `skeleton_hash`).
+//! 2. **Mutation sensitivity** — changing any operator kind, arity, data
+//!    shape, or wiring produces a different hash. Shape-only changes leave
+//!    `skeleton_hash` fixed while changing `canonical_hash`.
+
+use gpuflow_graph::{canonical_hash, skeleton_hash, DataId, DataKind, Graph, OpKind, RemapKind};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// A logical, order-free description of a random element-wise DAG.
+///
+/// Logical data slots `0..n_inputs` are graph inputs; slot `n_inputs + i` is
+/// the output of op `i`. Every data structure is `n`×`n`, so any element-wise
+/// wiring type-checks and any insertion order is materializable.
+#[derive(Clone)]
+struct Spec {
+    n: usize,
+    n_inputs: usize,
+    /// `(kind, logical input slots)` per op.
+    ops: Vec<(OpKind, Vec<usize>)>,
+}
+
+impl Spec {
+    fn random(rng: &mut TestRng, n: usize, n_inputs: usize, n_ops: usize) -> Spec {
+        let mut ops = Vec::with_capacity(n_ops);
+        for i in 0..n_ops {
+            let avail = n_inputs + i; // inputs + outputs of earlier ops
+            let pick = |rng: &mut TestRng| (rng.next_u64() as usize) % avail;
+            let (kind, inputs) = match rng.next_u64() % 6 {
+                0 => (OpKind::Tanh, vec![pick(rng)]),
+                1 => (OpKind::Remap(RemapKind::FlipH), vec![pick(rng)]),
+                2 => (OpKind::EwMul, vec![pick(rng), pick(rng)]),
+                3 => (OpKind::EwSub, vec![pick(rng), pick(rng)]),
+                4 => {
+                    let arity = 2 + (rng.next_u64() % 3) as u8;
+                    let ins = (0..arity).map(|_| pick(rng)).collect();
+                    (OpKind::EwAdd { arity }, ins)
+                }
+                _ => {
+                    let arity = 2 + (rng.next_u64() % 3) as u8;
+                    let ins = (0..arity).map(|_| pick(rng)).collect();
+                    (OpKind::EwMax { arity }, ins)
+                }
+            };
+            ops.push((kind, inputs));
+        }
+        Spec { n, n_inputs, ops }
+    }
+
+    fn num_slots(&self) -> usize {
+        self.n_inputs + self.ops.len()
+    }
+
+    /// Materialize under the given insertion orders. `data_order` permutes
+    /// the creation order of the logical data slots; `op_order` permutes the
+    /// insertion order of the ops. Both must be permutations of their index
+    /// ranges. `Graph::add_op` performs no topological check (only
+    /// `validate` does), so any op order materializes.
+    fn build(&self, data_order: &[usize], op_order: &[usize]) -> Graph {
+        let mut g = Graph::new();
+        let mut slot_id: Vec<Option<DataId>> = vec![None; self.num_slots()];
+        for &slot in data_order {
+            let kind = if slot < self.n_inputs {
+                DataKind::Input
+            } else {
+                // Op outputs: mark the last op's output as the boundary
+                // output so the graph has one.
+                if slot == self.num_slots() - 1 {
+                    DataKind::Output
+                } else {
+                    DataKind::Temporary
+                }
+            };
+            slot_id[slot] = Some(g.add(format!("s{slot}"), self.n, self.n, kind));
+        }
+        for &o in op_order {
+            let (kind, ref ins) = self.ops[o];
+            let inputs: Vec<DataId> = ins.iter().map(|&s| slot_id[s].unwrap()).collect();
+            let output = slot_id[self.n_inputs + o].unwrap();
+            g.add_op(format!("op{o}"), kind, inputs, output).unwrap();
+        }
+        g
+    }
+
+    fn build_identity(&self) -> Graph {
+        let data_order: Vec<usize> = (0..self.num_slots()).collect();
+        let op_order: Vec<usize> = (0..self.ops.len()).collect();
+        self.build(&data_order, &op_order)
+    }
+}
+
+/// Fisher–Yates driven by the test RNG.
+fn shuffled(rng: &mut TestRng, len: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = (rng.next_u64() as usize) % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insertion_order_never_changes_the_hash(seed in 0u64..1_000_000, n_ops in 1usize..14) {
+        let mut rng = TestRng::for_case(seed, 0);
+        let spec = Spec::random(&mut rng, 6, 1 + (seed as usize % 3), n_ops);
+        let base = spec.build_identity();
+        let (h, s) = (canonical_hash(&base), skeleton_hash(&base));
+        for round in 0..4u64 {
+            let mut prng = TestRng::for_case(seed ^ 0xA11CE, round);
+            let g = spec.build(
+                &shuffled(&mut prng, spec.num_slots()),
+                &shuffled(&mut prng, spec.ops.len()),
+            );
+            prop_assert_eq!(canonical_hash(&g), h, "canonical hash changed under permutation");
+            prop_assert_eq!(skeleton_hash(&g), s, "skeleton hash changed under permutation");
+        }
+    }
+
+    #[test]
+    fn size_mutation_changes_canonical_but_not_skeleton(seed in 0u64..1_000_000, n_ops in 1usize..12) {
+        let mut rng = TestRng::for_case(seed, 1);
+        let spec = Spec::random(&mut rng, 6, 2, n_ops);
+        let mut bigger = spec.clone();
+        bigger.n = 7;
+        let (a, b) = (spec.build_identity(), bigger.build_identity());
+        prop_assert!(canonical_hash(&a) != canonical_hash(&b),
+            "resizing every data structure must change the canonical hash");
+        prop_assert_eq!(skeleton_hash(&a), skeleton_hash(&b),
+            "a size-only change must preserve the skeleton hash");
+    }
+
+    #[test]
+    fn kind_mutation_changes_both_hashes(seed in 0u64..1_000_000, n_ops in 1usize..12) {
+        let mut rng = TestRng::for_case(seed, 2);
+        let spec = Spec::random(&mut rng, 6, 2, n_ops);
+        let victim = (rng.next_u64() as usize) % spec.ops.len();
+        let mut mutated = spec.clone();
+        // Swap to a different kind of the same arity so the spec stays
+        // materializable. The multiset of op kinds provably changes, so the
+        // mutated graph cannot be isomorphic to the original.
+        mutated.ops[victim].0 = match mutated.ops[victim].0 {
+            OpKind::Tanh => OpKind::Identity,
+            OpKind::Remap(RemapKind::FlipH) => OpKind::Tanh,
+            OpKind::EwMul => OpKind::EwSub,
+            OpKind::EwSub => OpKind::EwMul,
+            OpKind::EwAdd { arity } => OpKind::EwMax { arity },
+            OpKind::EwMax { arity } => OpKind::EwAdd { arity },
+            other => other,
+        };
+        let (a, b) = (spec.build_identity(), mutated.build_identity());
+        prop_assert!(canonical_hash(&a) != canonical_hash(&b));
+        prop_assert!(skeleton_hash(&a) != skeleton_hash(&b));
+    }
+
+    #[test]
+    fn adding_an_op_changes_both_hashes(seed in 0u64..1_000_000, n_ops in 1usize..12) {
+        let mut rng = TestRng::for_case(seed, 3);
+        let spec = Spec::random(&mut rng, 6, 2, n_ops);
+        let mut grown = spec.clone();
+        let src = (rng.next_u64() as usize) % grown.num_slots();
+        grown.ops.push((OpKind::Tanh, vec![src]));
+        let (a, b) = (spec.build_identity(), grown.build_identity());
+        prop_assert!(canonical_hash(&a) != canonical_hash(&b));
+        prop_assert!(skeleton_hash(&a) != skeleton_hash(&b));
+    }
+}
+
+/// Deterministic wiring-sensitivity cases, built so the rewired endpoints
+/// are structurally distinguishable (a random rewire can accidentally
+/// produce an isomorphic graph, which *should* hash equal — so wiring
+/// sensitivity is pinned with hand-built graphs instead of random ones).
+#[test]
+fn edge_rewire_between_distinguishable_sources_changes_hash() {
+    let build = |use_tanh_branch: bool| {
+        let mut g = Graph::new();
+        let x = g.add("x", 8, 8, DataKind::Input);
+        let t = g.add("t", 8, 8, DataKind::Temporary);
+        let f = g.add("f", 8, 8, DataKind::Temporary);
+        let o = g.add("o", 8, 8, DataKind::Output);
+        g.add_op("tanh", OpKind::Tanh, vec![x], t).unwrap();
+        g.add_op("flip", OpKind::Remap(RemapKind::FlipH), vec![x], f)
+            .unwrap();
+        // The final op consumes one branch twice; which branch is the
+        // wiring difference. Both graphs have identical op-kind multisets.
+        let src = if use_tanh_branch { t } else { f };
+        g.add_op("mul", OpKind::EwMul, vec![src, src], o).unwrap();
+        g
+    };
+    let (a, b) = (build(true), build(false));
+    assert_ne!(canonical_hash(&a), canonical_hash(&b));
+    assert_ne!(skeleton_hash(&a), skeleton_hash(&b));
+}
+
+#[test]
+fn input_position_swap_changes_hash() {
+    // EwSub(a, b) vs EwSub(b, a) where a and b are distinguishable: operand
+    // position must be part of the structure (a - b != b - a).
+    let build = |swap: bool| {
+        let mut g = Graph::new();
+        let x = g.add("x", 8, 8, DataKind::Input);
+        let t = g.add("t", 8, 8, DataKind::Temporary);
+        let o = g.add("o", 8, 8, DataKind::Output);
+        g.add_op("tanh", OpKind::Tanh, vec![x], t).unwrap();
+        let ins = if swap { vec![t, x] } else { vec![x, t] };
+        g.add_op("sub", OpKind::EwSub, ins, o).unwrap();
+        g
+    };
+    assert_ne!(canonical_hash(&build(false)), canonical_hash(&build(true)));
+}
+
+#[test]
+fn data_kind_retag_changes_hash() {
+    let build = |kind: DataKind| {
+        let mut g = Graph::new();
+        let x = g.add("x", 8, 8, DataKind::Input);
+        let m = g.add("m", 8, 8, kind);
+        let o = g.add("o", 8, 8, DataKind::Output);
+        g.add_op("t1", OpKind::Tanh, vec![x], m).unwrap();
+        g.add_op("t2", OpKind::Tanh, vec![m], o).unwrap();
+        g
+    };
+    assert_ne!(
+        canonical_hash(&build(DataKind::Temporary)),
+        canonical_hash(&build(DataKind::Output)),
+    );
+}
+
+#[test]
+fn twin_subtrees_are_order_invariant() {
+    // A graph with two structurally identical branches is the worst case
+    // for naive id-based hashing; permuting which branch is built first
+    // must not change the hash.
+    let build = |first: bool| {
+        let mut g = Graph::new();
+        let x = g.add("x", 8, 8, DataKind::Input);
+        let (a, b);
+        if first {
+            a = g.add("a", 8, 8, DataKind::Temporary);
+            b = g.add("b", 8, 8, DataKind::Temporary);
+            g.add_op("ta", OpKind::Tanh, vec![x], a).unwrap();
+            g.add_op("tb", OpKind::Tanh, vec![x], b).unwrap();
+        } else {
+            b = g.add("b", 8, 8, DataKind::Temporary);
+            a = g.add("a", 8, 8, DataKind::Temporary);
+            g.add_op("tb", OpKind::Tanh, vec![x], b).unwrap();
+            g.add_op("ta", OpKind::Tanh, vec![x], a).unwrap();
+        }
+        let o = g.add("o", 8, 8, DataKind::Output);
+        g.add_op("sub", OpKind::EwSub, vec![a, b], o).unwrap();
+        g
+    };
+    // Note: the two graphs differ in which *id* feeds EwSub's first slot,
+    // but structurally "first operand is the tanh added first" is not
+    // observable — both are (tanh(x), tanh(x)). Hashes must agree.
+    assert_eq!(canonical_hash(&build(true)), canonical_hash(&build(false)));
+}

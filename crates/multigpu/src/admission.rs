@@ -1,0 +1,298 @@
+//! Memory-aware admission accounting for a shared simulated cluster.
+//!
+//! When many concurrent requests multiplex onto one cluster
+//! (`gpuflow-serve`), each admitted run pins its plan's `peak_per_device`
+//! bytes on every device for the duration of execution. The
+//! [`AdmissionLedger`] is the single source of truth for how much of each
+//! device's capacity is already committed; it admits a request only when
+//! *every* device can absorb the request's peak on top of what is already
+//! in flight, so the summed in-flight peaks provably never exceed capacity
+//! (see `tests/admission_properties.rs`).
+//!
+//! The ledger is deliberately synchronous and lock-free-agnostic: callers
+//! (the serve request scheduler) wrap it in whatever synchronization they
+//! use. It refuses to guess queueing policy — it only answers "does this
+//! fit right now, and if not, could it ever?".
+
+use crate::cluster::Cluster;
+
+/// Why a reservation could not be granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The request's peak on `device` exceeds that device's *total*
+    /// capacity: it can never run on this cluster, no matter how empty.
+    /// Serve replies with a terminal rejection, not backpressure.
+    Infeasible {
+        /// Device index whose capacity is structurally exceeded.
+        device: usize,
+        /// Bytes the request needs resident on that device.
+        needed: u64,
+        /// The device's total admissible capacity.
+        capacity: u64,
+    },
+    /// The request fits an empty cluster but not the current load: some
+    /// device would be oversubscribed by admitting it now. Serve queues
+    /// the request (bounded) or replies with typed backpressure.
+    Oversubscribed {
+        /// First device index that cannot absorb the request right now.
+        device: usize,
+        /// Bytes the request needs resident on that device.
+        needed: u64,
+        /// Bytes still uncommitted on that device.
+        available: u64,
+    },
+    /// The request's per-device peak vector has the wrong arity for this
+    /// cluster.
+    WrongArity {
+        /// Devices in the peak vector.
+        got: usize,
+        /// Devices in the cluster.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Infeasible {
+                device,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "infeasible: needs {needed} B on device {device}, capacity {capacity} B"
+            ),
+            AdmissionError::Oversubscribed {
+                device,
+                needed,
+                available,
+            } => write!(
+                f,
+                "oversubscribed: needs {needed} B on device {device}, {available} B available"
+            ),
+            AdmissionError::WrongArity { got, expected } => {
+                write!(f, "peak vector has {got} devices, cluster has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A committed reservation: the per-device bytes a granted request holds.
+///
+/// Returned by [`AdmissionLedger::try_commit`] and surrendered to
+/// [`AdmissionLedger::release`]. Deliberately not `Clone`: one grant, one
+/// release.
+#[derive(Debug)]
+pub struct Reservation {
+    peaks: Vec<u64>,
+}
+
+impl Reservation {
+    /// Per-device bytes held by this reservation.
+    pub fn peaks(&self) -> &[u64] {
+        &self.peaks
+    }
+}
+
+/// Per-device committed-bytes accounting for in-flight requests.
+///
+/// ```
+/// use gpuflow_multi::admission::AdmissionLedger;
+///
+/// let mut ledger = AdmissionLedger::new(vec![100, 100]);
+/// let r1 = ledger.try_commit(&[60, 10]).unwrap();
+/// // A second request needing 50 B on device 0 must wait: 60+50 > 100.
+/// assert!(ledger.try_commit(&[50, 0]).is_err());
+/// ledger.release(r1);
+/// assert!(ledger.try_commit(&[50, 0]).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdmissionLedger {
+    capacities: Vec<u64>,
+    committed: Vec<u64>,
+    in_flight: usize,
+}
+
+impl AdmissionLedger {
+    /// Ledger over explicit per-device capacities (bytes).
+    pub fn new(capacities: Vec<u64>) -> Self {
+        let n = capacities.len();
+        AdmissionLedger {
+            capacities,
+            committed: vec![0; n],
+            in_flight: 0,
+        }
+    }
+
+    /// Ledger admitting against the *plannable* budgets of `cluster` at
+    /// `margin` — the same headroom the planner itself compiles against,
+    /// so an admitted plan is also a plannable plan.
+    pub fn for_cluster(cluster: &Cluster, margin: f64) -> Self {
+        AdmissionLedger::new(cluster.plannable_budgets(margin))
+    }
+
+    /// Number of devices accounted.
+    pub fn num_devices(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Total admissible capacity per device.
+    pub fn capacities(&self) -> &[u64] {
+        &self.capacities
+    }
+
+    /// Bytes currently committed per device.
+    pub fn committed(&self) -> &[u64] {
+        &self.committed
+    }
+
+    /// Requests currently holding reservations.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Uncommitted bytes on `device`.
+    pub fn available(&self, device: usize) -> u64 {
+        self.capacities[device] - self.committed[device]
+    }
+
+    /// Classify `peaks` without committing: `Ok` when it fits now,
+    /// otherwise the same error [`try_commit`](Self::try_commit) would
+    /// return.
+    pub fn probe(&self, peaks: &[u64]) -> Result<(), AdmissionError> {
+        if peaks.len() != self.capacities.len() {
+            return Err(AdmissionError::WrongArity {
+                got: peaks.len(),
+                expected: self.capacities.len(),
+            });
+        }
+        for (d, &need) in peaks.iter().enumerate() {
+            if need > self.capacities[d] {
+                return Err(AdmissionError::Infeasible {
+                    device: d,
+                    needed: need,
+                    capacity: self.capacities[d],
+                });
+            }
+        }
+        for (d, &need) in peaks.iter().enumerate() {
+            if need > self.available(d) {
+                return Err(AdmissionError::Oversubscribed {
+                    device: d,
+                    needed: need,
+                    available: self.available(d),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically reserve `peaks[d]` bytes on every device `d`, or change
+    /// nothing. The returned [`Reservation`] must be passed back to
+    /// [`release`](Self::release) when the run finishes.
+    pub fn try_commit(&mut self, peaks: &[u64]) -> Result<Reservation, AdmissionError> {
+        self.probe(peaks)?;
+        for (d, &need) in peaks.iter().enumerate() {
+            self.committed[d] += need;
+        }
+        self.in_flight += 1;
+        Ok(Reservation {
+            peaks: peaks.to_vec(),
+        })
+    }
+
+    /// Return a reservation's bytes to the pool.
+    pub fn release(&mut self, r: Reservation) {
+        debug_assert!(self.in_flight > 0, "release without a matching commit");
+        for (d, &need) in r.peaks.iter().enumerate() {
+            debug_assert!(
+                self.committed[d] >= need,
+                "ledger underflow on device {d}: {} < {need}",
+                self.committed[d]
+            );
+            self.committed[d] -= need;
+        }
+        self.in_flight -= 1;
+    }
+
+    /// Invariant check: no device is committed past its capacity. The
+    /// serve scheduler asserts this after every transition; the admission
+    /// property test drives it through random workloads.
+    pub fn check_invariant(&self) -> bool {
+        self.committed
+            .iter()
+            .zip(&self.capacities)
+            .all(|(c, cap)| c <= cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use gpuflow_sim::device::tesla_c870;
+
+    #[test]
+    fn commit_release_roundtrip() {
+        let mut l = AdmissionLedger::new(vec![100, 200]);
+        assert_eq!(l.in_flight(), 0);
+        let r = l.try_commit(&[40, 50]).unwrap();
+        assert_eq!(l.committed(), &[40, 50]);
+        assert_eq!(l.in_flight(), 1);
+        assert!(l.check_invariant());
+        l.release(r);
+        assert_eq!(l.committed(), &[0, 0]);
+        assert_eq!(l.in_flight(), 0);
+    }
+
+    #[test]
+    fn infeasible_vs_oversubscribed() {
+        let mut l = AdmissionLedger::new(vec![100]);
+        // Structurally too big: terminal.
+        assert!(matches!(
+            l.probe(&[101]),
+            Err(AdmissionError::Infeasible { .. })
+        ));
+        // Fits empty but not under load: backpressure.
+        let _r = l.try_commit(&[70]).unwrap();
+        assert!(matches!(
+            l.probe(&[40]),
+            Err(AdmissionError::Oversubscribed {
+                device: 0,
+                needed: 40,
+                available: 30
+            })
+        ));
+    }
+
+    #[test]
+    fn failed_commit_changes_nothing() {
+        let mut l = AdmissionLedger::new(vec![100, 100]);
+        let _r = l.try_commit(&[10, 90]).unwrap();
+        // Device 0 could absorb 80, device 1 cannot absorb 20: atomic
+        // failure must leave device 0 untouched.
+        assert!(l.try_commit(&[80, 20]).is_err());
+        assert_eq!(l.committed(), &[10, 90]);
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        let mut l = AdmissionLedger::new(vec![100, 100]);
+        assert!(matches!(
+            l.try_commit(&[10]),
+            Err(AdmissionError::WrongArity {
+                got: 1,
+                expected: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn cluster_ledger_uses_plannable_budgets() {
+        let cluster = Cluster::homogeneous(tesla_c870(), 2);
+        let l = AdmissionLedger::for_cluster(&cluster, 0.05);
+        assert_eq!(l.capacities(), &cluster.plannable_budgets(0.05)[..]);
+    }
+}

@@ -6,6 +6,8 @@
 //!
 //! * [`cluster`] — cluster descriptions and the `NAMExN` spec parser
 //!   behind the CLI's `--devices` flag;
+//! * [`admission`] — per-device committed-bytes accounting used by the
+//!   serving layer to keep concurrent in-flight plans within capacity;
 //! * [`shard`] — the sharding pass: the single-GPU operator-splitting pass
 //!   carves every operator into at least one row band per device, and each
 //!   piece is assigned the device owning its band;
@@ -27,6 +29,7 @@
 
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod cluster;
 pub mod makespan;
 pub mod observe;
@@ -35,6 +38,7 @@ pub mod resilient;
 pub mod schedule;
 pub mod shard;
 
+pub use admission::{AdmissionError, AdmissionLedger, Reservation};
 pub use cluster::{parse_cluster, Cluster};
 pub use makespan::{
     multi_overlapped_makespan, multi_overlapped_trace, multi_step_times, render_multi_gantt,

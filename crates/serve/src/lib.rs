@@ -1,0 +1,51 @@
+//! gpuflow-serve: a long-running planning-and-execution daemon.
+//!
+//! The paper's framework compiles a domain-specific template once and
+//! executes it many times; this crate turns that economy into a service.
+//! A daemon owns one simulated cluster and serves `compile` / `run` /
+//! `stats` / `shutdown` requests over a line-delimited JSON protocol on
+//! plain TCP (no external dependencies — [`gpuflow_minijson`] is the
+//! wire format).
+//!
+//! Three subsystems do the work:
+//!
+//! * **content-addressed plan cache** ([`cache`], [`key`], [`planner`]) —
+//!   plans are keyed by the graph's insertion-order-invariant
+//!   [`gpuflow_graph::canonical_hash`], the normalized
+//!   [`gpuflow_core::CompileOptions`], and a cluster fingerprint. A
+//!   size-insensitive skeleton index powers an *incremental recompile*
+//!   fast path: a resized template reuses the cached schedule and re-runs
+//!   only splitting + validation.
+//! * **memory-aware admission** ([`gpuflow_multi::AdmissionLedger`]) —
+//!   each run reserves its plan's `peak_per_device` bytes before
+//!   executing; oversubscribing requests queue (bounded, with typed
+//!   `backpressure` rejections) instead of oversubscribing the
+//!   simulated devices.
+//! * **request scheduler** ([`server`], [`net`]) — connection threads
+//!   multiplex admitted runs onto the executors, with per-request spans
+//!   on the [`gpuflow_trace::PID_SERVE`] track and `serve.*` metrics.
+//!
+//! The ci.sh gates live in [`smoke`] (deterministic protocol smoke) and
+//! [`soak`] (concurrent chaos-faulted storm).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod key;
+pub mod net;
+pub mod planner;
+pub mod protocol;
+pub mod server;
+pub mod smoke;
+pub mod soak;
+pub mod source;
+
+pub use cache::{CachedPlan, PlanCache};
+pub use key::{cluster_fingerprint, device_fingerprint, PlanKey, SkeletonKey};
+pub use net::{request_once, serve_tcp, Client, ServerHandle};
+pub use planner::{plan_request, CacheOutcome, PlannedRequest};
+pub use protocol::{parse_request, Request, RequestOptions};
+pub use server::{percentile_us, ServeConfig, Server};
+pub use smoke::run_smoke;
+pub use soak::{run_soak, SoakReport};
+pub use source::{resolve_named, TemplateRef};

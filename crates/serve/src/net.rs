@@ -1,0 +1,230 @@
+//! TCP transport: a localhost accept loop around [`Server`], plus a tiny
+//! blocking client.
+//!
+//! The wire format is one request line → one response line (see
+//! [`crate::protocol`]). The listener is nonblocking and polled so the
+//! accept thread can notice shutdown promptly; each accepted connection
+//! gets its own thread (connections are long-lived and few — this is a
+//! research daemon, not a C10K server). `shutdown` drains: in-flight
+//! requests finish, the accept loop closes, and [`ServerHandle::join`]
+//! returns.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gpuflow_minijson::Value;
+
+use crate::server::{ServeConfig, Server};
+
+/// A running daemon: the bound address, the shared server state, and the
+/// accept thread.
+pub struct ServerHandle {
+    /// The actual bound address (`127.0.0.1:<ephemeral>` by default).
+    pub addr: SocketAddr,
+    /// The shared serving core (for in-process inspection in tests).
+    pub server: Arc<Server>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Block until the accept loop exits (after a `shutdown` request).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Unsupervised drop: force shutdown so the accept thread exits.
+        self.server.handle_line(r#"{"op":"shutdown"}"#);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+/// requests until a `shutdown` request arrives.
+pub fn serve_tcp(addr: &str, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let server = Arc::new(Server::new(cfg));
+    let accept_server = Arc::clone(&server);
+    let accept_thread = std::thread::Builder::new()
+        .name("serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_server))?;
+    Ok(ServerHandle {
+        addr,
+        server,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, server: Arc<Server>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if server.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_server = Arc::clone(&server);
+                if let Ok(t) = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || handle_connection(stream, conn_server))
+                {
+                    workers.push(t);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+        workers.retain(|t| !t.is_finished());
+    }
+    for t in workers {
+        let _ = t.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, server: Arc<Server>) {
+    // Short read timeout so the thread can notice shutdown even while a
+    // client holds the connection open without sending anything.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                if !buf.ends_with('\n') {
+                    continue; // EOF without newline; next read returns 0
+                }
+                let line = buf.trim();
+                if !line.is_empty() {
+                    let response = server.handle_line(line);
+                    if writer
+                        .write_all(response.as_bytes())
+                        .and_then(|()| writer.write_all(b"\n"))
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                buf.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A timeout may leave a partial line in `buf`; keep it and
+                // let the next read append the rest.
+                if server.is_shutting_down() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// A blocking line-protocol client over one persistent connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw request line, return the raw response line.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Send one request line and parse the response JSON.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Value> {
+        let raw = self.request_line(line)?;
+        gpuflow_minijson::parse(&raw)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// One-shot convenience: connect, send one request, return the parsed
+/// response.
+pub fn request_once(addr: &str, line: &str) -> std::io::Result<Value> {
+    Client::connect(addr)?.request(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let handle = serve_tcp("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = handle.addr.to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        let r = client
+            .request(r#"{"op":"compile","template":"fig3"}"#)
+            .unwrap();
+        assert_eq!(r.get("ok").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(r.get("cache").and_then(|v| v.as_str()), Some("miss"));
+        let r = client
+            .request(r#"{"op":"compile","template":"fig3"}"#)
+            .unwrap();
+        assert_eq!(r.get("cache").and_then(|v| v.as_str()), Some("hit"));
+        let r = client.request(r#"{"op":"shutdown"}"#).unwrap();
+        assert_eq!(r.get("ok").and_then(|v| v.as_bool()), Some(true));
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_lines_get_bad_request_not_disconnect() {
+        let handle = serve_tcp("127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = handle.addr.to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        let r = client.request("this is not json").unwrap();
+        assert_eq!(r.get("ok").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(
+            r.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(|v| v.as_str()),
+            Some("bad_request")
+        );
+        // Connection survives the error.
+        let r = client.request(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(r.get("ok").and_then(|v| v.as_bool()), Some(true));
+    }
+}

@@ -1,0 +1,244 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, both
+//! [`gpuflow_minijson`] objects. Full grammar in `docs/serving.md`.
+//!
+//! Requests: `{"op": "compile" | "run" | "stats" | "shutdown", ...}` with
+//! a template named by `"template": "<spec>"` (builtin grammar, see
+//! [`crate::source`]) or carried inline as `"graph": "<gfg text>"`;
+//! optional `"margin"` (fraction), `"exact"` (bool, small templates
+//! only); `run` additionally accepts `"faults"` (a
+//! [`gpuflow_chaos::FaultSpec`] string) and `"hold_ms"` (keep the
+//! admission reservation alive after execution — load-testing aid).
+//!
+//! Responses: `{"ok": true, "result": ..., ...}` on success, or
+//! `{"ok": false, "error": {"kind": ..., "detail": ...}}`. Error kinds:
+//! `bad_request`, `compile_error`, `infeasible` (terminal — the request
+//! can never fit this cluster), `backpressure` (typed retry signal: the
+//! cluster is momentarily full and the wait queue is saturated or timed
+//! out), `shutting_down`, `internal`.
+
+use gpuflow_core::{CompileOptions, PbExactOptions};
+use gpuflow_minijson::{Map, Value};
+
+use crate::source::TemplateRef;
+
+/// Per-request compile knobs (a subset of [`CompileOptions`] exposed on
+/// the wire; everything else stays at the paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOptions {
+    /// Memory margin override (`None` = server default).
+    pub margin: Option<f64>,
+    /// Use the exact PB scheduler (refused for large templates by the
+    /// solver's own `max_ops` bound).
+    pub exact: bool,
+}
+
+impl RequestOptions {
+    /// Lower onto full [`CompileOptions`], filling the server's default
+    /// margin.
+    pub fn compile_options(&self, default_margin: f64) -> CompileOptions {
+        CompileOptions {
+            memory_margin: self.margin.unwrap_or(default_margin),
+            exact: if self.exact {
+                Some(PbExactOptions::default())
+            } else {
+                None
+            },
+            ..CompileOptions::default()
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile (or fetch from cache) a plan; no execution.
+    Compile {
+        /// The template to plan.
+        template: TemplateRef,
+        /// Compile knobs.
+        options: RequestOptions,
+    },
+    /// Compile, admit, and execute on the shared cluster.
+    Run {
+        /// The template to run.
+        template: TemplateRef,
+        /// Compile knobs.
+        options: RequestOptions,
+        /// Optional fault-injection spec for this run.
+        faults: Option<String>,
+        /// Keep the admission reservation held this long after execution
+        /// (milliseconds). Lets tests and load generators create
+        /// deterministic overlap windows.
+        hold_ms: u64,
+    },
+    /// Snapshot the `serve.*` metrics.
+    Stats,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+fn template_of(m: &Map) -> Result<TemplateRef, String> {
+    match (m.get("template"), m.get("graph")) {
+        (Some(t), None) => match t.as_str() {
+            Some(s) => Ok(TemplateRef::Named(s.to_string())),
+            None => Err("'template' must be a string".into()),
+        },
+        (None, Some(g)) => match g.as_str() {
+            Some(s) => Ok(TemplateRef::Inline(s.to_string())),
+            None => Err("'graph' must be a string".into()),
+        },
+        (Some(_), Some(_)) => Err("give either 'template' or 'graph', not both".into()),
+        (None, None) => Err("missing 'template' or 'graph'".into()),
+    }
+}
+
+fn options_of(m: &Map) -> Result<RequestOptions, String> {
+    let margin = match m.get("margin") {
+        None => None,
+        Some(v) => match v.as_f64() {
+            Some(f) if (0.0..1.0).contains(&f) => Some(f),
+            _ => return Err("'margin' must be a number in [0, 1)".into()),
+        },
+    };
+    let exact = match m.get("exact") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| "'exact' must be a boolean".to_string())?,
+    };
+    Ok(RequestOptions { margin, exact })
+}
+
+/// Parse one request line. Errors are `bad_request` details.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = gpuflow_minijson::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let m = v.as_object().ok_or("request must be a JSON object")?;
+    let op = m
+        .get("op")
+        .and_then(|v| v.as_str())
+        .ok_or("missing 'op' field")?;
+    match op {
+        "compile" => Ok(Request::Compile {
+            template: template_of(m)?,
+            options: options_of(m)?,
+        }),
+        "run" => {
+            let faults = match m.get("faults") {
+                None => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| "'faults' must be a string".to_string())?
+                        .to_string(),
+                ),
+            };
+            let hold_ms = match m.get("hold_ms") {
+                None => 0,
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| "'hold_ms' must be an integer".to_string())?
+                    .min(60_000),
+            };
+            Ok(Request::Run {
+                template: template_of(m)?,
+                options: options_of(m)?,
+                faults,
+                hold_ms,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op '{other}'")),
+    }
+}
+
+/// Start a success response: `{"ok": true, "result": <result>}`.
+pub fn ok_base(result: &str) -> Map {
+    let mut m = Map::new();
+    m.insert("ok", true);
+    m.insert("result", result);
+    m
+}
+
+/// A typed error response.
+pub fn error_response(kind: &str, detail: impl Into<String>) -> Value {
+    let mut e = Map::new();
+    e.insert("kind", kind);
+    e.insert("detail", detail.into());
+    let mut m = Map::new();
+    m.insert("ok", false);
+    m.insert("error", Value::Object(e));
+    Value::Object(m)
+}
+
+/// A typed backpressure reply: the request was well-formed and feasible
+/// but the cluster cannot take it right now. Carries enough context for
+/// the client to implement informed retry.
+pub fn backpressure_response(detail: impl Into<String>, queue_depth: u64, waited_us: u64) -> Value {
+    let mut e = Map::new();
+    e.insert("kind", "backpressure");
+    e.insert("detail", detail.into());
+    e.insert("queue_depth", queue_depth);
+    e.insert("waited_us", waited_us);
+    e.insert("retry", true);
+    let mut m = Map::new();
+    m.insert("ok", false);
+    m.insert("error", Value::Object(e));
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_compile_and_run() {
+        let r = parse_request(r#"{"op":"compile","template":"fig3","margin":0.1}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Compile {
+                template: TemplateRef::Named("fig3".into()),
+                options: RequestOptions {
+                    margin: Some(0.1),
+                    exact: false
+                }
+            }
+        );
+        let r = parse_request(
+            r#"{"op":"run","graph":"data A input 1 1\n","hold_ms":5,"faults":"seed=3"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Run {
+                template: TemplateRef::Inline(_),
+                hold_ms: 5,
+                faults: Some(f),
+                ..
+            } => assert_eq!(f, "seed=3"),
+            other => panic!("bad parse: {other:?}"),
+        }
+        assert!(parse_request(r#"{"op":"stats"}"#).is_ok());
+        assert!(parse_request(r#"{"op":"shutdown"}"#).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op":"zap"}"#).is_err());
+        assert!(parse_request(r#"{"op":"compile"}"#).is_err());
+        assert!(parse_request(r#"{"op":"compile","template":"fig3","graph":"x"}"#).is_err());
+        assert!(parse_request(r#"{"op":"compile","template":"fig3","margin":1.5}"#).is_err());
+        assert!(parse_request(r#"{"op":"run","template":"fig3","hold_ms":"soon"}"#).is_err());
+    }
+
+    #[test]
+    fn error_responses_are_typed() {
+        let v = backpressure_response("cluster full", 3, 1500);
+        let m = v.as_object().unwrap();
+        assert_eq!(m.get("ok").and_then(|v| v.as_bool()), Some(false));
+        let e = m.get("error").and_then(|v| v.as_object()).unwrap();
+        assert_eq!(e.get("kind").and_then(|v| v.as_str()), Some("backpressure"));
+        assert_eq!(e.get("retry").and_then(|v| v.as_bool()), Some(true));
+    }
+}

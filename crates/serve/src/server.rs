@@ -1,0 +1,785 @@
+//! The serving core: cache + admission + execution behind a line protocol.
+//!
+//! [`Server`] is transport-agnostic — [`Server::handle_line`] maps one
+//! request line to one response line, and [`crate::net`] wraps it in a
+//! TCP accept loop. All state is interior-mutex'd so connection threads
+//! share one `Server` behind an `Arc`.
+//!
+//! Request lifecycle (each phase is a span on the `PID_SERVE` trace
+//! track, one Chrome-trace thread per request):
+//!
+//! 1. **parse** — the protocol layer ([`crate::protocol`]).
+//! 2. **cache-probe / compile** — first the source-text memo (a repeat
+//!    named request maps straight to its [`PlanKey`] without rebuilding
+//!    the graph), then [`crate::planner::plan_request`] under the cache
+//!    lock: exact hit, incremental recompile, or full compile.
+//! 3. **admit** — reserve `peak_per_device` bytes in the
+//!    [`AdmissionLedger`]. When the cluster is momentarily full the
+//!    request *queues* on a condvar (bounded by `queue_capacity`, bounded
+//!    wait `queue_timeout_ms`) rather than failing; structural
+//!    impossibility (`infeasible`) and queue overflow/timeout
+//!    (`backpressure`) are distinct typed errors.
+//! 4. **execute** — the simulated run, optionally under a
+//!    [`gpuflow_chaos`] fault schedule with the resilient executors, then
+//!    hazard certification of the executed plan.
+//! 5. **release** — the reservation drops, waiters are woken.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use gpuflow_chaos::FaultSpec;
+use gpuflow_core::{CompileOptions, ResilientExecutor};
+use gpuflow_minijson::{Map, Value};
+use gpuflow_multi::{AdmissionError, AdmissionLedger, Cluster, ResilientMultiExecutor};
+use gpuflow_sim::device::modern;
+use gpuflow_trace::{MetricsRegistry, Tracer, PID_SERVE};
+
+use crate::cache::{CachedPlan, PlanCache};
+use crate::key::PlanKey;
+use crate::planner::{plan_request, CacheOutcome, PlannedRequest};
+use crate::protocol::{
+    backpressure_response, error_response, ok_base, parse_request, Request, RequestOptions,
+};
+use crate::source::TemplateRef;
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The simulated cluster requests execute on.
+    pub cluster: Cluster,
+    /// Default compile memory margin (requests may override per-request).
+    pub margin: f64,
+    /// Plan-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Maximum requests allowed to wait for admission at once; beyond
+    /// this, oversubscribing requests are rejected with `backpressure`.
+    pub queue_capacity: usize,
+    /// Maximum time one request waits for admission before a
+    /// `backpressure` reject.
+    pub queue_timeout_ms: u64,
+    /// Test hook: replace the per-device admission capacities derived
+    /// from the cluster. Lets tests pick capacities relative to a known
+    /// plan's peak so queue/reject behavior is deterministic.
+    pub capacity_override: Option<Vec<u64>>,
+    /// Record `PID_SERVE` trace spans (metrics are always recorded).
+    pub trace: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            cluster: Cluster::homogeneous(modern(), 1),
+            margin: CompileOptions::default().memory_margin,
+            cache_capacity: 64,
+            queue_capacity: 16,
+            queue_timeout_ms: 2_000,
+            capacity_override: None,
+            trace: true,
+        }
+    }
+}
+
+/// The shared serving state. One per daemon; threads share it via `Arc`.
+pub struct Server {
+    cfg: ServeConfig,
+    cache: Mutex<PlanCache>,
+    /// Source-text memo: `(named template spec, normalized options)` →
+    /// the [`PlanKey`] that request planned under last time. Named specs
+    /// are deterministic generators, so an identical spec string always
+    /// rebuilds the identical graph — the memo lets a repeat request
+    /// probe the cache without re-running the generator or re-hashing
+    /// the graph (which dominates hit latency for large templates). The
+    /// memo is advisory: a stale entry (evicted plan) just falls through
+    /// to the full path, which refreshes it. Inline graphs never enter
+    /// the memo — their text is hashed anyway.
+    memo: Mutex<HashMap<(String, CompileOptions), PlanKey>>,
+    admission: Mutex<AdmissionLedger>,
+    admit_cv: Condvar,
+    /// Requests currently waiting for admission.
+    queue_depth: AtomicUsize,
+    metrics: Mutex<MetricsRegistry>,
+    tracer: Mutex<Tracer>,
+    /// Completed-request latencies (µs), for p50/p99.
+    latencies: Mutex<Vec<u64>>,
+    shutdown: AtomicBool,
+    started: Instant,
+    next_req: AtomicU64,
+}
+
+fn hex_hash(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// `p` in [0, 1] percentile of an unsorted latency sample (nearest-rank).
+pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl Server {
+    /// Build a server over `cfg`. The admission ledger's capacities come
+    /// from the cluster's plannable budgets at the default margin unless
+    /// `capacity_override` pins them.
+    pub fn new(cfg: ServeConfig) -> Server {
+        let ledger = match &cfg.capacity_override {
+            Some(caps) => {
+                assert_eq!(
+                    caps.len(),
+                    cfg.cluster.len(),
+                    "capacity_override arity must match the cluster"
+                );
+                AdmissionLedger::new(caps.clone())
+            }
+            None => AdmissionLedger::for_cluster(&cfg.cluster, cfg.margin),
+        };
+        let mut tracer = if cfg.trace {
+            Tracer::new()
+        } else {
+            Tracer::disabled()
+        };
+        tracer.name_process(PID_SERVE, "serve: request lifecycle");
+        Server {
+            cache: Mutex::new(PlanCache::new(cfg.cache_capacity)),
+            memo: Mutex::new(HashMap::new()),
+            admission: Mutex::new(ledger),
+            admit_cv: Condvar::new(),
+            queue_depth: AtomicUsize::new(0),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            tracer: Mutex::new(tracer),
+            latencies: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            next_req: AtomicU64::new(1),
+            cfg,
+        }
+    }
+
+    /// The configuration the server was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Has a `shutdown` request been accepted?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests currently waiting for admission.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::SeqCst)
+    }
+
+    /// Run `f` against the metrics registry.
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricsRegistry) -> R) -> R {
+        f(&mut self.metrics.lock().unwrap())
+    }
+
+    /// Run `f` against the plan cache (integrity sweeps in tests).
+    pub fn with_cache<R>(&self, f: impl FnOnce(&PlanCache) -> R) -> R {
+        f(&self.cache.lock().unwrap())
+    }
+
+    /// Export the accumulated trace as a Chrome-trace JSON document.
+    pub fn trace_json(&self) -> String {
+        self.tracer
+            .lock()
+            .unwrap()
+            .chrome_trace()
+            .to_string_pretty()
+    }
+
+    /// Seconds since the server started (trace-span clock).
+    fn wall_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    fn span(&self, req_id: u64, name: &str, start_s: f64, args: Vec<(String, Value)>) {
+        let end_s = self.wall_s();
+        self.tracer.lock().unwrap().virtual_span(
+            PID_SERVE,
+            req_id as u32,
+            "serve",
+            name,
+            start_s,
+            end_s,
+            args,
+        );
+    }
+
+    /// Handle one request line; returns the response line (no trailing
+    /// newline).
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match parse_request(line) {
+            Ok(req) => self.handle_request(req),
+            Err(detail) => {
+                self.with_metrics(|m| m.add("serve.bad_requests", 1));
+                error_response("bad_request", detail)
+            }
+        };
+        response.to_string_compact()
+    }
+
+    /// Handle one parsed request.
+    pub fn handle_request(&self, req: Request) -> Value {
+        if self.is_shutting_down() && !matches!(req, Request::Stats) {
+            return error_response("shutting_down", "server is shutting down");
+        }
+        self.with_metrics(|m| m.add("serve.requests", 1));
+        match req {
+            Request::Compile { template, options } => self.handle_compile(&template, options),
+            Request::Run {
+                template,
+                options,
+                faults,
+                hold_ms,
+            } => self.handle_run(&template, options, faults.as_deref(), hold_ms),
+            Request::Stats => self.handle_stats(),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Wake every queued request so it can fail fast.
+                let _guard = self.admission.lock().unwrap();
+                self.admit_cv.notify_all();
+                let mut m = ok_base("shutting_down");
+                m.insert("in_flight", self.queue_depth.load(Ordering::SeqCst) as u64);
+                Value::Object(m)
+            }
+        }
+    }
+
+    /// Probe the source-text memo: a repeat named request with identical
+    /// spec string and options maps straight to its [`PlanKey`], skipping
+    /// the template generator and the canonical graph hash.
+    fn memo_probe(
+        &self,
+        req_id: u64,
+        template: &TemplateRef,
+        opts: CompileOptions,
+        probe_start: f64,
+    ) -> Option<PlannedRequest> {
+        let TemplateRef::Named(spec) = template else {
+            return None;
+        };
+        let key = *self.memo.lock().unwrap().get(&(spec.clone(), opts))?;
+        let (plan, peaks) = self.cache.lock().unwrap().probe(&key)?;
+        self.with_metrics(|m| {
+            m.add("serve.cache_hits", 1);
+            m.add("serve.cache_memo_hits", 1);
+        });
+        self.span(
+            req_id,
+            "cache-probe",
+            probe_start,
+            vec![
+                ("template".into(), Value::from(template.label())),
+                ("cache".into(), Value::from("hit")),
+                ("memo".into(), Value::from(true)),
+            ],
+        );
+        Some(PlannedRequest {
+            plan,
+            peaks,
+            cache: CacheOutcome::Hit,
+            graph_hash: key.graph_hash,
+            key,
+        })
+    }
+
+    /// Resolve + plan one request, recording cache metrics and the
+    /// compile-phase span.
+    fn plan(
+        &self,
+        req_id: u64,
+        template: &TemplateRef,
+        options: RequestOptions,
+    ) -> Result<PlannedRequest, Value> {
+        let opts = options.compile_options(self.cfg.margin);
+        let probe_start = self.wall_s();
+        if let Some(planned) = self.memo_probe(req_id, template, opts, probe_start) {
+            return Ok(planned);
+        }
+        let g = match template.resolve() {
+            Ok(g) => g,
+            Err(detail) => return Err(error_response("bad_request", detail)),
+        };
+        let planned = {
+            let mut cache = self.cache.lock().unwrap();
+            let r = plan_request(&mut cache, &self.cfg.cluster, opts, &g);
+            self.with_metrics(|m| m.set("serve.cache_evictions", cache.evictions()));
+            r
+        };
+        if let (Ok(p), TemplateRef::Named(spec)) = (&planned, template) {
+            let mut memo = self.memo.lock().unwrap();
+            // Advisory index only — bound it so a spec-churning client
+            // cannot grow it without limit.
+            if memo.len() >= self.cfg.cache_capacity.saturating_mul(4).max(256) {
+                memo.clear();
+            }
+            memo.insert((spec.clone(), opts), p.key);
+        }
+        match planned {
+            Ok(p) => {
+                let metric = match p.cache.label() {
+                    "hit" => "serve.cache_hits",
+                    "incremental" => "serve.cache_incremental",
+                    _ => "serve.cache_misses",
+                };
+                self.with_metrics(|m| m.add(metric, 1));
+                let span_name = if p.cache.label() == "hit" {
+                    "cache-probe"
+                } else {
+                    "compile"
+                };
+                self.span(
+                    req_id,
+                    span_name,
+                    probe_start,
+                    vec![
+                        ("template".into(), Value::from(template.label())),
+                        ("cache".into(), Value::from(p.cache.label())),
+                    ],
+                );
+                Ok(p)
+            }
+            Err(detail) => {
+                self.with_metrics(|m| m.add("serve.compile_errors", 1));
+                Err(error_response("compile_error", detail))
+            }
+        }
+    }
+
+    fn handle_compile(&self, template: &TemplateRef, options: RequestOptions) -> Value {
+        let req_id = self.next_req.fetch_add(1, Ordering::SeqCst);
+        let t0 = Instant::now();
+        let planned = match self.plan(req_id, template, options) {
+            Ok(p) => p,
+            Err(e) => return e,
+        };
+        self.record_latency(t0);
+        let mut m = ok_base("compiled");
+        m.insert("cache", planned.cache.label());
+        m.insert("graph_hash", hex_hash(planned.graph_hash));
+        m.insert("units", planned.plan.units() as u64);
+        m.insert("steps", planned.plan.steps() as u64);
+        m.insert("devices", self.cfg.cluster.len() as u64);
+        m.insert(
+            "peak_per_device",
+            Value::Array(planned.peaks.iter().map(|&b| Value::from(b)).collect()),
+        );
+        Value::Object(m)
+    }
+
+    fn handle_run(
+        &self,
+        template: &TemplateRef,
+        options: RequestOptions,
+        faults: Option<&str>,
+        hold_ms: u64,
+    ) -> Value {
+        let req_id = self.next_req.fetch_add(1, Ordering::SeqCst);
+        let t0 = Instant::now();
+        let fault_spec = match faults {
+            None => None,
+            Some(s) => match FaultSpec::parse(s) {
+                Ok(spec) => Some(spec),
+                Err(detail) => return error_response("bad_request", format!("faults: {detail}")),
+            },
+        };
+        let planned = match self.plan(req_id, template, options) {
+            Ok(p) => p,
+            Err(e) => return e,
+        };
+
+        // Admission: reserve peak bytes, queueing while oversubscribed.
+        let reservation = match self.admit(req_id, &planned.peaks) {
+            Ok(r) => r,
+            Err(e) => return e,
+        };
+        self.with_metrics(|m| m.add("serve.admitted", 1));
+
+        let exec_start = self.wall_s();
+        let executed = execute(&planned.plan, fault_spec.as_ref());
+        self.span(
+            req_id,
+            "execute",
+            exec_start,
+            vec![("template".into(), Value::from(template.label()))],
+        );
+
+        if hold_ms > 0 {
+            std::thread::sleep(Duration::from_millis(hold_ms));
+        }
+        {
+            let mut ledger = self.admission.lock().unwrap();
+            ledger.release(reservation);
+            self.admit_cv.notify_all();
+        }
+
+        match executed {
+            Ok(run) => {
+                self.with_metrics(|m| m.add("serve.completed", 1));
+                self.record_latency(t0);
+                let mut m = ok_base("ran");
+                m.insert("cache", planned.cache.label());
+                m.insert("graph_hash", hex_hash(planned.graph_hash));
+                m.insert("sim_time_s", run.sim_time_s);
+                m.insert("certified", run.certified);
+                m.insert(
+                    "peak_per_device",
+                    Value::Array(planned.peaks.iter().map(|&b| Value::from(b)).collect()),
+                );
+                if let Some(f) = run.faulted {
+                    let mut fm = Map::new();
+                    fm.insert("injected", f.injected);
+                    fm.insert("recovered", f.recovered);
+                    fm.insert("retries", f.retries);
+                    fm.insert("replans", f.replans);
+                    m.insert("faults", Value::Object(fm));
+                }
+                Value::Object(m)
+            }
+            Err(detail) => {
+                self.with_metrics(|m| m.add("serve.failed", 1));
+                error_response("internal", detail)
+            }
+        }
+    }
+
+    /// Reserve `peaks` in the ledger, waiting (bounded) while the cluster
+    /// is momentarily full.
+    fn admit(&self, req_id: u64, peaks: &[u64]) -> Result<gpuflow_multi::Reservation, Value> {
+        let admit_start = self.wall_s();
+        let wait_start = Instant::now();
+        let timeout = Duration::from_millis(self.cfg.queue_timeout_ms);
+        let mut ledger = self.admission.lock().unwrap();
+        let mut queued = false;
+        let result = loop {
+            match ledger.try_commit(peaks) {
+                Ok(r) => break Ok(r),
+                Err(e @ AdmissionError::Infeasible { .. }) => {
+                    self.with_metrics(|m| m.add("serve.rejected_infeasible", 1));
+                    break Err(error_response("infeasible", e.to_string()));
+                }
+                Err(e @ AdmissionError::WrongArity { .. }) => {
+                    break Err(error_response("internal", e.to_string()));
+                }
+                Err(AdmissionError::Oversubscribed { .. }) => {
+                    if self.is_shutting_down() {
+                        break Err(error_response("shutting_down", "server is shutting down"));
+                    }
+                    let waited = wait_start.elapsed();
+                    if waited >= timeout {
+                        self.with_metrics(|m| m.add("serve.rejected_backpressure", 1));
+                        break Err(backpressure_response(
+                            "admission wait timed out",
+                            self.queue_depth.load(Ordering::SeqCst) as u64,
+                            waited.as_micros() as u64,
+                        ));
+                    }
+                    if !queued {
+                        let depth = self.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+                        if depth > self.cfg.queue_capacity {
+                            self.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                            self.with_metrics(|m| m.add("serve.rejected_backpressure", 1));
+                            break Err(backpressure_response(
+                                "admission queue is full",
+                                (depth - 1) as u64,
+                                waited.as_micros() as u64,
+                            ));
+                        }
+                        queued = true;
+                        self.with_metrics(|m| {
+                            m.add("serve.queued", 1);
+                            m.gauge("serve.queue_depth", depth as f64);
+                        });
+                    }
+                    let (g, _timeout_result) = self
+                        .admit_cv
+                        .wait_timeout(ledger, timeout.saturating_sub(waited))
+                        .unwrap();
+                    ledger = g;
+                }
+            }
+        };
+        if queued {
+            let depth = self.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
+            self.with_metrics(|m| m.gauge("serve.queue_depth", depth as f64));
+        }
+        drop(ledger);
+        let args = vec![("queued".into(), Value::from(queued))];
+        self.span(
+            req_id,
+            if queued { "queue-wait" } else { "admit" },
+            admit_start,
+            args,
+        );
+        result
+    }
+
+    fn handle_stats(&self) -> Value {
+        let (p50, p99, completed) = {
+            let lat = self.latencies.lock().unwrap();
+            (
+                percentile_us(&lat, 0.50),
+                percentile_us(&lat, 0.99),
+                lat.len() as u64,
+            )
+        };
+        let (cache_len, evictions) = {
+            let c = self.cache.lock().unwrap();
+            (c.len() as u64, c.evictions())
+        };
+        let committed = {
+            let ledger = self.admission.lock().unwrap();
+            ledger.committed().to_vec()
+        };
+        let metrics_json = self.with_metrics(|m| {
+            m.gauge("serve.latency_p50_us", p50 as f64);
+            m.gauge("serve.latency_p99_us", p99 as f64);
+            m.to_json()
+        });
+        let mut m = ok_base("stats");
+        m.insert("uptime_us", self.started.elapsed().as_micros() as u64);
+        m.insert("cache_entries", cache_len);
+        m.insert("cache_evictions", evictions);
+        m.insert(
+            "queue_depth",
+            self.queue_depth.load(Ordering::SeqCst) as u64,
+        );
+        m.insert("completed", completed);
+        m.insert("latency_p50_us", p50);
+        m.insert("latency_p99_us", p99);
+        m.insert(
+            "committed_bytes",
+            Value::Array(committed.into_iter().map(Value::from).collect()),
+        );
+        m.insert("metrics", metrics_json);
+        Value::Object(m)
+    }
+
+    fn record_latency(&self, t0: Instant) {
+        self.latencies
+            .lock()
+            .unwrap()
+            .push(t0.elapsed().as_micros() as u64);
+    }
+}
+
+/// What one executed run reports back.
+struct RunReport {
+    sim_time_s: f64,
+    certified: bool,
+    faulted: Option<FaultReport>,
+}
+
+struct FaultReport {
+    injected: u64,
+    recovered: bool,
+    retries: u64,
+    replans: u64,
+}
+
+/// Execute a planned request on the simulator, optionally under faults,
+/// and certify the executed plan. Runs outside every server lock.
+fn execute(plan: &CachedPlan, faults: Option<&FaultSpec>) -> Result<RunReport, String> {
+    match (plan, faults) {
+        (CachedPlan::Single(t), None) => {
+            let outcome = t.run_analytic().map_err(|e| e.to_string())?;
+            let certified = t.plan.certify(&t.split.graph).certified();
+            Ok(RunReport {
+                sim_time_s: outcome.total_time(),
+                certified,
+                faulted: None,
+            })
+        }
+        (CachedPlan::Single(t), Some(spec)) => {
+            let outcome = ResilientExecutor::new(&t.split.graph, &t.plan, &t.device, spec)
+                .with_origin(&t.split)
+                .run_analytic()
+                .map_err(|e| e.to_string())?;
+            let certified = t.plan.certify(&t.split.graph).certified();
+            Ok(RunReport {
+                sim_time_s: outcome.exec.total_time(),
+                certified,
+                faulted: Some(FaultReport {
+                    injected: outcome.stats.faults_injected,
+                    recovered: outcome.stats.recovered,
+                    retries: outcome.stats.retries,
+                    replans: outcome.stats.replans,
+                }),
+            })
+        }
+        (CachedPlan::Multi(mc), None) => {
+            let outcome = mc.outcome();
+            let certified = mc.certify().certified();
+            Ok(RunReport {
+                sim_time_s: outcome.makespan,
+                certified,
+                faulted: None,
+            })
+        }
+        (CachedPlan::Multi(mc), Some(spec)) => {
+            let outcome = ResilientMultiExecutor::new(mc, spec)
+                .run_analytic()
+                .map_err(|e| e.to_string())?;
+            let certified = mc.certify().certified();
+            Ok(RunReport {
+                sim_time_s: outcome.timeline.counters().total_time(),
+                certified,
+                faulted: Some(FaultReport {
+                    injected: outcome.stats.faults_injected,
+                    recovered: outcome.stats.recovered,
+                    retries: outcome.stats.retries,
+                    replans: outcome.stats.replans,
+                }),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+        v.as_object().unwrap().get(key).unwrap()
+    }
+
+    #[test]
+    fn compile_miss_then_hit() {
+        let server = Server::new(ServeConfig::default());
+        let a = server.handle_line(r#"{"op":"compile","template":"edge:96x96,k=5,o=2"}"#);
+        let a = gpuflow_minijson::parse(&a).unwrap();
+        assert_eq!(get(&a, "ok").as_bool(), Some(true));
+        assert_eq!(get(&a, "cache").as_str(), Some("miss"));
+        let b = server.handle_line(r#"{"op":"compile","template":"edge:96x96,k=5,o=2"}"#);
+        let b = gpuflow_minijson::parse(&b).unwrap();
+        assert_eq!(get(&b, "cache").as_str(), Some("hit"));
+        assert_eq!(
+            get(&a, "graph_hash").as_str(),
+            get(&b, "graph_hash").as_str()
+        );
+        server.with_metrics(|m| {
+            assert_eq!(m.counter("serve.cache_misses"), 1);
+            assert_eq!(m.counter("serve.cache_hits"), 1);
+        });
+    }
+
+    #[test]
+    fn run_executes_and_certifies() {
+        let server = Server::new(ServeConfig::default());
+        let r = server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        assert_eq!(get(&r, "ok").as_bool(), Some(true));
+        assert_eq!(get(&r, "result").as_str(), Some("ran"));
+        assert_eq!(get(&r, "certified").as_bool(), Some(true));
+        assert!(get(&r, "sim_time_s").as_f64().unwrap() > 0.0);
+        // Ledger fully released afterwards.
+        let stats = server.handle_request(Request::Stats);
+        let committed = get(&stats, "committed_bytes").as_array().unwrap();
+        assert!(committed.iter().all(|v| v.as_u64() == Some(0)));
+    }
+
+    #[test]
+    fn faulted_run_reports_recovery() {
+        let server = Server::new(ServeConfig::default());
+        let r =
+            server.handle_line(r#"{"op":"run","template":"fig3","faults":"seed=7,kernel=0.3"}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        assert_eq!(
+            get(&r, "ok").as_bool(),
+            Some(true),
+            "faulted run failed: {r:?}"
+        );
+        let f = get(&r, "faults").as_object().unwrap();
+        assert_eq!(f.get("recovered").and_then(|v| v.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn infeasible_requests_get_typed_rejects() {
+        // 1 KiB capacity: nothing real fits, ever.
+        let server = Server::new(ServeConfig {
+            capacity_override: Some(vec![1024]),
+            ..ServeConfig::default()
+        });
+        let r = server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        assert_eq!(get(&r, "ok").as_bool(), Some(false));
+        assert_eq!(
+            get(&r, "error").get("kind").and_then(|v| v.as_str()),
+            Some("infeasible")
+        );
+        server.with_metrics(|m| assert_eq!(m.counter("serve.rejected_infeasible"), 1));
+    }
+
+    #[test]
+    fn shutdown_stops_new_work() {
+        let server = Server::new(ServeConfig::default());
+        let r = server.handle_line(r#"{"op":"shutdown"}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        assert_eq!(get(&r, "ok").as_bool(), Some(true));
+        assert!(server.is_shutting_down());
+        let denied = server.handle_line(r#"{"op":"compile","template":"fig3"}"#);
+        let denied = gpuflow_minijson::parse(&denied).unwrap();
+        assert_eq!(
+            get(&denied, "error").get("kind").and_then(|v| v.as_str()),
+            Some("shutting_down")
+        );
+    }
+
+    #[test]
+    fn repeat_named_requests_take_the_memo_fast_path() {
+        let server = Server::new(ServeConfig::default());
+        let line = r#"{"op":"compile","template":"edge:96x96,k=5,o=2"}"#;
+        server.handle_line(line);
+        let b = server.handle_line(line);
+        let b = gpuflow_minijson::parse(&b).unwrap();
+        assert_eq!(get(&b, "cache").as_str(), Some("hit"));
+        server.with_metrics(|m| {
+            assert_eq!(m.counter("serve.cache_memo_hits"), 1);
+            assert_eq!(m.counter("serve.cache_hits"), 1);
+        });
+        // A different margin is a different memo entry, not a hit.
+        let c =
+            server.handle_line(r#"{"op":"compile","template":"edge:96x96,k=5,o=2","margin":0.2}"#);
+        let c = gpuflow_minijson::parse(&c).unwrap();
+        assert_eq!(get(&c, "cache").as_str(), Some("miss"));
+    }
+
+    #[test]
+    fn stale_memo_entries_fall_through_to_a_fresh_compile() {
+        // Capacity 1: the second template evicts the first, leaving the
+        // first's memo entry dangling. The repeat request must recompile
+        // (and refresh the memo), never serve a stale plan.
+        let server = Server::new(ServeConfig {
+            cache_capacity: 1,
+            ..ServeConfig::default()
+        });
+        let a = r#"{"op":"compile","template":"edge:96x96,k=5,o=2"}"#;
+        let b = r#"{"op":"compile","template":"fig3"}"#;
+        server.handle_line(a);
+        server.handle_line(b);
+        let again = gpuflow_minijson::parse(&server.handle_line(a)).unwrap();
+        assert_eq!(get(&again, "cache").as_str(), Some("miss"));
+        // And once resident again, the memo works again.
+        let hit = gpuflow_minijson::parse(&server.handle_line(a)).unwrap();
+        assert_eq!(get(&hit, "cache").as_str(), Some("hit"));
+        server.with_metrics(|m| assert_eq!(m.counter("serve.cache_memo_hits"), 1));
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile_us(&[], 0.5), 0);
+        assert_eq!(percentile_us(&[7], 0.5), 7);
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&s, 0.50), 50);
+        assert_eq!(percentile_us(&s, 0.99), 99);
+        assert_eq!(percentile_us(&s, 1.0), 100);
+    }
+}

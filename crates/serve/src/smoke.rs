@@ -1,0 +1,267 @@
+//! The deterministic serving smoke: the ci.sh `serve --smoke` gate.
+//!
+//! Proves, over real TCP, the three behaviors the daemon exists for:
+//!
+//! 1. **caching** — a repeated request is a cache hit, and a resized
+//!    repeat takes the incremental path;
+//! 2. **admission** — a request whose peak would oversubscribe the
+//!    cluster *queues* behind the in-flight one and then completes (it is
+//!    not OOM-planned and not dropped), while a structurally impossible
+//!    request is rejected `infeasible` and queue overflow is rejected
+//!    `backpressure`;
+//! 3. **shutdown** — the daemon drains and the accept loop exits.
+//!
+//! Determinism: admission capacity is not taken from the simulated
+//! device (plan peaks vary with template internals) but pinned to
+//! 1.5× the *measured* peak of the smoke template, so exactly one
+//! instance fits at a time. Overlap windows come from `hold_ms`, which
+//! keeps a reservation alive after execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpuflow_core::{CompileOptions, Framework};
+use gpuflow_minijson::Value;
+use gpuflow_multi::Cluster;
+use gpuflow_sim::device::modern;
+
+use crate::net::{serve_tcp, Client};
+use crate::server::ServeConfig;
+use crate::source::resolve_named;
+
+const TEMPLATE: &str = "edge:192x192,k=5,o=2";
+const BIG_TEMPLATE: &str = "edge:192x192,k=5,o=4";
+
+fn kind_of(v: &Value) -> Option<&str> {
+    v.get("error")?.get("kind")?.as_str()
+}
+
+fn expect_ok(step: &str, v: &Value) -> Result<(), String> {
+    if v.get("ok").and_then(|b| b.as_bool()) == Some(true) {
+        Ok(())
+    } else {
+        Err(format!("{step}: expected ok response, got {v:?}"))
+    }
+}
+
+/// Run the smoke against a fresh daemon. Returns a human-readable
+/// transcript on success; the first violated expectation on failure.
+pub fn run_smoke() -> Result<String, String> {
+    let mut report = String::new();
+
+    // Measure the smoke template's peak to pin admission capacity.
+    let g = resolve_named(TEMPLATE)?;
+    let probe = Framework::new(modern())
+        .with_options(CompileOptions::default())
+        .compile(&g)
+        .map_err(|e| format!("probe compile failed: {e}"))?;
+    let peak = probe.stats().peak_bytes;
+    let capacity = peak + peak / 2; // one instance fits, two oversubscribe
+    report.push_str(&format!(
+        "probe: peak={peak} bytes, admission capacity pinned to {capacity}\n"
+    ));
+
+    let cfg = ServeConfig {
+        cluster: Cluster::homogeneous(modern(), 1),
+        capacity_override: Some(vec![capacity]),
+        queue_capacity: 1,
+        queue_timeout_ms: 10_000,
+        ..ServeConfig::default()
+    };
+    let handle = serve_tcp("127.0.0.1:0", cfg).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = handle.addr.to_string();
+
+    // 1. Cache behavior: miss, hit, incremental.
+    let mut c = Client::connect(&addr).map_err(|e| e.to_string())?;
+    let compile = |c: &mut Client, spec: &str| -> Result<Value, String> {
+        c.request(&format!(r#"{{"op":"compile","template":"{spec}"}}"#))
+            .map_err(|e| e.to_string())
+    };
+    let r = compile(&mut c, TEMPLATE)?;
+    expect_ok("first compile", &r)?;
+    let got = r.get("cache").and_then(|v| v.as_str());
+    if got != Some("miss") {
+        return Err(format!("first compile should miss, got {got:?}"));
+    }
+    let r = compile(&mut c, TEMPLATE)?;
+    if r.get("cache").and_then(|v| v.as_str()) != Some("hit") {
+        return Err(format!("repeat compile should hit, got {r:?}"));
+    }
+    let r = compile(&mut c, "edge:224x224,k=5,o=2")?;
+    expect_ok("resized compile", &r)?;
+    if r.get("cache").and_then(|v| v.as_str()) != Some("incremental") {
+        return Err(format!("resized compile should be incremental, got {r:?}"));
+    }
+    report.push_str("cache: miss -> hit -> incremental (resized)\n");
+
+    // 2. Admission: while one run holds its reservation, a second queues
+    // (not rejected, not OOM) and completes once the first releases.
+    let holder_addr = addr.clone();
+    let holder = std::thread::spawn(move || -> Result<Value, String> {
+        let mut c = Client::connect(&holder_addr).map_err(|e| e.to_string())?;
+        c.request(&format!(
+            r#"{{"op":"run","template":"{TEMPLATE}","hold_ms":400}}"#
+        ))
+        .map_err(|e| e.to_string())
+    });
+    // Give the holder a head start so its reservation is committed.
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    let queued_start = Instant::now();
+    let r = c
+        .request(&format!(r#"{{"op":"run","template":"{TEMPLATE}"}}"#))
+        .map_err(|e| e.to_string())?;
+    let queued_wait = queued_start.elapsed();
+    expect_ok("queued run", &r)?;
+    let holder_r = holder.join().map_err(|_| "holder thread panicked")??;
+    expect_ok("holding run", &holder_r)?;
+    if queued_wait.as_millis() < 100 {
+        return Err(format!(
+            "second run should have queued behind the 400ms hold, finished in {queued_wait:?}"
+        ));
+    }
+    report.push_str(&format!(
+        "admission: oversubscribing run queued {}ms, then completed\n",
+        queued_wait.as_millis()
+    ));
+
+    // 2b. Structurally impossible requests are infeasible, immediately.
+    let r = c
+        .request(&format!(r#"{{"op":"run","template":"{BIG_TEMPLATE}"}}"#))
+        .map_err(|e| e.to_string())?;
+    if kind_of(&r) != Some("infeasible") {
+        return Err(format!(
+            "oversized template should be infeasible, got {r:?}"
+        ));
+    }
+    report.push_str("admission: oversized template rejected infeasible\n");
+
+    // 2c. Queue overflow is typed backpressure: with queue_capacity=1,
+    // saturate with one holder + one queued, then a third gets rejected.
+    let holder_addr = addr.clone();
+    let h1 = std::thread::spawn(move || -> Result<Value, String> {
+        let mut c = Client::connect(&holder_addr).map_err(|e| e.to_string())?;
+        c.request(&format!(
+            r#"{{"op":"run","template":"{TEMPLATE}","hold_ms":700}}"#
+        ))
+        .map_err(|e| e.to_string())
+    });
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    let queued_addr = addr.clone();
+    let h2 = std::thread::spawn(move || -> Result<Value, String> {
+        let mut c = Client::connect(&queued_addr).map_err(|e| e.to_string())?;
+        c.request(&format!(r#"{{"op":"run","template":"{TEMPLATE}"}}"#))
+            .map_err(|e| e.to_string())
+    });
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    let r = c
+        .request(&format!(r#"{{"op":"run","template":"{TEMPLATE}"}}"#))
+        .map_err(|e| e.to_string())?;
+    if kind_of(&r) != Some("backpressure") {
+        return Err(format!(
+            "third concurrent run should be backpressure, got {r:?}"
+        ));
+    }
+    let r1 = h1.join().map_err(|_| "h1 panicked")??;
+    let r2 = h2.join().map_err(|_| "h2 panicked")??;
+    expect_ok("backpressure holder", &r1)?;
+    expect_ok("backpressure queued", &r2)?;
+    report.push_str("admission: queue overflow rejected with typed backpressure\n");
+
+    // 3. Stats reflect the workload; shutdown drains cleanly.
+    let stats = c.request(r#"{"op":"stats"}"#).map_err(|e| e.to_string())?;
+    expect_ok("stats", &stats)?;
+    let hits = stats
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|cs| cs.get("serve.cache_hits"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    if hits == 0 {
+        return Err(format!("stats should report cache hits, got {stats:?}"));
+    }
+    let r = c
+        .request(r#"{"op":"shutdown"}"#)
+        .map_err(|e| e.to_string())?;
+    expect_ok("shutdown", &r)?;
+    let server = Arc::clone(&handle.server);
+    handle.join();
+    let entries = server
+        .with_cache(|cache| cache.verify_integrity())
+        .map_err(|e| format!("cache integrity after smoke: {e}"))?;
+    report.push_str(&format!(
+        "shutdown: drained; cache integrity verified over {entries} entries\n"
+    ));
+    Ok(report)
+}
+
+/// A tiny deterministic xorshift for the soak's request mix.
+pub(crate) struct XorShift(u64);
+
+impl XorShift {
+    pub(crate) fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform in `[0, n)`.
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Shared tally used by the soak to classify outcomes.
+#[derive(Default)]
+pub(crate) struct Tally {
+    pub(crate) ok: AtomicUsize,
+    pub(crate) backpressure: AtomicUsize,
+    pub(crate) infeasible: AtomicUsize,
+    pub(crate) other: AtomicUsize,
+}
+
+impl Tally {
+    pub(crate) fn classify(&self, v: &Value) {
+        if v.get("ok").and_then(|b| b.as_bool()) == Some(true) {
+            self.ok.fetch_add(1, Ordering::SeqCst);
+        } else {
+            match kind_of(v) {
+                Some("backpressure") => self.backpressure.fetch_add(1, Ordering::SeqCst),
+                Some("infeasible") => self.infeasible.fetch_add(1, Ordering::SeqCst),
+                _ => self.other.fetch_add(1, Ordering::SeqCst),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_passes() {
+        let report = run_smoke().expect("serve smoke failed");
+        assert!(report.contains("incremental"));
+        assert!(report.contains("backpressure"));
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut r = XorShift::new(7);
+        for _ in 0..100 {
+            assert!(r.below(5) < 5);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The chaos-faulted serving soak: concurrent clients, fault storms, and
+//! the invariant that every request ends in a definite state.
+//!
+//! Several client threads fire a seeded random mix of compile and run
+//! requests — across templates, sizes, margins, and fault specs — at one
+//! daemon over TCP. At the end, every request must have completed
+//! successfully or been rejected with a *typed* error (`backpressure` /
+//! `infeasible`); no hangs, no connection drops, no `internal` errors,
+//! and the plan cache must still pass a full integrity sweep
+//! ([`crate::cache::PlanCache::verify_integrity`]). This is the serving
+//! analogue of the chaos crate's recovery matrix: faults may slow a
+//! request down, but they must never corrupt shared state.
+
+use std::sync::Arc;
+
+use gpuflow_multi::Cluster;
+use gpuflow_sim::device::modern;
+
+use crate::net::{serve_tcp, Client};
+use crate::server::ServeConfig;
+use crate::smoke::{Tally, XorShift};
+
+/// Soak outcome counts (for the CI log line).
+#[derive(Debug)]
+pub struct SoakReport {
+    /// Requests that completed successfully.
+    pub ok: usize,
+    /// Typed `backpressure` rejections.
+    pub backpressure: usize,
+    /// Typed `infeasible` rejections.
+    pub infeasible: usize,
+    /// Cache entries that passed the final integrity sweep.
+    pub cache_entries: usize,
+}
+
+const TEMPLATES: &[&str] = &[
+    "fig3",
+    "edge:96x96,k=5,o=2",
+    "edge:128x128,k=5,o=2",
+    "edge:160x160,k=5,o=2",
+    "edge:96x96,k=5,o=4",
+    "cnn-small:48x48",
+];
+
+const FAULTS: &[&str] = &[
+    "seed=11,kernel=0.2",
+    "seed=12,transfer=0.2",
+    "seed=13,alloc=0.2",
+    "seed=14,kernel=0.1,transfer=0.1",
+];
+
+fn request_for(rng: &mut XorShift, i: usize) -> String {
+    let template = TEMPLATES[rng.below(TEMPLATES.len() as u64) as usize];
+    match rng.below(4) {
+        0 => format!(r#"{{"op":"compile","template":"{template}"}}"#),
+        1 => {
+            // Margin variants exercise distinct cache keys.
+            let margin = [0.0, 0.1, 0.2][rng.below(3) as usize];
+            format!(r#"{{"op":"compile","template":"{template}","margin":{margin}}}"#)
+        }
+        2 => format!(r#"{{"op":"run","template":"{template}"}}"#),
+        _ => {
+            let faults = FAULTS[(i + rng.below(FAULTS.len() as u64) as usize) % FAULTS.len()];
+            format!(r#"{{"op":"run","template":"{template}","faults":"{faults}"}}"#)
+        }
+    }
+}
+
+/// Run the soak: `clients` threads × `requests_per_client` seeded random
+/// requests against a 2-device daemon. Errs on the first invariant
+/// violation.
+pub fn run_soak(
+    seed: u64,
+    clients: usize,
+    requests_per_client: usize,
+) -> Result<SoakReport, String> {
+    let cfg = ServeConfig {
+        cluster: Cluster::homogeneous(modern(), 2),
+        cache_capacity: 12, // small enough that the soak exercises eviction
+        queue_capacity: clients,
+        queue_timeout_ms: 30_000,
+        ..ServeConfig::default()
+    };
+    let handle = serve_tcp("127.0.0.1:0", cfg).map_err(|e| format!("bind failed: {e}"))?;
+    let addr = handle.addr.to_string();
+    let tally = Arc::new(Tally::default());
+
+    let mut threads = Vec::new();
+    for client_idx in 0..clients {
+        let addr = addr.clone();
+        let tally = Arc::clone(&tally);
+        threads.push(std::thread::spawn(move || -> Result<(), String> {
+            let mut rng = XorShift::new(seed.wrapping_add(client_idx as u64 * 0x9E37_79B9));
+            let mut c = Client::connect(&addr).map_err(|e| e.to_string())?;
+            for i in 0..requests_per_client {
+                let line = request_for(&mut rng, i);
+                let v = c
+                    .request(&line)
+                    .map_err(|e| format!("client {client_idx} request {i} ({line}): {e}"))?;
+                if v.get("ok").and_then(|b| b.as_bool()) != Some(true) {
+                    let kind = v
+                        .get("error")
+                        .and_then(|e| e.get("kind"))
+                        .and_then(|k| k.as_str())
+                        .unwrap_or("<missing>");
+                    if kind != "backpressure" && kind != "infeasible" {
+                        return Err(format!(
+                            "client {client_idx} request {i} ({line}) failed untyped: {v:?}"
+                        ));
+                    }
+                }
+                // Faulted runs must still recover (analytic sim always can).
+                if let Some(f) = v.get("faults") {
+                    if f.get("recovered").and_then(|b| b.as_bool()) != Some(true) {
+                        return Err(format!(
+                            "client {client_idx} request {i}: faulted run did not recover: {v:?}"
+                        ));
+                    }
+                }
+                tally.classify(&v);
+            }
+            Ok(())
+        }));
+    }
+    for t in threads {
+        t.join().map_err(|_| "soak client panicked".to_string())??;
+    }
+
+    // Drain and verify shared state survived the storm.
+    let mut c = Client::connect(&addr).map_err(|e| e.to_string())?;
+    let stats = c.request(r#"{"op":"stats"}"#).map_err(|e| e.to_string())?;
+    if stats.get("ok").and_then(|b| b.as_bool()) != Some(true) {
+        return Err(format!("final stats failed: {stats:?}"));
+    }
+    let shutdown = c
+        .request(r#"{"op":"shutdown"}"#)
+        .map_err(|e| e.to_string())?;
+    if shutdown.get("ok").and_then(|b| b.as_bool()) != Some(true) {
+        return Err(format!("shutdown failed: {shutdown:?}"));
+    }
+    let server = Arc::clone(&handle.server);
+    handle.join();
+    let cache_entries = server
+        .with_cache(|cache| cache.verify_integrity())
+        .map_err(|e| format!("cache corrupted after soak: {e}"))?;
+    let ledger_ok = server.queue_depth() == 0;
+    if !ledger_ok {
+        return Err("requests still queued after drain".to_string());
+    }
+
+    use std::sync::atomic::Ordering;
+    let report = SoakReport {
+        ok: tally.ok.load(Ordering::SeqCst),
+        backpressure: tally.backpressure.load(Ordering::SeqCst),
+        infeasible: tally.infeasible.load(Ordering::SeqCst),
+        cache_entries,
+    };
+    let total = report.ok + report.backpressure + report.infeasible;
+    if total != clients * requests_per_client {
+        return Err(format!(
+            "accounting mismatch: {total} classified of {} sent (untyped failures?)",
+            clients * requests_per_client
+        ));
+    }
+    if report.ok == 0 {
+        return Err("soak completed zero requests successfully".to_string());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_soak_holds_invariants() {
+        let report = run_soak(0xC0FFEE, 3, 6).expect("serve soak failed");
+        assert!(report.ok > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Template resolution for serve requests.
+//!
+//! A request names its template either by a builtin spec string (the same
+//! grammar the CLI's positional source argument uses: `fig3`,
+//! `edge:RxC[,k=K][,o=O]`, `cnn-small:RxC`, `cnn-large:RxC`) or carries
+//! the graph inline as `.gfg` text (see [`gpuflow_graph::text`]). The
+//! daemon never touches the filesystem on behalf of a client: file paths
+//! are not accepted, which keeps a network-facing surface path-traversal
+//! free by construction.
+
+use gpuflow_graph::Graph;
+use gpuflow_templates::{cnn, edge};
+
+/// How a request identifies its template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateRef {
+    /// A builtin template spec string (`fig3`, `edge:1000x1000,k=16,o=4`,
+    /// `cnn-small:512x512`, `cnn-large:96x96`).
+    Named(String),
+    /// An inline graph in `.gfg` text form.
+    Inline(String),
+}
+
+impl TemplateRef {
+    /// A stable label for logs and trace spans: the spec string for named
+    /// templates, `inline` for inline graphs.
+    pub fn label(&self) -> &str {
+        match self {
+            TemplateRef::Named(s) => s,
+            TemplateRef::Inline(_) => "inline",
+        }
+    }
+
+    /// Materialize the operator graph.
+    pub fn resolve(&self) -> Result<Graph, String> {
+        match self {
+            TemplateRef::Named(spec) => resolve_named(spec),
+            TemplateRef::Inline(text) => {
+                let g = gpuflow_graph::parse_graph(text).map_err(|e| e.to_string())?;
+                g.validate().map_err(|e| e.to_string())?;
+                Ok(g)
+            }
+        }
+    }
+}
+
+fn parse_dims(s: &str) -> Result<(usize, usize), String> {
+    let mut it = s.splitn(2, 'x');
+    let rows = it
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad dimensions '{s}'"))?;
+    let cols = it
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad dimensions '{s}' (expected <rows>x<cols>)"))?;
+    Ok((rows, cols))
+}
+
+/// Resolve a builtin template spec (the CLI source grammar minus file
+/// paths).
+pub fn resolve_named(spec: &str) -> Result<Graph, String> {
+    if spec == "fig3" {
+        return Ok(gpuflow_core::examples::fig3_graph());
+    }
+    if let Some(rest) = spec.strip_prefix("edge:") {
+        let mut parts = rest.split(',');
+        let dims = parts.next().ok_or("edge: missing dimensions")?;
+        let (rows, cols) = parse_dims(dims)?;
+        let (mut k, mut orientations) = (16usize, 4usize);
+        for p in parts {
+            if let Some(v) = p.strip_prefix("k=") {
+                k = v.parse().map_err(|_| format!("bad kernel '{v}'"))?;
+            } else if let Some(v) = p.strip_prefix("o=") {
+                orientations = v.parse().map_err(|_| format!("bad orientations '{v}'"))?;
+            } else {
+                return Err(format!("unknown edge parameter '{p}'"));
+            }
+        }
+        if rows < k || cols < k {
+            return Err(format!("edge image {rows}x{cols} smaller than kernel {k}"));
+        }
+        if orientations < 2 || orientations % 2 != 0 {
+            return Err(format!(
+                "orientations must be even and >= 2, got {orientations}"
+            ));
+        }
+        return Ok(edge::find_edges(rows, cols, k, orientations, edge::CombineOp::Max).graph);
+    }
+    if let Some(rest) = spec.strip_prefix("cnn-small:") {
+        let (rows, cols) = parse_dims(rest)?;
+        if rows < 16 || cols < 16 {
+            return Err(format!("cnn-small input {rows}x{cols} too small"));
+        }
+        return Ok(cnn::small_cnn(rows, cols).graph);
+    }
+    if let Some(rest) = spec.strip_prefix("cnn-large:") {
+        let (rows, cols) = parse_dims(rest)?;
+        if rows < 32 || cols < 32 {
+            return Err(format!("cnn-large input {rows}x{cols} too small"));
+        }
+        return Ok(cnn::large_cnn(rows, cols).graph);
+    }
+    Err(format!(
+        "unknown template '{spec}' (expected fig3, edge:RxC[,k=K][,o=O], cnn-small:RxC, cnn-large:RxC, or an inline graph)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_templates_resolve() {
+        assert!(resolve_named("fig3").is_ok());
+        let g = resolve_named("edge:256x256,k=5,o=2").unwrap();
+        assert_eq!(g.num_ops(), 3); // 2 convs + binary max at o=2
+        assert!(resolve_named("cnn-small:64x64").is_ok());
+        assert!(resolve_named("nope").is_err());
+        assert!(resolve_named("edge:4x4,k=16").is_err());
+        // File paths are rejected: the daemon never reads client paths.
+        assert!(resolve_named("assets/fig3.gfg").is_err());
+    }
+
+    #[test]
+    fn inline_graphs_resolve_and_validate() {
+        let text = "data In input 4 4\ndata Out output 4 4\nop t tanh In -> Out\n";
+        let g = TemplateRef::Inline(text.to_string()).resolve().unwrap();
+        assert_eq!(g.num_ops(), 1);
+        assert!(TemplateRef::Inline("garbage".into()).resolve().is_err());
+    }
+}

@@ -26,6 +26,7 @@ pub use gpuflow_graph as graph;
 pub use gpuflow_multi as multi;
 pub use gpuflow_ops as ops;
 pub use gpuflow_pbsat as pbsat;
+pub use gpuflow_serve as serve;
 pub use gpuflow_sim as sim;
 pub use gpuflow_templates as templates;
 pub use gpuflow_trace as trace;

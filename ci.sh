@@ -51,6 +51,12 @@ echo "==> plan-cache perf tripwire (extension_serve --smoke)"
 # Warm-cache p50 must stay >=10x below the cold-compile p50.
 cargo run --release -q -p gpuflow-bench --bin extension_serve -- --smoke
 
+echo "==> stream scheduler perf tripwire (extension_streams --smoke)"
+# streams=2 must land strictly below the serial launch chain on the
+# 4-orientation edge template and the small CNN, with every stream plan
+# GF005x-certified.
+cargo run --release -q -p gpuflow-bench --bin extension_streams -- --smoke
+
 echo "==> gpuflow check over shipped templates"
 for gfg in assets/*.gfg; do
     echo "--- $gfg"

@@ -167,6 +167,9 @@ pub enum Command {
         exact_max_ops: Option<usize>,
         /// Print the full step listing.
         render: bool,
+        /// Concurrent compute streams for the stream-aware scheduler
+        /// (1 = the classic serial launch chain).
+        streams: usize,
         /// Multi-device cluster spec (`--devices gtx8800x4`); overrides
         /// `--device` and switches to the sharded multi-GPU pipeline.
         devices: Option<String>,
@@ -193,6 +196,8 @@ pub enum Command {
         gantt: bool,
         /// Emit the outcome as machine-readable JSON instead of text.
         json: bool,
+        /// Concurrent compute streams for the stream-aware scheduler.
+        streams: usize,
         /// Multi-device cluster spec.
         devices: Option<String>,
         /// Write a Chrome-trace JSON of the compile + simulation here.
@@ -210,6 +215,8 @@ pub enum Command {
         json: bool,
         /// Print the happens-before concurrency summary (lanes and edges).
         hazards: bool,
+        /// Concurrent compute streams for the stream-aware scheduler.
+        streams: usize,
         /// Multi-device cluster spec.
         devices: Option<String>,
         /// Write a Chrome-trace JSON of the compilation here.
@@ -233,6 +240,8 @@ pub enum Command {
         exact_max_ops: Option<usize>,
         /// Output path for the Chrome-trace JSON.
         out: String,
+        /// Concurrent compute streams for the stream-aware scheduler.
+        streams: usize,
         /// Multi-device cluster spec.
         devices: Option<String>,
     },
@@ -365,6 +374,7 @@ impl Command {
         let mut addr: Option<String> = None;
         let mut send: Option<String> = None;
         let mut cache_capacity = 64usize;
+        let mut streams = 1usize;
 
         let next_value = |it: &mut std::slice::Iter<String>, flag: &str| {
             it.next()
@@ -441,6 +451,17 @@ impl Command {
                         return Err("--cache-capacity must be > 0".into());
                     }
                 }
+                // Stream-level operator parallelism belongs to the verbs
+                // that compile single-device plans.
+                "--streams"
+                    if verb == "plan" || verb == "run" || verb == "check" || verb == "trace" =>
+                {
+                    let v = next_value(&mut it, flag)?;
+                    streams = v.parse().map_err(|_| format!("bad stream count '{v}'"))?;
+                    if streams == 0 {
+                        return Err("--streams must be >= 1".into());
+                    }
+                }
                 // Concurrency-certifier summary is a `check` refinement.
                 "--hazards" if verb == "check" => hazards = true,
                 // `check --json` / `run --json` / `chaos --json` are boolean
@@ -500,6 +521,11 @@ impl Command {
             });
         }
         let source = source.ok_or("missing <source>")?;
+        // The cluster pipeline schedules its own per-device lanes; compute
+        // streams are a single-device refinement.
+        if streams > 1 && devices.is_some() {
+            return Err("--streams does not support --devices".into());
+        }
 
         match verb.as_str() {
             "info" => Ok(Command::Info { source }),
@@ -513,6 +539,7 @@ impl Command {
                 exact_budget,
                 exact_max_ops,
                 render,
+                streams,
                 devices,
                 trace,
             }),
@@ -530,6 +557,7 @@ impl Command {
                     overlap,
                     gantt,
                     json: json_switch,
+                    streams,
                     devices,
                     trace,
                     faults,
@@ -540,6 +568,7 @@ impl Command {
                 device,
                 json: json_switch,
                 hazards,
+                streams,
                 devices,
                 trace,
             }),
@@ -555,6 +584,7 @@ impl Command {
                     exact_budget,
                     exact_max_ops,
                     out: trace_out.unwrap_or_else(|| "trace.json".to_string()),
+                    streams,
                     devices,
                 })
             }
@@ -972,6 +1002,41 @@ mod tests {
         assert!(Command::parse(&argv("plan fig3 --addr 127.0.0.1:1")).is_err());
         assert!(Command::parse(&argv("run fig3 --send x")).is_err());
         assert!(Command::parse(&argv("plan fig3 --soak")).is_err());
+    }
+
+    #[test]
+    fn parse_streams_flag() {
+        // `--streams` rides on every verb that compiles a single-device
+        // plan, and defaults to the classic serial chain.
+        assert!(matches!(
+            Command::parse(&argv("plan fig3 --streams 4")).unwrap(),
+            Command::Plan { streams: 4, .. }
+        ));
+        assert!(matches!(
+            Command::parse(&argv("run fig3 --streams 2 --overlap")).unwrap(),
+            Command::Run { streams: 2, .. }
+        ));
+        assert!(matches!(
+            Command::parse(&argv("check fig3 --streams 2 --hazards")).unwrap(),
+            Command::Check { streams: 2, .. }
+        ));
+        assert!(matches!(
+            Command::parse(&argv("trace fig3 --streams 3")).unwrap(),
+            Command::Trace { streams: 3, .. }
+        ));
+        assert!(matches!(
+            Command::parse(&argv("run fig3")).unwrap(),
+            Command::Run { streams: 1, .. }
+        ));
+        // Zero streams is meaningless; reject before planning.
+        assert!(Command::parse(&argv("plan fig3 --streams 0")).is_err());
+        assert!(Command::parse(&argv("plan fig3 --streams lots")).is_err());
+        // Other verbs reject the flag.
+        assert!(Command::parse(&argv("emit fig3 --cuda x.cu --streams 2")).is_err());
+        assert!(Command::parse(&argv("info fig3 --streams 2")).is_err());
+        // The cluster scheduler manages its own lanes.
+        assert!(Command::parse(&argv("run fig3 --streams 2 --devices c870x2")).is_err());
+        assert!(Command::parse(&argv("run fig3 --streams 1 --devices c870x2")).is_ok());
     }
 
     #[test]

@@ -20,7 +20,10 @@ use gpuflow_multi::{
 use gpuflow_ops::reference_eval;
 use gpuflow_templates::data::default_bindings;
 use gpuflow_templates::{cnn, edge};
-use gpuflow_trace::{sum_event_arg, validate_chrome_trace, Tracer, PID_CLUSTER, PID_SERIAL};
+use gpuflow_trace::{
+    sum_event_arg, sum_event_dur, validate_chrome_trace, Tracer, PID_CLUSTER, PID_OVERLAP,
+    PID_SERIAL,
+};
 
 use crate::args::{Command, Source};
 
@@ -421,6 +424,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             exact_budget,
             exact_max_ops,
             render,
+            streams,
             devices,
             trace,
         } => {
@@ -465,6 +469,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 scheduler: *scheduler,
                 eviction: *eviction,
                 exact: exact_options(*exact, *exact_budget, *exact_max_ops),
+                streams: *streams,
                 ..CompileOptions::default()
             };
             let compiled = Framework::new(dev.clone())
@@ -482,6 +487,14 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 stats.floats_in, stats.floats_out
             );
             let _ = writeln!(out, "peak residency:   {} MiB", stats.peak_bytes >> 20);
+            if let Some(ann) = &compiled.plan.streams {
+                let _ = writeln!(
+                    out,
+                    "compute streams:  {} ({} cross-stream events)",
+                    ann.num_streams,
+                    ann.events.len()
+                );
+            }
             if *exact {
                 let _ = writeln!(out, "exact optimum:    {}", compiled.exact_optimal);
                 if let Some(st) = &compiled.exact_stats {
@@ -508,6 +521,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             overlap,
             gantt,
             json,
+            streams,
             devices,
             trace,
             faults,
@@ -627,6 +641,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let dev = device.spec();
             let options = CompileOptions {
                 exact: exact_options(*exact, *exact_budget, *exact_max_ops),
+                streams: *streams,
                 ..CompileOptions::default()
             };
             let compiled = Framework::new(dev.clone())
@@ -706,6 +721,20 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 m.insert("peak_device_bytes", result.peak_device_bytes);
                 m.insert("overlapped_makespan_s", o.overlapped_time);
                 m.insert("overlap_speedup", o.speedup());
+                m.insert("streams", o.stream_busy.len());
+                m.insert("h2d_busy_s", o.h2d_busy);
+                m.insert("d2h_busy_s", o.d2h_busy);
+                m.insert(
+                    "compute_busy_s",
+                    Value::Array(o.stream_busy.iter().map(|&b| Value::from(b)).collect()),
+                );
+                // Busy fraction of each engine over the overlapped
+                // makespan, in lane order (h2d, each stream, d2h).
+                let mut util = Map::new();
+                for (name, frac) in o.utilization() {
+                    util.insert(name.as_str(), frac);
+                }
+                m.insert("utilization", Value::Object(util));
                 if let Some(n) = verified {
                     m.insert("outputs_verified", n);
                 }
@@ -785,6 +814,13 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     o.overlapped_time,
                     o.speedup()
                 );
+                let util = o
+                    .utilization()
+                    .iter()
+                    .map(|(name, frac)| format!("{name} {:.0}%", frac * 100.0))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "engine busy:      {util}");
                 if *gantt {
                     let _ = writeln!(
                         out,
@@ -800,6 +836,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             device,
             json,
             hazards,
+            streams,
             devices,
             trace,
         } => {
@@ -840,6 +877,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 diags = gpuflow_verify::analyze_graph(&g, Some(dev.memory_bytes));
                 (plan_info, cert) = if !gpuflow_verify::has_errors(&diags) {
                     let compiled = Framework::new(dev.clone())
+                        .with_options(CompileOptions {
+                            streams: *streams,
+                            ..CompileOptions::default()
+                        })
                         .compile_adaptive_traced(&g, &mut tracer)
                         .map_err(|e| e.to_string())?;
                     let analysis =
@@ -912,6 +953,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             exact_budget,
             exact_max_ops,
             out: out_path,
+            streams,
             devices,
         } => {
             let g = load_source(source)?;
@@ -948,6 +990,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 let options = CompileOptions {
                     memory_margin: *margin,
                     exact: exact_options(*exact, *exact_budget, *exact_max_ops),
+                    streams: *streams,
                     ..CompileOptions::default()
                 };
                 // Same entry point as `run`: the adaptive ladder dry-runs
@@ -962,7 +1005,7 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                         .map_err(|e| e.to_string())?;
                 let result = compiled.run_analytic().map_err(|e| e.to_string())?;
                 trace_serial_timeline(&mut tracer, &result.timeline);
-                let (_, events) =
+                let (o, events) =
                     gpuflow_core::overlapped_trace(&compiled.split.graph, &compiled.plan, &dev);
                 trace_overlap_lanes(&mut tracer, &events);
                 let parsed = write_trace(out_path, &tracer)?;
@@ -979,6 +1022,38 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     "d2h bytes vs plan".into(),
                     sum_event_arg(&parsed, "d2h", "bytes", Some(PID_SERIAL)),
                     stats.floats_out * FLOAT_BYTES,
+                ));
+                // Overlap-lane busy time summed from the re-parsed export
+                // vs the simulator's own lane events, both rounded to the
+                // exporter's integer microseconds per event. Catches any
+                // drift between the per-stream lane layout and what the
+                // simulator actually scheduled.
+                let us = |s: f64| (s * 1e6).round().max(0.0) as u64;
+                let lane_us = |is_lane: &dyn Fn(gpuflow_core::overlap::Lane) -> bool| -> u64 {
+                    events
+                        .iter()
+                        .filter(|e| is_lane(e.lane))
+                        .map(|e| us(e.end).saturating_sub(us(e.start)))
+                        .sum()
+                };
+                use gpuflow_core::overlap::Lane;
+                checks.push((
+                    "h2d lane busy (us) vs overlap sim".into(),
+                    sum_event_dur(&parsed, "h2d", Some(PID_OVERLAP)),
+                    lane_us(&|l| l == Lane::H2d),
+                ));
+                checks.push((
+                    format!(
+                        "kernel lanes busy (us, {} streams) vs overlap sim",
+                        o.stream_busy.len()
+                    ),
+                    sum_event_dur(&parsed, "kernel", Some(PID_OVERLAP)),
+                    lane_us(&|l| matches!(l, Lane::Compute(_))),
+                ));
+                checks.push((
+                    "d2h lane busy (us) vs overlap sim".into(),
+                    sum_event_dur(&parsed, "d2h", Some(PID_OVERLAP)),
+                    lane_us(&|l| l == Lane::D2h),
                 ));
                 if let Some(st) = &compiled.exact_stats {
                     checks.push((
@@ -1379,6 +1454,7 @@ mod tests {
             overlap: false,
             gantt: false,
             json: false,
+            streams: 1,
             devices: None,
             trace: None,
             faults: None,
@@ -1407,6 +1483,7 @@ mod tests {
                     overlap: true,
                     gantt: false,
                     json: false,
+                    streams: 1,
                     devices: None,
                     trace: None,
                     faults: None,
@@ -1523,6 +1600,7 @@ mod tests {
                 device: DeviceArg::Custom(1),
                 json: false,
                 hazards: false,
+                streams: 1,
                 devices: None,
                 trace: None,
             })
@@ -1643,6 +1721,7 @@ mod tests {
             device: DeviceArg::Custom(1),
             json: false,
             hazards: false,
+            streams: 1,
             devices: None,
             trace: None,
         })
@@ -1773,6 +1852,82 @@ mod tests {
         let doc = gpuflow_minijson::parse(&text).unwrap();
         validate_chrome_trace(&doc).unwrap();
         assert!(text.contains("chaos / recovery"), "chaos track missing");
+    }
+
+    #[test]
+    fn run_with_streams_reports_utilization_and_verifies() {
+        let out = execute(&parse(
+            "run edge:256x256,k=9,o=4 --device custom:2 --streams 2 --overlap --functional",
+        ))
+        .unwrap();
+        assert!(out.contains("verified against the reference"), "{out}");
+        assert!(out.contains("engine busy:"), "{out}");
+        assert!(out.contains("compute s0"), "{out}");
+        assert!(out.contains("compute s1"), "{out}");
+        // The default stays on the classic single-engine labels.
+        let serial = execute(&parse(
+            "run edge:256x256,k=9,o=4 --device custom:2 --overlap",
+        ))
+        .unwrap();
+        assert!(serial.contains("engine busy:"), "{serial}");
+        assert!(!serial.contains("compute s"), "{serial}");
+    }
+
+    #[test]
+    fn run_json_with_streams_reports_per_engine_utilization() {
+        let out = execute(&parse("run fig3 --device custom:1 --streams 2 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&out).unwrap();
+        assert_eq!(doc["streams"].as_u64(), Some(2));
+        assert_eq!(doc["compute_busy_s"].as_array().unwrap().len(), 2);
+        let util = &doc["utilization"];
+        assert!(util["h2d"].as_f64().is_some());
+        assert!(util["compute s0"].as_f64().is_some());
+        assert!(util["compute s1"].as_f64().is_some());
+        assert!(util["d2h"].as_f64().is_some());
+        // Every busy fraction is a fraction of the same makespan.
+        for key in ["h2d", "compute s0", "compute s1", "d2h"] {
+            let f = util[key].as_f64().unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&f), "{key}: {f}");
+        }
+        // Serial runs keep the classic single-engine key.
+        let serial = execute(&parse("run fig3 --device custom:1 --json")).unwrap();
+        let doc = gpuflow_minijson::parse(&serial).unwrap();
+        assert_eq!(doc["streams"].as_u64(), Some(1));
+        assert!(doc["utilization"]["compute"].as_f64().is_some());
+    }
+
+    #[test]
+    fn trace_with_streams_reconciles_lane_busy_times() {
+        let dir = std::env::temp_dir().join("gpuflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("streams_trace.json");
+        let out = execute(&parse(&format!(
+            "trace fig3 --device custom:1 --streams 2 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("kernel lanes busy (us, 2 streams)"), "{out}");
+        assert!(out.contains("h2d lane busy (us)"), "{out}");
+        assert!(out.contains("d2h lane busy (us)"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+        // The serial trace reconciles the same rows over one stream.
+        let p2 = dir.join("serial_lanes_trace.json");
+        let out = execute(&parse(&format!(
+            "trace fig3 --device custom:1 --out {}",
+            p2.display()
+        )))
+        .unwrap();
+        assert!(out.contains("kernel lanes busy (us, 1 streams)"), "{out}");
+        assert!(!out.contains("MISMATCH"), "{out}");
+    }
+
+    #[test]
+    fn check_hazards_with_streams_reports_stream_lanes() {
+        let out = execute(&parse("check fig3 --streams 2 --hazards")).unwrap();
+        assert!(out.contains("0 errors"), "{out}");
+        assert!(out.contains("GF0056"), "{out}");
+        // The lane census names the extra compute stream's lane.
+        assert!(out.contains("gpu0s1"), "{out}");
     }
 
     #[test]

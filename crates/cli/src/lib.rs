@@ -6,16 +6,17 @@
 //! ```text
 //! gpuflow info  <source>
 //! gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F]
-//!                        [--scheduler S] [--eviction E] [--exact]
-//!                        [--exact-budget N] [--exact-max-ops N] [--render]
-//!                        [--trace PATH]
+//!                        [--scheduler S] [--eviction E] [--streams K]
+//!                        [--exact] [--exact-budget N] [--exact-max-ops N]
+//!                        [--render] [--trace PATH]
 //! gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional]
-//!                        [--overlap] [--gantt] [--json]
+//!                        [--overlap] [--gantt] [--json] [--streams K]
 //!                        [--exact] [--exact-budget N] [--exact-max-ops N]
 //!                        [--trace PATH]
 //! gpuflow check <source> [--device DEV | --devices CLUSTER] [--json]
-//!                        [--hazards] [--trace PATH]
+//!                        [--hazards] [--streams K] [--trace PATH]
 //! gpuflow trace <source> [--device DEV | --devices CLUSTER] [--margin F]
+//!                        [--streams K]
 //!                        [--exact] [--exact-budget N] [--exact-max-ops N]
 //!                        [--out PATH]
 //! gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH)
@@ -76,10 +77,10 @@ pub fn run(argv: &[String]) -> Result<String, String> {
 pub const USAGE: &str = "\
 usage:
   gpuflow info  <source>
-  gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F] [--scheduler S] [--eviction E] [--exact] [--exact-budget N] [--exact-max-ops N] [--render] [--trace PATH]
-  gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional] [--overlap] [--gantt] [--json] [--exact] [--exact-budget N] [--exact-max-ops N] [--trace PATH]
-  gpuflow check <source> [--device DEV | --devices CLUSTER] [--json] [--hazards] [--trace PATH]
-  gpuflow trace <source> [--device DEV | --devices CLUSTER] [--margin F] [--exact] [--exact-budget N] [--exact-max-ops N] [--out PATH]
+  gpuflow plan  <source> [--device DEV | --devices CLUSTER] [--margin F] [--scheduler S] [--eviction E] [--streams K] [--exact] [--exact-budget N] [--exact-max-ops N] [--render] [--trace PATH]
+  gpuflow run   <source> [--device DEV | --devices CLUSTER] [--functional] [--overlap] [--gantt] [--json] [--streams K] [--exact] [--exact-budget N] [--exact-max-ops N] [--trace PATH]
+  gpuflow check <source> [--device DEV | --devices CLUSTER] [--json] [--hazards] [--streams K] [--trace PATH]
+  gpuflow trace <source> [--device DEV | --devices CLUSTER] [--margin F] [--streams K] [--exact] [--exact-budget N] [--exact-max-ops N] [--out PATH]
   gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV | --devices CLUSTER]
   gpuflow serve [--addr HOST:PORT] [--device DEV | --devices CLUSTER] [--margin F] [--cache-capacity N] [--smoke | --soak]
   gpuflow client --addr HOST:PORT --send '<request json>' [--json]
@@ -95,6 +96,9 @@ clusters:   comma list of device names with optional xN counts, all behind
             one shared PCIe bus: gtx8800x4 | c870x2,modern (docs/multigpu.md)
 schedulers: dfs (default) | source-dfs | bfs | insertion
 evictions:  belady (default) | latest | lru | fifo
+streams:    --streams K schedules offload units onto K concurrent compute
+            streams (single device only, docs/streams.md); K=1 is the
+            classic serial plan
 exact:      --exact proves a transfer-optimal schedule (pseudo-Boolean);
             --exact-budget caps solver conflicts (past it: best plan found,
             unproven); --exact-max-ops bounds the accepted graph size

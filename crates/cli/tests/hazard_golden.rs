@@ -54,6 +54,20 @@ fn check_hazards_json_output_matches_golden() {
     );
 }
 
+#[test]
+fn check_hazards_two_stream_output_matches_golden() {
+    // The 2-stream plan's lane census (`gpu0` + `gpu0s1`) and edge
+    // breakdown, locked down byte-for-byte in both formats.
+    assert_matches_golden(
+        "check_fig3_hazards_streams2.txt",
+        &run("check fig3 --hazards --streams 2"),
+    );
+    assert_matches_golden(
+        "check_fig3_hazards_streams2.json",
+        &run("check fig3 --hazards --streams 2 --json"),
+    );
+}
+
 /// A fig3 plan with its first launch hoisted above the `CopyIn` it reads:
 /// the certifier's `GF005x` findings in both output formats.
 fn hazardous_report() -> gpuflow_verify::ConcurrencyReport {

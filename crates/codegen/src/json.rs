@@ -380,7 +380,11 @@ pub fn load_plan(doc: &PlanDoc, graph: &Graph) -> Result<ExecutionPlan, LoadErro
             })
         })
         .collect::<Result<Vec<_>, LoadError>>()?;
-    Ok(ExecutionPlan { units, steps })
+    Ok(ExecutionPlan {
+        units,
+        steps,
+        streams: None,
+    })
 }
 
 #[cfg(test)]

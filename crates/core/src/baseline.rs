@@ -53,7 +53,11 @@ pub fn baseline_plan(g: &Graph, memory_bytes: u64) -> Result<ExecutionPlan, Fram
             }
         }
     }
-    let plan = ExecutionPlan { units, steps };
+    let plan = ExecutionPlan {
+        units,
+        steps,
+        streams: None,
+    };
     #[cfg(debug_assertions)]
     crate::plan::debug_check_plan(g, &plan, memory_bytes, "baseline_plan");
     Ok(plan)

@@ -51,6 +51,7 @@ pub mod report;
 pub mod resilient;
 pub mod sanitize;
 pub mod split;
+pub mod streams;
 pub mod xfer;
 
 pub use baseline::baseline_plan;
@@ -65,11 +66,18 @@ pub use observe::{
 pub use opschedule::{schedule_units, OpScheduler};
 pub use overlap::{overlapped_makespan, overlapped_trace, render_gantt, OverlapOutcome};
 pub use partition::{partition_offload_units, OffloadUnit, PartitionPolicy};
-pub use pbexact::{pb_exact_plan, ObjectiveKind, PbExactOptions, PbExactOutcome, PbExactStats};
+pub use pbexact::{
+    exposed_transfer_floats, pb_exact_plan, ObjectiveKind, PbExactOptions, PbExactOutcome,
+    PbExactStats,
+};
 pub use plan::{validate_plan, ExecutionPlan, PlanStats, Step};
 pub use prefetch::{hoist_prefetches, hoist_prefetches_traced};
 pub use report::compilation_report;
 pub use resilient::{ResilientExecutor, ResilientOutcome};
 pub use sanitize::{assert_hb_consistent, overlap_step_times, serial_step_times};
 pub use split::{split_graph, split_graph_min_parts, DataOrigin, SplitResult};
+pub use streams::{
+    derive_events, derive_events_for, schedule_streamed, stream_order, unit_compute_time,
+    StreamEvent, StreamSchedule,
+};
 pub use xfer::EvictionPolicy;

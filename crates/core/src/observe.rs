@@ -87,22 +87,42 @@ pub fn trace_serial_timeline(tracer: &mut Tracer, tl: &Timeline) {
     tracer.metrics().gauge("sim.total_time_s", c.total_time());
 }
 
-/// Project the two-engine overlap lanes of [`crate::overlap`] onto the
-/// [`PID_OVERLAP`] track: one thread per engine (H2D DMA, compute, D2H
-/// DMA). Byte arguments carry each event's [`LaneEvent::bytes`].
+/// Project the multi-engine overlap lanes of [`crate::overlap`] onto the
+/// [`PID_OVERLAP`] track: one thread per engine — H2D DMA on tid 0, one
+/// compute thread per stream on tids `1..=k`, D2H DMA on tid `1 + k`.
+/// With a single stream the layout (and thread names) is byte-identical
+/// to the classic three-lane view. Byte arguments carry each event's
+/// [`LaneEvent::bytes`].
 pub fn trace_overlap_lanes(tracer: &mut Tracer, events: &[LaneEvent]) {
     if !tracer.is_enabled() {
         return;
     }
+    // Lane count from the events themselves, so callers need no extra
+    // plumbing: the highest stream index seen defines k.
+    let k = events
+        .iter()
+        .filter_map(|e| match e.lane {
+            Lane::Compute(s) => Some(s + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1);
     tracer.name_process(PID_OVERLAP, "overlapped engines (simulated)");
     tracer.name_thread(PID_OVERLAP, 0, "H2D DMA");
-    tracer.name_thread(PID_OVERLAP, 1, "compute");
-    tracer.name_thread(PID_OVERLAP, 2, "D2H DMA");
+    for s in 0..k {
+        if k == 1 {
+            tracer.name_thread(PID_OVERLAP, 1, "compute");
+        } else {
+            tracer.name_thread(PID_OVERLAP, 1 + s as u32, &format!("compute s{s}"));
+        }
+    }
+    tracer.name_thread(PID_OVERLAP, 1 + k as u32, "D2H DMA");
     for e in events {
         let (tid, cat) = match e.lane {
             Lane::H2d => (0, "h2d"),
-            Lane::Compute => (1, "kernel"),
-            Lane::D2h => (2, "d2h"),
+            Lane::Compute(s) => (1 + s as u32, "kernel"),
+            Lane::D2h => (1 + k as u32, "d2h"),
         };
         tracer.virtual_span(
             PID_OVERLAP,
@@ -219,7 +239,7 @@ mod tests {
                 bytes: 800,
             },
             LaneEvent {
-                lane: Lane::Compute,
+                lane: Lane::Compute(0),
                 label: "C1".into(),
                 start: 0.5,
                 end: 0.75,
@@ -239,6 +259,36 @@ mod tests {
         validate_chrome_trace(&doc).unwrap();
         assert_eq!(sum_event_arg(&doc, "h2d", "bytes", Some(PID_OVERLAP)), 800);
         assert_eq!(sum_event_arg(&doc, "d2h", "bytes", Some(PID_OVERLAP)), 400);
+    }
+
+    #[test]
+    fn stream_lanes_get_their_own_threads() {
+        let mk = |lane, label: &str, start: f64| LaneEvent {
+            lane,
+            label: label.into(),
+            start,
+            end: start + 0.1,
+            bytes: 100,
+        };
+        let events = vec![
+            mk(Lane::H2d, "Img", 0.0),
+            mk(Lane::Compute(0), "C1", 0.1),
+            mk(Lane::Compute(1), "C2", 0.1),
+            mk(Lane::D2h, "E1", 0.2),
+        ];
+        let mut tracer = Tracer::new();
+        trace_overlap_lanes(&mut tracer, &events);
+        let doc = tracer.chrome_trace();
+        validate_chrome_trace(&doc).unwrap();
+        let text = doc.to_string_pretty();
+        assert!(text.contains("compute s0"), "{text}");
+        assert!(text.contains("compute s1"), "{text}");
+        assert!(text.contains("D2H DMA"), "{text}");
+        // Both kernels land on the kernel category across two threads.
+        assert_eq!(
+            sum_event_arg(&doc, "kernel", "bytes", Some(PID_OVERLAP)),
+            200
+        );
     }
 
     #[test]

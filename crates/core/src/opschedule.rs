@@ -43,15 +43,16 @@ pub enum OpScheduler {
 
 /// Dependency structure between units: `preds[u]` lists the units producing
 /// `u`'s external inputs (in input order, deduplicated); `succs[u]` lists
-/// units consuming some output of `u`.
-struct UnitDag {
-    preds: Vec<Vec<usize>>,
-    succs: Vec<Vec<usize>>,
+/// units consuming some output of `u`. Shared with the stream-aware list
+/// scheduler in [`crate::streams`].
+pub(crate) struct UnitDag {
+    pub(crate) preds: Vec<Vec<usize>>,
+    pub(crate) succs: Vec<Vec<usize>>,
     /// Units producing template outputs, in index order.
-    output_units: Vec<usize>,
+    pub(crate) output_units: Vec<usize>,
 }
 
-fn unit_dag(g: &Graph, units: &[OffloadUnit]) -> UnitDag {
+pub(crate) fn unit_dag(g: &Graph, units: &[OffloadUnit]) -> UnitDag {
     let mut owner = vec![usize::MAX; g.num_data()];
     for (ui, u) in units.iter().enumerate() {
         for &o in &u.ops {

@@ -75,6 +75,14 @@ pub enum ObjectiveKind {
     /// current computation" (§3.3.2) — prefetched uploads and deferred
     /// downloads are hidden behind kernels by the async copy engines.
     SynchronousTransfers,
+    /// Overlap-aware exposure: synchronous uploads **plus** downloads in
+    /// the tail drain slot `N+1`, where no kernel remains to hide them.
+    /// This is the PB counterpart of the stream scheduler's cost model
+    /// (`core::streams`): a plan with zero exposed transfers overlaps
+    /// every byte it moves, so minimizing exposure bounds from below the
+    /// transfer time any multi-stream schedule must still pay on the
+    /// critical path.
+    ExposedTransfers,
 }
 
 /// Options for [`pb_exact_plan`].
@@ -641,10 +649,11 @@ fn encode(cx: &EncCtx<'_>, prune: bool) -> Encoded {
                 }
             }
         }
-        ObjectiveKind::SynchronousTransfers => {
+        ObjectiveKind::SynchronousTransfers | ObjectiveKind::ExposedTransfers => {
             // z[j][t] ⇐ cg[j][t] ∧ (some consumer of j executes at t): an
             // upload arriving exactly when it is consumed cannot be
-            // hidden. Prefetches and all downloads overlap with kernels.
+            // hidden. Prefetches and in-schedule downloads overlap with
+            // kernels.
             for dj in 0..j {
                 if cx.consumers[dj].is_empty() {
                     continue;
@@ -673,6 +682,15 @@ fn encode(cx: &EncCtx<'_>, prune: bool) -> Encoded {
                         }
                     }
                     objective.push((cx.sizes[dj], z));
+                }
+            }
+            if cx.objective_kind == ObjectiveKind::ExposedTransfers {
+                // Tail-drain downloads (t = N+1) run after the last
+                // kernel: nothing remains to hide them.
+                for dj in 0..j {
+                    if let S::V(l) = cc[dj][n] {
+                        objective.push((cx.sizes[dj], l));
+                    }
                 }
             }
         }
@@ -817,6 +835,46 @@ fn structural_lower_bound(g: &Graph, owner: &[Option<usize>], consumers: &[Vec<u
     lb
 }
 
+/// Count a plan's *exposed* transfer floats under the slot semantics of
+/// [`ObjectiveKind::ExposedTransfers`]: uploads staged in the same slot as
+/// the launch that consumes them (nothing to hide behind), plus downloads
+/// issued after the final launch (the tail drain). This recomputes, from
+/// an extracted plan, exactly the objective value the PB solver proved —
+/// and gives the heuristic stream scheduler a comparable exposure number.
+pub fn exposed_transfer_floats(g: &Graph, plan: &ExecutionPlan) -> u64 {
+    let n = plan
+        .steps
+        .iter()
+        .filter(|s| matches!(s, Step::Launch(_)))
+        .count();
+    // Slot of each datum's most recent upload: `launches_seen + 1` is the
+    // slot of the next launch, the kernel the upload runs concurrently
+    // with.
+    let mut upload_slot: Vec<Option<usize>> = vec![None; g.num_data()];
+    let mut launches_seen = 0usize;
+    let mut exposed = 0u64;
+    for step in &plan.steps {
+        match *step {
+            Step::CopyIn(d) => upload_slot[d.index()] = Some(launches_seen + 1),
+            Step::Launch(u) => {
+                launches_seen += 1;
+                for d in plan.units[u].external_inputs(g) {
+                    if upload_slot[d.index()] == Some(launches_seen) {
+                        exposed += g.data(d).len();
+                    }
+                }
+            }
+            Step::CopyOut(d) => {
+                if launches_seen >= n {
+                    exposed += g.data(d).len();
+                }
+            }
+            Step::Free(_) => {}
+        }
+    }
+    exposed
+}
+
 /// Solve the Fig. 5 formulation over `units` with `memory_bytes` of device
 /// memory. `fixed_order` (indices into `units`) pins the execution order,
 /// leaving only data transfers to optimize.
@@ -857,6 +915,7 @@ pub fn pb_exact_plan_traced(
             plan: ExecutionPlan {
                 units: Vec::new(),
                 steps: Vec::new(),
+                streams: None,
             },
             transfer_floats: 0,
             optimal: true,
@@ -1166,6 +1225,7 @@ pub fn pb_exact_plan_traced(
     let plan = ExecutionPlan {
         units: units.to_vec(),
         steps,
+        streams: None,
     };
     #[cfg(debug_assertions)]
     crate::plan::debug_check_plan(g, &plan, memory_bytes, "pb_exact_plan");
@@ -1346,6 +1406,84 @@ mod tests {
         // data (8 units): hiding is about *when*, not *whether*.
         validate_plan(&g, &out.plan, fig3_memory_bytes()).unwrap();
         assert!(floats_to_units(out.plan.stats(&g).total_floats()) >= 8.0);
+    }
+
+    /// The overlap-aware exposure objective on Fig. 3: exposed traffic is
+    /// the synchronous uploads plus whatever must drain after the last
+    /// kernel. The extracted plan's recomputed exposure must equal the
+    /// proven objective value exactly (one bookkeeping source), and
+    /// exposure can never undercut the synchronous-upload optimum it
+    /// contains.
+    #[test]
+    fn exposed_objective_reconciles_with_extracted_plan() {
+        let g = fig3_graph();
+        let units = fig3_units(&g);
+        let opts = PbExactOptions {
+            objective: super::ObjectiveKind::ExposedTransfers,
+            ..PbExactOptions::default()
+        };
+        let out = pb_exact_plan(&g, &units, fig3_memory_bytes(), opts, None).unwrap();
+        assert!(out.optimal);
+        validate_plan(&g, &out.plan, fig3_memory_bytes()).unwrap();
+        assert_eq!(
+            exposed_transfer_floats(&g, &out.plan),
+            out.transfer_floats,
+            "recount of the extracted plan must match the proven value\n{}",
+            out.plan.render(&g)
+        );
+        let sync = pb_exact_plan(
+            &g,
+            &units,
+            fig3_memory_bytes(),
+            PbExactOptions {
+                objective: super::ObjectiveKind::SynchronousTransfers,
+                ..PbExactOptions::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert!(
+            out.transfer_floats >= sync.transfer_floats,
+            "exposure ({}) includes the synchronous uploads ({})",
+            out.transfer_floats,
+            sync.transfer_floats
+        );
+    }
+
+    /// The heuristic stream scheduler's plan on Fig. 3, measured by the
+    /// same exposure metric, cannot beat the PB-proven optimum — and the
+    /// solver thereby certifies how close the list scheduler gets.
+    #[test]
+    fn heuristic_stream_plan_exposure_is_bounded_by_pb_optimum() {
+        use crate::streams::schedule_streamed;
+        use gpuflow_sim::device::tesla_c870;
+        let g = fig3_graph();
+        let units = fig3_units(&g);
+        let opts = PbExactOptions {
+            objective: super::ObjectiveKind::ExposedTransfers,
+            ..PbExactOptions::default()
+        };
+        let out = pb_exact_plan(&g, &units, fig3_memory_bytes(), opts, None).unwrap();
+        assert!(out.optimal);
+        let dev = tesla_c870().with_memory(fig3_memory_bytes());
+        for k in [1, 2, 4] {
+            let plan = schedule_streamed(
+                &g,
+                &units,
+                &dev,
+                k,
+                XferOptions {
+                    memory_bytes: fig3_memory_bytes(),
+                    policy: EvictionPolicy::Belady,
+                    eager_free: true,
+                },
+            )
+            .unwrap();
+            assert!(
+                exposed_transfer_floats(&g, &plan) >= out.transfer_floats,
+                "streams={k}: heuristic exposure beats the proven optimum"
+            );
+        }
     }
 
     #[test]

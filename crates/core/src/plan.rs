@@ -15,14 +15,15 @@
 
 use gpuflow_graph::{DataId, Graph, FLOAT_BYTES};
 use gpuflow_verify::{
-    analyze_plan, certify_single_plan, ConcurrencyReport, Location, PlanAnalysis, PlanView,
-    UnitView,
+    analyze_plan, certify_single_plan, certify_single_plan_streams, ConcurrencyReport, Location,
+    PlanAnalysis, PlanView, UnitView,
 };
 
 pub use gpuflow_verify::PlanStats;
 
 use crate::error::FrameworkError;
 use crate::partition::OffloadUnit;
+use crate::streams::StreamSchedule;
 
 /// One step of an execution plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +47,10 @@ pub struct ExecutionPlan {
     pub units: Vec<OffloadUnit>,
     /// The step sequence.
     pub steps: Vec<Step>,
+    /// Stream/event annotation from the stream-aware list scheduler
+    /// ([`crate::streams`]); `None` means the classic serial discipline
+    /// (one compute stream, ordering implied by plan order).
+    pub streams: Option<StreamSchedule>,
 }
 
 impl ExecutionPlan {
@@ -87,10 +92,17 @@ impl ExecutionPlan {
     /// Run the concurrency certifier over this plan: build the
     /// happens-before DAG for the two-engine overlap model and prove
     /// every pair of conflicting accesses ordered (`GF005x` diagnostics
-    /// on failure, the `GF0056` certificate note on success). See
-    /// `docs/concurrency.md`.
+    /// on failure, the `GF0056` certificate note on success). Plans
+    /// annotated by the stream scheduler are certified against the
+    /// multi-stream lane model: each compute stream is its own program
+    /// lane, so cross-stream data dependencies must be covered by
+    /// explicit happens-before edges. See `docs/concurrency.md` and
+    /// `docs/streams.md`.
     pub fn certify(&self, g: &Graph) -> ConcurrencyReport {
-        certify_single_plan(g, &self.view(g))
+        match &self.streams {
+            Some(s) => certify_single_plan_streams(g, &self.view(g), &s.unit_stream, s.num_streams),
+            None => certify_single_plan(g, &self.view(g)),
+        }
     }
 
     /// Run the recoverability pass: per-launch minimal restart sets and
@@ -231,6 +243,7 @@ mod tests {
     fn good_plan(g: &Graph) -> ExecutionPlan {
         let d = |i: u32| DataId(i);
         ExecutionPlan {
+            streams: None,
             units: units2(g),
             steps: vec![
                 Step::CopyIn(d(0)),
@@ -280,6 +293,7 @@ mod tests {
     fn copyin_requires_host_validity() {
         let g = chain2();
         let p = ExecutionPlan {
+            streams: None,
             units: units2(&g),
             steps: vec![Step::CopyIn(DataId(1))], // `mid` never produced
         };
@@ -303,6 +317,7 @@ mod tests {
         p.steps.push(Step::Launch(0));
         assert!(validate_plan(&g, &p, u64::MAX).is_err());
         let p2 = ExecutionPlan {
+            streams: None,
             units: units2(&g),
             steps: vec![
                 Step::CopyIn(DataId(0)),
@@ -318,6 +333,7 @@ mod tests {
     fn precedence_violation_detected() {
         let g = chain2();
         let p = ExecutionPlan {
+            streams: None,
             units: units2(&g),
             steps: vec![Step::CopyIn(DataId(0)), Step::Launch(1)],
         };
@@ -341,6 +357,7 @@ mod tests {
     fn double_free_detected() {
         let g = chain2();
         let p = ExecutionPlan {
+            streams: None,
             units: units2(&g),
             steps: vec![
                 Step::CopyIn(DataId(0)),
@@ -357,6 +374,7 @@ mod tests {
         let bogus = DataId(99);
         for step in [Step::CopyIn(bogus), Step::CopyOut(bogus), Step::Free(bogus)] {
             let p = ExecutionPlan {
+                streams: None,
                 units: units2(&g),
                 steps: vec![step],
             };
@@ -364,6 +382,7 @@ mod tests {
             assert!(err.to_string().contains("unknown data"), "{step:?}: {err}");
         }
         let p = ExecutionPlan {
+            streams: None,
             units: units2(&g),
             steps: vec![Step::Launch(99)],
         };

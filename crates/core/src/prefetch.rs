@@ -99,10 +99,18 @@ fn hoist_prefetches_inner(
         }
         i += 1;
     }
-    let hoisted = ExecutionPlan {
+    let mut hoisted = ExecutionPlan {
         units: plan.units.clone(),
         steps,
+        streams: plan.streams.clone(),
     };
+    // Hoisting renumbers steps, so a stream annotation's event edges must
+    // be re-derived against the new step order (the stream assignment
+    // itself is untouched — only transfer timing moved).
+    if let Some(ann) = &mut hoisted.streams {
+        ann.events =
+            crate::streams::derive_events_for(g, &hoisted.units, &hoisted.steps, &ann.unit_stream);
+    }
     #[cfg(debug_assertions)]
     crate::plan::debug_check_plan(g, &hoisted, memory_bytes, "hoist_prefetches");
     (hoisted, moves)

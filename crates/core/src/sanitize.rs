@@ -31,8 +31,9 @@ use gpuflow_sim::{kernel_time, timing::Work, transfer_time, DeviceSpec};
 
 use crate::plan::{ExecutionPlan, Step};
 
-/// Step-granular `(start, end)` times under the two-engine overlap
-/// discipline of [`crate::overlap`]: program order per engine, transfer
+/// Step-granular `(start, end)` times under the multi-engine overlap
+/// discipline of [`crate::overlap`]: program order per engine (one DMA
+/// lane each way plus one compute clock per stream), transfer
 /// completion for readers, and the committed-free horizon for allocators
 /// — with each `Launch` treated as one atomic interval and each `Free`
 /// as an instant at its buffer's last touch.
@@ -44,7 +45,17 @@ pub fn overlap_step_times(g: &Graph, plan: &ExecutionPlan, dev: &DeviceSpec) -> 
     let mut free_horizon = 0.0f64;
     let mut h2d_free = 0.0f64;
     let mut d2h_free = 0.0f64;
-    let mut compute_free = 0.0f64;
+    // One compute clock per stream — mirrors crate::overlap exactly so the
+    // shadow and the real simulator can never disagree on lane discipline.
+    let k = plan.streams.as_ref().map_or(1, |s| s.num_streams.max(1));
+    let stream_of = |u: usize| -> usize {
+        plan.streams
+            .as_ref()
+            .and_then(|s| s.unit_stream.get(u).copied())
+            .unwrap_or(0)
+            .min(k - 1)
+    };
+    let mut stream_free = vec![0.0f64; k];
     let mut times = Vec::with_capacity(plan.steps.len());
     for step in &plan.steps {
         match *step {
@@ -71,7 +82,8 @@ pub fn overlap_step_times(g: &Graph, plan: &ExecutionPlan, dev: &DeviceSpec) -> 
             }
             Step::Launch(u) => {
                 let unit = &plan.units[u];
-                let mut start = compute_free.max(free_horizon);
+                let s = stream_of(u);
+                let mut start = stream_free[s].max(free_horizon);
                 for d in unit.external_inputs(g) {
                     start = start.max(device_ready[d.index()]);
                 }
@@ -89,7 +101,7 @@ pub fn overlap_step_times(g: &Graph, plan: &ExecutionPlan, dev: &DeviceSpec) -> 
                     );
                 }
                 let end = start + dur;
-                compute_free = end;
+                stream_free[s] = end;
                 for d in unit.outputs(g) {
                     device_ready[d.index()] = end;
                 }

@@ -245,6 +245,7 @@ pub fn schedule_transfers(
     let plan = ExecutionPlan {
         units: units.to_vec(),
         steps,
+        streams: None,
     };
     #[cfg(debug_assertions)]
     crate::plan::debug_check_plan(g, &plan, opts.memory_bytes, "schedule_transfers");

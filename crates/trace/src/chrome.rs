@@ -185,6 +185,23 @@ pub fn sum_event_arg(doc: &Value, cat: &str, arg: &str, pid: Option<u32>) -> u64
         .sum()
 }
 
+/// Sum the `dur` of every complete (`"X"`) event whose category is `cat`
+/// and whose `pid` matches (when `pid` is `Some`) — the exported busy
+/// time of one engine lane, in integer microseconds. Used to reconcile a
+/// trace's lanes against the overlap simulator's per-engine busy times.
+pub fn sum_event_dur(doc: &Value, cat: &str, pid: Option<u32>) -> u64 {
+    let Some(events) = doc.get("traceEvents").and_then(|v| v.as_array()) else {
+        return 0;
+    };
+    events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+        .filter(|e| e.get("cat").and_then(|v| v.as_str()) == Some(cat))
+        .filter(|e| pid.is_none_or(|p| e.get("pid").and_then(|v| v.as_u64()) == Some(p as u64)))
+        .filter_map(|e| e.get("dur").and_then(|v| v.as_u64()))
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +248,17 @@ mod tests {
         assert_eq!(sum_event_arg(&doc, "h2d", "bytes", Some(PID_SERIAL)), 100);
         assert_eq!(sum_event_arg(&doc, "h2d", "bytes", Some(99)), 0);
         assert_eq!(sum_event_arg(&doc, "d2h", "bytes", None), 0);
+    }
+
+    #[test]
+    fn sums_event_durations_by_category() {
+        // Spans at [0, 1µs] and [2µs, 3µs]: 1µs each after rounding.
+        let doc = sample();
+        assert_eq!(sum_event_dur(&doc, "h2d", None), 2);
+        assert_eq!(sum_event_dur(&doc, "h2d", Some(PID_SERIAL)), 2);
+        assert_eq!(sum_event_dur(&doc, "h2d", Some(99)), 0);
+        // Instants ("free") carry no dur and other cats sum to zero.
+        assert_eq!(sum_event_dur(&doc, "free", None), 0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod chrome;
 mod metrics;
 mod summary;
 
-pub use chrome::{sum_event_arg, validate_chrome_trace, ChromeSummary};
+pub use chrome::{sum_event_arg, sum_event_dur, validate_chrome_trace, ChromeSummary};
 pub use metrics::MetricsRegistry;
 
 /// Track (Chrome `pid`) for real wall-clock phases: compilation passes,

@@ -59,8 +59,13 @@ pub enum Lane {
     H2d,
     /// The device→host DMA channel (shared across the cluster).
     D2h,
-    /// Device `0`'s compute engine.
+    /// Device `d`'s compute engine (its stream `0` when streams are in
+    /// play).
     Compute(usize),
+    /// Device `d`'s compute stream `s` (for `s >= 1`; stream `0` keeps
+    /// the [`Lane::Compute`] identity so single-stream reports are
+    /// unchanged).
+    Stream(usize, usize),
     /// Host-side bookkeeping (`Free`): no engine, ordered only by its
     /// lifetime edges.
     Host,
@@ -68,36 +73,55 @@ pub enum Lane {
 
 impl Lane {
     /// Short label used in reports and JSON (`h2d`, `d2h`, `gpu0`,
-    /// `host`).
+    /// `gpu0s1`, `host`).
     pub fn label(self) -> String {
         match self {
             Lane::H2d => "h2d".to_string(),
             Lane::D2h => "d2h".to_string(),
             Lane::Compute(d) => format!("gpu{d}"),
+            Lane::Stream(d, s) => format!("gpu{d}s{s}"),
             Lane::Host => "host".to_string(),
         }
     }
 }
 
 /// The lane decomposition to certify against: how many devices contribute
-/// compute lanes. Transfers always share one channel per direction,
-/// matching both the single-GPU dual-DMA model and the cluster's shared
-/// bus.
+/// compute lanes, and how many concurrent compute streams each device
+/// exposes. Transfers always share one channel per direction, matching
+/// both the single-GPU dual-DMA model and the cluster's shared bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaneModel {
-    /// Number of devices (one compute lane each).
+    /// Number of devices (one compute-lane group each).
     pub devices: usize,
+    /// Concurrent compute streams per device (`1` = the classic
+    /// two-engine overlap model).
+    pub streams: usize,
 }
 
 impl LaneModel {
     /// One device: the two-engine overlap model of `core::overlap`.
     pub fn single() -> LaneModel {
-        LaneModel { devices: 1 }
+        LaneModel {
+            devices: 1,
+            streams: 1,
+        }
     }
 
     /// `n` devices racing the shared bus: the `multigpu::makespan` model.
     pub fn cluster(n: usize) -> LaneModel {
-        LaneModel { devices: n }
+        LaneModel {
+            devices: n,
+            streams: 1,
+        }
+    }
+
+    /// One device with `k` concurrent compute streams: the stream-level
+    /// operator-parallel model of `core::streams`.
+    pub fn streams(k: usize) -> LaneModel {
+        LaneModel {
+            devices: 1,
+            streams: k.max(1),
+        }
     }
 }
 
@@ -170,12 +194,11 @@ struct Access {
     transfer: bool,
 }
 
-/// Certify a single-device plan against the two-engine overlap model.
-/// Convenience wrapper lifting the [`PlanView`] onto a one-device
-/// [`MultiPlanView`] (the lifting is exact: a 1-device cluster plan *is*
-/// a single-device plan).
-pub fn certify_single_plan(g: &Graph, plan: &PlanView) -> ConcurrencyReport {
-    let lifted = MultiPlanView {
+/// Lift a single-device [`PlanView`] onto a one-device [`MultiPlanView`]
+/// (the lifting is exact: a 1-device cluster plan *is* a single-device
+/// plan).
+fn lift_single(plan: &PlanView) -> MultiPlanView {
+    MultiPlanView {
         units: plan.units.clone(),
         unit_device: vec![0; plan.units.len()],
         steps: plan
@@ -189,8 +212,32 @@ pub fn certify_single_plan(g: &Graph, plan: &PlanView) -> ConcurrencyReport {
             })
             .collect(),
         pinned_host: vec![],
-    };
-    certify_concurrency(g, &lifted, &LaneModel::single())
+    }
+}
+
+/// Certify a single-device plan against the two-engine overlap model.
+pub fn certify_single_plan(g: &Graph, plan: &PlanView) -> ConcurrencyReport {
+    certify_concurrency(g, &lift_single(plan), &LaneModel::single())
+}
+
+/// Certify a single-device plan whose launches are distributed over
+/// `num_streams` concurrent compute streams. `unit_stream[u]` names the
+/// stream of unit `u` (missing entries default to stream `0`); program
+/// order is enforced **per stream**, so only the synchronizations a
+/// multi-stream executor actually performs — transfer completion and the
+/// committed-free horizon — order launches across streams.
+pub fn certify_single_plan_streams(
+    g: &Graph,
+    plan: &PlanView,
+    unit_stream: &[usize],
+    num_streams: usize,
+) -> ConcurrencyReport {
+    certify_concurrency_streams(
+        g,
+        &lift_single(plan),
+        &LaneModel::streams(num_streams),
+        unit_stream,
+    )
 }
 
 /// Build the happens-before DAG of `plan` under `lanes` and prove every
@@ -202,6 +249,27 @@ pub fn certify_concurrency(
     plan: &MultiPlanView,
     lanes: &LaneModel,
 ) -> ConcurrencyReport {
+    certify_concurrency_streams(g, plan, lanes, &[])
+}
+
+/// [`certify_concurrency`], with launches assigned to per-device compute
+/// streams: `unit_stream[u]` (clamped to `lanes.streams`, defaulting to
+/// `0`) picks unit `u`'s stream, and program order chains launches only
+/// within one `(device, stream)` lane. An empty slice reproduces
+/// [`certify_concurrency`] exactly.
+///
+/// The committed-free horizon stays **per device**, not per stream: the
+/// executors' allocator is device-global, so the first allocating step of
+/// either kind after a `Free` inherits its lifetime edge regardless of
+/// stream. The executors enforce a superset of these edges (their free
+/// horizon gates *every* later step), so the dynamic sanitizer direction
+/// is preserved.
+pub fn certify_concurrency_streams(
+    g: &Graph,
+    plan: &MultiPlanView,
+    lanes: &LaneModel,
+    unit_stream: &[usize],
+) -> ConcurrencyReport {
     let nd = g.num_data();
     let ndev = lanes.devices;
     let n = plan.steps.len();
@@ -211,9 +279,10 @@ pub fn certify_concurrency(
     let mut step_device: Vec<Option<usize>> = vec![None; n];
 
     // Forward-walk state, all in issue-order step indices.
+    let nstreams = lanes.streams.max(1);
     let mut last_h2d: Option<usize> = None;
     let mut last_d2h: Option<usize> = None;
-    let mut last_compute: Vec<Option<usize>> = vec![None; ndev];
+    let mut last_compute: Vec<Vec<Option<usize>>> = vec![vec![None; nstreams]; ndev];
     // Last step that made (device, data) device-ready / data host-valid.
     let mut dev_setter: Vec<Vec<Option<usize>>> = vec![vec![None; nd]; ndev];
     let mut host_setter: Vec<Option<usize>> = vec![None; nd];
@@ -316,9 +385,14 @@ pub fn certify_concurrency(
                 if dev >= ndev {
                     continue;
                 }
-                step_lane[i] = Lane::Compute(dev);
+                let s = unit_stream.get(u).copied().unwrap_or(0).min(nstreams - 1);
+                step_lane[i] = if s == 0 {
+                    Lane::Compute(dev)
+                } else {
+                    Lane::Stream(dev, s)
+                };
                 step_device[i] = Some(dev);
-                program(&mut hb, &mut last_compute[dev], i);
+                program(&mut hb, &mut last_compute[dev][s], i);
                 for &d in &plan.units[u].inputs {
                     if d.index() >= nd {
                         continue;
@@ -805,6 +879,114 @@ mod tests {
         };
         let r = certify_single_plan(&g, &p);
         assert!(r.certified(), "{:?}", r.diagnostics);
+    }
+
+    /// in -> (t0 -> l, t1 -> r) -> add -> out: two independent middle
+    /// units that a 2-stream schedule runs concurrently.
+    fn fork_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add("in", 8, 8, DataKind::Input);
+        let l = g.add("l", 8, 8, DataKind::Temporary);
+        let r = g.add("r", 8, 8, DataKind::Temporary);
+        let o = g.add("out", 8, 8, DataKind::Output);
+        g.add_op("t0", OpKind::Tanh, vec![a], l).unwrap();
+        g.add_op("t1", OpKind::Tanh, vec![a], r).unwrap();
+        g.add_op("add", OpKind::EwAdd { arity: 2 }, vec![l, r], o)
+            .unwrap();
+        g
+    }
+
+    fn fork_plan() -> PlanView {
+        let d = DataId;
+        PlanView {
+            units: vec![
+                UnitView {
+                    inputs: vec![d(0)],
+                    outputs: vec![d(1)],
+                },
+                UnitView {
+                    inputs: vec![d(0)],
+                    outputs: vec![d(2)],
+                },
+                UnitView {
+                    inputs: vec![d(1), d(2)],
+                    outputs: vec![d(3)],
+                },
+            ],
+            steps: vec![
+                PlanStep::CopyIn(d(0)),
+                PlanStep::Launch(0),
+                PlanStep::Launch(1),
+                PlanStep::Free(d(0)),
+                PlanStep::Launch(2),
+                PlanStep::Free(d(1)),
+                PlanStep::Free(d(2)),
+                PlanStep::CopyOut(d(3)),
+                PlanStep::Free(d(3)),
+            ],
+        }
+    }
+
+    #[test]
+    fn two_stream_fork_certifies_with_stream_lanes() {
+        let g = fork_graph();
+        let p = fork_plan();
+        let r = certify_single_plan_streams(&g, &p, &[0, 1, 0], 2);
+        assert!(r.certified(), "{:?}", r.diagnostics);
+        assert_eq!(r.step_lane[1], Lane::Compute(0));
+        assert_eq!(r.step_lane[2], Lane::Stream(0, 1));
+        assert_eq!(r.step_lane[2].label(), "gpu0s1");
+        // h2d, gpu0, gpu0s1, d2h, host.
+        assert_eq!(r.lanes_used, 5);
+        // The two parallel launches are deliberately unordered; the join
+        // is ordered after both through transfer edges.
+        assert!(!r.hb.ordered(1, 2));
+        assert!(r.hb.happens_before(1, 4));
+        assert!(r.hb.happens_before(2, 4));
+    }
+
+    #[test]
+    fn empty_stream_map_matches_plain_certification() {
+        let g = fork_graph();
+        let p = fork_plan();
+        let plain = certify_single_plan(&g, &p);
+        let streamed = certify_single_plan_streams(&g, &p, &[], 1);
+        assert_eq!(plain.step_lane, streamed.step_lane);
+        assert_eq!(plain.hb.edges(), streamed.hb.edges());
+        assert_eq!(
+            codes_of(&plain),
+            streamed
+                .diagnostics
+                .iter()
+                .map(|d| d.code)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cross_stream_raw_is_still_caught() {
+        let g = fork_graph();
+        let mut p = fork_plan();
+        // Mutation: the join launch is issued before one of its producers;
+        // on separate streams nothing orders them.
+        p.steps.swap(2, 4);
+        let r = certify_single_plan_streams(&g, &p, &[0, 1, 0], 2);
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == codes::HAZARD_RAW),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn stream_program_order_chains_within_one_stream_only() {
+        let g = fork_graph();
+        let p = fork_plan();
+        // All launches on stream 1: program order chains 1 -> 2 -> 4.
+        let r = certify_single_plan_streams(&g, &p, &[1, 1, 1], 2);
+        assert!(r.certified(), "{:?}", r.diagnostics);
+        assert_eq!(r.step_lane[1], Lane::Stream(0, 1));
+        assert!(r.hb.ordered(1, 2));
     }
 
     #[test]

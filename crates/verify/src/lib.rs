@@ -54,7 +54,10 @@ pub use diag::{
 };
 pub use engine::{analyze_plan, PlanAnalysis, PlanStats, PlanStep, PlanView, UnitView};
 pub use graph_check::analyze_graph;
-pub use hazard::{certify_concurrency, certify_single_plan, ConcurrencyReport, Lane, LaneModel};
+pub use hazard::{
+    certify_concurrency, certify_concurrency_streams, certify_single_plan,
+    certify_single_plan_streams, ConcurrencyReport, Lane, LaneModel,
+};
 pub use hb::{EdgeCounts, EdgeKind, HbGraph};
 pub use multi::{analyze_multi_plan, MultiPlanAnalysis, MultiPlanStep, MultiPlanView};
 pub use recover::{analyze_recovery, LaunchRecovery, RecoveryCheckOptions, RecoveryReport};

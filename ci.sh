@@ -47,6 +47,14 @@ echo "==> serving soak gate (gpuflow serve --soak, chaos-faulted)"
 # every request must end completed-and-verified or cleanly typed-rejected.
 cargo run --release -q -p gpuflow-cli --bin gpuflow -- serve --soak
 
+echo "==> profiler attribution gate (gpuflow profile --smoke)"
+# Every bundled template (serial, streams=2, and the c870x2 cluster)
+# must reconcile exactly: per engine, busy + attributed-gap nanoseconds
+# telescope to the makespan with zero drift. A single unattributed
+# nanosecond fails. Advisor-vs-replan divergence >10% prints a GF0061
+# note but does not fail (docs/profiling.md).
+cargo run --release -q -p gpuflow-cli --bin gpuflow -- profile --smoke
+
 echo "==> plan-cache perf tripwire (extension_serve --smoke)"
 # Warm-cache p50 must stay >=10x below the cold-compile p50.
 cargo run --release -q -p gpuflow-bench --bin extension_serve -- --smoke

@@ -15,9 +15,12 @@
 //! * **warm** — a long Zipf stream against the populated cache (mostly
 //!   hits; the daemon only re-plans on capacity evictions).
 //!
-//! Reported per phase: plans/sec, p50/p99 request latency, and the
-//! daemon's own `serve.cache_*` counters (hit rate). Results go to
-//! `BENCH_serve.json` and `docs/results/extension_serve.txt`.
+//! Reported per phase: plans/sec, p50/p90/p99 request latency (from the
+//! shared log-bucketed [`gpuflow_trace::Histogram`] — the same estimator
+//! the daemon's own `stats.phases` percentiles use, see
+//! `docs/profiling.md`), and the daemon's `serve.cache_*` counters (hit
+//! rate). Results go to `BENCH_serve.json` and
+//! `docs/results/extension_serve.txt`.
 //!
 //! `--smoke` runs a shortened stream and fails (exit 1) unless the warm
 //! p50 is at least 10x below the cold p50 — the PR's acceptance gate
@@ -27,7 +30,8 @@ use std::time::Instant;
 
 use gpuflow_bench::TableWriter;
 use gpuflow_minijson::{Map, Value};
-use gpuflow_serve::{percentile_us, ServeConfig, Server};
+use gpuflow_serve::{ServeConfig, Server};
+use gpuflow_trace::Histogram;
 
 /// Template catalogue: 8 variants spanning the built-in generators.
 /// Listed hottest-first; Zipf rank i gets weight 1/(i+1)^ZIPF_S. Every
@@ -108,8 +112,7 @@ fn compile_once(server: &Server, template: &str) -> (u64, bool) {
 struct Phase {
     requests: u64,
     elapsed_us: u64,
-    p50_us: u64,
-    p99_us: u64,
+    latency_us: Histogram,
     hits: u64,
     misses: u64,
     incremental: u64,
@@ -124,6 +127,10 @@ impl Phase {
         }
     }
 
+    fn p50_us(&self) -> u64 {
+        self.latency_us.percentile(0.50)
+    }
+
     fn hit_rate(&self) -> f64 {
         let probes = self.hits + self.misses + self.incremental;
         if probes == 0 {
@@ -134,12 +141,15 @@ impl Phase {
     }
 
     fn to_json(&self) -> Value {
+        let (p50, p90, p99, _) = self.latency_us.quantiles();
         let mut m = Map::new();
         m.insert("requests", self.requests);
         m.insert("elapsed_us", self.elapsed_us);
         m.insert("plans_per_sec", self.plans_per_sec());
-        m.insert("p50_us", self.p50_us);
-        m.insert("p99_us", self.p99_us);
+        m.insert("p50_us", p50);
+        m.insert("p90_us", p90);
+        m.insert("p99_us", p99);
+        m.insert("latency_us", self.latency_us.to_json());
         m.insert("cache_hits", self.hits);
         m.insert("cache_misses", self.misses);
         m.insert("cache_incremental", self.incremental);
@@ -158,12 +168,12 @@ fn run_phase(server: &Server, stream: &[usize]) -> Phase {
             m.counter("serve.cache_incremental"),
         )
     });
-    let mut latencies = Vec::with_capacity(stream.len());
+    let mut latency_us = Histogram::new();
     let start = Instant::now();
     for &idx in stream {
         let (us, ok) = compile_once(server, TEMPLATES[idx]);
         assert!(ok, "compile of {} failed", TEMPLATES[idx]);
-        latencies.push(us);
+        latency_us.record(us);
     }
     let elapsed_us = start.elapsed().as_micros() as u64;
     let after = server.with_metrics(|m| {
@@ -176,8 +186,7 @@ fn run_phase(server: &Server, stream: &[usize]) -> Phase {
     Phase {
         requests: stream.len() as u64,
         elapsed_us,
-        p50_us: percentile_us(&latencies, 0.50),
-        p99_us: percentile_us(&latencies, 0.99),
+        latency_us,
         hits: after.0 - before.0,
         misses: after.1 - before.1,
         incremental: after.2 - before.2,
@@ -205,25 +214,28 @@ fn main() {
         "requests",
         "plans/sec",
         "p50 (us)",
+        "p90 (us)",
         "p99 (us)",
         "hit rate",
     ]);
     for (name, phase) in [("cold", &cold), ("warm", &warm)] {
+        let (p50, p90, p99, _) = phase.latency_us.quantiles();
         table.row(&[
             name.to_string(),
             phase.requests.to_string(),
             format!("{:.1}", phase.plans_per_sec()),
-            phase.p50_us.to_string(),
-            phase.p99_us.to_string(),
+            p50.to_string(),
+            p90.to_string(),
+            p99.to_string(),
             format!("{:.3}", phase.hit_rate()),
         ]);
     }
     let rendered = table.render();
 
-    let speedup = if warm.p50_us == 0 {
-        cold.p50_us as f64
+    let speedup = if warm.p50_us() == 0 {
+        cold.p50_us() as f64
     } else {
-        cold.p50_us as f64 / warm.p50_us as f64
+        cold.p50_us() as f64 / warm.p50_us() as f64
     };
 
     println!("extension_serve: plan-cache throughput under a Zipf request stream");
@@ -242,10 +254,11 @@ fn main() {
     assert_eq!(warm.misses, 0, "warm phase must never re-plan from scratch");
 
     if smoke {
-        if warm.p50_us * 10 > cold.p50_us {
+        if warm.p50_us() * 10 > cold.p50_us() {
             eprintln!(
                 "FAIL: warm p50 ({} us) is not >=10x below cold p50 ({} us)",
-                warm.p50_us, cold.p50_us
+                warm.p50_us(),
+                cold.p50_us()
             );
             std::process::exit(1);
         }

@@ -266,6 +266,31 @@ pub enum Command {
         /// Emit the sweep report as JSON.
         json: bool,
     },
+    /// `gpuflow profile [<source>] ...` — explain a makespan: critical
+    /// path over the happens-before DAG, every nanosecond attributed to
+    /// a bottleneck taxonomy, and first-order what-if estimates.
+    Profile {
+        /// Template source; omitted with `--smoke` (the smoke suite
+        /// reconciles the built-in benchmark templates).
+        source: Option<Source>,
+        /// Target device.
+        device: DeviceArg,
+        /// Concurrent compute streams for the stream-aware scheduler.
+        streams: usize,
+        /// Multi-device cluster spec; overrides `--device`.
+        devices: Option<String>,
+        /// Emit the report as machine-readable JSON.
+        json: bool,
+        /// Run the CI reconciliation gate (every bundled template ×
+        /// serial / streams=2 / c870x2, zero unattributed nanoseconds).
+        smoke: bool,
+        /// Ablation: keep eager `Free` placement in streamed plans
+        /// (disables the free-deferral pass, re-exposing the
+        /// free-horizon stall for the profiler to name).
+        no_defer_frees: bool,
+        /// Write a Chrome-trace JSON with the profile track here.
+        trace: Option<String>,
+    },
     /// `gpuflow serve ...` — run the planning-and-execution daemon (or
     /// its CI gates with `--smoke` / `--soak`). Takes no `<source>`:
     /// templates arrive in requests.
@@ -295,6 +320,9 @@ pub enum Command {
         send: String,
         /// Pretty-print the response instead of the raw wire line.
         json: bool,
+        /// Fetch the Prometheus-style text exposition (phase latency
+        /// histograms + counters) and print it raw.
+        metrics: bool,
     },
     /// `gpuflow emit <source> ...`
     Emit {
@@ -338,8 +366,8 @@ impl Command {
     pub fn parse(argv: &[String]) -> Result<Command, String> {
         let mut it = argv.iter();
         let verb = it.next().ok_or("missing subcommand")?;
-        // `chaos` may omit <source> (`gpuflow chaos --smoke`); every other
-        // verb requires one.
+        // `chaos` and `profile` may omit <source> (`--smoke`); every
+        // other verb requires one.
         let mut source: Option<Source> = None;
         if let Some(tok) = argv.get(1) {
             if !tok.starts_with('-') {
@@ -375,6 +403,8 @@ impl Command {
         let mut send: Option<String> = None;
         let mut cache_capacity = 64usize;
         let mut streams = 1usize;
+        let mut no_defer_frees = false;
+        let mut metrics = false;
 
         let next_value = |it: &mut std::slice::Iter<String>, flag: &str| {
             it.next()
@@ -438,7 +468,9 @@ impl Command {
                         return Err("--seeds must be > 0".into());
                     }
                 }
-                "--smoke" if verb == "chaos" || verb == "serve" => smoke = true,
+                "--smoke" if verb == "chaos" || verb == "serve" || verb == "profile" => {
+                    smoke = true
+                }
                 "--soak" if verb == "serve" => soak = true,
                 "--addr" if verb == "serve" || verb == "client" => {
                     addr = Some(next_value(&mut it, flag)?)
@@ -454,7 +486,11 @@ impl Command {
                 // Stream-level operator parallelism belongs to the verbs
                 // that compile single-device plans.
                 "--streams"
-                    if verb == "plan" || verb == "run" || verb == "check" || verb == "trace" =>
+                    if verb == "plan"
+                        || verb == "run"
+                        || verb == "check"
+                        || verb == "trace"
+                        || verb == "profile" =>
                 {
                     let v = next_value(&mut it, flag)?;
                     streams = v.parse().map_err(|_| format!("bad stream count '{v}'"))?;
@@ -462,12 +498,19 @@ impl Command {
                         return Err("--streams must be >= 1".into());
                     }
                 }
+                // The free-deferral ablation belongs to the profiler.
+                "--no-defer-frees" if verb == "profile" => no_defer_frees = true,
+                "--metrics" if verb == "client" => metrics = true,
                 // Concurrency-certifier summary is a `check` refinement.
                 "--hazards" if verb == "check" => hazards = true,
                 // `check --json` / `run --json` / `chaos --json` are boolean
                 // switches; `emit --json` takes an output path.
                 "--json"
-                    if verb == "check" || verb == "run" || verb == "chaos" || verb == "client" =>
+                    if verb == "check"
+                        || verb == "run"
+                        || verb == "chaos"
+                        || verb == "client"
+                        || verb == "profile" =>
                 {
                     json_switch = true
                 }
@@ -493,6 +536,24 @@ impl Command {
                 json: json_switch,
             });
         }
+        if verb == "profile" {
+            if source.is_none() && !smoke {
+                return Err("profile requires <source> or --smoke".into());
+            }
+            if streams > 1 && devices.is_some() {
+                return Err("--streams does not support --devices".into());
+            }
+            return Ok(Command::Profile {
+                source,
+                device,
+                streams,
+                devices,
+                json: json_switch,
+                smoke,
+                no_defer_frees,
+                trace,
+            });
+        }
         if verb == "serve" {
             if source.is_some() {
                 return Err("serve takes no <source>; templates arrive in requests".into());
@@ -514,10 +575,20 @@ impl Command {
             if source.is_some() {
                 return Err("client takes no <source>; put the template in --send".into());
             }
+            if metrics && send.is_some() {
+                return Err("pick one of --metrics or --send".into());
+            }
+            let send = match send {
+                Some(s) => s,
+                // `--metrics` is sugar for the metrics op.
+                None if metrics => r#"{"op":"metrics"}"#.to_string(),
+                None => return Err("client requires --send '<request json>' or --metrics".into()),
+            };
             return Ok(Command::Client {
                 addr: addr.ok_or("client requires --addr <host:port>")?,
-                send: send.ok_or("client requires --send '<request json>'")?,
+                send,
                 json: json_switch,
+                metrics,
             });
         }
         let source = source.ok_or("missing <source>")?;
@@ -989,15 +1060,29 @@ mod tests {
         ))
         .unwrap()
         {
-            Command::Client { addr, send, json } => {
+            Command::Client {
+                addr,
+                send,
+                json,
+                metrics,
+            } => {
                 assert_eq!(addr, "127.0.0.1:7070");
                 assert_eq!(send, r#"{"op":"stats"}"#);
                 assert!(json);
+                assert!(!metrics);
             }
             other => panic!("{other:?}"),
         }
         assert!(Command::parse(&argv("client --send x")).is_err());
         assert!(Command::parse(&argv("client --addr 127.0.0.1:1")).is_err());
+        // --metrics is sugar for the metrics op; it conflicts with --send.
+        assert!(matches!(
+            Command::parse(&argv("client --addr 127.0.0.1:1 --metrics")).unwrap(),
+            Command::Client { metrics: true, send, .. } if send == r#"{"op":"metrics"}"#
+        ));
+        assert!(Command::parse(&argv("client --addr 127.0.0.1:1 --metrics --send x")).is_err());
+        // --metrics belongs to client only.
+        assert!(Command::parse(&argv("run fig3 --metrics")).is_err());
         // serve/client flags belong to those verbs only.
         assert!(Command::parse(&argv("plan fig3 --addr 127.0.0.1:1")).is_err());
         assert!(Command::parse(&argv("run fig3 --send x")).is_err());
@@ -1037,6 +1122,53 @@ mod tests {
         // The cluster scheduler manages its own lanes.
         assert!(Command::parse(&argv("run fig3 --streams 2 --devices c870x2")).is_err());
         assert!(Command::parse(&argv("run fig3 --streams 1 --devices c870x2")).is_ok());
+    }
+
+    #[test]
+    fn parse_profile_verb() {
+        match Command::parse(&argv("profile fig3 --streams 2 --json --no-defer-frees")).unwrap() {
+            Command::Profile {
+                source,
+                streams,
+                json,
+                no_defer_frees,
+                smoke,
+                devices,
+                ..
+            } => {
+                assert_eq!(source, Some(Source::Fig3));
+                assert_eq!(streams, 2);
+                assert!(json && no_defer_frees && !smoke);
+                assert!(devices.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        // --smoke needs no source; a bare profile does.
+        assert!(matches!(
+            Command::parse(&argv("profile --smoke")).unwrap(),
+            Command::Profile {
+                source: None,
+                smoke: true,
+                ..
+            }
+        ));
+        assert!(Command::parse(&argv("profile")).is_err());
+        // Cluster profiles parse; streams stay single-device.
+        assert!(matches!(
+            Command::parse(&argv("profile fig3 --devices c870x2")).unwrap(),
+            Command::Profile {
+                devices: Some(_),
+                ..
+            }
+        ));
+        assert!(Command::parse(&argv("profile fig3 --streams 2 --devices c870x2")).is_err());
+        // The ablation flag belongs to profile only.
+        assert!(Command::parse(&argv("plan fig3 --no-defer-frees")).is_err());
+        // --trace rides along like on the other compile verbs.
+        assert!(matches!(
+            Command::parse(&argv("profile fig3 --trace t.json")).unwrap(),
+            Command::Profile { trace: Some(_), .. }
+        ));
     }
 
     #[test]

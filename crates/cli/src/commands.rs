@@ -18,6 +18,7 @@ use gpuflow_multi::{
     MultiOutcome, ResilientMultiExecutor,
 };
 use gpuflow_ops::reference_eval;
+use gpuflow_profile::{profile_cluster, profile_plan, render_table, trace_profile, ProfileReport};
 use gpuflow_templates::data::default_bindings;
 use gpuflow_templates::{cnn, edge};
 use gpuflow_trace::{
@@ -376,6 +377,125 @@ fn chaos_smoke() -> Result<String, String> {
     Ok(out)
 }
 
+/// Compact profile summary embedded in `run --json`: the dominant
+/// bottleneck, the critical-path length, and the per-cause attributed
+/// nanoseconds (zero-valued causes omitted).
+fn profile_summary_json(r: &ProfileReport) -> Value {
+    let mut m = Map::new();
+    m.insert("makespan_ns", r.makespan_ns);
+    m.insert("dominant", r.dominant.as_str());
+    m.insert("dominant_share", r.dominant_share);
+    m.insert("critical_path_s", r.critical_path.length_s);
+    m.insert("critical_path_share", r.critical_path.share);
+    m.insert("critical_path_steps", r.critical_path.spans.len());
+    let mut causes = Map::new();
+    for (cause, ns) in gpuflow_core::GapCause::all().iter().zip(r.cause_totals()) {
+        if ns > 0 {
+            causes.insert(cause.label(), ns);
+        }
+    }
+    m.insert("bottleneck_ns", Value::Object(causes));
+    Value::Object(m)
+}
+
+/// The fixed `profile --smoke` CI suite: reconcile the bottleneck
+/// attribution of every benchmark template under serial, two-stream,
+/// and two-device execution. [`profile_plan`] / [`profile_cluster`]
+/// refuse to return a report with a single unattributed nanosecond, so
+/// any drift is this command's error (nonzero exit). The one replanned
+/// knob (`streams k+1`) cross-checks the what-if advisor: a >10%
+/// divergence prints a GF0061 note but does not fail the gate — the
+/// advisor documents itself as first-order.
+fn profile_smoke() -> Result<String, String> {
+    let mut out = String::new();
+    let sources = [
+        ("fig3", Source::Fig3),
+        (
+            "edge:96x96,k=5,o=4",
+            Source::Edge {
+                rows: 96,
+                cols: 96,
+                k: 5,
+                orientations: 4,
+            },
+        ),
+        ("cnn-small:64x64", Source::SmallCnn { rows: 64, cols: 64 }),
+    ];
+    let dev = gpuflow_sim::device::tesla_c870();
+    let cluster = parse_cluster("c870x2")?;
+    let mut reports = 0u32;
+    for (name, src) in &sources {
+        let g = load_source(src)?;
+        for k in [1usize, 2] {
+            let options = CompileOptions {
+                streams: k,
+                ..CompileOptions::default()
+            };
+            let compiled = Framework::new(dev.clone())
+                .with_options(options)
+                .compile_adaptive(&g)
+                .map_err(|e| e.to_string())?;
+            let report = profile_plan(&compiled.split.graph, &compiled.plan, &dev, &options)
+                .map_err(|e| format!("profile smoke: {name} streams={k}: {e}"))?;
+            reports += 1;
+            let _ = writeln!(
+                out,
+                "profile smoke: {name} streams={k}: {} engines reconciled to {} ns; dominant {}",
+                report.engines.len(),
+                report.makespan_ns,
+                report.dominant
+            );
+            // Cross-check the advisor: replan at streams k+1 and compare
+            // the measured makespan against the first-order estimate.
+            let knob = format!("streams={}", k + 1);
+            let estimate = report
+                .what_if
+                .iter()
+                .find(|w| w.knob == knob)
+                .map(|w| w.estimated_s);
+            let replanned = Framework::new(dev.clone())
+                .with_options(CompileOptions {
+                    streams: k + 1,
+                    ..CompileOptions::default()
+                })
+                .compile_adaptive(&g)
+                .ok()
+                .map(|c| {
+                    gpuflow_core::overlapped_makespan(&c.split.graph, &c.plan, &dev).overlapped_time
+                });
+            if let (Some(est), Some(real)) = (estimate, replanned) {
+                let err = (est - real).abs() / real.max(1e-12);
+                if err > 0.10 {
+                    let _ = writeln!(
+                        out,
+                        "note[{code}]: {name} streams={k}: advisor estimated {knob} at \
+                         {est:.6} s, replanning measured {real:.6} s ({:.0}% off; the \
+                         advisor is first-order, docs/profiling.md)",
+                        err * 100.0,
+                        code = gpuflow_verify::critpath::codes::ADVISOR_DIVERGENCE
+                    );
+                }
+            }
+        }
+        let c = compile_multi(&g, &cluster, DEFAULT_MARGIN).map_err(|e| e.to_string())?;
+        let report = profile_cluster(&c, DEFAULT_MARGIN)
+            .map_err(|e| format!("profile smoke: {name} c870x2: {e}"))?;
+        reports += 1;
+        let _ = writeln!(
+            out,
+            "profile smoke: {name} c870x2: {} engines reconciled to {} ns; dominant {}",
+            report.engines.len(),
+            report.makespan_ns,
+            report.dominant
+        );
+    }
+    let _ = writeln!(
+        out,
+        "profile smoke: {reports} reports, every nanosecond attributed ✓"
+    );
+    Ok(out)
+}
+
 /// Execute a parsed command, returning its printable output.
 pub fn execute(cmd: &Command) -> Result<String, String> {
     let mut out = String::new();
@@ -589,6 +709,10 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     if let Some(st) = &recovery {
                         doc.insert("recovery", st.to_json());
                     }
+                    doc.insert(
+                        "profile",
+                        profile_summary_json(&profile_cluster(&c, DEFAULT_MARGIN)?),
+                    );
                     doc.insert("metrics", tracer.metrics_ref().to_json());
                     out.push_str(&Value::Object(doc).to_string_pretty());
                     out.push('\n');
@@ -743,6 +867,15 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                     m.insert("recovery", st.to_json());
                 }
                 m.insert("plan", plan_stats_json(&compiled.stats(), None));
+                m.insert(
+                    "profile",
+                    profile_summary_json(&profile_plan(
+                        &compiled.split.graph,
+                        &compiled.plan,
+                        &dev,
+                        &options,
+                    )?),
+                );
                 m.insert("metrics", tracer.metrics_ref().to_json());
                 out.push_str(&Value::Object(m).to_string_pretty());
                 out.push('\n');
@@ -1198,6 +1331,55 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 );
             }
         }
+        Command::Profile {
+            source,
+            device,
+            streams,
+            devices,
+            json,
+            smoke,
+            no_defer_frees,
+            trace,
+        } => {
+            if *smoke {
+                return profile_smoke();
+            }
+            let src = source
+                .as_ref()
+                .ok_or("profile requires <source> or --smoke")?;
+            let g = load_source(src)?;
+            let mut tracer = tracer_for(trace);
+            let report = if let Some(spec) = devices {
+                let cluster = parse_cluster(spec)?;
+                let c = compile_multi_traced(&g, &cluster, DEFAULT_MARGIN, &mut tracer)
+                    .map_err(|e| e.to_string())?;
+                profile_cluster(&c, DEFAULT_MARGIN)?
+            } else {
+                let dev = device.spec();
+                let options = CompileOptions {
+                    streams: *streams,
+                    defer_frees: !*no_defer_frees,
+                    ..CompileOptions::default()
+                };
+                let compiled = Framework::new(dev.clone())
+                    .with_options(options)
+                    .compile_adaptive_traced(&g, &mut tracer)
+                    .map_err(|e| e.to_string())?;
+                profile_plan(&compiled.split.graph, &compiled.plan, &dev, &options)?
+            };
+            trace_profile(&mut tracer, &report);
+            if *json {
+                out.push_str(&report.to_json().to_string_pretty());
+                out.push('\n');
+                // Keep stdout pure JSON: write the export silently.
+                if let Some(path) = trace {
+                    write_trace(path, &tracer)?;
+                }
+            } else {
+                out.push_str(&render_table(&report));
+                maybe_write_trace(&mut out, trace, &tracer)?;
+            }
+        }
         Command::Serve {
             addr,
             devices,
@@ -1246,8 +1428,22 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 "gpuflow-serve on {bound} shut down cleanly ({requests} requests, {completed} runs completed)"
             );
         }
-        Command::Client { addr, send, json } => {
+        Command::Client {
+            addr,
+            send,
+            json,
+            metrics,
+        } => {
             let v = gpuflow_serve::request_once(addr, send).map_err(|e| e.to_string())?;
+            if *metrics {
+                // Print the exposition body raw — scrape-ready.
+                let text = v
+                    .get("text")
+                    .and_then(|t| t.as_str())
+                    .ok_or_else(|| format!("metrics response carried no text: {v:?}"))?;
+                out.push_str(text);
+                return Ok(out);
+            }
             let rendered = if *json {
                 v.to_string_pretty()
             } else {
@@ -1549,6 +1745,11 @@ mod tests {
             doc["metrics"]["counters"]["sim.bytes_h2d"].as_u64(),
             plan["bytes_in"].as_u64()
         );
+        // Profile summary rides along: attribution reconciled to the
+        // makespan, with a named dominant bottleneck.
+        assert!(doc["profile"]["makespan_ns"].as_u64().unwrap() > 0);
+        assert!(doc["profile"]["dominant"].as_str().is_some());
+        assert!(doc["profile"]["critical_path_share"].as_f64().unwrap() > 0.0);
         let multi = execute(&parse("run edge:1200x1200,k=9,o=4 --devices c870x2 --json")).unwrap();
         let doc = gpuflow_minijson::parse(&multi).unwrap();
         let plan = &doc["plan"];
@@ -1558,6 +1759,8 @@ mod tests {
             doc["metrics"]["counters"]["cluster.bus_bytes_moved"].as_u64(),
             doc["bus_bytes"].as_u64()
         );
+        assert!(doc["profile"]["makespan_ns"].as_u64().unwrap() > 0);
+        assert!(doc["profile"]["dominant"].as_str().is_some());
     }
 
     #[test]

@@ -82,8 +82,10 @@ usage:
   gpuflow check <source> [--device DEV | --devices CLUSTER] [--json] [--hazards] [--streams K] [--trace PATH]
   gpuflow trace <source> [--device DEV | --devices CLUSTER] [--margin F] [--streams K] [--exact] [--exact-budget N] [--exact-max-ops N] [--out PATH]
   gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV | --devices CLUSTER]
+  gpuflow profile <source> [--device DEV | --devices CLUSTER] [--streams K] [--no-defer-frees] [--json] [--trace PATH]
+  gpuflow profile --smoke
   gpuflow serve [--addr HOST:PORT] [--device DEV | --devices CLUSTER] [--margin F] [--cache-capacity N] [--smoke | --soak]
-  gpuflow client --addr HOST:PORT --send '<request json>' [--json]
+  gpuflow client --addr HOST:PORT (--send '<request json>' | --metrics) [--json]
 
 sources:
   path/to/template.gfg

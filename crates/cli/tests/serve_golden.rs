@@ -65,6 +65,7 @@ fn client(addr: &str, request: &str) -> String {
         addr: addr.to_string(),
         send: request.to_string(),
         json: true,
+        metrics: false,
     };
     mask_wall_clock(&execute(&cmd).unwrap())
 }

@@ -48,6 +48,14 @@ pub struct CompileOptions {
     pub partition: PartitionPolicy,
     /// Eagerly delete dead data (§3.3.1 step 3).
     pub eager_free: bool,
+    /// Sink `Free` steps to the latest point the memory budget allows in
+    /// streamed plans (`streams > 1`), so frees never serialize
+    /// independent streams through the committed-free horizon. `true` is
+    /// the production default; `false` keeps the transfer scheduler's
+    /// eager free placement and exists as an ablation knob — `gpuflow
+    /// profile --no-defer-frees` uses it to show the free-horizon stalls
+    /// the deferral pass removes. Ignored at `streams == 1`.
+    pub defer_frees: bool,
     /// Use the exact pseudo-Boolean scheduler instead of the heuristics
     /// (only feasible for small templates).
     pub exact: Option<PbExactOptions>,
@@ -68,6 +76,7 @@ impl Default for CompileOptions {
             eviction: EvictionPolicy::Belady,
             partition: PartitionPolicy::PerOperator,
             eager_free: true,
+            defer_frees: true,
             exact: None,
             streams: 1,
         }
@@ -93,6 +102,7 @@ impl PartialEq for CompileOptions {
             && self.eviction == other.eviction
             && self.partition == other.partition
             && self.eager_free == other.eager_free
+            && self.defer_frees == other.defer_frees
             && self.exact == other.exact
             && self.streams == other.streams
     }
@@ -107,6 +117,7 @@ impl std::hash::Hash for CompileOptions {
         self.eviction.hash(state);
         self.partition.hash(state);
         self.eager_free.hash(state);
+        self.defer_frees.hash(state);
         self.exact.hash(state);
         self.streams.hash(state);
     }
@@ -228,7 +239,7 @@ impl Framework {
             exact_stats = Some(out.stats);
         } else if self.options.streams > 1 {
             let tok = tracer.begin("compile", "stream-schedule");
-            plan = crate::streams::schedule_streamed(
+            plan = crate::streams::schedule_streamed_with(
                 &split.graph,
                 &units,
                 &self.device,
@@ -238,6 +249,7 @@ impl Framework {
                     policy: self.options.eviction,
                     eager_free: self.options.eager_free,
                 },
+                self.options.defer_frees,
             )?;
             let ann = plan.streams.as_ref().expect("streamed plan is annotated");
             tracer.end_with(
@@ -611,6 +623,10 @@ mod tests {
             },
             CompileOptions {
                 eager_free: false,
+                ..base
+            },
+            CompileOptions {
+                defer_frees: false,
                 ..base
             },
             CompileOptions { streams: 2, ..base },

@@ -64,7 +64,10 @@ pub use observe::{
     record_plan_metrics, trace_hazard_certificate, trace_overlap_lanes, trace_serial_timeline,
 };
 pub use opschedule::{schedule_units, OpScheduler};
-pub use overlap::{overlapped_makespan, overlapped_trace, render_gantt, OverlapOutcome};
+pub use overlap::{
+    overlapped_makespan, overlapped_trace, overlapped_trace_profiled, render_gantt, GapCause,
+    GapEvent, OverlapOutcome,
+};
 pub use partition::{partition_offload_units, OffloadUnit, PartitionPolicy};
 pub use pbexact::{
     exposed_transfer_floats, pb_exact_plan, ObjectiveKind, PbExactOptions, PbExactOutcome,
@@ -77,7 +80,7 @@ pub use resilient::{ResilientExecutor, ResilientOutcome};
 pub use sanitize::{assert_hb_consistent, overlap_step_times, serial_step_times};
 pub use split::{split_graph, split_graph_min_parts, DataOrigin, SplitResult};
 pub use streams::{
-    derive_events, derive_events_for, schedule_streamed, stream_order, unit_compute_time,
-    StreamEvent, StreamSchedule,
+    derive_events, derive_events_for, schedule_streamed, schedule_streamed_with, stream_order,
+    unit_compute_time, StreamEvent, StreamSchedule,
 };
 pub use xfer::EvictionPolicy;

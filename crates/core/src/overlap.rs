@@ -142,6 +142,92 @@ pub struct LaneEvent {
     pub bytes: u64,
 }
 
+/// Why an engine sat idle before its next scheduled event — the closed
+/// bottleneck taxonomy of `gpuflow profile` (docs/profiling.md). Each
+/// step's start time is a `max` over competing constraints; the cause
+/// records which constraint was binding for the idle gap it opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GapCause {
+    /// Waiting for a host→device upload to finish (exposed upload).
+    WaitUpload,
+    /// Waiting for a device→host download to finish (exposed download).
+    WaitDownload,
+    /// Waiting for a kernel to produce a datum this engine needs.
+    WaitCompute,
+    /// Waiting for a kernel on *another* compute stream — the
+    /// cross-stream dependency component of stream imbalance.
+    WaitStream,
+    /// Waiting for earlier `Free`s to commit their space — the
+    /// free-horizon / memory-budget stall.
+    FreeHorizon,
+    /// Waiting for a grant on the shared PCIe fabric (multi-GPU bus
+    /// contention; never emitted by the single-device simulator).
+    BusWait,
+    /// No work issued to this engine for the interval — leading/trailing
+    /// idle, the load-imbalance remainder.
+    Idle,
+}
+
+impl GapCause {
+    /// Stable taxonomy label used in tables, JSON, and trace exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GapCause::WaitUpload => "exposed-upload",
+            GapCause::WaitDownload => "exposed-download",
+            GapCause::WaitCompute => "exposed-compute",
+            GapCause::WaitStream => "stream-imbalance",
+            GapCause::FreeHorizon => "free-horizon",
+            GapCause::BusWait => "bus-wait",
+            GapCause::Idle => "idle",
+        }
+    }
+
+    /// Every cause, in rendering order.
+    pub fn all() -> [GapCause; 7] {
+        [
+            GapCause::WaitUpload,
+            GapCause::WaitDownload,
+            GapCause::WaitCompute,
+            GapCause::WaitStream,
+            GapCause::FreeHorizon,
+            GapCause::BusWait,
+            GapCause::Idle,
+        ]
+    }
+}
+
+/// One attributed idle interval on an engine. Together with the busy
+/// [`LaneEvent`]s of the same lane, the gaps tile `[0, makespan]` with
+/// no overlap and no hole — endpoints are shared f64 values, so summing
+/// `end - start` per lane reconciles against the makespan exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GapEvent {
+    /// Engine that sat idle.
+    pub lane: Lane,
+    /// Gap start, seconds.
+    pub start: f64,
+    /// Gap end (the next event's start, or the makespan), seconds.
+    pub end: f64,
+    /// The binding constraint that opened the gap.
+    pub cause: GapCause,
+    /// The datum or operator waited on (empty for [`GapCause::Idle`]).
+    pub waited_on: String,
+}
+
+/// What produced the current device/host copy of a datum — used to
+/// attribute a dependency wait to upload, download, or (cross-stream)
+/// compute.
+#[derive(Debug, Clone, Copy)]
+enum Producer {
+    /// Initial host data; never the binding term of a positive gap.
+    None,
+    /// A host→device copy. (The host-side producer is always a download,
+    /// so `host_ready` waits need no producer tracking.)
+    Upload,
+    /// A kernel on the given compute stream.
+    Kernel(usize),
+}
+
 /// Simulate `plan` on `dev` with concurrent copy and compute engines.
 pub fn overlapped_makespan(g: &Graph, plan: &ExecutionPlan, dev: &DeviceSpec) -> OverlapOutcome {
     overlapped_trace(g, plan, dev).0
@@ -154,6 +240,19 @@ pub fn overlapped_trace(
     plan: &ExecutionPlan,
     dev: &DeviceSpec,
 ) -> (OverlapOutcome, Vec<LaneEvent>) {
+    let (o, events, _) = overlapped_trace_profiled(g, plan, dev);
+    (o, events)
+}
+
+/// Like [`overlapped_trace`], additionally attributing every idle
+/// interval of every engine to a [`GapCause`]. The busy events and gaps
+/// of each lane tile `[0, overlapped_time]` exactly — the foundation of
+/// `gpuflow profile`'s reconciled bottleneck breakdown.
+pub fn overlapped_trace_profiled(
+    g: &Graph,
+    plan: &ExecutionPlan,
+    dev: &DeviceSpec,
+) -> (OverlapOutcome, Vec<LaneEvent>, Vec<GapEvent>) {
     #[cfg(debug_assertions)]
     {
         crate::plan::debug_check_plan(g, plan, dev.memory_bytes, "overlapped_trace");
@@ -176,6 +275,9 @@ pub fn overlapped_trace(
     // Completion time of the event that makes data available on each side.
     let mut device_ready = vec![0.0f64; nd];
     let mut host_ready = vec![0.0f64; nd];
+    // What produced each side's current copy — attributes a dependency
+    // wait to upload, download, or cross-stream compute.
+    let mut dev_producer = vec![Producer::None; nd];
     // Completion time of the latest operation touching each buffer, and
     // the running commit horizon of all Frees seen so far in plan order.
     let mut last_touch = vec![0.0f64; nd];
@@ -190,6 +292,7 @@ pub fn overlapped_trace(
 
     let mut end = 0.0f64;
     let mut events: Vec<LaneEvent> = Vec::new();
+    let mut gaps: Vec<GapEvent> = Vec::new();
     for step in &plan.steps {
         match *step {
             Step::CopyIn(d) => {
@@ -197,11 +300,28 @@ pub fn overlapped_trace(
                 let dur = transfer_time(dev, bytes);
                 // Allocating: wait for host validity and for all earlier
                 // Frees to have actually released their space.
-                let start = h2d_free.max(host_ready[d.index()]).max(free_horizon);
+                let ready_host = host_ready[d.index()];
+                let start = h2d_free.max(ready_host).max(free_horizon);
+                if start > h2d_free {
+                    // The larger of the two non-engine terms was binding.
+                    let (cause, waited_on) = if free_horizon >= ready_host {
+                        (GapCause::FreeHorizon, String::new())
+                    } else {
+                        (GapCause::WaitDownload, g.data(d).name.clone())
+                    };
+                    gaps.push(GapEvent {
+                        lane: Lane::H2d,
+                        start: h2d_free,
+                        end: start,
+                        cause,
+                        waited_on,
+                    });
+                }
                 h2d_free = start + dur;
                 h2d_busy += dur;
                 serial += dur;
                 device_ready[d.index()] = h2d_free;
+                dev_producer[d.index()] = Producer::Upload;
                 last_touch[d.index()] = h2d_free;
                 end = end.max(h2d_free);
                 events.push(LaneEvent {
@@ -215,7 +335,21 @@ pub fn overlapped_trace(
             Step::CopyOut(d) => {
                 let bytes = g.data(d).bytes();
                 let dur = transfer_time(dev, bytes);
-                let start = d2h_free.max(device_ready[d.index()]);
+                let ready = device_ready[d.index()];
+                let start = d2h_free.max(ready);
+                if start > d2h_free {
+                    let cause = match dev_producer[d.index()] {
+                        Producer::Upload => GapCause::WaitUpload,
+                        _ => GapCause::WaitCompute,
+                    };
+                    gaps.push(GapEvent {
+                        lane: Lane::D2h,
+                        start: d2h_free,
+                        end: start,
+                        cause,
+                        waited_on: g.data(d).name.clone(),
+                    });
+                }
                 d2h_free = start + dur;
                 d2h_busy += dur;
                 serial += dur;
@@ -236,13 +370,34 @@ pub fn overlapped_trace(
             Step::Launch(u) => {
                 let unit = &plan.units[u];
                 let s = stream_of(u);
+                let cursor = stream_free[s];
                 // Allocates its outputs: also gated by the free horizon.
                 // Waiting on each input's `device_ready` is the event
                 // semantics: the producer (upload or another stream's
-                // kernel) recorded its completion there.
-                let mut start = stream_free[s].max(free_horizon);
+                // kernel) recorded its completion there. Track which term
+                // ends up binding — it owns any gap this launch opens.
+                let mut start = cursor.max(free_horizon);
+                let mut blame = (GapCause::FreeHorizon, String::new());
                 for d in unit.external_inputs(g) {
-                    start = start.max(device_ready[d.index()]);
+                    let r = device_ready[d.index()];
+                    if r > start {
+                        start = r;
+                        let cause = match dev_producer[d.index()] {
+                            Producer::Upload => GapCause::WaitUpload,
+                            Producer::Kernel(s2) if s2 != s => GapCause::WaitStream,
+                            _ => GapCause::WaitCompute,
+                        };
+                        blame = (cause, g.data(d).name.clone());
+                    }
+                }
+                if start > cursor {
+                    gaps.push(GapEvent {
+                        lane: Lane::Compute(s),
+                        start: cursor,
+                        end: start,
+                        cause: blame.0,
+                        waited_on: blame.1,
+                    });
                 }
                 let mut t = start;
                 for &o in &unit.ops {
@@ -267,6 +422,7 @@ pub fn overlapped_trace(
                     stream_busy[s] += dur;
                     serial += dur;
                     device_ready[node.outputs[0].index()] = t;
+                    dev_producer[node.outputs[0].index()] = Producer::Kernel(s);
                     for &i in &node.inputs {
                         last_touch[i.index()] = last_touch[i.index()].max(t);
                     }
@@ -275,6 +431,39 @@ pub fn overlapped_trace(
                 stream_free[s] = t;
                 end = end.max(t);
             }
+        }
+    }
+
+    // Trailing idle: every engine that finished before the makespan sat
+    // unoccupied until the end — the load-imbalance remainder that makes
+    // each lane's busy + attributed-idle sum to the makespan exactly.
+    if d2h_free < end {
+        gaps.push(GapEvent {
+            lane: Lane::D2h,
+            start: d2h_free,
+            end,
+            cause: GapCause::Idle,
+            waited_on: String::new(),
+        });
+    }
+    if h2d_free < end {
+        gaps.push(GapEvent {
+            lane: Lane::H2d,
+            start: h2d_free,
+            end,
+            cause: GapCause::Idle,
+            waited_on: String::new(),
+        });
+    }
+    for (s, &free) in stream_free.iter().enumerate() {
+        if free < end {
+            gaps.push(GapEvent {
+                lane: Lane::Compute(s),
+                start: free,
+                end,
+                cause: GapCause::Idle,
+                waited_on: String::new(),
+            });
         }
     }
 
@@ -288,6 +477,7 @@ pub fn overlapped_trace(
             stream_busy,
         },
         events,
+        gaps,
     )
 }
 
@@ -499,6 +689,59 @@ mod tests {
         assert!((lane_sum(Lane::Compute(0)) - out.compute_busy).abs() < 1e-12);
         assert_eq!(out.stream_busy.len(), 1);
         assert!((out.stream_busy[0] - out.compute_busy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_and_events_tile_every_lane_exactly() {
+        // Busy events plus attributed gaps must cover [0, makespan] on
+        // every engine with shared endpoints — no hole, no overlap, no
+        // unattributed time. This is the invariant `gpuflow profile`
+        // reconciles, so it is pinned at the simulator level too.
+        let g = edge_graph();
+        let dev = tesla_c870();
+        for k in 1..=3usize {
+            let compiled = Framework::new(dev.clone())
+                .with_options(crate::framework::CompileOptions {
+                    streams: k,
+                    ..Default::default()
+                })
+                .compile_adaptive(&g)
+                .unwrap();
+            let (out, events, gaps) =
+                overlapped_trace_profiled(&compiled.split.graph, &compiled.plan, &dev);
+            let streams = out.stream_busy.len();
+            let mut lanes = vec![Lane::H2d, Lane::D2h];
+            lanes.extend((0..streams).map(Lane::Compute));
+            for lane in lanes {
+                let mut iv: Vec<(f64, f64)> = events
+                    .iter()
+                    .filter(|e| e.lane == lane)
+                    .map(|e| (e.start, e.end))
+                    .chain(
+                        gaps.iter()
+                            .filter(|e| e.lane == lane)
+                            .map(|e| (e.start, e.end)),
+                    )
+                    .collect();
+                iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+                assert!(!iv.is_empty(), "{lane:?} has no coverage");
+                assert_eq!(iv[0].0, 0.0, "{lane:?} does not start at 0");
+                for w in iv.windows(2) {
+                    assert_eq!(
+                        w[0].1, w[1].0,
+                        "{lane:?} has a hole or overlap at {}",
+                        w[0].1
+                    );
+                }
+                assert_eq!(
+                    iv.last().unwrap().1,
+                    out.overlapped_time,
+                    "{lane:?} does not end at the makespan"
+                );
+            }
+            // Gap causes stay within the single-device taxonomy.
+            assert!(gaps.iter().all(|e| e.cause != GapCause::BusWait));
+        }
     }
 
     #[test]

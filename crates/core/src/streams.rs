@@ -373,9 +373,30 @@ pub fn schedule_streamed(
     num_streams: usize,
     xfer: XferOptions,
 ) -> Result<ExecutionPlan, FrameworkError> {
+    schedule_streamed_with(g, units, dev, num_streams, xfer, true)
+}
+
+/// [`schedule_streamed`] with the free-deferral pass made optional.
+///
+/// `defer: false` keeps the transfer scheduler's eagerly placed `Free`
+/// steps — the pre-deferral discipline, kept as an ablation knob
+/// (`gpuflow profile --no-defer-frees`) so the profiler can attribute the
+/// free-horizon stalls the deferral pass removes. The plan is otherwise
+/// identical: transfer volume, eviction choices, and stream assignment do
+/// not depend on free placement.
+pub fn schedule_streamed_with(
+    g: &Graph,
+    units: &[OffloadUnit],
+    dev: &DeviceSpec,
+    num_streams: usize,
+    xfer: XferOptions,
+    defer: bool,
+) -> Result<ExecutionPlan, FrameworkError> {
     let (order, unit_stream) = stream_order(g, units, dev, num_streams);
     let mut plan = schedule_transfers(g, units, &order, xfer)?;
-    plan.steps = defer_frees(g, units, std::mem::take(&mut plan.steps), xfer.memory_bytes);
+    if defer {
+        plan.steps = defer_frees(g, units, std::mem::take(&mut plan.steps), xfer.memory_bytes);
+    }
     let events = derive_events(g, &plan, &unit_stream);
     plan.streams = Some(StreamSchedule {
         num_streams: num_streams.max(1),

@@ -41,8 +41,8 @@ pub mod shard;
 pub use admission::{AdmissionError, AdmissionLedger, Reservation};
 pub use cluster::{parse_cluster, Cluster};
 pub use makespan::{
-    multi_overlapped_makespan, multi_overlapped_trace, multi_step_times, render_multi_gantt,
-    MultiLane, MultiLaneEvent, MultiOutcome,
+    multi_overlapped_makespan, multi_overlapped_trace, multi_overlapped_trace_profiled,
+    multi_step_times, render_multi_gantt, MultiGapEvent, MultiLane, MultiLaneEvent, MultiOutcome,
 };
 pub use observe::{tid_compute, trace_multi_lanes, TID_BUS_D2H, TID_BUS_H2D};
 pub use planner::{compile_multi, compile_multi_traced, MultiCompiled};

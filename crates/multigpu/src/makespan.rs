@@ -14,6 +14,7 @@
 //! step that allocates on a device waits until every earlier `Free` on
 //! that device has committed.
 
+use gpuflow_core::overlap::GapCause;
 use gpuflow_graph::Graph;
 use gpuflow_ops::op_cost;
 use gpuflow_sim::{kernel_time, timing::Work, BusDir, SharedBus};
@@ -90,6 +91,35 @@ pub enum MultiLane {
     Compute(usize),
 }
 
+/// One attributed idle interval on a cluster engine. Together with the
+/// busy [`MultiLaneEvent`]s of the same lane, the gaps tile
+/// `[0, makespan]` with shared endpoints — the cluster analogue of
+/// [`gpuflow_core::overlap::GapEvent`], reusing the same closed
+/// [`GapCause`] taxonomy (docs/profiling.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiGapEvent {
+    /// Engine that sat idle.
+    pub lane: MultiLane,
+    /// Gap start, seconds.
+    pub start: f64,
+    /// Gap end, seconds.
+    pub end: f64,
+    /// The binding constraint that opened the gap.
+    pub cause: GapCause,
+    /// The datum or operator waited on (empty for [`GapCause::Idle`]).
+    pub waited_on: String,
+}
+
+/// What produced a device's current copy of a datum, and whether the
+/// producing transfer was delayed by bus contention (the cross-device
+/// bus-wait signal).
+#[derive(Debug, Clone, Copy)]
+enum DevProducer {
+    None,
+    Upload { contended: bool },
+    Kernel,
+}
+
 /// Simulate `plan` on `cluster` and return the outcome.
 pub fn multi_overlapped_makespan(g: &Graph, plan: &MultiPlan, cluster: &Cluster) -> MultiOutcome {
     multi_overlapped_trace(g, plan, cluster).0
@@ -102,6 +132,24 @@ pub fn multi_overlapped_trace(
     plan: &MultiPlan,
     cluster: &Cluster,
 ) -> (MultiOutcome, Vec<MultiLaneEvent>) {
+    let (o, events, _) = multi_overlapped_trace_profiled(g, plan, cluster);
+    (o, events)
+}
+
+/// Like [`multi_overlapped_trace`], additionally attributing every idle
+/// interval of every engine — both bus channels and each device's
+/// compute lane — to a [`GapCause`]. Compute-lane gaps are attributed
+/// online from the binding `max` term; bus-channel gaps are recovered
+/// after the walk from the arbiter's final grant sets (the backfilling
+/// arbiter can slip later transfers into earlier holes, so a hole is
+/// only final once every grant is placed) and attributed to the request
+/// whose grant begins where the hole ends — by construction that
+/// request's `ready` time *is* the hole's end.
+pub fn multi_overlapped_trace_profiled(
+    g: &Graph,
+    plan: &MultiPlan,
+    cluster: &Cluster,
+) -> (MultiOutcome, Vec<MultiLaneEvent>, Vec<MultiGapEvent>) {
     // Dynamic sanitizer: on a statically certified schedule, the cluster
     // discipline's own step-granular times must honour every
     // happens-before edge of the certificate.
@@ -125,6 +173,7 @@ pub fn multi_overlapped_trace(
     // each buffer was last touched, the commit horizon of its frees, and
     // when its compute engine frees up.
     let mut device_ready = vec![vec![0.0f64; nd]; ndev];
+    let mut dev_producer = vec![vec![DevProducer::None; nd]; ndev];
     let mut last_touch = vec![vec![0.0f64; nd]; ndev];
     let mut free_horizon = vec![0.0f64; ndev];
     let mut compute_free = vec![0.0f64; ndev];
@@ -133,6 +182,10 @@ pub fn multi_overlapped_trace(
     let mut serial = 0.0f64;
     let mut end = 0.0f64;
     let mut events: Vec<MultiLaneEvent> = Vec::new();
+    let mut gaps: Vec<MultiGapEvent> = Vec::new();
+    // Every bus grant this walk requested: `(grant_start, cause, label)`
+    // per channel, for the post-hoc attribution of final bus holes.
+    let mut grants: [Vec<(f64, f64, GapCause, String)>; 2] = [Vec::new(), Vec::new()];
 
     for step in &plan.steps {
         match *step {
@@ -140,10 +193,20 @@ pub fn multi_overlapped_trace(
                 let bytes = g.data(data).bytes();
                 // Allocating: wait for host validity and this device's
                 // committed frees, then win the bus.
-                let ready = host_ready[data.index()].max(free_horizon[device]);
+                let rh = host_ready[data.index()];
+                let ready = rh.max(free_horizon[device]);
                 let (start, fin) = bus.acquire(BusDir::H2d, ready, bytes);
+                let cause = if free_horizon[device] >= rh {
+                    GapCause::FreeHorizon
+                } else {
+                    GapCause::WaitDownload
+                };
+                grants[BusDir::H2d as usize].push((start, fin, cause, g.data(data).name.clone()));
                 serial += cluster.bus.transfer_time(bytes);
                 device_ready[device][data.index()] = fin;
+                dev_producer[device][data.index()] = DevProducer::Upload {
+                    contended: start > ready,
+                };
                 last_touch[device][data.index()] = fin;
                 end = end.max(fin);
                 events.push(MultiLaneEvent {
@@ -158,6 +221,11 @@ pub fn multi_overlapped_trace(
                 let bytes = g.data(data).bytes();
                 let ready = device_ready[device][data.index()];
                 let (start, fin) = bus.acquire(BusDir::D2h, ready, bytes);
+                let cause = match dev_producer[device][data.index()] {
+                    DevProducer::Upload { .. } => GapCause::WaitUpload,
+                    _ => GapCause::WaitCompute,
+                };
+                grants[BusDir::D2h as usize].push((start, fin, cause, g.data(data).name.clone()));
                 serial += cluster.bus.transfer_time(bytes);
                 host_ready[data.index()] = host_ready[data.index()].max(fin);
                 last_touch[device][data.index()] = last_touch[device][data.index()].max(fin);
@@ -177,11 +245,34 @@ pub fn multi_overlapped_trace(
                 let unit = &plan.units[u];
                 let dev = plan.unit_device[u];
                 let spec = &cluster.devices[dev];
+                let cursor = compute_free[dev];
                 // Allocates its outputs: gated by this device's free
-                // horizon and its inputs' arrival on this device.
-                let mut start = compute_free[dev].max(free_horizon[dev]);
+                // horizon and its inputs' arrival on this device. Track
+                // the binding term — it owns any gap this launch opens; a
+                // wait on an upload whose bus grant was delayed past its
+                // ready time is cross-device bus contention.
+                let mut start = cursor.max(free_horizon[dev]);
+                let mut blame = (GapCause::FreeHorizon, String::new());
                 for d in unit.external_inputs(g) {
-                    start = start.max(device_ready[dev][d.index()]);
+                    let r = device_ready[dev][d.index()];
+                    if r > start {
+                        start = r;
+                        let cause = match dev_producer[dev][d.index()] {
+                            DevProducer::Upload { contended: true } => GapCause::BusWait,
+                            DevProducer::Upload { contended: false } => GapCause::WaitUpload,
+                            _ => GapCause::WaitCompute,
+                        };
+                        blame = (cause, g.data(d).name.clone());
+                    }
+                }
+                if start > cursor {
+                    gaps.push(MultiGapEvent {
+                        lane: MultiLane::Compute(dev),
+                        start: cursor,
+                        end: start,
+                        cause: blame.0,
+                        waited_on: blame.1,
+                    });
                 }
                 let mut t = start;
                 for &o in &unit.ops {
@@ -206,6 +297,7 @@ pub fn multi_overlapped_trace(
                     compute_busy[dev] += dur;
                     serial += dur;
                     device_ready[dev][node.outputs[0].index()] = t;
+                    dev_producer[dev][node.outputs[0].index()] = DevProducer::Kernel;
                     for &i in &node.inputs {
                         last_touch[dev][i.index()] = last_touch[dev][i.index()].max(t);
                     }
@@ -214,6 +306,53 @@ pub fn multi_overlapped_trace(
                 compute_free[dev] = t;
                 end = end.max(t);
             }
+        }
+    }
+
+    // Bus holes: the complement of each channel's final grant set in
+    // [0, makespan]. A hole is followed by the grant that begins where it
+    // ends (the arbiter starts a delayed grant exactly at its ready
+    // time), so that request's wait reason owns the hole; a hole with no
+    // following grant is the channel's trailing idle.
+    for (ch, lane) in [
+        (BusDir::H2d, MultiLane::BusH2d),
+        (BusDir::D2h, MultiLane::BusD2h),
+    ] {
+        let set = &mut grants[ch as usize];
+        set.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut cursor = 0.0f64;
+        for &(s, e, cause, ref label) in set.iter() {
+            if s > cursor {
+                gaps.push(MultiGapEvent {
+                    lane,
+                    start: cursor,
+                    end: s,
+                    cause,
+                    waited_on: label.clone(),
+                });
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < end {
+            gaps.push(MultiGapEvent {
+                lane,
+                start: cursor,
+                end,
+                cause: GapCause::Idle,
+                waited_on: String::new(),
+            });
+        }
+    }
+    // Trailing idle on every device that finished before the makespan.
+    for (dev, &free) in compute_free.iter().enumerate() {
+        if free < end {
+            gaps.push(MultiGapEvent {
+                lane: MultiLane::Compute(dev),
+                start: free,
+                end,
+                cause: GapCause::Idle,
+                waited_on: String::new(),
+            });
         }
     }
 
@@ -227,6 +366,7 @@ pub fn multi_overlapped_trace(
             bus_bytes: bus.bytes_moved(),
         },
         events,
+        gaps,
     )
 }
 
@@ -420,6 +560,49 @@ mod tests {
         assert!(out.bus_h2d_busy > 0.0 && out.bus_d2h_busy > 0.0);
         assert_eq!(out.compute_busy.len(), 2);
         assert!(out.compute_busy.iter().all(|&b| b > 0.0));
+    }
+
+    #[test]
+    fn gaps_and_events_tile_every_cluster_lane_exactly() {
+        // Cluster analogue of the single-GPU tiling invariant: busy
+        // events plus attributed gaps cover [0, makespan] on both bus
+        // channels and every device lane, with shared endpoints.
+        let g = edge_like(2000, 9);
+        for n in [1usize, 2, 4] {
+            let cluster = Cluster::homogeneous(tesla_c870(), n);
+            let c = compile_multi(&g, &cluster, 0.05).unwrap();
+            let (out, events, gaps) =
+                multi_overlapped_trace_profiled(&c.sharded.split.graph, &c.plan, &cluster);
+            let mut lanes = vec![MultiLane::BusH2d, MultiLane::BusD2h];
+            lanes.extend((0..n).map(MultiLane::Compute));
+            for lane in lanes {
+                let mut iv: Vec<(f64, f64)> = events
+                    .iter()
+                    .filter(|e| e.lane == lane)
+                    .map(|e| (e.start, e.end))
+                    .chain(
+                        gaps.iter()
+                            .filter(|e| e.lane == lane)
+                            .map(|e| (e.start, e.end)),
+                    )
+                    .collect();
+                iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+                assert!(!iv.is_empty(), "n={n} {lane:?} has no coverage");
+                assert_eq!(iv[0].0, 0.0, "n={n} {lane:?} does not start at 0");
+                for w in iv.windows(2) {
+                    assert_eq!(
+                        w[0].1, w[1].0,
+                        "n={n} {lane:?} hole or overlap at {}",
+                        w[0].1
+                    );
+                }
+                assert_eq!(
+                    iv.last().unwrap().1,
+                    out.makespan,
+                    "n={n} {lane:?} does not end at the makespan"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Human rendering of a [`ProfileReport`]: the reconciled per-engine
+//! table, the critical path, the busiest operators, and the advisor.
+
+use gpuflow_core::GapCause;
+
+use crate::attribution::{cause_idx, ProfileReport};
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+fn fmt_ms_f(s: f64) -> String {
+    format!("{:.3}", s * 1e3)
+}
+
+/// Render the profile as the aligned table `gpuflow profile` prints.
+/// Every row sums to the makespan (the reconciliation invariant), so the
+/// `total` column repeats the headline number on purpose.
+pub fn render_table(r: &ProfileReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "makespan       {} ms\ncritical path  {} ms ({:.1}% of makespan, {} steps)\ndominant       {} ({:.1}% of compute-lane time)\n",
+        fmt_ms(r.makespan_ns),
+        fmt_ms_f(r.critical_path.length_s),
+        r.critical_path.share * 100.0,
+        r.critical_path.spans.len(),
+        r.dominant,
+        r.dominant_share * 100.0,
+    ));
+
+    // Columns: busy, every cause that is nonzero somewhere, total.
+    let totals = r.cause_totals();
+    let causes: Vec<GapCause> = GapCause::all()
+        .into_iter()
+        .filter(|&c| totals[cause_idx(c)] > 0)
+        .collect();
+    let mut header: Vec<String> = vec!["engine".to_string(), "busy".to_string()];
+    header.extend(causes.iter().map(|c| c.label().to_string()));
+    header.push("total".to_string());
+    let mut rows: Vec<Vec<String>> = vec![header];
+    for e in &r.engines {
+        let mut row = vec![e.lane.clone(), fmt_ms(e.busy_ns)];
+        row.extend(causes.iter().map(|&c| fmt_ms(e.gap_ns[cause_idx(c)])));
+        row.push(fmt_ms(e.total_ns()));
+        rows.push(row);
+    }
+    let widths: Vec<usize> = (0..rows[0].len())
+        .map(|c| rows.iter().map(|row| row[c].len()).max().unwrap_or(0))
+        .collect();
+    out.push('\n');
+    for row in &rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| {
+                if c == 0 {
+                    format!("{:<w$}", cell, w = widths[c])
+                } else {
+                    format!("{:>w$}", cell, w = widths[c])
+                }
+            })
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out.push_str("(all times ms; every row sums to the makespan)\n");
+
+    if !r.units.is_empty() {
+        out.push_str("\nbusiest operators (compute ms):\n");
+        for (label, busy) in &r.units {
+            out.push_str(&format!("  {:<24} {}\n", label, fmt_ms(*busy)));
+        }
+    }
+
+    if !r.what_if.is_empty() {
+        out.push_str("\nwhat-if (first-order estimates, no replanning):\n");
+        for w in &r.what_if {
+            out.push_str(&format!(
+                "  {:<16} est {} ms ({}{} ms)  — {}\n",
+                w.knob,
+                fmt_ms_f(w.estimated_s),
+                if w.delta_s >= 0.0 { "+" } else { "" },
+                fmt_ms_f(w.delta_s),
+                w.basis
+            ));
+        }
+    }
+    out
+}

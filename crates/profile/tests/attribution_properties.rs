@@ -1,0 +1,164 @@
+//! Property tests for the profiler's two contracts:
+//!
+//! 1. **Attribution completeness** — per engine, attributed busy + gap
+//!    time equals the simulated makespan in rounded nanoseconds,
+//!    *exactly*, across every bundled template × eviction policy ×
+//!    stream count × the two-device cluster.
+//! 2. **Critical path is a lower bound** — the longest-duration chain
+//!    through the happens-before DAG never exceeds the simulated
+//!    makespan.
+//!
+//! Plus the ablation acceptance: with free deferral disabled, the Small
+//! CNN's streamed schedule re-exposes the free-horizon stall the
+//! deferral pass removes, and the profiler names it.
+
+use gpuflow_core::examples::{fig3_graph, fig3_memory_bytes};
+use gpuflow_core::{CompileOptions, EvictionPolicy, Framework, GapCause};
+use gpuflow_graph::Graph;
+use gpuflow_multi::{compile_multi, Cluster};
+use gpuflow_profile::{profile_cluster, profile_plan, ProfileReport};
+use gpuflow_sim::device::tesla_c870;
+use gpuflow_sim::DeviceSpec;
+use gpuflow_templates::cnn::small_cnn;
+use gpuflow_templates::edge::{find_edges, CombineOp};
+
+fn bundled() -> Vec<(&'static str, Graph, DeviceSpec)> {
+    vec![
+        (
+            "fig3",
+            fig3_graph(),
+            tesla_c870().with_memory(fig3_memory_bytes()),
+        ),
+        (
+            "edge",
+            find_edges(96, 96, 5, 4, CombineOp::Max).graph,
+            tesla_c870(),
+        ),
+        ("cnn-small", small_cnn(64, 64).graph, tesla_c870()),
+    ]
+}
+
+fn profile_with(g: &Graph, dev: &DeviceSpec, opts: CompileOptions) -> Option<ProfileReport> {
+    let compiled = Framework::new(dev.clone())
+        .with_options(opts)
+        .compile_adaptive(g)
+        .ok()?;
+    Some(
+        profile_plan(&compiled.split.graph, &compiled.plan, dev, &opts)
+            .expect("attribution must reconcile"),
+    )
+}
+
+fn free_horizon_ns(r: &ProfileReport) -> u64 {
+    let idx = GapCause::all()
+        .iter()
+        .position(|&c| c == GapCause::FreeHorizon)
+        .unwrap();
+    r.cause_totals()[idx]
+}
+
+#[test]
+fn attribution_reconciles_across_templates_policies_and_streams() {
+    for (name, g, dev) in bundled() {
+        for eviction in [EvictionPolicy::Belady, EvictionPolicy::Lru] {
+            for k in 1..=4 {
+                let opts = CompileOptions {
+                    eviction,
+                    streams: k,
+                    ..CompileOptions::default()
+                };
+                let Some(r) = profile_with(&g, &dev, opts) else {
+                    continue; // infeasible corner (tiny budget × many streams)
+                };
+                r.reconcile().unwrap_or_else(|e| {
+                    panic!("{name} {eviction:?} k={k}: {e}");
+                });
+                assert!(r.makespan_ns > 0, "{name} k={k}: empty profile");
+                // Engines: h2d + d2h + one per stream.
+                assert_eq!(
+                    r.engines.len(),
+                    2 + if k == 1 { 1 } else { k },
+                    "{name} k={k}"
+                );
+                assert!(!r.dominant.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn critical_path_is_a_makespan_lower_bound() {
+    for (name, g, dev) in bundled() {
+        for k in 1..=4 {
+            let opts = CompileOptions {
+                streams: k,
+                ..CompileOptions::default()
+            };
+            let Some(r) = profile_with(&g, &dev, opts) else {
+                continue;
+            };
+            assert!(
+                r.critical_path.length_s <= r.makespan_s + 1e-9,
+                "{name} k={k}: critical path {} exceeds makespan {}",
+                r.critical_path.length_s,
+                r.makespan_s
+            );
+            assert!(r.critical_path.length_s > 0.0, "{name} k={k}");
+            assert!(!r.critical_path.spans.is_empty());
+        }
+    }
+}
+
+#[test]
+fn cluster_attribution_reconciles_on_c870x2() {
+    for (name, g, _) in bundled() {
+        let cluster = Cluster::homogeneous(tesla_c870(), 2);
+        let c = compile_multi(&g, &cluster, 0.05).unwrap();
+        let r = profile_cluster(&c, 0.05).unwrap_or_else(|e| panic!("{name}: {e}"));
+        r.reconcile().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(r.engines.len(), 4, "{name}: bus×2 + gpu×2");
+        assert!(
+            r.critical_path.length_s <= r.makespan_s + 1e-9,
+            "{name}: cluster critical path exceeds makespan"
+        );
+    }
+}
+
+#[test]
+fn no_defer_frees_ablation_exposes_the_free_horizon_stall() {
+    // PR 8's free-deferral pass removed the free-horizon serialization of
+    // the Small CNN's two-stream schedule; the ablation knob brings it
+    // back, and the profiler must attribute it by name.
+    let g = small_cnn(128, 128).graph;
+    let dev = tesla_c870();
+    let base = CompileOptions {
+        streams: 2,
+        ..CompileOptions::default()
+    };
+    let with_defer = profile_with(&g, &dev, base).expect("streams=2 compiles");
+    let ablated = profile_with(
+        &g,
+        &dev,
+        CompileOptions {
+            defer_frees: false,
+            ..base
+        },
+    )
+    .expect("ablated streams=2 compiles");
+    assert!(
+        free_horizon_ns(&ablated) > 0,
+        "ablation must re-expose the free-horizon stall"
+    );
+    assert!(
+        free_horizon_ns(&ablated) > free_horizon_ns(&with_defer),
+        "deferral must strictly reduce free-horizon time: {} !> {}",
+        free_horizon_ns(&ablated),
+        free_horizon_ns(&with_defer)
+    );
+    assert!(
+        with_defer.makespan_s <= ablated.makespan_s + 1e-12,
+        "deferral must not lose: {} vs {}",
+        with_defer.makespan_s,
+        ablated.makespan_s
+    );
+}

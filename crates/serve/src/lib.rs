@@ -45,7 +45,7 @@ pub use key::{cluster_fingerprint, device_fingerprint, PlanKey, SkeletonKey};
 pub use net::{request_once, serve_tcp, Client, ServerHandle};
 pub use planner::{plan_request, CacheOutcome, PlannedRequest};
 pub use protocol::{parse_request, Request, RequestOptions};
-pub use server::{percentile_us, ServeConfig, Server};
+pub use server::{percentile_us, ServeConfig, Server, PHASES};
 pub use smoke::run_smoke;
 pub use soak::{run_soak, SoakReport};
 pub use source::{resolve_named, TemplateRef};

@@ -3,7 +3,8 @@
 //! One request per line, one response per line, both
 //! [`gpuflow_minijson`] objects. Full grammar in `docs/serving.md`.
 //!
-//! Requests: `{"op": "compile" | "run" | "stats" | "shutdown", ...}` with
+//! Requests: `{"op": "compile" | "run" | "stats" | "metrics" |
+//! "shutdown", ...}` with
 //! a template named by `"template": "<spec>"` (builtin grammar, see
 //! [`crate::source`]) or carried inline as `"graph": "<gfg text>"`;
 //! optional `"margin"` (fraction), `"exact"` (bool, small templates
@@ -75,6 +76,9 @@ pub enum Request {
     },
     /// Snapshot the `serve.*` metrics.
     Stats,
+    /// Prometheus-style text exposition of the phase histograms and
+    /// counters (the `"text"` field of the response).
+    Metrics,
     /// Drain and stop the daemon.
     Shutdown,
 }
@@ -148,6 +152,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op '{other}'")),
     }
@@ -219,6 +224,7 @@ mod tests {
             other => panic!("bad parse: {other:?}"),
         }
         assert!(parse_request(r#"{"op":"stats"}"#).is_ok());
+        assert!(parse_request(r#"{"op":"metrics"}"#).is_ok());
         assert!(parse_request(r#"{"op":"shutdown"}"#).is_ok());
     }
 

@@ -34,7 +34,7 @@ use gpuflow_core::{CompileOptions, ResilientExecutor};
 use gpuflow_minijson::{Map, Value};
 use gpuflow_multi::{AdmissionError, AdmissionLedger, Cluster, ResilientMultiExecutor};
 use gpuflow_sim::device::modern;
-use gpuflow_trace::{MetricsRegistry, Tracer, PID_SERVE};
+use gpuflow_trace::{Histogram, MetricsRegistry, Tracer, PID_SERVE};
 
 use crate::cache::{CachedPlan, PlanCache};
 use crate::key::PlanKey;
@@ -103,9 +103,40 @@ pub struct Server {
     tracer: Mutex<Tracer>,
     /// Completed-request latencies (µs), for p50/p99.
     latencies: Mutex<Vec<u64>>,
+    /// Per-phase latency histograms (µs), log-bucketed. Every request
+    /// contributes one sample per phase it passes through, so `stats`
+    /// can report p50/p90/p99/max per phase without retaining samples.
+    phases: Mutex<PhaseHistograms>,
     shutdown: AtomicBool,
     started: Instant,
     next_req: AtomicU64,
+}
+
+/// The request-lifecycle phases tracked with log-bucketed histograms,
+/// in lifecycle order. `total` is wall time from parse to response for
+/// completed compiles/runs. The `admit` span (a no-wait admission) is
+/// folded into `queue-wait`, so its percentiles describe every request,
+/// not just the ones that queued.
+pub const PHASES: [&str; 5] = ["cache-probe", "queue-wait", "compile", "execute", "total"];
+
+/// One log-bucketed [`Histogram`] per lifecycle phase.
+#[derive(Default)]
+struct PhaseHistograms {
+    hists: [Histogram; 5],
+}
+
+impl PhaseHistograms {
+    fn record(&mut self, phase: &str, us: u64) {
+        let slot = match phase {
+            "cache-probe" => 0,
+            "queue-wait" | "admit" => 1,
+            "compile" => 2,
+            "execute" => 3,
+            "total" => 4,
+            _ => return,
+        };
+        self.hists[slot].record(us);
+    }
 }
 
 fn hex_hash(h: u64) -> String {
@@ -154,6 +185,7 @@ impl Server {
             metrics: Mutex::new(MetricsRegistry::new()),
             tracer: Mutex::new(tracer),
             latencies: Mutex::new(Vec::new()),
+            phases: Mutex::new(PhaseHistograms::default()),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             next_req: AtomicU64::new(1),
@@ -202,6 +234,8 @@ impl Server {
 
     fn span(&self, req_id: u64, name: &str, start_s: f64, args: Vec<(String, Value)>) {
         let end_s = self.wall_s();
+        let us = ((end_s - start_s).max(0.0) * 1e6) as u64;
+        self.phases.lock().unwrap().record(name, us);
         self.tracer.lock().unwrap().virtual_span(
             PID_SERVE,
             req_id as u32,
@@ -228,7 +262,7 @@ impl Server {
 
     /// Handle one parsed request.
     pub fn handle_request(&self, req: Request) -> Value {
-        if self.is_shutting_down() && !matches!(req, Request::Stats) {
+        if self.is_shutting_down() && !matches!(req, Request::Stats | Request::Metrics) {
             return error_response("shutting_down", "server is shutting down");
         }
         self.with_metrics(|m| m.add("serve.requests", 1));
@@ -241,6 +275,11 @@ impl Server {
                 hold_ms,
             } => self.handle_run(&template, options, faults.as_deref(), hold_ms),
             Request::Stats => self.handle_stats(),
+            Request::Metrics => {
+                let mut m = ok_base("metrics");
+                m.insert("text", self.metrics_text());
+                Value::Object(m)
+            }
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 // Wake every queued request so it can fail fast.
@@ -560,14 +599,46 @@ impl Server {
             Value::Array(committed.into_iter().map(Value::from).collect()),
         );
         m.insert("metrics", metrics_json);
+        let phases_json = {
+            let phases = self.phases.lock().unwrap();
+            let mut pm = Map::new();
+            for (name, hist) in PHASES.iter().zip(&phases.hists) {
+                pm.insert(*name, hist.to_json());
+            }
+            Value::Object(pm)
+        };
+        m.insert("phases", phases_json);
         Value::Object(m)
     }
 
     fn record_latency(&self, t0: Instant) {
-        self.latencies
-            .lock()
-            .unwrap()
-            .push(t0.elapsed().as_micros() as u64);
+        let us = t0.elapsed().as_micros() as u64;
+        self.latencies.lock().unwrap().push(us);
+        self.phases.lock().unwrap().record("total", us);
+    }
+
+    /// Prometheus-style text exposition: one `gpuflow_serve_phase_us`
+    /// summary per lifecycle phase (labelled `phase="..."`), then every
+    /// counter and gauge from the metrics registry with `.`/`-`
+    /// flattened to `_`. Served to `gpuflow client --metrics`.
+    pub fn metrics_text(&self) -> String {
+        let mut s = String::new();
+        {
+            let phases = self.phases.lock().unwrap();
+            for (name, hist) in PHASES.iter().zip(&phases.hists) {
+                s.push_str(&hist.expose("gpuflow_serve_phase_us", &[("phase", name)]));
+            }
+        }
+        let flat = |name: &str| name.replace(['.', '-'], "_");
+        self.with_metrics(|m| {
+            for (name, v) in m.counters() {
+                s.push_str(&format!("gpuflow_{} {v}\n", flat(name)));
+            }
+            for (name, v) in m.gauges() {
+                s.push_str(&format!("gpuflow_{} {v}\n", flat(name)));
+            }
+        });
+        s
     }
 }
 
@@ -771,6 +842,45 @@ mod tests {
         let hit = gpuflow_minijson::parse(&server.handle_line(a)).unwrap();
         assert_eq!(get(&hit, "cache").as_str(), Some("hit"));
         server.with_metrics(|m| assert_eq!(m.counter("serve.cache_memo_hits"), 1));
+    }
+
+    #[test]
+    fn stats_report_phase_histograms_and_metrics_expose_them() {
+        let server = Server::new(ServeConfig::default());
+        server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        let stats = server.handle_request(Request::Stats);
+        let phases = get(&stats, "phases").as_object().unwrap();
+        for phase in PHASES {
+            let h = phases.get(phase).and_then(|v| v.as_object()).unwrap();
+            let p50 = h.get("p50").and_then(|v| v.as_u64()).unwrap();
+            let p99 = h.get("p99").and_then(|v| v.as_u64()).unwrap();
+            assert!(p99 >= p50, "{phase}: p99 {p99} < p50 {p50}");
+        }
+        // Both runs passed through execute and total; the second hit the
+        // cache probe.
+        assert!(
+            phases
+                .get("execute")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64()
+                == Some(2)
+        );
+        assert!(phases.get("total").unwrap().get("count").unwrap().as_u64() == Some(2));
+        let text = server.metrics_text();
+        assert!(text.contains(r#"gpuflow_serve_phase_us{phase="execute",quantile="0.99"}"#));
+        assert!(text.contains("gpuflow_serve_phase_us_count"));
+        assert!(text.contains("gpuflow_serve_completed 2"));
+        // The wire op carries the same exposition.
+        let r = server.handle_line(r#"{"op":"metrics"}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        assert_eq!(get(&r, "result").as_str(), Some("metrics"));
+        assert!(get(&r, "text")
+            .as_str()
+            .unwrap()
+            .contains("gpuflow_serve_phase_us"));
     }
 
     #[test]

@@ -180,6 +180,45 @@ pub fn run_smoke() -> Result<String, String> {
     if hits == 0 {
         return Err(format!("stats should report cache hits, got {stats:?}"));
     }
+    // Phase histograms: every lifecycle phase reports p50/p90/p99/max,
+    // with p99 >= p50 (nearest-rank over log buckets is monotone).
+    let phases = stats
+        .get("phases")
+        .and_then(|v| v.as_object())
+        .ok_or_else(|| format!("stats should carry 'phases', got {stats:?}"))?;
+    for phase in crate::server::PHASES {
+        let h = phases
+            .get(phase)
+            .and_then(|v| v.as_object())
+            .ok_or_else(|| format!("stats phases missing '{phase}'"))?;
+        let p50 = h.get("p50").and_then(|v| v.as_u64());
+        let p99 = h.get("p99").and_then(|v| v.as_u64());
+        match (p50, p99) {
+            (Some(a), Some(b)) if b >= a => {}
+            _ => return Err(format!("{phase}: want p99 >= p50, got {h:?}")),
+        }
+    }
+    for required in ["execute", "queue-wait", "total"] {
+        let n = phases
+            .get(required)
+            .and_then(|v| v.get("count"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        if n == 0 {
+            return Err(format!("phase '{required}' recorded no samples"));
+        }
+    }
+    let exposition = c
+        .request(r#"{"op":"metrics"}"#)
+        .map_err(|e| e.to_string())?;
+    let text = exposition
+        .get("text")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("metrics op should return text, got {exposition:?}"))?;
+    if !text.contains(r#"gpuflow_serve_phase_us{phase="execute",quantile="0.99"}"#) {
+        return Err(format!("exposition missing phase summary:\n{text}"));
+    }
+    report.push_str("stats: per-phase p50/p90/p99 histograms present, p99 >= p50\n");
     let r = c
         .request(r#"{"op":"shutdown"}"#)
         .map_err(|e| e.to_string())?;

@@ -46,7 +46,7 @@ mod metrics;
 mod summary;
 
 pub use chrome::{sum_event_arg, sum_event_dur, validate_chrome_trace, ChromeSummary};
-pub use metrics::MetricsRegistry;
+pub use metrics::{Histogram, MetricsRegistry};
 
 /// Track (Chrome `pid`) for real wall-clock phases: compilation passes,
 /// PB solving, plan emission.
@@ -68,6 +68,10 @@ pub const PID_HAZARD: u32 = 6;
 /// lifecycle, with wall-clock spans for queue-wait, cache-probe, compile,
 /// admit, and execute phases.
 pub const PID_SERVE: u32 = 7;
+/// Track for the makespan profiler (`gpuflow-profile`): one lane for the
+/// critical path (virtual time) plus one lane per engine carrying its
+/// attributed idle gaps, each span tagged with its bottleneck cause.
+pub const PID_PROFILE: u32 = 8;
 
 /// Default thread id within a track.
 pub const TID_DEFAULT: u32 = 0;

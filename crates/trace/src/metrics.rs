@@ -1,10 +1,16 @@
-//! A small registry of named counters and gauges.
+//! A small registry of named counters and gauges, plus a log-bucketed
+//! [`Histogram`] for latency distributions.
 //!
 //! Counters are monotone `u64` sums (bytes moved, conflicts, steps);
 //! gauges are point-in-time `f64` readings (makespan seconds, speedups).
 //! Names are dotted paths (`sim.bytes_h2d`, `exact.conflicts`); the
 //! catalogue lives in `docs/observability.md`. Insertion order is
 //! preserved so snapshots render deterministically.
+//!
+//! The histogram is the one percentile implementation in the workspace:
+//! `gpuflow-serve` per-phase latencies, the chaos sweep, and every
+//! `extension_*` bench source their p50/p90/p99 from it, so quantiles
+//! are comparable across reports (docs/profiling.md).
 
 use gpuflow_minijson::{Map, Value};
 
@@ -93,6 +99,200 @@ impl MetricsRegistry {
     }
 }
 
+/// Sub-buckets per power of two: 8 gives a worst-case relative
+/// quantile error of 1/8 = 12.5%, comfortably inside every gate that
+/// reads one (the serve warm-p50 gate has a 10x margin).
+const SUB: u64 = 8;
+/// Values below `SUB` get one exact bucket each.
+const EXACT: usize = SUB as usize;
+/// Highest bucket index reachable from a `u64` sample.
+const BUCKETS: usize = EXACT + (64 - 3) * EXACT;
+
+/// Bucket index for a sample: exact below [`SUB`], then log-spaced with
+/// [`SUB`] linear sub-buckets per octave (HDR-histogram style).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as u64; // >= 3
+    let sub = (v >> (octave - 3)) - SUB; // 0..SUB
+    ((octave - 2) * SUB + SUB + sub) as usize - EXACT
+}
+
+/// Largest sample value that maps to bucket `i` — the bucket's
+/// representative, so reported quantiles never under-state latency.
+fn bucket_upper(i: usize) -> u64 {
+    if i < EXACT {
+        return i as u64;
+    }
+    let k = (i - EXACT) as u64;
+    let octave = k / SUB + 3;
+    let sub = k % SUB;
+    let lower = (SUB + sub) << (octave - 3);
+    lower + (1u64 << (octave - 3)) - 1
+}
+
+/// A log-bucketed histogram of `u64` samples (typically microseconds).
+///
+/// Small values (below 8) are exact; larger values land in one of eight
+/// linear sub-buckets per power of two, bounding the relative error of
+/// any reported quantile at 12.5% while keeping the memory footprint
+/// fixed. Count, sum, min, and max are tracked exactly; quantiles use
+/// the nearest-rank rule over bucket counts and report each bucket's
+/// upper bound (clamped to the exact max), so `p99 >= p50` always and
+/// `percentile(1.0)` is the exact maximum.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (slot, n) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank quantile `p` in `[0, 1]`: the upper bound of the
+    /// bucket holding the rank-`ceil(p * count)` sample, clamped to the
+    /// exact max. Returns 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// The standard latency summary: `(p50, p90, p99, max)`.
+    pub fn quantiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.percentile(0.50),
+            self.percentile(0.90),
+            self.percentile(0.99),
+            self.max(),
+        )
+    }
+
+    /// JSON snapshot: `{"count", "sum", "min", "p50", "p90", "p99", "max"}`.
+    pub fn to_json(&self) -> Value {
+        let (p50, p90, p99, max) = self.quantiles();
+        let mut m = Map::new();
+        m.insert("count", self.count);
+        m.insert("sum", self.sum);
+        m.insert("min", self.min());
+        m.insert("p50", p50);
+        m.insert("p90", p90);
+        m.insert("p99", p99);
+        m.insert("max", max);
+        Value::Object(m)
+    }
+
+    /// Prometheus-style summary exposition: one `{quantile="..."}` line
+    /// per standard quantile plus `_sum` and `_count` lines. `labels`
+    /// are extra `key="value"` pairs merged into every sample line.
+    pub fn expose(&self, metric: &str, labels: &[(&str, &str)]) -> String {
+        let join = |extra: Option<(&str, String)>| -> String {
+            let mut parts: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        let mut s = String::new();
+        for (q, v) in [
+            ("0.5", self.percentile(0.50)),
+            ("0.9", self.percentile(0.90)),
+            ("0.99", self.percentile(0.99)),
+            ("1", self.max()),
+        ] {
+            s.push_str(&format!(
+                "{metric}{} {v}\n",
+                join(Some(("quantile", q.to_string())))
+            ));
+        }
+        s.push_str(&format!("{metric}_sum{} {}\n", join(None), self.sum));
+        s.push_str(&format!("{metric}_count{} {}\n", join(None), self.count));
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +320,80 @@ mod tests {
         m.add("a.first", 1);
         let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["b.second", "a.first"]);
+    }
+
+    #[test]
+    fn histogram_buckets_tile_the_u64_line() {
+        // Every bucket's upper bound maps back to that bucket, and
+        // consecutive buckets meet with no gap or overlap.
+        for i in 0..BUCKETS - 1 {
+            let hi = bucket_upper(i);
+            assert_eq!(bucket_index(hi), i, "upper({i}) = {hi}");
+            assert_eq!(bucket_index(hi + 1), i + 1, "gap after bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99, max) = h.quantiles();
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= max);
+        assert_eq!(max, 1000);
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.min(), 1);
+        // Log-bucketing bounds the relative error at 12.5%.
+        assert!((p50 as f64 - 500.0).abs() / 500.0 <= 0.125, "p50={p50}");
+        assert!((p99 as f64 - 990.0).abs() / 990.0 <= 0.125, "p99={p99}");
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact_and_merge_preserves_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            a.record(v);
+        }
+        for v in [4u64, 5, 6, 7] {
+            b.record(v);
+        }
+        assert_eq!(a.percentile(0.5), 1);
+        a.merge(&b);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.sum(), 28);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 7);
+        assert_eq!(a.percentile(0.5), 3);
+        assert_eq!(a.percentile(1.0), 7);
+    }
+
+    #[test]
+    fn histogram_empty_reads_zero_everywhere() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.quantiles(), (0, 0, 0, 0));
+        assert_eq!(h.min(), 0);
+        let j = h.to_json();
+        assert_eq!(j["count"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn histogram_exposes_prometheus_summary_lines() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let text = h.expose("gpuflow_phase_us", &[("phase", "execute")]);
+        assert!(text.contains("gpuflow_phase_us{phase=\"execute\",quantile=\"0.5\"}"));
+        assert!(text.contains("gpuflow_phase_us_sum{phase=\"execute\"} 300"));
+        assert!(text.contains("gpuflow_phase_us_count{phase=\"execute\"} 2"));
+        let bare = h.expose("x", &[]);
+        assert!(bare.contains("x{quantile=\"0.99\"}"));
+        assert!(bare.contains("x_count 2"));
     }
 }

@@ -346,6 +346,11 @@ pub fn registry() -> Vec<CodeEntry> {
         e(hazard::codes::UNSTAGED_READ, "UNSTAGED_READ", "hazard"),
         e(hazard::codes::CERTIFIED, "CERTIFIED", "hazard"),
         e(
+            crate::critpath::codes::ADVISOR_DIVERGENCE,
+            "ADVISOR_DIVERGENCE",
+            "profile",
+        ),
+        e(
             engine::codes::LINT_REDUNDANT_COPYIN,
             "LINT_REDUNDANT_COPYIN",
             "lint",

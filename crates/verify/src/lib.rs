@@ -40,6 +40,7 @@
 //! Diagnostic codes are catalogued in `docs/diagnostics.md` at the
 //! repository root.
 
+pub mod critpath;
 pub mod diag;
 pub mod engine;
 pub mod graph_check;
@@ -48,6 +49,7 @@ pub mod hb;
 pub mod multi;
 pub mod recover;
 
+pub use critpath::{critical_path, critical_path_over, dependency_critical_path, CriticalPath};
 pub use diag::{
     count, has_errors, render_report, report_to_json, summary, Counts, Diagnostic, Location,
     Severity,

@@ -39,12 +39,20 @@ cargo run --release -q -p gpuflow-cli --bin gpuflow -- chaos --smoke
 echo "==> serving gate (gpuflow serve --smoke)"
 # Deterministic single-process ladder: cache miss -> hit -> incremental,
 # a queued run admitting after a holder releases, typed infeasible and
-# backpressure rejects, stats accounting, drain on shutdown.
+# backpressure rejects, stats accounting, drain on shutdown; plus the
+# guard gates — a flood must trip the breaker, shed with retry hints,
+# keep the admitted execute p99 within 2x the unloaded tail, and
+# reclose; and a daemon restarted from its plan-cache journal must
+# serve a byte-identical warm hit.
 cargo run --release -q -p gpuflow-cli --bin gpuflow -- serve --smoke
 
 echo "==> serving soak gate (gpuflow serve --soak, chaos-faulted)"
 # Concurrent clients stream mixed compile/run/faulted-run requests;
 # every request must end completed-and-verified or cleanly typed-rejected.
+# Then the network phase: a seeded transport-fault storm (conn drops,
+# slow clients, garbage, partial writes) run twice must replay
+# bit-identically, and a malformed-frame corpus must never wedge the
+# daemon or starve a well-formed peer.
 cargo run --release -q -p gpuflow-cli --bin gpuflow -- serve --soak
 
 echo "==> profiler attribution gate (gpuflow profile --smoke)"

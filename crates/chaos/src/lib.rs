@@ -20,6 +20,11 @@
 //!   pure function of `(seed, class, site, attempt)` — injection decisions
 //!   are independent of call order, which is what makes whole timelines
 //!   bit-reproducible.
+//! * [`net`] — [`NetFaultPlan`]: the same seeded discipline for the
+//!   *serving* failure surface (connection drops, byte-trickling clients,
+//!   garbage frames, partial writes), decided purely from
+//!   `(seed, class, client, request)` and injected at the transport seam
+//!   by `gpuflow-serve`.
 //! * [`policy`] — [`RetryPolicy`], [`RecoveryOptions`], and the
 //!   [`RecoveryStats`]/[`RecoveryEvent`] bookkeeping shared by the
 //!   resilient executors in `gpuflow-core` and `gpuflow-multi`.
@@ -32,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod inject;
+pub mod net;
 pub mod observe;
 pub mod policy;
 pub mod rng;
 pub mod spec;
 
 pub use inject::{FaultClass, FaultEvent, FaultInjector};
+pub use net::{NetFault, NetFaultPlan};
 pub use observe::{trace_recovery, PID_CHAOS};
 pub use policy::{RecoveryEvent, RecoveryEventKind, RecoveryOptions, RecoveryStats, RetryPolicy};
 pub use rng::SplitMix64;

@@ -1,0 +1,202 @@
+//! Network-level fault classes, decided at the transport seam.
+//!
+//! Execution faults (kernel/transfer/alloc) are injected *inside* the
+//! simulated platform by [`crate::FaultInjector`]. The serving layer has
+//! its own failure surface — clients that disconnect mid-request, trickle
+//! bytes, send garbage, or write half a frame and vanish — and this module
+//! gives those the same seeded, replayable treatment: every decision is a
+//! pure function of `(seed, class, client, request)`, mixed through the
+//! SplitMix64 finalizer exactly like [`crate::FaultInjector`]'s
+//! `(seed, class, site, attempt)` decisions. No stream is consumed, so
+//! which request
+//! a fault hits never depends on connection timing or thread interleaving,
+//! and a `serve --soak` run replays bit-identically from its spec.
+//!
+//! At most one network fault fires per request. Classes are evaluated in a
+//! fixed precedence order (`conn_drop`, `garbage`, `partial_write`,
+//! `slow_client`) so overlapping rates stay deterministic.
+
+use crate::rng::{mix, mix_f64};
+use crate::spec::FaultSpec;
+
+/// The injectable network fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The client disconnects after sending its request, before reading
+    /// the reply.
+    ConnDrop,
+    /// The client writes a garbage (non-protocol) frame instead of its
+    /// real request.
+    Garbage,
+    /// The client writes only a prefix of its request frame and then
+    /// disconnects.
+    PartialWrite,
+    /// The client trickles its request bytes in tiny chunks.
+    SlowClient,
+}
+
+impl NetFault {
+    /// Stable label used in soak reports and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetFault::ConnDrop => "conn-drop",
+            NetFault::Garbage => "garbage",
+            NetFault::PartialWrite => "partial-write",
+            NetFault::SlowClient => "slow-client",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            NetFault::ConnDrop => 0x434F_4E4E,
+            NetFault::Garbage => 0x4741_5242,
+            NetFault::PartialWrite => 0x5041_5254,
+            NetFault::SlowClient => 0x534C_4F57,
+        }
+    }
+
+    /// Evaluation precedence when several class rates overlap.
+    pub const ORDER: [NetFault; 4] = [
+        NetFault::ConnDrop,
+        NetFault::Garbage,
+        NetFault::PartialWrite,
+        NetFault::SlowClient,
+    ];
+}
+
+/// A [`FaultSpec`]'s network classes bound as a pure decision plan.
+///
+/// Unlike [`crate::FaultInjector`] this keeps no event log — the serving
+/// soak records outcomes itself — so decisions can be shared read-only
+/// across client threads.
+#[derive(Debug, Clone)]
+pub struct NetFaultPlan {
+    spec: FaultSpec,
+}
+
+impl NetFaultPlan {
+    /// Bind `spec`'s network fault classes.
+    pub fn new(spec: &FaultSpec) -> NetFaultPlan {
+        NetFaultPlan { spec: spec.clone() }
+    }
+
+    fn rate(&self, class: NetFault) -> f64 {
+        match class {
+            NetFault::ConnDrop => self.spec.conn_drop_rate,
+            NetFault::Garbage => self.spec.garbage_rate,
+            NetFault::PartialWrite => self.spec.partial_write_rate,
+            NetFault::SlowClient => self.spec.slow_client_rate,
+        }
+    }
+
+    /// Pure decision word for `(class, client, request)`.
+    fn word(&self, class: NetFault, client: u64, request: u64) -> u64 {
+        mix(self.spec.seed ^ class.salt())
+            ^ mix(client
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(request))
+    }
+
+    /// Would `class` fault on `(client, request)`? Pure; independent of
+    /// query order.
+    pub fn decide(&self, class: NetFault, client: u64, request: u64) -> bool {
+        let rate = self.rate(class);
+        if rate <= 0.0 {
+            return false;
+        }
+        mix_f64(self.word(class, client, request)) < rate
+    }
+
+    /// The (at most one) network fault for `(client, request)`, chosen by
+    /// [`NetFault::ORDER`] precedence.
+    pub fn fault_for(&self, client: u64, request: u64) -> Option<NetFault> {
+        NetFault::ORDER
+            .into_iter()
+            .find(|&c| self.decide(c, client, request))
+    }
+
+    /// Deterministic fraction in `[0, 1)` for shaping a fault — how much
+    /// of a partial frame to write, where to cut a garbage payload. Keyed
+    /// off the same word as the decision so it replays with it.
+    pub fn fraction(&self, class: NetFault, client: u64, request: u64) -> f64 {
+        mix_f64(self.word(class, client, request).wrapping_add(1))
+    }
+
+    /// Deterministic garbage payload for `(client, request)`: non-empty,
+    /// newline-terminated, never valid protocol JSON (it never starts with
+    /// `{`). Length varies with the decision word.
+    pub fn garbage_bytes(&self, client: u64, request: u64) -> Vec<u8> {
+        let mut w = self.word(NetFault::Garbage, client, request);
+        let len = 1 + (w % 61) as usize;
+        let mut out = Vec::with_capacity(len + 1);
+        for _ in 0..len {
+            w = mix(w);
+            // Printable non-'{' byte so the frame is a parse error, not an
+            // I/O artefact.
+            let b = b'#' + (w % 64) as u8;
+            out.push(if b == b'{' { b'!' } else { b });
+        }
+        out.push(b'\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn netty(seed: u64) -> FaultSpec {
+        FaultSpec {
+            conn_drop_rate: 0.25,
+            slow_client_rate: 0.25,
+            garbage_rate: 0.25,
+            partial_write_rate: 0.25,
+            ..FaultSpec::quiet(seed)
+        }
+    }
+
+    #[test]
+    fn decisions_replay_and_are_order_independent() {
+        let plan = NetFaultPlan::new(&netty(7));
+        let fwd: Vec<Option<NetFault>> = (0..128).map(|r| plan.fault_for(3, r)).collect();
+        let mut rev: Vec<Option<NetFault>> = (0..128).rev().map(|r| plan.fault_for(3, r)).collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+        // Every class fires somewhere at these rates.
+        for class in NetFault::ORDER {
+            assert!(fwd.contains(&Some(class)), "{} never fired", class.label());
+        }
+    }
+
+    #[test]
+    fn seed_and_client_change_the_schedule() {
+        let a = NetFaultPlan::new(&netty(7));
+        let b = NetFaultPlan::new(&netty(8));
+        let xs: Vec<_> = (0..128).map(|r| a.fault_for(0, r)).collect();
+        let ys: Vec<_> = (0..128).map(|r| b.fault_for(0, r)).collect();
+        let zs: Vec<_> = (0..128).map(|r| a.fault_for(1, r)).collect();
+        assert_ne!(xs, ys, "seed must reshape the schedule");
+        assert_ne!(xs, zs, "clients must have independent streams");
+    }
+
+    #[test]
+    fn quiet_spec_never_fires() {
+        let plan = NetFaultPlan::new(&FaultSpec::quiet(9));
+        assert!((0..256).all(|r| plan.fault_for(0, r).is_none()));
+    }
+
+    #[test]
+    fn garbage_is_deterministic_and_never_protocol() {
+        let plan = NetFaultPlan::new(&netty(3));
+        for r in 0..64 {
+            let g = plan.garbage_bytes(2, r);
+            assert_eq!(g, plan.garbage_bytes(2, r));
+            assert!(g.len() >= 2);
+            assert_eq!(*g.last().unwrap(), b'\n');
+            assert_ne!(g[0], b'{');
+        }
+        let f = plan.fraction(NetFault::PartialWrite, 0, 0);
+        assert!((0.0..1.0).contains(&f));
+        assert_eq!(f, plan.fraction(NetFault::PartialWrite, 0, 0));
+    }
+}

@@ -52,6 +52,19 @@ pub struct FaultSpec {
     pub brownout: Option<Brownout>,
     /// Optional hard device loss.
     pub device_loss: Option<DeviceLoss>,
+    /// Per-request probability the client connection drops mid-request
+    /// (before the reply is read), `[0, 1]`. Network-level; injected at
+    /// the transport seam by `gpuflow-serve`.
+    pub conn_drop_rate: f64,
+    /// Per-request probability the client trickles its request bytes
+    /// slowly instead of writing them in one piece, `[0, 1]`.
+    pub slow_client_rate: f64,
+    /// Per-request probability the client sends a garbage (non-protocol)
+    /// frame instead of its real request, `[0, 1]`.
+    pub garbage_rate: f64,
+    /// Per-request probability the client writes only a prefix of its
+    /// request frame and then disconnects, `[0, 1]`.
+    pub partial_write_rate: f64,
 }
 
 impl FaultSpec {
@@ -65,6 +78,10 @@ impl FaultSpec {
             alloc_rate: 0.0,
             brownout: None,
             device_loss: None,
+            conn_drop_rate: 0.0,
+            slow_client_rate: 0.0,
+            garbage_rate: 0.0,
+            partial_write_rate: 0.0,
         }
     }
 
@@ -75,6 +92,15 @@ impl FaultSpec {
             && self.alloc_rate == 0.0
             && self.brownout.is_none()
             && self.device_loss.is_none()
+            && !self.has_net_faults()
+    }
+
+    /// True when any network-level fault class has a nonzero rate.
+    pub fn has_net_faults(&self) -> bool {
+        self.conn_drop_rate > 0.0
+            || self.slow_client_rate > 0.0
+            || self.garbage_rate > 0.0
+            || self.partial_write_rate > 0.0
     }
 
     /// Parse the CLI `--faults` grammar: a comma-separated list of
@@ -86,7 +112,10 @@ impl FaultSpec {
     ///   `TIME` is seconds (`0.02`) or a percentage of the fault-free
     ///   makespan (`50%`);
     /// * `brownout=START:DURATION:FACTOR` — bus bandwidth scaled by
-    ///   `FACTOR` in `(0, 1]` for `DURATION` seconds from `START`.
+    ///   `FACTOR` in `(0, 1]` for `DURATION` seconds from `START`;
+    /// * `conn_drop=R`, `slow_client=R`, `garbage=R`, `partial_write=R` —
+    ///   per-request network fault rates in `[0, 1]`, injected at the
+    ///   transport seam by `gpuflow-serve` (see [`crate::NetFaultPlan`]).
     ///
     /// Example: `seed=7,kernel=0.05,transfer=0.02,loss=1@50%`.
     pub fn parse(s: &str) -> Result<FaultSpec, String> {
@@ -108,6 +137,10 @@ impl FaultSpec {
                 "kernel" => spec.kernel_rate = parse_rate(key, value)?,
                 "transfer" => spec.transfer_rate = parse_rate(key, value)?,
                 "alloc" => spec.alloc_rate = parse_rate(key, value)?,
+                "conn_drop" => spec.conn_drop_rate = parse_rate(key, value)?,
+                "slow_client" => spec.slow_client_rate = parse_rate(key, value)?,
+                "garbage" => spec.garbage_rate = parse_rate(key, value)?,
+                "partial_write" => spec.partial_write_rate = parse_rate(key, value)?,
                 "loss" => {
                     let (dev, time) = value
                         .split_once('@')
@@ -156,16 +189,14 @@ impl FaultSpec {
                         factor: num("factor", parts[2])?,
                     };
                     if b.factor <= 0.0 || b.factor > 1.0 {
-                        return Err(format!(
-                            "brownout factor '{}' outside (0, 1]",
-                            parts[2]
-                        ));
+                        return Err(format!("brownout factor '{}' outside (0, 1]", parts[2]));
                     }
                     spec.brownout = Some(b);
                 }
                 other => {
                     return Err(format!(
-                        "unknown fault clause '{other}' (expected seed, kernel, transfer, alloc, loss, brownout)"
+                        "unknown fault clause '{other}' (expected seed, kernel, transfer, alloc, \
+                         loss, brownout, conn_drop, slow_client, garbage, partial_write)"
                     ))
                 }
             }
@@ -243,5 +274,22 @@ mod tests {
     fn quiet_spec_is_quiet() {
         assert!(FaultSpec::quiet(99).is_quiet());
         assert!(FaultSpec::parse("seed=3").unwrap().is_quiet());
+    }
+
+    #[test]
+    fn parse_net_fault_clauses() {
+        let s = FaultSpec::parse(
+            "seed=11,conn_drop=0.1,slow_client=0.2,garbage=0.05,partial_write=0.02",
+        )
+        .unwrap();
+        assert_eq!(s.conn_drop_rate, 0.1);
+        assert_eq!(s.slow_client_rate, 0.2);
+        assert_eq!(s.garbage_rate, 0.05);
+        assert_eq!(s.partial_write_rate, 0.02);
+        assert!(s.has_net_faults());
+        assert!(!s.is_quiet());
+        assert!(FaultSpec::parse("conn_drop=1.5").is_err());
+        assert!(FaultSpec::parse("garbage=NaN").is_err());
+        assert!(!FaultSpec::quiet(0).has_net_faults());
     }
 }

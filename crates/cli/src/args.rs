@@ -306,6 +306,12 @@ pub enum Command {
         margin: f64,
         /// Plan-cache capacity in entries.
         cache_capacity: usize,
+        /// Journal path for crash-safe plan-cache persistence; a warm
+        /// restart replays it into the memo and LRU.
+        cache_path: Option<String>,
+        /// Server-wide default deadline (ms) applied to requests that
+        /// carry none; requests may still set their own.
+        deadline_ms: Option<u64>,
         /// Run the deterministic serving smoke gate instead of a daemon.
         smoke: bool,
         /// Run the chaos-faulted serving soak instead of a daemon.
@@ -323,6 +329,13 @@ pub enum Command {
         /// Fetch the Prometheus-style text exposition (phase latency
         /// histograms + counters) and print it raw.
         metrics: bool,
+        /// Retry budget for retryable rejections (`backpressure` with
+        /// `retry:true`) and transport errors; 0 sends exactly once.
+        retries: u32,
+        /// Wall-clock cap (ms) across all retry attempts.
+        retry_budget_ms: u64,
+        /// Seed for the deterministic backoff jitter.
+        retry_seed: u64,
     },
     /// `gpuflow emit <source> ...`
     Emit {
@@ -402,6 +415,11 @@ impl Command {
         let mut addr: Option<String> = None;
         let mut send: Option<String> = None;
         let mut cache_capacity = 64usize;
+        let mut cache_path: Option<String> = None;
+        let mut deadline_ms: Option<u64> = None;
+        let mut retries = 0u32;
+        let mut retry_budget_ms = 30_000u64;
+        let mut retry_seed = 0x6277_u64;
         let mut streams = 1usize;
         let mut no_defer_frees = false;
         let mut metrics = false;
@@ -482,6 +500,30 @@ impl Command {
                     if cache_capacity == 0 {
                         return Err("--cache-capacity must be > 0".into());
                     }
+                }
+                "--cache-path" if verb == "serve" => cache_path = Some(next_value(&mut it, flag)?),
+                "--deadline-ms" if verb == "serve" => {
+                    let v = next_value(&mut it, flag)?;
+                    let ms: u64 = v.parse().map_err(|_| format!("bad deadline '{v}'"))?;
+                    if ms == 0 {
+                        return Err("--deadline-ms must be > 0".into());
+                    }
+                    deadline_ms = Some(ms);
+                }
+                "--retries" if verb == "client" => {
+                    let v = next_value(&mut it, flag)?;
+                    retries = v.parse().map_err(|_| format!("bad retry count '{v}'"))?;
+                }
+                "--retry-budget-ms" if verb == "client" => {
+                    let v = next_value(&mut it, flag)?;
+                    retry_budget_ms = v.parse().map_err(|_| format!("bad retry budget '{v}'"))?;
+                    if retry_budget_ms == 0 {
+                        return Err("--retry-budget-ms must be > 0".into());
+                    }
+                }
+                "--retry-seed" if verb == "client" => {
+                    let v = next_value(&mut it, flag)?;
+                    retry_seed = v.parse().map_err(|_| format!("bad retry seed '{v}'"))?;
                 }
                 // Stream-level operator parallelism belongs to the verbs
                 // that compile single-device plans.
@@ -567,6 +609,8 @@ impl Command {
                 device,
                 margin,
                 cache_capacity,
+                cache_path,
+                deadline_ms,
                 smoke,
                 soak,
             });
@@ -589,6 +633,9 @@ impl Command {
                 send,
                 json: json_switch,
                 metrics,
+                retries,
+                retry_budget_ms,
+                retry_seed,
             });
         }
         let source = source.ok_or("missing <source>")?;
@@ -1054,6 +1101,24 @@ mod tests {
         assert!(Command::parse(&argv("serve --smoke --soak")).is_err());
         assert!(Command::parse(&argv("serve fig3")).is_err());
         assert!(Command::parse(&argv("serve --cache-capacity 0")).is_err());
+        // Guard flags: journal path and server-wide default deadline.
+        match Command::parse(&argv(
+            "serve --cache-path /tmp/plans.journal --deadline-ms 250",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                cache_path,
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(cache_path.as_deref(), Some("/tmp/plans.journal"));
+                assert_eq!(deadline_ms, Some(250));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Command::parse(&argv("serve --deadline-ms 0")).is_err());
+        assert!(Command::parse(&argv("run fig3 --cache-path x")).is_err());
 
         match Command::parse(&argv(
             r#"client --addr 127.0.0.1:7070 --send {"op":"stats"} --json"#,
@@ -1065,6 +1130,7 @@ mod tests {
                 send,
                 json,
                 metrics,
+                ..
             } => {
                 assert_eq!(addr, "127.0.0.1:7070");
                 assert_eq!(send, r#"{"op":"stats"}"#);
@@ -1081,6 +1147,30 @@ mod tests {
             Command::Client { metrics: true, send, .. } if send == r#"{"op":"metrics"}"#
         ));
         assert!(Command::parse(&argv("client --addr 127.0.0.1:1 --metrics --send x")).is_err());
+        // Retry flags: default off, fully configurable.
+        match Command::parse(&argv(
+            r#"client --addr 127.0.0.1:1 --send {"op":"stats"} --retries 5 --retry-budget-ms 800 --retry-seed 42"#,
+        ))
+        .unwrap()
+        {
+            Command::Client {
+                retries,
+                retry_budget_ms,
+                retry_seed,
+                ..
+            } => {
+                assert_eq!(retries, 5);
+                assert_eq!(retry_budget_ms, 800);
+                assert_eq!(retry_seed, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            Command::parse(&argv("client --addr 127.0.0.1:1 --metrics")).unwrap(),
+            Command::Client { retries: 0, .. }
+        ));
+        assert!(Command::parse(&argv("client --addr 1:1 --send x --retry-budget-ms 0")).is_err());
+        assert!(Command::parse(&argv("run fig3 --retries 3")).is_err());
         // --metrics belongs to client only.
         assert!(Command::parse(&argv("run fig3 --metrics")).is_err());
         // serve/client flags belong to those verbs only.

@@ -1386,6 +1386,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             device,
             margin,
             cache_capacity,
+            cache_path,
+            deadline_ms,
             smoke,
             soak,
         } => {
@@ -1399,8 +1401,14 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 let _ = writeln!(
                     out,
                     "serve soak passed: {} ok, {} backpressure, {} infeasible; \
-                     cache integrity verified over {} entries",
-                    report.ok, report.backpressure, report.infeasible, report.cache_entries
+                     cache integrity verified over {} entries; \
+                     net storm: {} answered, {} faulted, replay identical",
+                    report.ok,
+                    report.backpressure,
+                    report.infeasible,
+                    report.cache_entries,
+                    report.net_answered,
+                    report.net_faulted
                 );
                 return Ok(out);
             }
@@ -1412,6 +1420,8 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 cluster,
                 margin: *margin,
                 cache_capacity: *cache_capacity,
+                cache_path: cache_path.as_ref().map(std::path::PathBuf::from),
+                default_deadline_ms: *deadline_ms,
                 ..gpuflow_serve::ServeConfig::default()
             };
             let handle = gpuflow_serve::serve_tcp(addr, cfg).map_err(|e| e.to_string())?;
@@ -1433,8 +1443,24 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             send,
             json,
             metrics,
+            retries,
+            retry_budget_ms,
+            retry_seed,
         } => {
-            let v = gpuflow_serve::request_once(addr, send).map_err(|e| e.to_string())?;
+            // With no retry budget this is a single shot; otherwise
+            // retryable rejections back off with deterministic jitter.
+            let v = if *retries == 0 {
+                gpuflow_serve::request_once(addr, send)
+            } else {
+                gpuflow_serve::request_with_retry(
+                    addr,
+                    send,
+                    *retries,
+                    *retry_budget_ms,
+                    *retry_seed,
+                )
+            }
+            .map_err(|e| e.to_string())?;
             if *metrics {
                 // Print the exposition body raw — scrape-ready.
                 let text = v

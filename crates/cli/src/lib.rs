@@ -84,8 +84,8 @@ usage:
   gpuflow emit  <source> (--cuda PATH | --json PATH | --dot PATH) [--device DEV | --devices CLUSTER]
   gpuflow profile <source> [--device DEV | --devices CLUSTER] [--streams K] [--no-defer-frees] [--json] [--trace PATH]
   gpuflow profile --smoke
-  gpuflow serve [--addr HOST:PORT] [--device DEV | --devices CLUSTER] [--margin F] [--cache-capacity N] [--smoke | --soak]
-  gpuflow client --addr HOST:PORT (--send '<request json>' | --metrics) [--json]
+  gpuflow serve [--addr HOST:PORT] [--device DEV | --devices CLUSTER] [--margin F] [--cache-capacity N] [--cache-path PATH] [--deadline-ms MS] [--smoke | --soak]
+  gpuflow client --addr HOST:PORT (--send '<request json>' | --metrics) [--json] [--retries N] [--retry-budget-ms MS] [--retry-seed S]
 
 sources:
   path/to/template.gfg

@@ -66,6 +66,9 @@ fn client(addr: &str, request: &str) -> String {
         send: request.to_string(),
         json: true,
         metrics: false,
+        retries: 0,
+        retry_budget_ms: 30_000,
+        retry_seed: 0,
     };
     mask_wall_clock(&execute(&cmd).unwrap())
 }

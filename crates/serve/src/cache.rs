@@ -142,6 +142,19 @@ impl PlanCache {
         );
     }
 
+    /// All resident keys, least-recently-used first. The journal
+    /// compactor replays these through the recipe map so the rewritten
+    /// journal reproduces both residency *and* LRU order on restart.
+    pub fn keys_by_recency(&self) -> Vec<PlanKey> {
+        let mut keyed: Vec<(u64, PlanKey)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (e.last_used, *k))
+            .collect();
+        keyed.sort_by_key(|(t, _)| *t);
+        keyed.into_iter().map(|(_, k)| k).collect()
+    }
+
     fn remove(&mut self, key: &PlanKey) {
         if let Some(e) = self.entries.remove(key) {
             // Only drop the skeleton alias if it still points here (a

@@ -1,0 +1,377 @@
+//! Crash-safe plan-cache persistence: an append-only recipe journal.
+//!
+//! The cache itself holds compiled plans, but a plan is a deterministic
+//! function of `(template, options, cluster)` — so the journal records the
+//! *recipe*, not the artifact: the template reference (named spec or
+//! inline graph text), the resolved margin (exact bit pattern), the exact
+//! flag, and the cluster fingerprint. On `--cache-path` warm restart the
+//! server replays the recipes in append order through the normal planner,
+//! which rebuilds byte-identical plans **and** the LRU recency order (a
+//! repeat recipe replays as a cache hit, bumping recency exactly as the
+//! original request did) and the named-template memo.
+//!
+//! ## On-disk format
+//!
+//! A text magic line, then length-prefixed, checksummed frames:
+//!
+//! ```text
+//! gpuflow-plan-journal v1\n
+//! [u32 LE payload length][u64 LE checksum][payload JSON]\n
+//! ...
+//! ```
+//!
+//! Each append is a single `write_all` + flush, so a crash can only leave
+//! a *suffix* torn. Recovery walks frames from the front and stops at the
+//! first damage — short header, absurd length, missing terminator,
+//! checksum mismatch, or unparseable payload — keeping every record
+//! before it and truncating the file back to the last good byte
+//! (diagnostic `GF0071`). Compaction ([`Journal::rewrite`]) rewrites the
+//! resident entries oldest-first through a temp file + atomic rename, so
+//! a crash mid-compaction leaves either the old journal or the new one,
+//! never a half-written hybrid.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use gpuflow_chaos::rng::mix;
+use gpuflow_core::{CompileOptions, PbExactOptions};
+use gpuflow_minijson::{Map, Value};
+
+use crate::source::TemplateRef;
+
+const MAGIC: &[u8] = b"gpuflow-plan-journal v1\n";
+/// Frame header: u32 length + u64 checksum.
+const HEADER: usize = 12;
+/// Sanity bound on one payload; anything larger is treated as corruption.
+const MAX_RECORD: usize = 1 << 20;
+
+/// One journaled compilation recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRecord {
+    /// The template (named spec or inline graph text).
+    pub template: TemplateRef,
+    /// Resolved memory margin, by bit pattern (exact round-trip).
+    pub margin_bits: u64,
+    /// Whether the exact PB scheduler was requested.
+    pub exact: bool,
+    /// Fingerprint of the cluster the plan was compiled for; records for
+    /// a different cluster are skipped at replay.
+    pub cluster_fp: u64,
+}
+
+impl PlanRecord {
+    /// The recipe for a request planned under `opts` on the cluster with
+    /// fingerprint `cluster_fp`.
+    pub fn new(template: &TemplateRef, opts: CompileOptions, cluster_fp: u64) -> PlanRecord {
+        PlanRecord {
+            template: template.clone(),
+            margin_bits: opts.memory_margin.to_bits(),
+            exact: opts.exact.is_some(),
+            cluster_fp,
+        }
+    }
+
+    /// Lower the recipe back onto compile options for replay.
+    pub fn compile_options(&self) -> CompileOptions {
+        CompileOptions {
+            memory_margin: f64::from_bits(self.margin_bits),
+            exact: if self.exact {
+                Some(PbExactOptions::default())
+            } else {
+                None
+            },
+            ..CompileOptions::default()
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        match &self.template {
+            TemplateRef::Named(s) => m.insert("template", s.as_str()),
+            TemplateRef::Inline(g) => m.insert("graph", g.as_str()),
+        };
+        m.insert("margin_bits", self.margin_bits);
+        m.insert("exact", self.exact);
+        m.insert("cluster_fp", self.cluster_fp);
+        Value::Object(m)
+    }
+
+    fn from_json(v: &Value) -> Result<PlanRecord, String> {
+        let m = v.as_object().ok_or("record is not an object")?;
+        let template = match (
+            m.get("template").and_then(|v| v.as_str()),
+            m.get("graph").and_then(|v| v.as_str()),
+        ) {
+            (Some(s), None) => TemplateRef::Named(s.to_string()),
+            (None, Some(g)) => TemplateRef::Inline(g.to_string()),
+            _ => return Err("record needs exactly one of 'template'/'graph'".into()),
+        };
+        let u64_of = |key: &str| -> Result<u64, String> {
+            m.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("record missing u64 '{key}'"))
+        };
+        Ok(PlanRecord {
+            template,
+            margin_bits: u64_of("margin_bits")?,
+            exact: m
+                .get("exact")
+                .and_then(|v| v.as_bool())
+                .ok_or("record missing bool 'exact'")?,
+            cluster_fp: u64_of("cluster_fp")?,
+        })
+    }
+}
+
+/// SplitMix64-based payload checksum (length-salted so a truncated
+/// payload with trailing zeros cannot collide with its prefix).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0x006A_6F75_726E_616C_u64; // "journal"
+    for &b in bytes {
+        h = mix(h ^ b as u64);
+    }
+    h ^ bytes.len() as u64
+}
+
+fn frame(rec: &PlanRecord) -> Vec<u8> {
+    let payload = rec.to_json().to_string_compact().into_bytes();
+    let mut out = Vec::with_capacity(HEADER + payload.len() + 1);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.push(b'\n');
+    out
+}
+
+/// Walk `bytes` frame by frame. Returns the records up to the first
+/// damage, the byte offset of the last good frame boundary, and whether
+/// any trailing bytes had to be dropped.
+fn parse_journal(bytes: &[u8]) -> (Vec<PlanRecord>, u64, bool) {
+    if !bytes.starts_with(MAGIC) {
+        return (Vec::new(), 0, true);
+    }
+    let mut records = Vec::new();
+    let mut off = MAGIC.len();
+    let mut damaged = false;
+    while off < bytes.len() {
+        if bytes.len() - off < HEADER {
+            damaged = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let sum = u64::from_le_bytes(bytes[off + 4..off + HEADER].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD || off + HEADER + len + 1 > bytes.len() {
+            damaged = true;
+            break;
+        }
+        let payload = &bytes[off + HEADER..off + HEADER + len];
+        if bytes[off + HEADER + len] != b'\n' || checksum(payload) != sum {
+            damaged = true;
+            break;
+        }
+        let parsed = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|s| gpuflow_minijson::parse(s).ok())
+            .and_then(|v| PlanRecord::from_json(&v).ok());
+        match parsed {
+            Some(rec) => records.push(rec),
+            None => {
+                damaged = true;
+                break;
+            }
+        }
+        off += HEADER + len + 1;
+    }
+    (records, off as u64, damaged)
+}
+
+/// An open journal file, positioned for appends.
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    appends_since_rewrite: usize,
+}
+
+impl Journal {
+    /// Open `path` (creating it if absent), recover its records, and
+    /// truncate any torn suffix. Returns the journal, the surviving
+    /// records in append order, and whether damage was dropped.
+    pub fn open(path: &Path) -> std::io::Result<(Journal, Vec<PlanRecord>, bool)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(MAGIC)?;
+            file.flush()?;
+            let journal = Journal {
+                path: path.to_path_buf(),
+                file,
+                appends_since_rewrite: 0,
+            };
+            return Ok((journal, Vec::new(), false));
+        }
+        let (records, mut good_len, recovered) = parse_journal(&bytes);
+        if recovered {
+            if good_len < MAGIC.len() as u64 {
+                // The header itself was damaged: start over.
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(MAGIC)?;
+                file.flush()?;
+                good_len = MAGIC.len() as u64;
+            } else {
+                file.set_len(good_len)?;
+            }
+        }
+        file.seek(SeekFrom::Start(good_len))?;
+        let journal = Journal {
+            path: path.to_path_buf(),
+            file,
+            appends_since_rewrite: records.len(),
+        };
+        Ok((journal, records, recovered))
+    }
+
+    /// Append one recipe. A single `write_all` + flush, so a crash can
+    /// only tear the suffix this frame occupies.
+    pub fn append(&mut self, rec: &PlanRecord) -> std::io::Result<()> {
+        self.file.write_all(&frame(rec))?;
+        self.file.flush()?;
+        self.appends_since_rewrite += 1;
+        Ok(())
+    }
+
+    /// Frames written since the last [`Journal::rewrite`] (or open) —
+    /// the compaction trigger.
+    pub fn appends_since_rewrite(&self) -> usize {
+        self.appends_since_rewrite
+    }
+
+    /// Compact: atomically replace the journal with exactly `recs`
+    /// (temp file + rename).
+    pub fn rewrite(&mut self, recs: &[PlanRecord]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            for rec in recs {
+                f.write_all(&frame(rec))?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.appends_since_rewrite = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "gpuflow-journal-test-{}-{tag}.bin",
+            std::process::id()
+        ))
+    }
+
+    fn sample(i: u64) -> PlanRecord {
+        PlanRecord {
+            template: if i.is_multiple_of(2) {
+                TemplateRef::Named(format!("edge:{0}x{0},k=5,o=2", 64 + i))
+            } else {
+                TemplateRef::Inline(format!("data A input {i} {i}\n"))
+            },
+            margin_bits: (0.05 * i as f64).to_bits(),
+            exact: i.is_multiple_of(3),
+            cluster_fp: 0xDEAD_BEEF ^ i,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_recovery() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let recs: Vec<PlanRecord> = (0..5).map(sample).collect();
+        {
+            let (mut j, loaded, recovered) = Journal::open(&path).unwrap();
+            assert!(loaded.is_empty());
+            assert!(!recovered);
+            for r in &recs {
+                j.append(r).unwrap();
+            }
+        }
+        let (_, loaded, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(loaded, recs);
+        assert!(!recovered);
+
+        // Tear the tail: drop the last 3 bytes mid-frame.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (_, loaded, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(loaded, recs[..4].to_vec(), "only the torn frame drops");
+        assert!(recovered);
+        // The file was truncated back to the last good frame; a fresh
+        // open is clean again.
+        let (_, loaded, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(loaded.len(), 4);
+        assert!(!recovered);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compile_options_roundtrip_exactly() {
+        let opts = CompileOptions {
+            memory_margin: 0.137,
+            exact: Some(PbExactOptions::default()),
+            ..CompileOptions::default()
+        };
+        let rec = PlanRecord::new(&TemplateRef::Named("fig3".into()), opts, 9);
+        assert_eq!(rec.compile_options(), opts);
+    }
+
+    #[test]
+    fn header_damage_resets_the_file() {
+        let path = tmp_path("header");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        let (mut j, loaded, recovered) = Journal::open(&path).unwrap();
+        assert!(loaded.is_empty());
+        assert!(recovered);
+        j.append(&sample(1)).unwrap();
+        drop(j);
+        let (_, loaded, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(loaded, vec![sample(1)]);
+        assert!(!recovered);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rewrite_compacts_atomically() {
+        let path = tmp_path("rewrite");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _, _) = Journal::open(&path).unwrap();
+        for i in 0..10 {
+            j.append(&sample(i)).unwrap();
+        }
+        assert_eq!(j.appends_since_rewrite(), 10);
+        let keep: Vec<PlanRecord> = (8..10).map(sample).collect();
+        j.rewrite(&keep).unwrap();
+        assert_eq!(j.appends_since_rewrite(), 0);
+        j.append(&sample(42)).unwrap();
+        drop(j);
+        let (_, loaded, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(loaded, vec![sample(8), sample(9), sample(42)]);
+        assert!(!recovered);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -25,14 +25,30 @@
 //!   multiplex admitted runs onto the executors, with per-request spans
 //!   on the [`gpuflow_trace::PID_SERVE`] track and `serve.*` metrics.
 //!
-//! The ci.sh gates live in [`smoke`] (deterministic protocol smoke) and
-//! [`soak`] (concurrent chaos-faulted storm).
+//! The serve-hardening layer (`gpuflow-guard`) rides on top:
+//!
+//! * **deadlines and overload shedding** ([`guard`]) — per-request
+//!   `deadline_ms` budgets enforced at every phase boundary, and a
+//!   sliding-window circuit breaker that sheds load with typed
+//!   `retry_after_ms` rejects when `p99 × queue depth` crosses a limit.
+//! * **crash-safe cache persistence** ([`journal`]) — an append-only,
+//!   checksummed recipe journal (`--cache-path`) replayed on restart to
+//!   rebuild the plan cache, its LRU order, and the source-text memo;
+//!   torn tails are detected and dropped (`GF0071`).
+//!
+//! The ci.sh gates live in [`smoke`] (deterministic protocol smoke,
+//! breaker flood, and kill-and-restart warm-cache check) and [`soak`]
+//! (concurrent chaos-faulted storm plus network-fault and
+//! malformed-frame storms from [`netchaos`]).
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod guard;
+pub mod journal;
 pub mod key;
 pub mod net;
+pub mod netchaos;
 pub mod planner;
 pub mod protocol;
 pub mod server;
@@ -41,8 +57,10 @@ pub mod soak;
 pub mod source;
 
 pub use cache::{CachedPlan, PlanCache};
+pub use guard::{Breaker, BreakerState, Deadline, GuardConfig};
+pub use journal::{Journal, PlanRecord};
 pub use key::{cluster_fingerprint, device_fingerprint, PlanKey, SkeletonKey};
-pub use net::{request_once, serve_tcp, Client, ServerHandle};
+pub use net::{request_once, request_with_retry, serve_tcp, Client, ServerHandle};
 pub use planner::{plan_request, CacheOutcome, PlannedRequest};
 pub use protocol::{parse_request, Request, RequestOptions};
 pub use server::{percentile_us, ServeConfig, Server, PHASES};

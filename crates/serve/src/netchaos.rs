@@ -1,0 +1,332 @@
+//! Network-level chaos for the daemon: deterministic transport-fault
+//! storms and a malformed-frame corpus.
+//!
+//! Where [`crate::soak`] storms the *planner and executor* with
+//! injected device faults, this module storms the *transport*: clients
+//! that drop the connection mid-exchange (`conn_drop`), trickle bytes
+//! (`slow_client`), send non-protocol bytes (`garbage`), or write half
+//! a frame and vanish (`partial_write`). Fault placement comes from a
+//! [`gpuflow_chaos::NetFaultPlan`] — a pure function of `(seed, class,
+//! client, request)` — so a storm is **replayable**: the same seed
+//! produces the same per-request fault assignment and therefore the
+//! same outcome vector, which [`crate::soak`] asserts by running the
+//! storm twice.
+//!
+//! The invariants, matching the device-fault soak's:
+//!
+//! * the daemon never panics and never wedges;
+//! * every *well-formed* request is answered with a well-formed reply,
+//!   no matter what the faulty peers around it are doing;
+//! * garbage is rejected as typed `bad_request`, never by disconnect.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use gpuflow_chaos::{FaultSpec, NetFault, NetFaultPlan};
+
+use crate::net::{serve_tcp, Client};
+use crate::server::ServeConfig;
+use crate::source::resolve_named;
+
+/// Templates the storm's well-formed requests draw from (all cheap).
+const TEMPLATES: [&str; 3] = ["fig3", "edge:64x64,k=5,o=2", "edge:96x96,k=5,o=2"];
+
+/// What one storm produced: the per-request outcome labels (client-major
+/// order — the replay-identity fingerprint) and a human report.
+pub struct NetChaosReport {
+    /// One label per (client, request), in client-major order:
+    /// `"ok"`, `"slow-ok"`, `"garbage-rejected"`, `"conn-drop"`,
+    /// `"partial-write"`.
+    pub outcomes: Vec<String>,
+    /// Well-formed requests that were answered.
+    pub answered: u64,
+    /// Requests that carried a transport fault.
+    pub faulted: u64,
+    /// Human-readable summary.
+    pub report: String,
+}
+
+fn request_line(client: u64, request: u64) -> String {
+    let t = TEMPLATES[((client + request) % TEMPLATES.len() as u64) as usize];
+    format!("{{\"op\":\"compile\",\"template\":\"{t}\"}}")
+}
+
+/// One client's storm loop: a fresh connection per request so transport
+/// faults stay isolated, the fault class decided by the plan.
+fn storm_client(
+    addr: &str,
+    plan: &NetFaultPlan,
+    client: u64,
+    requests: u64,
+) -> Result<Vec<String>, String> {
+    let mut outcomes = Vec::with_capacity(requests as usize);
+    for request in 0..requests {
+        let line = request_line(client, request);
+        let label = match plan.fault_for(client, request) {
+            None => {
+                let mut c = Client::connect(addr)
+                    .map_err(|e| format!("client {client} req {request}: connect: {e}"))?;
+                let v = c
+                    .request(&line)
+                    .map_err(|e| format!("client {client} req {request}: unanswered: {e}"))?;
+                if v.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+                    return Err(format!("client {client} req {request}: bad reply: {v:?}"));
+                }
+                "ok"
+            }
+            Some(NetFault::SlowClient) => {
+                // Trickle the request 3 bytes at a time; a correct server
+                // reassembles and answers normally.
+                let mut c = Client::connect(addr)
+                    .map_err(|e| format!("client {client} req {request}: connect: {e}"))?;
+                let framed = format!("{line}\n");
+                for piece in framed.as_bytes().chunks(3) {
+                    c.write_raw(piece)
+                        .map_err(|e| format!("client {client} req {request}: slow write: {e}"))?;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let v = c
+                    .read_response()
+                    .map_err(|e| format!("client {client} req {request}: slow unanswered: {e}"))?;
+                if v.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+                    return Err(format!(
+                        "client {client} req {request}: slow bad reply: {v:?}"
+                    ));
+                }
+                "slow-ok"
+            }
+            Some(NetFault::Garbage) => {
+                // Non-protocol bytes must earn a typed bad_request on the
+                // same connection, not a disconnect.
+                let mut c = Client::connect(addr)
+                    .map_err(|e| format!("client {client} req {request}: connect: {e}"))?;
+                c.write_raw(&plan.garbage_bytes(client, request))
+                    .map_err(|e| format!("client {client} req {request}: garbage write: {e}"))?;
+                let v = c.read_response().map_err(|e| {
+                    format!("client {client} req {request}: garbage disconnected: {e}")
+                })?;
+                let kind = v
+                    .get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(|v| v.as_str());
+                if kind != Some("bad_request") {
+                    return Err(format!(
+                        "client {client} req {request}: garbage got {kind:?}, want bad_request"
+                    ));
+                }
+                "garbage-rejected"
+            }
+            Some(NetFault::ConnDrop) => {
+                // Full request, then vanish before reading the reply. The
+                // server's write fails; it must shrug, not panic.
+                let stream = TcpStream::connect(addr)
+                    .map_err(|e| format!("client {client} req {request}: connect: {e}"))?;
+                let mut stream = stream;
+                let _ = stream.write_all(format!("{line}\n").as_bytes());
+                let _ = stream.flush();
+                drop(stream);
+                "conn-drop"
+            }
+            Some(NetFault::PartialWrite) => {
+                // A deterministic prefix of the frame, never the newline,
+                // then vanish: the server must discard the torn line.
+                let mut stream = TcpStream::connect(addr)
+                    .map_err(|e| format!("client {client} req {request}: connect: {e}"))?;
+                let cut = 1
+                    + (plan.fraction(NetFault::PartialWrite, client, request)
+                        * (line.len() - 1) as f64) as usize;
+                let _ = stream.write_all(&line.as_bytes()[..cut.min(line.len())]);
+                let _ = stream.flush();
+                drop(stream);
+                "partial-write"
+            }
+        };
+        outcomes.push(label.to_string());
+    }
+    Ok(outcomes)
+}
+
+/// Run one deterministic network-fault storm: `clients` concurrent
+/// clients × `requests_per_client` requests against a fresh daemon, with
+/// transport faults placed by `seed`. Errors on any broken invariant.
+pub fn run_net_chaos(
+    seed: u64,
+    clients: u64,
+    requests_per_client: u64,
+) -> Result<NetChaosReport, String> {
+    for t in TEMPLATES {
+        resolve_named(t).map_err(|e| format!("bad storm template {t}: {e}"))?;
+    }
+    let spec = FaultSpec::parse(&format!(
+        "seed={seed},conn_drop=0.15,slow_client=0.2,garbage=0.2,partial_write=0.15"
+    ))
+    .map_err(|e| format!("fault spec: {e}"))?;
+    let plan = NetFaultPlan::new(&spec);
+    let handle = serve_tcp(
+        "127.0.0.1:0",
+        ServeConfig {
+            // Ample capacity: this storm probes the transport, so typed
+            // backpressure must never muddy the outcome vector.
+            queue_capacity: (clients as usize).max(16),
+            queue_timeout_ms: 30_000,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr.to_string();
+
+    let mut threads = Vec::new();
+    for client in 0..clients {
+        let addr = addr.clone();
+        let plan = plan.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("netchaos-{client}"))
+                .spawn(move || storm_client(&addr, &plan, client, requests_per_client))
+                .map_err(|e| format!("spawn: {e}"))?,
+        );
+    }
+    let mut outcomes = Vec::new();
+    for t in threads {
+        let per_client = t
+            .join()
+            .map_err(|_| "storm client panicked".to_string())??;
+        outcomes.extend(per_client);
+    }
+
+    // The daemon must still be fully alive after the storm.
+    let stats = crate::net::request_once(&addr, r#"{"op":"stats"}"#)
+        .map_err(|e| format!("post-storm stats: {e}"))?;
+    if stats.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+        return Err(format!("post-storm stats not ok: {stats:?}"));
+    }
+    handle
+        .server
+        .with_cache(|c| c.verify_integrity())
+        .map_err(|e| format!("post-storm cache integrity: {e}"))?;
+    let _ = crate::net::request_once(&addr, r#"{"op":"shutdown"}"#);
+    handle.join();
+
+    let answered = outcomes.iter().filter(|o| o.ends_with("ok")).count() as u64;
+    let faulted = outcomes.iter().filter(|o| !o.ends_with("ok")).count() as u64
+        + outcomes.iter().filter(|o| o.as_str() == "slow-ok").count() as u64;
+    let report = format!(
+        "net chaos: seed={seed:#x} clients={clients} requests={} answered={answered} \
+         conn_drop={} slow={} garbage={} partial={}",
+        outcomes.len(),
+        outcomes
+            .iter()
+            .filter(|o| o.as_str() == "conn-drop")
+            .count(),
+        outcomes.iter().filter(|o| o.as_str() == "slow-ok").count(),
+        outcomes
+            .iter()
+            .filter(|o| o.as_str() == "garbage-rejected")
+            .count(),
+        outcomes
+            .iter()
+            .filter(|o| o.as_str() == "partial-write")
+            .count(),
+    );
+    Ok(NetChaosReport {
+        outcomes,
+        answered,
+        faulted,
+        report,
+    })
+}
+
+/// The malformed-frame corpus: hand-built hostile inputs thrown at a
+/// daemon with a small (4 KiB) line budget. After every case the daemon
+/// must still answer a well-formed request on a fresh connection —
+/// never panic, never wedge.
+pub fn run_malformed_corpus() -> Result<String, String> {
+    let handle = serve_tcp(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_request_bytes: 4096,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr.to_string();
+
+    // (name, bytes to send, expect a reply line?)
+    let huge = format!(
+        "{{\"op\":\"run\",\"template\":\"{}\"}}\n",
+        "A".repeat(64 * 1024)
+    );
+    let corpus: Vec<(&str, Vec<u8>, bool)> = vec![
+        ("empty-line", b"\n\n\n".to_vec(), false),
+        ("garbage-text", b"%%% not a request %%%\n".to_vec(), true),
+        (
+            "binary-junk",
+            vec![0xFF, 0xFE, 0x00, 0x01, 0xC3, b'\n'],
+            true,
+        ),
+        ("huge-line", huge.into_bytes(), true),
+        (
+            "mid-json-disconnect",
+            b"{\"op\":\"run\",\"template\":\"fig3\",\"ho".to_vec(),
+            false,
+        ),
+        ("bare-newline-flood", vec![b'\n'; 512], false),
+        ("valid-json-wrong-shape", b"[1,2,3]\n".to_vec(), true),
+        ("nul-bytes-then-newline", b"\x00\x00\x00\n".to_vec(), true),
+    ];
+    let cases = corpus.len();
+    for (name, bytes, expect_reply) in corpus {
+        let mut stream = TcpStream::connect(&addr).map_err(|e| format!("{name}: connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .map_err(|e| format!("{name}: timeout: {e}"))?;
+        stream
+            .write_all(&bytes)
+            .map_err(|e| format!("{name}: write: {e}"))?;
+        stream.flush().map_err(|e| format!("{name}: flush: {e}"))?;
+        if expect_reply {
+            use std::io::Read;
+            let mut one = [0u8; 1];
+            stream
+                .read_exact(&mut one)
+                .map_err(|e| format!("{name}: expected a reply, got: {e}"))?;
+        }
+        drop(stream);
+        // The daemon answers a well-formed peer immediately afterwards.
+        let v = crate::net::request_once(&addr, r#"{"op":"stats"}"#)
+            .map_err(|e| format!("{name}: daemon wedged: {e}"))?;
+        if v.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+            return Err(format!("{name}: daemon unhealthy after case: {v:?}"));
+        }
+    }
+    let _ = crate::net::request_once(&addr, r#"{"op":"shutdown"}"#);
+    handle.join();
+    Ok(format!(
+        "malformed corpus: {cases} cases, daemon answered well-formed peers after every one"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_storm_replays_bit_identically_by_seed() {
+        let a = run_net_chaos(0xC4A0, 2, 6).unwrap();
+        let b = run_net_chaos(0xC4A0, 2, 6).unwrap();
+        assert_eq!(a.outcomes, b.outcomes, "same seed, different outcomes");
+        let c = run_net_chaos(0xC4A1, 2, 6).unwrap();
+        // A different seed moves at least one fault (overwhelmingly
+        // likely at these rates over 12 sites).
+        assert_ne!(a.outcomes, c.outcomes, "seed had no effect");
+        assert!(a.answered > 0);
+        assert!(a.faulted > 0, "storm produced no faults: {:?}", a.outcomes);
+    }
+
+    #[test]
+    fn malformed_corpus_never_wedges_the_daemon() {
+        let report = run_malformed_corpus().unwrap();
+        assert!(report.contains("cases"), "{report}");
+    }
+}

@@ -8,7 +8,8 @@
 //! a template named by `"template": "<spec>"` (builtin grammar, see
 //! [`crate::source`]) or carried inline as `"graph": "<gfg text>"`;
 //! optional `"margin"` (fraction), `"exact"` (bool, small templates
-//! only); `run` additionally accepts `"faults"` (a
+//! only), `"deadline_ms"` (per-request latency budget, enforced at every
+//! phase boundary); `run` additionally accepts `"faults"` (a
 //! [`gpuflow_chaos::FaultSpec`] string) and `"hold_ms"` (keep the
 //! admission reservation alive after execution — load-testing aid).
 //!
@@ -17,7 +18,10 @@
 //! `bad_request`, `compile_error`, `infeasible` (terminal — the request
 //! can never fit this cluster), `backpressure` (typed retry signal: the
 //! cluster is momentarily full and the wait queue is saturated or timed
-//! out), `shutting_down`, `internal`.
+//! out — or, with `"shed": true`, the overload breaker is open; either
+//! way `retry_after_ms` hints when to come back), `deadline_exceeded`
+//! (the request's own budget ran out; names the phase that overran),
+//! `shutting_down`, `internal`.
 
 use gpuflow_core::{CompileOptions, PbExactOptions};
 use gpuflow_minijson::{Map, Value};
@@ -60,6 +64,9 @@ pub enum Request {
         template: TemplateRef,
         /// Compile knobs.
         options: RequestOptions,
+        /// Latency budget for the whole request (`None` = server
+        /// default). Checked at every phase boundary.
+        deadline_ms: Option<u64>,
     },
     /// Compile, admit, and execute on the shared cluster.
     Run {
@@ -73,6 +80,11 @@ pub enum Request {
         /// (milliseconds). Lets tests and load generators create
         /// deterministic overlap windows.
         hold_ms: u64,
+        /// Latency budget for the whole request (`None` = server
+        /// default). Checked at every phase boundary, including while
+        /// queued — an expired queued request is rejected without ever
+        /// touching the cluster.
+        deadline_ms: Option<u64>,
     },
     /// Snapshot the `serve.*` metrics.
     Stats,
@@ -115,6 +127,16 @@ fn options_of(m: &Map) -> Result<RequestOptions, String> {
     Ok(RequestOptions { margin, exact })
 }
 
+fn deadline_of(m: &Map) -> Result<Option<u64>, String> {
+    match m.get("deadline_ms") {
+        None => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(ms) if ms > 0 => Ok(Some(ms)),
+            _ => Err("'deadline_ms' must be a positive integer".into()),
+        },
+    }
+}
+
 /// Parse one request line. Errors are `bad_request` details.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = gpuflow_minijson::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -127,6 +149,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "compile" => Ok(Request::Compile {
             template: template_of(m)?,
             options: options_of(m)?,
+            deadline_ms: deadline_of(m)?,
         }),
         "run" => {
             let faults = match m.get("faults") {
@@ -149,6 +172,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 options: options_of(m)?,
                 faults,
                 hold_ms,
+                deadline_ms: deadline_of(m)?,
             })
         }
         "stats" => Ok(Request::Stats),
@@ -193,6 +217,51 @@ pub fn backpressure_response(detail: impl Into<String>, queue_depth: u64, waited
     Value::Object(m)
 }
 
+/// A typed deadline rejection: the request's latency budget ran out in
+/// (or before) `phase`. `infeasible` marks budgets the server can prove
+/// unserviceable from its own latency history (diagnostic `GF0070`).
+pub fn deadline_response(
+    phase: &str,
+    deadline_ms: u64,
+    elapsed_us: u64,
+    infeasible: bool,
+) -> Value {
+    let mut e = Map::new();
+    e.insert("kind", "deadline_exceeded");
+    e.insert(
+        "detail",
+        format!("deadline of {deadline_ms} ms exceeded during {phase}"),
+    );
+    e.insert("phase", phase);
+    e.insert("deadline_ms", deadline_ms);
+    e.insert("elapsed_us", elapsed_us);
+    if infeasible {
+        e.insert("code", gpuflow_verify::guard::codes::DEADLINE_INFEASIBLE);
+        e.insert("infeasible", true);
+    }
+    let mut m = Map::new();
+    m.insert("ok", false);
+    m.insert("error", Value::Object(e));
+    Value::Object(m)
+}
+
+/// A typed shed rejection: the overload breaker is open. Reuses the
+/// `backpressure` kind (clients already treat it as retryable) with a
+/// `shed` marker and an explicit retry hint.
+pub fn shed_response(retry_after_ms: u64) -> Value {
+    let mut e = Map::new();
+    e.insert("kind", "backpressure");
+    e.insert("detail", "overload breaker open: load is being shed");
+    e.insert("shed", true);
+    e.insert("retry", true);
+    e.insert("retry_after_ms", retry_after_ms);
+    e.insert("code", gpuflow_verify::guard::codes::BREAKER_TRIPPED);
+    let mut m = Map::new();
+    m.insert("ok", false);
+    m.insert("error", Value::Object(e));
+    Value::Object(m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,7 +276,8 @@ mod tests {
                 options: RequestOptions {
                     margin: Some(0.1),
                     exact: false
-                }
+                },
+                deadline_ms: None,
             }
         );
         let r = parse_request(
@@ -229,6 +299,20 @@ mod tests {
     }
 
     #[test]
+    fn parses_deadlines() {
+        let r = parse_request(r#"{"op":"run","template":"fig3","deadline_ms":250}"#).unwrap();
+        match r {
+            Request::Run {
+                deadline_ms: Some(250),
+                ..
+            } => {}
+            other => panic!("bad parse: {other:?}"),
+        }
+        assert!(parse_request(r#"{"op":"compile","template":"fig3","deadline_ms":0}"#).is_err());
+        assert!(parse_request(r#"{"op":"compile","template":"fig3","deadline_ms":"x"}"#).is_err());
+    }
+
+    #[test]
     fn rejects_malformed_requests() {
         assert!(parse_request("not json").is_err());
         assert!(parse_request(r#"{"op":"zap"}"#).is_err());
@@ -246,5 +330,31 @@ mod tests {
         let e = m.get("error").and_then(|v| v.as_object()).unwrap();
         assert_eq!(e.get("kind").and_then(|v| v.as_str()), Some("backpressure"));
         assert_eq!(e.get("retry").and_then(|v| v.as_bool()), Some(true));
+
+        let v = deadline_response("queue-wait", 50, 61_000, true);
+        let e = v
+            .as_object()
+            .unwrap()
+            .get("error")
+            .and_then(|v| v.as_object())
+            .unwrap();
+        assert_eq!(
+            e.get("kind").and_then(|v| v.as_str()),
+            Some("deadline_exceeded")
+        );
+        assert_eq!(e.get("phase").and_then(|v| v.as_str()), Some("queue-wait"));
+        assert_eq!(e.get("code").and_then(|v| v.as_str()), Some("GF0070"));
+
+        let v = shed_response(120);
+        let e = v
+            .as_object()
+            .unwrap()
+            .get("error")
+            .and_then(|v| v.as_object())
+            .unwrap();
+        assert_eq!(e.get("kind").and_then(|v| v.as_str()), Some("backpressure"));
+        assert_eq!(e.get("shed").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(e.get("retry_after_ms").and_then(|v| v.as_u64()), Some(120));
+        assert_eq!(e.get("code").and_then(|v| v.as_str()), Some("GF0072"));
     }
 }

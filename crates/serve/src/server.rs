@@ -25,6 +25,7 @@
 //! 5. **release** — the reservation drops, waiters are woken.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -37,10 +38,13 @@ use gpuflow_sim::device::modern;
 use gpuflow_trace::{Histogram, MetricsRegistry, Tracer, PID_SERVE};
 
 use crate::cache::{CachedPlan, PlanCache};
-use crate::key::PlanKey;
+use crate::guard::{Breaker, BreakerState, Deadline, GuardConfig, Transition};
+use crate::journal::{Journal, PlanRecord};
+use crate::key::{cluster_fingerprint, PlanKey};
 use crate::planner::{plan_request, CacheOutcome, PlannedRequest};
 use crate::protocol::{
-    backpressure_response, error_response, ok_base, parse_request, Request, RequestOptions,
+    backpressure_response, deadline_response, error_response, ok_base, parse_request,
+    shed_response, Request, RequestOptions,
 };
 use crate::source::TemplateRef;
 
@@ -65,6 +69,17 @@ pub struct ServeConfig {
     pub capacity_override: Option<Vec<u64>>,
     /// Record `PID_SERVE` trace spans (metrics are always recorded).
     pub trace: bool,
+    /// Server-wide default latency budget applied to requests that carry
+    /// no `deadline_ms` of their own (`None` = unbudgeted).
+    pub default_deadline_ms: Option<u64>,
+    /// Overload-breaker tuning (see [`GuardConfig`]).
+    pub guard: GuardConfig,
+    /// Crash-safe plan-cache journal path (`--cache-path`). `None`
+    /// disables persistence.
+    pub cache_path: Option<PathBuf>,
+    /// Largest request line the transport will buffer before replying
+    /// with a typed `bad_request` and discarding the rest of the line.
+    pub max_request_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +92,10 @@ impl Default for ServeConfig {
             queue_timeout_ms: 2_000,
             capacity_override: None,
             trace: true,
+            default_deadline_ms: None,
+            guard: GuardConfig::default(),
+            cache_path: None,
+            max_request_bytes: 64 * 1024,
         }
     }
 }
@@ -107,6 +126,15 @@ pub struct Server {
     /// contributes one sample per phase it passes through, so `stats`
     /// can report p50/p90/p99/max per phase without retaining samples.
     phases: Mutex<PhaseHistograms>,
+    /// The overload circuit breaker gating compile/run admission.
+    guard: Mutex<Breaker>,
+    /// Crash-safe recipe journal (`None` when persistence is off).
+    journal: Mutex<Option<Journal>>,
+    /// Recipe per resident plan key, for journal compaction.
+    recipes: Mutex<HashMap<PlanKey, PlanRecord>>,
+    /// This cluster's fingerprint; journal records for other clusters
+    /// are skipped at replay.
+    cluster_fp: u64,
     shutdown: AtomicBool,
     started: Instant,
     next_req: AtomicU64,
@@ -176,16 +204,87 @@ impl Server {
             Tracer::disabled()
         };
         tracer.name_process(PID_SERVE, "serve: request lifecycle");
+        let mut metrics = MetricsRegistry::new();
+        let cluster_fp = cluster_fingerprint(&cfg.cluster);
+        let mut cache = PlanCache::new(cfg.cache_capacity);
+        let mut memo: HashMap<(String, CompileOptions), PlanKey> = HashMap::new();
+        let mut recipes: HashMap<PlanKey, PlanRecord> = HashMap::new();
+        let journal = match &cfg.cache_path {
+            None => None,
+            Some(path) => match Journal::open(path) {
+                Ok((mut j, records, recovered)) => {
+                    if recovered {
+                        // Torn tail dropped — diagnostic GF0071.
+                        metrics.add("serve.guard.journal_recovered", 1);
+                        tracer.virtual_instant(
+                            PID_SERVE,
+                            0,
+                            "serve",
+                            "journal-recovered",
+                            0.0,
+                            vec![(
+                                "code".into(),
+                                Value::from(gpuflow_verify::guard::codes::JOURNAL_RECOVERED),
+                            )],
+                        );
+                    }
+                    let mut replayed = 0u64;
+                    for rec in &records {
+                        if rec.cluster_fp != cluster_fp {
+                            continue;
+                        }
+                        let Ok(g) = rec.template.resolve() else {
+                            continue;
+                        };
+                        let opts = rec.compile_options();
+                        if let Ok(p) = plan_request(&mut cache, &cfg.cluster, opts, &g) {
+                            if let TemplateRef::Named(spec) = &rec.template {
+                                memo.insert((spec.clone(), opts), p.key);
+                            }
+                            recipes.insert(p.key, rec.clone());
+                            replayed += 1;
+                        }
+                    }
+                    if replayed > 0 {
+                        metrics.add("serve.guard.journal_replayed", replayed);
+                    }
+                    // Compact once after replay: restart chains must not
+                    // grow the file, and stale/foreign records drop here.
+                    let keys = cache.keys_by_recency();
+                    let resident: Vec<PlanRecord> = keys
+                        .iter()
+                        .filter_map(|k| recipes.get(k).cloned())
+                        .collect();
+                    recipes.retain(|k, _| keys.contains(k));
+                    if j.rewrite(&resident).is_err() {
+                        metrics.add("serve.guard.journal_errors", 1);
+                    }
+                    Some(j)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "gpuflow serve: cache journal {} unusable ({e}); persistence disabled",
+                        path.display()
+                    );
+                    metrics.add("serve.guard.journal_errors", 1);
+                    None
+                }
+            },
+        };
         Server {
-            cache: Mutex::new(PlanCache::new(cfg.cache_capacity)),
-            memo: Mutex::new(HashMap::new()),
+            cache: Mutex::new(cache),
+            memo: Mutex::new(memo),
             admission: Mutex::new(ledger),
             admit_cv: Condvar::new(),
             queue_depth: AtomicUsize::new(0),
-            metrics: Mutex::new(MetricsRegistry::new()),
+            metrics: Mutex::new(metrics),
             tracer: Mutex::new(tracer),
             latencies: Mutex::new(Vec::new()),
             phases: Mutex::new(PhaseHistograms::default()),
+            guard: Mutex::new(Breaker::new(cfg.guard.clone())),
+            journal: Mutex::new(journal),
+            recipes: Mutex::new(recipes),
+            cluster_fp,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             next_req: AtomicU64::new(1),
@@ -266,14 +365,31 @@ impl Server {
             return error_response("shutting_down", "server is shutting down");
         }
         self.with_metrics(|m| m.add("serve.requests", 1));
+        // The breaker gates only the work-carrying ops; stats/metrics/
+        // shutdown stay observable while shedding.
+        if matches!(req, Request::Compile { .. } | Request::Run { .. }) {
+            let (gate, transition) = self.guard.lock().unwrap().admit(Instant::now());
+            if let Some(t) = transition {
+                self.breaker_transition(t);
+            }
+            if let Err(retry_after_ms) = gate {
+                self.with_metrics(|m| m.add("serve.guard.shed", 1));
+                return shed_response(retry_after_ms);
+            }
+        }
         match req {
-            Request::Compile { template, options } => self.handle_compile(&template, options),
+            Request::Compile {
+                template,
+                options,
+                deadline_ms,
+            } => self.handle_compile(&template, options, deadline_ms),
             Request::Run {
                 template,
                 options,
                 faults,
                 hold_ms,
-            } => self.handle_run(&template, options, faults.as_deref(), hold_ms),
+                deadline_ms,
+            } => self.handle_run(&template, options, faults.as_deref(), hold_ms, deadline_ms),
             Request::Stats => self.handle_stats(),
             Request::Metrics => {
                 let mut m = ok_base("metrics");
@@ -288,6 +404,101 @@ impl Server {
                 let mut m = ok_base("shutting_down");
                 m.insert("in_flight", self.queue_depth.load(Ordering::SeqCst) as u64);
                 Value::Object(m)
+            }
+        }
+    }
+
+    /// Surface a breaker state change: bump the trip counter on opens,
+    /// track the state gauge, and drop a trace instant on the serve
+    /// track so the transition is visible on the timeline.
+    fn breaker_transition(&self, t: Transition) {
+        let (name, state) = match t {
+            Transition::Tripped => ("breaker-open", BreakerState::Open),
+            Transition::HalfOpened => ("breaker-half-open", BreakerState::HalfOpen),
+            Transition::Reclosed => ("breaker-closed", BreakerState::Closed),
+            Transition::Reopened => ("breaker-open", BreakerState::Open),
+        };
+        self.with_metrics(|m| {
+            if matches!(t, Transition::Tripped | Transition::Reopened) {
+                m.add("serve.guard.breaker_trips", 1);
+            }
+            m.gauge("serve.guard.breaker_state", state.gauge());
+        });
+        let ts = self.wall_s();
+        self.tracer.lock().unwrap().virtual_instant(
+            PID_SERVE,
+            0,
+            "serve",
+            name,
+            ts,
+            vec![(
+                "code".into(),
+                Value::from(gpuflow_verify::guard::codes::BREAKER_TRIPPED),
+            )],
+        );
+    }
+
+    /// Feed one completed-service sample into the breaker and surface
+    /// any resulting transition.
+    fn observe_service(&self, service_us: u64) {
+        let depth = self.queue_depth.load(Ordering::SeqCst);
+        let transition = self
+            .guard
+            .lock()
+            .unwrap()
+            .observe(service_us, depth, Instant::now());
+        if let Some(t) = transition {
+            self.breaker_transition(t);
+        }
+    }
+
+    /// Build the typed `deadline_exceeded` reject for a budget that ran
+    /// out in `phase`, flagging budgets the latency history proves
+    /// unserviceable (`GF0070`).
+    fn reject_deadline(&self, phase: &str, deadline: &Deadline) -> Value {
+        let budget_ms = deadline.budget_ms().unwrap_or(0);
+        // Infeasible: the server's own median total latency already
+        // exceeds the whole budget — no retry at this deadline can
+        // succeed. Needs a little history before it is claimed.
+        let infeasible = {
+            let phases = self.phases.lock().unwrap();
+            let total = &phases.hists[4];
+            total.count() >= 8 && budget_ms.saturating_mul(1_000) < total.percentile(0.50)
+        };
+        self.with_metrics(|m| {
+            m.add("serve.guard.deadline_exceeded", 1);
+            if infeasible {
+                m.add("serve.guard.deadline_infeasible", 1);
+            }
+        });
+        deadline_response(phase, budget_ms, deadline.elapsed_us(), infeasible)
+    }
+
+    /// Journal the recipe behind a planned request (any cache outcome —
+    /// repeats matter, they reproduce LRU order at replay), compacting
+    /// the file once it holds many generations of appends.
+    fn journal_planned(&self, template: &TemplateRef, opts: CompileOptions, key: PlanKey) {
+        let mut journal = self.journal.lock().unwrap();
+        let Some(j) = journal.as_mut() else {
+            return;
+        };
+        let rec = PlanRecord::new(template, opts, self.cluster_fp);
+        self.recipes.lock().unwrap().insert(key, rec.clone());
+        if j.append(&rec).is_err() {
+            self.with_metrics(|m| m.add("serve.guard.journal_errors", 1));
+            return;
+        }
+        if j.appends_since_rewrite() > self.cfg.cache_capacity.saturating_mul(8).max(64) {
+            let keys = self.cache.lock().unwrap().keys_by_recency();
+            let resident: Vec<PlanRecord> = {
+                let mut recipes = self.recipes.lock().unwrap();
+                recipes.retain(|k, _| keys.contains(k));
+                keys.iter()
+                    .filter_map(|k| recipes.get(k).cloned())
+                    .collect()
+            };
+            if j.rewrite(&resident).is_err() {
+                self.with_metrics(|m| m.add("serve.guard.journal_errors", 1));
             }
         }
     }
@@ -341,6 +552,7 @@ impl Server {
         let opts = options.compile_options(self.cfg.margin);
         let probe_start = self.wall_s();
         if let Some(planned) = self.memo_probe(req_id, template, opts, probe_start) {
+            self.journal_planned(template, opts, planned.key);
             return Ok(planned);
         }
         let g = match template.resolve() {
@@ -384,6 +596,7 @@ impl Server {
                         ("cache".into(), Value::from(p.cache.label())),
                     ],
                 );
+                self.journal_planned(template, opts, p.key);
                 Ok(p)
             }
             Err(detail) => {
@@ -393,13 +606,27 @@ impl Server {
         }
     }
 
-    fn handle_compile(&self, template: &TemplateRef, options: RequestOptions) -> Value {
+    fn handle_compile(
+        &self,
+        template: &TemplateRef,
+        options: RequestOptions,
+        deadline_ms: Option<u64>,
+    ) -> Value {
         let req_id = self.next_req.fetch_add(1, Ordering::SeqCst);
         let t0 = Instant::now();
+        let deadline = Deadline::start(deadline_ms, self.cfg.default_deadline_ms);
         let planned = match self.plan(req_id, template, options) {
             Ok(p) => p,
             Err(e) => return e,
         };
+        if deadline.expired() {
+            let phase = if planned.cache == CacheOutcome::Hit {
+                "cache-probe"
+            } else {
+                "compile"
+            };
+            return self.reject_deadline(phase, &deadline);
+        }
         self.record_latency(t0);
         let mut m = ok_base("compiled");
         m.insert("cache", planned.cache.label());
@@ -420,9 +647,11 @@ impl Server {
         options: RequestOptions,
         faults: Option<&str>,
         hold_ms: u64,
+        deadline_ms: Option<u64>,
     ) -> Value {
         let req_id = self.next_req.fetch_add(1, Ordering::SeqCst);
         let t0 = Instant::now();
+        let deadline = Deadline::start(deadline_ms, self.cfg.default_deadline_ms);
         let fault_spec = match faults {
             None => None,
             Some(s) => match FaultSpec::parse(s) {
@@ -434,13 +663,33 @@ impl Server {
             Ok(p) => p,
             Err(e) => return e,
         };
+        if deadline.expired() {
+            let phase = if planned.cache == CacheOutcome::Hit {
+                "cache-probe"
+            } else {
+                "compile"
+            };
+            return self.reject_deadline(phase, &deadline);
+        }
 
         // Admission: reserve peak bytes, queueing while oversubscribed.
-        let reservation = match self.admit(req_id, &planned.peaks) {
+        // The deadline keeps ticking in the queue; expired queued work is
+        // rejected here without ever reaching the cluster.
+        let service_start = Instant::now();
+        let reservation = match self.admit(req_id, &planned.peaks, &deadline) {
             Ok(r) => r,
             Err(e) => return e,
         };
         self.with_metrics(|m| m.add("serve.admitted", 1));
+        if deadline.expired() {
+            // Admitted, but the wait consumed the whole budget: give the
+            // capacity back instead of executing for nobody.
+            let mut ledger = self.admission.lock().unwrap();
+            ledger.release(reservation);
+            self.admit_cv.notify_all();
+            drop(ledger);
+            return self.reject_deadline("queue-wait", &deadline);
+        }
 
         let exec_start = self.wall_s();
         let executed = execute(&planned.plan, fault_spec.as_ref());
@@ -450,6 +699,9 @@ impl Server {
             exec_start,
             vec![("template".into(), Value::from(template.label()))],
         );
+        // Queue-wait + execute is the breaker's service signal (the hold,
+        // a load-test artifice, is excluded).
+        let service_us = service_start.elapsed().as_micros() as u64;
 
         if hold_ms > 0 {
             std::thread::sleep(Duration::from_millis(hold_ms));
@@ -458,6 +710,12 @@ impl Server {
             let mut ledger = self.admission.lock().unwrap();
             ledger.release(reservation);
             self.admit_cv.notify_all();
+        }
+        self.observe_service(service_us);
+        if deadline.expired() {
+            // The budget ran out mid-execute; nobody is waiting for the
+            // result.
+            return self.reject_deadline("execute", &deadline);
         }
 
         match executed {
@@ -491,13 +749,23 @@ impl Server {
     }
 
     /// Reserve `peaks` in the ledger, waiting (bounded) while the cluster
-    /// is momentarily full.
-    fn admit(&self, req_id: u64, peaks: &[u64]) -> Result<gpuflow_multi::Reservation, Value> {
+    /// is momentarily full. The wait is additionally bounded by the
+    /// request's deadline — an expired queued request cancels with a
+    /// `deadline_exceeded`, and this check runs *before* the shutdown
+    /// check so a draining server still reports expired queued work as
+    /// what it is (the deadline passed first).
+    fn admit(
+        &self,
+        req_id: u64,
+        peaks: &[u64],
+        deadline: &Deadline,
+    ) -> Result<gpuflow_multi::Reservation, Value> {
         let admit_start = self.wall_s();
         let wait_start = Instant::now();
         let timeout = Duration::from_millis(self.cfg.queue_timeout_ms);
         let mut ledger = self.admission.lock().unwrap();
         let mut queued = false;
+        let mut timed_out_us = None;
         let result = loop {
             match ledger.try_commit(peaks) {
                 Ok(r) => break Ok(r),
@@ -509,12 +777,16 @@ impl Server {
                     break Err(error_response("internal", e.to_string()));
                 }
                 Err(AdmissionError::Oversubscribed { .. }) => {
+                    if deadline.expired() {
+                        break Err(self.reject_deadline("queue-wait", deadline));
+                    }
                     if self.is_shutting_down() {
                         break Err(error_response("shutting_down", "server is shutting down"));
                     }
                     let waited = wait_start.elapsed();
                     if waited >= timeout {
                         self.with_metrics(|m| m.add("serve.rejected_backpressure", 1));
+                        timed_out_us = Some(waited.as_micros() as u64);
                         break Err(backpressure_response(
                             "admission wait timed out",
                             self.queue_depth.load(Ordering::SeqCst) as u64,
@@ -538,10 +810,13 @@ impl Server {
                             m.gauge("serve.queue_depth", depth as f64);
                         });
                     }
-                    let (g, _timeout_result) = self
-                        .admit_cv
-                        .wait_timeout(ledger, timeout.saturating_sub(waited))
-                        .unwrap();
+                    // Sleep until whichever comes first: the queue
+                    // timeout or the request's own deadline.
+                    let mut wait = timeout.saturating_sub(waited);
+                    if let Some(left) = deadline.remaining() {
+                        wait = wait.min(left.max(Duration::from_millis(1)));
+                    }
+                    let (g, _timeout_result) = self.admit_cv.wait_timeout(ledger, wait).unwrap();
                     ledger = g;
                 }
             }
@@ -551,6 +826,10 @@ impl Server {
             self.with_metrics(|m| m.gauge("serve.queue_depth", depth as f64));
         }
         drop(ledger);
+        if let Some(us) = timed_out_us {
+            // A saturated-queue timeout is itself a health observation.
+            self.observe_service(us);
+        }
         let args = vec![("queued".into(), Value::from(queued))];
         self.span(
             req_id,
@@ -881,6 +1160,159 @@ mod tests {
             .as_str()
             .unwrap()
             .contains("gpuflow_serve_phase_us"));
+    }
+
+    fn err_field<'a>(v: &'a Value, key: &str) -> &'a Value {
+        get(v, "error").as_object().unwrap().get(key).unwrap()
+    }
+
+    #[test]
+    fn expired_deadlines_get_typed_rejects_with_the_phase() {
+        let server = Server::new(ServeConfig::default());
+        // Warm the cache so the reject can name the hit path.
+        server.handle_line(r#"{"op":"compile","template":"fig3"}"#);
+        // A zero budget (constructible in-process; the wire requires ≥ 1)
+        // expires before any phase completes.
+        let r = server.handle_request(Request::Compile {
+            template: TemplateRef::Named("fig3".into()),
+            options: RequestOptions {
+                margin: None,
+                exact: false,
+            },
+            deadline_ms: Some(0),
+        });
+        assert_eq!(
+            err_field(&r, "kind").as_str(),
+            Some("deadline_exceeded"),
+            "{r:?}"
+        );
+        assert_eq!(err_field(&r, "phase").as_str(), Some("cache-probe"));
+        server.with_metrics(|m| assert_eq!(m.counter("serve.guard.deadline_exceeded"), 1));
+        // The server-wide default applies when the request carries none.
+        let server = Server::new(ServeConfig {
+            default_deadline_ms: Some(0),
+            ..ServeConfig::default()
+        });
+        let r = server.handle_request(Request::Compile {
+            template: TemplateRef::Named("fig3".into()),
+            options: RequestOptions {
+                margin: None,
+                exact: false,
+            },
+            deadline_ms: None,
+        });
+        assert_eq!(err_field(&r, "kind").as_str(), Some("deadline_exceeded"));
+    }
+
+    #[test]
+    fn queued_requests_cancel_when_their_deadline_passes() {
+        use std::sync::Arc;
+        // Probe the plan's peak on a throwaway server, then pin capacity
+        // to 1.5× peak so a second concurrent run must queue.
+        let probe = Server::new(ServeConfig::default());
+        let r = probe.handle_line(r#"{"op":"compile","template":"fig3"}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        let peak = get(&r, "peak_per_device").as_array().unwrap()[0]
+            .as_u64()
+            .unwrap();
+        let server = Arc::new(Server::new(ServeConfig {
+            capacity_override: Some(vec![peak + peak / 2]),
+            queue_capacity: 4,
+            queue_timeout_ms: 10_000,
+            ..ServeConfig::default()
+        }));
+        server.handle_line(r#"{"op":"compile","template":"fig3"}"#);
+        let holder_server = Arc::clone(&server);
+        let holder = std::thread::spawn(move || {
+            holder_server.handle_line(r#"{"op":"run","template":"fig3","hold_ms":600}"#)
+        });
+        // Let the holder reach its hold, then queue behind it with a
+        // budget far shorter than the hold.
+        std::thread::sleep(Duration::from_millis(200));
+        let r = server.handle_line(r#"{"op":"run","template":"fig3","deadline_ms":100}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        assert_eq!(
+            err_field(&r, "kind").as_str(),
+            Some("deadline_exceeded"),
+            "{r:?}"
+        );
+        assert_eq!(err_field(&r, "phase").as_str(), Some("queue-wait"));
+        let held = gpuflow_minijson::parse(&holder.join().unwrap()).unwrap();
+        assert_eq!(get(&held, "ok").as_bool(), Some(true));
+        // The cancelled request never touched the ledger: fully drained.
+        let stats = server.handle_request(Request::Stats);
+        let committed = get(&stats, "committed_bytes").as_array().unwrap();
+        assert!(committed.iter().all(|v| v.as_u64() == Some(0)));
+    }
+
+    #[test]
+    fn tripped_breaker_sheds_with_retry_hints() {
+        // A hair-trigger breaker: two samples of anything trip it.
+        let server = Server::new(ServeConfig {
+            guard: GuardConfig {
+                window: 4,
+                min_samples: 2,
+                health_limit_us: 1,
+                cooldown_ms: 60_000,
+                probes: 1,
+                retry_after_ms: 75,
+            },
+            ..ServeConfig::default()
+        });
+        server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        let r = server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        assert_eq!(get(&r, "ok").as_bool(), Some(true), "pre-trip run failed");
+        // Breaker is now open: work is shed, observability is not.
+        let shed = server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        let shed = gpuflow_minijson::parse(&shed).unwrap();
+        assert_eq!(err_field(&shed, "kind").as_str(), Some("backpressure"));
+        assert_eq!(err_field(&shed, "shed").as_bool(), Some(true));
+        assert!(err_field(&shed, "retry_after_ms").as_u64().unwrap() >= 1);
+        assert_eq!(err_field(&shed, "code").as_str(), Some("GF0072"));
+        let stats = server.handle_request(Request::Stats);
+        assert_eq!(get(&stats, "ok").as_bool(), Some(true));
+        server.with_metrics(|m| {
+            assert!(m.counter("serve.guard.shed") >= 1);
+            assert_eq!(m.counter("serve.guard.breaker_trips"), 1);
+            assert_eq!(m.gauge_value("serve.guard.breaker_state"), Some(2.0));
+        });
+    }
+
+    #[test]
+    fn cache_journal_warms_a_restarted_server() {
+        let path = std::env::temp_dir().join(format!(
+            "gpuflow-serve-warm-restart-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cfg = || ServeConfig {
+            cache_path: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let line = r#"{"op":"compile","template":"edge:96x96,k=5,o=2"}"#;
+        let first_hit = {
+            let server = Server::new(cfg());
+            let miss = gpuflow_minijson::parse(&server.handle_line(line)).unwrap();
+            assert_eq!(get(&miss, "cache").as_str(), Some("miss"));
+            let hit = server.handle_line(line);
+            assert_eq!(
+                get(&gpuflow_minijson::parse(&hit).unwrap(), "cache").as_str(),
+                Some("hit")
+            );
+            hit
+        }; // server dropped = daemon killed
+        let server = Server::new(cfg());
+        server.with_metrics(|m| {
+            assert!(m.counter("serve.guard.journal_replayed") >= 1);
+            assert_eq!(m.counter("serve.guard.journal_recovered"), 0);
+        });
+        // The restarted daemon answers the same request as a warm,
+        // byte-identical cache hit — no recompile.
+        let warm = server.handle_line(line);
+        assert_eq!(warm, first_hit, "warm restart response differs");
+        server.with_metrics(|m| assert_eq!(m.counter("serve.cache_misses"), 0));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!    not OOM-planned and not dropped), while a structurally impossible
 //!    request is rejected `infeasible` and queue overflow is rejected
 //!    `backpressure`;
-//! 3. **shutdown** — the daemon drains and the accept loop exits.
+//! 3. **shutdown** — the daemon drains and the accept loop exits;
+//! 4. **overload** — a synthetic flood trips the circuit breaker, sheds
+//!    with typed retry hints, keeps the *admitted* execute p99 within 2×
+//!    the unloaded tail, and the breaker recloses once the flood ends;
+//! 5. **crash safety** — a daemon restarted from its plan-cache journal
+//!    answers a previously-compiled request as a byte-identical warm hit.
 //!
 //! Determinism: admission capacity is not taken from the simulated
 //! device (plan peaks vary with template internals) but pinned to
@@ -26,8 +31,9 @@ use gpuflow_minijson::Value;
 use gpuflow_multi::Cluster;
 use gpuflow_sim::device::modern;
 
+use crate::guard::GuardConfig;
 use crate::net::{serve_tcp, Client};
-use crate::server::ServeConfig;
+use crate::server::{ServeConfig, Server};
 use crate::source::resolve_named;
 
 const TEMPLATE: &str = "edge:192x192,k=5,o=2";
@@ -43,6 +49,18 @@ fn expect_ok(step: &str, v: &Value) -> Result<(), String> {
     } else {
         Err(format!("{step}: expected ok response, got {v:?}"))
     }
+}
+
+/// The execute-phase p99 (µs) an in-process server reports via `stats`.
+fn execute_p99(server: &Server) -> Result<u64, String> {
+    let stats = gpuflow_minijson::parse(&server.handle_line(r#"{"op":"stats"}"#))
+        .map_err(|e| format!("stats parse: {e}"))?;
+    stats
+        .get("phases")
+        .and_then(|p| p.get("execute"))
+        .and_then(|h| h.get("p99"))
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("stats missing execute p99: {stats:?}"))
 }
 
 /// Run the smoke against a fresh daemon. Returns a human-readable
@@ -231,6 +249,131 @@ pub fn run_smoke() -> Result<String, String> {
     report.push_str(&format!(
         "shutdown: drained; cache integrity verified over {entries} entries\n"
     ));
+
+    // 4. Overload: a flood trips the breaker, sheds with retry hints,
+    // keeps the admitted execute tail bounded, and then recovers. Both
+    // servers here are in-process: the gate measures guard behavior, not
+    // socket throughput.
+    let unloaded = Server::new(ServeConfig {
+        cluster: Cluster::homogeneous(modern(), 1),
+        capacity_override: Some(vec![capacity]),
+        ..ServeConfig::default()
+    });
+    for _ in 0..4 {
+        let v = gpuflow_minijson::parse(
+            &unloaded.handle_line(&format!(r#"{{"op":"run","template":"{TEMPLATE}"}}"#)),
+        )
+        .map_err(|e| format!("unloaded run parse: {e}"))?;
+        expect_ok("unloaded baseline run", &v)?;
+    }
+    let unloaded_p99 = execute_p99(&unloaded)?;
+
+    let flood = Arc::new(Server::new(ServeConfig {
+        cluster: Cluster::homogeneous(modern(), 1),
+        capacity_override: Some(vec![capacity]),
+        queue_capacity: 32,
+        queue_timeout_ms: 300,
+        guard: GuardConfig {
+            window: 32,
+            min_samples: 4,
+            health_limit_us: 20_000,
+            cooldown_ms: 400,
+            probes: 2,
+            retry_after_ms: 50,
+        },
+        ..ServeConfig::default()
+    }));
+    let mut stormers = Vec::new();
+    for _ in 0..8 {
+        let flood = Arc::clone(&flood);
+        stormers.push(std::thread::spawn(move || {
+            for _ in 0..4 {
+                // Every response is fine here — ok, shed, backpressure,
+                // deadline — the gate is on the counters and the tail.
+                let _ = flood.handle_line(&format!(
+                    r#"{{"op":"run","template":"{TEMPLATE}","hold_ms":50}}"#
+                ));
+            }
+        }));
+    }
+    for t in stormers {
+        t.join().map_err(|_| "flood thread panicked")?;
+    }
+    let (trips, shed) = flood.with_metrics(|m| {
+        (
+            m.counter("serve.guard.breaker_trips"),
+            m.counter("serve.guard.shed"),
+        )
+    });
+    if trips == 0 {
+        return Err("flood did not trip the breaker".to_string());
+    }
+    if shed == 0 {
+        return Err("tripped breaker shed no requests".to_string());
+    }
+    let flood_p99 = execute_p99(&flood)?;
+    // The floor keeps the 2× bound meaningful when the unloaded tail is
+    // a handful of microseconds of simulator arithmetic.
+    let bound = 2 * unloaded_p99.max(2_500);
+    if flood_p99 > bound {
+        return Err(format!(
+            "admitted execute p99 under flood is {flood_p99}µs, \
+             bound is {bound}µs (unloaded p99 {unloaded_p99}µs)"
+        ));
+    }
+    let recover_start = Instant::now();
+    loop {
+        if flood.with_metrics(|m| m.gauge_value("serve.guard.breaker_state")) == Some(0.0) {
+            break;
+        }
+        if recover_start.elapsed().as_secs() >= 10 {
+            return Err("breaker did not reclose within 10s of the flood ending".to_string());
+        }
+        let _ = flood.handle_line(&format!(r#"{{"op":"run","template":"{TEMPLATE}"}}"#));
+        std::thread::sleep(std::time::Duration::from_millis(40));
+    }
+    report.push_str(&format!(
+        "overload: breaker tripped {trips}x, shed {shed} requests, \
+         admitted execute p99 {flood_p99}µs <= {bound}µs, then reclosed\n"
+    ));
+
+    // 5. Crash safety: kill a daemon that journaled its plans, restart
+    // from the same journal, and the warm daemon's answer is the *same
+    // bytes* the dead one served for its cache hit.
+    let journal_path =
+        std::env::temp_dir().join(format!("gpuflow-smoke-journal-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&journal_path);
+    let warm_cfg = || ServeConfig {
+        cache_path: Some(journal_path.clone()),
+        ..ServeConfig::default()
+    };
+    let compile_line = format!(r#"{{"op":"compile","template":"{TEMPLATE}"}}"#);
+    let first_hit = {
+        let server = Server::new(warm_cfg());
+        let miss = gpuflow_minijson::parse(&server.handle_line(&compile_line))
+            .map_err(|e| format!("journal miss parse: {e}"))?;
+        if miss.get("cache").and_then(|v| v.as_str()) != Some("miss") {
+            let _ = std::fs::remove_file(&journal_path);
+            return Err(format!("journaled first compile should miss, got {miss:?}"));
+        }
+        server.handle_line(&compile_line)
+        // The server drops here: the "crash". Only the journal survives.
+    };
+    let restarted = Server::new(warm_cfg());
+    let warm = restarted.handle_line(&compile_line);
+    let _ = std::fs::remove_file(&journal_path);
+    if warm != first_hit {
+        return Err(format!(
+            "warm restart answer diverged from the original hit:\n before: {first_hit}\n  after: {warm}"
+        ));
+    }
+    let v = gpuflow_minijson::parse(&warm).map_err(|e| format!("warm parse: {e}"))?;
+    if v.get("cache").and_then(|v| v.as_str()) != Some("hit") {
+        return Err(format!(
+            "restarted daemon should serve a warm hit, got {warm}"
+        ));
+    }
+    report.push_str("restart: journal-warmed daemon served a byte-identical cache hit\n");
     Ok(report)
 }
 

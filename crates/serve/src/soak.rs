@@ -10,6 +10,12 @@
 //! ([`crate::cache::PlanCache::verify_integrity`]). This is the serving
 //! analogue of the chaos crate's recovery matrix: faults may slow a
 //! request down, but they must never corrupt shared state.
+//!
+//! After the application-level storm, a *network*-level phase runs: the
+//! same seeded transport-fault storm twice (its outcome vector must
+//! replay bit-identically), then the malformed-frame corpus
+//! ([`crate::netchaos::run_malformed_corpus`]) — garbage bytes, huge
+//! lines, mid-JSON disconnects — which must never wedge the daemon.
 
 use std::sync::Arc;
 
@@ -31,6 +37,12 @@ pub struct SoakReport {
     pub infeasible: usize,
     /// Cache entries that passed the final integrity sweep.
     pub cache_entries: usize,
+    /// Requests answered during the network-fault storms.
+    pub net_answered: u64,
+    /// Transport faults injected during the network-fault storms.
+    pub net_faulted: u64,
+    /// Human-readable transcript of the network-fault phases.
+    pub net_report: String,
 }
 
 const TEMPLATES: &[&str] = &[
@@ -148,12 +160,38 @@ pub fn run_soak(
         return Err("requests still queued after drain".to_string());
     }
 
+    // Network-fault phase: the same seeded storm twice must replay
+    // bit-identically, and the malformed-frame corpus must never wedge
+    // the daemon.
+    let net_seed = seed ^ 0x6E65_745F; // "net_"
+    let storm = crate::netchaos::run_net_chaos(net_seed, 3, 8)?;
+    let replay = crate::netchaos::run_net_chaos(net_seed, 3, 8)?;
+    if storm.outcomes != replay.outcomes {
+        return Err(format!(
+            "net chaos replay diverged for seed {net_seed:#x}:\n first: {:?}\nsecond: {:?}",
+            storm.outcomes, replay.outcomes
+        ));
+    }
+    if storm.answered == 0 || storm.faulted == 0 {
+        return Err(format!(
+            "net chaos storm exercised nothing: {} answered, {} faulted",
+            storm.answered, storm.faulted
+        ));
+    }
+    let corpus = crate::netchaos::run_malformed_corpus()?;
+    let mut net_report = storm.report;
+    net_report.push_str("replay: identical outcome vector on second run\n");
+    net_report.push_str(&corpus);
+
     use std::sync::atomic::Ordering;
     let report = SoakReport {
         ok: tally.ok.load(Ordering::SeqCst),
         backpressure: tally.backpressure.load(Ordering::SeqCst),
         infeasible: tally.infeasible.load(Ordering::SeqCst),
         cache_entries,
+        net_answered: storm.answered,
+        net_faulted: storm.faulted,
+        net_report,
     };
     let total = report.ok + report.backpressure + report.infeasible;
     if total != clients * requests_per_client {

@@ -351,6 +351,21 @@ pub fn registry() -> Vec<CodeEntry> {
             "profile",
         ),
         e(
+            crate::guard::codes::DEADLINE_INFEASIBLE,
+            "DEADLINE_INFEASIBLE",
+            "guard",
+        ),
+        e(
+            crate::guard::codes::JOURNAL_RECOVERED,
+            "JOURNAL_RECOVERED",
+            "guard",
+        ),
+        e(
+            crate::guard::codes::BREAKER_TRIPPED,
+            "BREAKER_TRIPPED",
+            "guard",
+        ),
+        e(
             engine::codes::LINT_REDUNDANT_COPYIN,
             "LINT_REDUNDANT_COPYIN",
             "lint",

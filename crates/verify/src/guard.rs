@@ -1,0 +1,26 @@
+//! Diagnostic codes for the serve-hardening layer (`gpuflow-guard`).
+//!
+//! These are emitted by `gpuflow-serve`'s deadline, journal, and
+//! circuit-breaker machinery rather than by a static analysis pass; they
+//! live here so every `GF####` code in the project flows through the one
+//! master registry (uniqueness, family contiguity, and `docs/diagnostics.md`
+//! coverage are all enforced by the registry tests).
+
+/// Diagnostic codes for the guard family (serve-layer hardening,
+/// catalogued in `docs/diagnostics.md` via the master registry).
+pub mod codes {
+    /// Warning: a request's `deadline_ms` budget is smaller than the
+    /// server's observed median total service time for compiled requests —
+    /// the deadline is infeasible for this workload and retrying will not
+    /// help.
+    pub const DEADLINE_INFEASIBLE: &str = "GF0070";
+
+    /// Note: the plan-cache journal contained a torn or corrupt suffix;
+    /// recovery dropped the damaged records and restored every entry
+    /// before them.
+    pub const JOURNAL_RECOVERED: &str = "GF0071";
+
+    /// Note: the overload breaker tripped open and the server entered
+    /// shed mode (fast typed rejects with `retry_after_ms`).
+    pub const BREAKER_TRIPPED: &str = "GF0072";
+}

@@ -31,6 +31,9 @@
 //!   allocation-lifetime edges) proving every pair of conflicting
 //!   accesses ordered, or reporting RAW/WAR/WAW races, use-after-free
 //!   across lanes, and unstaged cross-device reads (`GF005x` codes).
+//! * [`guard`] — diagnostic codes for the serve-hardening layer
+//!   (`gpuflow-guard`): infeasible deadlines, journal-corruption
+//!   recovery, breaker trips (`GF007x` codes, emitted by `gpuflow-serve`).
 //!
 //! `gpuflow-core` builds its `validate_plan` and `ExecutionPlan::stats`
 //! on the engine, so the checked semantics and the reported numbers can
@@ -44,6 +47,7 @@ pub mod critpath;
 pub mod diag;
 pub mod engine;
 pub mod graph_check;
+pub mod guard;
 pub mod hazard;
 pub mod hb;
 pub mod multi;

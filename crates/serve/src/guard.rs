@@ -16,6 +16,17 @@
 //!   (diagnostic `GF0072`); after a cooldown it goes **half-open** and
 //!   admits a few probes, reclosing only when they come back healthy.
 //!
+//! Half-open probe slots are **accounted**: an admission that consumed a
+//! slot ([`Breaker::admit`] returned `Ok(true)`) owes the breaker exactly
+//! one settlement — a completed-service sample via [`Breaker::observe`]
+//! with `probe = true`, or [`Breaker::probe_aborted`] on any path that
+//! exits without one (compile-only requests, parse/plan errors, deadline
+//! rejects). Aborts return the slot to the pool, so the breaker can never
+//! strand half-open with every slot consumed and no observation owed.
+//! Conversely, while half-open only probe-tagged samples move the state
+//! machine: a straggler admitted before the trip carries overload-era
+//! latency and must not pollute the probe verdict.
+//!
 //! The breaker is deliberately time-explicit — [`Breaker::admit`] and
 //! [`Breaker::observe`] take `now` — so the state machine is unit-testable
 //! without sleeping.
@@ -186,24 +197,26 @@ impl Breaker {
         percentile_us(&samples, 0.99).saturating_mul(1 + queue_depth as u64)
     }
 
-    /// Gate one request. `Ok(())` admits; `Err(retry_after_ms)` sheds.
-    pub fn admit(&mut self, now: Instant) -> (Result<(), u64>, Option<Transition>) {
+    /// Gate one request. `Ok(probe)` admits — `probe` is true when the
+    /// admission consumed a half-open probe slot, which the caller must
+    /// settle exactly once: feed the completed-service sample to
+    /// [`Breaker::observe`] with `probe = true`, or return the slot via
+    /// [`Breaker::probe_aborted`] if the request exits without producing
+    /// one. `Err(retry_after_ms)` sheds.
+    pub fn admit(&mut self, now: Instant) -> (Result<bool, u64>, Option<Transition>) {
         match &mut self.state {
-            State::Closed => (Ok(()), None),
+            State::Closed => (Ok(false), None),
             State::Open { until } => {
                 if now >= *until {
                     // Cooldown over: start probing, with a cleared window
                     // so probe health is judged on probe samples, not the
-                    // flood that tripped us.
+                    // flood that tripped us. This admit is itself probe #1.
                     self.state = State::HalfOpen {
-                        probes_left: self.cfg.probes,
+                        probes_left: self.cfg.probes.saturating_sub(1),
                         successes: 0,
                     };
                     self.window.clear();
-                    if let State::HalfOpen { probes_left, .. } = &mut self.state {
-                        *probes_left -= 1;
-                    }
-                    (Ok(()), Some(Transition::HalfOpened))
+                    (Ok(true), Some(Transition::HalfOpened))
                 } else {
                     let left_ms = until.duration_since(now).as_millis() as u64;
                     (Err(left_ms.max(1)), None)
@@ -212,7 +225,7 @@ impl Breaker {
             State::HalfOpen { probes_left, .. } => {
                 if *probes_left > 0 {
                     *probes_left -= 1;
-                    (Ok(()), None)
+                    (Ok(true), None)
                 } else {
                     (Err(self.cfg.retry_after_ms), None)
                 }
@@ -220,13 +233,35 @@ impl Breaker {
         }
     }
 
+    /// Return a half-open probe slot without a verdict: the admitted
+    /// request exited before producing a service sample. No-op outside
+    /// half-open (the state machine moved on; the slot is moot).
+    pub fn probe_aborted(&mut self) {
+        if let State::HalfOpen {
+            probes_left,
+            successes,
+        } = &mut self.state
+        {
+            // Never accumulate more slots than are still unsettled.
+            let cap = self.cfg.probes.saturating_sub(*successes);
+            *probes_left = (*probes_left + 1).min(cap);
+        }
+    }
+
     /// Feed one completed-service sample (µs) at the current queue depth.
+    /// `probe` marks a sample that settles a half-open probe slot (see
+    /// [`Breaker::admit`]); while half-open, non-probe samples — requests
+    /// admitted before the trip — are discarded entirely.
     pub fn observe(
         &mut self,
         service_us: u64,
         queue_depth: usize,
         now: Instant,
+        probe: bool,
     ) -> Option<Transition> {
+        if matches!(self.state, State::HalfOpen { .. }) && !probe {
+            return None;
+        }
         if self.window.len() >= self.cfg.window.max(1) {
             self.window.pop_front();
         }
@@ -307,15 +342,15 @@ mod tests {
         let mut b = Breaker::new(cfg());
         let t0 = Instant::now();
         assert_eq!(b.state(), BreakerState::Closed);
-        // Healthy load admits and never trips.
+        // Healthy load admits (not as probes) and never trips.
         for _ in 0..8 {
-            assert!(b.admit(t0).0.is_ok());
-            assert_eq!(b.observe(1_000, 0, t0), None);
+            assert_eq!(b.admit(t0).0, Ok(false));
+            assert_eq!(b.observe(1_000, 0, t0, false), None);
         }
         // Flood: p99 × depth crosses the limit once min_samples is met.
         let mut tripped = false;
         for _ in 0..8 {
-            if b.observe(50_000, 3, t0) == Some(Transition::Tripped) {
+            if b.observe(50_000, 3, t0, false) == Some(Transition::Tripped) {
                 tripped = true;
                 break;
             }
@@ -331,17 +366,17 @@ mod tests {
         // Cooldown over: half-open, the admit itself is probe #1.
         let late = t0 + Duration::from_millis(150);
         let (d, t) = b.admit(late);
-        assert!(d.is_ok());
+        assert_eq!(d, Ok(true));
         assert_eq!(t, Some(Transition::HalfOpened));
         assert_eq!(b.state(), BreakerState::HalfOpen);
         // Probe #2 admitted, #3 shed.
-        assert!(b.admit(late).0.is_ok());
+        assert_eq!(b.admit(late).0, Ok(true));
         assert_eq!(b.admit(late).0.unwrap_err(), 25);
         // Two healthy probe completions reclose.
-        assert_eq!(b.observe(1_000, 0, late), None);
-        assert_eq!(b.observe(1_200, 0, late), Some(Transition::Reclosed));
+        assert_eq!(b.observe(1_000, 0, late, true), None);
+        assert_eq!(b.observe(1_200, 0, late, true), Some(Transition::Reclosed));
         assert_eq!(b.state(), BreakerState::Closed);
-        assert!(b.admit(late).0.is_ok());
+        assert_eq!(b.admit(late).0, Ok(false));
     }
 
     #[test]
@@ -349,13 +384,16 @@ mod tests {
         let mut b = Breaker::new(cfg());
         let t0 = Instant::now();
         for _ in 0..4 {
-            b.observe(50_000, 3, t0);
+            b.observe(50_000, 3, t0, false);
         }
         assert_eq!(b.state(), BreakerState::Open);
         let late = t0 + Duration::from_millis(150);
-        assert!(b.admit(late).0.is_ok());
+        assert_eq!(b.admit(late).0, Ok(true));
         // The probe itself comes back slow: straight back to open.
-        assert_eq!(b.observe(500_000, 0, late), Some(Transition::Reopened));
+        assert_eq!(
+            b.observe(500_000, 0, late, true),
+            Some(Transition::Reopened)
+        );
         assert_eq!(b.state(), BreakerState::Open);
         assert_eq!(b.trips(), 2);
     }
@@ -366,9 +404,81 @@ mod tests {
         let t0 = Instant::now();
         // Three huge samples: below min_samples, stays closed.
         for _ in 0..3 {
-            assert_eq!(b.observe(1_000_000, 10, t0), None);
+            assert_eq!(b.observe(1_000_000, 10, t0, false), None);
         }
         assert_eq!(b.state(), BreakerState::Closed);
-        assert_eq!(b.observe(1_000_000, 10, t0), Some(Transition::Tripped));
+        assert_eq!(
+            b.observe(1_000_000, 10, t0, false),
+            Some(Transition::Tripped)
+        );
+    }
+
+    /// Trip `b` and advance to half-open; returns the half-open instant.
+    /// The half-opening admit's probe slot is immediately settled
+    /// healthy, so `cfg.probes - 1` slots remain for the test body.
+    fn half_open(b: &mut Breaker) -> Instant {
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            b.observe(50_000, 3, t0, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        let late = t0 + Duration::from_millis(150);
+        assert_eq!(b.admit(late).0, Ok(true));
+        assert_eq!(b.observe(1_000, 0, late, true), None);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        late
+    }
+
+    #[test]
+    fn aborted_probes_return_their_slots() {
+        // Regression: a probe admission that exits without a service
+        // sample (compile request, plan error, deadline reject) must
+        // return its slot, or the breaker sheds forever once the slots
+        // are consumed with fewer than `probes` observations owed.
+        let mut b = Breaker::new(cfg());
+        let late = half_open(&mut b);
+        // Burn the last slot over and over: every abort returns it.
+        for _ in 0..10 {
+            assert_eq!(b.admit(late).0, Ok(true));
+            assert_eq!(b.admit(late).0.unwrap_err(), 25, "slot not returned");
+            b.probe_aborted();
+        }
+        // The returned slot still carries a real verdict: one healthy
+        // completion recloses (the first success happened in half_open).
+        assert_eq!(b.admit(late).0, Ok(true));
+        assert_eq!(b.observe(1_200, 0, late, true), Some(Transition::Reclosed));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn probe_abort_never_mints_extra_slots() {
+        let mut b = Breaker::new(cfg());
+        let late = half_open(&mut b);
+        // Spurious aborts cannot grow the pool past the unsettled count.
+        for _ in 0..5 {
+            b.probe_aborted();
+        }
+        assert_eq!(b.admit(late).0, Ok(true));
+        assert_eq!(b.admit(late).0.unwrap_err(), 25);
+        // Outside half-open it is a no-op.
+        b.observe(1_000, 0, late, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.probe_aborted();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn stale_pre_trip_completions_do_not_pollute_half_open() {
+        let mut b = Breaker::new(cfg());
+        let late = half_open(&mut b);
+        // A slow run admitted before the trip finishes during probing:
+        // ignored — no reopen, no window pollution, no bogus success.
+        assert_eq!(b.observe(900_000, 4, late, false), None);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.health_us(0), 1_000, "stale sample entered the window");
+        // The actual probe verdict still decides: healthy recloses.
+        assert_eq!(b.admit(late).0, Ok(true));
+        assert_eq!(b.observe(1_200, 0, late, true), Some(Transition::Reclosed));
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 }

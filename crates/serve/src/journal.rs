@@ -20,15 +20,21 @@
 //! ...
 //! ```
 //!
-//! Each append is a single `write_all` + flush, so a crash can only leave
-//! a *suffix* torn. Recovery walks frames from the front and stops at the
-//! first damage — short header, absurd length, missing terminator,
-//! checksum mismatch, or unparseable payload — keeping every record
-//! before it and truncating the file back to the last good byte
-//! (diagnostic `GF0071`). Compaction ([`Journal::rewrite`]) rewrites the
-//! resident entries oldest-first through a temp file + atomic rename, so
+//! Each append is a single `write_all` followed by `sync_data`, so a
+//! process crash can only leave a *suffix* torn, and an OS crash or
+//! power loss can only tear the frames written after the last completed
+//! append (writeback cannot reorder damage into already-synced frames).
+//! Recovery walks frames from the front and stops at the first damage —
+//! short header, absurd length, missing terminator, checksum mismatch,
+//! or unparseable payload — keeping every record before it and
+//! truncating the file back to the last good byte (diagnostic `GF0071`).
+//! Compaction ([`Journal::rewrite`]) rewrites the resident entries
+//! oldest-first through a temp file (`sync_all`'d before the atomic
+//! rename, with a best-effort fsync of the parent directory after), so
 //! a crash mid-compaction leaves either the old journal or the new one,
-//! never a half-written hybrid.
+//! never a half-written hybrid. Recovery tolerates arbitrary damage
+//! regardless — these syncs bound what can be *lost*, not what can be
+//! survived.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -208,7 +214,7 @@ impl Journal {
         file.read_to_end(&mut bytes)?;
         if bytes.is_empty() {
             file.write_all(MAGIC)?;
-            file.flush()?;
+            file.sync_data()?;
             let journal = Journal {
                 path: path.to_path_buf(),
                 file,
@@ -223,7 +229,7 @@ impl Journal {
                 file.set_len(0)?;
                 file.seek(SeekFrom::Start(0))?;
                 file.write_all(MAGIC)?;
-                file.flush()?;
+                file.sync_data()?;
                 good_len = MAGIC.len() as u64;
             } else {
                 file.set_len(good_len)?;
@@ -238,11 +244,13 @@ impl Journal {
         Ok((journal, records, recovered))
     }
 
-    /// Append one recipe. A single `write_all` + flush, so a crash can
-    /// only tear the suffix this frame occupies.
+    /// Append one recipe. A single `write_all` + `sync_data`, so even an
+    /// OS crash can only tear frames past the last completed append —
+    /// `flush` alone is a no-op on [`File`] and would leave writeback
+    /// free to reorder damage into earlier frames.
     pub fn append(&mut self, rec: &PlanRecord) -> std::io::Result<()> {
         self.file.write_all(&frame(rec))?;
-        self.file.flush()?;
+        self.file.sync_data()?;
         self.appends_since_rewrite += 1;
         Ok(())
     }
@@ -254,7 +262,9 @@ impl Journal {
     }
 
     /// Compact: atomically replace the journal with exactly `recs`
-    /// (temp file + rename).
+    /// (temp file synced to disk, then renamed over the journal, then a
+    /// best-effort fsync of the parent directory so the rename itself
+    /// survives an OS crash).
     pub fn rewrite(&mut self, recs: &[PlanRecord]) -> std::io::Result<()> {
         let tmp = self.path.with_extension("tmp");
         {
@@ -263,9 +273,14 @@ impl Journal {
             for rec in recs {
                 f.write_all(&frame(rec))?;
             }
-            f.flush()?;
+            f.sync_all()?;
         }
         std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
         self.file.seek(SeekFrom::End(0))?;
         self.appends_since_rewrite = 0;

@@ -119,6 +119,14 @@ fn handle_connection(stream: TcpStream, server: Arc<Server>) {
     };
     let mut reader = stream;
     let max = server.config().max_request_bytes.max(1);
+    let oversize_reject = || {
+        server.with_metrics(|m| m.add("serve.bad_requests", 1));
+        error_response(
+            "bad_request",
+            format!("request line exceeds max_request_bytes ({max})"),
+        )
+        .to_string_compact()
+    };
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     // Oversized-line mode: the reply was already sent, the rest of the
@@ -131,7 +139,11 @@ fn handle_connection(stream: TcpStream, server: Arc<Server>) {
                 let mut rest = &chunk[..n];
                 while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
                     let head = &rest[..pos];
-                    let line = if discarding {
+                    // The bound applies even when the terminator arrived
+                    // in the same chunk as the overflowing bytes — an
+                    // oversized line is rejected, never processed.
+                    let oversized = !discarding && buf.len() + head.len() > max;
+                    let line = if discarding || oversized {
                         discarding = false;
                         buf.clear();
                         None
@@ -140,6 +152,12 @@ fn handle_connection(stream: TcpStream, server: Arc<Server>) {
                         Some(std::mem::take(&mut buf))
                     };
                     rest = &rest[pos + 1..];
+                    if oversized {
+                        if write_line(&mut writer, &oversize_reject()).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
                     if let Some(line) = line {
                         let response = match std::str::from_utf8(&line) {
                             Ok(s) if s.trim().is_empty() => continue,
@@ -159,17 +177,11 @@ fn handle_connection(stream: TcpStream, server: Arc<Server>) {
                     continue;
                 }
                 if buf.len() + rest.len() > max {
-                    // The line outgrew the budget: answer once, then
-                    // discard the remainder of the line.
+                    // The line outgrew the budget mid-stream: answer
+                    // once, then discard the remainder of the line.
                     buf.clear();
                     discarding = true;
-                    server.with_metrics(|m| m.add("serve.bad_requests", 1));
-                    let response = error_response(
-                        "bad_request",
-                        format!("request line exceeds max_request_bytes ({max})"),
-                    )
-                    .to_string_compact();
-                    if write_line(&mut writer, &response).is_err() {
+                    if write_line(&mut writer, &oversize_reject()).is_err() {
                         return;
                     }
                 } else {
@@ -383,6 +395,37 @@ mod tests {
         assert!(detail.contains("max_request_bytes"), "{detail}");
         // The remainder of the oversized line was discarded; the next
         // request works.
+        let r = client.request(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(r.get("ok").and_then(|v| v.as_bool()), Some(true));
+        server_bad_requests_at_least(&handle, 1);
+    }
+
+    #[test]
+    fn oversized_line_with_terminator_in_the_same_chunk_is_rejected() {
+        // Regression: a line over the budget whose newline arrives in
+        // the same 4 KiB read used to slip through the mid-stream check
+        // and get processed anyway.
+        let handle = serve_tcp(
+            "127.0.0.1:0",
+            ServeConfig {
+                max_request_bytes: 256,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr.to_string();
+        let mut client = Client::connect(&addr).unwrap();
+        // ~300 bytes incl. terminator: over 256, well under one chunk.
+        let line = format!("{{\"op\":\"stats\",\"pad\":\"{}\"}}", "y".repeat(270));
+        let r = client.request(&line).unwrap();
+        assert_eq!(r.get("ok").and_then(|v| v.as_bool()), Some(false));
+        let detail = r
+            .get("error")
+            .and_then(|e| e.get("detail"))
+            .and_then(|v| v.as_str())
+            .unwrap();
+        assert!(detail.contains("max_request_bytes"), "{detail}");
+        // The connection and the next (fitting) request both survive.
         let r = client.request(r#"{"op":"stats"}"#).unwrap();
         assert_eq!(r.get("ok").and_then(|v| v.as_bool()), Some(true));
         server_bad_requests_at_least(&handle, 1);

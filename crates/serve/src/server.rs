@@ -171,6 +171,41 @@ fn hex_hash(h: u64) -> String {
     format!("{h:016x}")
 }
 
+/// A half-open probe slot held by one admitted request. The breaker is
+/// owed exactly one settlement per slot: either the completed-service
+/// sample ([`Server::observe_service`] consumes the slot via
+/// [`ProbeSlot::take`]) or — on any path that exits without producing
+/// one (compile-only requests, parse/plan errors, deadline rejects,
+/// non-timeout admission errors) — the drop impl returns the slot, so
+/// the breaker can never strand half-open with every probe consumed and
+/// no observation owed.
+struct ProbeSlot<'a> {
+    server: &'a Server,
+    live: bool,
+}
+
+impl<'a> ProbeSlot<'a> {
+    /// `live` is [`Breaker::admit`]'s probe flag — false for ordinary
+    /// (closed-breaker) admissions, which makes the slot a no-op.
+    fn new(server: &'a Server, live: bool) -> ProbeSlot<'a> {
+        ProbeSlot { server, live }
+    }
+
+    /// Consume the slot for a service observation; the observation's
+    /// `probe` flag settles it inside the breaker.
+    fn take(&mut self) -> bool {
+        std::mem::take(&mut self.live)
+    }
+}
+
+impl Drop for ProbeSlot<'_> {
+    fn drop(&mut self) {
+        if self.live {
+            self.server.guard.lock().unwrap().probe_aborted();
+        }
+    }
+}
+
 /// `p` in [0, 1] percentile of an unsorted latency sample (nearest-rank).
 pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
     if samples.is_empty() {
@@ -366,15 +401,21 @@ impl Server {
         }
         self.with_metrics(|m| m.add("serve.requests", 1));
         // The breaker gates only the work-carrying ops; stats/metrics/
-        // shutdown stay observable while shedding.
+        // shutdown stay observable while shedding. A half-open admission
+        // consumes a probe slot, carried through the handler as a
+        // [`ProbeSlot`] so every exit path settles it.
+        let mut probe = false;
         if matches!(req, Request::Compile { .. } | Request::Run { .. }) {
             let (gate, transition) = self.guard.lock().unwrap().admit(Instant::now());
             if let Some(t) = transition {
                 self.breaker_transition(t);
             }
-            if let Err(retry_after_ms) = gate {
-                self.with_metrics(|m| m.add("serve.guard.shed", 1));
-                return shed_response(retry_after_ms);
+            match gate {
+                Ok(p) => probe = p,
+                Err(retry_after_ms) => {
+                    self.with_metrics(|m| m.add("serve.guard.shed", 1));
+                    return shed_response(retry_after_ms);
+                }
             }
         }
         match req {
@@ -382,14 +423,21 @@ impl Server {
                 template,
                 options,
                 deadline_ms,
-            } => self.handle_compile(&template, options, deadline_ms),
+            } => self.handle_compile(&template, options, deadline_ms, ProbeSlot::new(self, probe)),
             Request::Run {
                 template,
                 options,
                 faults,
                 hold_ms,
                 deadline_ms,
-            } => self.handle_run(&template, options, faults.as_deref(), hold_ms, deadline_ms),
+            } => self.handle_run(
+                &template,
+                options,
+                faults.as_deref(),
+                hold_ms,
+                deadline_ms,
+                ProbeSlot::new(self, probe),
+            ),
             Request::Stats => self.handle_stats(),
             Request::Metrics => {
                 let mut m = ok_base("metrics");
@@ -439,14 +487,17 @@ impl Server {
     }
 
     /// Feed one completed-service sample into the breaker and surface
-    /// any resulting transition.
-    fn observe_service(&self, service_us: u64) {
+    /// any resulting transition. `probe` settles a half-open probe slot
+    /// (pass [`ProbeSlot::take`]); non-probe samples are discarded while
+    /// the breaker is half-open so pre-trip stragglers cannot pollute
+    /// the probe verdict.
+    fn observe_service(&self, service_us: u64, probe: bool) {
         let depth = self.queue_depth.load(Ordering::SeqCst);
-        let transition = self
-            .guard
-            .lock()
-            .unwrap()
-            .observe(service_us, depth, Instant::now());
+        let transition =
+            self.guard
+                .lock()
+                .unwrap()
+                .observe(service_us, depth, Instant::now(), probe);
         if let Some(t) = transition {
             self.breaker_transition(t);
         }
@@ -606,11 +657,15 @@ impl Server {
         }
     }
 
+    /// `_probe`: compiles never produce a breaker service sample (the
+    /// signal is queue-wait + execute), so the slot is returned by drop
+    /// on every path rather than settled with an observation.
     fn handle_compile(
         &self,
         template: &TemplateRef,
         options: RequestOptions,
         deadline_ms: Option<u64>,
+        _probe: ProbeSlot<'_>,
     ) -> Value {
         let req_id = self.next_req.fetch_add(1, Ordering::SeqCst);
         let t0 = Instant::now();
@@ -648,6 +703,7 @@ impl Server {
         faults: Option<&str>,
         hold_ms: u64,
         deadline_ms: Option<u64>,
+        mut probe: ProbeSlot<'_>,
     ) -> Value {
         let req_id = self.next_req.fetch_add(1, Ordering::SeqCst);
         let t0 = Instant::now();
@@ -676,7 +732,7 @@ impl Server {
         // The deadline keeps ticking in the queue; expired queued work is
         // rejected here without ever reaching the cluster.
         let service_start = Instant::now();
-        let reservation = match self.admit(req_id, &planned.peaks, &deadline) {
+        let reservation = match self.admit(req_id, &planned.peaks, &deadline, &mut probe) {
             Ok(r) => r,
             Err(e) => return e,
         };
@@ -711,7 +767,7 @@ impl Server {
             ledger.release(reservation);
             self.admit_cv.notify_all();
         }
-        self.observe_service(service_us);
+        self.observe_service(service_us, probe.take());
         if deadline.expired() {
             // The budget ran out mid-execute; nobody is waiting for the
             // result.
@@ -759,6 +815,7 @@ impl Server {
         req_id: u64,
         peaks: &[u64],
         deadline: &Deadline,
+        probe: &mut ProbeSlot<'_>,
     ) -> Result<gpuflow_multi::Reservation, Value> {
         let admit_start = self.wall_s();
         let wait_start = Instant::now();
@@ -827,8 +884,9 @@ impl Server {
         }
         drop(ledger);
         if let Some(us) = timed_out_us {
-            // A saturated-queue timeout is itself a health observation.
-            self.observe_service(us);
+            // A saturated-queue timeout is itself a health observation —
+            // and a full-length service verdict for a probe admission.
+            self.observe_service(us, probe.take());
         }
         let args = vec![("queued".into(), Value::from(queued))];
         self.span(
@@ -1275,6 +1333,57 @@ mod tests {
         server.with_metrics(|m| {
             assert!(m.counter("serve.guard.shed") >= 1);
             assert_eq!(m.counter("serve.guard.breaker_trips"), 1);
+            assert_eq!(m.gauge_value("serve.guard.breaker_state"), Some(2.0));
+        });
+    }
+
+    #[test]
+    fn half_open_survives_probe_consumers_that_never_observe() {
+        // Regression: compile requests (and runs that error out early)
+        // consume half-open probe slots but produce no service sample.
+        // Each must return its slot, or a mixed compile/run workload
+        // wedges the breaker into shedding forever after one trip.
+        let server = Server::new(ServeConfig {
+            guard: GuardConfig {
+                window: 4,
+                min_samples: 2,
+                health_limit_us: 1,
+                cooldown_ms: 1,
+                probes: 2,
+                retry_after_ms: 5,
+            },
+            ..ServeConfig::default()
+        });
+        server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        server.with_metrics(|m| {
+            assert_eq!(m.gauge_value("serve.guard.breaker_state"), Some(2.0));
+        });
+        std::thread::sleep(Duration::from_millis(5)); // cooldown elapses
+                                                      // Far more compiles than probe slots: every one must be admitted
+                                                      // (slot consumed, then returned on exit), none shed.
+        for i in 0..10 {
+            let r = server.handle_line(r#"{"op":"compile","template":"fig3"}"#);
+            let r = gpuflow_minijson::parse(&r).unwrap();
+            assert_eq!(
+                get(&r, "ok").as_bool(),
+                Some(true),
+                "compile {i} shed: {r:?}"
+            );
+        }
+        // A run with a bad fault spec errors before any observation —
+        // its slot comes back too.
+        let r = server.handle_line(r#"{"op":"run","template":"fig3","faults":"nonsense"}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        assert_eq!(err_field(&r, "kind").as_str(), Some("bad_request"));
+        // The breaker still has probe slots: a real run is admitted and
+        // its (unhealthy, limit is 1µs) verdict reopens — the state
+        // machine is alive, not stranded.
+        let r = server.handle_line(r#"{"op":"run","template":"fig3"}"#);
+        let r = gpuflow_minijson::parse(&r).unwrap();
+        assert_eq!(get(&r, "ok").as_bool(), Some(true), "probe run shed: {r:?}");
+        server.with_metrics(|m| {
+            assert_eq!(m.counter("serve.guard.shed"), 0);
             assert_eq!(m.gauge_value("serve.guard.breaker_state"), Some(2.0));
         });
     }
